@@ -1,0 +1,69 @@
+//! Ablation A1 — predicate evaluation strategies.
+//!
+//! The same selection (`quantity < N/10`, 10% selectivity over 20k
+//! objects) evaluated three ways:
+//!
+//! * **interpreted** — the expression language (`suchthat`), as O++'s
+//!   textual queries would be,
+//! * **native closure** — a Rust closure over the decoded object state
+//!   (the host-language body, no interpreter),
+//! * **index** — the B-tree answers the conjunct; the predicate only
+//!   re-checks matches.
+//!
+//! This quantifies the interpreter tax that DESIGN.md accepts in exchange
+//! for persistable predicates, and shows the index makes it moot for
+//! selective queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::workload;
+use ode_model::Value;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_predicate");
+    let (db, _) = workload::inventory_db(N, false);
+    let (ix_db, _) = workload::inventory_db(N, true);
+    let cut = (N / 10) as i64;
+    let pred = format!("quantity < {cut}");
+
+    g.bench_function("interpreted_suchthat", |b| {
+        b.iter(|| {
+            db.transaction(|tx| tx.forall("stockitem")?.suchthat(&pred)?.count())
+                .unwrap()
+        })
+    });
+    g.bench_function("native_closure", |b| {
+        b.iter(|| {
+            db.transaction(|tx| {
+                tx.forall("stockitem")?
+                    .filter(|s| matches!(s.fields[1], Value::Int(q) if q < cut))
+                    .count()
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("index_plus_recheck", |b| {
+        b.iter(|| {
+            ix_db
+                .transaction(|tx| tx.forall("stockitem")?.suchthat(&pred)?.count())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Figure F10 — set operations and insert-during-iteration (§2.6, §3.2).
+//!
+//! * insert/contains/remove cost vs. set cardinality (the engine's sets
+//!   are insertion-ordered with linear membership — adequate for the
+//!   paper's set sizes, and this figure documents where it stops being
+//!   adequate),
+//! * `iterate_set` walking a set that grows during iteration vs. a plain
+//!   walk of a pre-built set of the same final size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_core::prelude::*;
+use ode_model::SetValue;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn holder_db() -> (Database, Oid) {
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("holder").field_default(
+        "nums",
+        Type::Set(Box::new(Type::Int)),
+        Value::Set(SetValue::new()),
+    ))
+    .unwrap();
+    db.create_cluster("holder").unwrap();
+    let oid = db.transaction(|tx| tx.pnew("holder", &[])).unwrap();
+    (db, oid)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f10_sets");
+    // Value-level set operations.
+    for &n in &[100usize, 1_000, 5_000] {
+        let set: SetValue = (0..n as i64).map(Value::Int).collect();
+        g.bench_with_input(BenchmarkId::new("contains_hit", n), &(), |b, _| {
+            b.iter(|| set.contains(&Value::Int((n / 2) as i64)))
+        });
+        g.bench_with_input(BenchmarkId::new("contains_miss", n), &(), |b, _| {
+            b.iter(|| set.contains(&Value::Int(-1)))
+        });
+        g.bench_with_input(BenchmarkId::new("insert_dup", n), &(), |b, _| {
+            b.iter(|| {
+                let mut s = set.clone();
+                s.insert(Value::Int(0))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("union", n), &(), |b, _| {
+            b.iter(|| set.union(&set).len())
+        });
+    }
+    // Engine-level: growth during iteration vs plain walk.
+    for &n in &[200usize, 600] {
+        let (db, oid) = holder_db();
+        g.bench_with_input(BenchmarkId::new("grow_during_iteration", n), &(), |b, _| {
+            b.iter(|| {
+                let mut tx = db.begin();
+                tx.set_insert(oid, "nums", 0i64).unwrap();
+                let visited = tx
+                    .iterate_set(oid, "nums", |tx, v| {
+                        let k = v.as_int()?;
+                        if (k as usize) < n - 1 {
+                            tx.set_insert(oid, "nums", k + 1)?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                tx.abort();
+                assert_eq!(visited, n);
+            })
+        });
+        let (db, oid) = holder_db();
+        db.transaction(|tx| {
+            for i in 0..n as i64 {
+                tx.set_insert(oid, "nums", i)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("plain_walk", n), &(), |b, _| {
+            b.iter(|| {
+                let mut tx = db.begin();
+                let visited = tx.iterate_set(oid, "nums", |_tx, _v| Ok(())).unwrap();
+                tx.abort();
+                assert_eq!(visited, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

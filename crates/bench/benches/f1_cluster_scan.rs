@@ -1,0 +1,60 @@
+//! Figure F1 — cluster scan throughput (§3.1).
+//!
+//! Sweeps the extent size and compares deep (hierarchy) vs. shallow
+//! iteration over the university schema. Expected shape: cost linear in
+//! the number of objects visited; deep iteration over 4 equally-sized
+//! clusters ≈ 4× the shallow cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_bench::workload;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_cluster_scan");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (db, _) = workload::inventory_db(n, false);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                db.transaction(|tx| {
+                    let mut total = 0i64;
+                    tx.forall("stockitem")?.run(|tx, oid| {
+                        total += tx.get(oid, "quantity")?.as_int()?;
+                        Ok(())
+                    })?;
+                    Ok(total)
+                })
+                .unwrap()
+            })
+        });
+    }
+    // Deep vs shallow over the hierarchy (same per-class size).
+    let db = workload::university_db(5_000);
+    g.bench_function("deep_20k_person_hierarchy", |b| {
+        b.iter(|| {
+            db.transaction(|tx| tx.forall("person")?.count())
+                .unwrap()
+        })
+    });
+    g.bench_function("shallow_5k_person_only", |b| {
+        b.iter(|| {
+            db.transaction(|tx| tx.forall("person")?.shallow().count())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure F2 — selection: full scan vs. secondary index (§3.1's "query
+//! optimization" hook).
+//!
+//! `quantity` is uniform in `0..n`, so `quantity < k` has selectivity
+//! `k/n`. Expected shape: the index wins by orders of magnitude at low
+//! selectivity; the advantage shrinks as selectivity approaches 1, where
+//! both plans touch every object.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_selection");
+    let (scan_db, _) = workload::inventory_db(N, false);
+    let (ix_db, _) = workload::inventory_db(N, true);
+    for &permille in &[1usize, 10, 100, 500] {
+        let k = N * permille / 1000;
+        let pred = format!("quantity < {k}");
+        g.bench_with_input(
+            BenchmarkId::new("full_scan", permille),
+            &pred,
+            |b, pred| {
+                b.iter(|| {
+                    scan_db
+                        .transaction(|tx| tx.forall("stockitem")?.suchthat(pred)?.count())
+                        .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("index", permille), &pred, |b, pred| {
+            b.iter(|| {
+                ix_db
+                    .transaction(|tx| tx.forall("stockitem")?.suchthat(pred)?.count())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

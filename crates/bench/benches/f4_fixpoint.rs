@@ -1,0 +1,161 @@
+//! Figure F4 — fixpoint (recursive) query evaluation strategies (§3.2).
+//!
+//! Transitive closure of a bill-of-materials chain, four ways:
+//!
+//! * **ode_cluster_fixpoint** — the paper's facility: iterate a result
+//!   cluster that grows during iteration,
+//! * **ode_set_fixpoint** — §3.2 over a set-valued field,
+//! * **semi_naive** — classic delta-driven evaluation in plain Rust over
+//!   the same edges (each edge considered once per delta round),
+//! * **naive** — re-derive the full closure from scratch each round until
+//!   it stops growing (Aho–Ullman's least-fixpoint, evaluated naively).
+//!
+//! Expected shape: semi-naive < ode set fixpoint < ode cluster fixpoint ≪
+//! naive, with naive diverging as depth grows (it repeats all work each
+//! round).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+use ode_core::prelude::*;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+fn ode_cluster_fixpoint(db: &Database, root: &str) -> usize {
+    let mut count = 0usize;
+    let mut tx = db.begin();
+    tx.pnew("reached", &[("part", Value::from(root))]).unwrap();
+    tx.forall("reached")
+        .unwrap()
+        .fixpoint()
+        .run(|tx, row| {
+            count += 1;
+            let part = tx.get(row, "part")?.as_str()?.to_string();
+            let children = tx
+                .forall("usage")?
+                .suchthat(&format!("parent == \"{part}\""))?
+                .collect_values("child")?;
+            for child in children {
+                let c = child.as_str()?.to_string();
+                if tx
+                    .forall("reached")?
+                    .suchthat(&format!("part == \"{c}\""))?
+                    .count()?
+                    == 0
+                {
+                    tx.pnew("reached", &[("part", child)])?;
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    tx.abort(); // leave the database unchanged for the next iteration
+    count
+}
+
+fn ode_set_fixpoint(db: &Database, root: &str) -> usize {
+    let mut tx = db.begin();
+    let wl = tx.pnew("worklist", &[]).unwrap();
+    tx.set_insert(wl, "parts", root).unwrap();
+    let visited = tx
+        .iterate_set(wl, "parts", |tx, v| {
+            let part = v.as_str()?.to_string();
+            let children = tx
+                .forall("usage")?
+                .suchthat(&format!("parent == \"{part}\""))?
+                .collect_values("child")?;
+            for c in children {
+                tx.set_insert(wl, "parts", c)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    tx.abort();
+    visited
+}
+
+fn semi_naive(edges: &[(String, String)], root: &str) -> usize {
+    let mut closure: BTreeSet<&str> = BTreeSet::new();
+    let mut delta: BTreeSet<&str> = [root].into();
+    while !delta.is_empty() {
+        closure.extend(delta.iter().copied());
+        let mut next = BTreeSet::new();
+        for (p, c) in edges {
+            if delta.contains(p.as_str()) && !closure.contains(c.as_str()) {
+                next.insert(c.as_str());
+            }
+        }
+        delta = next;
+    }
+    closure.len()
+}
+
+fn naive(edges: &[(String, String)], root: &str) -> usize {
+    // Re-derive from scratch each round: closure' = {root} ∪ step(closure).
+    let mut closure: BTreeSet<&str> = [root].into();
+    loop {
+        let mut next: BTreeSet<&str> = [root].into();
+        for (p, c) in edges {
+            if closure.contains(p.as_str()) {
+                next.insert(c.as_str());
+            }
+        }
+        if next == closure {
+            return closure.len();
+        }
+        closure = next;
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_fixpoint");
+    for &(depth, fanout) in &[(8usize, 8usize), (32, 8), (64, 16)] {
+        let tag = format!("d{depth}_f{fanout}");
+        let (db, root, parts) = workload::bom_db(depth, fanout);
+        let edges = workload::bom_edges(&db);
+
+        g.bench_with_input(BenchmarkId::new("ode_cluster_fixpoint", &tag), &(), |b, _| {
+            b.iter(|| {
+                let n = ode_cluster_fixpoint(&db, &root);
+                assert_eq!(n, parts);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ode_set_fixpoint", &tag), &(), |b, _| {
+            b.iter(|| {
+                let n = ode_set_fixpoint(&db, &root);
+                assert_eq!(n, parts);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", &tag), &(), |b, _| {
+            b.iter(|| {
+                let n = semi_naive(&edges, &root);
+                assert_eq!(n, parts);
+                n
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", &tag), &(), |b, _| {
+            b.iter(|| {
+                let n = naive(&edges, &root);
+                assert_eq!(n, parts);
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

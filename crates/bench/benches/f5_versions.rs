@@ -1,0 +1,64 @@
+//! Figure F5 — version operations vs. chain depth (§4).
+//!
+//! * **generic_deref** — dereference an [`Oid`]: anchor → current version
+//!   record. Expected O(1) in chain depth (the design motivation for the
+//!   anchor's version table).
+//! * **specific_deref** — dereference a pinned [`VersionRef`]: anchor
+//!   table lookup + one record read. Expected ~O(1) (linear table scan of
+//!   a small in-anchor table).
+//! * **newversion** — cost of creating one more version at depth d (the
+//!   anchor grows with d, so a mild linear component is expected).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+use ode_core::prelude::*;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f5_versions");
+    for &chain in &[1usize, 16, 128, 512] {
+        let (db, oid) = workload::versioned_db(chain);
+        g.bench_with_input(BenchmarkId::new("generic_deref", chain), &(), |b, _| {
+            b.iter(|| {
+                db.transaction(|tx| Ok(tx.read(oid)?.fields[1].clone()))
+                    .unwrap()
+            })
+        });
+        let mid = VersionRef {
+            oid,
+            version: (chain / 2) as u32,
+        };
+        g.bench_with_input(BenchmarkId::new("specific_deref", chain), &(), |b, _| {
+            b.iter(|| {
+                db.transaction(|tx| Ok(tx.read_version(mid)?.fields[1].clone()))
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("newversion", chain), &(), |b, _| {
+            b.iter(|| {
+                // Create-and-abort keeps the chain at its sweep depth.
+                let mut tx = db.begin();
+                tx.newversion(oid).unwrap();
+                tx.abort();
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("version_list", chain), &(), |b, _| {
+            b.iter(|| db.transaction(|tx| tx.versions(oid)).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

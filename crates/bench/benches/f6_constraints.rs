@@ -1,0 +1,40 @@
+//! Figure F6 — constraint-checking overhead (§5).
+//!
+//! One field update committed, with 0/1/2/4/8 constraints declared on the
+//! class (each a two-comparison conjunction). Constraints are checked
+//! eagerly after the update *and* at commit, so expected shape: cost
+//! linear in the number of constraints, with a measurable per-constraint
+//! expression-evaluation cost on top of the constant transaction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_constraints");
+    for &n in &[0usize, 1, 2, 4, 8] {
+        let (db, oid) = workload::constrained_db(n);
+        let mut next = 1i64;
+        g.bench_with_input(BenchmarkId::new("update_commit", n), &(), |b, _| {
+            b.iter(|| {
+                next += 1;
+                db.transaction(|tx| tx.set(oid, "quantity", next % 1000)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

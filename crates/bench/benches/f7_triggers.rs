@@ -1,0 +1,58 @@
+//! Figure F7 — trigger-condition evaluation scaling (§6).
+//!
+//! §6 says conditions are "conceptually evaluated at the end of each
+//! transaction". A naive implementation pays for *every* activation in the
+//! database on every commit; this engine only evaluates activations whose
+//! subject was written. Two sweeps demonstrate it:
+//!
+//! * **hot sweep** — K activations on the written object (cost must grow
+//!   with K: those conditions genuinely need evaluation),
+//! * **cold sweep** — K activations on *other* objects (cost must stay
+//!   flat: the paper's semantics without the naive price).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f7_triggers");
+    // Hot: activations on the object we write.
+    for &hot in &[0usize, 10, 100, 1_000] {
+        let (db, oid) = workload::triggered_db(hot, 0);
+        let mut v = 0i64;
+        g.bench_with_input(BenchmarkId::new("hot_activations", hot), &(), |b, _| {
+            b.iter(|| {
+                v += 1;
+                db.transaction(|tx| tx.set(oid, "quantity", 1_000 + v % 100))
+                    .unwrap()
+            })
+        });
+    }
+    // Cold: activations elsewhere in the database.
+    for &cold in &[0usize, 1_000, 10_000] {
+        let (db, oid) = workload::triggered_db(1, cold);
+        let mut v = 0i64;
+        g.bench_with_input(BenchmarkId::new("cold_activations", cold), &(), |b, _| {
+            b.iter(|| {
+                v += 1;
+                db.transaction(|tx| tx.set(oid, "quantity", 1_000 + v % 100))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

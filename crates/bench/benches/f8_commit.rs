@@ -1,0 +1,76 @@
+//! Figure F8 — commit / WAL throughput on the durable store (substrate).
+//!
+//! Sweeps objects-per-transaction on a file-backed database, with fsync on
+//! and off. Expected shape: per-object cost falls sharply as the batch
+//! grows (the WAL fsync amortizes); with fsync off the curve flattens at
+//! the pure CPU/copy cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ode_bench::workload;
+use ode_core::prelude::*;
+use ode_storage::filestore::FileStoreOptions;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1500))
+}
+
+fn file_db(tag: &str, sync: bool) -> Database {
+    let dir = workload::temp_dir(tag);
+    let db = Database::open_with(
+        &dir,
+        FileStoreOptions {
+            sync_commits: sync,
+            ..FileStoreOptions::default()
+        },
+        DbConfig::default(),
+    )
+    .unwrap();
+    workload::define_inventory(&db);
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f8_commit");
+    for &sync in &[true, false] {
+        let mode = if sync { "fsync" } else { "nosync" };
+        for &batch in &[1usize, 10, 100, 1000] {
+            let db = file_db(&format!("f8-{mode}-{batch}"), sync);
+            let mut serial = 0usize;
+            g.throughput(Throughput::Elements(batch as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("commit_{mode}"), batch),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        db.transaction(|tx| {
+                            for _ in 0..batch {
+                                serial += 1;
+                                tx.pnew(
+                                    "stockitem",
+                                    &[
+                                        ("name", Value::from(format!("i{serial}"))),
+                                        ("quantity", Value::Int(serial as i64)),
+                                    ],
+                                )?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

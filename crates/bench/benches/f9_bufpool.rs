@@ -1,0 +1,75 @@
+//! Figure F9 — buffer-pool behaviour on the durable store (substrate).
+//!
+//! One dataset (~20k objects, a few hundred pages), scanned with a pool
+//! larger than the data (everything stays hot after the first pass) and
+//! with a pool far smaller than the data (every scan evicts and re-reads —
+//! the classic sequential-flooding worst case for LRU). Hit/miss counters
+//! from the pager accompany the wall-clock shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_bench::workload;
+use ode_core::prelude::*;
+use ode_storage::filestore::FileStoreOptions;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+const N: usize = 20_000;
+
+fn file_db(tag: &str, pool_pages: usize) -> Database {
+    let dir = workload::temp_dir(tag);
+    let db = Database::open_with(
+        &dir,
+        FileStoreOptions {
+            pool_pages,
+            sync_commits: false,
+            ..FileStoreOptions::default()
+        },
+        DbConfig::default(),
+    )
+    .unwrap();
+    workload::define_inventory(&db);
+    workload::fill_inventory(&db, N);
+    db.checkpoint().unwrap();
+    db
+}
+
+fn scan(db: &Database) -> usize {
+    db.transaction(|tx| tx.forall("stockitem")?.count()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f9_bufpool");
+    for &(tag, pool) in &[("hot_large_pool", 4096usize), ("thrash_small_pool", 16)] {
+        let db = file_db(tag, pool);
+        scan(&db); // warm what can be warmed
+        db.reset_store_stats();
+        g.bench_with_input(BenchmarkId::new(tag, pool), &(), |b, _| {
+            b.iter(|| scan(&db))
+        });
+        let stats = db.store_stats();
+        let total = stats.pager.hits + stats.pager.misses;
+        if total > 0 {
+            eprintln!(
+                "f9 {tag}: pool={pool} pages, hit-rate {:.1}% ({} hits / {} misses, {} evictions)",
+                100.0 * stats.pager.hits as f64 / total as f64,
+                stats.pager.hits,
+                stats.pager.misses,
+                stats.pager.evictions,
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Workload generators and helpers shared by the Criterion benches.
+//!
+//! The SIGMOD 1989 Ode paper has no quantitative evaluation section; the
+//! benches in this crate are the characterization suite DESIGN.md defines
+//! in its place (figures F1–F10), and this library holds the deterministic
+//! workload builders they share.
+
+pub mod workload;

@@ -1,0 +1,403 @@
+//! Deterministic workload builders shared by the benches and the
+//! experiment report binary.
+//!
+//! All generators take explicit sizes and use a seeded RNG so every run
+//! measures the same data. In-memory stores are used unless a bench
+//! explicitly targets durability (F8) or the buffer pool (F9).
+
+use std::path::PathBuf;
+
+use ode_core::prelude::*;
+use ode_model::SetValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed RNG seed: benches must measure identical data every run.
+pub const SEED: u64 = 0x0DE_5EED;
+
+/// Suppliers used by the inventory workload (selectivity knobs).
+pub const SUPPLIERS: &[&str] = &["at&t", "western", "ibm", "dec", "xerox"];
+
+/// Build the stockitem schema on a database.
+pub fn define_inventory(db: &Database) {
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0)
+            .field_default("price", Type::Float, 1.0)
+            .field("supplier", Type::Str),
+    )
+    .expect("schema");
+    db.create_cluster("stockitem").expect("cluster");
+}
+
+/// Populate `n` stock items. `quantity` is uniform in `0..n` and
+/// `supplier` cycles through [`SUPPLIERS`], so predicates with known
+/// selectivity are easy to write.
+pub fn fill_inventory(db: &Database, n: usize) -> Vec<Oid> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut oids = Vec::with_capacity(n);
+    let chunk = 4096;
+    let mut i = 0usize;
+    while i < n {
+        let hi = (i + chunk).min(n);
+        db.transaction(|tx| {
+            for j in i..hi {
+                let oid = tx.pnew(
+                    "stockitem",
+                    &[
+                        ("name", Value::from(format!("part-{j:07}"))),
+                        ("quantity", Value::Int(rng.gen_range(0..n as i64))),
+                        ("price", Value::Float(rng.gen_range(0.5..50.0))),
+                        ("supplier", Value::from(SUPPLIERS[j % SUPPLIERS.len()])),
+                    ],
+                )?;
+                oids.push(oid);
+            }
+            Ok(())
+        })
+        .expect("fill");
+        i = hi;
+    }
+    oids
+}
+
+/// In-memory inventory of `n` items, optionally indexed on `quantity`.
+pub fn inventory_db(n: usize, index_quantity: bool) -> (Database, Vec<Oid>) {
+    let db = Database::in_memory();
+    define_inventory(&db);
+    let oids = fill_inventory(&db, n);
+    if index_quantity {
+        db.create_index("stockitem", "quantity").expect("index");
+    }
+    (db, oids)
+}
+
+/// The university hierarchy (person/student/faculty/TA) with `per_class`
+/// objects in each cluster.
+pub fn university_db(per_class: usize) -> Database {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("person")
+            .field("name", Type::Str)
+            .field_default("income", Type::Int, 0),
+    )
+    .unwrap();
+    db.define_class(ClassBuilder::new("student").base("person").field_default(
+        "stipend",
+        Type::Int,
+        0,
+    ))
+    .unwrap();
+    db.define_class(ClassBuilder::new("faculty").base("person").field_default(
+        "salary",
+        Type::Int,
+        0,
+    ))
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("teaching_assistant")
+            .base("student")
+            .base("faculty"),
+    )
+    .unwrap();
+    for c in ["person", "student", "faculty", "teaching_assistant"] {
+        db.create_cluster(c).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(SEED);
+    db.transaction(|tx| {
+        for i in 0..per_class {
+            let income = Value::Int(rng.gen_range(10_000..100_000));
+            tx.pnew(
+                "person",
+                &[("name", Value::from(format!("p{i}"))), ("income", income.clone())],
+            )?;
+            tx.pnew(
+                "student",
+                &[("name", Value::from(format!("s{i}"))), ("income", income.clone())],
+            )?;
+            tx.pnew(
+                "faculty",
+                &[("name", Value::from(format!("f{i}"))), ("income", income.clone())],
+            )?;
+            tx.pnew(
+                "teaching_assistant",
+                &[("name", Value::from(format!("t{i}"))), ("income", income)],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+/// employee ⋈ department workload: `n_emp` employees spread over `n_dept`
+/// departments; employees carry both a foreign-key `deptno` (for value
+/// joins) and a direct `dept` reference (for pointer navigation).
+pub fn company_db(n_emp: usize, n_dept: usize, index_dno: bool) -> Database {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("department")
+            .field("dname", Type::Str)
+            .field("dno", Type::Int),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("employee")
+            .field("ename", Type::Str)
+            .field("deptno", Type::Int)
+            .field("dept", Type::Ref("department".into())),
+    )
+    .unwrap();
+    db.create_cluster("department").unwrap();
+    db.create_cluster("employee").unwrap();
+    let dept_oids: Vec<Oid> = db
+        .transaction(|tx| {
+            let mut v = Vec::new();
+            for d in 0..n_dept {
+                v.push(tx.pnew(
+                    "department",
+                    &[
+                        ("dname", Value::from(format!("dept-{d}"))),
+                        ("dno", Value::Int(d as i64)),
+                    ],
+                )?);
+            }
+            Ok(v)
+        })
+        .unwrap();
+    let chunk = 4096;
+    let mut i = 0;
+    while i < n_emp {
+        let hi = (i + chunk).min(n_emp);
+        db.transaction(|tx| {
+            for e in i..hi {
+                let d = e % n_dept;
+                tx.pnew(
+                    "employee",
+                    &[
+                        ("ename", Value::from(format!("emp-{e}"))),
+                        ("deptno", Value::Int(d as i64)),
+                        ("dept", Value::Ref(dept_oids[d])),
+                    ],
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        i = hi;
+    }
+    if index_dno {
+        db.create_index("department", "dno").unwrap();
+    }
+    db
+}
+
+/// A bill-of-materials chain: a root part with `depth` levels, `fanout`
+/// children per part (children are shared across levels to keep the part
+/// count linear). Returns (db, root name, number of distinct parts).
+pub fn bom_db(depth: usize, fanout: usize) -> (Database, String, usize) {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("usage")
+            .field("parent", Type::Str)
+            .field("child", Type::Str),
+    )
+    .unwrap();
+    db.define_class(ClassBuilder::new("reached").field("part", Type::Str))
+        .unwrap();
+    db.define_class(ClassBuilder::new("worklist").field_default(
+        "parts",
+        Type::Set(Box::new(Type::Str)),
+        Value::Set(SetValue::new()),
+    ))
+    .unwrap();
+    for c in ["usage", "reached", "worklist"] {
+        db.create_cluster(c).unwrap();
+    }
+    db.create_index("usage", "parent").unwrap();
+    let mut parts = 1usize;
+    db.transaction(|tx| {
+        for level in 0..depth {
+            for f in 0..fanout {
+                let parent = if level == 0 {
+                    "root".to_string()
+                } else {
+                    format!("part-{}-{}", level - 1, f)
+                };
+                let child = format!("part-{level}-{f}");
+                tx.pnew(
+                    "usage",
+                    &[("parent", Value::from(parent.as_str())), ("child", Value::from(child.as_str()))],
+                )?;
+            }
+            parts += fanout;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (db, "root".to_string(), parts)
+}
+
+/// Edge list of a BOM as plain Rust data (for baseline evaluations).
+pub fn bom_edges(db: &Database) -> Vec<(String, String)> {
+    let mut edges = Vec::new();
+    db.transaction(|tx| {
+        tx.forall("usage")?.run(|tx, u| {
+            edges.push((
+                tx.get(u, "parent")?.as_str()?.to_string(),
+                tx.get(u, "child")?.as_str()?.to_string(),
+            ));
+            Ok(())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    edges
+}
+
+/// A document with a version chain of the given depth.
+pub fn versioned_db(chain: usize) -> (Database, Oid) {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("document")
+            .field("title", Type::Str)
+            .field_default("revision", Type::Int, 0),
+    )
+    .unwrap();
+    db.create_cluster("document").unwrap();
+    let oid = db
+        .transaction(|tx| tx.pnew("document", &[("title", Value::from("spec"))]))
+        .unwrap();
+    db.transaction(|tx| {
+        for i in 1..=chain {
+            tx.newversion(oid)?;
+            tx.set(oid, "revision", i as i64)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (db, oid)
+}
+
+/// Inventory whose class carries `n_constraints` always-true constraints.
+pub fn constrained_db(n_constraints: usize) -> (Database, Oid) {
+    let db = Database::in_memory();
+    let mut b = ClassBuilder::new("stockitem")
+        .field("name", Type::Str)
+        .field_default("quantity", Type::Int, 100);
+    for i in 0..n_constraints {
+        b = b.constraint_named(format!("c{i}"), "quantity >= 0 && quantity <= 1000000");
+    }
+    db.define_class(b).unwrap();
+    db.create_cluster("stockitem").unwrap();
+    let oid = db
+        .transaction(|tx| tx.pnew("stockitem", &[("name", Value::from("x"))]))
+        .unwrap();
+    (db, oid)
+}
+
+/// Inventory with one hot item carrying `hot` activations (with false
+/// conditions) plus `cold` items with one activation each — scaling of
+/// end-of-transaction trigger evaluation.
+pub fn triggered_db(hot: usize, cold: usize) -> (Database, Oid) {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 1_000)
+            .trigger("never", &["floor"], true, "quantity < $floor")
+            .action_assign("quantity", "quantity + 0"),
+    )
+    .unwrap();
+    db.create_cluster("stockitem").unwrap();
+    let hot_oid = db
+        .transaction(|tx| {
+            let hot_oid = tx.pnew("stockitem", &[("name", Value::from("hot"))])?;
+            for _ in 0..hot {
+                // floor 0: condition never true.
+                tx.activate_trigger(hot_oid, "never", vec![Value::Int(0)])?;
+            }
+            Ok(hot_oid)
+        })
+        .unwrap();
+    let chunk = 2048;
+    let mut i = 0;
+    while i < cold {
+        let hi = (i + chunk).min(cold);
+        db.transaction(|tx| {
+            for c in i..hi {
+                let oid = tx.pnew("stockitem", &[("name", Value::from(format!("cold-{c}")))])?;
+                tx.activate_trigger(oid, "never", vec![Value::Int(0)])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        i = hi;
+    }
+    (db, hot_oid)
+}
+
+/// A fresh temp directory for file-backed benches.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ode-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_is_deterministic() {
+        let (db1, _) = inventory_db(100, false);
+        let (db2, _) = inventory_db(100, false);
+        let q1 = db1
+            .transaction(|tx| tx.forall("stockitem")?.by("name")?.collect_values("quantity"))
+            .unwrap();
+        let q2 = db2
+            .transaction(|tx| tx.forall("stockitem")?.by("name")?.collect_values("quantity"))
+            .unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn company_pointer_and_value_joins_agree() {
+        let db = company_db(60, 6, false);
+        let via_value = db
+            .transaction(|tx| {
+                Ok(tx
+                    .forall_join(&[("e", "employee"), ("d", "department")])?
+                    .suchthat("e.deptno == d.dno")?
+                    .collect()?
+                    .len())
+            })
+            .unwrap();
+        assert_eq!(via_value, 60);
+    }
+
+    #[test]
+    fn bom_shape() {
+        let (db, _, parts) = bom_db(4, 3);
+        assert_eq!(parts, 13);
+        assert_eq!(bom_edges(&db).len(), 12);
+    }
+
+    #[test]
+    fn versioned_chain_depth() {
+        let (db, oid) = versioned_db(8);
+        db.transaction(|tx| {
+            assert_eq!(tx.versions(oid)?.len(), 9);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn triggered_db_counts() {
+        let (db, hot) = triggered_db(5, 10);
+        let tx = db.begin();
+        assert_eq!(tx.active_triggers(hot).len(), 5);
+    }
+}

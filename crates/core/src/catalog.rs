@@ -1,0 +1,202 @@
+//! The persistent catalog.
+//!
+//! Heap 1 of the store holds the database's self-description: class
+//! declarations, cluster registrations, index declarations, and trigger
+//! activations. Each catalog entry is one record; [`crate::Database`]
+//! replays the catalog heap in record-id order at open time (classes must
+//! be re-defined in their original order for base resolution to succeed —
+//! record-id order gives exactly that).
+
+use ode_model::encode::{read_value, write_value, Reader, Writer};
+use ode_model::{ModelError, Oid, Value};
+use ode_storage::RecordId;
+use std::collections::HashMap;
+
+use crate::error::Result;
+
+/// Heap id of the catalog: the first heap a fresh store creates.
+pub const CATALOG_HEAP: u32 = 1;
+
+const K_CLASS: u8 = 1;
+const K_CLUSTER: u8 = 2;
+const K_INDEX: u8 = 3;
+const K_ACTIVATION: u8 = 4;
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogRecord {
+    /// A class declaration (payload: `ode_model::encode::encode_class`).
+    Class(Vec<u8>),
+    /// A cluster (type extent): class name → heap id.
+    Cluster {
+        /// Class whose extent this cluster is.
+        class_name: String,
+        /// The heap holding the extent.
+        heap: u32,
+    },
+    /// A secondary index declaration.
+    Index {
+        /// Indexed class (covers its deep extent).
+        class_name: String,
+        /// Indexed field.
+        field: String,
+    },
+    /// A live trigger activation (§6): `object->T(args)`.
+    Activation {
+        /// Activation (trigger) id, unique database-wide.
+        id: u64,
+        /// Subject object.
+        oid: Oid,
+        /// Trigger name (resolved on the subject's class).
+        trigger: String,
+        /// Activation arguments, bound to the declaration's parameters.
+        args: Vec<Value>,
+    },
+}
+
+impl CatalogRecord {
+    /// Serialize for the catalog heap.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            CatalogRecord::Class(bytes) => {
+                let mut out = vec![K_CLASS];
+                out.extend_from_slice(bytes);
+                out
+            }
+            CatalogRecord::Cluster { class_name, heap } => {
+                let mut out = vec![K_CLUSTER];
+                write_value(&mut w, &Value::Str(class_name.clone()));
+                write_value(&mut w, &Value::Int(*heap as i64));
+                out.extend_from_slice(&w.finish());
+                out
+            }
+            CatalogRecord::Index { class_name, field } => {
+                let mut out = vec![K_INDEX];
+                write_value(&mut w, &Value::Str(class_name.clone()));
+                write_value(&mut w, &Value::Str(field.clone()));
+                out.extend_from_slice(&w.finish());
+                out
+            }
+            CatalogRecord::Activation {
+                id,
+                oid,
+                trigger,
+                args,
+            } => {
+                let mut out = vec![K_ACTIVATION];
+                write_value(&mut w, &Value::Int(*id as i64));
+                write_value(&mut w, &Value::Ref(*oid));
+                write_value(&mut w, &Value::Str(trigger.clone()));
+                write_value(&mut w, &Value::Array(args.clone()));
+                out.extend_from_slice(&w.finish());
+                out
+            }
+        }
+    }
+
+    /// Deserialize from the catalog heap.
+    pub fn decode(bytes: &[u8]) -> Result<CatalogRecord> {
+        let Some((&kind, rest)) = bytes.split_first() else {
+            return Err(ModelError::Decode("empty catalog record".into()).into());
+        };
+        let mut r = Reader::new(rest);
+        let rec = match kind {
+            K_CLASS => CatalogRecord::Class(rest.to_vec()),
+            K_CLUSTER => {
+                let name = read_value(&mut r)?;
+                let heap = read_value(&mut r)?;
+                CatalogRecord::Cluster {
+                    class_name: name.as_str()?.to_string(),
+                    heap: heap.as_int()? as u32,
+                }
+            }
+            K_INDEX => {
+                let name = read_value(&mut r)?;
+                let field = read_value(&mut r)?;
+                CatalogRecord::Index {
+                    class_name: name.as_str()?.to_string(),
+                    field: field.as_str()?.to_string(),
+                }
+            }
+            K_ACTIVATION => {
+                let id = read_value(&mut r)?.as_int()? as u64;
+                let oid = read_value(&mut r)?.as_ref_oid()?;
+                let trigger = read_value(&mut r)?.as_str()?.to_string();
+                let args = match read_value(&mut r)? {
+                    Value::Array(a) => a,
+                    _ => return Err(ModelError::Decode("activation args not array".into()).into()),
+                };
+                CatalogRecord::Activation {
+                    id,
+                    oid,
+                    trigger,
+                    args,
+                }
+            }
+            other => {
+                return Err(ModelError::Decode(format!("unknown catalog kind {other}")).into())
+            }
+        };
+        Ok(rec)
+    }
+}
+
+/// In-memory map from catalog entries to their record ids, so entries can
+/// be updated/deleted later.
+#[derive(Debug, Default)]
+pub struct CatalogState {
+    /// class name → rid of its class record.
+    pub class_rids: HashMap<String, RecordId>,
+    /// class name → rid of its cluster record.
+    pub cluster_rids: HashMap<String, RecordId>,
+    /// (class name, field) → rid of the index record.
+    pub index_rids: HashMap<(String, String), RecordId>,
+    /// activation id → rid of the activation record.
+    pub activation_rids: HashMap<u64, RecordId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::RecordId;
+
+    fn oid() -> Oid {
+        Oid {
+            cluster: 2,
+            rid: RecordId { page: 3, slot: 4 },
+        }
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        let records = vec![
+            CatalogRecord::Class(vec![1, 2, 3, 4]),
+            CatalogRecord::Cluster {
+                class_name: "person".into(),
+                heap: 7,
+            },
+            CatalogRecord::Index {
+                class_name: "stockitem".into(),
+                field: "supplier".into(),
+            },
+            CatalogRecord::Activation {
+                id: 99,
+                oid: oid(),
+                trigger: "reorder".into(),
+                args: vec![Value::Int(10), Value::Str("rush".into())],
+            },
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            assert_eq!(CatalogRecord::decode(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(CatalogRecord::decode(&[]).is_err());
+        assert!(CatalogRecord::decode(&[77]).is_err());
+        assert!(CatalogRecord::decode(&[K_CLUSTER, 0xFF]).is_err());
+    }
+}

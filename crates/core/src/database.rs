@@ -1,0 +1,549 @@
+//! The [`Database`]: schema DDL, clusters, indexes, and open/recover.
+//!
+//! A database ties a [`Store`] (durable or in-memory) to the O++ data
+//! model. Its catalog (heap 1) holds class declarations, cluster
+//! registrations, index declarations, and trigger activations; opening an
+//! existing store replays that catalog, then rebuilds the in-memory
+//! indexes by scanning.
+//!
+//! Concurrency model: the paper explicitly leaves concurrency out of scope
+//! (§1), so the engine serializes transactions behind a single gate. DDL
+//! operations auto-commit individually and also take the gate.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use ode_model::encode::{decode_class, encode_class};
+use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
+use ode_storage::{FileStore, MemStore, Store, StoreOp, StoreStats};
+
+use crate::catalog::{CatalogRecord, CatalogState, CATALOG_HEAP};
+use crate::error::{OdeError, Result};
+use crate::index::BTreeIndex;
+use crate::object::{decode_record, is_anchor, ObjRecord};
+use crate::trigger::Activation;
+use crate::txn::Transaction;
+
+/// Signature of a host callback invocable from trigger actions.
+pub type CallbackFn =
+    Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Maximum trigger cascade depth before the engine gives up.
+    pub trigger_cascade_limit: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            trigger_cascade_limit: 64,
+        }
+    }
+}
+
+pub(crate) struct DbInner {
+    pub schema: Schema,
+    /// class → cluster heap (a cluster is a type extent, §2.5).
+    pub clusters: HashMap<ClassId, u32>,
+    /// cluster heap → class.
+    pub class_of_cluster: HashMap<u32, ClassId>,
+    pub catalog: CatalogState,
+    /// (class, field) → index (covers the class's deep extent).
+    pub indexes: HashMap<(ClassId, String), BTreeIndex>,
+    /// Live trigger activations.
+    pub activations: HashMap<u64, Activation>,
+    /// Subject → activation ids.
+    pub activations_by_oid: HashMap<Oid, Vec<u64>>,
+}
+
+impl DbInner {
+    /// Heaps making up the (deep or shallow) extent of `class`.
+    pub fn extent_heaps(&self, class: ClassId, deep: bool) -> Vec<(ClassId, u32)> {
+        let classes = if deep {
+            self.schema.descendants(class)
+        } else {
+            vec![class]
+        };
+        classes
+            .into_iter()
+            .filter_map(|c| self.clusters.get(&c).map(|&h| (c, h)))
+            .collect()
+    }
+}
+
+/// An Ode database: "a collection of persistent objects" (§2) plus the
+/// schema, clusters, indexes, and active triggers that govern them.
+pub struct Database {
+    pub(crate) store: Arc<dyn Store>,
+    pub(crate) inner: RwLock<DbInner>,
+    pub(crate) txn_gate: Mutex<()>,
+    pub(crate) callbacks: RwLock<HashMap<String, CallbackFn>>,
+    pub(crate) next_activation_id: AtomicU64,
+    pub(crate) config: DbConfig,
+}
+
+impl Database {
+    /// Open (creating if absent) a durable database in `dir`.
+    pub fn open(dir: &Path) -> Result<Database> {
+        let store = FileStore::open(dir)?;
+        Self::from_store(Arc::new(store), DbConfig::default())
+    }
+
+    /// Open a durable database with custom configuration.
+    pub fn open_with(
+        dir: &Path,
+        store_opts: ode_storage::filestore::FileStoreOptions,
+        config: DbConfig,
+    ) -> Result<Database> {
+        let store = FileStore::open_with(dir, store_opts)?;
+        Self::from_store(Arc::new(store), config)
+    }
+
+    /// A volatile in-memory database (tests, benchmarks, scratch work).
+    pub fn in_memory() -> Database {
+        Self::from_store(Arc::new(MemStore::new()), DbConfig::default())
+            .expect("in-memory open cannot fail")
+    }
+
+    /// Build a database over any store implementation.
+    pub fn from_store(store: Arc<dyn Store>, config: DbConfig) -> Result<Database> {
+        if !store.has_heap(CATALOG_HEAP) {
+            let id = store.create_heap()?;
+            if id != CATALOG_HEAP {
+                return Err(OdeError::Usage(format!(
+                    "store is not fresh: first heap id {id} != {CATALOG_HEAP}"
+                )));
+            }
+        }
+        let mut inner = DbInner {
+            schema: Schema::new(),
+            clusters: HashMap::new(),
+            class_of_cluster: HashMap::new(),
+            catalog: CatalogState::default(),
+            indexes: HashMap::new(),
+            activations: HashMap::new(),
+            activations_by_oid: HashMap::new(),
+        };
+
+        // Replay the catalog in record-id order: classes are re-defined in
+        // their original definition order, so base resolution always works.
+        let mut records = Vec::new();
+        store.scan(CATALOG_HEAP, &mut |rid, bytes| {
+            records.push((rid, bytes.to_vec()));
+            Ok(true)
+        })?;
+        let mut max_activation = 0u64;
+        let mut index_decls = Vec::new();
+        for (rid, bytes) in records {
+            match CatalogRecord::decode(&bytes)? {
+                CatalogRecord::Class(class_bytes) => {
+                    let builder = decode_class(&class_bytes)?;
+                    let name = builder_name(&builder);
+                    inner.schema.define(builder)?;
+                    inner.catalog.class_rids.insert(name, rid);
+                }
+                CatalogRecord::Cluster { class_name, heap } => {
+                    let class = inner.schema.id_of(&class_name)?;
+                    inner.clusters.insert(class, heap);
+                    inner.class_of_cluster.insert(heap, class);
+                    inner.catalog.cluster_rids.insert(class_name, rid);
+                }
+                CatalogRecord::Index { class_name, field } => {
+                    let class = inner.schema.id_of(&class_name)?;
+                    index_decls.push((class, field.clone()));
+                    inner
+                        .catalog
+                        .index_rids
+                        .insert((class_name, field), rid);
+                }
+                CatalogRecord::Activation {
+                    id,
+                    oid,
+                    trigger,
+                    args,
+                } => {
+                    max_activation = max_activation.max(id);
+                    inner.activations.insert(
+                        id,
+                        Activation {
+                            id,
+                            oid,
+                            trigger,
+                            args,
+                        },
+                    );
+                    inner.activations_by_oid.entry(oid).or_default().push(id);
+                    inner.catalog.activation_rids.insert(id, rid);
+                }
+            }
+        }
+
+        // Rebuild indexes by scanning extents.
+        for (class, field) in index_decls {
+            let ix = build_index(store.as_ref(), &inner, class, &field)?;
+            inner.indexes.insert((class, field), ix);
+        }
+
+        Ok(Database {
+            store,
+            inner: RwLock::new(inner),
+            txn_gate: Mutex::new(()),
+            callbacks: RwLock::new(HashMap::new()),
+            next_activation_id: AtomicU64::new(max_activation + 1),
+            config,
+        })
+    }
+
+    // ------------------------------------------------------------- DDL
+
+    /// Define classes from O++-flavoured declaration source (see
+    /// [`ode_model::ddl`]), in order. Returns the new class ids.
+    ///
+    /// ```text
+    /// db.define_from_source(r#"
+    ///     class person { string name; int income = 0; }
+    ///     class student : public person { int stipend = 0; }
+    /// "#)?;
+    /// ```
+    pub fn define_from_source(&self, src: &str) -> Result<Vec<ClassId>> {
+        let builders = ode_model::parse_classes(src)?;
+        let mut ids = Vec::with_capacity(builders.len());
+        for b in builders {
+            ids.push(self.define_class(b)?);
+        }
+        Ok(ids)
+    }
+
+    /// Define a class (auto-commits its catalog record).
+    pub fn define_class(&self, builder: ClassBuilder) -> Result<ClassId> {
+        let _gate = self.txn_gate.lock();
+        let mut inner = self.inner.write();
+        let name = builder_name(&builder);
+        let id = inner.schema.define(builder)?;
+        let def = inner.schema.class(id)?;
+        let bytes = encode_class(&inner.schema, def)?;
+        let rec = CatalogRecord::Class(bytes).encode();
+        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+        self.store.commit(vec![StoreOp::Put {
+            heap: CATALOG_HEAP,
+            rid,
+            data: rec,
+        }])?;
+        inner.catalog.class_rids.insert(name, rid);
+        Ok(id)
+    }
+
+    /// Create the cluster (type extent) for `class_name` — the paper's
+    /// `create` macro (§2.5). Idempotent: re-creating returns the existing
+    /// cluster.
+    pub fn create_cluster(&self, class_name: &str) -> Result<u32> {
+        let _gate = self.txn_gate.lock();
+        let mut inner = self.inner.write();
+        let class = inner.schema.id_of(class_name)?;
+        if let Some(&heap) = inner.clusters.get(&class) {
+            return Ok(heap);
+        }
+        let heap = self.store.create_heap()?;
+        let rec = CatalogRecord::Cluster {
+            class_name: class_name.to_string(),
+            heap,
+        }
+        .encode();
+        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+        self.store.commit(vec![StoreOp::Put {
+            heap: CATALOG_HEAP,
+            rid,
+            data: rec,
+        }])?;
+        inner.clusters.insert(class, heap);
+        inner.class_of_cluster.insert(heap, class);
+        inner
+            .catalog
+            .cluster_rids
+            .insert(class_name.to_string(), rid);
+        Ok(heap)
+    }
+
+    /// Does `class_name` have a cluster?
+    pub fn has_cluster(&self, class_name: &str) -> bool {
+        let inner = self.inner.read();
+        inner
+            .schema
+            .id_of(class_name)
+            .map(|c| inner.clusters.contains_key(&c))
+            .unwrap_or(false)
+    }
+
+    /// Destroy a cluster and every object in it. Activations on its objects
+    /// are dropped. Objects elsewhere holding references to these objects
+    /// are left with dangling refs (dereferencing reports "no such
+    /// object"), exactly like `pdelete` of an individual object.
+    pub fn destroy_cluster(&self, class_name: &str) -> Result<()> {
+        let _gate = self.txn_gate.lock();
+        let mut inner = self.inner.write();
+        let class = inner.schema.id_of(class_name)?;
+        let Some(&heap) = inner.clusters.get(&class) else {
+            return Err(OdeError::NoSuchCluster(class_name.to_string()));
+        };
+        // Catalog updates: drop the cluster record and activation records
+        // of subjects in this cluster.
+        let mut ops = Vec::new();
+        if let Some(rid) = inner.catalog.cluster_rids.remove(class_name) {
+            ops.push(StoreOp::Delete {
+                heap: CATALOG_HEAP,
+                rid,
+            });
+        }
+        let dead: Vec<u64> = inner
+            .activations
+            .values()
+            .filter(|a| a.oid.cluster == heap)
+            .map(|a| a.id)
+            .collect();
+        for id in &dead {
+            if let Some(rid) = inner.catalog.activation_rids.remove(id) {
+                ops.push(StoreOp::Delete {
+                    heap: CATALOG_HEAP,
+                    rid,
+                });
+            }
+        }
+        self.store.commit(ops)?;
+        self.store.drop_heap(heap)?;
+        for id in dead {
+            if let Some(a) = inner.activations.remove(&id) {
+                if let Some(v) = inner.activations_by_oid.get_mut(&a.oid) {
+                    v.retain(|&x| x != id);
+                }
+            }
+        }
+        inner.clusters.remove(&class);
+        inner.class_of_cluster.remove(&heap);
+        // Rebuild any index whose deep extent included this cluster.
+        let rebuild: Vec<(ClassId, String)> = inner
+            .indexes
+            .keys()
+            .filter(|(c, _)| inner.schema.is_subclass(class, *c))
+            .cloned()
+            .collect();
+        for key in rebuild {
+            let ix = build_index(self.store.as_ref(), &inner, key.0, &key.1)?;
+            inner.indexes.insert(key, ix);
+        }
+        Ok(())
+    }
+
+    /// Declare (and build) a secondary index on `class_name.field`,
+    /// covering the class's deep extent.
+    pub fn create_index(&self, class_name: &str, field: &str) -> Result<()> {
+        let _gate = self.txn_gate.lock();
+        let mut inner = self.inner.write();
+        let class = inner.schema.id_of(class_name)?;
+        // Validate the field exists on the class.
+        inner.schema.class(class)?.field_index(field)?;
+        let key = (class, field.to_string());
+        if inner.indexes.contains_key(&key) {
+            return Ok(());
+        }
+        let rec = CatalogRecord::Index {
+            class_name: class_name.to_string(),
+            field: field.to_string(),
+        }
+        .encode();
+        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+        self.store.commit(vec![StoreOp::Put {
+            heap: CATALOG_HEAP,
+            rid,
+            data: rec,
+        }])?;
+        inner
+            .catalog
+            .index_rids
+            .insert((class_name.to_string(), field.to_string()), rid);
+        let ix = build_index(self.store.as_ref(), &inner, class, field)?;
+        inner.indexes.insert(key, ix);
+        Ok(())
+    }
+
+    /// Register an O++ member function as a Rust closure. Methods are code:
+    /// they are re-registered each open (only their *use sites* — constraint
+    /// and trigger sources — persist).
+    pub fn register_method(
+        &self,
+        class_name: &str,
+        method: &str,
+        f: impl Fn(&ObjState, &[Value]) -> ode_model::Result<Value> + Send + Sync + 'static,
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        let class = inner.schema.id_of(class_name)?;
+        inner.schema.register_method(class, method, f);
+        Ok(())
+    }
+
+    /// Register a host callback invocable from trigger actions.
+    pub fn register_callback(
+        &self,
+        name: &str,
+        f: impl Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync + 'static,
+    ) {
+        self.callbacks
+            .write()
+            .insert(name.to_string(), Arc::new(f));
+    }
+
+    // ----------------------------------------------------------- access
+
+    /// Begin a transaction. Transactions are serialized (single writer).
+    pub fn begin(&self) -> Transaction<'_> {
+        Transaction::new(self, 0)
+    }
+
+    /// Run `f` in a transaction: commit on `Ok`, abort on `Err`.
+    pub fn transaction<R>(
+        &self,
+        f: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let mut tx = self.begin();
+        match f(&mut tx) {
+            Ok(r) => {
+                tx.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                tx.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Names of all declared indexes, as `(class, field)` pairs.
+    pub fn index_names(&self) -> Vec<(String, String)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(String, String)> = inner
+            .indexes
+            .keys()
+            .filter_map(|(class, field)| {
+                inner
+                    .schema
+                    .class(*class)
+                    .ok()
+                    .map(|c| (c.name.clone(), field.clone()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Schema snapshot accessor (read-only closure to avoid guard leaks).
+    pub fn with_schema<R>(&self, f: impl FnOnce(&Schema) -> R) -> R {
+        f(&self.inner.read().schema)
+    }
+
+    /// Number of objects in the (deep) extent of `class_name`.
+    pub fn extent_size(&self, class_name: &str, deep: bool) -> Result<usize> {
+        let inner = self.inner.read();
+        let class = inner.schema.id_of(class_name)?;
+        let mut n = 0usize;
+        for (_, heap) in inner.extent_heaps(class, deep) {
+            self.store.scan(heap, &mut |_, bytes| {
+                if is_anchor(bytes) {
+                    n += 1;
+                }
+                Ok(true)
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// Substrate counters (buffer pool, WAL, commits).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Reset substrate counters.
+    pub fn reset_store_stats(&self) {
+        self.store.reset_stats()
+    }
+
+    /// Drop cached pages (benchmarks: cold-cache runs).
+    pub fn clear_cache(&self) -> Result<()> {
+        Ok(self.store.clear_cache()?)
+    }
+
+    /// Flush everything and truncate the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        Ok(self.store.checkpoint()?)
+    }
+
+    pub(crate) fn callback(&self, name: &str) -> Result<CallbackFn> {
+        self.callbacks
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OdeError::Trigger(format!("no callback registered as `{name}`")))
+    }
+
+    pub(crate) fn alloc_activation_id(&self) -> u64 {
+        self.next_activation_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+fn builder_name(b: &ClassBuilder) -> String {
+    // ClassBuilder keeps its name private to the model crate; recover it
+    // through Debug-free cloning: define() needs the builder whole, so we
+    // read the name before handing it over.
+    b.name().to_string()
+}
+
+/// Scan the deep extent of `class` and build a fresh index on `field`.
+fn build_index(
+    store: &dyn Store,
+    inner: &DbInner,
+    class: ClassId,
+    field: &str,
+) -> Result<BTreeIndex> {
+    let mut ix = BTreeIndex::new();
+    for (member_class, heap) in inner.extent_heaps(class, true) {
+        let def = inner.schema.class(member_class)?;
+        let Ok(slot) = def.field_index(field) else {
+            continue; // class lacks the field (possible for siblings)
+        };
+        let mut pairs = Vec::new();
+        store.scan(heap, &mut |rid, bytes| {
+            if is_anchor(bytes) {
+                pairs.push((rid, bytes.to_vec()));
+            }
+            Ok(true)
+        })?;
+        for (rid, bytes) in pairs {
+            let oid = Oid { cluster: heap, rid };
+            let state = match decode_record(&bytes)? {
+                ObjRecord::Plain(s) => s,
+                ObjRecord::Anchor(table) => {
+                    let vrid = table.current_rid()?;
+                    match decode_record(&store.read(heap, vrid)?)? {
+                        ObjRecord::VersionRec { state, .. } => state,
+                        _ => {
+                            return Err(OdeError::Version(format!(
+                                "anchor {oid} points at a non-version record"
+                            )))
+                        }
+                    }
+                }
+                ObjRecord::VersionRec { .. } => continue,
+            };
+            if let Some(v) = state.fields.get(slot) {
+                if !v.is_null() {
+                    ix.insert(v.clone(), oid);
+                }
+            }
+        }
+    }
+    Ok(ix)
+}

@@ -1,0 +1,151 @@
+//! Secondary indexes.
+//!
+//! §3.1 notes that `suchthat`/`by` clauses "can be used to advantage in
+//! query optimization"; this module is that advantage. An index is declared
+//! on `(class, field)` and covers the class's **deep extent** (the class
+//! and every class derived from it, mirroring cluster-hierarchy iteration).
+//! The forall planner uses an index when the `suchthat` predicate contains
+//! an equality or range conjunct on the indexed field (figure F2 measures
+//! the crossover against a full scan).
+//!
+//! Index *declarations* persist in the catalog; the entries themselves are
+//! rebuilt by a scan at open time, which keeps commit batches small and
+//! recovery trivial (an acceptable trade documented in DESIGN.md).
+
+use std::collections::{BTreeMap, HashSet};
+use std::ops::Bound;
+
+use ode_model::{Oid, Value};
+
+/// An in-memory B-tree index over one field.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<Oid>>,
+    len: usize,
+}
+
+impl BTreeIndex {
+    /// Empty index.
+    pub fn new() -> BTreeIndex {
+        BTreeIndex::default()
+    }
+
+    /// Add an entry.
+    pub fn insert(&mut self, key: Value, oid: Oid) {
+        let bucket = self.map.entry(key).or_default();
+        if !bucket.contains(&oid) {
+            bucket.push(oid);
+            self.len += 1;
+        }
+    }
+
+    /// Remove an entry (no-op when absent).
+    pub fn remove(&mut self, key: &Value, oid: Oid) {
+        if let Some(bucket) = self.map.get_mut(key) {
+            if let Some(i) = bucket.iter().position(|&o| o == oid) {
+                bucket.remove(i);
+                self.len -= 1;
+                if bucket.is_empty() {
+                    self.map.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Entries under exactly `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<Oid> {
+        self.map.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Entries in a range, in key order.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for (_, bucket) in self.map.range::<Value, _>((lo, hi)) {
+            out.extend_from_slice(bucket);
+        }
+        out
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry for the given oids (used when objects change
+    /// values: callers remove old keys precisely; this is the slow fallback
+    /// for bulk deletion).
+    pub fn purge(&mut self, oids: &HashSet<Oid>) {
+        self.map.retain(|_, bucket| {
+            bucket.retain(|o| !oids.contains(o));
+            !bucket.is_empty()
+        });
+        self.len = self.map.values().map(Vec::len).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::RecordId;
+
+    fn oid(n: u32) -> Oid {
+        Oid {
+            cluster: 1,
+            rid: RecordId { page: n, slot: 0 },
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(Value::Str("att".into()), oid(1));
+        ix.insert(Value::Str("att".into()), oid(2));
+        ix.insert(Value::Str("ibm".into()), oid(3));
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.lookup(&Value::Str("att".into())), vec![oid(1), oid(2)]);
+        ix.remove(&Value::Str("att".into()), oid(1));
+        assert_eq!(ix.lookup(&Value::Str("att".into())), vec![oid(2)]);
+        assert_eq!(ix.lookup(&Value::Str("ghost".into())), Vec::<Oid>::new());
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(Value::Int(1), oid(1));
+        ix.insert(Value::Int(1), oid(1));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut ix = BTreeIndex::new();
+        for i in 0..10 {
+            ix.insert(Value::Int(i), oid(i as u32));
+        }
+        let got = ix.range(
+            Bound::Included(&Value::Int(3)),
+            Bound::Excluded(&Value::Int(6)),
+        );
+        assert_eq!(got, vec![oid(3), oid(4), oid(5)]);
+        let got = ix.range(Bound::Unbounded, Bound::Included(&Value::Int(1)));
+        assert_eq!(got, vec![oid(0), oid(1)]);
+    }
+
+    #[test]
+    fn purge_bulk() {
+        let mut ix = BTreeIndex::new();
+        for i in 0..6 {
+            ix.insert(Value::Int(i % 2), oid(i as u32));
+        }
+        let victims: HashSet<Oid> = [oid(0), oid(2), oid(4)].into_iter().collect();
+        ix.purge(&victims);
+        assert_eq!(ix.len(), 3);
+        assert!(ix.lookup(&Value::Int(0)).is_empty());
+        assert_eq!(ix.lookup(&Value::Int(1)), vec![oid(1), oid(3), oid(5)]);
+    }
+}

@@ -1,0 +1,611 @@
+//! O++-flavoured query statements.
+//!
+//! §3.1 of the paper writes queries as
+//!
+//! ```text
+//! for all x in cluster [suchthat (condition)] [by (expression)] statement
+//! ```
+//!
+//! This module parses that statement form (accepting both `forall` and
+//! `for all`) and executes it through the [`crate::query`] machinery, so a
+//! whole query can be written as one string:
+//!
+//! ```text
+//! forall e in employee, d in department suchthat (e.deptno == d.dno)
+//! forall p in person suchthat (p is student && income > 1000) by (name) desc
+//! forall s in only stockitem suchthat (quantity < 10)
+//! ```
+//!
+//! * several `var in cluster` bindings make a join (§3.1),
+//! * `only` before the cluster name restricts to the exact class
+//!   (otherwise iteration covers the cluster hierarchy, §3.1.1),
+//! * in single-variable queries the variable is bound, so qualified
+//!   (`e.deptno`), bare (`deptno`), and `is`-test forms all work and
+//!   indexed conjuncts are planned through the secondary indexes,
+//! * `by (...)` with optional `desc` orders single-variable queries.
+//!
+//! The *statement body* is Rust: [`Transaction::query_run`] takes a
+//! closure; [`Transaction::query`] materializes the bindings.
+
+use std::collections::HashMap;
+
+use ode_model::{parse_expr, Expr, ModelError, Oid};
+
+use crate::error::{OdeError, Result};
+use crate::txn::Transaction;
+
+/// A parsed query statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStmt {
+    /// `(variable, cluster, deep)` bindings, in order.
+    pub bindings: Vec<(String, String, bool)>,
+    /// The `suchthat` predicate.
+    pub suchthat: Option<Expr>,
+    /// The `by` key and descending flag (single-variable queries only).
+    pub by: Option<(Expr, bool)>,
+}
+
+/// Materialized query result: variable names plus one row per binding
+/// combination, in iteration order.
+#[derive(Debug, Clone)]
+pub struct QueryRows {
+    /// The loop variables, in declaration order.
+    pub vars: Vec<String>,
+    /// One oid per variable per row.
+    pub rows: Vec<Vec<Oid>>,
+}
+
+impl QueryRows {
+    /// Rows as name→oid maps.
+    pub fn maps(&self) -> Vec<HashMap<String, Oid>> {
+        self.rows
+            .iter()
+            .map(|row| self.vars.iter().cloned().zip(row.iter().copied()).collect())
+            .collect()
+    }
+
+    /// Single-variable convenience: the oids of the only variable.
+    pub fn oids(&self) -> Result<Vec<Oid>> {
+        if self.vars.len() != 1 {
+            return Err(OdeError::Usage(format!(
+                "query has {} variables; oids() needs exactly one",
+                self.vars.len()
+            )));
+        }
+        Ok(self.rows.iter().map(|r| r[0]).collect())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parse a `forall …` statement.
+pub fn parse_query(src: &str) -> Result<QueryStmt> {
+    let mut p = Lex { src, at: 0 };
+    // `forall` or `for all`.
+    let opener = p.eat_kw("forall") || (p.eat_kw("for") && p.eat_kw("all"));
+    if !opener {
+        return Err(p.err("expected `forall`"));
+    }
+    let mut bindings = Vec::new();
+    loop {
+        let var = p.ident()?;
+        if !p.eat_kw("in") {
+            return Err(p.err("expected `in` after the loop variable"));
+        }
+        let deep = !p.eat_kw("only");
+        let cluster = p.ident()?;
+        bindings.push((var, cluster, deep));
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    let mut suchthat = None;
+    if p.eat_kw("suchthat") {
+        suchthat = Some(p.paren_expr()?);
+    }
+    let mut by = None;
+    if p.eat_kw("by") {
+        let key = p.paren_expr()?;
+        let desc = p.eat_kw("desc");
+        by = Some((key, desc));
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err(format!(
+            "unexpected trailing input `{}`",
+            p.rest().chars().take(16).collect::<String>()
+        )));
+    }
+    // Duplicate variable names would make bindings ambiguous.
+    for i in 0..bindings.len() {
+        for j in i + 1..bindings.len() {
+            if bindings[i].0 == bindings[j].0 {
+                return Err(OdeError::Usage(format!(
+                    "loop variable `{}` is bound twice",
+                    bindings[i].0
+                )));
+            }
+        }
+    }
+    Ok(QueryStmt {
+        bindings,
+        suchthat,
+        by,
+    })
+}
+
+struct Lex<'a> {
+    src: &'a str,
+    at: usize,
+}
+
+impl<'a> Lex<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.at..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().trim().is_empty()
+    }
+
+    fn err(&self, message: impl Into<String>) -> OdeError {
+        OdeError::Model(ModelError::Parse {
+            message: message.into(),
+            at: self.at,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.at += rest.len() - trimmed.len();
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
+            if !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.at += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(sym) {
+            self.at += sym.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if (i == 0 && (c.is_ascii_alphabetic() || c == '_'))
+                || (i > 0 && (c.is_ascii_alphanumeric() || c == '_'))
+            {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return Err(self.err(format!(
+                "expected an identifier, found `{}`",
+                rest.chars().take(12).collect::<String>()
+            )));
+        }
+        self.at += end;
+        Ok(rest[..end].to_string())
+    }
+
+    /// Capture raw text up to a top-level occurrence of any stop char
+    /// (respecting nested parens and string literals), leaving the stop
+    /// character unconsumed. End of input is also a valid stop.
+    fn take_until_any(&mut self, stops: &[char]) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut depth = 0usize;
+        let mut in_str: Option<char> = None;
+        let mut end = rest.len();
+        for (i, c) in rest.char_indices() {
+            match in_str {
+                Some(q) => {
+                    if c == q {
+                        in_str = None;
+                    }
+                }
+                None => match c {
+                    '\'' | '"' => in_str = Some(c),
+                    '(' => depth += 1,
+                    ')' if depth > 0 => depth -= 1,
+                    _ if depth == 0 && stops.contains(&c) => {
+                        end = i;
+                        break;
+                    }
+                    _ => {}
+                },
+            }
+        }
+        let text = rest[..end].trim().to_string();
+        if text.is_empty() {
+            return Err(self.err("expected an expression"));
+        }
+        self.at += end;
+        Ok(text)
+    }
+
+    /// Parse a parenthesized expression, respecting nested parens and
+    /// string literals.
+    fn paren_expr(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        if !self.eat_sym("(") {
+            return Err(self.err("expected `(`"));
+        }
+        let rest = self.rest();
+        let mut depth = 1usize;
+        let mut in_str: Option<char> = None;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            match in_str {
+                Some(q) => {
+                    if c == q {
+                        in_str = None;
+                    }
+                }
+                None => match c {
+                    '\'' | '"' => in_str = Some(c),
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(i);
+                            break;
+                        }
+                    }
+                    _ => {}
+                },
+            }
+        }
+        let Some(end) = end else {
+            return Err(self.err("unbalanced parenthesis in clause"));
+        };
+        let text = &rest[..end];
+        let expr = parse_expr(text)?;
+        self.at += end + 1;
+        Ok(expr)
+    }
+}
+
+impl<'db> Transaction<'db> {
+    /// Execute a `forall …` statement and materialize the qualifying
+    /// bindings.
+    pub fn query(&mut self, src: &str) -> Result<QueryRows> {
+        let stmt = parse_query(src)?;
+        self.run_stmt(stmt)
+    }
+
+    /// Execute a `forall …` statement, running `f` for every qualifying
+    /// binding. Returns the number of bindings visited.
+    pub fn query_run(
+        &mut self,
+        src: &str,
+        mut f: impl FnMut(&mut Transaction<'db>, &HashMap<String, Oid>) -> Result<()>,
+    ) -> Result<usize> {
+        let rows = self.query(src)?;
+        let maps = rows.maps();
+        for m in &maps {
+            f(self, m)?;
+        }
+        Ok(maps.len())
+    }
+
+    fn run_stmt(&mut self, stmt: QueryStmt) -> Result<QueryRows> {
+        if stmt.bindings.len() == 1 {
+            let (var, cluster, deep) = stmt.bindings.into_iter().next().unwrap();
+            let mut q = self.forall(&cluster)?.bind(&var);
+            if !deep {
+                q = q.shallow();
+            }
+            if let Some(pred) = stmt.suchthat {
+                q = q.suchthat_expr(pred);
+            }
+            if let Some((key, desc)) = stmt.by {
+                q = if desc {
+                    q.by_desc(&key.to_string())?
+                } else {
+                    q.by(&key.to_string())?
+                };
+            }
+            let oids = q.collect_oids()?;
+            return Ok(QueryRows {
+                vars: vec![var],
+                rows: oids.into_iter().map(|o| vec![o]).collect(),
+            });
+        }
+        // Join form. `by` over joins is not defined by the paper's grammar.
+        if stmt.by.is_some() {
+            return Err(OdeError::Usage(
+                "`by` is only supported on single-variable queries".into(),
+            ));
+        }
+        for (var, _, deep) in &stmt.bindings {
+            if !deep {
+                return Err(OdeError::Usage(format!(
+                    "`only` on join variable `{var}` is not supported"
+                )));
+            }
+        }
+        let vars: Vec<(&str, &str)> = stmt
+            .bindings
+            .iter()
+            .map(|(v, c, _)| (v.as_str(), c.as_str()))
+            .collect();
+        let mut q = self.forall_join(&vars)?;
+        if let Some(pred) = stmt.suchthat {
+            q = q.suchthat_expr(pred);
+        }
+        let rows = q.collect()?;
+        Ok(QueryRows {
+            vars: stmt.bindings.into_iter().map(|(v, ..)| v).collect(),
+            rows,
+        })
+    }
+
+    /// Execute any statement — query or DML — returning what it produced.
+    ///
+    /// ```text
+    /// forall s in stockitem suchthat (quantity < 10)        → Rows
+    /// pnew stockitem (name = "dram", quantity = 100)        → Created
+    /// update s in stockitem suchthat (quantity < 10)
+    ///     set on_order = on_order + 100, quantity = 10      → Updated(n)
+    /// delete s in stockitem suchthat (quantity == 0)        → Deleted(n)
+    /// ```
+    ///
+    /// DML runs inside this transaction: constraints apply per update
+    /// (§5), and trigger conditions are evaluated when the transaction
+    /// commits (§6).
+    pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
+        let trimmed = src.trim_start();
+        if trimmed.starts_with("pnew") {
+            let (class, inits) = parse_pnew(src)?;
+            let mut pairs = Vec::new();
+            {
+                let inner = self.db.inner.read();
+                for (field, expr) in &inits {
+                    let v = ode_model::EvalCtx::new(&inner.schema).eval(expr)?;
+                    pairs.push((field.clone(), v));
+                }
+            }
+            let init_refs: Vec<(&str, ode_model::Value)> = pairs
+                .iter()
+                .map(|(f, v)| (f.as_str(), v.clone()))
+                .collect();
+            let oid = self.pnew(&class, &init_refs)?;
+            return Ok(ExecResult::Created(oid));
+        }
+        if trimmed.starts_with("update") {
+            let (query, assigns) = parse_update(src)?;
+            let rows = self.run_stmt(query)?;
+            let oids = rows.oids()?;
+            let n = oids.len();
+            for oid in oids {
+                self.update(oid, |w| {
+                    for (field, expr) in &assigns {
+                        // Assignments see the object's *pre-statement*
+                        // fields through the writer (left-to-right within
+                        // one object, as in a C++ body).
+                        let state = ObjStateView(w);
+                        let v = state.eval(expr)?;
+                        w.set(field, v)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            return Ok(ExecResult::Updated(n));
+        }
+        if trimmed.starts_with("delete") {
+            let query = parse_delete(src)?;
+            let rows = self.run_stmt(query)?;
+            let oids = rows.oids()?;
+            let n = oids.len();
+            for oid in oids {
+                self.pdelete(oid)?;
+            }
+            return Ok(ExecResult::Deleted(n));
+        }
+        Ok(ExecResult::Rows(self.query(src)?))
+    }
+}
+
+/// Helper: evaluate an expression against an in-progress [`ObjWriter`].
+struct ObjStateView<'a, 'b>(&'a crate::txn::ObjWriter<'b>);
+
+impl ObjStateView<'_, '_> {
+    fn eval(&self, expr: &Expr) -> Result<ode_model::Value> {
+        let (schema, state) = self.0.parts();
+        Ok(ode_model::EvalCtx::new(schema).with_this(state).eval(expr)?)
+    }
+}
+
+/// Result of [`Transaction::execute`].
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// A `forall` query's bindings.
+    Rows(QueryRows),
+    /// `pnew` created this object.
+    Created(Oid),
+    /// `update … set` modified this many objects.
+    Updated(usize),
+    /// `delete` removed this many objects.
+    Deleted(usize),
+}
+
+/// Parse `pnew <class> (field = expr, ...)`.
+fn parse_pnew(src: &str) -> Result<(String, Vec<(String, Expr)>)> {
+    let mut p = Lex { src, at: 0 };
+    if !p.eat_kw("pnew") {
+        return Err(p.err("expected `pnew`"));
+    }
+    let class = p.ident()?;
+    let mut inits = Vec::new();
+    p.skip_ws();
+    if p.eat_sym("(") {
+        p.skip_ws();
+        if !p.eat_sym(")") {
+            loop {
+                let field = p.ident()?;
+                if !p.eat_sym("=") {
+                    return Err(p.err("expected `=` in initializer"));
+                }
+                let expr_src = p.take_until_any(&[',', ')'])?;
+                inits.push((field, parse_expr(&expr_src)?));
+                if p.eat_sym(")") {
+                    break;
+                }
+                if !p.eat_sym(",") {
+                    return Err(p.err("expected `,` or `)` in initializer list"));
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input after pnew"));
+    }
+    Ok((class, inits))
+}
+
+/// Parse `update <var> in <class> [suchthat (…)] set f = expr [, …]`.
+fn parse_update(src: &str) -> Result<(QueryStmt, Vec<(String, Expr)>)> {
+    let mut p = Lex { src, at: 0 };
+    if !p.eat_kw("update") {
+        return Err(p.err("expected `update`"));
+    }
+    let var = p.ident()?;
+    if !p.eat_kw("in") {
+        return Err(p.err("expected `in`"));
+    }
+    let deep = !p.eat_kw("only");
+    let cluster = p.ident()?;
+    let suchthat = if p.eat_kw("suchthat") {
+        Some(p.paren_expr()?)
+    } else {
+        None
+    };
+    if !p.eat_kw("set") {
+        return Err(p.err("expected `set`"));
+    }
+    let mut assigns = Vec::new();
+    loop {
+        let field = p.ident()?;
+        if !p.eat_sym("=") {
+            return Err(p.err("expected `=` in assignment"));
+        }
+        let expr_src = p.take_until_any(&[','])?;
+        assigns.push((field, parse_expr(&expr_src)?));
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input after assignments"));
+    }
+    Ok((
+        QueryStmt {
+            bindings: vec![(var, cluster, deep)],
+            suchthat,
+            by: None,
+        },
+        assigns,
+    ))
+}
+
+/// Parse `delete <var> in <class> [suchthat (…)]`.
+fn parse_delete(src: &str) -> Result<QueryStmt> {
+    let mut p = Lex { src, at: 0 };
+    if !p.eat_kw("delete") {
+        return Err(p.err("expected `delete`"));
+    }
+    let var = p.ident()?;
+    if !p.eat_kw("in") {
+        return Err(p.err("expected `in`"));
+    }
+    let deep = !p.eat_kw("only");
+    let cluster = p.ident()?;
+    let suchthat = if p.eat_kw("suchthat") {
+        Some(p.paren_expr()?)
+    } else {
+        None
+    };
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input after delete"));
+    }
+    Ok(QueryStmt {
+        bindings: vec![(var, cluster, deep)],
+        suchthat,
+        by: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_forms_parse() {
+        let q = parse_query("forall p in person").unwrap();
+        assert_eq!(q.bindings, vec![("p".into(), "person".into(), true)]);
+        assert!(q.suchthat.is_none() && q.by.is_none());
+
+        let q = parse_query("for all p in only person suchthat (age > 21) by (name) desc")
+            .unwrap();
+        assert_eq!(q.bindings, vec![("p".into(), "person".into(), false)]);
+        assert!(q.suchthat.is_some());
+        assert!(matches!(q.by, Some((_, true))));
+
+        let q = parse_query(
+            "forall e in employee, d in department suchthat (e.deptno == d.dno)",
+        )
+        .unwrap();
+        assert_eq!(q.bindings.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("select * from person").is_err());
+        assert!(parse_query("forall in person").is_err());
+        assert!(parse_query("forall p person").is_err());
+        assert!(parse_query("forall p in person suchthat age > 1").is_err());
+        assert!(parse_query("forall p in person suchthat (age > 1").is_err());
+        assert!(parse_query("forall p in person trailing junk").is_err());
+        assert!(parse_query("forall p in a, p in b").is_err(), "dup var");
+    }
+
+    #[test]
+    fn nested_parens_and_strings_in_clauses() {
+        let q = parse_query(
+            r#"forall p in person suchthat ((age + 1) * 2 > 4 && name != "a)b")"#,
+        )
+        .unwrap();
+        assert!(q.suchthat.is_some());
+    }
+}

@@ -1,0 +1,875 @@
+//! Declarative iteration — the paper's `forall` construct (§3).
+//!
+//! ```text
+//! for all x in cluster [suchthat (condition)] [by (expression)] statement
+//! ```
+//!
+//! * Iterating a cluster visits its **hierarchy** by default (§3.1.1): the
+//!   extent of `person` includes students and faculty, which is what makes
+//!   the paper's `p is student` dispatch example meaningful. Use
+//!   [`Forall::shallow`] for the exact-class extent only.
+//! * [`Forall::suchthat`] takes the expression language; conjuncts over an
+//!   indexed field are satisfied from the index (§3.1's "used to advantage
+//!   in query optimization"), the rest are filtered.
+//! * [`Forall::by`] orders by an expression, ascending or descending.
+//! * [`Forall::fixpoint`] also visits objects **added during the
+//!   iteration** (§3.2) — the least-fixpoint facility behind recursive
+//!   queries like the parts explosion.
+//! * Multiple loop variables (join queries, §3.1) via
+//!   [`Transaction::forall_join`]: `forall e in employee, d in dept
+//!   suchthat (e.deptno == d.dno)`.
+//! * [`Transaction::iterate_set`] walks a set-valued field with the same
+//!   add-during-iteration guarantee, for set-based fixpoints.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+
+use ode_model::eval::EvalCtx;
+use ode_model::{parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
+
+use crate::database::DbInner;
+use crate::error::{OdeError, Result};
+
+/// A native predicate over object state (host-language filter).
+pub type FilterFn<'t> = Box<dyn FnMut(&ObjState) -> bool + 't>;
+use crate::object::{decode_record, is_anchor, ObjRecord};
+use crate::txn::Transaction;
+
+/// Sort direction for `by` clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Asc,
+    Desc,
+}
+
+/// A `forall` iteration under construction.
+pub struct Forall<'t, 'db> {
+    tx: &'t mut Transaction<'db>,
+    class_name: String,
+    deep: bool,
+    suchthat: Option<Expr>,
+    by: Option<(Expr, Dir)>,
+    fixpoint: bool,
+    /// Loop-variable name bound to the current object during predicate and
+    /// key evaluation, enabling `p.age` / `p is student` forms (§3.1.1).
+    var: Option<String>,
+    /// Native predicate (Rust closure) applied after `suchthat` — the
+    /// host-language escape hatch, also used by the interpreter-overhead
+    /// ablation (figure A1).
+    filter: Option<FilterFn<'t>>,
+}
+
+impl<'db> Transaction<'db> {
+    /// Start a `forall x in <cluster>` iteration (§3.1). The cluster need
+    /// not exist yet (an empty iteration results), but the class must.
+    pub fn forall<'t>(&'t mut self, class_name: &str) -> Result<Forall<'t, 'db>> {
+        self.ensure_live()?;
+        // Validate the class name early for a good error.
+        {
+            let inner = self.db.inner.read();
+            inner.schema.id_of(class_name)?;
+        }
+        Ok(Forall {
+            tx: self,
+            class_name: class_name.to_string(),
+            deep: true,
+            suchthat: None,
+            by: None,
+            fixpoint: false,
+            var: None,
+            filter: None,
+        })
+    }
+
+    /// Multi-variable iteration — the join form of §3.1:
+    /// `forall e in employee, d in dept suchthat (...)`.
+    pub fn forall_join<'t>(
+        &'t mut self,
+        vars: &[(&str, &str)],
+    ) -> Result<ForallJoin<'t, 'db>> {
+        self.ensure_live()?;
+        if vars.is_empty() {
+            return Err(OdeError::Usage("forall_join needs at least one variable".into()));
+        }
+        {
+            let inner = self.db.inner.read();
+            for (_, class) in vars {
+                inner.schema.id_of(class)?;
+            }
+        }
+        Ok(ForallJoin {
+            tx: self,
+            vars: vars
+                .iter()
+                .map(|(v, c)| (v.to_string(), c.to_string()))
+                .collect(),
+            suchthat: None,
+        })
+    }
+
+    /// Iterate a set-valued field with §3.2 semantics: elements inserted
+    /// into the set *during* the iteration are visited too (set fixpoint).
+    /// Returns the number of elements visited.
+    pub fn iterate_set(
+        &mut self,
+        oid: Oid,
+        field: &str,
+        mut f: impl FnMut(&mut Transaction<'db>, &Value) -> Result<()>,
+    ) -> Result<usize> {
+        let slot = {
+            let state = self.read(oid)?;
+            let inner = self.db.inner.read();
+            inner.schema.class(state.class)?.field_index(field)?
+        };
+        // The committed image cannot change under this transaction; load it
+        // at most once. If the body writes the object, the write-set copy
+        // is borrowed in place each step (no re-decode, no clone).
+        let mut committed: Option<ObjState> = None;
+        let mut i = 0usize;
+        loop {
+            if self.deleted.contains_key(&oid) {
+                return Err(OdeError::NoSuchObject(format!("{oid} (deleted mid-iteration)")));
+            }
+            let elem: Option<Value> = if let Some(obj) = self.writes.get(&oid) {
+                obj.state.fields[slot].as_set()?.get(i).cloned()
+            } else {
+                if committed.is_none() {
+                    committed = Some(self.read(oid)?);
+                }
+                committed.as_ref().expect("just loaded").fields[slot]
+                    .as_set()?
+                    .get(i)
+                    .cloned()
+            };
+            let Some(elem) = elem else {
+                return Ok(i);
+            };
+            i += 1;
+            f(self, &elem)?;
+        }
+    }
+
+    /// Enumerate the (deep or shallow) committed extent of a class together
+    /// with this transaction's overlay. Returns oids with their states.
+    pub(crate) fn extent(
+        &self,
+        class_name: &str,
+        deep: bool,
+    ) -> Result<Vec<(Oid, ObjState)>> {
+        let inner = self.db.inner.read();
+        let class = inner.schema.id_of(class_name)?;
+        let heaps = inner.extent_heaps(class, deep);
+        drop(inner);
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for (_, heap) in &heaps {
+            // Collect raw records first: the store's scan callback must not
+            // re-enter the store (single-lock policy).
+            let mut raw = Vec::new();
+            self.db.store.scan(*heap, &mut |rid, bytes| {
+                if is_anchor(bytes) {
+                    raw.push((rid, bytes.to_vec()));
+                }
+                Ok(true)
+            })?;
+            for (rid, bytes) in raw {
+                let oid = Oid { cluster: *heap, rid };
+                if self.deleted.contains_key(&oid) {
+                    continue;
+                }
+                seen.insert(oid);
+                if let Some(obj) = self.writes.get(&oid) {
+                    out.push((oid, obj.state.clone()));
+                    continue;
+                }
+                let state = match decode_record(&bytes)? {
+                    ObjRecord::Plain(s) => s,
+                    ObjRecord::Anchor(table) => {
+                        let vrid = table.current_rid()?;
+                        match decode_record(&self.db.store.read(*heap, vrid)?)? {
+                            ObjRecord::VersionRec { state, .. } => state,
+                            _ => {
+                                return Err(OdeError::Version(format!(
+                                    "anchor {oid} points at a non-version record"
+                                )))
+                            }
+                        }
+                    }
+                    ObjRecord::VersionRec { .. } => continue,
+                };
+                out.push((oid, state));
+            }
+        }
+        // Overlay: objects created in this transaction.
+        let heap_set: HashSet<u32> = heaps.iter().map(|&(_, h)| h).collect();
+        for &oid in &self.write_order {
+            if seen.contains(&oid) || !heap_set.contains(&oid.cluster) {
+                continue;
+            }
+            if let Some(obj) = self.writes.get(&oid) {
+                if obj.new {
+                    out.push((oid, obj.state.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Try to answer an equality/range conjunct from an index. Returns matching
+/// oids (which still must pass the full predicate) or `None` when no index
+/// applies.
+fn index_candidates(
+    inner: &DbInner,
+    class: ClassId,
+    expr: &Expr,
+    var: Option<&str>,
+) -> Option<Vec<Oid>> {
+    // Split top-level conjunction.
+    fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        if let Expr::Binary(BinOp::And, l, r) = e {
+            conjuncts(l, out);
+            conjuncts(r, out);
+        } else {
+            out.push(e);
+        }
+    }
+    // A field reference is either a bare identifier or `v.field` where `v`
+    // is the bound loop variable.
+    let as_field = |e: &Expr| -> Option<String> {
+        match e {
+            Expr::Ident(f) => Some(f.clone()),
+            Expr::Path(base, f) => match (&**base, var) {
+                (Expr::Ident(v), Some(bound)) if v == bound => Some(f.clone()),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let mut cs = Vec::new();
+    conjuncts(expr, &mut cs);
+    for c in cs {
+        let Expr::Binary(op, l, r) = c else { continue };
+        // Normalize to  field <op> literal.
+        let (field, lit, op) = match (as_field(l), as_field(r), &**l, &**r) {
+            (Some(f), _, _, Expr::Lit(v)) => (f, v, *op),
+            (_, Some(f), Expr::Lit(v), _) => {
+                let flipped = match *op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    other => other,
+                };
+                (f, v, flipped)
+            }
+            _ => continue,
+        };
+        let Some(ix) = inner.indexes.get(&(class, field.clone())) else {
+            continue;
+        };
+        let oids = match op {
+            BinOp::Eq => ix.lookup(lit),
+            BinOp::Lt => ix.range(Bound::Unbounded, Bound::Excluded(lit)),
+            BinOp::Le => ix.range(Bound::Unbounded, Bound::Included(lit)),
+            BinOp::Gt => ix.range(Bound::Excluded(lit), Bound::Unbounded),
+            BinOp::Ge => ix.range(Bound::Included(lit), Bound::Unbounded),
+            _ => continue,
+        };
+        return Some(oids);
+    }
+    None
+}
+
+impl<'t, 'db> Forall<'t, 'db> {
+    /// Restrict to the exact class (no derived-class members).
+    pub fn shallow(mut self) -> Self {
+        self.deep = false;
+        self
+    }
+
+    /// Attach a `suchthat` predicate (expression-language source).
+    pub fn suchthat(mut self, src: &str) -> Result<Self> {
+        self.suchthat = Some(parse_expr(src)?);
+        Ok(self)
+    }
+
+    /// Attach a pre-built predicate expression.
+    pub fn suchthat_expr(mut self, e: Expr) -> Self {
+        self.suchthat = Some(e);
+        self
+    }
+
+    /// Order ascending by an expression (the `by` clause).
+    pub fn by(mut self, src: &str) -> Result<Self> {
+        self.by = Some((parse_expr(src)?, Dir::Asc));
+        Ok(self)
+    }
+
+    /// Order descending by an expression.
+    pub fn by_desc(mut self, src: &str) -> Result<Self> {
+        self.by = Some((parse_expr(src)?, Dir::Desc));
+        Ok(self)
+    }
+
+    /// Also visit objects added to the extent during the iteration (§3.2's
+    /// fixpoint facility). Incompatible with `by` (ordering over a growing
+    /// domain is not well-defined).
+    pub fn fixpoint(mut self) -> Self {
+        self.fixpoint = true;
+        self
+    }
+
+    /// Bind the loop variable's name: `forall p in person` makes `p`
+    /// available in `suchthat`/`by` expressions as a reference to the
+    /// current object, so `p is student` and `p.name` both work alongside
+    /// bare field names.
+    pub fn bind(mut self, var: &str) -> Self {
+        self.var = Some(var.to_string());
+        self
+    }
+
+    /// Filter with a native Rust closure over the object state (the host
+    /// language escape hatch — O++ bodies are C++, after all). Applied in
+    /// addition to any `suchthat` expression.
+    pub fn filter(mut self, f: impl FnMut(&ObjState) -> bool + 't) -> Self {
+        self.filter = Some(Box::new(f));
+        self
+    }
+
+    /// Materialize the qualifying oids (after suchthat/by, before body).
+    pub fn collect_oids(self) -> Result<Vec<Oid>> {
+        let Forall {
+            tx,
+            class_name,
+            deep,
+            suchthat,
+            by,
+            fixpoint,
+            var,
+            mut filter,
+        } = self;
+        if fixpoint {
+            return Err(OdeError::Usage(
+                "collect_oids is a snapshot; fixpoint iteration needs run()".into(),
+            ));
+        }
+        candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)
+    }
+
+    /// Count qualifying objects.
+    pub fn count(self) -> Result<usize> {
+        Ok(self.collect_oids()?.len())
+    }
+
+    /// Sum an expression over the qualifying objects (ints stay ints; any
+    /// float makes the sum a float). The §3.1.1 income example is
+    /// `forall("person").sum("income()")`.
+    pub fn sum(self, expr_src: &str) -> Result<Value> {
+        let vals = self.collect_values(expr_src)?;
+        let mut int_acc: i64 = 0;
+        let mut float_acc: f64 = 0.0;
+        let mut saw_float = false;
+        for v in vals {
+            match v {
+                Value::Int(i) => {
+                    int_acc = int_acc
+                        .checked_add(i)
+                        .ok_or_else(|| OdeError::Usage("sum overflowed i64".into()))?;
+                }
+                Value::Float(x) => {
+                    saw_float = true;
+                    float_acc += x;
+                }
+                Value::Null => {}
+                other => {
+                    return Err(OdeError::Usage(format!(
+                        "sum over a non-numeric value: {other}"
+                    )))
+                }
+            }
+        }
+        Ok(if saw_float {
+            Value::Float(float_acc + int_acc as f64)
+        } else {
+            Value::Int(int_acc)
+        })
+    }
+
+    /// Arithmetic mean of an expression over the qualifying objects
+    /// (`None` for an empty result).
+    pub fn avg(self, expr_src: &str) -> Result<Option<f64>> {
+        let vals = self.collect_values(expr_src)?;
+        let nums: Vec<f64> = vals
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.as_float())
+            .collect::<ode_model::Result<_>>()?;
+        if nums.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(nums.iter().sum::<f64>() / nums.len() as f64))
+    }
+
+    /// Minimum of an expression over the qualifying objects.
+    pub fn min(self, expr_src: &str) -> Result<Option<Value>> {
+        Ok(self
+            .collect_values(expr_src)?
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .min())
+    }
+
+    /// Maximum of an expression over the qualifying objects.
+    pub fn max(self, expr_src: &str) -> Result<Option<Value>> {
+        Ok(self
+            .collect_values(expr_src)?
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .max())
+    }
+
+    /// Evaluate an expression for every qualifying object and collect the
+    /// results (a projection).
+    pub fn collect_values(self, src: &str) -> Result<Vec<Value>> {
+        let proj = parse_expr(src)?;
+        let Forall {
+            tx,
+            class_name,
+            deep,
+            suchthat,
+            by,
+            var,
+            mut filter,
+            ..
+        } = self;
+        let oids = candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)?;
+        let inner = tx.db.inner.read();
+        let mut out = Vec::with_capacity(oids.len());
+        for oid in oids {
+            let state = tx.read(oid)?;
+            let mut env = HashMap::new();
+            if let Some(v) = &var {
+                env.insert(v.clone(), Value::Ref(oid));
+            }
+            let v = EvalCtx::new(&inner.schema)
+                .with_this(&state)
+                .with_vars(&env)
+                .with_resolver(tx)
+                .eval(&proj)?;
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Run the loop body over every qualifying object. The body may update,
+    /// delete, and create objects; with [`Forall::fixpoint`], objects it
+    /// adds to the extent are visited too. Returns the number of objects
+    /// visited.
+    pub fn run(
+        self,
+        mut f: impl FnMut(&mut Transaction<'db>, Oid) -> Result<()>,
+    ) -> Result<usize> {
+        let Forall {
+            tx,
+            class_name,
+            deep,
+            suchthat,
+            by,
+            fixpoint,
+            var,
+            mut filter,
+        } = self;
+        if fixpoint && by.is_some() {
+            return Err(OdeError::Usage(
+                "fixpoint iteration cannot be ordered with by()".into(),
+            ));
+        }
+        let mut visited: HashSet<Oid> = HashSet::new();
+        let mut n = 0usize;
+        loop {
+            let batch: Vec<Oid> = candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)?
+                .into_iter()
+                .filter(|oid| !visited.contains(oid))
+                .collect();
+            if batch.is_empty() {
+                return Ok(n);
+            }
+            for oid in batch {
+                visited.insert(oid);
+                // The body may have deleted this object in a previous step.
+                if !tx.exists(oid) {
+                    continue;
+                }
+                f(tx, oid)?;
+                n += 1;
+            }
+            if !fixpoint {
+                return Ok(n);
+            }
+        }
+    }
+}
+
+/// Enumerate + filter + order the qualifying oids.
+#[allow(clippy::too_many_arguments)]
+fn candidates(
+    tx: &Transaction<'_>,
+    class_name: &str,
+    deep: bool,
+    suchthat: &Option<Expr>,
+    by: &Option<(Expr, Dir)>,
+    var: Option<&str>,
+    filter: &mut Option<FilterFn<'_>>,
+) -> Result<Vec<Oid>> {
+    let inner = tx.db.inner.read();
+    let class = inner.schema.id_of(class_name)?;
+
+    // Index plan: equality/range conjunct over an indexed field. Index
+    // entries reflect *committed* data, so the transaction's own writes
+    // are merged back in below.
+    let indexed: Option<Vec<Oid>> = if deep {
+        suchthat
+            .as_ref()
+            .and_then(|e| index_candidates(&inner, class, e, var))
+    } else {
+        None
+    };
+    drop(inner);
+
+    let mut pairs: Vec<(Oid, ObjState)> = match indexed {
+        Some(oids) => {
+            let mut pairs = Vec::with_capacity(oids.len());
+            for oid in oids {
+                if tx.deleted.contains_key(&oid) {
+                    continue;
+                }
+                // An in-transaction write may have changed the key: the
+                // state read here is authoritative; the predicate is
+                // re-checked below either way.
+                if let Ok(state) = tx.read(oid) {
+                    pairs.push((oid, state));
+                }
+            }
+            // Objects written in this txn are missing from the committed
+            // index — fold in any written object of the right classes.
+            let inner = tx.db.inner.read();
+            let seen: HashSet<Oid> = pairs.iter().map(|p| p.0).collect();
+            for (&oid, obj) in tx.writes.iter() {
+                if seen.contains(&oid)
+                    || tx.deleted.contains_key(&oid)
+                    || !inner.schema.is_subclass(obj.state.class, class)
+                {
+                    continue;
+                }
+                pairs.push((oid, obj.state.clone()));
+            }
+            pairs
+        }
+        None => tx.extent(class_name, deep)?,
+    };
+
+    // Shallow iteration must drop subclass members (relevant only for the
+    // index path, which covers the deep extent).
+    if !deep {
+        let inner = tx.db.inner.read();
+        pairs.retain(|(_, s)| s.class == class);
+        drop(inner);
+    }
+
+    let inner = tx.db.inner.read();
+    let mut env: HashMap<String, Value> = HashMap::new();
+    if let Some(pred) = suchthat {
+        let mut kept = Vec::with_capacity(pairs.len());
+        for (oid, state) in pairs {
+            if let Some(v) = var {
+                env.insert(v.to_string(), Value::Ref(oid));
+            }
+            let ok = EvalCtx::new(&inner.schema)
+                .with_this(&state)
+                .with_vars(&env)
+                .with_resolver(tx)
+                .eval_bool(pred)?;
+            if ok {
+                kept.push((oid, state));
+            }
+        }
+        pairs = kept;
+    }
+    if let Some(f) = filter.as_mut() {
+        pairs.retain(|(_, state)| f(state));
+    }
+
+    if let Some((key_expr, dir)) = by {
+        let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(pairs.len());
+        for (oid, state) in &pairs {
+            if let Some(v) = var {
+                env.insert(v.to_string(), Value::Ref(*oid));
+            }
+            let k = EvalCtx::new(&inner.schema)
+                .with_this(state)
+                .with_vars(&env)
+                .with_resolver(tx)
+                .eval(key_expr)?;
+            keyed.push((k, *oid));
+        }
+        keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        if *dir == Dir::Desc {
+            keyed.reverse();
+        }
+        return Ok(keyed.into_iter().map(|(_, oid)| oid).collect());
+    }
+    Ok(pairs.into_iter().map(|(oid, _)| oid).collect())
+}
+
+/// A multi-variable `forall` (join query, §3.1).
+pub struct ForallJoin<'t, 'db> {
+    tx: &'t mut Transaction<'db>,
+    vars: Vec<(String, String)>,
+    suchthat: Option<Expr>,
+}
+
+impl<'db> ForallJoin<'_, 'db> {
+    /// Attach the join predicate, e.g. `"e.deptno == d.dno"`. Loop
+    /// variables appear as bare identifiers.
+    pub fn suchthat(mut self, src: &str) -> Result<Self> {
+        self.suchthat = Some(parse_expr(src)?);
+        Ok(self)
+    }
+
+    /// Attach a pre-built predicate.
+    pub fn suchthat_expr(mut self, e: Expr) -> Self {
+        self.suchthat = Some(e);
+        self
+    }
+
+    /// Materialize all qualifying bindings (tuples of oids, one per
+    /// variable, in declaration order).
+    pub fn collect(self) -> Result<Vec<Vec<Oid>>> {
+        collect_join(self.tx, &self.vars, &self.suchthat)
+    }
+
+    /// Run the body over every qualifying binding. The binding map gives
+    /// each loop variable's object.
+    pub fn run(
+        self,
+        mut f: impl FnMut(&mut Transaction<'db>, &HashMap<String, Oid>) -> Result<()>,
+    ) -> Result<usize> {
+        let ForallJoin { tx, vars, suchthat } = self;
+        let rows = collect_join(tx, &vars, &suchthat)?;
+        let names: Vec<String> = vars.into_iter().map(|(v, _)| v).collect();
+        let mut n = 0usize;
+        for row in rows {
+            let map: HashMap<String, Oid> =
+                names.iter().cloned().zip(row).collect();
+            f(tx, &map)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// A per-variable index probe derived from the join predicate: for
+/// variable `v` with conjunct `v.field == <expr over earlier vars>`, the
+/// candidates at `v`'s depth come from the index on `(class(v), field)`
+/// instead of the full extent. Over-approximation is fine — the leaf
+/// re-evaluates the whole predicate — but candidates must never be
+/// *missed*, so the transaction's own writes are merged back in.
+struct ProbePlan {
+    field: String,
+    key_expr: Expr,
+}
+
+/// Find probe plans: one optional plan per variable (never the first —
+/// its loop is the outer driver).
+fn build_probe_plans(
+    inner: &DbInner,
+    vars: &[(String, String)],
+    suchthat: &Option<Expr>,
+) -> Result<Vec<Option<ProbePlan>>> {
+    let mut plans: Vec<Option<ProbePlan>> = (0..vars.len()).map(|_| None).collect();
+    let Some(pred) = suchthat else {
+        return Ok(plans);
+    };
+    fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        if let Expr::Binary(BinOp::And, l, r) = e {
+            conjuncts(l, out);
+            conjuncts(r, out);
+        } else {
+            out.push(e);
+        }
+    }
+    let mut cs = Vec::new();
+    conjuncts(pred, &mut cs);
+    for d in 1..vars.len() {
+        let (var, class_name) = &vars[d];
+        let Ok(class) = inner.schema.id_of(class_name) else {
+            continue;
+        };
+        let earlier: Vec<&str> = vars[..d].iter().map(|(v, _)| v.as_str()).collect();
+        for c in &cs {
+            let Expr::Binary(BinOp::Eq, l, r) = c else { continue };
+            // Normalize: one side is `var.field`, the other references only
+            // earlier variables (or is constant).
+            let candidates = [(&**l, &**r), (&**r, &**l)];
+            for (lhs, rhs) in candidates {
+                let Expr::Path(base, field) = lhs else { continue };
+                let Expr::Ident(base_var) = &**base else { continue };
+                if base_var != var {
+                    continue;
+                }
+                let rhs_vars = rhs.free_idents();
+                if !rhs_vars.iter().all(|v| earlier.contains(v)) {
+                    continue;
+                }
+                if !inner.indexes.contains_key(&(class, field.clone())) {
+                    continue;
+                }
+                plans[d] = Some(ProbePlan {
+                    field: field.clone(),
+                    key_expr: rhs.clone(),
+                });
+                break;
+            }
+            if plans[d].is_some() {
+                break;
+            }
+        }
+    }
+    Ok(plans)
+}
+
+/// Nested-loop join over the variables' (deep) extents, with the predicate
+/// evaluated under an environment binding each variable to its object.
+/// Inner variables whose join key is indexed are *probed* (index lookup
+/// per outer binding) rather than enumerated — §3.1's "query optimization"
+/// applied to joins.
+fn collect_join(
+    tx: &Transaction<'_>,
+    vars: &[(String, String)],
+    suchthat: &Option<Expr>,
+) -> Result<Vec<Vec<Oid>>> {
+    let inner = tx.db.inner.read();
+    let plans = build_probe_plans(&inner, vars, suchthat)?;
+    drop(inner);
+
+    // Enumerate extents only for non-probed variables; for probed ones,
+    // precompute the (small) overlay of transaction-written objects whose
+    // class fits — committed index entries cannot see those.
+    let mut extents: Vec<Vec<(Oid, ObjState)>> = Vec::with_capacity(vars.len());
+    let mut overlays: Vec<Vec<Oid>> = Vec::with_capacity(vars.len());
+    {
+        let inner = tx.db.inner.read();
+        for (d, (_, class_name)) in vars.iter().enumerate() {
+            if plans[d].is_some() {
+                extents.push(Vec::new());
+                let class = inner.schema.id_of(class_name)?;
+                let overlay: Vec<Oid> = tx
+                    .writes
+                    .iter()
+                    .filter(|(oid, obj)| {
+                        !tx.deleted.contains_key(oid)
+                            && inner.schema.is_subclass(obj.state.class, class)
+                    })
+                    .map(|(&oid, _)| oid)
+                    .collect();
+                overlays.push(overlay);
+            } else {
+                overlays.push(Vec::new());
+                extents.push(Vec::new()); // filled below without the lock
+            }
+        }
+    }
+    for (d, (_, class_name)) in vars.iter().enumerate() {
+        if plans[d].is_none() {
+            extents[d] = tx.extent(class_name, true)?;
+        }
+    }
+
+    let inner = tx.db.inner.read();
+    let mut out = Vec::new();
+    let mut binding: Vec<Oid> = Vec::with_capacity(vars.len());
+    let mut env: HashMap<String, Value> = HashMap::new();
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        tx: &Transaction<'_>,
+        inner: &DbInner,
+        vars: &[(String, String)],
+        extents: &[Vec<(Oid, ObjState)>],
+        overlays: &[Vec<Oid>],
+        plans: &[Option<ProbePlan>],
+        suchthat: &Option<Expr>,
+        depth: usize,
+        binding: &mut Vec<Oid>,
+        env: &mut HashMap<String, Value>,
+        out: &mut Vec<Vec<Oid>>,
+    ) -> Result<()> {
+        let schema = &inner.schema;
+        if depth == vars.len() {
+            if let Some(pred) = suchthat {
+                let ctx = EvalCtx::new(schema).with_vars(env).with_resolver(tx);
+                if !ctx.eval_bool(pred)? {
+                    return Ok(());
+                }
+            }
+            out.push(binding.clone());
+            return Ok(());
+        }
+        // Candidate oids at this depth: probe or enumerate.
+        let oids: Vec<Oid> = match &plans[depth] {
+            Some(plan) => {
+                let class = schema.id_of(&vars[depth].1)?;
+                let key = EvalCtx::new(schema)
+                    .with_vars(env)
+                    .with_resolver(tx)
+                    .eval(&plan.key_expr)?;
+                if key.is_null() {
+                    // Null keys are not indexed; fall back to enumerating
+                    // this variable's extent for this outer binding.
+                    tx.extent(&vars[depth].1, true)?
+                        .into_iter()
+                        .map(|(oid, _)| oid)
+                        .collect()
+                } else {
+                    let ix = inner
+                        .indexes
+                        .get(&(class, plan.field.clone()))
+                        .expect("probe plan implies index");
+                    let mut oids = ix.lookup(&key);
+                    oids.retain(|oid| {
+                        !tx.deleted.contains_key(oid) && !tx.writes.contains_key(oid)
+                    });
+                    // Transaction-written objects re-checked by the leaf.
+                    oids.extend_from_slice(&overlays[depth]);
+                    oids
+                }
+            }
+            None => extents[depth].iter().map(|(oid, _)| *oid).collect(),
+        };
+        for oid in oids {
+            binding.push(oid);
+            env.insert(vars[depth].0.clone(), Value::Ref(oid));
+            rec(
+                tx, inner, vars, extents, overlays, plans, suchthat,
+                depth + 1, binding, env, out,
+            )?;
+            env.remove(&vars[depth].0);
+            binding.pop();
+        }
+        Ok(())
+    }
+    rec(
+        tx,
+        &inner,
+        vars,
+        &extents,
+        &overlays,
+        &plans,
+        suchthat,
+        0,
+        &mut binding,
+        &mut env,
+        &mut out,
+    )?;
+    Ok(out)
+}

@@ -1,0 +1,115 @@
+//! Trigger machinery (§6 of the paper).
+//!
+//! A **declaration** (on a class, see `ode-model`) becomes active only when
+//! an application *activates* it on a particular object with concrete
+//! arguments — the paper's `trigger-id = object->T(args)`. Activations are
+//! persistent (they live in the catalog) and are indexed by subject object.
+//!
+//! Firing semantics, faithfully to §6:
+//!
+//! * conditions are (conceptually) evaluated **at the end of each
+//!   transaction** — the engine evaluates them for every activation whose
+//!   subject was written by the committing transaction, which is
+//!   observationally equivalent because conditions only read the subject,
+//! * each firing spawns an **independent transaction** running the trigger
+//!   action after the triggering transaction commits ("weak coupling",
+//!   HiPAC) — if the triggering transaction aborts, nothing fires,
+//! * **once-only** triggers (the default) deactivate upon firing and must
+//!   be re-activated explicitly; **perpetual** triggers re-arm,
+//! * action transactions can fire further triggers; the engine bounds the
+//!   cascade depth (the paper leaves it unbounded, which does not survive
+//!   contact with a perpetual trigger whose action re-satisfies its own
+//!   condition).
+
+use ode_model::{Oid, TriggerDecl, Value};
+
+/// Handle returned by trigger activation; used for explicit deactivation
+/// (`trigger-id` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TriggerId(pub u64);
+
+impl std::fmt::Display for TriggerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trigger#{}", self.0)
+    }
+}
+
+/// A live activation: one (object, trigger, args) binding.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    /// Unique id.
+    pub id: u64,
+    /// Subject object.
+    pub oid: Oid,
+    /// Trigger name on the subject's class.
+    pub trigger: String,
+    /// Arguments bound to the declaration's parameters.
+    pub args: Vec<Value>,
+}
+
+/// A firing scheduled by a committed transaction: everything needed to run
+/// the action independently.
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// The activation that fired.
+    pub activation: Activation,
+    /// Snapshot of the declaration (actions + params) at firing time.
+    pub decl: TriggerDecl,
+}
+
+/// One fired trigger, as reported in [`crate::CommitInfo`].
+#[derive(Debug, Clone)]
+pub struct FiredTrigger {
+    /// Activation id.
+    pub id: TriggerId,
+    /// Subject object.
+    pub oid: Oid,
+    /// Trigger name.
+    pub trigger: String,
+}
+
+/// A trigger action that failed. Weak coupling means the triggering
+/// transaction has already committed; failures are reported, not propagated
+/// as rollbacks.
+#[derive(Debug)]
+pub struct TriggerFailure {
+    /// Activation id whose action failed.
+    pub id: TriggerId,
+    /// Subject object.
+    pub oid: Oid,
+    /// The error.
+    pub error: crate::error::OdeError,
+}
+
+/// Summary returned by [`crate::Transaction::commit`].
+#[derive(Debug, Default)]
+pub struct CommitInfo {
+    /// Triggers fired by this transaction and its cascade, in firing order.
+    pub fired: Vec<FiredTrigger>,
+    /// Action transactions that failed (weak coupling: reported only).
+    pub failures: Vec<TriggerFailure>,
+}
+
+impl CommitInfo {
+    /// Did anything fire?
+    pub fn any_fired(&self) -> bool {
+        !self.fired.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_id_display() {
+        assert_eq!(TriggerId(7).to_string(), "trigger#7");
+    }
+
+    #[test]
+    fn commit_info_default_is_quiet() {
+        let info = CommitInfo::default();
+        assert!(!info.any_fired());
+        assert!(info.failures.is_empty());
+    }
+}

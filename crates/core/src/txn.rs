@@ -1,0 +1,1056 @@
+//! Transactions: deferred-update write sets, constraint enforcement,
+//! commit, and weak-coupled trigger firing.
+//!
+//! The paper treats "any O++ program that interacts with the database" as
+//! one transaction (§1); here transactions are explicit. A transaction
+//! keeps every write in a private write-set (read-your-writes, invisible
+//! to the store until commit), so abort is trivial and the storage layer
+//! only ever sees committed batches.
+//!
+//! Commit pipeline, in order:
+//!
+//! 1. **Constraints** (§5): every object written must satisfy every
+//!    constraint of its class, inherited ones included; a violation aborts
+//!    and rolls back the whole transaction (footnote 17 / Cactis).
+//!    Constraints are *also* checked eagerly after each `update`/`pnew`.
+//! 2. **Trigger conditions** (§6): evaluated "at the end of the
+//!    transaction" for every activation whose subject was written.
+//! 3. The write-set is materialized into one atomic store batch (objects,
+//!    version records, catalog records for trigger activations).
+//! 4. In-memory indexes and the activation table are updated.
+//! 5. Fired trigger actions each run as an **independent transaction**
+//!    (weak coupling) — they start only after the commit, and an aborted
+//!    transaction fires nothing.
+
+use std::collections::{HashMap, HashSet};
+
+use ode_model::eval::EvalCtx;
+use ode_model::{
+    ClassId, ModelError, ObjState, Oid, Resolver, TriggerAction, Value, VersionNo, VersionRef,
+};
+use ode_storage::{RecordId, StoreOp};
+
+use crate::catalog::{CatalogRecord, CATALOG_HEAP};
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::object::{
+    decode_record, encode_anchor, encode_plain, encode_vrec, ObjRecord, VersionEntry,
+    VersionTable,
+};
+use crate::trigger::{Activation, CommitInfo, FiredTrigger, Firing, TriggerFailure, TriggerId};
+
+/// One version row in a transaction's working table.
+#[derive(Debug, Clone)]
+pub(crate) struct TxnVEntry {
+    pub no: VersionNo,
+    pub parent: VersionNo,
+    /// Record id on disk (`None` = created in this transaction).
+    pub rid: Option<RecordId>,
+    /// In-transaction snapshot to write at commit (`None` = disk content is
+    /// already correct, or this is the current version whose state lives in
+    /// [`TxnObj::state`]).
+    pub frozen: Option<ObjState>,
+    /// Marked deleted this transaction.
+    pub deleted: bool,
+}
+
+/// A versioned object's working table.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TxnVersionTable {
+    pub current: VersionNo,
+    pub entries: Vec<TxnVEntry>,
+}
+
+impl TxnVersionTable {
+    pub(crate) fn from_committed(t: &VersionTable) -> TxnVersionTable {
+        TxnVersionTable {
+            current: t.current,
+            entries: t
+                .entries
+                .iter()
+                .map(|e| TxnVEntry {
+                    no: e.no,
+                    parent: e.parent,
+                    rid: Some(e.rid),
+                    frozen: None,
+                    deleted: false,
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn next_no(&self) -> VersionNo {
+        self.entries.iter().map(|e| e.no + 1).max().unwrap_or(0)
+    }
+}
+
+/// Write-set entry for one object.
+#[derive(Debug, Clone)]
+pub(crate) struct TxnObj {
+    /// Created by this transaction (`pnew`).
+    pub new: bool,
+    /// Current-version state was modified.
+    pub dirty: bool,
+    /// Working state of the *current* version.
+    pub state: ObjState,
+    /// Committed current state (index maintenance); `None` for new objects.
+    pub pre_state: Option<ObjState>,
+    /// Version table, if the object is (or became) versioned.
+    pub vt: Option<TxnVersionTable>,
+    /// Table structure changed (new versions, deletions, re-current).
+    pub vt_dirty: bool,
+}
+
+/// Tombstone for an object deleted this transaction.
+#[derive(Debug, Clone)]
+pub(crate) struct DeletedObj {
+    /// Committed current state (index removal).
+    pub(crate) pre_state: ObjState,
+    /// Version record ids to delete alongside the anchor.
+    pub(crate) version_rids: Vec<RecordId>,
+}
+
+/// Field-level writer handed to [`Transaction::update`] closures. Performs
+/// type checking against the declared member types.
+pub struct ObjWriter<'a> {
+    schema: &'a ode_model::Schema,
+    state: &'a mut ObjState,
+}
+
+impl ObjWriter<'_> {
+    /// Read a field.
+    pub fn get(&self, field: &str) -> Result<Value> {
+        let def = self.schema.class(self.state.class)?;
+        let i = def.field_index(field)?;
+        Ok(self.state.fields[i].clone())
+    }
+
+    /// Assign a field (type-checked).
+    pub fn set(&mut self, field: &str, value: impl Into<Value>) -> Result<()> {
+        let value = value.into();
+        let i = self.schema.check_assign(self.state.class, field, &value)?;
+        self.state.fields[i] = value;
+        Ok(())
+    }
+
+    /// Insert into a set-valued field; returns true if the element was new.
+    pub fn set_insert(&mut self, field: &str, value: impl Into<Value>) -> Result<bool> {
+        let value = value.into();
+        let def = self.schema.class(self.state.class)?;
+        let i = def.field_index(field)?;
+        match &mut self.state.fields[i] {
+            Value::Set(s) => Ok(s.insert(value)),
+            Value::Null => {
+                let mut s = ode_model::SetValue::new();
+                s.insert(value);
+                let v = Value::Set(s);
+                self.schema.check_assign(self.state.class, field, &v)?;
+                self.state.fields[i] = v;
+                Ok(true)
+            }
+            other => Err(ModelError::Type(format!(
+                "field `{field}` is not a set (found {other})"
+            ))
+            .into()),
+        }
+    }
+
+    /// Remove from a set-valued field; returns true if it was present.
+    pub fn set_remove(&mut self, field: &str, value: &Value) -> Result<bool> {
+        let def = self.schema.class(self.state.class)?;
+        let i = def.field_index(field)?;
+        match &mut self.state.fields[i] {
+            Value::Set(s) => Ok(s.remove(value)),
+            Value::Null => Ok(false),
+            other => Err(ModelError::Type(format!(
+                "field `{field}` is not a set (found {other})"
+            ))
+            .into()),
+        }
+    }
+
+    /// The object's dynamic class.
+    pub fn class(&self) -> ClassId {
+        self.state.class
+    }
+
+    /// Schema + in-progress state, for expression evaluation against the
+    /// object mid-update (used by `update … set` statements).
+    pub fn parts(&self) -> (&ode_model::Schema, &ObjState) {
+        (self.schema, self.state)
+    }
+}
+
+/// An Ode transaction. Obtain with [`Database::begin`] or
+/// [`Database::transaction`]; finish with [`Transaction::commit`] or
+/// [`Transaction::abort`] (dropping an unfinished transaction aborts it).
+pub struct Transaction<'db> {
+    pub(crate) db: &'db Database,
+    _gate: parking_lot::MutexGuard<'db, ()>,
+    pub(crate) writes: HashMap<Oid, TxnObj>,
+    pub(crate) write_order: Vec<Oid>,
+    pub(crate) deleted: HashMap<Oid, DeletedObj>,
+    pending_activations: Vec<Activation>,
+    pending_deactivations: Vec<u64>,
+    pub(crate) reserved: Vec<(u32, RecordId)>,
+    aborted: bool,
+    committed: bool,
+    depth: usize,
+    /// Skip the eager per-update constraint check; commit still checks
+    /// every written object. Used by bulk loads (import) whose
+    /// intermediate states are transiently inconsistent.
+    defer_constraints: bool,
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db Database, depth: usize) -> Transaction<'db> {
+        Transaction {
+            db,
+            _gate: db.txn_gate.lock(),
+            writes: HashMap::new(),
+            write_order: Vec::new(),
+            deleted: HashMap::new(),
+            pending_activations: Vec::new(),
+            pending_deactivations: Vec::new(),
+            reserved: Vec::new(),
+            aborted: false,
+            committed: false,
+            depth,
+            defer_constraints: false,
+        }
+    }
+
+    /// Defer constraint checking to commit time for the rest of this
+    /// transaction (§5's checks still run — once, over final states —
+    /// before anything becomes durable). For bulk loads and migrations
+    /// whose intermediate states are transiently inconsistent.
+    pub fn defer_constraints(&mut self) {
+        self.defer_constraints = true;
+    }
+
+    pub(crate) fn ensure_live(&self) -> Result<()> {
+        if self.aborted {
+            Err(OdeError::TransactionAborted)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn mark_aborted(&mut self) {
+        if !self.aborted {
+            self.aborted = true;
+            self.release_reservations();
+        }
+    }
+
+    fn release_reservations(&mut self) {
+        for (heap, rid) in self.reserved.drain(..) {
+            let _ = self.db.store.release(heap, rid);
+        }
+    }
+
+    // ------------------------------------------------------------ reads
+
+    /// Load the committed image of an object (ignoring the write-set).
+    pub(crate) fn load_committed(&self, oid: Oid) -> Result<(ObjState, Option<VersionTable>)> {
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(state) => Ok((state, None)),
+            ObjRecord::Anchor(table) => {
+                let vrid = table.current_rid()?;
+                match decode_record(&self.db.store.read(oid.cluster, vrid)?)? {
+                    ObjRecord::VersionRec { state, .. } => Ok((state, Some(table))),
+                    _ => Err(OdeError::Version(format!(
+                        "anchor {oid} points at a non-version record"
+                    ))),
+                }
+            }
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// Does the object exist (in this transaction's view)?
+    pub fn exists(&self, oid: Oid) -> bool {
+        if self.deleted.contains_key(&oid) {
+            return false;
+        }
+        if self.writes.contains_key(&oid) {
+            return true;
+        }
+        self.load_committed(oid).is_ok()
+    }
+
+    /// Read an object's current state (write-set overlay included) —
+    /// dereferencing a *generic* reference (§4).
+    pub fn read(&self, oid: Oid) -> Result<ObjState> {
+        self.ensure_live()?;
+        if self.deleted.contains_key(&oid) {
+            return Err(OdeError::NoSuchObject(format!("{oid} (deleted)")));
+        }
+        if let Some(obj) = self.writes.get(&oid) {
+            return Ok(obj.state.clone());
+        }
+        Ok(self.load_committed(oid)?.0)
+    }
+
+    /// Read one field.
+    pub fn get(&self, oid: Oid, field: &str) -> Result<Value> {
+        let state = self.read(oid)?;
+        let inner = self.db.inner.read();
+        let def = inner.schema.class(state.class)?;
+        let i = def.field_index(field)?;
+        Ok(state.fields[i].clone())
+    }
+
+    /// The object's dynamic (most-derived) class.
+    pub fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        Ok(self.read(oid)?.class)
+    }
+
+    /// The paper's `is` test (§3.1.1): is the object an instance of (a
+    /// subclass of) `class_name`?
+    pub fn instance_of(&self, oid: Oid, class_name: &str) -> Result<bool> {
+        let class = self.read(oid)?.class;
+        let inner = self.db.inner.read();
+        let target = inner.schema.id_of(class_name)?;
+        Ok(inner.schema.is_subclass(class, target))
+    }
+
+    /// Call a registered method on the object.
+    pub fn call(&self, oid: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        let state = self.read(oid)?;
+        let inner = self.db.inner.read();
+        let m = inner.schema.lookup_method(state.class, method)?;
+        Ok(m(&state, args)?)
+    }
+
+    // ----------------------------------------------------------- writes
+
+    /// Create a persistent object — the paper's `pnew` (§2.4). The cluster
+    /// for the class must already exist (§2.5). Field initializers are
+    /// applied over the class defaults, then constraints are checked
+    /// (constructor semantics).
+    pub fn pnew(&mut self, class_name: &str, inits: &[(&str, Value)]) -> Result<Oid> {
+        self.ensure_live()?;
+        let (state, heap) = {
+            let inner = self.db.inner.read();
+            let class = inner.schema.id_of(class_name)?;
+            let Some(&heap) = inner.clusters.get(&class) else {
+                return Err(OdeError::NoSuchCluster(class_name.to_string()));
+            };
+            let mut state = inner.schema.new_object(class)?;
+            for (field, value) in inits {
+                let i = inner.schema.check_assign(class, field, value)?;
+                state.fields[i] = value.clone();
+            }
+            (state, heap)
+        };
+        let size_hint = encode_plain(&state).len();
+        let rid = self.db.store.reserve(heap, size_hint)?;
+        self.reserved.push((heap, rid));
+        let oid = Oid { cluster: heap, rid };
+        self.writes.insert(
+            oid,
+            TxnObj {
+                new: true,
+                dirty: true,
+                state,
+                pre_state: None,
+                vt: None,
+                vt_dirty: false,
+            },
+        );
+        self.write_order.push(oid);
+        if !self.defer_constraints {
+            if let Err(e) = self.check_object_constraints(oid) {
+                self.mark_aborted();
+                return Err(e);
+            }
+        }
+        Ok(oid)
+    }
+
+    /// Pull an object into the write-set.
+    pub(crate) fn load_for_write(&mut self, oid: Oid) -> Result<()> {
+        self.ensure_live()?;
+        if self.deleted.contains_key(&oid) {
+            return Err(OdeError::NoSuchObject(format!("{oid} (deleted)")));
+        }
+        if self.writes.contains_key(&oid) {
+            return Ok(());
+        }
+        let (state, vt) = self.load_committed(oid)?;
+        self.writes.insert(
+            oid,
+            TxnObj {
+                new: false,
+                dirty: false,
+                pre_state: Some(state.clone()),
+                state,
+                vt: vt.as_ref().map(TxnVersionTable::from_committed),
+                vt_dirty: false,
+            },
+        );
+        self.write_order.push(oid);
+        Ok(())
+    }
+
+    /// Update an object through a closure receiving a type-checked
+    /// [`ObjWriter`]. The closure's changes are applied atomically (an
+    /// error inside leaves the object untouched), then the object's
+    /// constraints are checked — a violation **aborts the transaction**
+    /// (§5).
+    pub fn update(
+        &mut self,
+        oid: Oid,
+        f: impl FnOnce(&mut ObjWriter<'_>) -> Result<()>,
+    ) -> Result<()> {
+        self.load_for_write(oid)?;
+        {
+            let inner = self.db.inner.read();
+            let obj = self.writes.get_mut(&oid).expect("just loaded");
+            let mut work = obj.state.clone();
+            {
+                let mut w = ObjWriter {
+                    schema: &inner.schema,
+                    state: &mut work,
+                };
+                f(&mut w)?;
+            }
+            obj.state = work;
+            obj.dirty = true;
+        }
+        if !self.defer_constraints {
+            if let Err(e) = self.check_object_constraints(oid) {
+                self.mark_aborted();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Assign one field.
+    pub fn set(&mut self, oid: Oid, field: &str, value: impl Into<Value>) -> Result<()> {
+        let value = value.into();
+        self.update(oid, |w| w.set(field, value))
+    }
+
+    /// Insert into a set-valued field (§2.6).
+    pub fn set_insert(&mut self, oid: Oid, field: &str, value: impl Into<Value>) -> Result<bool> {
+        let value = value.into();
+        let mut added = false;
+        self.update(oid, |w| {
+            added = w.set_insert(field, value)?;
+            Ok(())
+        })?;
+        Ok(added)
+    }
+
+    /// Remove from a set-valued field.
+    pub fn set_remove(&mut self, oid: Oid, field: &str, value: &Value) -> Result<bool> {
+        let mut removed = false;
+        self.update(oid, |w| {
+            removed = w.set_remove(field, value)?;
+            Ok(())
+        })?;
+        Ok(removed)
+    }
+
+    /// Delete a persistent object — the paper's `pdelete` (§2.4). Deletes
+    /// every version. References held elsewhere dangle (dereferencing them
+    /// reports "no such object"), as in the paper's pointer model.
+    pub fn pdelete(&mut self, oid: Oid) -> Result<()> {
+        self.ensure_live()?;
+        if self.deleted.contains_key(&oid) {
+            return Err(OdeError::NoSuchObject(format!("{oid} (already deleted)")));
+        }
+        if let Some(obj) = self.writes.remove(&oid) {
+            self.write_order.retain(|&o| o != oid);
+            if obj.new {
+                // Never existed outside this transaction: release the
+                // reserved anchor and forget it entirely.
+                self.reserved.retain(|&(h, r)| !(h == oid.cluster && r == oid.rid));
+                let _ = self.db.store.release(oid.cluster, oid.rid);
+                self.pending_activations.retain(|a| a.oid != oid);
+                return Ok(());
+            }
+            let version_rids = obj
+                .vt
+                .iter()
+                .flat_map(|t| t.entries.iter().filter_map(|e| e.rid))
+                .collect();
+            self.deleted.insert(
+                oid,
+                DeletedObj {
+                    pre_state: obj.pre_state.expect("committed object has pre-state"),
+                    version_rids,
+                },
+            );
+        } else {
+            let (state, vt) = self.load_committed(oid)?;
+            let version_rids = vt
+                .iter()
+                .flat_map(|t| t.entries.iter().map(|e| e.rid))
+                .collect();
+            self.deleted.insert(
+                oid,
+                DeletedObj {
+                    pre_state: state,
+                    version_rids,
+                },
+            );
+        }
+        self.pending_activations.retain(|a| a.oid != oid);
+        Ok(())
+    }
+
+    // ------------------------------------------------------ constraints
+
+    /// Check every constraint applying to the object's class (§5).
+    pub(crate) fn check_object_constraints(&self, oid: Oid) -> Result<()> {
+        let state = match self.writes.get(&oid) {
+            Some(o) => o.state.clone(),
+            None => self.read(oid)?,
+        };
+        let inner = self.db.inner.read();
+        for (class_def, c) in inner.schema.all_constraints(state.class)? {
+            let ctx = EvalCtx::new(&inner.schema)
+                .with_this(&state)
+                .with_resolver(self);
+            let ok = ctx.eval_bool(&c.expr)?;
+            if !ok {
+                return Err(OdeError::ConstraintViolation {
+                    class: class_def.name.clone(),
+                    constraint: c.name.clone(),
+                    src: c.src.clone(),
+                    object: oid.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- triggers
+
+    /// Activate a trigger on an object — the paper's
+    /// `trigger-id = object->T(args)` (§6). The returned [`TriggerId`] can
+    /// deactivate it later. The activation becomes durable with this
+    /// transaction's commit.
+    pub fn activate_trigger(
+        &mut self,
+        oid: Oid,
+        trigger: &str,
+        args: Vec<Value>,
+    ) -> Result<TriggerId> {
+        self.ensure_live()?;
+        let class = self.class_of(oid)?;
+        {
+            let inner = self.db.inner.read();
+            let (_, decl) = inner.schema.find_trigger(class, trigger)?;
+            if decl.params.len() != args.len() {
+                return Err(OdeError::Trigger(format!(
+                    "trigger `{trigger}` takes {} argument(s), got {}",
+                    decl.params.len(),
+                    args.len()
+                )));
+            }
+        }
+        let id = self.db.alloc_activation_id();
+        self.pending_activations.push(Activation {
+            id,
+            oid,
+            trigger: trigger.to_string(),
+            args,
+        });
+        Ok(TriggerId(id))
+    }
+
+    /// Deactivate a trigger before it fires (§6's explicit deactivation).
+    pub fn deactivate_trigger(&mut self, id: TriggerId) -> Result<()> {
+        self.ensure_live()?;
+        if let Some(i) = self
+            .pending_activations
+            .iter()
+            .position(|a| a.id == id.0)
+        {
+            self.pending_activations.remove(i);
+            return Ok(());
+        }
+        let inner = self.db.inner.read();
+        if !inner.activations.contains_key(&id.0) {
+            return Err(OdeError::Trigger(format!("{id} is not active")));
+        }
+        drop(inner);
+        if !self.pending_deactivations.contains(&id.0) {
+            self.pending_deactivations.push(id.0);
+        }
+        Ok(())
+    }
+
+    /// Trigger activations currently attached to an object (committed view
+    /// plus this transaction's pending ones).
+    pub fn active_triggers(&self, oid: Oid) -> Vec<TriggerId> {
+        let inner = self.db.inner.read();
+        let mut ids: Vec<u64> = inner
+            .activations_by_oid
+            .get(&oid)
+            .cloned()
+            .unwrap_or_default();
+        ids.retain(|id| !self.pending_deactivations.contains(id));
+        ids.extend(
+            self.pending_activations
+                .iter()
+                .filter(|a| a.oid == oid)
+                .map(|a| a.id),
+        );
+        ids.sort_unstable();
+        ids.into_iter().map(TriggerId).collect()
+    }
+
+    // ----------------------------------------------------------- commit
+
+    /// Commit. Returns what fired (weak-coupled trigger actions have
+    /// already run by the time this returns).
+    pub fn commit(mut self) -> Result<CommitInfo> {
+        let firings = match self.do_commit() {
+            Ok(f) => f,
+            Err(e) => {
+                self.mark_aborted();
+                return Err(e);
+            }
+        };
+        let db = self.db;
+        let depth = self.depth;
+        drop(self); // release the transaction gate before running actions
+        let mut info = CommitInfo::default();
+        run_firings(db, firings, depth, &mut info);
+        Ok(info)
+    }
+
+    /// Abort: discard the write-set and release reservations.
+    pub fn abort(mut self) {
+        self.mark_aborted();
+    }
+
+    /// Steps 1–4 of the commit pipeline. Returns the firings to run.
+    fn do_commit(&mut self) -> Result<Vec<Firing>> {
+        self.ensure_live()?;
+
+        // 1. Deferred constraint check over every written object.
+        for &oid in &self.write_order.clone() {
+            if self.deleted.contains_key(&oid) {
+                continue;
+            }
+            self.check_object_constraints(oid)?;
+        }
+
+        // 2. Trigger-condition evaluation on touched objects.
+        let firings = self.evaluate_triggers()?;
+
+        // Which activations stop existing: explicit deactivations, fired
+        // once-only ones, and activations on deleted objects.
+        let mut kill_committed: Vec<u64> = self.pending_deactivations.clone();
+        let mut fired_pending: HashSet<u64> = HashSet::new();
+        {
+            let inner = self.db.inner.read();
+            for f in &firings {
+                let (_, decl) = inner
+                    .schema
+                    .find_trigger(self.read(f.activation.oid)?.class, &f.activation.trigger)?;
+                if !decl.perpetual {
+                    if inner.activations.contains_key(&f.activation.id) {
+                        kill_committed.push(f.activation.id);
+                    } else {
+                        fired_pending.insert(f.activation.id);
+                    }
+                }
+            }
+            for oid in self.deleted.keys() {
+                if let Some(ids) = inner.activations_by_oid.get(oid) {
+                    kill_committed.extend_from_slice(ids);
+                }
+            }
+        }
+        kill_committed.sort_unstable();
+        kill_committed.dedup();
+
+        // 3. Materialize the batch.
+        let mut ops: Vec<StoreOp> = Vec::new();
+        let mut index_updates: Vec<(Oid, Option<ObjState>, Option<ObjState>)> = Vec::new();
+        for &oid in &self.write_order.clone() {
+            let obj = self.writes.get(&oid).expect("write order tracks writes");
+            let obj = obj.clone();
+            self.materialize_object(oid, &obj, &mut ops)?;
+            if obj.dirty || obj.new {
+                index_updates.push((oid, obj.pre_state.clone(), Some(obj.state.clone())));
+            }
+        }
+        for (&oid, dead) in &self.deleted {
+            ops.push(StoreOp::Delete {
+                heap: oid.cluster,
+                rid: oid.rid,
+            });
+            for &rid in &dead.version_rids {
+                ops.push(StoreOp::Delete {
+                    heap: oid.cluster,
+                    rid,
+                });
+            }
+            index_updates.push((oid, Some(dead.pre_state.clone()), None));
+        }
+
+        // Catalog: persist surviving pending activations; delete killed ones.
+        let mut persisted_activations: Vec<(Activation, RecordId)> = Vec::new();
+        for a in &self.pending_activations {
+            if fired_pending.contains(&a.id) {
+                continue; // once-only, fired in its own birth transaction
+            }
+            let rec = CatalogRecord::Activation {
+                id: a.id,
+                oid: a.oid,
+                trigger: a.trigger.clone(),
+                args: a.args.clone(),
+            }
+            .encode();
+            let rid = self.db.store.reserve(CATALOG_HEAP, rec.len())?;
+            self.reserved.push((CATALOG_HEAP, rid));
+            ops.push(StoreOp::Put {
+                heap: CATALOG_HEAP,
+                rid,
+                data: rec,
+            });
+            persisted_activations.push((a.clone(), rid));
+        }
+        {
+            let inner = self.db.inner.read();
+            for id in &kill_committed {
+                if let Some(&rid) = inner.catalog.activation_rids.get(id) {
+                    ops.push(StoreOp::Delete {
+                        heap: CATALOG_HEAP,
+                        rid,
+                    });
+                }
+            }
+        }
+
+        // 4. Atomic store commit, then in-memory catalog/index updates.
+        self.db.store.commit(ops)?;
+        self.committed = true;
+
+        let mut inner = self.db.inner.write();
+        for (oid, old, new) in index_updates {
+            let keys: Vec<(ClassId, String)> = inner.indexes.keys().cloned().collect();
+            for key in keys {
+                let (ixclass, field) = &key;
+                let class = old
+                    .as_ref()
+                    .or(new.as_ref())
+                    .map(|s| s.class)
+                    .expect("one side present");
+                if !inner.schema.is_subclass(class, *ixclass) {
+                    continue;
+                }
+                let slot = inner.schema.class(class)?.field_index(field)?;
+                let old_key = old.as_ref().map(|s| s.fields[slot].clone());
+                let new_key = new.as_ref().map(|s| s.fields[slot].clone());
+                if old_key == new_key {
+                    continue;
+                }
+                let ix = inner.indexes.get_mut(&key).expect("key from keys()");
+                if let Some(k) = old_key {
+                    if !k.is_null() {
+                        ix.remove(&k, oid);
+                    }
+                }
+                if let Some(k) = new_key {
+                    if !k.is_null() {
+                        ix.insert(k, oid);
+                    }
+                }
+            }
+        }
+        for (a, rid) in persisted_activations {
+            inner.catalog.activation_rids.insert(a.id, rid);
+            inner
+                .activations_by_oid
+                .entry(a.oid)
+                .or_default()
+                .push(a.id);
+            inner.activations.insert(a.id, a);
+        }
+        for id in kill_committed {
+            inner.catalog.activation_rids.remove(&id);
+            if let Some(a) = inner.activations.remove(&id) {
+                if let Some(v) = inner.activations_by_oid.get_mut(&a.oid) {
+                    v.retain(|&x| x != id);
+                }
+            }
+        }
+        drop(inner);
+
+        Ok(firings)
+    }
+
+    /// Turn one write-set entry into store operations.
+    fn materialize_object(
+        &mut self,
+        oid: Oid,
+        obj: &TxnObj,
+        ops: &mut Vec<StoreOp>,
+    ) -> Result<()> {
+        match &obj.vt {
+            None => {
+                if obj.dirty || obj.new {
+                    ops.push(StoreOp::Put {
+                        heap: oid.cluster,
+                        rid: oid.rid,
+                        data: encode_plain(&obj.state),
+                    });
+                }
+            }
+            Some(vt) => {
+                let mut entries = Vec::new();
+                let mut anchor_dirty = obj.vt_dirty;
+                for e in &vt.entries {
+                    if e.deleted {
+                        if let Some(rid) = e.rid {
+                            ops.push(StoreOp::Delete {
+                                heap: oid.cluster,
+                                rid,
+                            });
+                        }
+                        anchor_dirty = true;
+                        continue;
+                    }
+                    let state_to_write: Option<&ObjState> = if e.no == vt.current {
+                        if obj.dirty || e.rid.is_none() {
+                            Some(&obj.state)
+                        } else {
+                            None
+                        }
+                    } else if e.frozen.is_some() {
+                        e.frozen.as_ref()
+                    } else {
+                        None
+                    };
+                    let rid = match e.rid {
+                        Some(rid) => rid,
+                        None => {
+                            let data_len = state_to_write
+                                .map(|s| encode_vrec(e.no, s).len())
+                                .unwrap_or(64);
+                            let rid = self.db.store.reserve(oid.cluster, data_len)?;
+                            self.reserved.push((oid.cluster, rid));
+                            anchor_dirty = true;
+                            rid
+                        }
+                    };
+                    if let Some(state) = state_to_write {
+                        ops.push(StoreOp::Put {
+                            heap: oid.cluster,
+                            rid,
+                            data: encode_vrec(e.no, state),
+                        });
+                    }
+                    entries.push(VersionEntry {
+                        no: e.no,
+                        rid,
+                        parent: e.parent,
+                    });
+                }
+                if anchor_dirty || obj.new {
+                    let table = VersionTable {
+                        current: vt.current,
+                        entries,
+                    };
+                    ops.push(StoreOp::Put {
+                        heap: oid.cluster,
+                        rid: oid.rid,
+                        data: encode_anchor(&table),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate trigger conditions for every touched object (§6).
+    fn evaluate_triggers(&self) -> Result<Vec<Firing>> {
+        let inner = self.db.inner.read();
+        let mut firings = Vec::new();
+        let consider = |act: &Activation, firings: &mut Vec<Firing>| -> Result<()> {
+            if self.pending_deactivations.contains(&act.id) {
+                return Ok(());
+            }
+            let Some(obj) = self.writes.get(&act.oid) else {
+                return Ok(());
+            };
+            if !(obj.dirty || obj.new) || self.deleted.contains_key(&act.oid) {
+                return Ok(());
+            }
+            let (_, decl) = inner.schema.find_trigger(obj.state.class, &act.trigger)?;
+            let params: HashMap<String, Value> = decl
+                .params
+                .iter()
+                .cloned()
+                .zip(act.args.iter().cloned())
+                .collect();
+            let ctx = EvalCtx::new(&inner.schema)
+                .with_this(&obj.state)
+                .with_params(&params)
+                .with_resolver(self);
+            if ctx.eval_bool(&decl.condition)? {
+                firings.push(Firing {
+                    activation: act.clone(),
+                    decl: decl.clone(),
+                });
+            }
+            Ok(())
+        };
+        // Only activations whose subject was written can change outcome, so
+        // the per-commit cost scales with the write-set, not with the total
+        // number of activations in the database (figure F7's cold sweep).
+        for oid in &self.write_order {
+            if let Some(ids) = inner.activations_by_oid.get(oid) {
+                for id in ids {
+                    if let Some(act) = inner.activations.get(id) {
+                        consider(act, &mut firings)?;
+                    }
+                }
+            }
+        }
+        for act in &self.pending_activations {
+            consider(act, &mut firings)?;
+        }
+        // Deterministic firing order: by activation id.
+        firings.sort_by_key(|f| f.activation.id);
+        Ok(firings)
+    }
+
+    // -------------------------------------------------------- misc info
+
+    /// Objects written (created or modified) so far.
+    pub fn touched(&self) -> Vec<Oid> {
+        self.write_order
+            .iter()
+            .filter(|oid| {
+                self.writes
+                    .get(oid)
+                    .map(|o| o.dirty || o.new)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The database this transaction runs against.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.committed && !self.aborted {
+            self.mark_aborted();
+        }
+    }
+}
+
+impl Resolver for Transaction<'_> {
+    fn deref_obj(&self, oid: Oid) -> ode_model::Result<ObjState> {
+        self.read(oid).map_err(|e| ModelError::Eval(e.to_string()))
+    }
+
+    fn deref_version(&self, vref: VersionRef) -> ode_model::Result<ObjState> {
+        self.read_version(vref)
+            .map_err(|e| ModelError::Eval(e.to_string()))
+    }
+}
+
+/// Run fired trigger actions, each in its own transaction (weak coupling),
+/// cascading up to the configured depth. Per weak coupling, failures are
+/// recorded in `info` rather than propagated: the triggering transaction
+/// has already committed.
+pub(crate) fn run_firings(
+    db: &Database,
+    firings: Vec<Firing>,
+    depth: usize,
+    info: &mut CommitInfo,
+) {
+    if firings.is_empty() {
+        return;
+    }
+    if depth >= db.config.trigger_cascade_limit {
+        for f in firings {
+            info.failures.push(TriggerFailure {
+                id: TriggerId(f.activation.id),
+                oid: f.activation.oid,
+                error: OdeError::TriggerCascade {
+                    limit: db.config.trigger_cascade_limit,
+                },
+            });
+        }
+        return;
+    }
+    for firing in firings {
+        info.fired.push(FiredTrigger {
+            id: TriggerId(firing.activation.id),
+            oid: firing.activation.oid,
+            trigger: firing.activation.trigger.clone(),
+        });
+        let result: Result<Vec<Firing>> = (|| {
+            let mut tx = Transaction::new(db, depth + 1);
+            apply_actions(&mut tx, &firing)?;
+            let next = tx.do_commit()?;
+            Ok(next)
+        })();
+        match result {
+            Ok(next) => run_firings(db, next, depth + 1, info),
+            Err(error) => info.failures.push(TriggerFailure {
+                id: TriggerId(firing.activation.id),
+                oid: firing.activation.oid,
+                error,
+            }),
+        }
+    }
+}
+
+/// Execute one firing's actions inside `tx`.
+fn apply_actions(tx: &mut Transaction<'_>, firing: &Firing) -> Result<()> {
+    let oid = firing.activation.oid;
+    let params: HashMap<String, Value> = firing
+        .decl
+        .params
+        .iter()
+        .cloned()
+        .zip(firing.activation.args.iter().cloned())
+        .collect();
+    for action in &firing.decl.actions {
+        match action {
+            TriggerAction::Assign { field, expr, .. } => {
+                let state = tx.read(oid)?;
+                let value = {
+                    let inner = tx.db.inner.read();
+                    EvalCtx::new(&inner.schema)
+                        .with_this(&state)
+                        .with_params(&params)
+                        .with_resolver(tx)
+                        .eval(expr)?
+                };
+                tx.set(oid, field, value)?;
+            }
+            TriggerAction::Callback { name } => {
+                let cb = tx.db.callback(name)?;
+                cb(tx, oid, &firing.activation.args)?;
+            }
+        }
+    }
+    Ok(())
+}

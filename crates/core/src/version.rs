@@ -1,0 +1,373 @@
+//! Object versioning (§4 of the paper).
+//!
+//! * `newversion` is **explicit**: "Updating a persistent object does not
+//!   automatically create a new version" — plain updates rewrite the
+//!   current version in place.
+//! * A **generic reference** (a plain [`Oid`]) always denotes the current
+//!   version; a **specific reference** ([`VersionRef`]) pins one version.
+//! * The paper describes linear version chains and defers version *trees*
+//!   to the Ode versioning paper (footnote 15); both are implemented:
+//!   [`Transaction::newversion`] extends the chain from the current
+//!   version, [`Transaction::newversion_from`] branches from any version.
+//! * Old versions are read-only (an implementation choice the paper
+//!   explicitly permits); there is no API to mutate a non-current version.
+//! * `pdelete` of a version (footnote 16): any non-current version can be
+//!   deleted; its children are re-parented to its parent so history stays
+//!   connected.
+
+use ode_model::{ObjState, Oid, VersionNo, VersionRef};
+
+use crate::error::{OdeError, Result};
+use crate::object::{decode_record, ObjRecord, NO_PARENT};
+use crate::txn::{Transaction, TxnVEntry, TxnVersionTable};
+
+impl Transaction<'_> {
+    /// Create a new version of the object and make it current (the paper's
+    /// `newversion` macro). The previous current version is frozen with the
+    /// object's state *as of this call* (including this transaction's
+    /// earlier updates). Returns the new version number.
+    pub fn newversion(&mut self, oid: Oid) -> Result<VersionNo> {
+        self.load_for_write(oid)?;
+        let obj = self.writes.get_mut(&oid).expect("just loaded");
+        if obj.vt.is_none() {
+            // First versioning of this object: the existing state becomes
+            // version 0.
+            obj.vt = Some(TxnVersionTable {
+                current: 0,
+                entries: vec![TxnVEntry {
+                    no: 0,
+                    parent: NO_PARENT,
+                    rid: None,
+                    frozen: None,
+                    deleted: false,
+                }],
+            });
+        }
+        let state_snapshot = obj.state.clone();
+        let dirty = obj.dirty;
+        let vt = obj.vt.as_mut().expect("ensured above");
+        let cur = vt.current;
+        let new_no = vt.next_no();
+        if let Some(entry) = vt.entries.iter_mut().find(|e| e.no == cur && !e.deleted) {
+            // Freeze the outgoing current version. If its record is already
+            // on disk and unchanged this transaction, the disk bytes are
+            // already right.
+            if entry.rid.is_none() || dirty {
+                entry.frozen = Some(state_snapshot);
+            }
+        }
+        vt.entries.push(TxnVEntry {
+            no: new_no,
+            parent: cur,
+            rid: None,
+            frozen: None,
+            deleted: false,
+        });
+        vt.current = new_no;
+        obj.vt_dirty = true;
+        // The new current version's record must be written even if no
+        // further updates happen (its rid is None → materialized from the
+        // working state at commit).
+        Ok(new_no)
+    }
+
+    /// Branch a new version from an arbitrary existing version (version
+    /// *trees*, the extension the paper defers to its reference \[4\]). The new
+    /// version becomes current and its state starts as a copy of the
+    /// branched-from version.
+    pub fn newversion_from(&mut self, vref: VersionRef) -> Result<VersionNo> {
+        let base_state = self.read_version(vref)?;
+        self.load_for_write(vref.oid)?;
+        let obj = self.writes.get_mut(&vref.oid).expect("just loaded");
+        if obj.vt.is_none() {
+            if vref.version != 0 {
+                return Err(OdeError::Version(format!(
+                    "object {} has no version {}",
+                    vref.oid, vref.version
+                )));
+            }
+            obj.vt = Some(TxnVersionTable {
+                current: 0,
+                entries: vec![TxnVEntry {
+                    no: 0,
+                    parent: NO_PARENT,
+                    rid: None,
+                    frozen: None,
+                    deleted: false,
+                }],
+            });
+        }
+        let outgoing = obj.state.clone();
+        let dirty = obj.dirty;
+        let vt = obj.vt.as_mut().expect("ensured above");
+        if !vt.entries.iter().any(|e| e.no == vref.version && !e.deleted) {
+            return Err(OdeError::Version(format!(
+                "object {} has no version {}",
+                vref.oid, vref.version
+            )));
+        }
+        let cur = vt.current;
+        let new_no = vt.next_no();
+        if let Some(entry) = vt.entries.iter_mut().find(|e| e.no == cur && !e.deleted) {
+            if entry.rid.is_none() || dirty {
+                entry.frozen = Some(outgoing);
+            }
+        }
+        vt.entries.push(TxnVEntry {
+            no: new_no,
+            parent: vref.version,
+            rid: None,
+            frozen: None,
+            deleted: false,
+        });
+        vt.current = new_no;
+        obj.vt_dirty = true;
+        obj.state = base_state;
+        obj.dirty = true;
+        Ok(new_no)
+    }
+
+    /// Dereference a *specific* reference: the state of one pinned version.
+    pub fn read_version(&self, vref: VersionRef) -> Result<ObjState> {
+        self.ensure_live()?;
+        let oid = vref.oid;
+        if self.deleted.contains_key(&oid) {
+            return Err(OdeError::NoSuchObject(format!("{oid} (deleted)")));
+        }
+        if let Some(obj) = self.writes.get(&oid) {
+            match &obj.vt {
+                None => {
+                    // Unversioned objects have exactly one implicit version 0.
+                    if vref.version == 0 {
+                        return Ok(obj.state.clone());
+                    }
+                    return Err(OdeError::Version(format!(
+                        "object {oid} has no version {}",
+                        vref.version
+                    )));
+                }
+                Some(vt) => {
+                    let Some(entry) =
+                        vt.entries.iter().find(|e| e.no == vref.version && !e.deleted)
+                    else {
+                        return Err(OdeError::Version(format!(
+                            "object {oid} has no version {}",
+                            vref.version
+                        )));
+                    };
+                    if entry.no == vt.current {
+                        return Ok(obj.state.clone());
+                    }
+                    if let Some(s) = &entry.frozen {
+                        return Ok(s.clone());
+                    }
+                    let rid = entry.rid.expect("committed entry has a rid");
+                    return self.read_version_record(oid, rid, vref.version);
+                }
+            }
+        }
+        // Committed view.
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(state) => {
+                if vref.version == 0 {
+                    Ok(state)
+                } else {
+                    Err(OdeError::Version(format!(
+                        "object {oid} has no version {}",
+                        vref.version
+                    )))
+                }
+            }
+            ObjRecord::Anchor(table) => {
+                let Some(entry) = table.entry(vref.version) else {
+                    return Err(OdeError::Version(format!(
+                        "object {oid} has no version {}",
+                        vref.version
+                    )));
+                };
+                self.read_version_record(oid, entry.rid, vref.version)
+            }
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    fn read_version_record(
+        &self,
+        oid: Oid,
+        rid: ode_storage::RecordId,
+        expect_no: VersionNo,
+    ) -> Result<ObjState> {
+        match decode_record(&self.db.store.read(oid.cluster, rid)?)? {
+            ObjRecord::VersionRec { no, state } if no == expect_no => Ok(state),
+            _ => Err(OdeError::Version(format!(
+                "version table of {oid} is inconsistent at version {expect_no}"
+            ))),
+        }
+    }
+
+    /// The current version number (0 for never-versioned objects).
+    pub fn current_version(&self, oid: Oid) -> Result<VersionNo> {
+        if let Some(obj) = self.writes.get(&oid) {
+            if self.deleted.contains_key(&oid) {
+                return Err(OdeError::NoSuchObject(format!("{oid} (deleted)")));
+            }
+            return Ok(obj.vt.as_ref().map(|t| t.current).unwrap_or(0));
+        }
+        let (_, vt) = self.load_committed(oid)?;
+        Ok(vt.map(|t| t.current).unwrap_or(0))
+    }
+
+    /// A *specific* reference to the object's current version.
+    pub fn vref(&self, oid: Oid) -> Result<VersionRef> {
+        Ok(VersionRef {
+            oid,
+            version: self.current_version(oid)?,
+        })
+    }
+
+    /// All live version numbers, in creation order.
+    pub fn versions(&self, oid: Oid) -> Result<Vec<VersionNo>> {
+        if let Some(obj) = self.writes.get(&oid) {
+            return Ok(match &obj.vt {
+                None => vec![0],
+                Some(vt) => vt
+                    .entries
+                    .iter()
+                    .filter(|e| !e.deleted)
+                    .map(|e| e.no)
+                    .collect(),
+            });
+        }
+        let (_, vt) = self.load_committed(oid)?;
+        Ok(match vt {
+            None => vec![0],
+            Some(t) => t.versions(),
+        })
+    }
+
+    /// The version this one was derived from (`None` for a root).
+    pub fn parent_version(&self, vref: VersionRef) -> Result<Option<VersionNo>> {
+        let parent = self.with_table(vref.oid, |vt| {
+            vt.entries
+                .iter()
+                .find(|e| e.no == vref.version && !e.deleted)
+                .map(|e| e.parent)
+                .ok_or_else(|| {
+                    OdeError::Version(format!(
+                        "object {} has no version {}",
+                        vref.oid, vref.version
+                    ))
+                })
+        })??;
+        Ok((parent != NO_PARENT).then_some(parent))
+    }
+
+    /// Versions derived from this one.
+    pub fn child_versions(&self, vref: VersionRef) -> Result<Vec<VersionNo>> {
+        self.with_table(vref.oid, |vt| {
+            vt.entries
+                .iter()
+                .filter(|e| !e.deleted && e.parent == vref.version)
+                .map(|e| e.no)
+                .collect()
+        })
+    }
+
+    fn with_table<R>(
+        &self,
+        oid: Oid,
+        f: impl FnOnce(&TxnVersionTable) -> R,
+    ) -> Result<R> {
+        if let Some(obj) = self.writes.get(&oid) {
+            let vt = match &obj.vt {
+                Some(vt) => vt.clone(),
+                None => TxnVersionTable {
+                    current: 0,
+                    entries: vec![TxnVEntry {
+                        no: 0,
+                        parent: NO_PARENT,
+                        rid: None,
+                        frozen: None,
+                        deleted: false,
+                    }],
+                },
+            };
+            return Ok(f(&vt));
+        }
+        let (_, vt) = self.load_committed(oid)?;
+        let vt = match vt {
+            Some(t) => TxnVersionTable::from_committed(&t),
+            None => TxnVersionTable {
+                current: 0,
+                entries: vec![TxnVEntry {
+                    no: 0,
+                    parent: NO_PARENT,
+                    rid: None,
+                    frozen: None,
+                    deleted: false,
+                }],
+            },
+        };
+        Ok(f(&vt))
+    }
+
+    /// Delete one version (the paper's `pdelete` on a version pointer,
+    /// footnote 16). The current version cannot be deleted; children of the
+    /// deleted version are re-parented to its parent.
+    pub fn delete_version(&mut self, vref: VersionRef) -> Result<()> {
+        self.load_for_write(vref.oid)?;
+        let obj = self.writes.get_mut(&vref.oid).expect("just loaded");
+        let Some(vt) = obj.vt.as_mut() else {
+            return Err(OdeError::Version(format!(
+                "object {} is not versioned",
+                vref.oid
+            )));
+        };
+        if vt.current == vref.version {
+            return Err(OdeError::Version(
+                "cannot delete the current version".into(),
+            ));
+        }
+        let Some(pos) = vt
+            .entries
+            .iter()
+            .position(|e| e.no == vref.version && !e.deleted)
+        else {
+            return Err(OdeError::Version(format!(
+                "object {} has no version {}",
+                vref.oid, vref.version
+            )));
+        };
+        let parent = vt.entries[pos].parent;
+        // Re-parent children so the history graph stays connected.
+        for e in vt.entries.iter_mut() {
+            if !e.deleted && e.parent == vref.version {
+                e.parent = parent;
+            }
+        }
+        let entry = &mut vt.entries[pos];
+        if entry.rid.is_none() {
+            // Created this transaction: simply drop it.
+            vt.entries.remove(pos);
+        } else {
+            entry.deleted = true;
+        }
+        obj.vt_dirty = true;
+        Ok(())
+    }
+
+    /// Is the object versioned (has `newversion` ever been applied)?
+    pub fn is_versioned(&self, oid: Oid) -> Result<bool> {
+        if let Some(obj) = self.writes.get(&oid) {
+            return Ok(obj.vt.is_some());
+        }
+        Ok(self.load_committed(oid)?.1.is_some())
+    }
+}

@@ -1,0 +1,267 @@
+//! Tests for §5: class constraints, inheritance of constraints,
+//! abort-and-rollback on violation, and constraint-based specialization
+//! (the paper's `class female : public person` example).
+
+use ode_core::prelude::*;
+use ode_core::OdeError;
+
+fn is_violation(e: &OdeError) -> bool {
+    matches!(e, OdeError::ConstraintViolation { .. })
+}
+
+fn stock_db() -> Database {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0)
+            .field_default("max_quantity", Type::Int, 1000)
+            .constraint_named("non_negative", "quantity >= 0")
+            .constraint_named("bounded", "quantity <= max_quantity"),
+    )
+    .unwrap();
+    db.create_cluster("stockitem").unwrap();
+    db
+}
+
+#[test]
+fn violating_update_aborts_the_transaction() {
+    let db = stock_db();
+    let oid = db
+        .transaction(|tx| tx.pnew("stockitem", &[("name", Value::from("x"))]))
+        .unwrap();
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    let err = tx.set(oid, "quantity", -1i64).unwrap_err();
+    assert!(is_violation(&err), "{err}");
+    // §5 footnote 17: the whole transaction is aborted and rolled back.
+    assert!(matches!(
+        tx.get(oid, "quantity"),
+        Err(OdeError::TransactionAborted)
+    ));
+    drop(tx);
+    // Nothing leaked: the earlier in-transaction update is gone too.
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "quantity").unwrap(), Value::Int(0));
+}
+
+#[test]
+fn violating_pnew_aborts() {
+    let db = stock_db();
+    let mut tx = db.begin();
+    let err = tx
+        .pnew(
+            "stockitem",
+            &[("name", Value::from("bad")), ("quantity", Value::Int(-5))],
+        )
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+    drop(tx);
+    assert_eq!(db.extent_size("stockitem", true).unwrap(), 0);
+}
+
+#[test]
+fn multi_field_update_is_checked_after_the_closure() {
+    let db = stock_db();
+    let oid = db
+        .transaction(|tx| {
+            tx.pnew(
+                "stockitem",
+                &[("name", Value::from("x")), ("quantity", Value::Int(500))],
+            )
+        })
+        .unwrap();
+    // Raising quantity above the current max is fine when max is raised in
+    // the same update (transiently inconsistent inside the closure).
+    db.transaction(|tx| {
+        tx.update(oid, |w| {
+            w.set("quantity", 5000i64)?;
+            w.set("max_quantity", 10000i64)?;
+            Ok(())
+        })
+    })
+    .unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "quantity").unwrap(), Value::Int(5000));
+}
+
+#[test]
+fn constraints_involving_multiple_fields() {
+    let db = stock_db();
+    let mut tx = db.begin();
+    let err = tx
+        .pnew(
+            "stockitem",
+            &[
+                ("name", Value::from("x")),
+                ("quantity", Value::Int(2000)), // default max is 1000
+            ],
+        )
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+}
+
+#[test]
+fn constraint_based_specialization_female() {
+    // §5 verbatim: class female: public person { constraint: sex == 'f' ||
+    // sex == 'F'; }
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("person")
+            .field("name", Type::Str)
+            .field("sex", Type::Str),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("female")
+            .base("person")
+            .constraint("sex == 'f' || sex == 'F'"),
+    )
+    .unwrap();
+    db.create_cluster("person").unwrap();
+    db.create_cluster("female").unwrap();
+
+    // A person with sex 'm' is fine…
+    db.transaction(|tx| {
+        tx.pnew(
+            "person",
+            &[("name", Value::from("mark")), ("sex", Value::from("m"))],
+        )
+    })
+    .unwrap();
+    // …a female with sex 'F' is fine…
+    db.transaction(|tx| {
+        tx.pnew(
+            "female",
+            &[("name", Value::from("fran")), ("sex", Value::from("F"))],
+        )
+    })
+    .unwrap();
+    // …a female with sex 'm' violates the specialization.
+    let err = db
+        .transaction(|tx| {
+            tx.pnew(
+                "female",
+                &[("name", Value::from("oops")), ("sex", Value::from("m"))],
+            )
+        })
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+}
+
+#[test]
+fn constraints_are_inherited_by_derived_classes() {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("account")
+            .field_default("balance", Type::Int, 0)
+            .constraint("balance >= 0"),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("savings")
+            .base("account")
+            .field_default("rate", Type::Float, 0.01)
+            .constraint("rate > 0.0"),
+    )
+    .unwrap();
+    db.create_cluster("savings").unwrap();
+    // The derived object must satisfy both its own and the base constraint.
+    let err = db
+        .transaction(|tx| tx.pnew("savings", &[("balance", Value::Int(-1))]))
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+    let err = db
+        .transaction(|tx| tx.pnew("savings", &[("rate", Value::Float(0.0))]))
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+    db.transaction(|tx| tx.pnew("savings", &[("balance", Value::Int(10))]))
+        .unwrap();
+}
+
+#[test]
+fn violation_error_names_class_and_constraint() {
+    let db = stock_db();
+    let err = db
+        .transaction(|tx| tx.pnew("stockitem", &[("quantity", Value::Int(-1))]))
+        .unwrap_err();
+    let OdeError::ConstraintViolation {
+        class,
+        constraint,
+        src,
+        ..
+    } = err
+    else {
+        panic!("wrong error kind");
+    };
+    assert_eq!(class, "stockitem");
+    assert_eq!(constraint, "non_negative");
+    assert_eq!(src, "quantity >= 0");
+}
+
+#[test]
+fn constraints_may_call_methods() {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("order")
+            .field_default("items", Type::Int, 0)
+            .field_default("unit_price", Type::Float, 1.0)
+            .constraint("total() <= 10000.0"),
+    )
+    .unwrap();
+    db.register_method("order", "total", |s, _| {
+        Ok(Value::Float(
+            s.fields[0].as_int()? as f64 * s.fields[1].as_float()?,
+        ))
+    })
+    .unwrap();
+    db.create_cluster("order").unwrap();
+    db.transaction(|tx| tx.pnew("order", &[("items", Value::Int(100))]))
+        .unwrap();
+    let err = db
+        .transaction(|tx| {
+            tx.pnew(
+                "order",
+                &[
+                    ("items", Value::Int(100_000)),
+                    ("unit_price", Value::Float(2.0)),
+                ],
+            )
+        })
+        .unwrap_err();
+    assert!(is_violation(&err), "{err}");
+}
+
+#[test]
+fn constraint_rollback_preserves_other_objects_in_txn() {
+    let db = stock_db();
+    let existing = db
+        .transaction(|tx| tx.pnew("stockitem", &[("name", Value::from("a"))]))
+        .unwrap();
+    let mut tx = db.begin();
+    let fresh = tx
+        .pnew("stockitem", &[("name", Value::from("b"))])
+        .unwrap();
+    tx.set(existing, "quantity", 7i64).unwrap();
+    // Violation rolls back everything, including `fresh`.
+    let _ = tx.set(fresh, "quantity", -1i64).unwrap_err();
+    drop(tx);
+    let tx = db.begin();
+    assert!(!tx.exists(fresh));
+    assert_eq!(tx.get(existing, "quantity").unwrap(), Value::Int(0));
+    drop(tx);
+    assert_eq!(db.extent_size("stockitem", true).unwrap(), 1);
+}
+
+#[test]
+fn unparsable_constraint_rejected_at_definition_time() {
+    let db = Database::in_memory();
+    let err = db
+        .define_class(
+            ClassBuilder::new("broken")
+                .field("x", Type::Int)
+                .constraint("x >="),
+        )
+        .unwrap_err();
+    assert!(matches!(err, OdeError::Model(_)), "{err}");
+}

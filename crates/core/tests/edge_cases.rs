@@ -1,0 +1,336 @@
+//! Edge cases across the engine: record forwarding through object growth,
+//! cyclic data under fixpoint iteration, large values, many classes and
+//! clusters, version/index interplay, and constraints that dereference
+//! other objects.
+
+use ode_core::prelude::*;
+use ode_model::SetValue;
+
+#[test]
+fn object_growth_forwards_but_identity_is_stable() {
+    // Grow one object's payload from bytes to kilobytes: its record gets
+    // forwarded inside the heap, but the oid (and durability) hold.
+    let dir = std::env::temp_dir().join(format!("ode-edge-grow-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oid;
+    {
+        let db = Database::open(&dir).unwrap();
+        db.define_from_source("class blob { string data; int n = 0; }")
+            .unwrap();
+        db.create_cluster("blob").unwrap();
+        oid = db
+            .transaction(|tx| tx.pnew("blob", &[("data", Value::from("x"))]))
+            .unwrap();
+        // Fill the page with siblings so growth cannot stay in place.
+        db.transaction(|tx| {
+            for i in 0..60 {
+                tx.pnew(
+                    "blob",
+                    &[("data", Value::from("y".repeat(100))), ("n", Value::Int(i))],
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        for size in [10usize, 1_000, 6_000, 200, 7_000] {
+            db.transaction(|tx| tx.set(oid, "data", "z".repeat(size)))
+                .unwrap();
+            db.transaction(|tx| {
+                assert_eq!(tx.get(oid, "data")?.as_str()?.len(), size);
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+    // Reopen: the forwarded record still resolves through the same oid.
+    let db = Database::open(&dir).unwrap();
+    db.transaction(|tx| {
+        assert_eq!(tx.get(oid, "data")?.as_str()?.len(), 7_000);
+        Ok(())
+    })
+    .unwrap();
+    // And scans still see exactly 61 objects (no forward-target doubles).
+    assert_eq!(db.extent_size("blob", true).unwrap(), 61);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixpoint_over_cyclic_data_terminates() {
+    // a -> b -> c -> a. The engine's fixpoint visits each *object* once,
+    // so cyclic reachability terminates with the right answer.
+    let db = Database::in_memory();
+    db.define_from_source(
+        "class edge { string src; string dst; } class seen { string node; }",
+    )
+    .unwrap();
+    db.create_cluster("edge").unwrap();
+    db.create_cluster("seen").unwrap();
+    db.transaction(|tx| {
+        for (s, d) in [("a", "b"), ("b", "c"), ("c", "a"), ("x", "y")] {
+            tx.pnew("edge", &[("src", Value::from(s)), ("dst", Value::from(d))])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let mut reached = Vec::new();
+    db.transaction(|tx| {
+        tx.pnew("seen", &[("node", Value::from("a"))])?;
+        tx.forall("seen")?.fixpoint().run(|tx, row| {
+            let node = tx.get(row, "node")?.as_str()?.to_string();
+            reached.push(node.clone());
+            let nexts = tx
+                .forall("edge")?
+                .suchthat(&format!("src == \"{node}\""))?
+                .collect_values("dst")?;
+            for n in nexts {
+                let n = n.as_str()?.to_string();
+                if tx
+                    .forall("seen")?
+                    .suchthat(&format!("node == \"{n}\""))?
+                    .count()?
+                    == 0
+                {
+                    tx.pnew("seen", &[("node", Value::from(n.as_str()))])?;
+                }
+            }
+            Ok(())
+        })?;
+        Ok(())
+    })
+    .unwrap();
+    reached.sort();
+    assert_eq!(reached, vec!["a", "b", "c"]);
+}
+
+#[test]
+fn set_fixpoint_over_cycles_terminates_via_dedup() {
+    // Set insertion dedups, so a cyclic closure over a set terminates
+    // without any user-side visited bookkeeping.
+    let db = Database::in_memory();
+    db.define_from_source("class h { set<int> nums; }").unwrap();
+    db.create_cluster("h").unwrap();
+    db.transaction(|tx| {
+        let h = tx.pnew(
+            "h",
+            &[("nums", Value::Set(SetValue::new()))],
+        )?;
+        tx.set_insert(h, "nums", 0i64)?;
+        let visited = tx.iterate_set(h, "nums", |tx, v| {
+            let n = v.as_int()?;
+            // successor modulo 5: cyclic.
+            tx.set_insert(h, "nums", (n + 1) % 5)?;
+            Ok(())
+        })?;
+        assert_eq!(visited, 5);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn large_values_near_page_capacity() {
+    let db = Database::in_memory();
+    db.define_from_source("class big { string s; array<int> a; }")
+        .unwrap();
+    db.create_cluster("big").unwrap();
+    db.transaction(|tx| {
+        // ~4 KB string + ~2.7 KB array: close to (but under) one page.
+        let s = "α".repeat(2000); // multibyte, 4000 bytes
+        let arr: Vec<Value> = (0..300).map(Value::Int).collect();
+        let oid = tx.pnew(
+            "big",
+            &[("s", Value::from(s.clone())), ("a", Value::Array(arr.clone()))],
+        )?;
+        assert_eq!(tx.get(oid, "s")?.as_str()?, s);
+        let Value::Array(back) = tx.get(oid, "a")? else {
+            panic!()
+        };
+        assert_eq!(back, arr);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn oversized_object_is_a_clean_error() {
+    let db = Database::in_memory();
+    db.define_from_source("class big { string s; }").unwrap();
+    db.create_cluster("big").unwrap();
+    let mut tx = db.begin();
+    let oid = tx.pnew("big", &[]).unwrap();
+    // A single object larger than a page cannot be stored; the error must
+    // be a storage error at commit, not a panic, and the txn aborts.
+    tx.set(oid, "s", "x".repeat(20_000)).unwrap();
+    let err = tx.commit().unwrap_err();
+    assert!(matches!(err, OdeError::Storage(_)), "{err}");
+    assert_eq!(db.extent_size("big", true).unwrap(), 0);
+    // Database remains healthy.
+    db.transaction(|tx| {
+        tx.pnew("big", &[("s", Value::from("small"))])?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn many_classes_and_clusters_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ode-edge-many-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        for i in 0..60 {
+            db.define_from_source(&format!("class c{i} {{ int v = {i}; }}"))
+                .unwrap();
+            db.create_cluster(&format!("c{i}")).unwrap();
+        }
+        db.transaction(|tx| {
+            for i in 0..60 {
+                tx.pnew(&format!("c{i}"), &[])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    let db = Database::open(&dir).unwrap();
+    for i in 0..60 {
+        assert_eq!(db.extent_size(&format!("c{i}"), true).unwrap(), 1);
+        db.transaction(|tx| {
+            let oids = tx.forall(&format!("c{i}"))?.collect_oids()?;
+            assert_eq!(tx.get(oids[0], "v")?, Value::Int(i));
+            Ok(())
+        })
+        .unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_tracks_current_version_only() {
+    let db = Database::in_memory();
+    db.define_from_source("class doc { int rev = 0; }").unwrap();
+    db.create_cluster("doc").unwrap();
+    db.create_index("doc", "rev").unwrap();
+    let oid = db.transaction(|tx| tx.pnew("doc", &[])).unwrap();
+    db.transaction(|tx| {
+        tx.newversion(oid)?;
+        tx.set(oid, "rev", 5i64)?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        // Current value indexed...
+        assert_eq!(tx.forall("doc")?.suchthat("rev == 5")?.count()?, 1);
+        // ...frozen version's value is not (queries are over current state).
+        assert_eq!(tx.forall("doc")?.suchthat("rev == 0")?.count()?, 0);
+        // But the frozen state is still reachable by specific reference.
+        let old = tx.read_version(VersionRef { oid, version: 0 })?;
+        assert_eq!(old.fields[0], Value::Int(0));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn constraint_can_dereference_other_objects() {
+    // A constraint navigating a reference: an employee's salary must not
+    // exceed their manager's.
+    let db = Database::in_memory();
+    db.define_from_source(
+        r#"
+        class manager { string name; int cap; }
+        class employee {
+            string name;
+            int salary = 0;
+            ref<manager> boss;
+            constraint: boss == null || salary <= boss.cap;
+        }
+        "#,
+    )
+    .unwrap();
+    db.create_cluster("manager").unwrap();
+    db.create_cluster("employee").unwrap();
+    let boss = db
+        .transaction(|tx| {
+            tx.pnew(
+                "manager",
+                &[("name", Value::from("m")), ("cap", Value::Int(100))],
+            )
+        })
+        .unwrap();
+    // Within cap: fine.
+    let e = db
+        .transaction(|tx| {
+            tx.pnew(
+                "employee",
+                &[
+                    ("name", Value::from("e")),
+                    ("salary", Value::Int(90)),
+                    ("boss", Value::Ref(boss)),
+                ],
+            )
+        })
+        .unwrap();
+    // Beyond cap: constraint violation through the dereference.
+    let err = db
+        .transaction(|tx| tx.set(e, "salary", 150i64))
+        .unwrap_err();
+    assert!(matches!(err, OdeError::ConstraintViolation { .. }), "{err}");
+    // No boss: the null guard admits any salary.
+    db.transaction(|tx| {
+        tx.pnew("employee", &[("name", Value::from("solo")), ("salary", Value::Int(999))])
+    })
+    .unwrap();
+}
+
+#[test]
+fn deep_hierarchy_chains() {
+    // A 12-deep single-inheritance chain: layouts accumulate, extents nest.
+    let db = Database::in_memory();
+    db.define_from_source("class l0 { int f0 = 0; }").unwrap();
+    for i in 1..12 {
+        db.define_from_source(&format!(
+            "class l{i} : public l{} {{ int f{i} = {i}; }}",
+            i - 1
+        ))
+        .unwrap();
+    }
+    for i in 0..12 {
+        db.create_cluster(&format!("l{i}")).unwrap();
+    }
+    db.transaction(|tx| {
+        let leaf = tx.pnew("l11", &[])?;
+        // All 12 inherited fields present with their defaults.
+        for i in 0..12 {
+            assert_eq!(tx.get(leaf, &format!("f{i}"))?, Value::Int(i));
+        }
+        assert!(tx.instance_of(leaf, "l0")?);
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        assert_eq!(tx.forall("l0")?.count()?, 1, "leaf visible from the root extent");
+        assert_eq!(tx.forall("l11")?.count()?, 1);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn empty_and_null_field_queries() {
+    let db = Database::in_memory();
+    db.define_from_source("class t { string s; int n = 0; }").unwrap();
+    db.create_cluster("t").unwrap();
+    db.transaction(|tx| {
+        tx.pnew("t", &[])?; // s is null
+        tx.pnew("t", &[("s", Value::from(""))])?; // s is empty
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        assert_eq!(tx.forall("t")?.suchthat("s == null")?.count()?, 1);
+        assert_eq!(tx.forall("t")?.suchthat("s == \"\"")?.count()?, 1);
+        assert_eq!(tx.forall("t")?.suchthat("s != null")?.count()?, 1);
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,230 @@
+//! Tests for §3.1.1: multiple inheritance, cluster hierarchies, `is` type
+//! tests, and the paper's income-averaging example over
+//! person/student/faculty.
+
+use ode_core::prelude::*;
+
+/// The paper's university hierarchy, including a diamond (teaching
+/// assistant derives from both student and faculty, which share person).
+fn university(db: &Database) {
+    db.define_class(
+        ClassBuilder::new("person")
+            .field("name", Type::Str)
+            .field_default("base_income", Type::Int, 0),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("student")
+            .base("person")
+            .field_default("stipend", Type::Int, 0),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("faculty")
+            .base("person")
+            .field_default("salary", Type::Int, 0),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("teaching_assistant")
+            .base("student")
+            .base("faculty"),
+    )
+    .unwrap();
+    for c in ["person", "student", "faculty", "teaching_assistant"] {
+        db.create_cluster(c).unwrap();
+    }
+    // income(): the paper's virtual member function.
+    db.register_method("person", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()?))
+    })
+    .unwrap();
+    db.register_method("student", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()? + s.fields[2].as_int()?))
+    })
+    .unwrap();
+    db.register_method("faculty", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()? + s.fields[2].as_int()?))
+    })
+    .unwrap();
+}
+
+fn populate(db: &Database) -> (Oid, Oid, Oid, Oid) {
+    db.transaction(|tx| {
+        let p = tx.pnew(
+            "person",
+            &[("name", Value::from("pat")), ("base_income", Value::Int(100))],
+        )?;
+        let s = tx.pnew(
+            "student",
+            &[
+                ("name", Value::from("sam")),
+                ("base_income", Value::Int(10)),
+                ("stipend", Value::Int(20)),
+            ],
+        )?;
+        let f = tx.pnew(
+            "faculty",
+            &[
+                ("name", Value::from("fran")),
+                ("base_income", Value::Int(200)),
+                ("salary", Value::Int(300)),
+            ],
+        )?;
+        let ta = tx.pnew(
+            "teaching_assistant",
+            &[("name", Value::from("terry")), ("base_income", Value::Int(5))],
+        )?;
+        Ok((p, s, f, ta))
+    })
+    .unwrap()
+}
+
+#[test]
+fn deep_iteration_includes_derived_extents() {
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let mut tx = db.begin();
+    // Iterating the person cluster visits persons, students, faculty, TAs.
+    assert_eq!(tx.forall("person").unwrap().count().unwrap(), 4);
+    // Shallow: only exact persons.
+    assert_eq!(tx.forall("person").unwrap().shallow().count().unwrap(), 1);
+    // Students: the student + the TA.
+    assert_eq!(tx.forall("student").unwrap().count().unwrap(), 2);
+    assert_eq!(tx.forall("faculty").unwrap().count().unwrap(), 2);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn is_test_matches_hierarchy() {
+    let db = Database::in_memory();
+    university(&db);
+    let (p, s, f, ta) = populate(&db);
+    let tx = db.begin();
+    assert!(tx.instance_of(p, "person").unwrap());
+    assert!(!tx.instance_of(p, "student").unwrap());
+    assert!(tx.instance_of(s, "person").unwrap());
+    assert!(tx.instance_of(s, "student").unwrap());
+    assert!(!tx.instance_of(s, "faculty").unwrap());
+    assert!(tx.instance_of(ta, "student").unwrap());
+    assert!(tx.instance_of(ta, "faculty").unwrap());
+    assert!(tx.instance_of(ta, "person").unwrap());
+    assert!(!tx.instance_of(f, "teaching_assistant").unwrap());
+}
+
+#[test]
+fn is_test_in_suchthat_expressions() {
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let mut tx = db.begin();
+    // The paper's §3.1.1 pattern: select subsets of the person cluster by
+    // dynamic type. A loop variable bound via join gives `p is student`.
+    let n = tx
+        .forall_join(&[("p", "person")])
+        .unwrap()
+        .suchthat("p is student")
+        .unwrap()
+        .collect()
+        .unwrap()
+        .len();
+    assert_eq!(n, 2); // student + TA
+    tx.commit().unwrap();
+}
+
+#[test]
+fn income_averages_like_the_paper() {
+    // §3.1.1: compute average income of persons, students, faculty —
+    // virtual dispatch through the cluster hierarchy.
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let mut tx = db.begin();
+
+    let mut income_p = 0i64;
+    let mut np = 0i64;
+    let mut income_s = 0i64;
+    let mut ns = 0i64;
+    let mut income_f = 0i64;
+    let mut nf = 0i64;
+    tx.forall("person")
+        .unwrap()
+        .run(|tx, p| {
+            let v = tx.call(p, "income", &[])?.as_int()?;
+            income_p += v;
+            np += 1;
+            if tx.instance_of(p, "student")? {
+                income_s += v;
+                ns += 1;
+            } else if tx.instance_of(p, "faculty")? {
+                income_f += v;
+                nf += 1;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    // person: pat 100; student: sam 10+20=30; faculty: fran 200+300=500;
+    // TA terry: student override first in MRO → 5+0=5.
+    assert_eq!(np, 4);
+    assert_eq!(income_p, 100 + 30 + 500 + 5);
+    assert_eq!((ns, income_s), (2, 35)); // sam + terry
+    assert_eq!((nf, income_f), (1, 500)); // fran only (terry matched student)
+    tx.commit().unwrap();
+}
+
+#[test]
+fn diamond_object_has_single_shared_base_state() {
+    let db = Database::in_memory();
+    university(&db);
+    let (.., ta) = populate(&db);
+    db.transaction(|tx| {
+        // One write to the shared person::name is visible everywhere.
+        tx.set(ta, "name", "terry the TA")?;
+        Ok(())
+    })
+    .unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.get(ta, "name").unwrap(), Value::from("terry the TA"));
+}
+
+#[test]
+fn hierarchy_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("ode-core-hier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        university(&db);
+        populate(&db);
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let mut tx = db.begin();
+        assert_eq!(tx.forall("person").unwrap().count().unwrap(), 4);
+        assert_eq!(tx.forall("student").unwrap().count().unwrap(), 2);
+        // The schema (with inheritance) was reloaded from the catalog.
+        db.with_schema(|s| {
+            let ta = s.id_of("teaching_assistant").unwrap();
+            let person = s.id_of("person").unwrap();
+            assert!(s.is_subclass(ta, person));
+        });
+        tx.commit().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn extent_of_class_without_cluster_is_empty_but_iterable() {
+    let db = Database::in_memory();
+    university(&db);
+    db.define_class(ClassBuilder::new("visiting_scholar").base("person"))
+        .unwrap();
+    // No cluster created for visiting_scholar.
+    populate(&db);
+    let mut tx = db.begin();
+    assert_eq!(tx.forall("visiting_scholar").unwrap().count().unwrap(), 0);
+    // person still works and does not include the cluster-less class.
+    assert_eq!(tx.forall("person").unwrap().count().unwrap(), 4);
+    tx.commit().unwrap();
+}

@@ -1,0 +1,680 @@
+//! Tests for §3: `forall` with `suchthat`/`by`, join queries over multiple
+//! loop variables, index-accelerated selection, fixpoint (recursive)
+//! queries, and set iteration with insert-during-iteration.
+
+use ode_core::prelude::*;
+use ode_model::SetValue;
+
+fn inventory(db: &Database, n: i64) {
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0)
+            .field("supplier", Type::Str),
+    )
+    .unwrap();
+    db.create_cluster("stockitem").unwrap();
+    db.transaction(|tx| {
+        for i in 0..n {
+            tx.pnew(
+                "stockitem",
+                &[
+                    ("name", Value::from(format!("part-{i:04}"))),
+                    ("quantity", Value::Int(i)),
+                    (
+                        "supplier",
+                        Value::from(if i % 3 == 0 { "at&t" } else { "other" }),
+                    ),
+                ],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn suchthat_filters() {
+    let db = Database::in_memory();
+    inventory(&db, 100);
+    let mut tx = db.begin();
+    let n = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity >= 90")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 10);
+    let n = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("supplier == \"at&t\" && quantity < 9")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 3); // 0, 3, 6
+    tx.commit().unwrap();
+}
+
+#[test]
+fn by_orders_ascending_and_descending() {
+    let db = Database::in_memory();
+    inventory(&db, 10);
+    let mut tx = db.begin();
+    let names = tx
+        .forall("stockitem")
+        .unwrap()
+        .by_desc("quantity")
+        .unwrap()
+        .collect_values("name")
+        .unwrap();
+    assert_eq!(names[0], Value::from("part-0009"));
+    assert_eq!(names[9], Value::from("part-0000"));
+    let quantities = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity % 2 == 0")
+        .unwrap()
+        .by("quantity")
+        .unwrap()
+        .collect_values("quantity")
+        .unwrap();
+    assert_eq!(
+        quantities,
+        (0..10).step_by(2).map(Value::Int).collect::<Vec<_>>()
+    );
+    tx.commit().unwrap();
+}
+
+#[test]
+fn projection_can_compute_expressions() {
+    let db = Database::in_memory();
+    inventory(&db, 4);
+    let mut tx = db.begin();
+    let vals = tx
+        .forall("stockitem")
+        .unwrap()
+        .by("quantity")
+        .unwrap()
+        .collect_values("quantity * 2 + 1")
+        .unwrap();
+    assert_eq!(
+        vals,
+        vec![Value::Int(1), Value::Int(3), Value::Int(5), Value::Int(7)]
+    );
+    tx.commit().unwrap();
+}
+
+#[test]
+fn iteration_sees_transaction_overlay() {
+    let db = Database::in_memory();
+    inventory(&db, 5);
+    let mut tx = db.begin();
+    // Add one uncommitted object and modify a committed one so it now
+    // qualifies.
+    tx.pnew(
+        "stockitem",
+        &[("name", Value::from("fresh")), ("quantity", Value::Int(1000))],
+    )
+    .unwrap();
+    let victim = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity == 0")
+        .unwrap()
+        .collect_oids()
+        .unwrap()[0];
+    tx.set(victim, "quantity", 2000i64).unwrap();
+    let n = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity >= 1000")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 2);
+    // Deleted objects disappear from iteration immediately.
+    tx.pdelete(victim).unwrap();
+    let n = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity >= 1000")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 1);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn indexed_equality_matches_full_scan() {
+    let db = Database::in_memory();
+    inventory(&db, 300);
+    db.create_index("stockitem", "supplier").unwrap();
+    let mut tx = db.begin();
+    let with_index = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("supplier == \"at&t\"")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(with_index, 100);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn indexed_range_matches_full_scan() {
+    let db = Database::in_memory();
+    inventory(&db, 200);
+    db.create_index("stockitem", "quantity").unwrap();
+    let mut tx = db.begin();
+    for src in [
+        "quantity < 17",
+        "quantity <= 17",
+        "quantity > 180",
+        "quantity >= 180",
+        "17 > quantity", // flipped operand order
+    ] {
+        let n = tx
+            .forall("stockitem")
+            .unwrap()
+            .suchthat(src)
+            .unwrap()
+            .count()
+            .unwrap();
+        let expected = match src {
+            "quantity < 17" | "17 > quantity" => 17,
+            "quantity <= 17" => 18,
+            "quantity > 180" => 19,
+            _ => 20,
+        };
+        assert_eq!(n, expected, "{src}");
+    }
+    tx.commit().unwrap();
+}
+
+#[test]
+fn index_stays_correct_after_updates_deletes_and_overlay() {
+    let db = Database::in_memory();
+    inventory(&db, 50);
+    db.create_index("stockitem", "quantity").unwrap();
+    // Committed updates move index entries.
+    let oid = db
+        .transaction(|tx| {
+            let oid = tx
+                .forall("stockitem")
+                .unwrap()
+                .suchthat("quantity == 7")
+                .unwrap()
+                .collect_oids()
+                .unwrap()[0];
+            tx.set(oid, "quantity", 7000i64)?;
+            Ok(oid)
+        })
+        .unwrap();
+    let mut tx = db.begin();
+    assert_eq!(
+        tx.forall("stockitem")
+            .unwrap()
+            .suchthat("quantity == 7")
+            .unwrap()
+            .count()
+            .unwrap(),
+        0
+    );
+    assert_eq!(
+        tx.forall("stockitem")
+            .unwrap()
+            .suchthat("quantity == 7000")
+            .unwrap()
+            .collect_oids()
+            .unwrap(),
+        vec![oid]
+    );
+    drop(tx);
+
+    // Uncommitted overlay: a new object and an in-txn update are seen even
+    // though the committed index does not know them.
+    let mut tx = db.begin();
+    tx.pnew(
+        "stockitem",
+        &[("name", Value::from("x")), ("quantity", Value::Int(7000))],
+    )
+    .unwrap();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    assert_eq!(
+        tx.forall("stockitem")
+            .unwrap()
+            .suchthat("quantity == 7000")
+            .unwrap()
+            .count()
+            .unwrap(),
+        1,
+        "in-txn update must hide the stale committed index entry"
+    );
+    drop(tx);
+
+    // Committed deletes remove entries.
+    db.transaction(|tx| tx.pdelete(oid)).unwrap();
+    let mut tx = db.begin();
+    assert_eq!(
+        tx.forall("stockitem")
+            .unwrap()
+            .suchthat("quantity == 7000")
+            .unwrap()
+            .count()
+            .unwrap(),
+        0
+    );
+    tx.commit().unwrap();
+}
+
+#[test]
+fn index_survives_reopen_via_rebuild() {
+    let dir = std::env::temp_dir().join(format!("ode-core-ixreopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        db.define_class(
+            ClassBuilder::new("stockitem")
+                .field("name", Type::Str)
+                .field_default("quantity", Type::Int, 0)
+                .field("supplier", Type::Str),
+        )
+        .unwrap();
+        db.create_cluster("stockitem").unwrap();
+        db.create_index("stockitem", "supplier").unwrap();
+        db.transaction(|tx| {
+            for i in 0..30 {
+                tx.pnew(
+                    "stockitem",
+                    &[
+                        ("name", Value::from(format!("p{i}"))),
+                        ("supplier", Value::from(if i % 2 == 0 { "a" } else { "b" })),
+                    ],
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let mut tx = db.begin();
+        let n = tx
+            .forall("stockitem")
+            .unwrap()
+            .suchthat("supplier == \"a\"")
+            .unwrap()
+            .count()
+            .unwrap();
+        assert_eq!(n, 15);
+        tx.commit().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------------ joins
+
+fn company(db: &Database) {
+    db.define_class(
+        ClassBuilder::new("department")
+            .field("dname", Type::Str)
+            .field("dno", Type::Int),
+    )
+    .unwrap();
+    db.define_class(
+        ClassBuilder::new("employee")
+            .field("ename", Type::Str)
+            .field("deptno", Type::Int),
+    )
+    .unwrap();
+    db.create_cluster("department").unwrap();
+    db.create_cluster("employee").unwrap();
+    db.transaction(|tx| {
+        for d in 0..3i64 {
+            tx.pnew(
+                "department",
+                &[("dname", Value::from(format!("dept-{d}"))), ("dno", Value::Int(d))],
+            )?;
+        }
+        for e in 0..12i64 {
+            tx.pnew(
+                "employee",
+                &[
+                    ("ename", Value::from(format!("emp-{e}"))),
+                    ("deptno", Value::Int(e % 3)),
+                ],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn join_with_multiple_loop_variables() {
+    // §3.1: forall e in employee, d in department suchthat (e.deptno == d.dno)
+    let db = Database::in_memory();
+    company(&db);
+    let mut tx = db.begin();
+    let mut pairs = 0usize;
+    tx.forall_join(&[("e", "employee"), ("d", "department")])
+        .unwrap()
+        .suchthat("e.deptno == d.dno")
+        .unwrap()
+        .run(|tx, binding| {
+            let e = binding["e"];
+            let d = binding["d"];
+            assert_eq!(tx.get(e, "deptno")?, tx.get(d, "dno")?);
+            pairs += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(pairs, 12); // every employee matches exactly one department
+    tx.commit().unwrap();
+}
+
+#[test]
+fn join_predicate_can_mix_variables_and_literals() {
+    let db = Database::in_memory();
+    company(&db);
+    let mut tx = db.begin();
+    let rows = tx
+        .forall_join(&[("e", "employee"), ("d", "department")])
+        .unwrap()
+        .suchthat("e.deptno == d.dno && d.dname == \"dept-1\"")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(rows.len(), 4);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn cross_product_without_predicate() {
+    let db = Database::in_memory();
+    company(&db);
+    let mut tx = db.begin();
+    let rows = tx
+        .forall_join(&[("e", "employee"), ("d", "department")])
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(rows.len(), 36);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn three_way_join() {
+    let db = Database::in_memory();
+    company(&db);
+    db.define_class(ClassBuilder::new("project").field("pdept", Type::Int))
+        .unwrap();
+    db.create_cluster("project").unwrap();
+    db.transaction(|tx| {
+        tx.pnew("project", &[("pdept", Value::Int(0))])?;
+        tx.pnew("project", &[("pdept", Value::Int(1))])?;
+        Ok(())
+    })
+    .unwrap();
+    let mut tx = db.begin();
+    let rows = tx
+        .forall_join(&[("e", "employee"), ("d", "department"), ("p", "project")])
+        .unwrap()
+        .suchthat("e.deptno == d.dno && p.pdept == d.dno")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(rows.len(), 8); // 4 employees in dept 0 + 4 in dept 1
+    tx.commit().unwrap();
+}
+
+// --------------------------------------------------------------- fixpoint
+
+/// §3.2 parts explosion: which parts (transitively) make up a given part?
+#[test]
+fn fixpoint_parts_explosion_via_cluster() {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("usage")
+            .field("parent", Type::Str)
+            .field("child", Type::Str),
+    )
+    .unwrap();
+    db.define_class(ClassBuilder::new("result").field("part", Type::Str))
+        .unwrap();
+    db.create_cluster("usage").unwrap();
+    db.create_cluster("result").unwrap();
+    // engine -> {block, piston}; block -> {bolt}; piston -> {ring, bolt}
+    db.transaction(|tx| {
+        for (p, c) in [
+            ("engine", "block"),
+            ("engine", "piston"),
+            ("block", "bolt"),
+            ("piston", "ring"),
+            ("piston", "bolt"),
+            ("wheel", "rim"), // unrelated
+        ] {
+            tx.pnew(
+                "usage",
+                &[("parent", Value::from(p)), ("child", Value::from(c))],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    // Transitive closure: seed the result cluster with "engine", then
+    // iterate it with fixpoint semantics, adding children of each part as
+    // they are discovered — new result objects are visited too.
+    let mut found = std::collections::BTreeSet::new();
+    db.transaction(|tx| {
+        tx.pnew("result", &[("part", Value::from("engine"))])?;
+        tx.forall("result")
+            .unwrap()
+            .fixpoint()
+            .run(|tx, r| {
+                let part = tx.get(r, "part")?.as_str()?.to_string();
+                found.insert(part.clone());
+                let children: Vec<String> = tx
+                    .forall("usage")?
+                    .suchthat(&format!("parent == \"{part}\""))?
+                    .collect_values("child")?
+                    .into_iter()
+                    .map(|v| v.as_str().unwrap().to_string())
+                    .collect();
+                for c in children {
+                    let already = tx
+                        .forall("result")?
+                        .suchthat(&format!("part == \"{c}\""))?
+                        .count()?;
+                    if already == 0 {
+                        tx.pnew("result", &[("part", Value::from(c.as_str()))])?;
+                    }
+                }
+                Ok(())
+            })?;
+        Ok(())
+    })
+    .unwrap();
+    let expected: std::collections::BTreeSet<String> =
+        ["engine", "block", "piston", "bolt", "ring"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+    assert_eq!(found, expected);
+}
+
+#[test]
+fn non_fixpoint_iteration_does_not_see_additions() {
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("node").field_default("gen", Type::Int, 0))
+        .unwrap();
+    db.create_cluster("node").unwrap();
+    db.transaction(|tx| {
+        tx.pnew("node", &[("gen", Value::Int(0))])?;
+        tx.pnew("node", &[("gen", Value::Int(0))])?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        let mut visited = 0;
+        tx.forall("node").unwrap().run(|tx, _oid| {
+            visited += 1;
+            // Each visit creates a new node; a plain iteration must not
+            // chase them.
+            tx.pnew("node", &[("gen", Value::Int(1))])?;
+            Ok(())
+        })?;
+        assert_eq!(visited, 2);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.extent_size("node", true).unwrap(), 4);
+}
+
+#[test]
+fn fixpoint_terminates_when_no_new_objects() {
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("node").field_default("gen", Type::Int, 0))
+        .unwrap();
+    db.create_cluster("node").unwrap();
+    db.transaction(|tx| {
+        tx.pnew("node", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        let mut visited = 0;
+        tx.forall("node").unwrap().fixpoint().run(|tx, oid| {
+            visited += 1;
+            let gen = tx.get(oid, "gen")?.as_int()?;
+            if gen < 5 {
+                tx.pnew("node", &[("gen", Value::Int(gen + 1))])?;
+            }
+            Ok(())
+        })?;
+        assert_eq!(visited, 6); // gen 0..=5
+        Ok(())
+    })
+    .unwrap();
+}
+
+// -------------------------------------------------------------------- sets
+
+#[test]
+fn set_fields_and_iteration() {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("part")
+            .field("name", Type::Str)
+            .field_default(
+                "children",
+                Type::Set(Box::new(Type::Str)),
+                Value::Set(SetValue::new()),
+            ),
+    )
+    .unwrap();
+    db.create_cluster("part").unwrap();
+    let oid = db
+        .transaction(|tx| {
+            let oid = tx.pnew("part", &[("name", Value::from("engine"))])?;
+            assert!(tx.set_insert(oid, "children", "block")?);
+            assert!(tx.set_insert(oid, "children", "piston")?);
+            assert!(!tx.set_insert(oid, "children", "block")?, "dedup");
+            Ok(oid)
+        })
+        .unwrap();
+    db.transaction(|tx| {
+        let v = tx.get(oid, "children")?;
+        assert_eq!(v.as_set()?.len(), 2);
+        assert!(tx.set_remove(oid, "children", &Value::from("block"))?);
+        assert!(!tx.set_remove(oid, "children", &Value::from("block"))?);
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| {
+        assert_eq!(tx.get(oid, "children")?.as_set()?.len(), 1);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn set_iteration_visits_elements_added_during_iteration() {
+    // §3.2 over a set: compute 0..=10 by inserting successors while
+    // iterating.
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("holder").field_default(
+        "nums",
+        Type::Set(Box::new(Type::Int)),
+        Value::Set(SetValue::new()),
+    ))
+    .unwrap();
+    db.create_cluster("holder").unwrap();
+    db.transaction(|tx| {
+        let h = tx.pnew("holder", &[])?;
+        tx.set_insert(h, "nums", 0i64)?;
+        let visited = tx.iterate_set(h, "nums", |tx, v| {
+            let n = v.as_int()?;
+            if n < 10 {
+                tx.set_insert(h, "nums", n + 1)?;
+            }
+            Ok(())
+        })?;
+        assert_eq!(visited, 11);
+        assert_eq!(tx.get(h, "nums")?.as_set()?.len(), 11);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn membership_operator_in_queries() {
+    let db = Database::in_memory();
+    db.define_class(
+        ClassBuilder::new("part")
+            .field("name", Type::Str)
+            .field_default(
+                "tags",
+                Type::Set(Box::new(Type::Str)),
+                Value::Set(SetValue::new()),
+            ),
+    )
+    .unwrap();
+    db.create_cluster("part").unwrap();
+    db.transaction(|tx| {
+        let a = tx.pnew("part", &[("name", Value::from("a"))])?;
+        tx.set_insert(a, "tags", "critical")?;
+        let b = tx.pnew("part", &[("name", Value::from("b"))])?;
+        tx.set_insert(b, "tags", "spare")?;
+        Ok(())
+    })
+    .unwrap();
+    let mut tx = db.begin();
+    let names = tx
+        .forall("part")
+        .unwrap()
+        .suchthat("'critical' in tags")
+        .unwrap()
+        .collect_values("name")
+        .unwrap();
+    assert_eq!(names, vec![Value::from("a")]);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn early_error_in_body_propagates() {
+    let db = Database::in_memory();
+    inventory(&db, 3);
+    let mut tx = db.begin();
+    let err = tx
+        .forall("stockitem")
+        .unwrap()
+        .run(|_tx, _oid| Err(ode_core::OdeError::Usage("stop".into())));
+    assert!(err.is_err());
+    tx.commit().unwrap();
+}

@@ -1,0 +1,381 @@
+//! Tests for §4: object versioning — explicit `newversion`, generic vs.
+//! specific references, linear chains, version trees (the footnote-15
+//! extension), version deletion, and durability.
+
+use ode_core::prelude::*;
+use ode_core::OdeError;
+
+fn docs(db: &Database) {
+    db.define_class(
+        ClassBuilder::new("document")
+            .field("title", Type::Str)
+            .field_default("body", Type::Str, ""),
+    )
+    .unwrap();
+    db.create_cluster("document").unwrap();
+}
+
+fn new_doc(tx: &mut Transaction, title: &str, body: &str) -> Oid {
+    tx.pnew(
+        "document",
+        &[("title", Value::from(title)), ("body", Value::from(body))],
+    )
+    .unwrap()
+}
+
+#[test]
+fn updates_do_not_create_versions() {
+    // §4: "Updating a persistent object does not automatically create a
+    // new version."
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db
+        .transaction(|tx| Ok(new_doc(tx, "paper", "draft 1")))
+        .unwrap();
+    db.transaction(|tx| tx.set(oid, "body", "draft 2")).unwrap();
+    let tx = db.begin();
+    assert!(!tx.is_versioned(oid).unwrap());
+    assert_eq!(tx.versions(oid).unwrap(), vec![0]);
+    assert_eq!(tx.current_version(oid).unwrap(), 0);
+}
+
+#[test]
+fn newversion_freezes_the_old_state() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db
+        .transaction(|tx| Ok(new_doc(tx, "paper", "draft 1")))
+        .unwrap();
+    let v1 = db
+        .transaction(|tx| {
+            let v1 = tx.newversion(oid)?;
+            tx.set(oid, "body", "draft 2")?;
+            Ok(v1)
+        })
+        .unwrap();
+    assert_eq!(v1, 1);
+    let tx = db.begin();
+    // Generic reference: the current version.
+    assert_eq!(tx.get(oid, "body").unwrap(), Value::from("draft 2"));
+    // Specific references: pinned.
+    let old = tx
+        .read_version(VersionRef { oid, version: 0 })
+        .unwrap();
+    assert_eq!(old.fields[1], Value::from("draft 1"));
+    let new = tx
+        .read_version(VersionRef { oid, version: 1 })
+        .unwrap();
+    assert_eq!(new.fields[1], Value::from("draft 2"));
+    assert_eq!(tx.versions(oid).unwrap(), vec![0, 1]);
+    assert!(tx.is_versioned(oid).unwrap());
+}
+
+#[test]
+fn generic_reference_tracks_current_across_many_versions() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    for i in 1..=10 {
+        db.transaction(|tx| {
+            tx.newversion(oid)?;
+            tx.set(oid, "body", format!("v{i}"))?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "body").unwrap(), Value::from("v10"));
+    assert_eq!(tx.versions(oid).unwrap().len(), 11);
+    // Every specific reference still resolves to its own state.
+    for i in 0..=10u32 {
+        let s = tx.read_version(VersionRef { oid, version: i }).unwrap();
+        assert_eq!(s.fields[1], Value::from(format!("v{i}")));
+    }
+    // Linear chain: parents are predecessors.
+    for i in 1..=10u32 {
+        assert_eq!(
+            tx.parent_version(VersionRef { oid, version: i }).unwrap(),
+            Some(i - 1)
+        );
+    }
+    assert_eq!(
+        tx.parent_version(VersionRef { oid, version: 0 }).unwrap(),
+        None
+    );
+}
+
+#[test]
+fn multiple_versions_within_one_transaction() {
+    let db = Database::in_memory();
+    docs(&db);
+    db.transaction(|tx| {
+        let oid = new_doc(tx, "p", "a");
+        tx.newversion(oid)?;
+        tx.set(oid, "body", "b")?;
+        tx.newversion(oid)?;
+        tx.set(oid, "body", "c")?;
+        // All three visible inside the transaction.
+        assert_eq!(
+            tx.read_version(VersionRef { oid, version: 0 })?.fields[1],
+            Value::from("a")
+        );
+        assert_eq!(
+            tx.read_version(VersionRef { oid, version: 1 })?.fields[1],
+            Value::from("b")
+        );
+        assert_eq!(tx.get(oid, "body")?, Value::from("c"));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn version_tree_branching() {
+    // The footnote-15 extension: branch from an old version.
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "root"))).unwrap();
+    db.transaction(|tx| {
+        tx.newversion(oid)?; // v1, linear child of v0
+        tx.set(oid, "body", "mainline")?;
+        Ok(())
+    })
+    .unwrap();
+    let branch = db
+        .transaction(|tx| {
+            let b = tx.newversion_from(VersionRef { oid, version: 0 })?;
+            tx.set(oid, "body", "branch off root")?;
+            Ok(b)
+        })
+        .unwrap();
+    assert_eq!(branch, 2);
+    let tx = db.begin();
+    // The branch's parent is v0, not v1.
+    assert_eq!(
+        tx.parent_version(VersionRef { oid, version: 2 }).unwrap(),
+        Some(0)
+    );
+    let children = tx
+        .child_versions(VersionRef { oid, version: 0 })
+        .unwrap();
+    assert_eq!(children, vec![1, 2]);
+    // The branch started from v0's state.
+    assert_eq!(tx.get(oid, "body").unwrap(), Value::from("branch off root"));
+    assert_eq!(
+        tx.read_version(VersionRef { oid, version: 1 })
+            .unwrap()
+            .fields[1],
+        Value::from("mainline")
+    );
+}
+
+#[test]
+fn delete_version_reparents_children() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    db.transaction(|tx| {
+        for i in 1..=3 {
+            tx.newversion(oid)?;
+            tx.set(oid, "body", format!("v{i}"))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| tx.delete_version(VersionRef { oid, version: 1 }))
+        .unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.versions(oid).unwrap(), vec![0, 2, 3]);
+    // v2's parent was v1; it is now re-parented to v0.
+    assert_eq!(
+        tx.parent_version(VersionRef { oid, version: 2 }).unwrap(),
+        Some(0)
+    );
+    assert!(matches!(
+        tx.read_version(VersionRef { oid, version: 1 }),
+        Err(OdeError::Version(_))
+    ));
+}
+
+#[test]
+fn current_version_cannot_be_deleted() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    db.transaction(|tx| {
+        tx.newversion(oid)?;
+        Ok(())
+    })
+    .unwrap();
+    let mut tx = db.begin();
+    let err = tx
+        .delete_version(VersionRef { oid, version: 1 })
+        .unwrap_err();
+    assert!(matches!(err, OdeError::Version(_)), "{err}");
+    tx.commit().unwrap();
+}
+
+#[test]
+fn vref_names_the_current_version() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.vref(oid).unwrap(), VersionRef { oid, version: 0 });
+    drop(tx);
+    db.transaction(|tx| {
+        tx.newversion(oid)?;
+        Ok(())
+    })
+    .unwrap();
+    let tx = db.begin();
+    assert_eq!(tx.vref(oid).unwrap().version, 1);
+}
+
+#[test]
+fn specific_refs_stored_in_fields_stay_pinned() {
+    // Historical databases (§4): an audit object holds a specific ref.
+    let db = Database::in_memory();
+    docs(&db);
+    db.define_class(
+        ClassBuilder::new("audit").field("snapshot", Type::VRef("document".into())),
+    )
+    .unwrap();
+    db.create_cluster("audit").unwrap();
+    let (doc, audit) = db
+        .transaction(|tx| {
+            let doc = new_doc(tx, "contract", "original terms");
+            let vref = tx.vref(doc)?;
+            let audit = tx.pnew("audit", &[("snapshot", Value::VRef(vref))])?;
+            Ok((doc, audit))
+        })
+        .unwrap();
+    db.transaction(|tx| {
+        tx.newversion(doc)?;
+        tx.set(doc, "body", "amended terms")?;
+        Ok(())
+    })
+    .unwrap();
+    let tx = db.begin();
+    let Value::VRef(vref) = tx.get(audit, "snapshot").unwrap() else {
+        panic!("not a vref")
+    };
+    let snapshot = tx.read_version(vref).unwrap();
+    assert_eq!(snapshot.fields[1], Value::from("original terms"));
+    assert_eq!(tx.get(doc, "body").unwrap(), Value::from("amended terms"));
+}
+
+#[test]
+fn versions_survive_reopen() {
+    let dir = std::env::temp_dir().join(format!("ode-core-verreopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oid;
+    {
+        let db = Database::open(&dir).unwrap();
+        docs(&db);
+        oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+        db.transaction(|tx| {
+            tx.newversion(oid)?;
+            tx.set(oid, "body", "v1")?;
+            tx.newversion(oid)?;
+            tx.set(oid, "body", "v2")?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let tx = db.begin();
+        assert_eq!(tx.versions(oid).unwrap(), vec![0, 1, 2]);
+        assert_eq!(tx.get(oid, "body").unwrap(), Value::from("v2"));
+        assert_eq!(
+            tx.read_version(VersionRef { oid, version: 0 })
+                .unwrap()
+                .fields[1],
+            Value::from("v0")
+        );
+        assert_eq!(
+            tx.read_version(VersionRef { oid, version: 1 })
+                .unwrap()
+                .fields[1],
+            Value::from("v1")
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pdelete_removes_all_versions() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    db.transaction(|tx| {
+        tx.newversion(oid)?;
+        tx.newversion(oid)?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| tx.pdelete(oid)).unwrap();
+    let tx = db.begin();
+    assert!(!tx.exists(oid));
+    assert!(tx.read_version(VersionRef { oid, version: 0 }).is_err());
+    drop(tx);
+    // The cluster scan sees no leftover version records.
+    assert_eq!(db.extent_size("document", true).unwrap(), 0);
+}
+
+#[test]
+fn cluster_iteration_sees_current_versions_only() {
+    let db = Database::in_memory();
+    docs(&db);
+    db.transaction(|tx| {
+        let a = new_doc(tx, "a", "a0");
+        tx.newversion(a)?;
+        tx.set(a, "body", "a1")?;
+        new_doc(tx, "b", "b0");
+        Ok(())
+    })
+    .unwrap();
+    let mut tx = db.begin();
+    let bodies: Vec<Value> = tx
+        .forall("document")
+        .unwrap()
+        .by("title")
+        .unwrap()
+        .collect_values("body")
+        .unwrap();
+    assert_eq!(bodies, vec![Value::from("a1"), Value::from("b0")]);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn reading_missing_versions_errors() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "x"))).unwrap();
+    let tx = db.begin();
+    assert!(tx.read_version(VersionRef { oid, version: 5 }).is_err());
+    // Version 0 of an unversioned object is its only state.
+    assert_eq!(
+        tx.read_version(VersionRef { oid, version: 0 })
+            .unwrap()
+            .fields[1],
+        Value::from("x")
+    );
+}
+
+#[test]
+fn abort_discards_version_operations() {
+    let db = Database::in_memory();
+    docs(&db);
+    let oid = db.transaction(|tx| Ok(new_doc(tx, "p", "v0"))).unwrap();
+    {
+        let mut tx = db.begin();
+        tx.newversion(oid).unwrap();
+        tx.set(oid, "body", "would-be v1").unwrap();
+        tx.abort();
+    }
+    let tx = db.begin();
+    assert!(!tx.is_versioned(oid).unwrap());
+    assert_eq!(tx.get(oid, "body").unwrap(), Value::from("v0"));
+}

@@ -1,0 +1,321 @@
+//! Class definitions: the O++ `class` construct.
+//!
+//! §2 of the paper: classes support *data encapsulation* and *multiple
+//! inheritance*; constraints (§5) and triggers (§6) attach to classes and
+//! are inherited by derived classes. A [`ClassBuilder`] collects the
+//! declaration (fields, bases, constraint and trigger source text) and
+//! [`crate::Schema::define`] turns it into a checked [`ClassDef`] with a
+//! linearized field layout.
+//!
+//! Constraint bodies and trigger conditions are kept both as source text
+//! (persisted in the catalog) and as parsed [`Expr`]s (used at run time).
+
+use crate::error::{ModelError, Result};
+use crate::expr::Expr;
+use crate::value::{Type, Value};
+
+/// Dense class identifier (index into the schema's class table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One declared field (an O++ data member).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDef {
+    /// Member name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Initial value for new objects (`Null` when absent).
+    pub default: Option<Value>,
+}
+
+/// What a trigger does when it fires (§6). The paper writes actions as
+/// arbitrary O++ statements run in their own transaction; here an action is
+/// a sequence of field assignments on the subject object and/or calls to
+/// host-registered callbacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerAction {
+    /// Assign `expr` (evaluated against the subject object) to its field.
+    Assign {
+        /// Target field on the subject object.
+        field: String,
+        /// Source text of the value expression (persisted).
+        src: String,
+        /// Parsed form.
+        expr: Expr,
+    },
+    /// Invoke a callback registered on the database under this name. The
+    /// callback receives the subject oid and the activation arguments.
+    Callback {
+        /// Registered callback name.
+        name: String,
+    },
+}
+
+/// A trigger declaration on a class (§6). Activation (binding to a
+/// particular object with arguments) happens in the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDecl {
+    /// Trigger name, unique within the class.
+    pub name: String,
+    /// Formal parameters; activation supplies matching argument values,
+    /// available in the condition as `$param`.
+    pub params: Vec<String>,
+    /// Perpetual triggers re-arm after firing; once-only triggers (the
+    /// default in the paper) deactivate.
+    pub perpetual: bool,
+    /// Source text of the firing condition (persisted).
+    pub condition_src: String,
+    /// Parsed firing condition.
+    pub condition: Expr,
+    /// Actions run (in order, in an independent transaction) on firing.
+    pub actions: Vec<TriggerAction>,
+}
+
+/// A named, parsed constraint (§5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDef {
+    /// Diagnostic name (auto-generated when not given).
+    pub name: String,
+    /// Source text (persisted).
+    pub src: String,
+    /// Parsed boolean expression over the object's fields/methods.
+    pub expr: Expr,
+}
+
+/// A fully-checked class: the output of [`crate::Schema::define`].
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Dense id.
+    pub id: ClassId,
+    /// Class name (unique in the schema).
+    pub name: String,
+    /// Direct base classes, in declaration order.
+    pub bases: Vec<ClassId>,
+    /// Fields declared *by this class* (not inherited ones).
+    pub own_fields: Vec<FieldDef>,
+    /// Constraints declared by this class (inherited ones are found via the
+    /// linearization).
+    pub constraints: Vec<ConstraintDef>,
+    /// Trigger declarations of this class.
+    pub triggers: Vec<TriggerDecl>,
+    /// C3 linearization: `self` first, then bases in method-resolution
+    /// order. Diamond bases appear exactly once (shared, like C++ virtual
+    /// bases — this matches the paper's person/student/faculty examples).
+    pub linearization: Vec<ClassId>,
+    /// Flattened field layout: base-most fields first. `fields[i]` is the
+    /// value slot `i` of every object of this class.
+    pub layout: Vec<LayoutField>,
+}
+
+/// One slot of a class's flattened field layout.
+#[derive(Debug, Clone)]
+pub struct LayoutField {
+    /// Member name (unique across the whole layout).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// The class that declared this member.
+    pub declared_in: ClassId,
+    /// Default value for new objects.
+    pub default: Option<Value>,
+}
+
+impl ClassDef {
+    /// Index of `field` in the layout.
+    pub fn field_index(&self, field: &str) -> Result<usize> {
+        self.layout
+            .iter()
+            .position(|f| f.name == field)
+            .ok_or_else(|| ModelError::UnknownField {
+                class: self.name.clone(),
+                field: field.to_string(),
+            })
+    }
+
+    /// Layout slot metadata for `field`.
+    pub fn field(&self, field: &str) -> Result<&LayoutField> {
+        let i = self.field_index(field)?;
+        Ok(&self.layout[i])
+    }
+
+    /// Number of value slots in an object of this class.
+    pub fn field_count(&self) -> usize {
+        self.layout.len()
+    }
+}
+
+/// Declarative builder for a class. All expression text is parsed and
+/// checked when the builder is passed to [`crate::Schema::define`].
+#[derive(Debug, Clone)]
+pub struct ClassBuilder {
+    pub(crate) name: String,
+    pub(crate) bases: Vec<String>,
+    pub(crate) fields: Vec<FieldDef>,
+    pub(crate) constraints: Vec<(Option<String>, String)>,
+    pub(crate) triggers: Vec<TriggerSpec>,
+}
+
+/// Unparsed trigger specification inside a [`ClassBuilder`].
+#[derive(Debug, Clone)]
+pub(crate) struct TriggerSpec {
+    pub name: String,
+    pub params: Vec<String>,
+    pub perpetual: bool,
+    pub condition_src: String,
+    pub actions: Vec<ActionSpec>,
+}
+
+/// Unparsed action specification inside a [`ClassBuilder`].
+#[derive(Debug, Clone)]
+pub(crate) enum ActionSpec {
+    Assign { field: String, src: String },
+    Callback { name: String },
+}
+
+impl ClassBuilder {
+    /// The class name this builder declares.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Start declaring a class named `name`.
+    pub fn new(name: impl Into<String>) -> ClassBuilder {
+        ClassBuilder {
+            name: name.into(),
+            bases: Vec::new(),
+            fields: Vec::new(),
+            constraints: Vec::new(),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Add a direct base class (multiple inheritance = call repeatedly).
+    pub fn base(mut self, name: impl Into<String>) -> Self {
+        self.bases.push(name.into());
+        self
+    }
+
+    /// Declare a data member.
+    pub fn field(mut self, name: impl Into<String>, ty: Type) -> Self {
+        self.fields.push(FieldDef {
+            name: name.into(),
+            ty,
+            default: None,
+        });
+        self
+    }
+
+    /// Declare a data member with a default value for new objects.
+    pub fn field_default(
+        mut self,
+        name: impl Into<String>,
+        ty: Type,
+        default: impl Into<Value>,
+    ) -> Self {
+        self.fields.push(FieldDef {
+            name: name.into(),
+            ty,
+            default: Some(default.into()),
+        });
+        self
+    }
+
+    /// Attach a constraint (§5): a boolean expression over the class's
+    /// fields and methods, e.g. `"quantity >= 0 && price > 0.0"`.
+    pub fn constraint(mut self, src: impl Into<String>) -> Self {
+        self.constraints.push((None, src.into()));
+        self
+    }
+
+    /// Attach a named constraint (name shows up in violation errors).
+    pub fn constraint_named(
+        mut self,
+        name: impl Into<String>,
+        src: impl Into<String>,
+    ) -> Self {
+        self.constraints.push((Some(name.into()), src.into()));
+        self
+    }
+
+    /// Declare a trigger (§6). `params` are formal names available in the
+    /// condition as `$name`; `actions` run when the condition holds at the
+    /// end of a transaction that wrote the subject object.
+    pub fn trigger(
+        mut self,
+        name: impl Into<String>,
+        params: &[&str],
+        perpetual: bool,
+        condition: impl Into<String>,
+    ) -> Self {
+        self.triggers.push(TriggerSpec {
+            name: name.into(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            perpetual,
+            condition_src: condition.into(),
+            actions: Vec::new(),
+        });
+        self
+    }
+
+    /// Add a field-assignment action to the most recently declared trigger.
+    ///
+    /// # Panics
+    /// Panics if no trigger has been declared yet (a builder-usage bug).
+    pub fn action_assign(mut self, field: impl Into<String>, src: impl Into<String>) -> Self {
+        self.triggers
+            .last_mut()
+            .expect("action_assign must follow trigger()")
+            .actions
+            .push(ActionSpec::Assign {
+                field: field.into(),
+                src: src.into(),
+            });
+        self
+    }
+
+    /// Add a host-callback action to the most recently declared trigger.
+    ///
+    /// # Panics
+    /// Panics if no trigger has been declared yet (a builder-usage bug).
+    pub fn action_callback(mut self, name: impl Into<String>) -> Self {
+        self.triggers
+            .last_mut()
+            .expect("action_callback must follow trigger()")
+            .actions
+            .push(ActionSpec::Callback { name: name.into() });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_declarations() {
+        let b = ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0)
+            .constraint("quantity >= 0")
+            .trigger("reorder", &[], false, "quantity < reorder_level")
+            .action_callback("place_order");
+        assert_eq!(b.name, "stockitem");
+        assert_eq!(b.fields.len(), 2);
+        assert_eq!(b.constraints.len(), 1);
+        assert_eq!(b.triggers.len(), 1);
+        assert_eq!(b.triggers[0].actions.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must follow trigger()")]
+    fn action_without_trigger_panics() {
+        let _ = ClassBuilder::new("x").action_callback("cb");
+    }
+}

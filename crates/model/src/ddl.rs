@@ -1,0 +1,556 @@
+//! O++-flavoured class declaration syntax.
+//!
+//! The paper's thesis is that one language defines, queries, and
+//! manipulates the database. This module provides the *definition* part as
+//! text, closely following O++'s C++-derived syntax, so schemas can be
+//! written the way the paper writes them:
+//!
+//! ```text
+//! class stockitem {
+//!     string name;
+//!     int    quantity = 0;
+//!     int    max_quantity = 15000;
+//!     int    reorder_level = 15;
+//!     int    on_order = 0;
+//!     double price = 5.0;
+//!     constraint sane: quantity >= 0 && quantity <= max_quantity;
+//!     trigger reorder(amount) : quantity <= reorder_level {
+//!         on_order = on_order + $amount;
+//!         call notify_purchasing;
+//!     }
+//! }
+//!
+//! class female : public person {
+//!     string sex;
+//!     constraint: sex == 'f' || sex == 'F';
+//! }
+//! ```
+//!
+//! Supported member types: `int`, `double`/`float`, `bool`, `string`,
+//! `set<T>`, `array<T>`, `ref<Class>` (generic reference, i.e.
+//! `persistent Class*`), `vref<Class>` (specific/pinned reference), `any`.
+//! `perpetual trigger` declares a perpetual trigger (§6). Comments (`//`
+//! and `/* */`) are allowed anywhere.
+//!
+//! The output is ordinary [`ClassBuilder`]s; constraint and trigger bodies
+//! are captured as expression source text and checked by
+//! [`crate::Schema::define`] exactly like programmatically-built classes.
+
+use crate::class::ClassBuilder;
+use crate::error::{ModelError, Result};
+use crate::parser::parse_expr;
+use crate::value::{Type, Value};
+
+/// Parse a schema source containing zero or more class declarations, in
+/// order (base classes must precede derived ones, as in C++).
+pub fn parse_classes(src: &str) -> Result<Vec<ClassBuilder>> {
+    let mut p = Ddl::new(src);
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            return Ok(out);
+        }
+        out.push(p.class_decl()?);
+    }
+}
+
+struct Ddl<'a> {
+    src: &'a str,
+    at: usize,
+}
+
+impl<'a> Ddl<'a> {
+    fn new(src: &'a str) -> Ddl<'a> {
+        Ddl { src, at: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            message: message.into(),
+            at: self.at,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.at..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.at >= self.src.len()
+    }
+
+    /// Skip whitespace and `//` / `/* */` comments.
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.at += rest.len() - trimmed.len();
+            if let Some(stripped) = self.rest().strip_prefix("//") {
+                let line_len = stripped.find('\n').map(|i| i + 1).unwrap_or(stripped.len());
+                self.at += 2 + line_len;
+                continue;
+            }
+            if let Some(stripped) = self.rest().strip_prefix("/*") {
+                let end = stripped.find("*/").map(|i| i + 2).unwrap_or(stripped.len());
+                self.at += 2 + end;
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.at += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{token}`, found `{}`",
+                self.rest().chars().take(12).collect::<String>()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if (i == 0 && (c.is_ascii_alphabetic() || c == '_'))
+                || (i > 0 && (c.is_ascii_alphanumeric() || c == '_'))
+            {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            return Err(self.err(format!(
+                "expected an identifier, found `{}`",
+                rest.chars().take(12).collect::<String>()
+            )));
+        }
+        self.at += end;
+        Ok(rest[..end].to_string())
+    }
+
+    /// Try to consume a keyword (identifier match, not prefix match).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
+            if !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.at += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Capture raw expression source up to (not including) any of the
+    /// `stops` characters, validating it parses.
+    fn expr_src(&mut self, stops: &[char]) -> Result<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = rest.len();
+        let mut in_str: Option<char> = None;
+        for (i, c) in rest.char_indices() {
+            match in_str {
+                Some(q) => {
+                    if c == q {
+                        in_str = None;
+                    }
+                }
+                None => {
+                    if c == '\'' || c == '"' {
+                        in_str = Some(c);
+                    } else if stops.contains(&c) {
+                        end = i;
+                        break;
+                    }
+                }
+            }
+        }
+        let text = rest[..end].trim().to_string();
+        if text.is_empty() {
+            return Err(self.err("expected an expression"));
+        }
+        // Validate now for a positioned error; Schema::define re-parses.
+        parse_expr(&text).map_err(|e| self.err(format!("in expression `{text}`: {e}")))?;
+        self.at += end;
+        Ok(text)
+    }
+
+    fn class_decl(&mut self) -> Result<ClassBuilder> {
+        if !self.eat_kw("class") {
+            return Err(self.err("expected `class`"));
+        }
+        let name = self.ident()?;
+        let mut b = ClassBuilder::new(name);
+        if self.eat(":") {
+            loop {
+                let _ = self.eat_kw("public") || self.eat_kw("virtual");
+                let base = self.ident()?;
+                b = b.base(base);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect("{")?;
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                let _ = self.eat(";");
+                return Ok(b);
+            }
+            if self.at_end() {
+                return Err(self.err("unterminated class body (missing `}`)"));
+            }
+            b = self.member(b)?;
+        }
+    }
+
+    fn member(&mut self, b: ClassBuilder) -> Result<ClassBuilder> {
+        if self.eat_kw("constraint") {
+            return self.constraint(b);
+        }
+        if self.eat_kw("perpetual") {
+            if !self.eat_kw("trigger") {
+                return Err(self.err("expected `trigger` after `perpetual`"));
+            }
+            return self.trigger(b, true);
+        }
+        if self.eat_kw("trigger") {
+            return self.trigger(b, false);
+        }
+        self.field(b)
+    }
+
+    fn constraint(&mut self, b: ClassBuilder) -> Result<ClassBuilder> {
+        // `constraint [name] : expr ;`
+        self.skip_ws();
+        let name = if self.peek_char() == Some(':') {
+            None
+        } else {
+            Some(self.ident()?)
+        };
+        self.expect(":")?;
+        let src = self.expr_src(&[';'])?;
+        self.expect(";")?;
+        Ok(match name {
+            Some(n) => b.constraint_named(n, src),
+            None => b.constraint(src),
+        })
+    }
+
+    fn trigger(&mut self, b: ClassBuilder, perpetual: bool) -> Result<ClassBuilder> {
+        // `trigger name(params) : condition { actions }`
+        let name = self.ident()?;
+        self.expect("(")?;
+        let mut params: Vec<String> = Vec::new();
+        self.skip_ws();
+        if !self.eat(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        self.expect(":")?;
+        let condition = self.expr_src(&['{'])?;
+        let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        let mut b = b.trigger(name, &param_refs, perpetual, condition);
+        self.expect("{")?;
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                return Ok(b);
+            }
+            if self.at_end() {
+                return Err(self.err("unterminated trigger body (missing `}`)"));
+            }
+            if self.eat_kw("call") {
+                let cb = self.ident()?;
+                self.expect(";")?;
+                b = b.action_callback(cb);
+            } else {
+                let field = self.ident()?;
+                self.expect("=")?;
+                let src = self.expr_src(&[';'])?;
+                self.expect(";")?;
+                b = b.action_assign(field, src);
+            }
+        }
+    }
+
+    fn type_spec(&mut self) -> Result<Type> {
+        if self.eat_kw("int") || self.eat_kw("long") {
+            return Ok(Type::Int);
+        }
+        if self.eat_kw("double") || self.eat_kw("float") {
+            return Ok(Type::Float);
+        }
+        if self.eat_kw("bool") {
+            return Ok(Type::Bool);
+        }
+        if self.eat_kw("string") || self.eat_kw("char") {
+            // `char*` — consume an optional `*`.
+            let _ = self.eat("*");
+            return Ok(Type::Str);
+        }
+        if self.eat_kw("any") {
+            return Ok(Type::Any);
+        }
+        if self.eat_kw("set") {
+            self.expect("<")?;
+            let inner = self.type_spec()?;
+            self.expect(">")?;
+            return Ok(Type::Set(Box::new(inner)));
+        }
+        if self.eat_kw("array") {
+            self.expect("<")?;
+            let inner = self.type_spec()?;
+            self.expect(">")?;
+            return Ok(Type::Array(Box::new(inner)));
+        }
+        if self.eat_kw("ref") || self.eat_kw("persistent") {
+            // `ref<dept>` or `persistent dept*`.
+            if self.eat("<") {
+                let class = self.ident()?;
+                self.expect(">")?;
+                return Ok(Type::Ref(class));
+            }
+            let class = self.ident()?;
+            self.expect("*")?;
+            return Ok(Type::Ref(class));
+        }
+        if self.eat_kw("vref") {
+            self.expect("<")?;
+            let class = self.ident()?;
+            self.expect(">")?;
+            return Ok(Type::VRef(class));
+        }
+        Err(self.err(format!(
+            "expected a type, found `{}`",
+            self.rest().chars().take(12).collect::<String>()
+        )))
+    }
+
+    fn field(&mut self, b: ClassBuilder) -> Result<ClassBuilder> {
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        if self.eat("=") {
+            let src = self.expr_src(&[';'])?;
+            self.expect(";")?;
+            // Field defaults must be literal constants.
+            let expr = parse_expr(&src)?;
+            let value = match expr {
+                crate::expr::Expr::Lit(v) => v,
+                crate::expr::Expr::Unary(crate::expr::UnOp::Neg, inner) => match *inner {
+                    crate::expr::Expr::Lit(Value::Int(i)) => Value::Int(-i),
+                    crate::expr::Expr::Lit(Value::Float(x)) => Value::Float(-x),
+                    _ => {
+                        return Err(self.err(format!(
+                            "default for `{name}` must be a literal constant"
+                        )))
+                    }
+                },
+                _ => {
+                    return Err(self.err(format!(
+                        "default for `{name}` must be a literal constant"
+                    )))
+                }
+            };
+            return Ok(b.field_default(name, ty, value));
+        }
+        self.expect(";")?;
+        Ok(b.field(name, ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::TriggerAction;
+    use crate::schema::Schema;
+
+    #[test]
+    fn paper_stockitem_declaration() {
+        let src = r#"
+            // §2.3 of the paper, in O++-flavoured syntax.
+            class stockitem {
+                string name;
+                double allowance = 0.05;
+                int    quantity = 0;
+                int    max_quantity = 15000;
+                double price = 5.0;
+                int    reorder_level = 15;
+                int    on_order = 0;
+                string supplier;
+                constraint sane: quantity >= 0 && quantity <= max_quantity;
+                trigger reorder(amount) : quantity <= reorder_level {
+                    on_order = on_order + $amount;
+                    call notify_purchasing;
+                }
+            }
+        "#;
+        let builders = parse_classes(src).unwrap();
+        assert_eq!(builders.len(), 1);
+        let mut schema = Schema::new();
+        let id = schema.define(builders.into_iter().next().unwrap()).unwrap();
+        let def = schema.class(id).unwrap();
+        assert_eq!(def.name, "stockitem");
+        assert_eq!(def.own_fields.len(), 8);
+        assert_eq!(def.constraints.len(), 1);
+        assert_eq!(def.constraints[0].name, "sane");
+        let t = &def.triggers[0];
+        assert_eq!(t.name, "reorder");
+        assert_eq!(t.params, vec!["amount"]);
+        assert!(!t.perpetual);
+        assert_eq!(t.actions.len(), 2);
+        assert!(matches!(&t.actions[1], TriggerAction::Callback { name } if name == "notify_purchasing"));
+        // Defaults applied.
+        let obj = schema.new_object(id).unwrap();
+        assert_eq!(obj.fields[2], Value::Int(0));
+        assert_eq!(obj.fields[3], Value::Int(15000));
+    }
+
+    #[test]
+    fn paper_female_specialization() {
+        let src = r#"
+            class person { string name; string sex; }
+            class female : public person {
+                constraint: sex == 'f' || sex == 'F';
+            }
+        "#;
+        let builders = parse_classes(src).unwrap();
+        assert_eq!(builders.len(), 2);
+        let mut schema = Schema::new();
+        for b in builders {
+            schema.define(b).unwrap();
+        }
+        let female = schema.class_by_name("female").unwrap();
+        assert_eq!(female.constraints.len(), 1);
+        assert_eq!(female.constraints[0].src, "sex == 'f' || sex == 'F'");
+        let person = schema.id_of("person").unwrap();
+        assert!(schema.is_subclass(female.id, person));
+    }
+
+    #[test]
+    fn multiple_inheritance_and_rich_types() {
+        let src = r#"
+            class a { int x; }
+            class b { set<string> tags; array<int> bins; }
+            class c : public a, public b {
+                ref<a>  friend_a;
+                vref<b> pinned_b;
+                persistent a* old_style;
+                char* cname;
+                any blob;
+            }
+        "#;
+        let mut schema = Schema::new();
+        for b in parse_classes(src).unwrap() {
+            schema.define(b).unwrap();
+        }
+        let c = schema.class_by_name("c").unwrap();
+        assert_eq!(c.bases.len(), 2);
+        assert_eq!(c.field("friend_a").unwrap().ty, Type::Ref("a".into()));
+        assert_eq!(c.field("pinned_b").unwrap().ty, Type::VRef("b".into()));
+        assert_eq!(c.field("old_style").unwrap().ty, Type::Ref("a".into()));
+        assert_eq!(c.field("cname").unwrap().ty, Type::Str);
+        assert_eq!(c.field("blob").unwrap().ty, Type::Any);
+        assert_eq!(
+            c.field("tags").unwrap().ty,
+            Type::Set(Box::new(Type::Str))
+        );
+    }
+
+    #[test]
+    fn perpetual_trigger_and_comments() {
+        let src = r#"
+            /* audit example */
+            class item {
+                int qty = 100; // starts full
+                perpetual trigger audit(floor) : qty < $floor {
+                    call log_low;
+                }
+            }
+        "#;
+        let mut schema = Schema::new();
+        let id = schema
+            .define(parse_classes(src).unwrap().into_iter().next().unwrap())
+            .unwrap();
+        let t = &schema.class(id).unwrap().triggers[0];
+        assert!(t.perpetual);
+        assert_eq!(t.condition_src, "qty < $floor");
+    }
+
+    #[test]
+    fn negative_defaults() {
+        let src = "class t { int x = -5; double y = -1.5; }";
+        let mut schema = Schema::new();
+        let id = schema
+            .define(parse_classes(src).unwrap().into_iter().next().unwrap())
+            .unwrap();
+        let obj = schema.new_object(id).unwrap();
+        assert_eq!(obj.fields[0], Value::Int(-5));
+        assert_eq!(obj.fields[1], Value::Float(-1.5));
+    }
+
+    #[test]
+    fn errors_are_positioned_and_clear() {
+        for (src, needle) in [
+            ("class", "identifier"),
+            ("class x {", "unterminated"),
+            ("class x { int; }", "identifier"),
+            ("class x { frob y; }", "expected a type"),
+            ("class x { int y = z; }", "literal constant"),
+            ("class x { constraint: ; }", "expression"),
+            ("class x { trigger t() : a < b { q; } int a; int b; int q; }", "expected `=`"),
+            ("struct x {}", "expected `class`"),
+        ] {
+            let err = parse_classes(src).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "source {src:?} produced {msg:?}, expected needle {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_stop_chars_do_not_end_expressions() {
+        // A `;` inside a string literal must not terminate the constraint.
+        let src = r#"class x { string s; constraint: s != "a;b"; }"#;
+        let mut schema = Schema::new();
+        let id = schema
+            .define(parse_classes(src).unwrap().into_iter().next().unwrap())
+            .unwrap();
+        assert_eq!(schema.class(id).unwrap().constraints[0].src, r#"s != "a;b""#);
+    }
+
+    #[test]
+    fn empty_source_is_empty_schema() {
+        assert!(parse_classes("").unwrap().is_empty());
+        assert!(parse_classes("  // just a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the data-model layer.
+
+use std::fmt;
+
+/// Errors raised by schema definition, expression parsing, evaluation, and
+/// the object codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Expression source text could not be parsed.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset into the source where it went wrong.
+        at: usize,
+    },
+    /// Static or dynamic type mismatch.
+    Type(String),
+    /// A runtime evaluation failure (division by zero, bad deref, …).
+    Eval(String),
+    /// Reference to an unknown class.
+    UnknownClass(String),
+    /// Reference to an unknown field.
+    UnknownField { class: String, field: String },
+    /// Reference to an unknown method.
+    UnknownMethod { class: String, method: String },
+    /// Reference to an unbound variable (loop variable / trigger argument).
+    UnknownVar(String),
+    /// Multiple-inheritance conflict (ambiguous field, bad linearization).
+    Inheritance(String),
+    /// A malformed binary image (catalog or object record).
+    Decode(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Parse { message, at } => {
+                write!(f, "parse error at byte {at}: {message}")
+            }
+            ModelError::Type(msg) => write!(f, "type error: {msg}"),
+            ModelError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            ModelError::UnknownClass(name) => write!(f, "unknown class `{name}`"),
+            ModelError::UnknownField { class, field } => {
+                write!(f, "class `{class}` has no field `{field}`")
+            }
+            ModelError::UnknownMethod { class, method } => {
+                write!(f, "class `{class}` has no method `{method}`")
+            }
+            ModelError::UnknownVar(name) => write!(f, "unbound variable `{name}`"),
+            ModelError::Inheritance(msg) => write!(f, "inheritance error: {msg}"),
+            ModelError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            ModelError::UnknownClass("ghost".into()).to_string(),
+            "unknown class `ghost`"
+        );
+        assert_eq!(
+            ModelError::UnknownField {
+                class: "person".into(),
+                field: "wings".into()
+            }
+            .to_string(),
+            "class `person` has no field `wings`"
+        );
+        let p = ModelError::Parse {
+            message: "unexpected `)`".into(),
+            at: 7,
+        };
+        assert!(p.to_string().contains("byte 7"));
+    }
+}

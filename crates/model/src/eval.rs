@@ -1,0 +1,579 @@
+//! Expression evaluation.
+//!
+//! An [`EvalCtx`] supplies everything an expression may mention:
+//!
+//! * the **schema** (for method dispatch, `is` tests, and field layouts),
+//! * an optional **current object** (`this`) — constraint bodies and
+//!   trigger conditions read its fields with bare identifiers,
+//! * **variables** — loop variables of a `forall` (each bound to an object
+//!   reference) or auxiliary bindings,
+//! * **parameters** — trigger activation arguments, written `$name`,
+//! * a **resolver** — the engine hook that dereferences object references
+//!   (generic refs follow the current version, §4).
+//!
+//! Semantics follow C++ where the paper leans on it: `&&`/`||`
+//! short-circuit, `/` on two ints is integer division, ints promote to
+//! doubles in mixed arithmetic.
+
+use std::collections::HashMap;
+
+use crate::error::{ModelError, Result};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::oid::{Oid, VersionRef};
+use crate::schema::Schema;
+use crate::value::{ObjState, Value};
+
+/// Engine hook for dereferencing object references during evaluation.
+pub trait Resolver {
+    /// Load the *current version* of the object (generic reference, §4).
+    fn deref_obj(&self, oid: Oid) -> Result<ObjState>;
+
+    /// Load one pinned version (specific reference, §4).
+    fn deref_version(&self, vref: VersionRef) -> Result<ObjState>;
+}
+
+/// A resolver for contexts with no database at hand: any dereference fails.
+pub struct NoResolver;
+
+impl Resolver for NoResolver {
+    fn deref_obj(&self, oid: Oid) -> Result<ObjState> {
+        Err(ModelError::Eval(format!(
+            "cannot dereference {oid} outside a transaction"
+        )))
+    }
+
+    fn deref_version(&self, vref: VersionRef) -> Result<ObjState> {
+        Err(ModelError::Eval(format!(
+            "cannot dereference {vref} outside a transaction"
+        )))
+    }
+}
+
+/// Evaluation context. Build with [`EvalCtx::new`] and chain the `with_*`
+/// setters.
+pub struct EvalCtx<'a> {
+    schema: &'a Schema,
+    this: Option<&'a ObjState>,
+    vars: Option<&'a HashMap<String, Value>>,
+    params: Option<&'a HashMap<String, Value>>,
+    resolver: &'a dyn Resolver,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Minimal context: schema only.
+    pub fn new(schema: &'a Schema) -> EvalCtx<'a> {
+        EvalCtx {
+            schema,
+            this: None,
+            vars: None,
+            params: None,
+            resolver: &NoResolver,
+        }
+    }
+
+    /// Bind the current object (`this`).
+    pub fn with_this(mut self, obj: &'a ObjState) -> Self {
+        self.this = Some(obj);
+        self
+    }
+
+    /// Bind loop variables / auxiliary bindings.
+    pub fn with_vars(mut self, vars: &'a HashMap<String, Value>) -> Self {
+        self.vars = Some(vars);
+        self
+    }
+
+    /// Bind trigger activation parameters (`$name`).
+    pub fn with_params(mut self, params: &'a HashMap<String, Value>) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Attach the engine's reference resolver.
+    pub fn with_resolver(mut self, r: &'a dyn Resolver) -> Self {
+        self.resolver = r;
+        self
+    }
+
+    /// Evaluate `expr` to a value.
+    pub fn eval(&self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Param(name) => self
+                .params
+                .and_then(|p| p.get(name))
+                .cloned()
+                .ok_or_else(|| ModelError::UnknownVar(format!("${name}"))),
+            Expr::Ident(name) => self.resolve_ident(name),
+            Expr::Path(base, field) => {
+                let obj = self.eval_to_object(base)?;
+                self.field_of(&obj, field)
+            }
+            Expr::Unary(op, e) => self.eval_unary(*op, e),
+            Expr::Binary(op, l, r) => self.eval_binary(*op, l, r),
+            Expr::Call { recv, name, args } => {
+                let argv: Vec<Value> =
+                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+                let obj = match recv {
+                    Some(r) => self.eval_to_object(r)?,
+                    None => self
+                        .this
+                        .cloned()
+                        .ok_or_else(|| ModelError::Eval(format!(
+                            "method `{name}` called with no current object"
+                        )))?,
+                };
+                let m = self.schema.lookup_method(obj.class, name)?;
+                m(&obj, &argv)
+            }
+            Expr::Cond(c, a, b) => {
+                if self.eval(c)?.as_bool()? {
+                    self.eval(a)
+                } else {
+                    self.eval(b)
+                }
+            }
+            Expr::Index(base, ix) => {
+                let container = self.eval(base)?;
+                let i = self.eval(ix)?.as_int()?;
+                match container {
+                    Value::Array(items) => {
+                        let idx = usize::try_from(i).map_err(|_| {
+                            ModelError::Eval(format!("negative array index {i}"))
+                        })?;
+                        items.get(idx).cloned().ok_or_else(|| {
+                            ModelError::Eval(format!(
+                                "array index {i} out of bounds (len {})",
+                                items.len()
+                            ))
+                        })
+                    }
+                    Value::Str(s) => {
+                        let idx = usize::try_from(i).map_err(|_| {
+                            ModelError::Eval(format!("negative string index {i}"))
+                        })?;
+                        s.chars()
+                            .nth(idx)
+                            .map(|c| Value::Str(c.to_string()))
+                            .ok_or_else(|| {
+                                ModelError::Eval(format!(
+                                    "string index {i} out of bounds"
+                                ))
+                            })
+                    }
+                    other => Err(ModelError::Type(format!(
+                        "cannot subscript {other}"
+                    ))),
+                }
+            }
+            Expr::Is(e, class_name) => {
+                let target = self.schema.id_of(class_name)?;
+                let v = self.eval(e)?;
+                let class = match &v {
+                    Value::Ref(oid) => self.resolver.deref_obj(*oid)?.class,
+                    Value::VRef(vr) => self.resolver.deref_version(*vr)?.class,
+                    Value::Null => return Ok(Value::Bool(false)),
+                    other => {
+                        return Err(ModelError::Type(format!(
+                            "`is` needs an object reference, got {other}"
+                        )))
+                    }
+                };
+                Ok(Value::Bool(self.schema.is_subclass(class, target)))
+            }
+        }
+    }
+
+    /// Evaluate and require a boolean (suchthat / constraint / trigger).
+    pub fn eval_bool(&self, expr: &Expr) -> Result<bool> {
+        self.eval(expr)?.as_bool()
+    }
+
+    fn resolve_ident(&self, name: &str) -> Result<Value> {
+        if let Some(v) = self.vars.and_then(|v| v.get(name)) {
+            return Ok(v.clone());
+        }
+        if let Some(this) = self.this {
+            let def = self.schema.class(this.class)?;
+            if let Ok(idx) = def.field_index(name) {
+                return Ok(this.fields[idx].clone());
+            }
+        }
+        Err(ModelError::UnknownVar(name.to_string()))
+    }
+
+    /// Evaluate an expression that must denote an object, dereferencing
+    /// Ref/VRef values through the resolver.
+    fn eval_to_object(&self, expr: &Expr) -> Result<ObjState> {
+        match self.eval(expr)? {
+            Value::Ref(oid) => self.resolver.deref_obj(oid),
+            Value::VRef(vr) => self.resolver.deref_version(vr),
+            Value::Null => Err(ModelError::Eval("null dereference".into())),
+            other => Err(ModelError::Type(format!(
+                "expected an object reference, got {other}"
+            ))),
+        }
+    }
+
+    fn field_of(&self, obj: &ObjState, field: &str) -> Result<Value> {
+        let def = self.schema.class(obj.class)?;
+        let idx = def.field_index(field)?;
+        Ok(obj.fields[idx].clone())
+    }
+
+    fn eval_unary(&self, op: UnOp, e: &Expr) -> Result<Value> {
+        let v = self.eval(e)?;
+        match (op, v) {
+            (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(
+                i.checked_neg()
+                    .ok_or_else(|| ModelError::Eval("integer overflow in negation".into()))?,
+            )),
+            (UnOp::Neg, Value::Float(x)) => Ok(Value::Float(-x)),
+            (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+            (UnOp::Neg, other) => {
+                Err(ModelError::Type(format!("cannot negate {other}")))
+            }
+            (UnOp::Not, other) => {
+                Err(ModelError::Type(format!("`!` needs a boolean, got {other}")))
+            }
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, l: &Expr, r: &Expr) -> Result<Value> {
+        // Short-circuit logicals first.
+        match op {
+            BinOp::And => {
+                return Ok(Value::Bool(
+                    self.eval(l)?.as_bool()? && self.eval(r)?.as_bool()?,
+                ))
+            }
+            BinOp::Or => {
+                return Ok(Value::Bool(
+                    self.eval(l)?.as_bool()? || self.eval(r)?.as_bool()?,
+                ))
+            }
+            _ => {}
+        }
+        let lv = self.eval(l)?;
+        let rv = self.eval(r)?;
+        match op {
+            BinOp::Eq => Ok(Value::Bool(lv == rv)),
+            BinOp::Ne => Ok(Value::Bool(lv != rv)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = compare(&lv, &rv)?;
+                Ok(Value::Bool(match op {
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                }))
+            }
+            BinOp::In => match &rv {
+                Value::Set(s) => Ok(Value::Bool(s.contains(&lv))),
+                Value::Array(items) => Ok(Value::Bool(items.contains(&lv))),
+                other => Err(ModelError::Type(format!(
+                    "`in` needs a set or array on the right, got {other}"
+                ))),
+            },
+            BinOp::Add => match (&lv, &rv) {
+                (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+                _ => arith(op, &lv, &rv),
+            },
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, &lv, &rv),
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+}
+
+/// Ordered comparison: numbers compare across int/float; strings compare
+/// lexicographically; anything else is a type error (equality, by contrast,
+/// is defined for all values).
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+        | (Value::Str(_), Value::Str(_)) => Ok(l.cmp(r)),
+        _ => Err(ModelError::Type(format!(
+            "cannot order {l} against {r}"
+        ))),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let out = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Err(ModelError::Eval("integer division by zero".into()));
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Err(ModelError::Eval("integer modulo by zero".into()));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| ModelError::Eval("integer overflow".into()))
+        }
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Mod => {
+                    return Err(ModelError::Type("`%` needs integers".into()))
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+        _ => Err(ModelError::Type(format!(
+            "cannot apply `{}` to {l} and {r}",
+            op.symbol()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassBuilder;
+    use crate::parser::parse_expr;
+    use crate::value::Type;
+
+    fn schema_with_item() -> (Schema, crate::class::ClassId) {
+        let mut s = Schema::new();
+        let id = s
+            .define(
+                ClassBuilder::new("stockitem")
+                    .field("name", Type::Str)
+                    .field_default("quantity", Type::Int, 100)
+                    .field_default("reorder_level", Type::Int, 20)
+                    .field_default("price", Type::Float, 1.5),
+            )
+            .unwrap();
+        (s, id)
+    }
+
+    fn eval_with(src: &str, schema: &Schema, this: &ObjState) -> Result<Value> {
+        let e = parse_expr(src).unwrap();
+        EvalCtx::new(schema).with_this(this).eval(&e)
+    }
+
+    #[test]
+    fn fields_resolve_on_this() {
+        let (s, id) = schema_with_item();
+        let mut obj = s.new_object(id).unwrap();
+        obj.fields[0] = Value::Str("512 dram".into());
+        assert_eq!(
+            eval_with("name", &s, &obj).unwrap(),
+            Value::Str("512 dram".into())
+        );
+        assert_eq!(
+            eval_with("quantity <= reorder_level", &s, &obj).unwrap(),
+            Value::Bool(false)
+        );
+        obj.fields[1] = Value::Int(5);
+        assert_eq!(
+            eval_with("quantity <= reorder_level", &s, &obj).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        assert_eq!(eval_with("2 + 3 * 4", &s, &obj).unwrap(), Value::Int(14));
+        assert_eq!(eval_with("7 / 2", &s, &obj).unwrap(), Value::Int(3));
+        assert_eq!(eval_with("7.0 / 2", &s, &obj).unwrap(), Value::Float(3.5));
+        assert_eq!(eval_with("7 % 3", &s, &obj).unwrap(), Value::Int(1));
+        assert_eq!(
+            eval_with("price * quantity", &s, &obj).unwrap(),
+            Value::Float(150.0)
+        );
+        assert_eq!(eval_with("-quantity", &s, &obj).unwrap(), Value::Int(-100));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_eval_error() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        assert!(matches!(
+            eval_with("1 / 0", &s, &obj),
+            Err(ModelError::Eval(_))
+        ));
+        assert!(matches!(
+            eval_with("1 % 0", &s, &obj),
+            Err(ModelError::Eval(_))
+        ));
+        // Float division by zero is IEEE infinity, like C++.
+        assert_eq!(
+            eval_with("1.0 / 0.0", &s, &obj).unwrap(),
+            Value::Float(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        // RHS would fail (unknown var) but is never evaluated.
+        assert_eq!(
+            eval_with("false && ghost", &s, &obj).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_with("true || ghost", &s, &obj).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_with("true && ghost", &s, &obj).is_err());
+    }
+
+    #[test]
+    fn string_ops() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        assert_eq!(
+            eval_with(r#""at" + "&t""#, &s, &obj).unwrap(),
+            Value::Str("at&t".into())
+        );
+        assert_eq!(
+            eval_with(r#""abc" < "abd""#, &s, &obj).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_with(r#""a" < 3"#, &s, &obj).is_err());
+    }
+
+    #[test]
+    fn params_resolve_through_dollar() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        let e = parse_expr("quantity < $threshold").unwrap();
+        let params: HashMap<String, Value> =
+            [("threshold".to_string(), Value::Int(200))].into();
+        let got = EvalCtx::new(&s)
+            .with_this(&obj)
+            .with_params(&params)
+            .eval(&e)
+            .unwrap();
+        assert_eq!(got, Value::Bool(true));
+        // Missing param is an error.
+        assert!(EvalCtx::new(&s).with_this(&obj).eval(&e).is_err());
+    }
+
+    #[test]
+    fn vars_shadow_fields() {
+        let (s, id) = schema_with_item();
+        let mut obj = s.new_object(id).unwrap();
+        obj.fields[1] = Value::Int(1);
+        let vars: HashMap<String, Value> =
+            [("quantity".to_string(), Value::Int(999))].into();
+        let e = parse_expr("quantity").unwrap();
+        let got = EvalCtx::new(&s)
+            .with_this(&obj)
+            .with_vars(&vars)
+            .eval(&e)
+            .unwrap();
+        assert_eq!(got, Value::Int(999));
+    }
+
+    #[test]
+    fn methods_dispatch_with_args() {
+        let (mut s, id) = schema_with_item();
+        s.register_method(id, "value", |o, args| {
+            let qty = o.fields[1].as_int()?;
+            let scale = args.first().map(|v| v.as_int()).transpose()?.unwrap_or(1);
+            Ok(Value::Int(qty * scale))
+        });
+        let obj = s.new_object(id).unwrap();
+        assert_eq!(eval_with("value()", &s, &obj).unwrap(), Value::Int(100));
+        assert_eq!(eval_with("value(3)", &s, &obj).unwrap(), Value::Int(300));
+        assert_eq!(
+            eval_with("value(2) > 150", &s, &obj).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn membership_in_sets_and_arrays() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        let vars: HashMap<String, Value> = [
+            (
+                "supplies".to_string(),
+                Value::Set(crate::value::SetValue::from_iter([
+                    Value::Str("dram".into()),
+                    Value::Str("cpu".into()),
+                ])),
+            ),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Int(1), Value::Int(2)]),
+            ),
+        ]
+        .into();
+        let ctx = EvalCtx::new(&s).with_this(&obj).with_vars(&vars);
+        assert_eq!(
+            ctx.eval(&parse_expr("'dram' in supplies").unwrap()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ctx.eval(&parse_expr("3 in arr").unwrap()).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(ctx.eval(&parse_expr("1 in quantity").unwrap()).is_err());
+    }
+
+    #[test]
+    fn null_behaviour() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        assert_eq!(
+            eval_with("null == null", &s, &obj).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_with("name == null", &s, &obj).unwrap(),
+            Value::Bool(true),
+            "unset string field is null"
+        );
+        assert!(eval_with("null < 3", &s, &obj).is_err());
+    }
+
+    #[test]
+    fn deref_without_resolver_fails_cleanly() {
+        let (s, id) = schema_with_item();
+        let mut obj = s.new_object(id).unwrap();
+        obj.fields[0] = Value::Ref(crate::oid::Oid {
+            cluster: 1,
+            rid: ode_storage::RecordId { page: 1, slot: 0 },
+        });
+        let err = eval_with("name.quantity", &s, &obj).unwrap_err();
+        assert!(matches!(err, ModelError::Eval(_)), "{err}");
+    }
+
+    #[test]
+    fn overflow_is_caught() {
+        let (s, id) = schema_with_item();
+        let obj = s.new_object(id).unwrap();
+        let big = i64::MAX;
+        let src = format!("{big} + 1");
+        assert!(matches!(
+            eval_with(&src, &s, &obj),
+            Err(ModelError::Eval(_))
+        ));
+    }
+}

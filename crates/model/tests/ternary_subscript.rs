@@ -1,0 +1,127 @@
+//! Tests for the C++-style conditional (`?:`) and subscript (`[]`)
+//! operators in the expression language.
+
+use std::collections::HashMap;
+
+use ode_model::eval::EvalCtx;
+use ode_model::{parse_expr, ClassBuilder, Schema, Type, Value};
+
+fn schema() -> (Schema, ode_model::ObjState) {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("item")
+                .field_default("qty", Type::Int, 7)
+                .field("bins", Type::Array(Box::new(Type::Int)))
+                .field_default("name", Type::Str, "dram"),
+        )
+        .unwrap();
+    let mut obj = s.new_object(id).unwrap();
+    obj.fields[1] = Value::Array(vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
+    (s, obj)
+}
+
+fn eval(src: &str) -> Value {
+    let (s, obj) = schema();
+    EvalCtx::new(&s)
+        .with_this(&obj)
+        .eval(&parse_expr(src).unwrap())
+        .unwrap()
+}
+
+fn eval_err(src: &str) -> String {
+    let (s, obj) = schema();
+    EvalCtx::new(&s)
+        .with_this(&obj)
+        .eval(&parse_expr(src).unwrap())
+        .unwrap_err()
+        .to_string()
+}
+
+#[test]
+fn ternary_basics() {
+    assert_eq!(eval("true ? 1 : 2"), Value::Int(1));
+    assert_eq!(eval("false ? 1 : 2"), Value::Int(2));
+    assert_eq!(eval("qty > 5 ? 'hi' : 'lo'"), Value::Str("hi".into()));
+    // Nested / right-associative.
+    assert_eq!(eval("false ? 1 : false ? 2 : 3"), Value::Int(3));
+    assert_eq!(eval("true ? false ? 1 : 2 : 3"), Value::Int(2));
+}
+
+#[test]
+fn ternary_is_lazy() {
+    // The untaken branch would error (division by zero) if evaluated.
+    assert_eq!(eval("true ? 1 : 1 / 0"), Value::Int(1));
+    assert_eq!(eval("false ? 1 / 0 : 2"), Value::Int(2));
+}
+
+#[test]
+fn ternary_condition_must_be_bool() {
+    let msg = eval_err("3 ? 1 : 2");
+    assert!(msg.contains("boolean"), "{msg}");
+}
+
+#[test]
+fn subscript_arrays_and_strings() {
+    assert_eq!(eval("bins[0]"), Value::Int(10));
+    assert_eq!(eval("bins[2]"), Value::Int(30));
+    assert_eq!(eval("bins[1 + 1]"), Value::Int(30));
+    assert_eq!(eval("bins[0] + bins[1]"), Value::Int(30));
+    assert_eq!(eval("name[0]"), Value::Str("d".into()));
+}
+
+#[test]
+fn subscript_errors() {
+    assert!(eval_err("bins[9]").contains("out of bounds"));
+    assert!(eval_err("bins[-1]").contains("negative"));
+    assert!(eval_err("qty[0]").contains("subscript"));
+}
+
+#[test]
+fn combined_forms_parse_and_print() {
+    for src in [
+        "qty > 0 ? bins[0] : bins[1]",
+        "bins[qty > 5 ? 0 : 1]",
+        "(true ? bins : bins)[1]",
+    ] {
+        let e = parse_expr(src).unwrap();
+        // Printer/parser agreement.
+        let e2 = parse_expr(&e.to_string()).unwrap();
+        assert_eq!(e, e2, "{src}");
+    }
+    assert_eq!(eval("bins[qty > 5 ? 0 : 1]"), Value::Int(10));
+}
+
+#[test]
+fn ternary_in_trigger_action_source() {
+    // The DDL layer captures action expressions up to `;` — ternary colons
+    // must not confuse it.
+    let mut s = Schema::new();
+    let builders = ode_model::parse_classes(
+        "class item { int qty = 0; int flag = 0; trigger t() : qty < 0 { flag = qty < -10 ? 2 : 1; } }",
+    )
+    .unwrap();
+    let id = s.define(builders.into_iter().next().unwrap()).unwrap();
+    let def = s.class(id).unwrap();
+    let ode_model::TriggerAction::Assign { expr, .. } = &def.triggers[0].actions[0] else {
+        panic!("expected assign action");
+    };
+    // Evaluate the captured ternary against a state.
+    let mut obj = s.new_object(id).unwrap();
+    obj.fields[0] = Value::Int(-20);
+    let v = EvalCtx::new(&s).with_this(&obj).eval(expr).unwrap();
+    assert_eq!(v, Value::Int(2));
+}
+
+#[test]
+fn params_and_vars_inside_ternary() {
+    let (s, obj) = schema();
+    let params: HashMap<String, Value> = [("t".to_string(), Value::Int(5))].into();
+    let e = parse_expr("qty > $t ? qty - $t : 0").unwrap();
+    let v = EvalCtx::new(&s)
+        .with_this(&obj)
+        .with_params(&params)
+        .eval(&e)
+        .unwrap();
+    assert_eq!(v, Value::Int(2));
+}

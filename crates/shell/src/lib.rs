@@ -1,0 +1,715 @@
+//! # ode-shell
+//!
+//! The interactive *environment* half of "Object Database and
+//! Environment": a REPL session over an Ode database. One statement per
+//! input (class declarations may span lines until their braces balance),
+//! each statement auto-committed as its own transaction — mirroring the
+//! paper's "any O++ program that interacts with the database is a single
+//! transaction" stance at statement granularity.
+//!
+//! Supported input:
+//!
+//! * **DDL** — `class … { … }` declarations (O++ syntax, see
+//!   `ode_model::ddl`), `create cluster <class>`,
+//!   `create index <class> <field>`, `destroy cluster <class>`,
+//! * **queries** — `forall …` statements (printed as a table),
+//! * **DML** — `pnew …`, `update … set …`, `delete …`,
+//! * **meta commands** — `.help`, `.classes`, `.describe <class>`,
+//!   `.clusters`, `.indexes`, `.show <oid>`, `.versions <oid>`, `.exit`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use ode_core::oql::{ExecResult, QueryRows};
+use ode_core::prelude::*;
+use ode_core::TriggerId;
+use ode_model::{Oid, VersionRef};
+use ode_storage::RecordId;
+
+/// A live shell session over one database.
+pub struct Session {
+    db: Database,
+    /// Buffered partial input (multi-line class declarations).
+    pending: String,
+    /// Set by `.exit`.
+    done: bool,
+}
+
+/// Outcome of feeding one line to the session.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineResult {
+    /// Output to print.
+    Output(String),
+    /// The line was absorbed; more input is needed (unbalanced braces).
+    Continue,
+    /// `.exit` was requested.
+    Exit,
+}
+
+impl Session {
+    /// Open a durable session.
+    pub fn open(dir: &Path) -> Result<Session> {
+        Ok(Session {
+            db: Database::open(dir)?,
+            pending: String::new(),
+            done: false,
+        })
+    }
+
+    /// Open a volatile in-memory session.
+    pub fn in_memory() -> Session {
+        Session {
+            db: Database::in_memory(),
+            pending: String::new(),
+            done: false,
+        }
+    }
+
+    /// Wrap an existing database.
+    pub fn with_database(db: Database) -> Session {
+        Session {
+            db,
+            pending: String::new(),
+            done: false,
+        }
+    }
+
+    /// Access the underlying database (tests, host integration).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Has `.exit` been issued?
+    pub fn finished(&self) -> bool {
+        self.done
+    }
+
+    /// Is the session waiting for more lines of a multi-line declaration?
+    pub fn is_continuing(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Feed one input line.
+    pub fn line(&mut self, line: &str) -> LineResult {
+        if !self.pending.is_empty() {
+            self.pending.push('\n');
+            self.pending.push_str(line);
+            if balanced(&self.pending) {
+                let stmt = std::mem::take(&mut self.pending);
+                return LineResult::Output(self.statement(&stmt));
+            }
+            return LineResult::Continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            return LineResult::Output(String::new());
+        }
+        if trimmed == ".exit" || trimmed == ".quit" {
+            self.done = true;
+            return LineResult::Exit;
+        }
+        if trimmed.starts_with("class") && !balanced(trimmed) {
+            self.pending = line.to_string();
+            return LineResult::Continue;
+        }
+        LineResult::Output(self.statement(line))
+    }
+
+    /// Execute one complete statement, formatting output or error.
+    pub fn statement(&mut self, stmt: &str) -> String {
+        match self.dispatch(stmt) {
+            Ok(out) => out,
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn dispatch(&mut self, stmt: &str) -> Result<String> {
+        let trimmed = stmt.trim();
+        if let Some(meta) = trimmed.strip_prefix('.') {
+            return self.meta(meta);
+        }
+        if trimmed.starts_with("class") {
+            let ids = self.db.define_from_source(trimmed)?;
+            let names: Vec<String> = self.db.with_schema(|s| {
+                ids.iter()
+                    .map(|id| s.class(*id).map(|c| c.name.clone()))
+                    .collect::<ode_model::Result<_>>()
+            })?;
+            return Ok(format!("defined class(es): {}", names.join(", ")));
+        }
+        if let Some(rest) = trimmed.strip_prefix("create cluster") {
+            let name = rest.trim();
+            self.db.create_cluster(name)?;
+            return Ok(format!("cluster `{name}` ready"));
+        }
+        if let Some(rest) = trimmed.strip_prefix("destroy cluster") {
+            let name = rest.trim();
+            self.db.destroy_cluster(name)?;
+            return Ok(format!("cluster `{name}` destroyed"));
+        }
+        if let Some(rest) = trimmed.strip_prefix("create index") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let (class, field) = match parts.as_slice() {
+                [class, field] => (*class, *field),
+                [spec] if spec.contains('.') => {
+                    let mut it = spec.splitn(2, '.');
+                    (it.next().unwrap(), it.next().unwrap())
+                }
+                _ => {
+                    return Err(OdeError::Usage(
+                        "usage: create index <class> <field>".into(),
+                    ))
+                }
+            };
+            self.db.create_index(class, field)?;
+            return Ok(format!("index on {class}.{field} ready"));
+        }
+        if let Some(rest) = trimmed.strip_prefix("activate") {
+            // `activate <trigger> on <oid> [(arg, ...)]`
+            let rest = rest.trim();
+            let (trigger, rest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| OdeError::Usage("usage: activate <trigger> on <oid> (args)".into()))?;
+            let rest = rest.trim();
+            let rest = rest
+                .strip_prefix("on")
+                .ok_or_else(|| OdeError::Usage("usage: activate <trigger> on <oid> (args)".into()))?
+                .trim();
+            let (oid_text, args_text) = match rest.split_once('(') {
+                Some((o, a)) => (o.trim(), Some(a.trim_end().trim_end_matches(')'))),
+                None => (rest, None),
+            };
+            let oid = parse_oid(oid_text)?;
+            let mut args = Vec::new();
+            if let Some(a) = args_text {
+                if !a.trim().is_empty() {
+                    let schema_args: ode_core::Result<Vec<Value>> = self.db.with_schema(|s| {
+                        a.split(',')
+                            .map(|piece| {
+                                let e = ode_model::parse_expr(piece.trim())?;
+                                Ok(ode_model::EvalCtx::new(s).eval(&e)?)
+                            })
+                            .collect()
+                    });
+                    args = schema_args?;
+                }
+            }
+            let mut tx = self.db.begin();
+            let tid = tx.activate_trigger(oid, trigger, args)?;
+            tx.commit()?;
+            return Ok(format!("activated {tid} ({trigger} on {oid})"));
+        }
+        if let Some(rest) = trimmed.strip_prefix("deactivate") {
+            let id_text = rest.trim().trim_start_matches("trigger#");
+            let id: u64 = id_text
+                .parse()
+                .map_err(|_| OdeError::Usage(format!("`{}` is not a trigger id", rest.trim())))?;
+            let mut tx = self.db.begin();
+            tx.deactivate_trigger(TriggerId(id))?;
+            tx.commit()?;
+            return Ok(format!("deactivated trigger#{id}"));
+        }
+        // Query / DML, auto-committed.
+        let mut tx = self.db.begin();
+        let result = tx.execute(trimmed)?;
+        let out = match result {
+            ExecResult::Rows(rows) => self.format_rows(&tx, &rows)?,
+            ExecResult::Created(oid) => format!("created {oid}"),
+            ExecResult::Updated(n) => format!("updated {n} object(s)"),
+            ExecResult::Deleted(n) => format!("deleted {n} object(s)"),
+        };
+        let info = tx.commit()?;
+        let mut out = out;
+        for f in &info.fired {
+            let _ = writeln!(out);
+            let _ = write!(out, "trigger `{}` fired on {}", f.trigger, f.oid);
+        }
+        for fail in &info.failures {
+            let _ = writeln!(out);
+            let _ = write!(out, "trigger action failed on {}: {}", fail.oid, fail.error);
+        }
+        Ok(out)
+    }
+
+    fn format_rows(&self, tx: &Transaction<'_>, rows: &QueryRows) -> Result<String> {
+        let mut out = String::new();
+        for row in &rows.rows {
+            for (var, oid) in rows.vars.iter().zip(row.iter()) {
+                let line = self.format_object(tx, *oid)?;
+                let _ = writeln!(out, "{var} = {line}");
+            }
+        }
+        let _ = write!(out, "{} row(s)", rows.rows.len());
+        Ok(out)
+    }
+
+    fn format_object(&self, tx: &Transaction<'_>, oid: Oid) -> Result<String> {
+        let state = tx.read(oid)?;
+        self.db.with_schema(|schema| -> Result<String> {
+            let def = schema.class(state.class)?;
+            let mut s = format!("{oid} ({})", def.name);
+            s.push_str(" { ");
+            for (i, f) in def.layout.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{}: {}", f.name, state.fields[i]);
+            }
+            s.push_str(" }");
+            Ok(s)
+        })
+    }
+
+    fn meta(&mut self, cmd: &str) -> Result<String> {
+        let mut parts = cmd.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        match head {
+            "help" => Ok(HELP.trim().to_string()),
+            "classes" => {
+                let mut out = String::new();
+                self.db.with_schema(|s| {
+                    for c in s.classes() {
+                        let bases: Vec<&str> = c
+                            .bases
+                            .iter()
+                            .filter_map(|b| s.class(*b).ok().map(|d| d.name.as_str()))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{} ({} fields{}{})",
+                            c.name,
+                            c.layout.len(),
+                            if bases.is_empty() { "" } else { ", bases: " },
+                            bases.join(", ")
+                        );
+                    }
+                });
+                if out.is_empty() {
+                    out.push_str("no classes defined");
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "describe" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| OdeError::Usage("usage: .describe <class>".into()))?;
+                self.db.with_schema(|s| -> Result<String> {
+                    let def = s.class_by_name(name)?;
+                    let mut out = format!("class {}", def.name);
+                    if !def.bases.is_empty() {
+                        let bases: Vec<&str> = def
+                            .bases
+                            .iter()
+                            .filter_map(|b| s.class(*b).ok().map(|d| d.name.as_str()))
+                            .collect();
+                        let _ = write!(out, " : {}", bases.join(", "));
+                    }
+                    let _ = writeln!(out, " {{");
+                    for f in &def.layout {
+                        let declared = s
+                            .class(f.declared_in)
+                            .map(|c| c.name.clone())
+                            .unwrap_or_default();
+                        let _ = writeln!(
+                            out,
+                            "    {} {};{}",
+                            f.ty.name(),
+                            f.name,
+                            if declared == def.name {
+                                String::new()
+                            } else {
+                                format!("  // from {declared}")
+                            }
+                        );
+                    }
+                    for (owner, c) in s.all_constraints(def.id)? {
+                        let _ = writeln!(
+                            out,
+                            "    constraint {}: {};  // from {}",
+                            c.name, c.src, owner.name
+                        );
+                    }
+                    for (owner, t) in s.all_triggers(def.id)? {
+                        let _ = writeln!(
+                            out,
+                            "    {}trigger {}({}) : {};  // from {}",
+                            if t.perpetual { "perpetual " } else { "" },
+                            t.name,
+                            t.params.join(", "),
+                            t.condition_src,
+                            owner.name
+                        );
+                    }
+                    out.push('}');
+                    Ok(out)
+                })
+            }
+            "clusters" => {
+                let mut out = String::new();
+                let names: Vec<String> =
+                    self.db.with_schema(|s| s.classes().iter().map(|c| c.name.clone()).collect());
+                for name in names {
+                    if self.db.has_cluster(&name) {
+                        let n = self.db.extent_size(&name, false)?;
+                        let deep = self.db.extent_size(&name, true)?;
+                        let _ = writeln!(out, "{name}: {n} object(s), {deep} in hierarchy");
+                    }
+                }
+                if out.is_empty() {
+                    out.push_str("no clusters");
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "indexes" => {
+                let mut out = String::new();
+                for (class, field) in self.db.index_names() {
+                    let _ = writeln!(out, "{class}.{field}");
+                }
+                if out.is_empty() {
+                    out.push_str("no indexes");
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "export" => {
+                let path = parts
+                    .next()
+                    .ok_or_else(|| OdeError::Usage("usage: .export <file>".into()))?;
+                let dump = self.db.export()?;
+                std::fs::write(path, &dump).map_err(|e| {
+                    OdeError::Usage(format!("cannot write {path}: {e}"))
+                })?;
+                Ok(format!("wrote {} bytes to {path}", dump.len()))
+            }
+            "import" => {
+                let path = parts
+                    .next()
+                    .ok_or_else(|| OdeError::Usage("usage: .import <file>".into()))?;
+                let dump = std::fs::read(path).map_err(|e| {
+                    OdeError::Usage(format!("cannot read {path}: {e}"))
+                })?;
+                let stats = self.db.import(&dump)?;
+                Ok(format!(
+                    "imported {} class(es), {} object(s), {} version(s), {} activation(s)",
+                    stats.classes, stats.objects, stats.versions, stats.activations
+                ))
+            }
+            "show" => {
+                let spec = parts
+                    .next()
+                    .ok_or_else(|| OdeError::Usage("usage: .show <cluster:page.slot>".into()))?;
+                let oid = parse_oid(spec)?;
+                let tx = self.db.begin();
+                let line = self.format_object(&tx, oid)?;
+                Ok(line)
+            }
+            "versions" => {
+                let spec = parts
+                    .next()
+                    .ok_or_else(|| OdeError::Usage("usage: .versions <cluster:page.slot>".into()))?;
+                let oid = parse_oid(spec)?;
+                let tx = self.db.begin();
+                let versions = tx.versions(oid)?;
+                let current = tx.current_version(oid)?;
+                let mut out = String::new();
+                for v in versions {
+                    let parent = tx.parent_version(VersionRef { oid, version: v })?;
+                    let _ = writeln!(
+                        out,
+                        "v{v}{}{}",
+                        match parent {
+                            Some(p) => format!(" (parent v{p})"),
+                            None => " (root)".to_string(),
+                        },
+                        if v == current { "  <- current" } else { "" }
+                    );
+                }
+                Ok(out.trim_end().to_string())
+            }
+            other => Err(OdeError::Usage(format!(
+                "unknown command `.{other}` (try .help)"
+            ))),
+        }
+    }
+}
+
+/// Parse `cluster:page.slot` — the textual oid form the shell prints.
+pub fn parse_oid(spec: &str) -> Result<Oid> {
+    let bad = || OdeError::Usage(format!("`{spec}` is not an oid (cluster:page.slot)"));
+    let (cluster, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let (page, slot) = rest.split_once('.').ok_or_else(bad)?;
+    Ok(Oid {
+        cluster: cluster.parse().map_err(|_| bad())?,
+        rid: RecordId {
+            page: page.parse().map_err(|_| bad())?,
+            slot: slot.parse().map_err(|_| bad())?,
+        },
+    })
+}
+
+/// Are braces balanced (outside string literals)? Drives multi-line DDL.
+fn balanced(src: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str: Option<char> = None;
+    for c in src.chars() {
+        match in_str {
+            Some(q) => {
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => in_str = Some(c),
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            },
+        }
+    }
+    depth <= 0 && in_str.is_none()
+}
+
+const HELP: &str = r#"
+Ode shell — every statement is its own transaction.
+
+schema:
+  class <name> [: public <base>, ...] { <members> }   define a class
+  create cluster <class>                              create the type extent
+  create index <class> <field>                        secondary index
+  destroy cluster <class>                             drop extent + objects
+
+queries (forall ... suchthat ... by ...):
+  forall s in stockitem suchthat (quantity < 10) by (name)
+  forall e in employee, d in dept suchthat (e.dno == d.dno)
+  forall p in only person                             exact class, no subclasses
+
+data manipulation:
+  pnew <class> (field = expr, ...)
+  update <v> in <class> [suchthat (...)] set f = expr [, ...]
+  delete <v> in <class> [suchthat (...)]
+
+triggers:
+  activate <trigger> on <oid> (arg, ...)      arm a trigger (§6)
+  deactivate trigger#<id>                     disarm before it fires
+
+meta:
+  .classes   .describe <class>   .clusters   .indexes
+  .show <oid>   .versions <oid>
+  .export <file>   .import <file>      whole-database dump / restore
+  .help   .exit
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(s: &mut Session, line: &str) -> String {
+        match s.line(line) {
+            LineResult::Output(o) => o,
+            LineResult::Continue => String::new(),
+            LineResult::Exit => "<exit>".into(),
+        }
+    }
+
+    #[test]
+    fn full_session() {
+        let mut s = Session::in_memory();
+        // Multi-line DDL.
+        assert_eq!(s.line("class stockitem {"), LineResult::Continue);
+        assert!(s.is_continuing());
+        assert_eq!(
+            s.line("    string name; int quantity = 0;"),
+            LineResult::Continue
+        );
+        let out = feed(&mut s, "}");
+        assert!(out.contains("defined class(es): stockitem"), "{out}");
+        assert!(!s.is_continuing());
+
+        let out = feed(&mut s, "create cluster stockitem");
+        assert!(out.contains("ready"), "{out}");
+
+        let out = feed(&mut s, r#"pnew stockitem (name = "dram", quantity = 9)"#);
+        assert!(out.starts_with("created "), "{out}");
+
+        let out = feed(&mut s, "forall s in stockitem suchthat (quantity > 5)");
+        assert!(out.contains("dram"), "{out}");
+        assert!(out.contains("1 row(s)"), "{out}");
+
+        let out = feed(&mut s, "update s in stockitem set quantity = 20");
+        assert!(out.contains("updated 1"), "{out}");
+
+        let out = feed(&mut s, ".clusters");
+        assert!(out.contains("stockitem: 1 object(s)"), "{out}");
+
+        let out = feed(&mut s, "delete s in stockitem");
+        assert!(out.contains("deleted 1"), "{out}");
+
+        assert_eq!(s.line(".exit"), LineResult::Exit);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn single_line_ddl_and_describe() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class a { int x = 0; constraint: x >= 0; }");
+        feed(&mut s, "class b : public a { string y; }");
+        let out = feed(&mut s, ".describe b");
+        assert!(out.contains("class b : a"), "{out}");
+        assert!(out.contains("int x;  // from a"), "{out}");
+        assert!(out.contains("constraint"), "{out}");
+        let out = feed(&mut s, ".classes");
+        assert!(out.contains("a (1 fields)"), "{out}");
+        assert!(out.contains("b (2 fields, bases: a)"), "{out}");
+    }
+
+    #[test]
+    fn trigger_firings_are_reported() {
+        let mut s = Session::in_memory();
+        feed(
+            &mut s,
+            "class item { int qty = 100; int on_order = 0; trigger low(n) : qty < $n { on_order = $n; } }",
+        );
+        feed(&mut s, "create cluster item");
+        let out = feed(&mut s, "pnew item (qty = 50)");
+        let oid = out.trim_start_matches("created ").to_string();
+        // Activate through the API (the shell has no activation statement;
+        // hosts do this in code).
+        let oid_parsed = parse_oid(&oid).unwrap();
+        s.database()
+            .transaction(|tx| {
+                tx.activate_trigger(oid_parsed, "low", vec![Value::Int(40)])?;
+                Ok(())
+            })
+            .unwrap();
+        let out = feed(&mut s, "update i in item set qty = 10");
+        assert!(out.contains("trigger `low` fired"), "{out}");
+        let out = feed(&mut s, &format!(".show {oid}"));
+        assert!(out.contains("on_order: 40"), "{out}");
+    }
+
+    #[test]
+    fn versions_meta_command() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class doc { int rev = 0; }");
+        feed(&mut s, "create cluster doc");
+        let out = feed(&mut s, "pnew doc");
+        let oid = parse_oid(out.trim_start_matches("created ")).unwrap();
+        s.database()
+            .transaction(|tx| {
+                tx.newversion(oid)?;
+                tx.set(oid, "rev", 1i64)?;
+                Ok(())
+            })
+            .unwrap();
+        let out = feed(&mut s, &format!(".versions {}", out.trim_start_matches("created ")));
+        assert!(out.contains("v0 (root)"), "{out}");
+        assert!(out.contains("v1 (parent v0)  <- current"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_session() {
+        let mut s = Session::in_memory();
+        let out = feed(&mut s, "forall x in nowhere");
+        assert!(out.starts_with("error:"), "{out}");
+        let out = feed(&mut s, ".bogus");
+        assert!(out.contains("unknown command"), "{out}");
+        let out = feed(&mut s, "create index a b c");
+        assert!(out.starts_with("error:"), "{out}");
+        // Still usable.
+        feed(&mut s, "class ok { int v; }");
+        let out = feed(&mut s, ".classes");
+        assert!(out.contains("ok"), "{out}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut s = Session::in_memory();
+        assert_eq!(feed(&mut s, ""), "");
+        assert_eq!(feed(&mut s, "   "), "");
+        assert_eq!(feed(&mut s, "// a comment"), "");
+    }
+
+    #[test]
+    fn trigger_statements_in_shell() {
+        let mut s = Session::in_memory();
+        feed(
+            &mut s,
+            "class item { int qty = 100; int on_order = 0; trigger low(n) : qty < $n { on_order = $n; } }",
+        );
+        feed(&mut s, "create cluster item");
+        let out = feed(&mut s, "pnew item");
+        let oid = out.trim_start_matches("created ").to_string();
+        let out = feed(&mut s, &format!("activate low on {oid} (30)"));
+        assert!(out.contains("activated trigger#"), "{out}");
+        // Condition false: nothing fires yet.
+        let out = feed(&mut s, "update i in item set qty = 50");
+        assert!(!out.contains("fired"), "{out}");
+        // Condition true: fires, action applied.
+        let out = feed(&mut s, "update i in item set qty = 10");
+        assert!(out.contains("trigger `low` fired"), "{out}");
+        let out = feed(&mut s, &format!(".show {oid}"));
+        assert!(out.contains("on_order: 30"), "{out}");
+        // Re-arm then deactivate before it can fire.
+        let out = feed(&mut s, &format!("activate low on {oid} (99)"));
+        let tid = out
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .to_string();
+        let out = feed(&mut s, &format!("deactivate {tid}"));
+        assert!(out.contains("deactivated"), "{out}");
+        let out = feed(&mut s, "update i in item set qty = 1");
+        assert!(!out.contains("fired"), "{out}");
+    }
+
+    #[test]
+    fn export_import_through_the_shell() {
+        let path = std::env::temp_dir().join(format!(
+            "ode-shell-dump-{}.odd",
+            std::process::id()
+        ));
+        let mut s1 = Session::in_memory();
+        feed(&mut s1, "class item { string name; int qty = 0; }");
+        feed(&mut s1, "create cluster item");
+        feed(&mut s1, r#"pnew item (name = "dram", qty = 7)"#);
+        let out = feed(&mut s1, &format!(".export {}", path.display()));
+        assert!(out.contains("wrote"), "{out}");
+
+        let mut s2 = Session::in_memory();
+        let out = feed(&mut s2, &format!(".import {}", path.display()));
+        assert!(out.contains("imported 1 class(es), 1 object(s)"), "{out}");
+        let out = feed(&mut s2, "forall i in item suchthat (qty == 7)");
+        assert!(out.contains("dram"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexes_meta_command() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class item { int qty = 0; }");
+        feed(&mut s, "create cluster item");
+        assert_eq!(feed(&mut s, ".indexes"), "no indexes");
+        feed(&mut s, "create index item qty");
+        assert_eq!(feed(&mut s, ".indexes"), "item.qty");
+    }
+
+    #[test]
+    fn oid_parsing() {
+        let oid = parse_oid("3:7.2").unwrap();
+        assert_eq!(oid.cluster, 3);
+        assert_eq!(oid.rid.page, 7);
+        assert_eq!(oid.rid.slot, 2);
+        assert!(parse_oid("junk").is_err());
+        assert!(parse_oid("1:2").is_err());
+        assert!(parse_oid("a:b.c").is_err());
+    }
+
+    #[test]
+    fn balanced_checks() {
+        assert!(balanced("{}"));
+        assert!(!balanced("{"));
+        assert!(balanced("{ { } }"));
+        // Braces inside string literals do not count.
+        assert!(!balanced("class a { string s = \"}\";"));
+        assert!(balanced("class a { string s = \"{\"; }"));
+    }
+}

@@ -1,0 +1,61 @@
+//! `ode-shell` — interactive Ode session.
+//!
+//! ```text
+//! ode-shell                # in-memory scratch database
+//! ode-shell /path/to/db    # durable database (created if absent)
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ode_shell::{LineResult, Session};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = match args.first().map(String::as_str) {
+        None | Some("--memory") => {
+            eprintln!("ode-shell: in-memory database (pass a directory to persist)");
+            Session::in_memory()
+        }
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: ode-shell [--memory | <directory>]");
+            return;
+        }
+        Some(dir) => match Session::open(std::path::Path::new(dir)) {
+            Ok(s) => {
+                eprintln!("ode-shell: database at {dir}");
+                s
+            }
+            Err(e) => {
+                eprintln!("ode-shell: cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    eprintln!("type `.help` for commands, `.exit` to leave");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        let prompt = if session.is_continuing() { "  ... " } else { "ode> " };
+        let _ = write!(out, "{prompt}");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.line(line.trim_end_matches(['\n', '\r'])) {
+            LineResult::Output(s) => {
+                if !s.is_empty() {
+                    let _ = writeln!(out, "{s}");
+                }
+            }
+            LineResult::Continue => {}
+            LineResult::Exit => break,
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Durable [`Store`] implementation: pager + heaps + WAL in one directory.
+//!
+//! Layout on disk:
+//! * `data.odb` — the page file; page 0 is the meta page (store magic,
+//!   format version, next heap id, live heap ids),
+//! * `wal.odb` — the redo log.
+//!
+//! Opening an existing store replays the WAL (idempotently) and then
+//! rebuilds heap membership and free-space information by scanning page
+//! headers, which also reclaims reservations orphaned by a crash.
+
+use std::collections::BTreeSet;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::heap::{HeapManager, RecordId};
+use crate::page::{Page, PageType};
+use crate::pager::Pager;
+use crate::store::{HeapId, Store, StoreOp, StoreStats};
+use crate::wal::{Wal, WalOp};
+
+/// Store-level magic in the meta record.
+const META_MAGIC: u32 = 0x0DE0_0001;
+/// On-disk format version.
+const FORMAT_VERSION: u32 = 1;
+/// Checkpoint when the WAL exceeds this many bytes.
+const DEFAULT_CHECKPOINT_BYTES: u64 = 16 * 1024 * 1024;
+/// Default buffer-pool capacity, in pages (= 32 MiB).
+pub const DEFAULT_POOL_PAGES: usize = 4096;
+
+struct Meta {
+    next_heap_id: u32,
+    heaps: BTreeSet<HeapId>,
+}
+
+impl Meta {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * self.heaps.len());
+        out.extend_from_slice(&META_MAGIC.to_le_bytes());
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.next_heap_id.to_le_bytes());
+        out.extend_from_slice(&(self.heaps.len() as u32).to_le_bytes());
+        for h in &self.heaps {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Meta> {
+        let word = |i: usize| -> Result<u32> {
+            bytes
+                .get(i..i + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+                .ok_or_else(|| StorageError::Corrupt("meta record truncated".into()))
+        };
+        if word(0)? != META_MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = word(4)?;
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let next_heap_id = word(8)?;
+        let count = word(12)? as usize;
+        let mut heaps = BTreeSet::new();
+        for i in 0..count {
+            heaps.insert(word(16 + 4 * i)?);
+        }
+        Ok(Meta { next_heap_id, heaps })
+    }
+}
+
+struct Inner {
+    pager: Pager,
+    heaps: HeapManager,
+    wal: Wal,
+    meta: Meta,
+    sync: bool,
+    checkpoint_bytes: u64,
+    commits: u64,
+}
+
+impl Inner {
+    /// Persist the meta record into page 0, slot 0.
+    fn write_meta(&mut self) -> Result<()> {
+        let bytes = self.meta.encode();
+        let ok = self.pager.with_page_mut(0, |p| {
+            if !p.ensure_slot(0) {
+                return false;
+            }
+            p.update(0, &bytes)
+        })?;
+        if !ok {
+            return Err(StorageError::Internal(
+                "meta record exceeds the meta page (too many heaps)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn apply_op(&mut self, op: &WalOp) -> Result<()> {
+        match op {
+            WalOp::EnsureHeap(h) => {
+                self.heaps.create_heap(*h);
+                self.meta.heaps.insert(*h);
+                self.meta.next_heap_id = self.meta.next_heap_id.max(h + 1);
+                self.write_meta()?;
+            }
+            WalOp::DropHeap(h) => {
+                if self.heaps.has_heap(*h) {
+                    self.heaps.drop_heap(&mut self.pager, *h)?;
+                }
+                self.meta.heaps.remove(h);
+                self.write_meta()?;
+            }
+            WalOp::Put { heap, rid, data } => {
+                self.heaps.put_at(&mut self.pager, *heap, *rid, data)?;
+            }
+            WalOp::Delete { heap, rid } => {
+                self.heaps.delete(&mut self.pager, *heap, *rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        self.pager.sync()?;
+        self.wal.checkpoint()
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.wal.len() > self.checkpoint_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+/// Durable, WAL-protected store rooted at a directory.
+pub struct FileStore {
+    inner: Mutex<Inner>,
+    dir: PathBuf,
+}
+
+/// Tuning knobs for [`FileStore::open_with`].
+#[derive(Debug, Clone)]
+pub struct FileStoreOptions {
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// fsync the WAL on every commit.
+    pub sync_commits: bool,
+    /// Checkpoint when the WAL exceeds this many bytes.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for FileStoreOptions {
+    fn default() -> Self {
+        FileStoreOptions {
+            pool_pages: DEFAULT_POOL_PAGES,
+            sync_commits: true,
+            checkpoint_bytes: DEFAULT_CHECKPOINT_BYTES,
+        }
+    }
+}
+
+impl FileStore {
+    /// Open (creating if absent) a store in `dir` with default options.
+    pub fn open(dir: &Path) -> Result<FileStore> {
+        Self::open_with(dir, FileStoreOptions::default())
+    }
+
+    /// Open (creating if absent) a store in `dir`.
+    pub fn open_with(dir: &Path, opts: FileStoreOptions) -> Result<FileStore> {
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io("create store dir", e))?;
+        let data_path = dir.join("data.odb");
+        let wal_path = dir.join("wal.odb");
+        let fresh = !data_path.exists();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&data_path)
+            .map_err(|e| StorageError::io("open data file", e))?;
+        let mut pager = Pager::new(file, opts.pool_pages)?;
+
+        let (wal, replay) = Wal::open(&wal_path)?;
+        let mut inner = if fresh || pager.page_count() == 0 {
+            let mut meta_page = Page::new(PageType::Meta, 0);
+            let meta = Meta {
+                next_heap_id: 1,
+                heaps: BTreeSet::new(),
+            };
+            meta_page
+                .insert(&meta.encode())
+                .expect("meta record fits a fresh page");
+            pager.allocate(meta_page)?;
+            Inner {
+                pager,
+                heaps: HeapManager::new(),
+                wal,
+                meta,
+                sync: opts.sync_commits,
+                checkpoint_bytes: opts.checkpoint_bytes,
+                commits: 0,
+            }
+        } else {
+            let meta_bytes = pager.with_page(0, |p| {
+                p.record(0).map(|r| r.to_vec())
+            })?;
+            let meta_bytes =
+                meta_bytes.ok_or_else(|| StorageError::Corrupt("meta record missing".into()))?;
+            let meta = Meta::decode(&meta_bytes)?;
+            // Heaps live after replay = meta heaps, plus Ensure, minus Drop.
+            let mut live = meta.heaps.clone();
+            for batch in &replay {
+                for op in batch {
+                    match op {
+                        WalOp::EnsureHeap(h) => {
+                            live.insert(*h);
+                        }
+                        WalOp::DropHeap(h) => {
+                            live.remove(h);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let heaps = HeapManager::rebuild(&mut pager, &live)?;
+            let mut inner = Inner {
+                pager,
+                heaps,
+                wal,
+                meta,
+                sync: opts.sync_commits,
+                checkpoint_bytes: opts.checkpoint_bytes,
+                commits: 0,
+            };
+            for batch in &replay {
+                for op in batch {
+                    inner.apply_op(op)?;
+                }
+            }
+            // Everything replayed is now in buffer-pool pages; checkpoint so
+            // the WAL does not grow across repeated crashes.
+            inner.write_meta()?;
+            inner.checkpoint()?;
+            inner
+        };
+        inner.write_meta()?;
+        Ok(FileStore {
+            inner: Mutex::new(inner),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Flush everything and truncate the WAL. Called on drop as well.
+    pub fn close(&self) -> Result<()> {
+        self.inner.lock().checkpoint()
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown; recovery handles the rest.
+        let _ = self.inner.lock().checkpoint();
+    }
+}
+
+impl Store for FileStore {
+    fn create_heap(&self) -> Result<HeapId> {
+        let mut g = self.inner.lock();
+        let id = g.meta.next_heap_id;
+        let sync = g.sync;
+        g.wal.append_commit(&[WalOp::EnsureHeap(id)], sync)?;
+        g.meta.next_heap_id += 1;
+        g.meta.heaps.insert(id);
+        g.heaps.create_heap(id);
+        g.write_meta()?;
+        Ok(id)
+    }
+
+    fn drop_heap(&self, heap: HeapId) -> Result<()> {
+        let mut g = self.inner.lock();
+        if !g.heaps.has_heap(heap) {
+            return Err(StorageError::NoSuchHeap(heap));
+        }
+        let sync = g.sync;
+        g.wal.append_commit(&[WalOp::DropHeap(heap)], sync)?;
+        let Inner { pager, heaps, .. } = &mut *g;
+        heaps.drop_heap(pager, heap)?;
+        g.meta.heaps.remove(&heap);
+        g.write_meta()?;
+        Ok(())
+    }
+
+    fn has_heap(&self, heap: HeapId) -> bool {
+        self.inner.lock().heaps.has_heap(heap)
+    }
+
+    fn reserve(&self, heap: HeapId, size_hint: usize) -> Result<RecordId> {
+        let mut g = self.inner.lock();
+        let Inner { pager, heaps, .. } = &mut *g;
+        heaps.reserve(pager, heap, size_hint)
+    }
+
+    fn release(&self, heap: HeapId, rid: RecordId) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { pager, heaps, .. } = &mut *g;
+        heaps.release(pager, heap, rid)
+    }
+
+    fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
+        let mut g = self.inner.lock();
+        let Inner { pager, heaps, .. } = &mut *g;
+        heaps.read(pager, heap, rid)
+    }
+
+    fn commit(&self, ops: Vec<StoreOp>) -> Result<()> {
+        let mut g = self.inner.lock();
+        let wal_ops: Vec<WalOp> = ops
+            .iter()
+            .map(|op| match op {
+                StoreOp::Put { heap, rid, data } => WalOp::Put {
+                    heap: *heap,
+                    rid: *rid,
+                    data: data.clone(),
+                },
+                StoreOp::Delete { heap, rid } => WalOp::Delete {
+                    heap: *heap,
+                    rid: *rid,
+                },
+            })
+            .collect();
+        // Log first (the durability point), then apply to pages. The data
+        // file can never get ahead of the log because pages are only
+        // written back after this append returns.
+        let sync = g.sync;
+        g.wal.append_commit(&wal_ops, sync)?;
+        for op in &wal_ops {
+            g.apply_op(op)?;
+        }
+        g.commits += 1;
+        g.maybe_checkpoint()
+    }
+
+    fn scan(
+        &self,
+        heap: HeapId,
+        visit: &mut dyn FnMut(RecordId, &[u8]) -> Result<bool>,
+    ) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { pager, heaps, .. } = &mut *g;
+        heaps.scan(pager, heap, |rid, data| visit(rid, data))
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        self.inner.lock().checkpoint()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let g = self.inner.lock();
+        StoreStats {
+            pager: g.pager.stats(),
+            wal_bytes: g.wal.len(),
+            page_count: g.pager.page_count(),
+            commits: g.commits,
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.inner.lock().pager.reset_stats();
+    }
+
+    fn clear_cache(&self) -> Result<()> {
+        self.inner.lock().pager.clear_cache()
+    }
+
+    fn set_sync(&self, sync: bool) {
+        self.inner.lock().sync = sync;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ode-filestore-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_commit_reopen_read() {
+        let dir = temp_dir("reopen");
+        let rid;
+        let heap;
+        {
+            let store = FileStore::open(&dir).unwrap();
+            heap = store.create_heap().unwrap();
+            assert_eq!(heap, 1, "first heap id is deterministic");
+            rid = store.reserve(heap, 32).unwrap();
+            store
+                .commit(vec![StoreOp::Put {
+                    heap,
+                    rid,
+                    data: b"durable object".to_vec(),
+                }])
+                .unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.read(heap, rid).unwrap(), b"durable object");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_replay_after_simulated_crash() {
+        let dir = temp_dir("crash");
+        let heap;
+        let rid;
+        {
+            let store = FileStore::open(&dir).unwrap();
+            heap = store.create_heap().unwrap();
+            rid = store.reserve(heap, 16).unwrap();
+            store
+                .commit(vec![StoreOp::Put {
+                    heap,
+                    rid,
+                    data: b"logged but maybe not paged".to_vec(),
+                }])
+                .unwrap();
+            // Simulate a crash: leak the store so Drop's checkpoint (which
+            // would flush pages) never runs. The WAL alone must carry the
+            // commit.
+            std::mem::forget(store);
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert_eq!(
+            store.read(heap, rid).unwrap(),
+            b"logged but maybe not paged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_reservation_is_reclaimed_after_crash() {
+        let dir = temp_dir("orphan");
+        let heap;
+        let orphan;
+        {
+            let store = FileStore::open(&dir).unwrap();
+            heap = store.create_heap().unwrap();
+            orphan = store.reserve(heap, 64).unwrap();
+            // Push the reservation to the data file, then "crash" without
+            // committing it.
+            store.inner.lock().pager.sync().unwrap();
+            std::mem::forget(store);
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert!(store.read(heap, orphan).is_err());
+        let mut count = 0;
+        store
+            .scan(heap, &mut |_, _| {
+                count += 1;
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(count, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_batch_multiple_ops() {
+        let dir = temp_dir("batch");
+        let store = FileStore::open(&dir).unwrap();
+        let heap = store.create_heap().unwrap();
+        let a = store.reserve(heap, 8).unwrap();
+        let b = store.reserve(heap, 8).unwrap();
+        store
+            .commit(vec![
+                StoreOp::Put { heap, rid: a, data: b"alpha".to_vec() },
+                StoreOp::Put { heap, rid: b, data: b"beta".to_vec() },
+            ])
+            .unwrap();
+        store
+            .commit(vec![
+                StoreOp::Delete { heap, rid: a },
+                StoreOp::Put { heap, rid: b, data: b"beta2".to_vec() },
+            ])
+            .unwrap();
+        assert!(store.read(heap, a).is_err());
+        assert_eq!(store.read(heap, b).unwrap(), b"beta2");
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_heap_survives_reopen() {
+        let dir = temp_dir("drop-heap");
+        let (h1, h2);
+        {
+            let store = FileStore::open(&dir).unwrap();
+            h1 = store.create_heap().unwrap();
+            h2 = store.create_heap().unwrap();
+            let rid = store.reserve(h1, 8).unwrap();
+            store
+                .commit(vec![StoreOp::Put { heap: h1, rid, data: b"x".to_vec() }])
+                .unwrap();
+            store.drop_heap(h1).unwrap();
+        }
+        let store = FileStore::open(&dir).unwrap();
+        assert!(!store.has_heap(h1));
+        assert!(store.has_heap(h2));
+        // Heap ids keep advancing past dropped ids.
+        let h3 = store.create_heap().unwrap();
+        assert!(h3 > h2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal() {
+        let dir = temp_dir("ckpt");
+        let store = FileStore::open(&dir).unwrap();
+        let heap = store.create_heap().unwrap();
+        for i in 0..10u32 {
+            let rid = store.reserve(heap, 16).unwrap();
+            store
+                .commit(vec![StoreOp::Put {
+                    heap,
+                    rid,
+                    data: i.to_le_bytes().to_vec(),
+                }])
+                .unwrap();
+        }
+        assert!(store.stats().wal_bytes > 0);
+        store.checkpoint().unwrap();
+        assert_eq!(store.stats().wal_bytes, 0);
+        // Data still readable after checkpoint + reopen.
+        drop(store);
+        let store = FileStore::open(&dir).unwrap();
+        let mut n = 0;
+        store
+            .scan(heap, &mut |_, _| {
+                n += 1;
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(n, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_order_is_stable() {
+        let dir = temp_dir("scan-order");
+        let store = FileStore::open(&dir).unwrap();
+        let heap = store.create_heap().unwrap();
+        let mut expected = Vec::new();
+        for i in 0..100u32 {
+            let rid = store.reserve(heap, 16).unwrap();
+            store
+                .commit(vec![StoreOp::Put {
+                    heap,
+                    rid,
+                    data: i.to_le_bytes().to_vec(),
+                }])
+                .unwrap();
+            expected.push(rid);
+        }
+        let mut seen = Vec::new();
+        store
+            .scan(heap, &mut |rid, _| {
+                seen.push(rid);
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(seen, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn many_heaps_roundtrip_through_meta() {
+        let dir = temp_dir("many-heaps");
+        let mut ids = Vec::new();
+        {
+            let store = FileStore::open(&dir).unwrap();
+            for _ in 0..50 {
+                ids.push(store.create_heap().unwrap());
+            }
+        }
+        let store = FileStore::open(&dir).unwrap();
+        for id in ids {
+            assert!(store.has_heap(id));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

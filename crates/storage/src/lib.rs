@@ -1,0 +1,52 @@
+//! # ode-storage
+//!
+//! The persistent-store substrate for Ode, the object database described in
+//! Agrawal & Gehani, *"ODE (Object Database and Environment): The Language
+//! and the Data Model"*, SIGMOD 1989.
+//!
+//! The paper assumes "a large, if not infinite, persistent store" without
+//! specifying its implementation; this crate provides that substrate from
+//! scratch:
+//!
+//! * [`page`] — fixed-size 8 KiB pages with CRC32 checksums,
+//! * [`pager`] — a file-backed pager with an LRU buffer pool,
+//! * [`heap`] — slotted-page heap files with stable record ids, in-place
+//!   update, forwarding for records that outgrow their page, and page
+//!   compaction,
+//! * [`wal`] — a redo-only write-ahead log with CRC-framed records and
+//!   idempotent replay,
+//! * [`store`] — the [`store::Store`] trait consumed by the engine,
+//!   with a durable [`filestore::FileStore`] and an in-memory
+//!   [`memstore::MemStore`] for tests.
+//!
+//! ## Durability protocol
+//!
+//! The engine above uses *deferred update*: a transaction's writes are kept
+//! in its private write-set and reach the store only through a single
+//! [`store::Store::commit`] batch. The store appends the
+//! batch to the WAL, fsyncs, and only then applies it to buffer-pool pages,
+//! so the data file never runs ahead of the log. Recovery replays committed
+//! batches from the last checkpoint; every WAL operation is idempotent
+//! ("ensure record `rid` holds these bytes"), so replay after a crash at any
+//! point is safe.
+//!
+//! Record ids are handed out *before* commit via
+//! [`store::Store::reserve`] so that object identity (the
+//! paper's object ids, §2) is available as soon as an object is created;
+//! reservations that never commit are reclaimed on recovery.
+
+pub mod crc;
+pub mod error;
+pub mod filestore;
+pub mod heap;
+pub mod memstore;
+pub mod page;
+pub mod pager;
+pub mod store;
+pub mod wal;
+
+pub use error::{Result, StorageError};
+pub use filestore::FileStore;
+pub use heap::RecordId;
+pub use memstore::MemStore;
+pub use store::{HeapId, Store, StoreOp, StoreStats};

@@ -1,0 +1,287 @@
+//! In-memory [`Store`] for tests and I/O-free benchmarking.
+//!
+//! Implements the same contract as [`crate::FileStore`] — including the
+//! reserve/commit protocol and stable record-id scan order — with plain
+//! maps. Record ids are synthesized from a per-heap counter.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+use crate::heap::{RecordId, MAX_PAYLOAD};
+use crate::store::{HeapId, Store, StoreOp, StoreStats};
+
+#[derive(Clone)]
+enum Rec {
+    Reserved,
+    Data(Vec<u8>),
+}
+
+#[derive(Default)]
+struct Heap {
+    records: BTreeMap<RecordId, Rec>,
+    next: u64,
+}
+
+impl Heap {
+    fn fresh_rid(&mut self) -> RecordId {
+        let n = self.next;
+        self.next += 1;
+        // Mirror the file layout's page/slot split so ids look realistic.
+        RecordId {
+            page: (n / 64) as u32 + 1,
+            slot: (n % 64) as u16,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    heaps: BTreeMap<HeapId, Heap>,
+    next_heap: HeapId,
+    commits: u64,
+}
+
+/// Volatile store: everything is lost on drop. Useful for unit tests and
+/// for benchmarking engine logic without I/O noise.
+#[derive(Default)]
+pub struct MemStore {
+    inner: Mutex<Inner>,
+}
+
+impl MemStore {
+    /// Create an empty in-memory store.
+    pub fn new() -> MemStore {
+        MemStore {
+            inner: Mutex::new(Inner {
+                heaps: BTreeMap::new(),
+                next_heap: 1,
+                commits: 0,
+            }),
+        }
+    }
+}
+
+impl Store for MemStore {
+    fn create_heap(&self) -> Result<HeapId> {
+        let mut g = self.inner.lock();
+        let id = g.next_heap;
+        g.next_heap += 1;
+        g.heaps.insert(id, Heap::default());
+        Ok(id)
+    }
+
+    fn drop_heap(&self, heap: HeapId) -> Result<()> {
+        self.inner
+            .lock()
+            .heaps
+            .remove(&heap)
+            .map(|_| ())
+            .ok_or(StorageError::NoSuchHeap(heap))
+    }
+
+    fn has_heap(&self, heap: HeapId) -> bool {
+        self.inner.lock().heaps.contains_key(&heap)
+    }
+
+    fn reserve(&self, heap: HeapId, _size_hint: usize) -> Result<RecordId> {
+        let mut g = self.inner.lock();
+        let h = g.heaps.get_mut(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+        let rid = h.fresh_rid();
+        h.records.insert(rid, Rec::Reserved);
+        Ok(rid)
+    }
+
+    fn release(&self, heap: HeapId, rid: RecordId) -> Result<()> {
+        let mut g = self.inner.lock();
+        let h = g.heaps.get_mut(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+        match h.records.get(&rid) {
+            Some(Rec::Reserved) => {
+                h.records.remove(&rid);
+                Ok(())
+            }
+            _ => Err(StorageError::Internal(format!(
+                "release of non-reserved record {rid}"
+            ))),
+        }
+    }
+
+    fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
+        let g = self.inner.lock();
+        let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+        match h.records.get(&rid) {
+            Some(Rec::Data(d)) => Ok(d.clone()),
+            _ => Err(StorageError::NoSuchRecord {
+                heap,
+                page: rid.page,
+                slot: rid.slot,
+            }),
+        }
+    }
+
+    fn commit(&self, ops: Vec<StoreOp>) -> Result<()> {
+        let mut g = self.inner.lock();
+        // Validate first so the batch is all-or-nothing even in memory.
+        // Enforce the same record-size limit as the durable store so
+        // programs behave identically on both.
+        for op in &ops {
+            let heap = match op {
+                StoreOp::Put { heap, .. } | StoreOp::Delete { heap, .. } => *heap,
+            };
+            if !g.heaps.contains_key(&heap) {
+                return Err(StorageError::NoSuchHeap(heap));
+            }
+            if let StoreOp::Put { data, .. } = op {
+                if data.len() > MAX_PAYLOAD {
+                    return Err(StorageError::RecordTooLarge {
+                        size: data.len(),
+                        max: MAX_PAYLOAD,
+                    });
+                }
+            }
+        }
+        for op in ops {
+            match op {
+                StoreOp::Put { heap, rid, data } => {
+                    let h = g.heaps.get_mut(&heap).expect("validated");
+                    // Keep the id allocator ahead of replay-style puts.
+                    let linear = (rid.page.saturating_sub(1)) as u64 * 64 + rid.slot as u64;
+                    if linear >= h.next {
+                        h.next = linear + 1;
+                    }
+                    h.records.insert(rid, Rec::Data(data));
+                }
+                StoreOp::Delete { heap, rid } => {
+                    let h = g.heaps.get_mut(&heap).expect("validated");
+                    h.records.remove(&rid);
+                }
+            }
+        }
+        g.commits += 1;
+        Ok(())
+    }
+
+    fn scan(
+        &self,
+        heap: HeapId,
+        visit: &mut dyn FnMut(RecordId, &[u8]) -> Result<bool>,
+    ) -> Result<()> {
+        // Clone the record list so the callback may re-enter the store.
+        let records: Vec<(RecordId, Vec<u8>)> = {
+            let g = self.inner.lock();
+            let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+            h.records
+                .iter()
+                .filter_map(|(rid, rec)| match rec {
+                    Rec::Data(d) => Some((*rid, d.clone())),
+                    Rec::Reserved => None,
+                })
+                .collect()
+        };
+        for (rid, data) in records {
+            if !visit(rid, &data)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        let g = self.inner.lock();
+        StoreStats {
+            commits: g.commits,
+            ..StoreStats::default()
+        }
+    }
+
+    fn reset_stats(&self) {}
+
+    fn clear_cache(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn set_sync(&self, _sync: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_matches_filestore() {
+        let store = MemStore::new();
+        let heap = store.create_heap().unwrap();
+        assert_eq!(heap, 1);
+        let rid = store.reserve(heap, 8).unwrap();
+        assert!(store.read(heap, rid).is_err(), "reserved is unreadable");
+        store
+            .commit(vec![StoreOp::Put { heap, rid, data: b"v".to_vec() }])
+            .unwrap();
+        assert_eq!(store.read(heap, rid).unwrap(), b"v");
+        store
+            .commit(vec![StoreOp::Delete { heap, rid }])
+            .unwrap();
+        assert!(store.read(heap, rid).is_err());
+    }
+
+    #[test]
+    fn release_only_applies_to_reservations() {
+        let store = MemStore::new();
+        let heap = store.create_heap().unwrap();
+        let rid = store.reserve(heap, 8).unwrap();
+        store
+            .commit(vec![StoreOp::Put { heap, rid, data: b"x".to_vec() }])
+            .unwrap();
+        assert!(store.release(heap, rid).is_err());
+    }
+
+    #[test]
+    fn scan_skips_reserved_and_orders_by_rid() {
+        let store = MemStore::new();
+        let heap = store.create_heap().unwrap();
+        let a = store.reserve(heap, 8).unwrap();
+        let _hole = store.reserve(heap, 8).unwrap();
+        let b = store.reserve(heap, 8).unwrap();
+        store
+            .commit(vec![
+                StoreOp::Put { heap, rid: b, data: b"b".to_vec() },
+                StoreOp::Put { heap, rid: a, data: b"a".to_vec() },
+            ])
+            .unwrap();
+        let mut seen = Vec::new();
+        store
+            .scan(heap, &mut |rid, d| {
+                seen.push((rid, d.to_vec()));
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(seen, vec![(a, b"a".to_vec()), (b, b"b".to_vec())]);
+    }
+
+    #[test]
+    fn scan_callback_may_reenter_store() {
+        let store = MemStore::new();
+        let heap = store.create_heap().unwrap();
+        for i in 0..3u8 {
+            let rid = store.reserve(heap, 1).unwrap();
+            store
+                .commit(vec![StoreOp::Put { heap, rid, data: vec![i] }])
+                .unwrap();
+        }
+        let mut reads = 0;
+        store
+            .scan(heap, &mut |rid, _| {
+                // Re-entrant read during scan must not deadlock.
+                let _ = store.read(heap, rid).unwrap();
+                reads += 1;
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(reads, 3);
+    }
+}

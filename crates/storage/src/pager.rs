@@ -1,0 +1,363 @@
+//! File-backed pager with an LRU buffer pool.
+//!
+//! The pager owns the data file and a bounded cache of decoded [`Page`]s.
+//! Pages are fetched on demand, verified against their checksum, and written
+//! back when dirty frames are evicted or on [`Pager::flush_all`]. Eviction is
+//! strict LRU, implemented with a tick-ordered map so both lookup and
+//! eviction are `O(log n)`.
+//!
+//! The pager is deliberately *not* thread-safe: the store that owns it
+//! serializes access behind a single lock (the paper excludes concurrency
+//! concerns, §1), which also gives the WAL-before-data ordering a trivial
+//! proof.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Counters exposed for the buffer-pool characterization bench (figure F9).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that had to read the file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back (evictions + flushes).
+    pub writebacks: u64,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    tick: u64,
+}
+
+/// A bounded cache of pages over a data file.
+pub struct Pager {
+    file: File,
+    /// Number of pages currently in the file (page 0 is the meta page).
+    page_count: u32,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    /// LRU order: tick -> page id. Ticks are unique.
+    order: BTreeMap<u64, PageId>,
+    next_tick: u64,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Wrap an open data file. `capacity` is the maximum number of cached
+    /// pages (minimum 8). The file length must be a multiple of the page
+    /// size.
+    pub fn new(file: File, capacity: usize) -> Result<Self> {
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat data file", e))?
+            .len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "data file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(Pager {
+            file,
+            page_count: (len / PAGE_SIZE as u64) as u32,
+            capacity: capacity.max(8),
+            frames: HashMap::new(),
+            order: BTreeMap::new(),
+            next_tick: 0,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Buffer-pool counters.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Reset the counters (benches measure deltas).
+    pub fn reset_stats(&mut self) {
+        self.stats = PagerStats::default();
+    }
+
+    fn touch(&mut self, pid: PageId) {
+        if let Some(frame) = self.frames.get_mut(&pid) {
+            self.order.remove(&frame.tick);
+            frame.tick = self.next_tick;
+            self.order.insert(self.next_tick, pid);
+            self.next_tick += 1;
+        }
+    }
+
+    fn read_from_disk(&mut self, pid: PageId) -> Result<Page> {
+        if pid >= self.page_count {
+            return Err(StorageError::Internal(format!(
+                "page {pid} beyond end of file ({} pages)",
+                self.page_count
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file
+            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StorageError::io("seek to page", e))?;
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| StorageError::io("read page", e))?;
+        Page::from_bytes(&buf)
+    }
+
+    fn write_to_disk(&mut self, pid: PageId, page: &Page) -> Result<()> {
+        let bytes = page.to_bytes();
+        self.file
+            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
+            .map_err(|e| StorageError::io("seek to page", e))?;
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| StorageError::io("write page", e))?;
+        Ok(())
+    }
+
+    fn evict_if_full(&mut self) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            let (&tick, &victim) = self
+                .order
+                .iter()
+                .next()
+                .expect("order map tracks every frame");
+            self.order.remove(&tick);
+            let frame = self.frames.remove(&victim).expect("frame exists");
+            self.stats.evictions += 1;
+            if frame.dirty {
+                self.stats.writebacks += 1;
+                self.write_to_disk(victim, &frame.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, pid: PageId) -> Result<()> {
+        if self.frames.contains_key(&pid) {
+            self.stats.hits += 1;
+            self.touch(pid);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let page = self.read_from_disk(pid)?;
+        self.evict_if_full()?;
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.frames.insert(pid, Frame { page, dirty: false, tick });
+        self.order.insert(tick, pid);
+        Ok(())
+    }
+
+    /// Run `f` with read access to the page.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        self.load(pid)?;
+        Ok(f(&self.frames[&pid].page))
+    }
+
+    /// Run `f` with write access to the page; the frame is marked dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        self.load(pid)?;
+        let frame = self.frames.get_mut(&pid).expect("just loaded");
+        frame.dirty = true;
+        Ok(f(&mut frame.page))
+    }
+
+    /// Append a fresh page to the file and cache it dirty. Returns its id.
+    pub fn allocate(&mut self, page: Page) -> Result<PageId> {
+        let pid = self.page_count;
+        self.page_count += 1;
+        // Extend the file eagerly so page_count always matches file length
+        // (recovery derives the page count from the length).
+        self.write_to_disk(pid, &page)?;
+        self.evict_if_full()?;
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.frames.insert(pid, Frame { page, dirty: false, tick });
+        self.order.insert(tick, pid);
+        Ok(pid)
+    }
+
+    /// Write back every dirty frame (without dropping the cache).
+    pub fn flush_all(&mut self) -> Result<()> {
+        let dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&pid, _)| pid)
+            .collect();
+        for pid in dirty {
+            let page = self.frames[&pid].page.clone();
+            self.write_to_disk(pid, &page)?;
+            self.frames.get_mut(&pid).expect("exists").dirty = false;
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync the data file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush_all()?;
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io("fsync data file", e))
+    }
+
+    /// Drop every cached frame (after flushing). Used by tests to force
+    /// cold-cache behaviour.
+    pub fn clear_cache(&mut self) -> Result<()> {
+        self.flush_all()?;
+        self.frames.clear();
+        self.order.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageType;
+
+    fn temp_pager(capacity: usize) -> (Pager, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "ode-pager-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("data-{capacity}.odb"));
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .unwrap();
+        (Pager::new(file, capacity).unwrap(), path)
+    }
+
+    #[test]
+    fn allocate_and_read_back() {
+        let (mut pager, path) = temp_pager(16);
+        let mut p = Page::new(PageType::Heap, 3);
+        let slot = p.insert(b"persist me").unwrap();
+        let pid = pager.allocate(p).unwrap();
+        let data = pager
+            .with_page(pid, |p| p.record(slot).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(data, b"persist me");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn eviction_respects_lru_and_persists_dirty_pages() {
+        let (mut pager, _path) = temp_pager(8);
+        let mut pids = Vec::new();
+        for i in 0..20u32 {
+            let mut p = Page::new(PageType::Heap, 1);
+            p.insert(&i.to_le_bytes()).unwrap();
+            pids.push(pager.allocate(p).unwrap());
+        }
+        // All pages must read back correctly even though most were evicted.
+        for (i, &pid) in pids.iter().enumerate() {
+            let v = pager
+                .with_page(pid, |p| p.record(0).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(v, (i as u32).to_le_bytes());
+        }
+        assert!(pager.stats().evictions > 0);
+    }
+
+    #[test]
+    fn dirty_page_survives_eviction() {
+        let (mut pager, path) = temp_pager(8);
+        let mut first = None;
+        for i in 0..10u32 {
+            let p = Page::new(PageType::Heap, i);
+            let pid = pager.allocate(p).unwrap();
+            if i == 0 {
+                first = Some(pid);
+            }
+        }
+        let first = first.unwrap();
+        pager
+            .with_page_mut(first, |p| {
+                p.insert(b"dirty data").unwrap();
+            })
+            .unwrap();
+        // Push enough pages through to evict `first`.
+        for i in 100..120u32 {
+            pager.allocate(Page::new(PageType::Heap, i)).unwrap();
+        }
+        let v = pager
+            .with_page(first, |p| p.record(0).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(v, b"dirty data");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let (mut pager, path) = temp_pager(16);
+        let pid = pager.allocate(Page::new(PageType::Heap, 1)).unwrap();
+        pager.reset_stats();
+        pager.with_page(pid, |_| ()).unwrap();
+        pager.with_page(pid, |_| ()).unwrap();
+        assert_eq!(pager.stats().hits, 2);
+        pager.clear_cache().unwrap();
+        pager.with_page(pid, |_| ()).unwrap();
+        assert_eq!(pager.stats().misses, 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reading_past_eof_is_an_error() {
+        let (mut pager, path) = temp_pager(8);
+        assert!(pager.with_page(5, |_| ()).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn flush_then_reopen_sees_data() {
+        let (mut pager, path) = temp_pager(8);
+        let mut p = Page::new(PageType::Heap, 9);
+        let slot = p.insert(b"durable").unwrap();
+        let pid = pager.allocate(p).unwrap();
+        pager
+            .with_page_mut(pid, |p| {
+                p.insert(b"second").unwrap();
+            })
+            .unwrap();
+        pager.sync().unwrap();
+        drop(pager);
+
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let mut pager2 = Pager::new(file, 8).unwrap();
+        let v = pager2
+            .with_page(pid, |p| p.record(slot).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(v, b"durable");
+        std::fs::remove_file(path).ok();
+    }
+}

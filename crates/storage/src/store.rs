@@ -1,0 +1,100 @@
+//! The [`Store`] trait: the storage interface consumed by the Ode engine.
+//!
+//! A store is a set of *heaps* (one per Ode cluster plus one for the
+//! catalog) holding byte records with stable [`RecordId`]s. The engine's
+//! transaction layer keeps uncommitted changes in its own write-set and
+//! funnels them into a single atomic [`Store::commit`] batch; the only
+//! pre-commit side effect is [`Store::reserve`], which pins a record id so
+//! newly created objects have their identity immediately (paper §2: the id
+//! returned by `pnew`).
+
+use crate::error::Result;
+use crate::heap::RecordId;
+use crate::pager::PagerStats;
+
+/// Identifies a heap (an Ode cluster's extent, or the catalog).
+pub type HeapId = u32;
+
+/// One mutation inside a commit batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Write `data` at `rid` (which was earlier reserved or already holds a
+    /// record).
+    Put {
+        heap: HeapId,
+        rid: RecordId,
+        data: Vec<u8>,
+    },
+    /// Remove the record at `rid`.
+    Delete { heap: HeapId, rid: RecordId },
+}
+
+/// Counters for the substrate benches (figures F8/F9).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Buffer-pool counters (zero for the in-memory store).
+    pub pager: PagerStats,
+    /// Bytes in the WAL since the last checkpoint.
+    pub wal_bytes: u64,
+    /// Pages in the data file.
+    pub page_count: u32,
+    /// Committed batches since open.
+    pub commits: u64,
+}
+
+/// Abstract persistent store. Implementations: [`crate::FileStore`]
+/// (durable) and [`crate::MemStore`] (tests/benches without I/O).
+///
+/// All methods take `&self`; implementations serialize internally. The
+/// paper explicitly leaves concurrency out of scope (§1), so a single
+/// store-wide lock is an acceptable and easily-audited policy.
+pub trait Store: Send + Sync {
+    /// Create a new heap and return its id. Ids are assigned sequentially
+    /// starting at 1, so a fresh store's first heap (the engine's catalog)
+    /// is always heap 1.
+    fn create_heap(&self) -> Result<HeapId>;
+
+    /// Drop a heap and free its pages.
+    fn drop_heap(&self, heap: HeapId) -> Result<()>;
+
+    /// Does `heap` exist?
+    fn has_heap(&self, heap: HeapId) -> bool;
+
+    /// Reserve a fresh record id in `heap` without writing data.
+    /// `size_hint` pre-sizes the extent for the eventual `Put`.
+    fn reserve(&self, heap: HeapId, size_hint: usize) -> Result<RecordId>;
+
+    /// Release a reservation that will never be committed (abort path).
+    fn release(&self, heap: HeapId, rid: RecordId) -> Result<()>;
+
+    /// Read a committed record.
+    fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>>;
+
+    /// Atomically apply a batch: either every op becomes durable or none.
+    fn commit(&self, ops: Vec<StoreOp>) -> Result<()>;
+
+    /// Visit every record of `heap` in stable (record-id) order; the
+    /// callback returns `false` to stop early.
+    fn scan(
+        &self,
+        heap: HeapId,
+        visit: &mut dyn FnMut(RecordId, &[u8]) -> Result<bool>,
+    ) -> Result<()>;
+
+    /// Force all state to the data file and truncate the WAL.
+    fn checkpoint(&self) -> Result<()>;
+
+    /// Substrate counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Reset counters (benches measure deltas).
+    fn reset_stats(&self);
+
+    /// Drop cached pages (benches: force cold-cache reads). No-op for the
+    /// in-memory store.
+    fn clear_cache(&self) -> Result<()>;
+
+    /// Toggle fsync-per-commit. Defaults to on for durable stores; benches
+    /// that characterize the non-durable path may disable it.
+    fn set_sync(&self, sync: bool);
+}

@@ -1,0 +1,112 @@
+//! The paper's §6 example: an active database with triggers.
+//!
+//! An inventory where each stock item carries a once-only `reorder`
+//! trigger (fire when quantity falls to the reorder level; action places a
+//! purchase order in its own, weakly-coupled transaction) and a perpetual
+//! `audit` trigger that records every large withdrawal.
+//!
+//! Run with: `cargo run --example active_inventory`
+
+use ode::prelude::*;
+
+fn main() -> Result<()> {
+    let db = Database::in_memory();
+
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0)
+            .field_default("reorder_level", Type::Int, 0)
+            .field_default("on_order", Type::Int, 0)
+            .constraint("quantity >= 0")
+            // §6: once-only trigger (default): fires once, must be
+            // re-activated explicitly.
+            .trigger("reorder", &["amount"], false, "quantity <= reorder_level && on_order == 0")
+            .action_assign("on_order", "$amount")
+            .action_callback("notify_purchasing")
+            // Perpetual trigger with an argument: audit large stock drops.
+            .trigger("audit_low", &["floor"], true, "quantity < $floor")
+            .action_callback("audit"),
+    )?;
+    db.define_class(
+        ClassBuilder::new("audit_log")
+            .field("item", Type::Str)
+            .field("quantity", Type::Int),
+    )?;
+    db.create_cluster("stockitem")?;
+    db.create_cluster("audit_log")?;
+
+    db.register_callback("notify_purchasing", |tx, oid, args| {
+        let name = tx.get(oid, "name")?.as_str()?.to_string();
+        println!(
+            "  [purchasing] reorder {} units of {name}",
+            args.first().map(|v| v.to_string()).unwrap_or_default()
+        );
+        Ok(())
+    });
+    db.register_callback("audit", |tx, oid, _args| {
+        let name = tx.get(oid, "name")?.as_str()?.to_string();
+        let qty = tx.get(oid, "quantity")?.as_int()?;
+        tx.pnew(
+            "audit_log",
+            &[("item", Value::from(name.as_str())), ("quantity", Value::Int(qty))],
+        )?;
+        Ok(())
+    });
+
+    // Stock the shelves and arm the triggers.
+    let dram = db.transaction(|tx| {
+        let dram = tx.pnew(
+            "stockitem",
+            &[
+                ("name", Value::from("512 dram")),
+                ("quantity", Value::Int(100)),
+                ("reorder_level", Value::Int(20)),
+            ],
+        )?;
+        tx.activate_trigger(dram, "reorder", vec![Value::Int(500)])?;
+        tx.activate_trigger(dram, "audit_low", vec![Value::Int(50)])?;
+        Ok(dram)
+    })?;
+
+    // Simulate sales. Each sale is one transaction; trigger conditions are
+    // evaluated at the end of each (§6).
+    println!("selling dram in lots of 30:");
+    for sale in 1..=3 {
+        let info = {
+            let mut tx = db.begin();
+            let qty = tx.get(dram, "quantity")?.as_int()?;
+            tx.set(dram, "quantity", qty - 30)?;
+            tx.commit()?
+        };
+        let fired: Vec<&str> = info.fired.iter().map(|f| f.trigger.as_str()).collect();
+        println!("  sale {sale}: fired {fired:?}");
+    }
+
+    let (qty, on_order, audits) = db.transaction(|tx| {
+        let qty = tx.get(dram, "quantity")?.as_int()?;
+        let on_order = tx.get(dram, "on_order")?.as_int()?;
+        let audits = tx.forall("audit_log")?.count()?;
+        Ok((qty, on_order, audits))
+    })?;
+    println!("\nfinal quantity {qty}, on order {on_order}, audit entries {audits}");
+    assert_eq!(qty, 10);
+    assert_eq!(on_order, 500, "once-only reorder fired exactly once");
+    // Sales 2 and 3 dropped below the floor; the reorder *action
+    // transaction* also wrote the item while it was below the floor, so
+    // the perpetual audit fired a third time — trigger conditions are
+    // evaluated at the end of every transaction that writes the subject,
+    // including weak-coupled action transactions.
+    assert_eq!(audits, 3, "perpetual audit fired on every qualifying txn");
+
+    // Weak coupling: an aborted sale fires nothing.
+    {
+        let mut tx = db.begin();
+        tx.set(dram, "quantity", 1i64)?;
+        tx.abort();
+    }
+    let audits_after = db.transaction(|tx| tx.forall("audit_log")?.count())?;
+    assert_eq!(audits_after, audits, "aborted transaction fired nothing");
+    println!("aborted sale fired nothing (weak coupling).");
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! The "single integrated language" experience (§1 of the paper): the
+//! database is *defined* and *queried* in O++-flavoured text, with Rust as
+//! the host for statement bodies — mirroring how O++ embeds the database
+//! sublanguage in C++.
+//!
+//! Run with: `cargo run --example opp_syntax`
+
+use ode::prelude::*;
+
+fn main() -> Result<()> {
+    let db = Database::in_memory();
+
+    // -------- data definition, straight out of the paper's §2 ----------
+    db.define_from_source(
+        r#"
+        class supplier {
+            string sname;
+            string address;
+        }
+
+        class stockitem {
+            string name;
+            double allowance   = 0.05;
+            int    quantity    = 0;
+            int    max_quantity = 15000;
+            double price       = 0.0;
+            int    reorder_level = 15;
+            int    on_order    = 0;
+            ref<supplier> supplied_by;
+
+            constraint sane: quantity >= 0 && quantity <= max_quantity;
+
+            trigger reorder(amount) : quantity <= reorder_level && on_order == 0 {
+                on_order = $amount;
+                call purchasing;
+            }
+        }
+        "#,
+    )?;
+    db.create_cluster("supplier")?;
+    db.create_cluster("stockitem")?;
+
+    db.register_callback("purchasing", |tx, oid, args| {
+        println!(
+            "  [purchasing] ordering {} more {}",
+            args[0],
+            tx.get(oid, "name")?.as_str()?
+        );
+        Ok(())
+    });
+
+    // ------------------------------ data -------------------------------
+    db.transaction(|tx| {
+        let att = tx.pnew(
+            "supplier",
+            &[
+                ("sname", Value::from("at&t")),
+                ("address", Value::from("berkeley hts, nj")),
+            ],
+        )?;
+        for (name, qty, price) in [
+            ("512 dram", 7500i64, 5.00f64),
+            ("1 meg dram", 80, 11.00),
+            ("eprom", 18, 4.50),
+            ("pal", 9000, 1.75),
+        ] {
+            let item = tx.pnew(
+                "stockitem",
+                &[
+                    ("name", Value::from(name)),
+                    ("quantity", Value::Int(qty)),
+                    ("price", Value::Float(price)),
+                    ("supplied_by", Value::Ref(att)),
+                ],
+            )?;
+            tx.activate_trigger(item, "reorder", vec![Value::Int(1000)])?;
+        }
+        Ok(())
+    })?;
+
+    // --------------------- queries as statements -----------------------
+    db.transaction(|tx| {
+        println!("inventory by descending stock value:");
+        tx.query_run(
+            "forall s in stockitem by (price * quantity) desc",
+            |tx, m| {
+                let s = m["s"];
+                println!(
+                    "  {:10}  qty {:>6}  @ {:>6}",
+                    tx.get(s, "name")?.as_str()?,
+                    tx.get(s, "quantity")?,
+                    tx.get(s, "price")?,
+                );
+                Ok(())
+            },
+        )?;
+
+        println!("\nitems at or below their reorder level:");
+        tx.query_run(
+            "forall s in stockitem suchthat (s.quantity <= s.reorder_level)",
+            |tx, m| {
+                println!("  {}", tx.get(m["s"], "name")?.as_str()?);
+                Ok(())
+            },
+        )?;
+
+        // A join through the reference: which items does each supplier
+        // provide? (value join over the printable key)
+        println!("\nsupplier ⋈ stockitem:");
+        tx.query_run(
+            "forall v in supplier, s in stockitem suchthat (s.supplied_by == v)",
+            |tx, m| {
+                println!(
+                    "  {} supplies {}",
+                    tx.get(m["v"], "sname")?.as_str()?,
+                    tx.get(m["s"], "name")?.as_str()?
+                );
+                Ok(())
+            },
+        )?;
+        Ok(())
+    })?;
+
+    // A sale drives one item to its reorder level: the text-declared
+    // trigger fires and the callback runs in its own transaction.
+    println!("\nselling 4 eproms:");
+    let mut tx = db.begin();
+    let eprom = tx
+        .query("forall s in stockitem suchthat (s.name == \"eprom\")")?
+        .oids()?[0];
+    let qty = tx.get(eprom, "quantity")?.as_int()?;
+    tx.set(eprom, "quantity", qty - 4)?;
+    let info = tx.commit()?;
+    assert_eq!(info.fired.len(), 1);
+
+    db.transaction(|tx| {
+        println!(
+            "eprom: quantity {}, on order {}",
+            tx.get(eprom, "quantity")?,
+            tx.get(eprom, "on_order")?
+        );
+        Ok(())
+    })?;
+    Ok(())
+}

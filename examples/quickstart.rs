@@ -1,0 +1,129 @@
+//! Quickstart: the paper's stockitem example (§2), end to end.
+//!
+//! Demonstrates the Ode basics: defining a class, creating its cluster
+//! (type extent), creating persistent objects with `pnew`, reading and
+//! updating them in transactions, declarative `forall … suchthat … by`
+//! iteration, and durability across a close/reopen.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ode::prelude::*;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("ode-quickstart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---------------------------------------------------------------
+    // 1. Open a database and declare the schema (O++ `class stockitem`).
+    // ---------------------------------------------------------------
+    let db = Database::open(&dir)?;
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("allowance", Type::Float, 0.0)
+            .field_default("quantity", Type::Int, 0)
+            .field_default("max_quantity", Type::Int, 0)
+            .field_default("price", Type::Float, 0.0)
+            .field_default("reorder_level", Type::Int, 0)
+            .field("supplier", Type::Str)
+            .field("supplier_address", Type::Str)
+            // §5: integrity constraints live with the class.
+            .constraint_named("sane_quantity", "quantity >= 0 && quantity <= max_quantity"),
+    )?;
+
+    // §2.5: the cluster (type extent) must exist before `pnew`.
+    db.create_cluster("stockitem")?;
+
+    // ---------------------------------------------------------------
+    // 2. Create persistent objects — the paper's `pnew stockitem(...)`.
+    // ---------------------------------------------------------------
+    let dram = db.transaction(|tx| {
+        let dram = tx.pnew(
+            "stockitem",
+            &[
+                ("name", Value::from("512 dram")),
+                ("allowance", Value::Float(0.05)),
+                ("quantity", Value::Int(7500)),
+                ("max_quantity", Value::Int(15000)),
+                ("price", Value::Float(5.00)),
+                ("reorder_level", Value::Int(15)),
+                ("supplier", Value::from("at&t")),
+                ("supplier_address", Value::from("berkeley hts, nj")),
+            ],
+        )?;
+        for (i, qty) in [1200i64, 40, 9000].iter().enumerate() {
+            tx.pnew(
+                "stockitem",
+                &[
+                    ("name", Value::from(format!("part-{i}"))),
+                    ("quantity", Value::Int(*qty)),
+                    ("max_quantity", Value::Int(20000)),
+                    ("price", Value::Float(1.25 * (i as f64 + 1.0))),
+                    ("reorder_level", Value::Int(100)),
+                    ("supplier", Value::from("western electric")),
+                ],
+            )?;
+        }
+        Ok(dram)
+    })?;
+    println!("created 4 stock items; dram has object id {dram}");
+
+    // ---------------------------------------------------------------
+    // 3. Read and update through generic references (object ids).
+    // ---------------------------------------------------------------
+    db.transaction(|tx| {
+        let qty = tx.get(dram, "quantity")?.as_int()?;
+        tx.set(dram, "quantity", qty - 500)?; // ship 500 units
+        Ok(())
+    })?;
+
+    // ---------------------------------------------------------------
+    // 4. Declarative iteration (§3.1): forall ... suchthat ... by.
+    // ---------------------------------------------------------------
+    db.transaction(|tx| {
+        println!("\nitems that need reordering (quantity <= reorder_level):");
+        tx.forall("stockitem")?
+            .suchthat("quantity <= reorder_level")?
+            .run(|tx, item| {
+                println!(
+                    "  {} (qty {})",
+                    tx.get(item, "name")?.as_str()?,
+                    tx.get(item, "quantity")?
+                );
+                Ok(())
+            })?;
+
+        println!("\nall items by descending stock value (price * quantity):");
+        tx.forall("stockitem")?
+            .by_desc("price * quantity")?
+            .run(|tx, item| {
+                let name = tx.get(item, "name")?.as_str()?.to_string();
+                let value = tx.get(item, "price")?.as_float()?
+                    * tx.get(item, "quantity")?.as_int()? as f64;
+                println!("  {name:12} ${value:>10.2}");
+                Ok(())
+            })?;
+        Ok(())
+    })?;
+
+    // ---------------------------------------------------------------
+    // 5. Constraints abort violating transactions (§5).
+    // ---------------------------------------------------------------
+    let err = db
+        .transaction(|tx| tx.set(dram, "quantity", -1i64))
+        .unwrap_err();
+    println!("\nas expected, a bad update was rejected:\n  {err}");
+
+    // ---------------------------------------------------------------
+    // 6. Durability: close and reopen.
+    // ---------------------------------------------------------------
+    drop(db);
+    let db = Database::open(&dir)?;
+    let qty = db.transaction(|tx| tx.get(dram, "quantity")?.as_int().map_err(Into::into))?;
+    println!("\nafter reopen, dram quantity is still {qty}");
+    assert_eq!(qty, 7000);
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nquickstart complete.");
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! The paper's §3.1.1 example: iterating over cluster hierarchies.
+//!
+//! Builds the person/student/faculty hierarchy (with a diamond:
+//! teaching assistants are both), then reproduces the paper's
+//! income-averaging query — one `forall` over the `person` cluster with
+//! virtual `income()` dispatch and `is` type tests — and a join query
+//! with multiple loop variables (employee ⋈ department).
+//!
+//! Run with: `cargo run --example university`
+
+use ode::prelude::*;
+
+fn main() -> Result<()> {
+    let db = Database::in_memory();
+
+    // ----------------------------------------------------------- schema
+    db.define_class(
+        ClassBuilder::new("person")
+            .field("name", Type::Str)
+            .field_default("base_income", Type::Int, 0),
+    )?;
+    db.define_class(
+        ClassBuilder::new("student")
+            .base("person")
+            .field_default("stipend", Type::Int, 0),
+    )?;
+    db.define_class(
+        ClassBuilder::new("faculty")
+            .base("person")
+            .field_default("salary", Type::Int, 0)
+            .field_default("deptno", Type::Int, 0),
+    )?;
+    // Multiple inheritance with a shared (diamond) base.
+    db.define_class(ClassBuilder::new("teaching_assistant").base("student").base("faculty"))?;
+    db.define_class(
+        ClassBuilder::new("department")
+            .field("dname", Type::Str)
+            .field("dno", Type::Int),
+    )?;
+    for c in [
+        "person",
+        "student",
+        "faculty",
+        "teaching_assistant",
+        "department",
+    ] {
+        db.create_cluster(c)?;
+    }
+
+    // income(): the virtual member function of the paper's example.
+    db.register_method("person", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()?))
+    })?;
+    db.register_method("student", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()? + s.fields[2].as_int()?))
+    })?;
+    db.register_method("faculty", "income", |s, _| {
+        Ok(Value::Int(s.fields[1].as_int()? + s.fields[2].as_int()?))
+    })?;
+
+    // ------------------------------------------------------------- data
+    db.transaction(|tx| {
+        for (i, name) in ["ritchie", "thompson", "kernighan"].iter().enumerate() {
+            tx.pnew(
+                "department",
+                &[("dname", Value::from(format!("{name} lab"))), ("dno", Value::Int(i as i64))],
+            )?;
+        }
+        tx.pnew(
+            "person",
+            &[("name", Value::from("pat")), ("base_income", Value::Int(30_000))],
+        )?;
+        for (name, stipend) in [("sam", 12_000i64), ("sue", 15_000)] {
+            tx.pnew(
+                "student",
+                &[
+                    ("name", Value::from(name)),
+                    ("base_income", Value::Int(3_000)),
+                    ("stipend", Value::Int(stipend)),
+                ],
+            )?;
+        }
+        for (name, salary, dept) in [("fran", 90_000i64, 0i64), ("felix", 80_000, 1)] {
+            tx.pnew(
+                "faculty",
+                &[
+                    ("name", Value::from(name)),
+                    ("base_income", Value::Int(5_000)),
+                    ("salary", Value::Int(salary)),
+                    ("deptno", Value::Int(dept)),
+                ],
+            )?;
+        }
+        tx.pnew(
+            "teaching_assistant",
+            &[
+                ("name", Value::from("terry")),
+                ("base_income", Value::Int(2_000)),
+                ("stipend", Value::Int(8_000)),
+                ("salary", Value::Int(10_000)),
+                ("deptno", Value::Int(2)),
+            ],
+        )?;
+        Ok(())
+    })?;
+
+    // ----------------------------------------------------- §3.1.1 query
+    // "Compute the average income of persons, students and faculty" — one
+    // pass over the person cluster *hierarchy*.
+    db.transaction(|tx| {
+        let (mut inc_p, mut np) = (0i64, 0i64);
+        let (mut inc_s, mut ns) = (0i64, 0i64);
+        let (mut inc_f, mut nf) = (0i64, 0i64);
+        tx.forall("person")?.run(|tx, p| {
+            let income = tx.call(p, "income", &[])?.as_int()?;
+            inc_p += income;
+            np += 1;
+            if tx.instance_of(p, "student")? {
+                inc_s += income;
+                ns += 1;
+            } else if tx.instance_of(p, "faculty")? {
+                inc_f += income;
+                nf += 1;
+            }
+            Ok(())
+        })?;
+        println!("average income over the person hierarchy ({np} people):");
+        println!("  persons overall : {}", inc_p / np);
+        println!("  students ({ns})   : {}", inc_s / ns);
+        println!("  faculty  ({nf})   : {}", inc_f / nf);
+        Ok(())
+    })?;
+
+    // --------------------------------------------- §3.1 join query
+    // forall f in faculty, d in department suchthat (f.deptno == d.dno)
+    db.transaction(|tx| {
+        println!("\nfaculty ⋈ department (multiple loop variables):");
+        tx.forall_join(&[("f", "faculty"), ("d", "department")])?
+            .suchthat("f.deptno == d.dno")?
+            .run(|tx, b| {
+                println!(
+                    "  {:8} works in {}",
+                    tx.get(b["f"], "name")?.as_str()?,
+                    tx.get(b["d"], "dname")?.as_str()?
+                );
+                Ok(())
+            })?;
+        Ok(())
+    })?;
+
+    // --------------------------------------- suchthat + by on a subset
+    db.transaction(|tx| {
+        println!("\nstudents by descending income:");
+        let rows = tx
+            .forall("student")?
+            .by_desc("base_income + stipend")?
+            .collect_values("name")?;
+        for r in rows {
+            println!("  {}", r.as_str()?);
+        }
+        Ok(())
+    })?;
+
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! The paper's §4 facility: object versioning for historical databases.
+//!
+//! A contracts database where amendments create explicit versions
+//! (`newversion`), auditors hold *specific* (pinned) references, everyone
+//! else holds *generic* references that track the current version, and one
+//! contract branches into a version tree (the footnote-15 extension).
+//!
+//! Run with: `cargo run --example versioned_docs`
+
+use ode::prelude::*;
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("ode-versioned-docs");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir)?;
+
+    db.define_class(
+        ClassBuilder::new("contract")
+            .field("party", Type::Str)
+            .field("terms", Type::Str)
+            .field_default("fee", Type::Int, 0),
+    )?;
+    db.define_class(
+        ClassBuilder::new("audit_entry")
+            .field("note", Type::Str)
+            .field("snapshot", Type::VRef("contract".into())),
+    )?;
+    db.create_cluster("contract")?;
+    db.create_cluster("audit_entry")?;
+
+    // Original contract.
+    let contract = db.transaction(|tx| {
+        tx.pnew(
+            "contract",
+            &[
+                ("party", Value::from("western electric")),
+                ("terms", Value::from("net 30, 10k units")),
+                ("fee", Value::Int(50_000)),
+            ],
+        )
+    })?;
+
+    // The auditor pins the signing state with a specific reference.
+    let audit = db.transaction(|tx| {
+        let vref = tx.vref(contract)?;
+        tx.pnew(
+            "audit_entry",
+            &[
+                ("note", Value::from("as signed")),
+                ("snapshot", Value::VRef(vref)),
+            ],
+        )
+    })?;
+
+    // Two amendments, each an explicit newversion (§4: plain updates do
+    // NOT create versions).
+    db.transaction(|tx| {
+        tx.newversion(contract)?;
+        tx.update(contract, |w| {
+            w.set("terms", "net 45, 12k units")?;
+            w.set("fee", 60_000i64)
+        })
+    })?;
+    db.transaction(|tx| {
+        tx.newversion(contract)?;
+        tx.set(contract, "fee", 65_000i64)
+    })?;
+
+    db.transaction(|tx| {
+        println!("version history of the contract:");
+        for v in tx.versions(contract)? {
+            let s = tx.read_version(VersionRef { oid: contract, version: v })?;
+            let parent = tx.parent_version(VersionRef { oid: contract, version: v })?;
+            println!(
+                "  v{v} (parent {:?}): fee {}, terms {}",
+                parent, s.fields[2], s.fields[1]
+            );
+        }
+        // Generic reference → current version.
+        println!("current fee (generic ref): {}", tx.get(contract, "fee")?);
+        // The auditor's specific reference is frozen at v0.
+        let Value::VRef(pinned) = tx.get(audit, "snapshot")? else {
+            unreachable!()
+        };
+        let signed = tx.read_version(pinned)?;
+        println!("auditor's pinned fee (specific ref): {}", signed.fields[2]);
+        assert_eq!(signed.fields[2], Value::Int(50_000));
+        assert_eq!(tx.get(contract, "fee")?, Value::Int(65_000));
+        Ok(())
+    })?;
+
+    // Branch a renegotiation from v1 — a version *tree*.
+    db.transaction(|tx| {
+        let branch = tx.newversion_from(VersionRef { oid: contract, version: 1 })?;
+        tx.set(contract, "terms", "net 45, 12k units, renegotiated")?;
+        println!("\nbranched v{branch} from v1 (version tree):");
+        for v in tx.versions(contract)? {
+            let p = tx.parent_version(VersionRef { oid: contract, version: v })?;
+            println!("  v{v} <- parent {p:?}");
+        }
+        let kids = tx.child_versions(VersionRef { oid: contract, version: 1 })?;
+        assert_eq!(kids, vec![2, 3]);
+        Ok(())
+    })?;
+
+    // Everything survives a reopen.
+    drop(db);
+    let db = Database::open(&dir)?;
+    db.transaction(|tx| {
+        assert_eq!(tx.versions(contract)?.len(), 4);
+        assert_eq!(
+            tx.get(contract, "terms")?,
+            Value::from("net 45, 12k units, renegotiated")
+        );
+        Ok(())
+    })?;
+    println!("\nversion tree intact after reopen.");
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # Ode: Object Database and Environment
+//!
+//! A Rust reproduction of the object database described in Agrawal &
+//! Gehani, *"ODE (Object Database and Environment): The Language and the
+//! Data Model"*, SIGMOD 1989.
+//!
+//! This facade crate re-exports the three layers:
+//!
+//! * [`storage`] — the persistent-store substrate (pager, buffer pool,
+//!   slotted heap files, write-ahead log),
+//! * [`model`] — the O++ data model (classes with multiple inheritance,
+//!   values, the expression language used for `suchthat`/`by`/constraints/
+//!   trigger conditions),
+//! * [`core`] — the engine: persistent objects and clusters, declarative
+//!   iteration, fixpoint queries, versions, constraints, and triggers.
+//!
+//! See `README.md` for a tour and `examples/` for runnable programs that
+//! mirror the paper's own examples.
+
+pub use ode_core as core;
+pub use ode_model as model;
+pub use ode_storage as storage;
+
+pub use ode_core::prelude;

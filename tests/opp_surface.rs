@@ -1,0 +1,267 @@
+//! End-to-end tests of the O++-flavoured *surface syntax*: schemas defined
+//! from declaration text and queries run from `forall …` statements — the
+//! paper's "one integrated language" experience.
+
+use ode::prelude::*;
+
+fn university() -> Database {
+    let db = Database::in_memory();
+    db.define_from_source(
+        r#"
+        // §3.1.1's hierarchy, §5's constraint, §6's trigger — as text.
+        class person {
+            string name;
+            int    income = 0;
+            constraint: income >= 0;
+        }
+        class student : public person {
+            int stipend = 0;
+        }
+        class faculty : public person {
+            int salary = 0;
+            int deptno = 0;
+        }
+        class teaching_assistant : public student, public faculty { }
+        class department {
+            string dname;
+            int    dno;
+        }
+        class stockitem {
+            string name;
+            int    quantity = 100;
+            int    reorder_level = 10;
+            int    on_order = 0;
+            trigger reorder(amount) : quantity <= reorder_level {
+                on_order = on_order + $amount;
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    for c in [
+        "person",
+        "student",
+        "faculty",
+        "teaching_assistant",
+        "department",
+        "stockitem",
+    ] {
+        db.create_cluster(c).unwrap();
+    }
+    db.transaction(|tx| {
+        for d in 0..3i64 {
+            tx.pnew(
+                "department",
+                &[
+                    ("dname", Value::from(format!("dept-{d}"))),
+                    ("dno", Value::Int(d)),
+                ],
+            )?;
+        }
+        tx.pnew(
+            "person",
+            &[("name", Value::from("pat")), ("income", Value::Int(100))],
+        )?;
+        tx.pnew(
+            "student",
+            &[("name", Value::from("sam")), ("income", Value::Int(20))],
+        )?;
+        for (n, d) in [("fran", 0i64), ("felix", 1), ("fay", 1)] {
+            tx.pnew(
+                "faculty",
+                &[
+                    ("name", Value::from(n)),
+                    ("income", Value::Int(500)),
+                    ("deptno", Value::Int(d)),
+                ],
+            )?;
+        }
+        tx.pnew(
+            "teaching_assistant",
+            &[("name", Value::from("terry")), ("income", Value::Int(30))],
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+#[test]
+fn single_variable_statement_with_hierarchy() {
+    let db = university();
+    let mut tx = db.begin();
+    // Deep by default: all 6 persons.
+    assert_eq!(tx.query("forall p in person").unwrap().len(), 6);
+    // `only` restricts to the exact class.
+    assert_eq!(tx.query("forall p in only person").unwrap().len(), 1);
+    // `for all` spelling, suchthat, ordering.
+    let rows = tx
+        .query("for all p in person suchthat (income >= 100) by (name) desc")
+        .unwrap();
+    let names: Vec<String> = rows
+        .oids()
+        .unwrap()
+        .into_iter()
+        .map(|o| tx.get(o, "name").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["pat", "fran", "felix", "fay"]);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn bound_variable_enables_is_tests_and_qualified_fields() {
+    let db = university();
+    let mut tx = db.begin();
+    // `p is student` — the §3.1.1 idiom, directly in the statement.
+    let students = tx
+        .query("forall p in person suchthat (p is student)")
+        .unwrap();
+    assert_eq!(students.len(), 2); // sam + terry
+    // Qualified and bare field references may mix.
+    let rich_students = tx
+        .query("forall p in person suchthat (p is student && p.income > 25)")
+        .unwrap();
+    assert_eq!(rich_students.len(), 1); // terry
+    tx.commit().unwrap();
+}
+
+#[test]
+fn join_statement() {
+    let db = university();
+    let mut tx = db.begin();
+    let rows = tx
+        .query("forall f in faculty, d in department suchthat (f.deptno == d.dno)")
+        .unwrap();
+    assert_eq!(rows.vars, vec!["f", "d"]);
+    assert_eq!(rows.len(), 4); // fran→0, felix→1, fay→1, terry→0
+    for m in rows.maps() {
+        let f = m["f"];
+        let d = m["d"];
+        assert_eq!(
+            tx.get(f, "deptno").unwrap(),
+            tx.get(d, "dno").unwrap()
+        );
+    }
+    tx.commit().unwrap();
+}
+
+#[test]
+fn query_run_callback_form() {
+    let db = university();
+    let mut tx = db.begin();
+    let mut total = 0i64;
+    let n = tx
+        .query_run("forall p in person suchthat (income > 0)", |tx, m| {
+            total += tx.get(m["p"], "income")?.as_int()?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(n, 6);
+    assert_eq!(total, 100 + 20 + 500 * 3 + 30);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn statement_queries_use_indexes() {
+    let db = university();
+    db.create_index("person", "income").unwrap();
+    let mut tx = db.begin();
+    // Qualified conjunct over the indexed field plans through the index
+    // (equivalence checked against the unindexed answer).
+    let via_stmt = tx
+        .query("forall p in person suchthat (p.income == 500)")
+        .unwrap()
+        .len();
+    assert_eq!(via_stmt, 3);
+    let bare = tx
+        .query("forall p in person suchthat (income == 500)")
+        .unwrap()
+        .len();
+    assert_eq!(bare, 3);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn text_defined_triggers_fire() {
+    let db = university();
+    let oid = db
+        .transaction(|tx| {
+            let oid = tx
+                .query("forall s in stockitem")?
+                .oids()?
+                .first()
+                .copied();
+            let oid = match oid {
+                Some(o) => o,
+                None => tx.pnew("stockitem", &[("name", Value::from("dram"))])?,
+            };
+            tx.activate_trigger(oid, "reorder", vec![Value::Int(250)])?;
+            Ok(oid)
+        })
+        .unwrap();
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    let info = tx.commit().unwrap();
+    assert_eq!(info.fired.len(), 1);
+    db.transaction(|tx| {
+        assert_eq!(tx.get(oid, "on_order")?, Value::Int(250));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn text_defined_constraints_enforce() {
+    let db = university();
+    let err = db
+        .transaction(|tx| {
+            tx.pnew(
+                "person",
+                &[("name", Value::from("broke")), ("income", Value::Int(-1))],
+            )
+        })
+        .unwrap_err();
+    assert!(matches!(err, ode::core::OdeError::ConstraintViolation { .. }));
+}
+
+#[test]
+fn text_schema_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("ode-opp-reopen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open(&dir).unwrap();
+        db.define_from_source(
+            "class doc { string title; int rev = 0; constraint: rev >= 0; }",
+        )
+        .unwrap();
+        db.create_cluster("doc").unwrap();
+        db.transaction(|tx| tx.pnew("doc", &[("title", Value::from("spec"))]))
+            .unwrap();
+    }
+    {
+        let db = Database::open(&dir).unwrap();
+        let mut tx = db.begin();
+        assert_eq!(tx.query("forall d in doc").unwrap().len(), 1);
+        tx.commit().unwrap();
+        // Constraint still enforced after catalog reload.
+        assert!(db
+            .transaction(|tx| tx.pnew("doc", &[("rev", Value::Int(-1))]))
+            .is_err());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_statements_report_errors() {
+    let db = university();
+    let mut tx = db.begin();
+    assert!(tx.query("forall p in ghost_class").is_err());
+    assert!(tx.query("forall p in person by (name), q in person").is_err());
+    assert!(tx
+        .query("forall a in person, b in person by (name)")
+        .is_err(), "by on joins is rejected");
+    assert!(tx
+        .query("forall a in only person, b in person suchthat (a.income == b.income)")
+        .is_err(), "only on join variables is rejected");
+    tx.commit().unwrap();
+}

@@ -1,0 +1,287 @@
+//! Full walkthrough of the paper in one durable database: every linguistic
+//! facility of O++ (ODE, SIGMOD 1989) exercised end-to-end, with a
+//! close/reopen in the middle to prove the whole state is persistent.
+
+use ode::prelude::*;
+use ode::model::SetValue;
+
+fn temp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ode-walkthrough-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn the_whole_paper() {
+    let dir = temp("all");
+
+    // Object ids captured in phase one, used after reopen.
+    let dram;
+    let fran;
+    let engine_part;
+
+    // ------------------------------------------------------- phase one
+    {
+        let db = Database::open(&dir).unwrap();
+
+        // §2: classes with encapsulation and multiple inheritance.
+        db.define_class(
+            ClassBuilder::new("person")
+                .field("name", Type::Str)
+                .field_default("income", Type::Int, 0),
+        )
+        .unwrap();
+        db.define_class(
+            ClassBuilder::new("student")
+                .base("person")
+                .field_default("stipend", Type::Int, 0),
+        )
+        .unwrap();
+        db.define_class(
+            ClassBuilder::new("faculty")
+                .base("person")
+                .field_default("salary", Type::Int, 0),
+        )
+        .unwrap();
+        // §5: constraint-based specialization.
+        db.define_class(
+            ClassBuilder::new("female")
+                .base("person")
+                .field("sex", Type::Str)
+                .constraint("sex == 'f' || sex == 'F'"),
+        )
+        .unwrap();
+        // §2.3 + §6: the stockitem with constraint and trigger.
+        db.define_class(
+            ClassBuilder::new("stockitem")
+                .field("name", Type::Str)
+                .field_default("quantity", Type::Int, 0)
+                .field_default("reorder_level", Type::Int, 0)
+                .field_default("on_order", Type::Int, 0)
+                .constraint("quantity >= 0")
+                .trigger("reorder", &["amount"], false, "quantity <= reorder_level")
+                .action_assign("on_order", "$amount"),
+        )
+        .unwrap();
+        // §2.6 + §3.2: parts with set-valued members.
+        db.define_class(
+            ClassBuilder::new("part")
+                .field("pname", Type::Str)
+                .field_default(
+                    "subparts",
+                    Type::Set(Box::new(Type::Ref("part".into()))),
+                    Value::Set(SetValue::new()),
+                ),
+        )
+        .unwrap();
+
+        // §2.5: clusters must exist before pnew.
+        for c in ["person", "student", "faculty", "female", "stockitem", "part"] {
+            db.create_cluster(c).unwrap();
+        }
+
+        // §2.4: pnew; §4: versioning.
+        let ids = db
+            .transaction(|tx| {
+                let dram = tx.pnew(
+                    "stockitem",
+                    &[
+                        ("name", Value::from("512 dram")),
+                        ("quantity", Value::Int(100)),
+                        ("reorder_level", Value::Int(10)),
+                    ],
+                )?;
+                tx.pnew(
+                    "person",
+                    &[("name", Value::from("pat")), ("income", Value::Int(30_000))],
+                )?;
+                tx.pnew(
+                    "student",
+                    &[("name", Value::from("sam")), ("income", Value::Int(8_000))],
+                )?;
+                let fran = tx.pnew(
+                    "faculty",
+                    &[("name", Value::from("fran")), ("income", Value::Int(60_000))],
+                )?;
+                tx.pnew(
+                    "female",
+                    &[
+                        ("name", Value::from("f. lovelace")),
+                        ("sex", Value::from("f")),
+                        ("income", Value::Int(90_000)),
+                    ],
+                )?;
+                // Bill of materials with object references in sets.
+                let bolt = tx.pnew("part", &[("pname", Value::from("bolt"))])?;
+                let block = tx.pnew("part", &[("pname", Value::from("block"))])?;
+                tx.set_insert(block, "subparts", Value::Ref(bolt))?;
+                let engine = tx.pnew("part", &[("pname", Value::from("engine"))])?;
+                tx.set_insert(engine, "subparts", Value::Ref(block))?;
+                Ok((dram, fran, engine))
+            })
+            .unwrap();
+        dram = ids.0;
+        fran = ids.1;
+        engine_part = ids.2;
+
+        // §4: newversion + specific refs.
+        db.transaction(|tx| {
+            tx.newversion(dram)?;
+            tx.set(dram, "quantity", 80i64)?;
+            Ok(())
+        })
+        .unwrap();
+
+        // §6: activate the reorder trigger.
+        db.transaction(|tx| {
+            tx.activate_trigger(dram, "reorder", vec![Value::Int(500)])?;
+            Ok(())
+        })
+        .unwrap();
+
+        // §5: constraint violations abort.
+        assert!(db
+            .transaction(|tx| tx.set(dram, "quantity", -5i64))
+            .is_err());
+        // The female specialization rejects wrong data.
+        assert!(db
+            .transaction(|tx| tx.pnew(
+                "female",
+                &[("name", Value::from("x")), ("sex", Value::from("m"))],
+            ))
+            .is_err());
+
+        // §3.1: indexes for query optimization.
+        db.create_index("person", "income").unwrap();
+    }
+
+    // ---------------------------------------------------- phase two
+    // Everything persisted: schema, objects, versions, activations, index.
+    {
+        let db = Database::open(&dir).unwrap();
+
+        // §3.1.1: hierarchy iteration with `is`.
+        db.transaction(|tx| {
+            let mut names = Vec::new();
+            tx.forall("person")?
+                .suchthat("income >= 30000")?
+                .by("name")?
+                .run(|tx, p| {
+                    let mut tag = "person";
+                    if tx.instance_of(p, "faculty")? {
+                        tag = "faculty";
+                    } else if tx.instance_of(p, "female")? {
+                        tag = "female";
+                    }
+                    names.push(format!("{} ({tag})", tx.get(p, "name")?.as_str()?));
+                    Ok(())
+                })?;
+            assert_eq!(
+                names,
+                vec![
+                    "f. lovelace (female)".to_string(),
+                    "fran (faculty)".to_string(),
+                    "pat (person)".to_string(),
+                ]
+            );
+            Ok(())
+        })
+        .unwrap();
+
+        // Versions survived.
+        db.transaction(|tx| {
+            assert_eq!(tx.versions(dram)?, vec![0, 1]);
+            let signed = tx.read_version(VersionRef { oid: dram, version: 0 })?;
+            let qty_field = 1; // name, quantity, ...
+            assert_eq!(signed.fields[qty_field], Value::Int(100));
+            assert_eq!(tx.get(dram, "quantity")?, Value::Int(80));
+            Ok(())
+        })
+        .unwrap();
+
+        // §6: the persisted trigger fires at the right commit.
+        let mut tx = db.begin();
+        tx.set(dram, "quantity", 5i64).unwrap();
+        let info = tx.commit().unwrap();
+        assert_eq!(info.fired.len(), 1);
+        db.transaction(|tx| {
+            assert_eq!(tx.get(dram, "on_order")?, Value::Int(500));
+            Ok(())
+        })
+        .unwrap();
+
+        // §3.2: set-based traversal of the BOM with object refs.
+        db.transaction(|tx| {
+            let mut reachable = Vec::new();
+            let mut frontier = vec![engine_part];
+            while let Some(p) = frontier.pop() {
+                reachable.push(tx.get(p, "pname")?.as_str()?.to_string());
+                let subs = tx.get(p, "subparts")?;
+                for v in subs.as_set()?.iter() {
+                    frontier.push(v.as_ref_oid()?);
+                }
+            }
+            reachable.sort();
+            assert_eq!(reachable, vec!["block", "bolt", "engine"]);
+            Ok(())
+        })
+        .unwrap();
+
+        // §2.4: pdelete.
+        db.transaction(|tx| tx.pdelete(fran)).unwrap();
+        assert_eq!(db.extent_size("faculty", true).unwrap(), 0);
+        // Dangling references report cleanly.
+        let tx = db.begin();
+        assert!(tx.read(fran).is_err());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schema_errors_are_rejected_up_front() {
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("a").field("x", Type::Int))
+        .unwrap();
+    // Unknown base class.
+    assert!(db
+        .define_class(ClassBuilder::new("b").base("ghost"))
+        .is_err());
+    // Duplicate class.
+    assert!(db.define_class(ClassBuilder::new("a")).is_err());
+    // Constraint referencing an unknown field.
+    assert!(db
+        .define_class(ClassBuilder::new("c").field("y", Type::Int).constraint("z > 0"))
+        .is_err());
+    // Cluster for an unknown class.
+    assert!(db.create_cluster("ghost").is_err());
+    // Index on an unknown field.
+    assert!(db.create_index("a", "ghost").is_err());
+}
+
+#[test]
+fn destroy_cluster_removes_objects_and_metadata() {
+    let db = Database::in_memory();
+    db.define_class(ClassBuilder::new("tmp").field("v", Type::Int))
+        .unwrap();
+    db.create_cluster("tmp").unwrap();
+    db.create_index("tmp", "v").unwrap();
+    db.transaction(|tx| {
+        for i in 0..50 {
+            tx.pnew("tmp", &[("v", Value::Int(i))])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(db.extent_size("tmp", true).unwrap(), 50);
+    db.destroy_cluster("tmp").unwrap();
+    assert!(!db.has_cluster("tmp"));
+    // Re-creating yields an empty extent and queries still work.
+    db.create_cluster("tmp").unwrap();
+    assert_eq!(db.extent_size("tmp", true).unwrap(), 0);
+    db.transaction(|tx| {
+        assert_eq!(tx.forall("tmp")?.suchthat("v == 1")?.count()?, 0);
+        Ok(())
+    })
+    .unwrap();
+}

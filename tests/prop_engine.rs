@@ -1,0 +1,162 @@
+//! Property-based testing of the engine against a reference model.
+//!
+//! A random sequence of operations (create / update / delete / newversion /
+//! abort / reopen) is applied both to a durable Ode database and to a plain
+//! in-process model. After every transaction boundary the two must agree on
+//! every object's current state, its version history, and the extent
+//! contents. Reopen steps exercise catalog replay, WAL replay, and index
+//! rebuild under arbitrary interleavings.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ode::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    New { qty: i64 },
+    Set { pick: usize, qty: i64 },
+    Delete { pick: usize },
+    NewVersion { pick: usize },
+    AbortedTxn { pick: usize, qty: i64 },
+    Reopen,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..1000).prop_map(|qty| Op::New { qty }),
+        4 => (any::<usize>(), 0i64..1000).prop_map(|(pick, qty)| Op::Set { pick, qty }),
+        1 => any::<usize>().prop_map(|pick| Op::Delete { pick }),
+        2 => any::<usize>().prop_map(|pick| Op::NewVersion { pick }),
+        1 => (any::<usize>(), 0i64..1000).prop_map(|(pick, qty)| Op::AbortedTxn { pick, qty }),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+#[derive(Debug, Clone, Default)]
+struct ModelObj {
+    qty: i64,
+    /// Frozen version states (version number -> qty); current is `qty`.
+    versions: Vec<i64>,
+}
+
+fn setup(dir: &std::path::Path) -> Database {
+    let db = Database::open(dir).unwrap();
+    if !db.has_cluster("item") {
+        db.define_class(
+            ClassBuilder::new("item")
+                .field_default("qty", Type::Int, 0)
+                .constraint("qty >= 0"),
+        )
+        .unwrap();
+        db.create_cluster("item").unwrap();
+        db.create_index("item", "qty").unwrap();
+    }
+    db
+}
+
+fn check(db: &Database, model: &HashMap<Oid, ModelObj>) {
+    let mut tx = db.begin();
+    // Extent agreement.
+    let oids = tx.forall("item").unwrap().collect_oids().unwrap();
+    assert_eq!(oids.len(), model.len(), "extent size");
+    for oid in &oids {
+        assert!(model.contains_key(oid), "unexpected object {oid}");
+    }
+    for (oid, m) in model {
+        // Current state.
+        assert_eq!(
+            tx.get(*oid, "qty").unwrap(),
+            Value::Int(m.qty),
+            "current qty of {oid}"
+        );
+        // Version history: model.versions[i] = frozen qty of version i.
+        let versions = tx.versions(*oid).unwrap();
+        assert_eq!(versions.len(), m.versions.len() + 1, "version count of {oid}");
+        for (i, frozen) in m.versions.iter().enumerate() {
+            let s = tx
+                .read_version(VersionRef { oid: *oid, version: i as u32 })
+                .unwrap();
+            assert_eq!(s.fields[0], Value::Int(*frozen), "version {i} of {oid}");
+        }
+        // Index agreement (query through the indexed field).
+        let hits = tx
+            .forall("item")
+            .unwrap()
+            .suchthat(&format!("qty == {}", m.qty))
+            .unwrap()
+            .collect_oids()
+            .unwrap();
+        assert!(hits.contains(oid), "index lookup must find {oid}");
+    }
+    tx.commit().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_reference_model(
+        ops in prop::collection::vec(op(), 1..40),
+        case in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "ode-prop-engine-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = setup(&dir);
+        let mut model: HashMap<Oid, ModelObj> = HashMap::new();
+        let mut order: Vec<Oid> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::New { qty } => {
+                    let oid = db
+                        .transaction(|tx| tx.pnew("item", &[("qty", Value::Int(qty))]))
+                        .unwrap();
+                    model.insert(oid, ModelObj { qty, versions: Vec::new() });
+                    order.push(oid);
+                }
+                Op::Set { pick, qty } => {
+                    if order.is_empty() { continue; }
+                    let oid = order[pick % order.len()];
+                    db.transaction(|tx| tx.set(oid, "qty", qty)).unwrap();
+                    model.get_mut(&oid).unwrap().qty = qty;
+                }
+                Op::Delete { pick } => {
+                    if order.is_empty() { continue; }
+                    let oid = order[pick % order.len()];
+                    db.transaction(|tx| tx.pdelete(oid)).unwrap();
+                    model.remove(&oid);
+                    order.retain(|&o| o != oid);
+                }
+                Op::NewVersion { pick } => {
+                    if order.is_empty() { continue; }
+                    let oid = order[pick % order.len()];
+                    db.transaction(|tx| { tx.newversion(oid)?; Ok(()) }).unwrap();
+                    let m = model.get_mut(&oid).unwrap();
+                    let frozen = m.qty;
+                    m.versions.push(frozen);
+                }
+                Op::AbortedTxn { pick, qty } => {
+                    if order.is_empty() { continue; }
+                    let oid = order[pick % order.len()];
+                    let mut tx = db.begin();
+                    tx.set(oid, "qty", qty).unwrap();
+                    tx.newversion(oid).unwrap();
+                    tx.abort();
+                    // Model unchanged.
+                }
+                Op::Reopen => {
+                    drop(db);
+                    db = setup(&dir);
+                }
+            }
+            check(&db, &model);
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,152 @@
+//! Soak test: a sustained mixed workload against a durable database with
+//! periodic reopens, checking global invariants throughout. Deterministic
+//! (seeded RNG), sized to run in a few seconds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ode::prelude::*;
+
+const ROUNDS: usize = 6;
+const OPS_PER_ROUND: usize = 300;
+
+struct Model {
+    /// (oid, expected qty, expected versions)
+    live: Vec<(Oid, i64, usize)>,
+    total_created: usize,
+    total_deleted: usize,
+}
+
+#[test]
+fn mixed_workload_with_reopens_keeps_invariants() {
+    let dir = std::env::temp_dir().join(format!("ode-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    let mut model = Model {
+        live: Vec::new(),
+        total_created: 0,
+        total_deleted: 0,
+    };
+
+    for round in 0..ROUNDS {
+        let db = Database::open(&dir).unwrap();
+        if round == 0 {
+            db.define_from_source(
+                r#"
+                class item {
+                    string name;
+                    int qty = 0;
+                    int touched = 0;
+                    constraint: qty >= 0;
+                }
+                "#,
+            )
+            .unwrap();
+            db.create_cluster("item").unwrap();
+            db.create_index("item", "qty").unwrap();
+        }
+
+        for _ in 0..OPS_PER_ROUND {
+            match rng.gen_range(0..100) {
+                // 40%: create
+                0..=39 => {
+                    let qty = rng.gen_range(0..1000i64);
+                    let oid = db
+                        .transaction(|tx| {
+                            tx.pnew(
+                                "item",
+                                &[
+                                    ("name", Value::from(format!("i{}", model.total_created))),
+                                    ("qty", Value::Int(qty)),
+                                ],
+                            )
+                        })
+                        .unwrap();
+                    model.live.push((oid, qty, 1));
+                    model.total_created += 1;
+                }
+                // 30%: update a random object
+                40..=69 if !model.live.is_empty() => {
+                    let i = rng.gen_range(0..model.live.len());
+                    let qty = rng.gen_range(0..1000i64);
+                    let (oid, ..) = model.live[i];
+                    db.transaction(|tx| {
+                        tx.update(oid, |w| {
+                            w.set("qty", qty)?;
+                            let t = w.get("touched")?.as_int()?;
+                            w.set("touched", t + 1)
+                        })
+                    })
+                    .unwrap();
+                    model.live[i].1 = qty;
+                }
+                // 10%: newversion
+                70..=79 if !model.live.is_empty() => {
+                    let i = rng.gen_range(0..model.live.len());
+                    let (oid, ..) = model.live[i];
+                    db.transaction(|tx| {
+                        tx.newversion(oid)?;
+                        Ok(())
+                    })
+                    .unwrap();
+                    model.live[i].2 += 1;
+                }
+                // 10%: delete
+                80..=89 if !model.live.is_empty() => {
+                    let i = rng.gen_range(0..model.live.len());
+                    let (oid, ..) = model.live.swap_remove(i);
+                    db.transaction(|tx| tx.pdelete(oid)).unwrap();
+                    model.total_deleted += 1;
+                }
+                // 5%: aborted transaction (must leave no trace)
+                90..=94 if !model.live.is_empty() => {
+                    let i = rng.gen_range(0..model.live.len());
+                    let (oid, ..) = model.live[i];
+                    let mut tx = db.begin();
+                    tx.set(oid, "qty", 999_999i64).unwrap();
+                    tx.newversion(oid).unwrap();
+                    let _ = tx.pnew("item", &[("name", Value::from("ghost"))]).unwrap();
+                    tx.abort();
+                }
+                // 5%: constraint violation (auto-rolled back)
+                _ if !model.live.is_empty() => {
+                    let i = rng.gen_range(0..model.live.len());
+                    let (oid, ..) = model.live[i];
+                    let mut tx = db.begin();
+                    assert!(tx.set(oid, "qty", -1i64).is_err());
+                    drop(tx);
+                }
+                _ => {}
+            }
+        }
+
+        // Invariants at the end of every round.
+        assert_eq!(
+            db.extent_size("item", true).unwrap(),
+            model.live.len(),
+            "extent size after round {round}"
+        );
+        db.transaction(|tx| {
+            // Spot-check a sample of objects exactly.
+            for &(oid, qty, versions) in model.live.iter().take(40) {
+                assert_eq!(tx.get(oid, "qty")?, Value::Int(qty), "{oid} qty");
+                assert_eq!(tx.versions(oid)?.len(), versions, "{oid} versions");
+            }
+            // Index agrees with a manual count for a random cut.
+            let cut = 500i64;
+            let via_index = tx
+                .forall("item")?
+                .suchthat(&format!("qty < {cut}"))?
+                .count()?;
+            let manual = model.live.iter().filter(|(_, q, _)| *q < cut).count();
+            assert_eq!(via_index, manual, "index agreement after round {round}");
+            Ok(())
+        })
+        .unwrap();
+        // Close (checkpoints) and reopen next round.
+    }
+
+    assert!(model.total_created > 400, "workload actually ran");
+    assert!(model.total_deleted > 50);
+    std::fs::remove_dir_all(&dir).ok();
+}
