@@ -38,10 +38,7 @@ fn bench(c: &mut Criterion) {
     // Deep vs shallow over the hierarchy (same per-class size).
     let db = workload::university_db(5_000);
     g.bench_function("deep_20k_person_hierarchy", |b| {
-        b.iter(|| {
-            db.transaction(|tx| tx.forall("person")?.count())
-                .unwrap()
-        })
+        b.iter(|| db.transaction(|tx| tx.forall("person")?.count()).unwrap())
     });
     g.bench_function("shallow_5k_person_only", |b| {
         b.iter(|| {

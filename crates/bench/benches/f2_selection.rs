@@ -26,17 +26,13 @@ fn bench(c: &mut Criterion) {
     for &permille in &[1usize, 10, 100, 500] {
         let k = N * permille / 1000;
         let pred = format!("quantity < {k}");
-        g.bench_with_input(
-            BenchmarkId::new("full_scan", permille),
-            &pred,
-            |b, pred| {
-                b.iter(|| {
-                    scan_db
-                        .transaction(|tx| tx.forall("stockitem")?.suchthat(pred)?.count())
-                        .unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("full_scan", permille), &pred, |b, pred| {
+            b.iter(|| {
+                scan_db
+                    .transaction(|tx| tx.forall("stockitem")?.suchthat(pred)?.count())
+                    .unwrap()
+            })
+        });
         g.bench_with_input(BenchmarkId::new("index", permille), &pred, |b, pred| {
             b.iter(|| {
                 ix_db

@@ -121,13 +121,17 @@ fn bench(c: &mut Criterion) {
         let (db, root, parts) = workload::bom_db(depth, fanout);
         let edges = workload::bom_edges(&db);
 
-        g.bench_with_input(BenchmarkId::new("ode_cluster_fixpoint", &tag), &(), |b, _| {
-            b.iter(|| {
-                let n = ode_cluster_fixpoint(&db, &root);
-                assert_eq!(n, parts);
-                n
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ode_cluster_fixpoint", &tag),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let n = ode_cluster_fixpoint(&db, &root);
+                    assert_eq!(n, parts);
+                    n
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("ode_set_fixpoint", &tag), &(), |b, _| {
             b.iter(|| {
                 let n = ode_set_fixpoint(&db, &root);

@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("update_commit", n), &(), |b, _| {
             b.iter(|| {
                 next += 1;
-                db.transaction(|tx| tx.set(oid, "quantity", next % 1000)).unwrap()
+                db.transaction(|tx| tx.set(oid, "quantity", next % 1000))
+                    .unwrap()
             })
         });
     }

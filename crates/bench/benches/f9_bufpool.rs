@@ -40,7 +40,8 @@ fn file_db(tag: &str, pool_pages: usize) -> Database {
 }
 
 fn scan(db: &Database) -> usize {
-    db.transaction(|tx| tx.forall("stockitem")?.count()).unwrap()
+    db.transaction(|tx| tx.forall("stockitem")?.count())
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {

@@ -45,7 +45,8 @@ fn f1_cluster_scan() {
     for &n in &[1_000usize, 10_000, 50_000] {
         let (db, _) = workload::inventory_db(n, false);
         let us = time_us(5, || {
-            db.transaction(|tx| tx.forall("stockitem")?.count()).unwrap();
+            db.transaction(|tx| tx.forall("stockitem")?.count())
+                .unwrap();
         });
         println!("| {n} | {} | {:.0} |", fmt_us(us), n as f64 / (us / 1e6));
     }
@@ -148,7 +149,9 @@ fn f3_join() {
 
 fn f4_fixpoint() {
     println!("\n## F4 — fixpoint query evaluation (§3.2)\n");
-    println!("| BOM (depth×fanout) | ode cluster fixpoint | ode set fixpoint | semi-naive | naive |");
+    println!(
+        "| BOM (depth×fanout) | ode cluster fixpoint | ode set fixpoint | semi-naive | naive |"
+    );
     println!("|---|---|---|---|---|");
     for &(depth, fanout) in &[(8usize, 8usize), (32, 8), (64, 16)] {
         let (db, root, parts) = workload::bom_db(depth, fanout);
@@ -301,7 +304,8 @@ fn f6_constraints() {
         let mut v = 0i64;
         let us = time_us(7, || {
             v += 1;
-            db.transaction(|tx| tx.set(oid, "quantity", v % 1000)).unwrap();
+            db.transaction(|tx| tx.set(oid, "quantity", v % 1000))
+                .unwrap();
         });
         println!("| {n} | {} |", fmt_us(us));
     }
@@ -356,10 +360,7 @@ fn f8_commit() {
                 db.transaction(|tx| {
                     for _ in 0..batch {
                         serial += 1;
-                        tx.pnew(
-                            "stockitem",
-                            &[("name", Value::from(format!("i{serial}")))],
-                        )?;
+                        tx.pnew("stockitem", &[("name", Value::from(format!("i{serial}")))])?;
                     }
                     Ok(())
                 })
@@ -398,12 +399,14 @@ fn f9_bufpool() {
         workload::fill_inventory(&db, N);
         db.checkpoint().unwrap();
         // Warm pass, then measure.
-        db.transaction(|tx| tx.forall("stockitem")?.count()).unwrap();
+        db.transaction(|tx| tx.forall("stockitem")?.count())
+            .unwrap();
         db.reset_store_stats();
         let mut scans = 0u64;
         let us = time_us(5, || {
             scans += 1;
-            db.transaction(|tx| tx.forall("stockitem")?.count()).unwrap();
+            db.transaction(|tx| tx.forall("stockitem")?.count())
+                .unwrap();
         });
         let stats = db.store_stats();
         let total = stats.pager.hits + stats.pager.misses;
@@ -490,9 +493,85 @@ fn a1_predicate() {
     });
     println!("| strategy | time | vs native |");
     println!("|---|---|---|");
-    println!("| interpreted suchthat | {} | {:.1}x |", fmt_us(interp), interp / native);
+    println!(
+        "| interpreted suchthat | {} | {:.1}x |",
+        fmt_us(interp),
+        interp / native
+    );
     println!("| native closure | {} | 1.0x |", fmt_us(native));
-    println!("| index + recheck | {} | {:.2}x |", fmt_us(indexed), indexed / native);
+    println!(
+        "| index + recheck | {} | {:.2}x |",
+        fmt_us(indexed),
+        indexed / native
+    );
+}
+
+fn t1_telemetry() {
+    println!("\n## T1 — engine telemetry by workload phase\n");
+    println!("`Database::telemetry()` JSON snapshots, counters reset between phases.");
+    let dir = workload::temp_dir("report-t1");
+    let db = Database::open_with(
+        &dir,
+        FileStoreOptions {
+            sync_commits: false,
+            ..FileStoreOptions::default()
+        },
+        DbConfig::default(),
+    )
+    .unwrap();
+    workload::define_inventory(&db);
+    db.create_index("stockitem", "quantity").unwrap();
+    db.define_class(
+        ClassBuilder::new("watched")
+            .field_default("quantity", Type::Int, 100)
+            .field_default("on_order", Type::Int, 0)
+            .trigger("reorder", &[], false, "quantity < 10")
+            .action_assign("on_order", "on_order + 1"),
+    )
+    .unwrap();
+    db.create_cluster("watched").unwrap();
+
+    // Phase 1: bulk load.
+    db.reset_telemetry();
+    workload::fill_inventory(&db, 5_000);
+    let watched = db.transaction(|tx| tx.pnew("watched", &[])).unwrap();
+    println!("\n### load\n\n```json\n{}\n```", db.telemetry().to_json());
+
+    // Phase 2: queries — one indexed probe, one deep scan, one fixpoint-free
+    // aggregate, so the query section shows both plan families.
+    db.reset_telemetry();
+    db.transaction(|tx| {
+        tx.forall("stockitem")?
+            .suchthat("quantity == 42")?
+            .count()?;
+        tx.forall("stockitem")?
+            .suchthat("supplier == \"acme\"")?
+            .count()?;
+        tx.forall("stockitem")?.count()
+    })
+    .unwrap();
+    println!(
+        "\n### queries\n\n```json\n{}\n```",
+        db.telemetry().to_json()
+    );
+
+    // Phase 3: triggers — activate, trip, and let the once-only trigger fire
+    // in its weak-coupled transaction.
+    db.reset_telemetry();
+    db.transaction(|tx| {
+        tx.activate_trigger(watched, "reorder", vec![])?;
+        Ok(())
+    })
+    .unwrap();
+    db.transaction(|tx| tx.set(watched, "quantity", 5i64))
+        .unwrap();
+    println!(
+        "\n### triggers\n\n```json\n{}\n```",
+        db.telemetry().to_json()
+    );
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn main() {
@@ -510,5 +589,6 @@ fn main() {
     f9_bufpool();
     f10_sets();
     a1_predicate();
+    t1_telemetry();
     println!("\ndone.");
 }

@@ -110,15 +110,24 @@ pub fn university_db(per_class: usize) -> Database {
             let income = Value::Int(rng.gen_range(10_000..100_000));
             tx.pnew(
                 "person",
-                &[("name", Value::from(format!("p{i}"))), ("income", income.clone())],
+                &[
+                    ("name", Value::from(format!("p{i}"))),
+                    ("income", income.clone()),
+                ],
             )?;
             tx.pnew(
                 "student",
-                &[("name", Value::from(format!("s{i}"))), ("income", income.clone())],
+                &[
+                    ("name", Value::from(format!("s{i}"))),
+                    ("income", income.clone()),
+                ],
             )?;
             tx.pnew(
                 "faculty",
-                &[("name", Value::from(format!("f{i}"))), ("income", income.clone())],
+                &[
+                    ("name", Value::from(format!("f{i}"))),
+                    ("income", income.clone()),
+                ],
             )?;
             tx.pnew(
                 "teaching_assistant",
@@ -228,7 +237,10 @@ pub fn bom_db(depth: usize, fanout: usize) -> (Database, String, usize) {
                 let child = format!("part-{level}-{f}");
                 tx.pnew(
                     "usage",
-                    &[("parent", Value::from(parent.as_str())), ("child", Value::from(child.as_str()))],
+                    &[
+                        ("parent", Value::from(parent.as_str())),
+                        ("child", Value::from(child.as_str())),
+                    ],
                 )?;
             }
             parts += fanout;
@@ -354,10 +366,18 @@ mod tests {
         let (db1, _) = inventory_db(100, false);
         let (db2, _) = inventory_db(100, false);
         let q1 = db1
-            .transaction(|tx| tx.forall("stockitem")?.by("name")?.collect_values("quantity"))
+            .transaction(|tx| {
+                tx.forall("stockitem")?
+                    .by("name")?
+                    .collect_values("quantity")
+            })
             .unwrap();
         let q2 = db2
-            .transaction(|tx| tx.forall("stockitem")?.by("name")?.collect_values("quantity"))
+            .transaction(|tx| {
+                tx.forall("stockitem")?
+                    .by("name")?
+                    .collect_values("quantity")
+            })
             .unwrap();
         assert_eq!(q1, q2);
     }

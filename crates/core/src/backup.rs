@@ -18,9 +18,7 @@
 
 use std::collections::HashMap;
 
-use ode_model::encode::{
-    decode_class, encode_class, read_value, write_value, Reader, Writer,
-};
+use ode_model::encode::{decode_class, encode_class, read_value, write_value, Reader, Writer};
 use ode_model::{ModelError, ObjState, Oid, Value, VersionNo, VersionRef};
 use ode_storage::RecordId;
 
@@ -91,11 +89,7 @@ fn remap_value(
                 .map(|i| remap_value(i, map, dangling))
                 .collect(),
         ),
-        Value::Set(s) => Value::Set(
-            s.iter()
-                .map(|i| remap_value(i, map, dangling))
-                .collect(),
-        ),
+        Value::Set(s) => Value::Set(s.iter().map(|i| remap_value(i, map, dangling)).collect()),
         other => other.clone(),
     }
 }
@@ -232,8 +226,7 @@ impl Database {
                         entries.sort_by_key(|e| e.no);
                         for e in &entries {
                             let rec = self.store.read(heap, e.rid)?;
-                            let ObjRecord::VersionRec { state, .. } = decode_record(&rec)?
-                            else {
+                            let ObjRecord::VersionRec { state, .. } = decode_record(&rec)? else {
                                 return Err(OdeError::Version(format!(
                                     "anchor {oid} points at a non-version record"
                                 )));
@@ -429,8 +422,7 @@ impl Database {
             oid_of.push(tx.pnew(&obj.class, &[])?);
         }
         // Version-number compaction map per ordinal.
-        let mut vmap: Vec<HashMap<VersionNo, VersionNo>> =
-            vec![HashMap::new(); parsed.len()];
+        let mut vmap: Vec<HashMap<VersionNo, VersionNo>> = vec![HashMap::new(); parsed.len()];
         for (i, obj) in parsed.iter().enumerate() {
             if let Some(versions) = &obj.versions {
                 for (k, v) in versions.iter().enumerate() {
@@ -461,25 +453,28 @@ impl Database {
                     }
                 })
             };
-            let apply =
-                |tx: &mut crate::txn::Transaction<'_>, oid: Oid, fields: &[Value], dangling: &mut usize, from_ordinal: &mut dyn FnMut(Oid, Option<VersionNo>) -> Option<Value>|
-                 -> Result<()> {
-                    let names: Vec<String> = self.with_schema(|s| {
-                        let state = ObjState {
-                            class: s.id_of(&obj.class).expect("defined above"),
-                            fields: Vec::new(),
-                        };
-                        s.class(state.class)
-                            .map(|c| c.layout.iter().map(|f| f.name.clone()).collect())
-                    })?;
-                    tx.update(oid, |w| {
-                        for (name, value) in names.iter().zip(fields.iter()) {
-                            let v = remap_value(value, &mut |o, ver| from_ordinal(o, ver), dangling);
-                            w.set(name, v)?;
-                        }
-                        Ok(())
-                    })
-                };
+            let apply = |tx: &mut crate::txn::Transaction<'_>,
+                         oid: Oid,
+                         fields: &[Value],
+                         dangling: &mut usize,
+                         from_ordinal: &mut dyn FnMut(Oid, Option<VersionNo>) -> Option<Value>|
+             -> Result<()> {
+                let names: Vec<String> = self.with_schema(|s| {
+                    let state = ObjState {
+                        class: s.id_of(&obj.class).expect("defined above"),
+                        fields: Vec::new(),
+                    };
+                    s.class(state.class)
+                        .map(|c| c.layout.iter().map(|f| f.name.clone()).collect())
+                })?;
+                tx.update(oid, |w| {
+                    for (name, value) in names.iter().zip(fields.iter()) {
+                        let v = remap_value(value, &mut |o, ver| from_ordinal(o, ver), dangling);
+                        w.set(name, v)?;
+                    }
+                    Ok(())
+                })
+            };
             match &obj.versions {
                 None => {
                     apply(&mut tx, oid, &obj.fields, &mut dangling, &mut from_ordinal)?;

@@ -134,9 +134,7 @@ impl CatalogRecord {
                     args,
                 }
             }
-            other => {
-                return Err(ModelError::Decode(format!("unknown catalog kind {other}")).into())
-            }
+            other => return Err(ModelError::Decode(format!("unknown catalog kind {other}")).into()),
         };
         Ok(rec)
     }

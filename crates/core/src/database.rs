@@ -19,6 +19,10 @@ use parking_lot::{Mutex, RwLock};
 
 use ode_model::encode::{decode_class, encode_class};
 use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
+use ode_obs::{
+    EngineTelemetry, StorageSnapshot, TelemetrySnapshot, TraceEvent, TracePhase, TraceScope,
+    TraceSink,
+};
 use ode_storage::{FileStore, MemStore, Store, StoreOp, StoreStats};
 
 use crate::catalog::{CatalogRecord, CatalogState, CATALOG_HEAP};
@@ -29,8 +33,7 @@ use crate::trigger::Activation;
 use crate::txn::Transaction;
 
 /// Signature of a host callback invocable from trigger actions.
-pub type CallbackFn =
-    Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
+pub type CallbackFn = Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
 
 /// Tuning knobs.
 #[derive(Debug, Clone)]
@@ -86,6 +89,12 @@ pub struct Database {
     pub(crate) callbacks: RwLock<HashMap<String, CallbackFn>>,
     pub(crate) next_activation_id: AtomicU64,
     pub(crate) config: DbConfig,
+    /// Engine-wide counters; every layer increments through relaxed atomics.
+    pub(crate) tel: EngineTelemetry,
+    /// Optional span-event sink (tracing layer).
+    pub(crate) trace: RwLock<Option<TraceSink>>,
+    pub(crate) next_txn_serial: AtomicU64,
+    pub(crate) next_query_serial: AtomicU64,
 }
 
 impl Database {
@@ -157,10 +166,7 @@ impl Database {
                 CatalogRecord::Index { class_name, field } => {
                     let class = inner.schema.id_of(&class_name)?;
                     index_decls.push((class, field.clone()));
-                    inner
-                        .catalog
-                        .index_rids
-                        .insert((class_name, field), rid);
+                    inner.catalog.index_rids.insert((class_name, field), rid);
                 }
                 CatalogRecord::Activation {
                     id,
@@ -197,6 +203,10 @@ impl Database {
             callbacks: RwLock::new(HashMap::new()),
             next_activation_id: AtomicU64::new(max_activation + 1),
             config,
+            tel: EngineTelemetry::default(),
+            trace: RwLock::new(None),
+            next_txn_serial: AtomicU64::new(1),
+            next_query_serial: AtomicU64::new(1),
         })
     }
 
@@ -392,9 +402,7 @@ impl Database {
         name: &str,
         f: impl Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync + 'static,
     ) {
-        self.callbacks
-            .write()
-            .insert(name.to_string(), Arc::new(f));
+        self.callbacks.write().insert(name.to_string(), Arc::new(f));
     }
 
     // ----------------------------------------------------------- access
@@ -405,10 +413,7 @@ impl Database {
     }
 
     /// Run `f` in a transaction: commit on `Ok`, abort on `Err`.
-    pub fn transaction<R>(
-        &self,
-        f: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
-    ) -> Result<R> {
+    pub fn transaction<R>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<R>) -> Result<R> {
         let mut tx = self.begin();
         match f(&mut tx) {
             Ok(r) => {
@@ -469,6 +474,62 @@ impl Database {
     /// Reset substrate counters.
     pub fn reset_store_stats(&self) {
         self.store.reset_stats()
+    }
+
+    // ------------------------------------------------------- telemetry
+
+    /// Snapshot every engine and substrate counter. Snapshots are plain
+    /// data: subtract two with [`TelemetrySnapshot::delta`] to measure a
+    /// workload, or serialize with [`TelemetrySnapshot::to_json`].
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let s = self.store.stats();
+        self.tel.snapshot(StorageSnapshot {
+            pager_hits: s.pager.hits,
+            pager_misses: s.pager.misses,
+            pager_evictions: s.pager.evictions,
+            pager_writebacks: s.pager.writebacks,
+            record_reads: s.record_reads,
+            record_writes: s.record_writes,
+            wal_appends: s.wal_appends,
+            wal_fsyncs: s.wal_fsyncs,
+            wal_bytes: s.wal_bytes,
+            commits: s.commits,
+        })
+    }
+
+    /// Zero every engine and substrate counter (benches and the shell's
+    /// `.stats reset` measure deltas between phases).
+    pub fn reset_telemetry(&self) {
+        self.tel.reset();
+        self.store.reset_stats();
+    }
+
+    /// Install (or with `None`, remove) a span-event sink. The sink is
+    /// invoked synchronously from the engine thread on transaction, query,
+    /// and trigger begin/end; it must be cheap and must not re-enter the
+    /// database.
+    pub fn set_trace_sink(&self, sink: Option<TraceSink>) {
+        *self.trace.write() = sink;
+    }
+
+    /// Emit a span event if a sink is installed. `detail` is deferred so
+    /// the common no-sink case allocates nothing.
+    pub(crate) fn trace_event(
+        &self,
+        scope: TraceScope,
+        phase: TracePhase,
+        id: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        let guard = self.trace.read();
+        if let Some(sink) = guard.as_ref() {
+            sink(&TraceEvent {
+                scope,
+                phase,
+                id,
+                detail: detail(),
+            });
+        }
     }
 
     /// Drop cached pages (benchmarks: cold-cache runs).

@@ -34,9 +34,15 @@ pub mod txn;
 pub mod typed;
 pub mod version;
 
+/// Telemetry primitives and snapshot types (re-export of `ode-obs`).
+pub use ode_obs as obs;
+
 pub use backup::DumpStats;
 pub use database::{CallbackFn, Database, DbConfig};
 pub use error::{OdeError, Result};
+pub use obs::{
+    PlanStrategy, QueryProfile, TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink,
+};
 pub use oql::{parse_query, ExecResult, QueryRows, QueryStmt};
 pub use query::{Forall, ForallJoin};
 pub use trigger::{CommitInfo, FiredTrigger, TriggerFailure, TriggerId};
@@ -50,7 +56,6 @@ pub mod prelude {
     pub use crate::trigger::{CommitInfo, TriggerId};
     pub use crate::txn::{ObjWriter, Transaction};
     pub use crate::typed::{OdeInstance, Persistent};
-    pub use ode_model::{
-        ClassBuilder, Expr, ObjState, Oid, SetValue, Type, Value, VersionRef,
-    };
+    pub use ode_model::{ClassBuilder, Expr, ObjState, Oid, SetValue, Type, Value, VersionRef};
+    pub use ode_obs::{QueryProfile, TelemetrySnapshot, TraceEvent, TraceSink};
 }

@@ -30,6 +30,7 @@
 use std::collections::HashMap;
 
 use ode_model::{parse_expr, Expr, ModelError, Oid};
+use ode_obs::QueryProfile;
 
 use crate::error::{OdeError, Result};
 use crate::txn::Transaction;
@@ -317,6 +318,12 @@ impl<'db> Transaction<'db> {
     }
 
     fn run_stmt(&mut self, stmt: QueryStmt) -> Result<QueryRows> {
+        self.run_stmt_profiled(stmt, &mut QueryProfile::default())
+    }
+
+    /// Execute a parsed query, accumulating its execution profile — the
+    /// engine behind `explain <query>`.
+    fn run_stmt_profiled(&mut self, stmt: QueryStmt, prof: &mut QueryProfile) -> Result<QueryRows> {
         if stmt.bindings.len() == 1 {
             let (var, cluster, deep) = stmt.bindings.into_iter().next().unwrap();
             let mut q = self.forall(&cluster)?.bind(&var);
@@ -333,7 +340,7 @@ impl<'db> Transaction<'db> {
                     q.by(&key.to_string())?
                 };
             }
-            let oids = q.collect_oids()?;
+            let oids = q.collect_oids_profiled(prof)?;
             return Ok(QueryRows {
                 vars: vec![var],
                 rows: oids.into_iter().map(|o| vec![o]).collect(),
@@ -361,7 +368,7 @@ impl<'db> Transaction<'db> {
         if let Some(pred) = stmt.suchthat {
             q = q.suchthat_expr(pred);
         }
-        let rows = q.collect()?;
+        let rows = q.collect_profiled(prof)?;
         Ok(QueryRows {
             vars: stmt.bindings.into_iter().map(|(v, ..)| v).collect(),
             rows,
@@ -383,6 +390,14 @@ impl<'db> Transaction<'db> {
     /// commits (§6).
     pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
         let trimmed = src.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("explain") {
+            if rest.starts_with(char::is_whitespace) {
+                let stmt = parse_query(rest)?;
+                let mut prof = QueryProfile::default();
+                self.run_stmt_profiled(stmt, &mut prof)?;
+                return Ok(ExecResult::Explain(prof));
+            }
+        }
         if trimmed.starts_with("pnew") {
             let (class, inits) = parse_pnew(src)?;
             let mut pairs = Vec::new();
@@ -393,10 +408,8 @@ impl<'db> Transaction<'db> {
                     pairs.push((field.clone(), v));
                 }
             }
-            let init_refs: Vec<(&str, ode_model::Value)> = pairs
-                .iter()
-                .map(|(f, v)| (f.as_str(), v.clone()))
-                .collect();
+            let init_refs: Vec<(&str, ode_model::Value)> =
+                pairs.iter().map(|(f, v)| (f.as_str(), v.clone())).collect();
             let oid = self.pnew(&class, &init_refs)?;
             return Ok(ExecResult::Created(oid));
         }
@@ -440,7 +453,9 @@ struct ObjStateView<'a, 'b>(&'a crate::txn::ObjWriter<'b>);
 impl ObjStateView<'_, '_> {
     fn eval(&self, expr: &Expr) -> Result<ode_model::Value> {
         let (schema, state) = self.0.parts();
-        Ok(ode_model::EvalCtx::new(schema).with_this(state).eval(expr)?)
+        Ok(ode_model::EvalCtx::new(schema)
+            .with_this(state)
+            .eval(expr)?)
     }
 }
 
@@ -455,6 +470,8 @@ pub enum ExecResult {
     Updated(usize),
     /// `delete` removed this many objects.
     Deleted(usize),
+    /// `explain <query>`: the executed query's plan and profile.
+    Explain(QueryProfile),
 }
 
 /// Parse `pnew <class> (field = expr, ...)`.
@@ -576,16 +593,13 @@ mod tests {
         assert_eq!(q.bindings, vec![("p".into(), "person".into(), true)]);
         assert!(q.suchthat.is_none() && q.by.is_none());
 
-        let q = parse_query("for all p in only person suchthat (age > 21) by (name) desc")
-            .unwrap();
+        let q = parse_query("for all p in only person suchthat (age > 21) by (name) desc").unwrap();
         assert_eq!(q.bindings, vec![("p".into(), "person".into(), false)]);
         assert!(q.suchthat.is_some());
         assert!(matches!(q.by, Some((_, true))));
 
-        let q = parse_query(
-            "forall e in employee, d in department suchthat (e.deptno == d.dno)",
-        )
-        .unwrap();
+        let q = parse_query("forall e in employee, d in department suchthat (e.deptno == d.dno)")
+            .unwrap();
         assert_eq!(q.bindings.len(), 2);
     }
 
@@ -602,10 +616,8 @@ mod tests {
 
     #[test]
     fn nested_parens_and_strings_in_clauses() {
-        let q = parse_query(
-            r#"forall p in person suchthat ((age + 1) * 2 > 4 && name != "a)b")"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"forall p in person suchthat ((age + 1) * 2 > 4 && name != "a)b")"#)
+            .unwrap();
         assert!(q.suchthat.is_some());
     }
 }

@@ -26,8 +26,9 @@ use std::ops::Bound;
 
 use ode_model::eval::EvalCtx;
 use ode_model::{parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
+use ode_obs::{PlanStrategy, QueryProfile, TracePhase, TraceScope};
 
-use crate::database::DbInner;
+use crate::database::{Database, DbInner};
 use crate::error::{OdeError, Result};
 
 /// A native predicate over object state (host-language filter).
@@ -64,6 +65,7 @@ impl<'db> Transaction<'db> {
     /// not exist yet (an empty iteration results), but the class must.
     pub fn forall<'t>(&'t mut self, class_name: &str) -> Result<Forall<'t, 'db>> {
         self.ensure_live()?;
+        self.db.tel.query.foralls.inc();
         // Validate the class name early for a good error.
         {
             let inner = self.db.inner.read();
@@ -83,13 +85,13 @@ impl<'db> Transaction<'db> {
 
     /// Multi-variable iteration — the join form of §3.1:
     /// `forall e in employee, d in dept suchthat (...)`.
-    pub fn forall_join<'t>(
-        &'t mut self,
-        vars: &[(&str, &str)],
-    ) -> Result<ForallJoin<'t, 'db>> {
+    pub fn forall_join<'t>(&'t mut self, vars: &[(&str, &str)]) -> Result<ForallJoin<'t, 'db>> {
         self.ensure_live()?;
+        self.db.tel.query.joins.inc();
         if vars.is_empty() {
-            return Err(OdeError::Usage("forall_join needs at least one variable".into()));
+            return Err(OdeError::Usage(
+                "forall_join needs at least one variable".into(),
+            ));
         }
         {
             let inner = self.db.inner.read();
@@ -128,7 +130,9 @@ impl<'db> Transaction<'db> {
         let mut i = 0usize;
         loop {
             if self.deleted.contains_key(&oid) {
-                return Err(OdeError::NoSuchObject(format!("{oid} (deleted mid-iteration)")));
+                return Err(OdeError::NoSuchObject(format!(
+                    "{oid} (deleted mid-iteration)"
+                )));
             }
             let elem: Option<Value> = if let Some(obj) = self.writes.get(&oid) {
                 obj.state.fields[slot].as_set()?.get(i).cloned()
@@ -151,11 +155,7 @@ impl<'db> Transaction<'db> {
 
     /// Enumerate the (deep or shallow) committed extent of a class together
     /// with this transaction's overlay. Returns oids with their states.
-    pub(crate) fn extent(
-        &self,
-        class_name: &str,
-        deep: bool,
-    ) -> Result<Vec<(Oid, ObjState)>> {
+    pub(crate) fn extent(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
         let inner = self.db.inner.read();
         let class = inner.schema.id_of(class_name)?;
         let heaps = inner.extent_heaps(class, deep);
@@ -173,7 +173,10 @@ impl<'db> Transaction<'db> {
                 Ok(true)
             })?;
             for (rid, bytes) in raw {
-                let oid = Oid { cluster: *heap, rid };
+                let oid = Oid {
+                    cluster: *heap,
+                    rid,
+                };
                 if self.deleted.contains_key(&oid) {
                     continue;
                 }
@@ -216,15 +219,15 @@ impl<'db> Transaction<'db> {
     }
 }
 
-/// Try to answer an equality/range conjunct from an index. Returns matching
-/// oids (which still must pass the full predicate) or `None` when no index
-/// applies.
+/// Try to answer an equality/range conjunct from an index. Returns the
+/// indexed field plus matching oids (which still must pass the full
+/// predicate), or `None` when no index applies.
 fn index_candidates(
     inner: &DbInner,
     class: ClassId,
     expr: &Expr,
     var: Option<&str>,
-) -> Option<Vec<Oid>> {
+) -> Option<(String, Vec<Oid>)> {
     // Split top-level conjunction.
     fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary(BinOp::And, l, r) = e {
@@ -276,7 +279,7 @@ fn index_candidates(
             BinOp::Ge => ix.range(Bound::Included(lit), Bound::Unbounded),
             _ => continue,
         };
-        return Some(oids);
+        return Some((field, oids));
     }
     None
 }
@@ -339,6 +342,13 @@ impl<'t, 'db> Forall<'t, 'db> {
 
     /// Materialize the qualifying oids (after suchthat/by, before body).
     pub fn collect_oids(self) -> Result<Vec<Oid>> {
+        self.collect_oids_profiled(&mut QueryProfile::default())
+    }
+
+    /// Like [`Forall::collect_oids`], additionally accumulating the query's
+    /// execution profile (plan choice, objects scanned, predicate
+    /// evaluations) into `prof` — the engine behind OQL's `explain`.
+    pub fn collect_oids_profiled(self, prof: &mut QueryProfile) -> Result<Vec<Oid>> {
         let Forall {
             tx,
             class_name,
@@ -354,7 +364,16 @@ impl<'t, 'db> Forall<'t, 'db> {
                 "collect_oids is a snapshot; fixpoint iteration needs run()".into(),
             ));
         }
-        candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)
+        candidates(
+            tx,
+            &class_name,
+            deep,
+            &suchthat,
+            &by,
+            var.as_deref(),
+            &mut filter,
+            prof,
+        )
     }
 
     /// Count qualifying objects.
@@ -443,7 +462,16 @@ impl<'t, 'db> Forall<'t, 'db> {
             mut filter,
             ..
         } = self;
-        let oids = candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)?;
+        let oids = candidates(
+            tx,
+            &class_name,
+            deep,
+            &suchthat,
+            &by,
+            var.as_deref(),
+            &mut filter,
+            &mut QueryProfile::default(),
+        )?;
         let inner = tx.db.inner.read();
         let mut out = Vec::with_capacity(oids.len());
         for oid in oids {
@@ -466,8 +494,16 @@ impl<'t, 'db> Forall<'t, 'db> {
     /// delete, and create objects; with [`Forall::fixpoint`], objects it
     /// adds to the extent are visited too. Returns the number of objects
     /// visited.
-    pub fn run(
+    pub fn run(self, f: impl FnMut(&mut Transaction<'db>, Oid) -> Result<()>) -> Result<usize> {
+        self.run_profiled(&mut QueryProfile::default(), f)
+    }
+
+    /// Like [`Forall::run`], additionally accumulating the execution
+    /// profile into `prof`; fixpoint iterations record one round (and its
+    /// newly visited count) per re-evaluation pass.
+    pub fn run_profiled(
         self,
+        prof: &mut QueryProfile,
         mut f: impl FnMut(&mut Transaction<'db>, Oid) -> Result<()>,
     ) -> Result<usize> {
         let Forall {
@@ -488,10 +524,25 @@ impl<'t, 'db> Forall<'t, 'db> {
         let mut visited: HashSet<Oid> = HashSet::new();
         let mut n = 0usize;
         loop {
-            let batch: Vec<Oid> = candidates(tx, &class_name, deep, &suchthat, &by, var.as_deref(), &mut filter)?
-                .into_iter()
-                .filter(|oid| !visited.contains(oid))
-                .collect();
+            let batch: Vec<Oid> = candidates(
+                tx,
+                &class_name,
+                deep,
+                &suchthat,
+                &by,
+                var.as_deref(),
+                &mut filter,
+                prof,
+            )?
+            .into_iter()
+            .filter(|oid| !visited.contains(oid))
+            .collect();
+            if fixpoint && !batch.is_empty() {
+                prof.fixpoint_rounds += 1;
+                prof.fixpoint_new_by_round.push(batch.len() as u64);
+                tx.db.tel.query.fixpoint_rounds.inc();
+                tx.db.tel.query.fixpoint_new_objects.add(batch.len() as u64);
+            }
             if batch.is_empty() {
                 return Ok(n);
             }
@@ -511,7 +562,21 @@ impl<'t, 'db> Forall<'t, 'db> {
     }
 }
 
-/// Enumerate + filter + order the qualifying oids.
+/// Publish one pass's profile into the database's global query counters.
+fn publish_pass(db: &Database, pass: &QueryProfile) {
+    let q = &db.tel.query;
+    q.clusters_visited.add(pass.clusters_visited);
+    q.objects_scanned.add(pass.objects_scanned);
+    q.predicate_evals.add(pass.predicate_evals);
+    q.index_probes.add(pass.index_probes);
+    if pass.strategy == PlanStrategy::DeepExtentScan {
+        q.deep_extent_scans.inc();
+    }
+}
+
+/// Enumerate + filter + order the qualifying oids. One call is one *pass*:
+/// its work is accumulated into `prof` and the global query counters, and
+/// bracketed by a Query trace span.
 #[allow(clippy::too_many_arguments)]
 fn candidates(
     tx: &Transaction<'_>,
@@ -521,14 +586,27 @@ fn candidates(
     by: &Option<(Expr, Dir)>,
     var: Option<&str>,
     filter: &mut Option<FilterFn<'_>>,
+    prof: &mut QueryProfile,
 ) -> Result<Vec<Oid>> {
+    let serial = tx
+        .db
+        .next_query_serial
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    tx.db
+        .trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
+            class_name.to_string()
+        });
+    let mut pass = QueryProfile {
+        target: class_name.to_string(),
+        ..QueryProfile::default()
+    };
     let inner = tx.db.inner.read();
     let class = inner.schema.id_of(class_name)?;
 
     // Index plan: equality/range conjunct over an indexed field. Index
     // entries reflect *committed* data, so the transaction's own writes
     // are merged back in below.
-    let indexed: Option<Vec<Oid>> = if deep {
+    let indexed: Option<(String, Vec<Oid>)> = if deep {
         suchthat
             .as_ref()
             .and_then(|e| index_candidates(&inner, class, e, var))
@@ -538,7 +616,9 @@ fn candidates(
     drop(inner);
 
     let mut pairs: Vec<(Oid, ObjState)> = match indexed {
-        Some(oids) => {
+        Some((field, oids)) => {
+            pass.strategy = PlanStrategy::IndexProbe { field };
+            pass.index_probes += 1;
             let mut pairs = Vec::with_capacity(oids.len());
             for oid in oids {
                 if tx.deleted.contains_key(&oid) {
@@ -566,8 +646,20 @@ fn candidates(
             }
             pairs
         }
-        None => tx.extent(class_name, deep)?,
+        None => {
+            pass.strategy = if deep {
+                PlanStrategy::DeepExtentScan
+            } else {
+                PlanStrategy::ShallowExtentScan
+            };
+            pass.clusters_visited = {
+                let inner = tx.db.inner.read();
+                inner.extent_heaps(class, deep).len() as u64
+            };
+            tx.extent(class_name, deep)?
+        }
     };
+    pass.objects_scanned = pairs.len() as u64;
 
     // Shallow iteration must drop subclass members (relevant only for the
     // index path, which covers the deep extent).
@@ -585,6 +677,7 @@ fn candidates(
             if let Some(v) = var {
                 env.insert(v.to_string(), Value::Ref(oid));
             }
+            pass.predicate_evals += 1;
             let ok = EvalCtx::new(&inner.schema)
                 .with_this(&state)
                 .with_vars(&env)
@@ -600,7 +693,7 @@ fn candidates(
         pairs.retain(|(_, state)| f(state));
     }
 
-    if let Some((key_expr, dir)) = by {
+    let result: Vec<Oid> = if let Some((key_expr, dir)) = by {
         let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(pairs.len());
         for (oid, state) in &pairs {
             if let Some(v) = var {
@@ -617,9 +710,20 @@ fn candidates(
         if *dir == Dir::Desc {
             keyed.reverse();
         }
-        return Ok(keyed.into_iter().map(|(_, oid)| oid).collect());
-    }
-    Ok(pairs.into_iter().map(|(oid, _)| oid).collect())
+        keyed.into_iter().map(|(_, oid)| oid).collect()
+    } else {
+        pairs.into_iter().map(|(oid, _)| oid).collect()
+    };
+    drop(inner);
+
+    pass.rows = result.len() as u64;
+    publish_pass(tx.db, &pass);
+    tx.db
+        .trace_event(TraceScope::Query, TracePhase::End, serial, || {
+            format!("{} via {}", pass.target, pass.strategy)
+        });
+    prof.absorb(&pass);
+    Ok(result)
 }
 
 /// A multi-variable `forall` (join query, §3.1).
@@ -646,7 +750,13 @@ impl<'db> ForallJoin<'_, 'db> {
     /// Materialize all qualifying bindings (tuples of oids, one per
     /// variable, in declaration order).
     pub fn collect(self) -> Result<Vec<Vec<Oid>>> {
-        collect_join(self.tx, &self.vars, &self.suchthat)
+        self.collect_profiled(&mut QueryProfile::default())
+    }
+
+    /// Like [`ForallJoin::collect`], additionally accumulating the join's
+    /// execution profile into `prof`.
+    pub fn collect_profiled(self, prof: &mut QueryProfile) -> Result<Vec<Vec<Oid>>> {
+        collect_join(self.tx, &self.vars, &self.suchthat, prof)
     }
 
     /// Run the body over every qualifying binding. The binding map gives
@@ -656,12 +766,11 @@ impl<'db> ForallJoin<'_, 'db> {
         mut f: impl FnMut(&mut Transaction<'db>, &HashMap<String, Oid>) -> Result<()>,
     ) -> Result<usize> {
         let ForallJoin { tx, vars, suchthat } = self;
-        let rows = collect_join(tx, &vars, &suchthat)?;
+        let rows = collect_join(tx, &vars, &suchthat, &mut QueryProfile::default())?;
         let names: Vec<String> = vars.into_iter().map(|(v, _)| v).collect();
         let mut n = 0usize;
         for row in rows {
-            let map: HashMap<String, Oid> =
-                names.iter().cloned().zip(row).collect();
+            let map: HashMap<String, Oid> = names.iter().cloned().zip(row).collect();
             f(tx, &map)?;
             n += 1;
         }
@@ -708,13 +817,19 @@ fn build_probe_plans(
         };
         let earlier: Vec<&str> = vars[..d].iter().map(|(v, _)| v.as_str()).collect();
         for c in &cs {
-            let Expr::Binary(BinOp::Eq, l, r) = c else { continue };
+            let Expr::Binary(BinOp::Eq, l, r) = c else {
+                continue;
+            };
             // Normalize: one side is `var.field`, the other references only
             // earlier variables (or is constant).
             let candidates = [(&**l, &**r), (&**r, &**l)];
             for (lhs, rhs) in candidates {
-                let Expr::Path(base, field) = lhs else { continue };
-                let Expr::Ident(base_var) = &**base else { continue };
+                let Expr::Path(base, field) = lhs else {
+                    continue;
+                };
+                let Expr::Ident(base_var) = &**base else {
+                    continue;
+                };
                 if base_var != var {
                     continue;
                 }
@@ -748,7 +863,26 @@ fn collect_join(
     tx: &Transaction<'_>,
     vars: &[(String, String)],
     suchthat: &Option<Expr>,
+    prof: &mut QueryProfile,
 ) -> Result<Vec<Vec<Oid>>> {
+    let serial = tx
+        .db
+        .next_query_serial
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let target = vars
+        .iter()
+        .map(|(_, c)| c.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    tx.db
+        .trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
+            target.clone()
+        });
+    let mut pass = QueryProfile {
+        target: target.clone(),
+        strategy: PlanStrategy::NestedLoopJoin,
+        ..QueryProfile::default()
+    };
     let inner = tx.db.inner.read();
     let plans = build_probe_plans(&inner, vars, suchthat)?;
     drop(inner);
@@ -780,9 +914,16 @@ fn collect_join(
             }
         }
     }
+    let mut enumerated_vars = 0u64;
     for (d, (_, class_name)) in vars.iter().enumerate() {
         if plans[d].is_none() {
+            {
+                let inner = tx.db.inner.read();
+                let class = inner.schema.id_of(class_name)?;
+                pass.clusters_visited += inner.extent_heaps(class, true).len() as u64;
+            }
             extents[d] = tx.extent(class_name, true)?;
+            enumerated_vars += 1;
         }
     }
 
@@ -803,10 +944,12 @@ fn collect_join(
         binding: &mut Vec<Oid>,
         env: &mut HashMap<String, Value>,
         out: &mut Vec<Vec<Oid>>,
+        pass: &mut QueryProfile,
     ) -> Result<()> {
         let schema = &inner.schema;
         if depth == vars.len() {
             if let Some(pred) = suchthat {
+                pass.predicate_evals += 1;
                 let ctx = EvalCtx::new(schema).with_vars(env).with_resolver(tx);
                 if !ctx.eval_bool(pred)? {
                     return Ok(());
@@ -835,6 +978,7 @@ fn collect_join(
                         .indexes
                         .get(&(class, plan.field.clone()))
                         .expect("probe plan implies index");
+                    pass.index_probes += 1;
                     let mut oids = ix.lookup(&key);
                     oids.retain(|oid| {
                         !tx.deleted.contains_key(oid) && !tx.writes.contains_key(oid)
@@ -846,12 +990,23 @@ fn collect_join(
             }
             None => extents[depth].iter().map(|(oid, _)| *oid).collect(),
         };
+        pass.objects_scanned += oids.len() as u64;
         for oid in oids {
             binding.push(oid);
             env.insert(vars[depth].0.clone(), Value::Ref(oid));
             rec(
-                tx, inner, vars, extents, overlays, plans, suchthat,
-                depth + 1, binding, env, out,
+                tx,
+                inner,
+                vars,
+                extents,
+                overlays,
+                plans,
+                suchthat,
+                depth + 1,
+                binding,
+                env,
+                out,
+                pass,
             )?;
             env.remove(&vars[depth].0);
             binding.pop();
@@ -870,6 +1025,21 @@ fn collect_join(
         &mut binding,
         &mut env,
         &mut out,
+        &mut pass,
     )?;
+    drop(inner);
+
+    pass.rows = out.len() as u64;
+    let q = &tx.db.tel.query;
+    q.clusters_visited.add(pass.clusters_visited);
+    q.objects_scanned.add(pass.objects_scanned);
+    q.predicate_evals.add(pass.predicate_evals);
+    q.index_probes.add(pass.index_probes);
+    q.deep_extent_scans.add(enumerated_vars);
+    tx.db
+        .trace_event(TraceScope::Query, TracePhase::End, serial, || {
+            format!("{target} via {}", pass.strategy)
+        });
+    prof.absorb(&pass);
     Ok(out)
 }

@@ -28,14 +28,14 @@ use ode_model::eval::EvalCtx;
 use ode_model::{
     ClassId, ModelError, ObjState, Oid, Resolver, TriggerAction, Value, VersionNo, VersionRef,
 };
+use ode_obs::{TracePhase, TraceScope};
 use ode_storage::{RecordId, StoreOp};
 
 use crate::catalog::{CatalogRecord, CATALOG_HEAP};
 use crate::database::Database;
 use crate::error::{OdeError, Result};
 use crate::object::{
-    decode_record, encode_anchor, encode_plain, encode_vrec, ObjRecord, VersionEntry,
-    VersionTable,
+    decode_record, encode_anchor, encode_plain, encode_vrec, ObjRecord, VersionEntry, VersionTable,
 };
 use crate::trigger::{Activation, CommitInfo, FiredTrigger, Firing, TriggerFailure, TriggerId};
 
@@ -148,10 +148,9 @@ impl ObjWriter<'_> {
                 self.state.fields[i] = v;
                 Ok(true)
             }
-            other => Err(ModelError::Type(format!(
-                "field `{field}` is not a set (found {other})"
-            ))
-            .into()),
+            other => Err(
+                ModelError::Type(format!("field `{field}` is not a set (found {other})")).into(),
+            ),
         }
     }
 
@@ -162,10 +161,9 @@ impl ObjWriter<'_> {
         match &mut self.state.fields[i] {
             Value::Set(s) => Ok(s.remove(value)),
             Value::Null => Ok(false),
-            other => Err(ModelError::Type(format!(
-                "field `{field}` is not a set (found {other})"
-            ))
-            .into()),
+            other => Err(
+                ModelError::Type(format!("field `{field}` is not a set (found {other})")).into(),
+            ),
         }
     }
 
@@ -196,6 +194,8 @@ pub struct Transaction<'db> {
     aborted: bool,
     committed: bool,
     depth: usize,
+    /// Telemetry serial pairing this transaction's trace spans.
+    serial: u64,
     /// Skip the eager per-update constraint check; commit still checks
     /// every written object. Used by bulk loads (import) whose
     /// intermediate states are transiently inconsistent.
@@ -204,7 +204,11 @@ pub struct Transaction<'db> {
 
 impl<'db> Transaction<'db> {
     pub(crate) fn new(db: &'db Database, depth: usize) -> Transaction<'db> {
-        Transaction {
+        let serial = db
+            .next_txn_serial
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        db.tel.txn.begun.inc();
+        let tx = Transaction {
             db,
             _gate: db.txn_gate.lock(),
             writes: HashMap::new(),
@@ -216,8 +220,14 @@ impl<'db> Transaction<'db> {
             aborted: false,
             committed: false,
             depth,
+            serial,
             defer_constraints: false,
-        }
+        };
+        tx.db
+            .trace_event(TraceScope::Transaction, TracePhase::Begin, serial, || {
+                format!("begin depth={depth}")
+            });
+        tx
     }
 
     /// Defer constraint checking to commit time for the rest of this
@@ -237,9 +247,34 @@ impl<'db> Transaction<'db> {
     }
 
     pub(crate) fn mark_aborted(&mut self) {
+        self.mark_aborted_cause(false);
+    }
+
+    /// Abort because a constraint rejected the transaction's state (the
+    /// rollback cause the paper's §5 semantics single out).
+    pub(crate) fn mark_aborted_constraint(&mut self) {
+        self.mark_aborted_cause(true);
+    }
+
+    fn mark_aborted_cause(&mut self, constraint: bool) {
         if !self.aborted {
             self.aborted = true;
             self.release_reservations();
+            let tel = &self.db.tel.txn;
+            if constraint {
+                tel.aborted_constraint.inc();
+            } else {
+                tel.aborted_other.inc();
+            }
+            let serial = self.serial;
+            self.db
+                .trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
+                    if constraint {
+                        "abort:constraint".to_string()
+                    } else {
+                        "abort".to_string()
+                    }
+                });
         }
     }
 
@@ -261,6 +296,7 @@ impl<'db> Transaction<'db> {
         match decode_record(&bytes)? {
             ObjRecord::Plain(state) => Ok((state, None)),
             ObjRecord::Anchor(table) => {
+                self.db.tel.versions.generic_derefs.inc();
                 let vrid = table.current_rid()?;
                 match decode_record(&self.db.store.read(oid.cluster, vrid)?)? {
                     ObjRecord::VersionRec { state, .. } => Ok((state, Some(table))),
@@ -369,7 +405,7 @@ impl<'db> Transaction<'db> {
         self.write_order.push(oid);
         if !self.defer_constraints {
             if let Err(e) = self.check_object_constraints(oid) {
-                self.mark_aborted();
+                self.mark_aborted_constraint();
                 return Err(e);
             }
         }
@@ -428,7 +464,7 @@ impl<'db> Transaction<'db> {
         }
         if !self.defer_constraints {
             if let Err(e) = self.check_object_constraints(oid) {
-                self.mark_aborted();
+                self.mark_aborted_constraint();
                 return Err(e);
             }
         }
@@ -475,7 +511,8 @@ impl<'db> Transaction<'db> {
             if obj.new {
                 // Never existed outside this transaction: release the
                 // reserved anchor and forget it entirely.
-                self.reserved.retain(|&(h, r)| !(h == oid.cluster && r == oid.rid));
+                self.reserved
+                    .retain(|&(h, r)| !(h == oid.cluster && r == oid.rid));
                 let _ = self.db.store.release(oid.cluster, oid.rid);
                 self.pending_activations.retain(|a| a.oid != oid);
                 return Ok(());
@@ -562,6 +599,7 @@ impl<'db> Transaction<'db> {
             }
         }
         let id = self.db.alloc_activation_id();
+        self.db.tel.triggers.activations.inc();
         self.pending_activations.push(Activation {
             id,
             oid,
@@ -574,11 +612,7 @@ impl<'db> Transaction<'db> {
     /// Deactivate a trigger before it fires (§6's explicit deactivation).
     pub fn deactivate_trigger(&mut self, id: TriggerId) -> Result<()> {
         self.ensure_live()?;
-        if let Some(i) = self
-            .pending_activations
-            .iter()
-            .position(|a| a.id == id.0)
-        {
+        if let Some(i) = self.pending_activations.iter().position(|a| a.id == id.0) {
             self.pending_activations.remove(i);
             return Ok(());
         }
@@ -618,18 +652,33 @@ impl<'db> Transaction<'db> {
     /// Commit. Returns what fired (weak-coupled trigger actions have
     /// already run by the time this returns).
     pub fn commit(mut self) -> Result<CommitInfo> {
+        let started = std::time::Instant::now();
         let firings = match self.do_commit() {
             Ok(f) => f,
             Err(e) => {
-                self.mark_aborted();
+                if matches!(e, OdeError::ConstraintViolation { .. }) {
+                    self.mark_aborted_constraint();
+                } else {
+                    self.mark_aborted();
+                }
                 return Err(e);
             }
         };
         let db = self.db;
         let depth = self.depth;
+        let serial = self.serial;
+        db.tel.txn.committed.inc();
+        db.tel.triggers.deferred_actions.add(firings.len() as u64);
         drop(self); // release the transaction gate before running actions
+        db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
+            "commit".to_string()
+        });
         let mut info = CommitInfo::default();
         run_firings(db, firings, depth, &mut info);
+        db.tel
+            .txn
+            .commit_latency
+            .record_ns(started.elapsed().as_nanos() as u64);
         Ok(info)
     }
 
@@ -798,12 +847,7 @@ impl<'db> Transaction<'db> {
     }
 
     /// Turn one write-set entry into store operations.
-    fn materialize_object(
-        &mut self,
-        oid: Oid,
-        obj: &TxnObj,
-        ops: &mut Vec<StoreOp>,
-    ) -> Result<()> {
+    fn materialize_object(&mut self, oid: Oid, obj: &TxnObj, ops: &mut Vec<StoreOp>) -> Result<()> {
         match &obj.vt {
             None => {
                 if obj.dirty || obj.new {
@@ -905,6 +949,7 @@ impl<'db> Transaction<'db> {
                 .with_this(&obj.state)
                 .with_params(&params)
                 .with_resolver(self);
+            self.db.tel.triggers.condition_evals.inc();
             if ctx.eval_bool(&decl.condition)? {
                 firings.push(Firing {
                     activation: act.clone(),
@@ -989,6 +1034,7 @@ pub(crate) fn run_firings(
     }
     if depth >= db.config.trigger_cascade_limit {
         for f in firings {
+            db.tel.triggers.action_failures.inc();
             info.failures.push(TriggerFailure {
                 id: TriggerId(f.activation.id),
                 oid: f.activation.oid,
@@ -1005,20 +1051,44 @@ pub(crate) fn run_firings(
             oid: firing.activation.oid,
             trigger: firing.activation.trigger.clone(),
         });
+        db.tel.triggers.firings.inc();
+        db.tel.triggers.max_cascade_depth.observe(depth as u64 + 1);
+        let act_id = firing.activation.id;
+        db.trace_event(TraceScope::Trigger, TracePhase::Begin, act_id, || {
+            firing.activation.trigger.clone()
+        });
         let result: Result<Vec<Firing>> = (|| {
             let mut tx = Transaction::new(db, depth + 1);
             apply_actions(&mut tx, &firing)?;
             let next = tx.do_commit()?;
+            let serial = tx.serial;
+            drop(tx);
+            db.tel.txn.committed.inc();
+            db.tel.triggers.deferred_actions.add(next.len() as u64);
+            db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
+                "commit".to_string()
+            });
             Ok(next)
         })();
+        let ok = result.is_ok();
         match result {
             Ok(next) => run_firings(db, next, depth + 1, info),
-            Err(error) => info.failures.push(TriggerFailure {
-                id: TriggerId(firing.activation.id),
-                oid: firing.activation.oid,
-                error,
-            }),
+            Err(error) => {
+                db.tel.triggers.action_failures.inc();
+                info.failures.push(TriggerFailure {
+                    id: TriggerId(firing.activation.id),
+                    oid: firing.activation.oid,
+                    error,
+                });
+            }
         }
+        db.trace_event(TraceScope::Trigger, TracePhase::End, act_id, || {
+            if ok {
+                "ok".to_string()
+            } else {
+                "failed".to_string()
+            }
+        });
     }
 }
 

@@ -98,8 +98,7 @@ impl<'db> Transaction<'db> {
     /// Typed `pnew`: persist a Rust value as a new object of its class.
     pub fn pnew_typed<T: OdeInstance>(&mut self, value: &T) -> Result<Persistent<T>> {
         let fields = value.to_fields();
-        let inits: Vec<(&str, Value)> =
-            fields.iter().map(|(n, v)| (*n, v.clone())).collect();
+        let inits: Vec<(&str, Value)> = fields.iter().map(|(n, v)| (*n, v.clone())).collect();
         let oid = self.pnew(T::class_name(), &inits)?;
         Ok(Persistent::from_oid(oid))
     }

@@ -27,6 +27,7 @@ impl Transaction<'_> {
     /// object's state *as of this call* (including this transaction's
     /// earlier updates). Returns the new version number.
     pub fn newversion(&mut self, oid: Oid) -> Result<VersionNo> {
+        self.database().tel.versions.newversions.inc();
         self.load_for_write(oid)?;
         let obj = self.writes.get_mut(&oid).expect("just loaded");
         if obj.vt.is_none() {
@@ -76,6 +77,7 @@ impl Transaction<'_> {
     /// version becomes current and its state starts as a copy of the
     /// branched-from version.
     pub fn newversion_from(&mut self, vref: VersionRef) -> Result<VersionNo> {
+        self.database().tel.versions.newversions.inc();
         let base_state = self.read_version(vref)?;
         self.load_for_write(vref.oid)?;
         let obj = self.writes.get_mut(&vref.oid).expect("just loaded");
@@ -100,7 +102,11 @@ impl Transaction<'_> {
         let outgoing = obj.state.clone();
         let dirty = obj.dirty;
         let vt = obj.vt.as_mut().expect("ensured above");
-        if !vt.entries.iter().any(|e| e.no == vref.version && !e.deleted) {
+        if !vt
+            .entries
+            .iter()
+            .any(|e| e.no == vref.version && !e.deleted)
+        {
             return Err(OdeError::Version(format!(
                 "object {} has no version {}",
                 vref.oid, vref.version
@@ -130,6 +136,7 @@ impl Transaction<'_> {
     /// Dereference a *specific* reference: the state of one pinned version.
     pub fn read_version(&self, vref: VersionRef) -> Result<ObjState> {
         self.ensure_live()?;
+        self.database().tel.versions.specific_derefs.inc();
         let oid = vref.oid;
         if self.deleted.contains_key(&oid) {
             return Err(OdeError::NoSuchObject(format!("{oid} (deleted)")));
@@ -147,8 +154,10 @@ impl Transaction<'_> {
                     )));
                 }
                 Some(vt) => {
-                    let Some(entry) =
-                        vt.entries.iter().find(|e| e.no == vref.version && !e.deleted)
+                    let Some(entry) = vt
+                        .entries
+                        .iter()
+                        .find(|e| e.no == vref.version && !e.deleted)
                     else {
                         return Err(OdeError::Version(format!(
                             "object {oid} has no version {}",
@@ -280,11 +289,7 @@ impl Transaction<'_> {
         })
     }
 
-    fn with_table<R>(
-        &self,
-        oid: Oid,
-        f: impl FnOnce(&TxnVersionTable) -> R,
-    ) -> Result<R> {
+    fn with_table<R>(&self, oid: Oid, f: impl FnOnce(&TxnVersionTable) -> R) -> Result<R> {
         if let Some(obj) = self.writes.get(&oid) {
             let vt = match &obj.vt {
                 Some(vt) => vt.clone(),

@@ -239,9 +239,7 @@ fn constraint_rollback_preserves_other_objects_in_txn() {
         .transaction(|tx| tx.pnew("stockitem", &[("name", Value::from("a"))]))
         .unwrap();
     let mut tx = db.begin();
-    let fresh = tx
-        .pnew("stockitem", &[("name", Value::from("b"))])
-        .unwrap();
+    let fresh = tx.pnew("stockitem", &[("name", Value::from("b"))]).unwrap();
     tx.set(existing, "quantity", 7i64).unwrap();
     // Violation rolls back everything, including `fresh`.
     let _ = tx.set(fresh, "quantity", -1i64).unwrap_err();

@@ -27,7 +27,8 @@ fn pnew_statement_with_initializers() {
     let db = db();
     let oid = db
         .transaction(|tx| {
-            let r = tx.execute(r#"pnew stockitem (name = "dram", quantity = 50 + 50, price = 2.5)"#)?;
+            let r =
+                tx.execute(r#"pnew stockitem (name = "dram", quantity = 50 + 50, price = 2.5)"#)?;
             match r {
                 ExecResult::Created(oid) => Ok(oid),
                 other => panic!("expected Created, got {other:?}"),
@@ -91,7 +92,9 @@ fn update_statement_bulk() {
     db.transaction(|tx| {
         // Each updated object got both assignments.
         assert_eq!(
-            tx.forall("stockitem")?.suchthat("on_order == 100")?.count()?,
+            tx.forall("stockitem")?
+                .suchthat("on_order == 100")?
+                .count()?,
             5
         );
         // quantity was bumped: minimum is now 1.
@@ -163,9 +166,11 @@ fn delete_statement() {
     })
     .unwrap();
     let n = db
-        .transaction(|tx| match tx.execute("delete s in stockitem suchthat (quantity % 2 == 0)")? {
-            ExecResult::Deleted(n) => Ok(n),
-            other => panic!("{other:?}"),
+        .transaction(|tx| {
+            match tx.execute("delete s in stockitem suchthat (quantity % 2 == 0)")? {
+                ExecResult::Deleted(n) => Ok(n),
+                other => panic!("{other:?}"),
+            }
         })
         .unwrap();
     assert_eq!(n, 3);

@@ -59,10 +59,8 @@ fn fixpoint_over_cyclic_data_terminates() {
     // a -> b -> c -> a. The engine's fixpoint visits each *object* once,
     // so cyclic reachability terminates with the right answer.
     let db = Database::in_memory();
-    db.define_from_source(
-        "class edge { string src; string dst; } class seen { string node; }",
-    )
-    .unwrap();
+    db.define_from_source("class edge { string src; string dst; } class seen { string node; }")
+        .unwrap();
     db.create_cluster("edge").unwrap();
     db.create_cluster("seen").unwrap();
     db.transaction(|tx| {
@@ -110,10 +108,7 @@ fn set_fixpoint_over_cycles_terminates_via_dedup() {
     db.define_from_source("class h { set<int> nums; }").unwrap();
     db.create_cluster("h").unwrap();
     db.transaction(|tx| {
-        let h = tx.pnew(
-            "h",
-            &[("nums", Value::Set(SetValue::new()))],
-        )?;
+        let h = tx.pnew("h", &[("nums", Value::Set(SetValue::new()))])?;
         tx.set_insert(h, "nums", 0i64)?;
         let visited = tx.iterate_set(h, "nums", |tx, v| {
             let n = v.as_int()?;
@@ -139,7 +134,10 @@ fn large_values_near_page_capacity() {
         let arr: Vec<Value> = (0..300).map(Value::Int).collect();
         let oid = tx.pnew(
             "big",
-            &[("s", Value::from(s.clone())), ("a", Value::Array(arr.clone()))],
+            &[
+                ("s", Value::from(s.clone())),
+                ("a", Value::Array(arr.clone())),
+            ],
         )?;
         assert_eq!(tx.get(oid, "s")?.as_str()?, s);
         let Value::Array(back) = tx.get(oid, "a")? else {
@@ -277,7 +275,10 @@ fn constraint_can_dereference_other_objects() {
     assert!(matches!(err, OdeError::ConstraintViolation { .. }), "{err}");
     // No boss: the null guard admits any salary.
     db.transaction(|tx| {
-        tx.pnew("employee", &[("name", Value::from("solo")), ("salary", Value::Int(999))])
+        tx.pnew(
+            "employee",
+            &[("name", Value::from("solo")), ("salary", Value::Int(999))],
+        )
     })
     .unwrap();
 }
@@ -308,7 +309,11 @@ fn deep_hierarchy_chains() {
     })
     .unwrap();
     db.transaction(|tx| {
-        assert_eq!(tx.forall("l0")?.count()?, 1, "leaf visible from the root extent");
+        assert_eq!(
+            tx.forall("l0")?.count()?,
+            1,
+            "leaf visible from the root extent"
+        );
         assert_eq!(tx.forall("l11")?.count()?, 1);
         Ok(())
     })
@@ -318,7 +323,8 @@ fn deep_hierarchy_chains() {
 #[test]
 fn empty_and_null_field_queries() {
     let db = Database::in_memory();
-    db.define_from_source("class t { string s; int n = 0; }").unwrap();
+    db.define_from_source("class t { string s; int n = 0; }")
+        .unwrap();
     db.create_cluster("t").unwrap();
     db.transaction(|tx| {
         tx.pnew("t", &[])?; // s is null

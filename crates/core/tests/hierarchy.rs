@@ -13,17 +13,17 @@ fn university(db: &Database) {
             .field_default("base_income", Type::Int, 0),
     )
     .unwrap();
-    db.define_class(
-        ClassBuilder::new("student")
-            .base("person")
-            .field_default("stipend", Type::Int, 0),
-    )
+    db.define_class(ClassBuilder::new("student").base("person").field_default(
+        "stipend",
+        Type::Int,
+        0,
+    ))
     .unwrap();
-    db.define_class(
-        ClassBuilder::new("faculty")
-            .base("person")
-            .field_default("salary", Type::Int, 0),
-    )
+    db.define_class(ClassBuilder::new("faculty").base("person").field_default(
+        "salary",
+        Type::Int,
+        0,
+    ))
     .unwrap();
     db.define_class(
         ClassBuilder::new("teaching_assistant")
@@ -53,7 +53,10 @@ fn populate(db: &Database) -> (Oid, Oid, Oid, Oid) {
     db.transaction(|tx| {
         let p = tx.pnew(
             "person",
-            &[("name", Value::from("pat")), ("base_income", Value::Int(100))],
+            &[
+                ("name", Value::from("pat")),
+                ("base_income", Value::Int(100)),
+            ],
         )?;
         let s = tx.pnew(
             "student",
@@ -73,7 +76,10 @@ fn populate(db: &Database) -> (Oid, Oid, Oid, Oid) {
         )?;
         let ta = tx.pnew(
             "teaching_assistant",
-            &[("name", Value::from("terry")), ("base_income", Value::Int(5))],
+            &[
+                ("name", Value::from("terry")),
+                ("base_income", Value::Int(5)),
+            ],
         )?;
         Ok((p, s, f, ta))
     })

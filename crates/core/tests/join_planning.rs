@@ -110,7 +110,10 @@ fn probe_sees_in_transaction_changes() {
         )?;
         let e = tx.pnew(
             "employee",
-            &[("ename", Value::from("new hire")), ("deptno", Value::Int(77))],
+            &[
+                ("ename", Value::from("new hire")),
+                ("deptno", Value::Int(77)),
+            ],
         )?;
         let rows = tx
             .forall_join(&[("e", "employee"), ("d", "department")])?
@@ -218,11 +221,7 @@ fn three_way_join_with_mixed_probing() {
     .unwrap();
     db.transaction(|tx| {
         let rows = tx
-            .forall_join(&[
-                ("e", "employee"),
-                ("d", "department"),
-                ("p", "project"),
-            ])?
+            .forall_join(&[("e", "employee"), ("d", "department"), ("p", "project")])?
             .suchthat("e.deptno == d.dno && p.pdept == d.dno")?
             .collect()?;
         // Employees in dept 0 (3: emp-0,4,8) and dept 1 (2: emp-1,5) with

@@ -163,10 +163,7 @@ fn pdelete_removes_and_makes_refs_dangle() {
     db.transaction(|tx| tx.pdelete(oid)).unwrap();
     let tx = db.begin();
     assert!(!tx.exists(oid));
-    assert!(matches!(
-        tx.read(oid),
-        Err(OdeError::NoSuchObject(_))
-    ));
+    assert!(matches!(tx.read(oid), Err(OdeError::NoSuchObject(_))));
 }
 
 #[test]

@@ -115,7 +115,10 @@ fn iteration_sees_transaction_overlay() {
     // qualifies.
     tx.pnew(
         "stockitem",
-        &[("name", Value::from("fresh")), ("quantity", Value::Int(1000))],
+        &[
+            ("name", Value::from("fresh")),
+            ("quantity", Value::Int(1000)),
+        ],
     )
     .unwrap();
     let victim = tx
@@ -337,7 +340,10 @@ fn company(db: &Database) {
         for d in 0..3i64 {
             tx.pnew(
                 "department",
-                &[("dname", Value::from(format!("dept-{d}"))), ("dno", Value::Int(d))],
+                &[
+                    ("dname", Value::from(format!("dept-{d}"))),
+                    ("dno", Value::Int(d)),
+                ],
             )?;
         }
         for e in 0..12i64 {
@@ -473,30 +479,27 @@ fn fixpoint_parts_explosion_via_cluster() {
     let mut found = std::collections::BTreeSet::new();
     db.transaction(|tx| {
         tx.pnew("result", &[("part", Value::from("engine"))])?;
-        tx.forall("result")
-            .unwrap()
-            .fixpoint()
-            .run(|tx, r| {
-                let part = tx.get(r, "part")?.as_str()?.to_string();
-                found.insert(part.clone());
-                let children: Vec<String> = tx
-                    .forall("usage")?
-                    .suchthat(&format!("parent == \"{part}\""))?
-                    .collect_values("child")?
-                    .into_iter()
-                    .map(|v| v.as_str().unwrap().to_string())
-                    .collect();
-                for c in children {
-                    let already = tx
-                        .forall("result")?
-                        .suchthat(&format!("part == \"{c}\""))?
-                        .count()?;
-                    if already == 0 {
-                        tx.pnew("result", &[("part", Value::from(c.as_str()))])?;
-                    }
+        tx.forall("result").unwrap().fixpoint().run(|tx, r| {
+            let part = tx.get(r, "part")?.as_str()?.to_string();
+            found.insert(part.clone());
+            let children: Vec<String> = tx
+                .forall("usage")?
+                .suchthat(&format!("parent == \"{part}\""))?
+                .collect_values("child")?
+                .into_iter()
+                .map(|v| v.as_str().unwrap().to_string())
+                .collect();
+            for c in children {
+                let already = tx
+                    .forall("result")?
+                    .suchthat(&format!("part == \"{c}\""))?
+                    .count()?;
+                if already == 0 {
+                    tx.pnew("result", &[("part", Value::from(c.as_str()))])?;
                 }
-                Ok(())
-            })?;
+            }
+            Ok(())
+        })?;
         Ok(())
     })
     .unwrap();

@@ -438,8 +438,12 @@ fn trigger_on_derived_class_object_uses_inherited_declaration() {
             .action_assign("qty", "qty + 50"),
     )
     .unwrap();
-    db.define_class(ClassBuilder::new("special").base("item").field("tag", Type::Str))
-        .unwrap();
+    db.define_class(
+        ClassBuilder::new("special")
+            .base("item")
+            .field("tag", Type::Str),
+    )
+    .unwrap();
     db.create_cluster("item").unwrap();
     db.create_cluster("special").unwrap();
     let oid = db

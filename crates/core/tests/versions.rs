@@ -58,13 +58,9 @@ fn newversion_freezes_the_old_state() {
     // Generic reference: the current version.
     assert_eq!(tx.get(oid, "body").unwrap(), Value::from("draft 2"));
     // Specific references: pinned.
-    let old = tx
-        .read_version(VersionRef { oid, version: 0 })
-        .unwrap();
+    let old = tx.read_version(VersionRef { oid, version: 0 }).unwrap();
     assert_eq!(old.fields[1], Value::from("draft 1"));
-    let new = tx
-        .read_version(VersionRef { oid, version: 1 })
-        .unwrap();
+    let new = tx.read_version(VersionRef { oid, version: 1 }).unwrap();
     assert_eq!(new.fields[1], Value::from("draft 2"));
     assert_eq!(tx.versions(oid).unwrap(), vec![0, 1]);
     assert!(tx.is_versioned(oid).unwrap());
@@ -155,9 +151,7 @@ fn version_tree_branching() {
         tx.parent_version(VersionRef { oid, version: 2 }).unwrap(),
         Some(0)
     );
-    let children = tx
-        .child_versions(VersionRef { oid, version: 0 })
-        .unwrap();
+    let children = tx.child_versions(VersionRef { oid, version: 0 }).unwrap();
     assert_eq!(children, vec![1, 2]);
     // The branch started from v0's state.
     assert_eq!(tx.get(oid, "body").unwrap(), Value::from("branch off root"));
@@ -237,10 +231,8 @@ fn specific_refs_stored_in_fields_stay_pinned() {
     // Historical databases (§4): an audit object holds a specific ref.
     let db = Database::in_memory();
     docs(&db);
-    db.define_class(
-        ClassBuilder::new("audit").field("snapshot", Type::VRef("document".into())),
-    )
-    .unwrap();
+    db.define_class(ClassBuilder::new("audit").field("snapshot", Type::VRef("document".into())))
+        .unwrap();
     db.create_cluster("audit").unwrap();
     let (doc, audit) = db
         .transaction(|tx| {

@@ -235,11 +235,7 @@ impl ClassBuilder {
     }
 
     /// Attach a named constraint (name shows up in violation errors).
-    pub fn constraint_named(
-        mut self,
-        name: impl Into<String>,
-        src: impl Into<String>,
-    ) -> Self {
+    pub fn constraint_named(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
         self.constraints.push((Some(name.into()), src.into()));
         self
     }

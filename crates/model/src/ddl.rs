@@ -368,15 +368,13 @@ impl<'a> Ddl<'a> {
                     crate::expr::Expr::Lit(Value::Int(i)) => Value::Int(-i),
                     crate::expr::Expr::Lit(Value::Float(x)) => Value::Float(-x),
                     _ => {
-                        return Err(self.err(format!(
-                            "default for `{name}` must be a literal constant"
-                        )))
+                        return Err(
+                            self.err(format!("default for `{name}` must be a literal constant"))
+                        )
                     }
                 },
                 _ => {
-                    return Err(self.err(format!(
-                        "default for `{name}` must be a literal constant"
-                    )))
+                    return Err(self.err(format!("default for `{name}` must be a literal constant")))
                 }
             };
             return Ok(b.field_default(name, ty, value));
@@ -426,7 +424,9 @@ mod tests {
         assert_eq!(t.params, vec!["amount"]);
         assert!(!t.perpetual);
         assert_eq!(t.actions.len(), 2);
-        assert!(matches!(&t.actions[1], TriggerAction::Callback { name } if name == "notify_purchasing"));
+        assert!(
+            matches!(&t.actions[1], TriggerAction::Callback { name } if name == "notify_purchasing")
+        );
         // Defaults applied.
         let obj = schema.new_object(id).unwrap();
         assert_eq!(obj.fields[2], Value::Int(0));
@@ -478,10 +478,7 @@ mod tests {
         assert_eq!(c.field("old_style").unwrap().ty, Type::Ref("a".into()));
         assert_eq!(c.field("cname").unwrap().ty, Type::Str);
         assert_eq!(c.field("blob").unwrap().ty, Type::Any);
-        assert_eq!(
-            c.field("tags").unwrap().ty,
-            Type::Set(Box::new(Type::Str))
-        );
+        assert_eq!(c.field("tags").unwrap().ty, Type::Set(Box::new(Type::Str)));
     }
 
     #[test]
@@ -525,7 +522,10 @@ mod tests {
             ("class x { frob y; }", "expected a type"),
             ("class x { int y = z; }", "literal constant"),
             ("class x { constraint: ; }", "expression"),
-            ("class x { trigger t() : a < b { q; } int a; int b; int q; }", "expected `=`"),
+            (
+                "class x { trigger t() : a < b { q; } int a; int b; int q; }",
+                "expected `=`",
+            ),
             ("struct x {}", "expected `class`"),
         ] {
             let err = parse_classes(src).unwrap_err();
@@ -545,7 +545,10 @@ mod tests {
         let id = schema
             .define(parse_classes(src).unwrap().into_iter().next().unwrap())
             .unwrap();
-        assert_eq!(schema.class(id).unwrap().constraints[0].src, r#"s != "a;b""#);
+        assert_eq!(
+            schema.class(id).unwrap().constraints[0].src,
+            r#"s != "a;b""#
+        );
     }
 
     #[test]

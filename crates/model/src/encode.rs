@@ -133,8 +133,7 @@ impl<'a> Reader<'a> {
     fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         let s = self.need(n)?;
-        String::from_utf8(s.to_vec())
-            .map_err(|_| ModelError::Decode("invalid utf-8 string".into()))
+        String::from_utf8(s.to_vec()).map_err(|_| ModelError::Decode("invalid utf-8 string".into()))
     }
 }
 
@@ -204,8 +203,7 @@ pub fn read_value(r: &mut Reader) -> Result<Value> {
         V_FLOAT => Value::Float(r.f64()?),
         V_STR => Value::Str(r.str()?),
         V_REF => Value::Ref(
-            Oid::from_bytes(r.need(10)?)
-                .ok_or_else(|| ModelError::Decode("bad oid".into()))?,
+            Oid::from_bytes(r.need(10)?).ok_or_else(|| ModelError::Decode("bad oid".into()))?,
         ),
         V_VREF => Value::VRef(
             VersionRef::from_bytes(r.need(14)?)
@@ -446,9 +444,7 @@ pub fn decode_class(bytes: &[u8]) -> Result<ClassBuilder> {
                 A_CALLBACK => {
                     b = b.action_callback(r.str()?);
                 }
-                other => {
-                    return Err(ModelError::Decode(format!("unknown action tag {other}")))
-                }
+                other => return Err(ModelError::Decode(format!("unknown action tag {other}"))),
             }
         }
     }
@@ -484,10 +480,7 @@ mod tests {
                 version: 4,
             }),
             Value::Array(vec![Value::Int(1), Value::Str("two".into())]),
-            Value::Set(SetValue::from_iter([
-                Value::Int(5),
-                Value::Int(3),
-            ])),
+            Value::Set(SetValue::from_iter([Value::Int(5), Value::Int(3)])),
         ]
     }
 

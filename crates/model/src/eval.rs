@@ -112,16 +112,12 @@ impl<'a> EvalCtx<'a> {
             Expr::Unary(op, e) => self.eval_unary(*op, e),
             Expr::Binary(op, l, r) => self.eval_binary(*op, l, r),
             Expr::Call { recv, name, args } => {
-                let argv: Vec<Value> =
-                    args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
+                let argv: Vec<Value> = args.iter().map(|a| self.eval(a)).collect::<Result<_>>()?;
                 let obj = match recv {
                     Some(r) => self.eval_to_object(r)?,
-                    None => self
-                        .this
-                        .cloned()
-                        .ok_or_else(|| ModelError::Eval(format!(
-                            "method `{name}` called with no current object"
-                        )))?,
+                    None => self.this.cloned().ok_or_else(|| {
+                        ModelError::Eval(format!("method `{name}` called with no current object"))
+                    })?,
                 };
                 let m = self.schema.lookup_method(obj.class, name)?;
                 m(&obj, &argv)
@@ -138,9 +134,8 @@ impl<'a> EvalCtx<'a> {
                 let i = self.eval(ix)?.as_int()?;
                 match container {
                     Value::Array(items) => {
-                        let idx = usize::try_from(i).map_err(|_| {
-                            ModelError::Eval(format!("negative array index {i}"))
-                        })?;
+                        let idx = usize::try_from(i)
+                            .map_err(|_| ModelError::Eval(format!("negative array index {i}")))?;
                         items.get(idx).cloned().ok_or_else(|| {
                             ModelError::Eval(format!(
                                 "array index {i} out of bounds (len {})",
@@ -149,21 +144,16 @@ impl<'a> EvalCtx<'a> {
                         })
                     }
                     Value::Str(s) => {
-                        let idx = usize::try_from(i).map_err(|_| {
-                            ModelError::Eval(format!("negative string index {i}"))
-                        })?;
+                        let idx = usize::try_from(i)
+                            .map_err(|_| ModelError::Eval(format!("negative string index {i}")))?;
                         s.chars()
                             .nth(idx)
                             .map(|c| Value::Str(c.to_string()))
                             .ok_or_else(|| {
-                                ModelError::Eval(format!(
-                                    "string index {i} out of bounds"
-                                ))
+                                ModelError::Eval(format!("string index {i} out of bounds"))
                             })
                     }
-                    other => Err(ModelError::Type(format!(
-                        "cannot subscript {other}"
-                    ))),
+                    other => Err(ModelError::Type(format!("cannot subscript {other}"))),
                 }
             }
             Expr::Is(e, class_name) => {
@@ -224,18 +214,17 @@ impl<'a> EvalCtx<'a> {
     fn eval_unary(&self, op: UnOp, e: &Expr) -> Result<Value> {
         let v = self.eval(e)?;
         match (op, v) {
-            (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(
-                i.checked_neg()
-                    .ok_or_else(|| ModelError::Eval("integer overflow in negation".into()))?,
-            )),
+            (UnOp::Neg, Value::Int(i)) => {
+                Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                    ModelError::Eval("integer overflow in negation".into())
+                })?))
+            }
             (UnOp::Neg, Value::Float(x)) => Ok(Value::Float(-x)),
             (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-            (UnOp::Neg, other) => {
-                Err(ModelError::Type(format!("cannot negate {other}")))
-            }
-            (UnOp::Not, other) => {
-                Err(ModelError::Type(format!("`!` needs a boolean, got {other}")))
-            }
+            (UnOp::Neg, other) => Err(ModelError::Type(format!("cannot negate {other}"))),
+            (UnOp::Not, other) => Err(ModelError::Type(format!(
+                "`!` needs a boolean, got {other}"
+            ))),
         }
     }
 
@@ -292,9 +281,7 @@ fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
     match (l, r) {
         (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
         | (Value::Str(_), Value::Str(_)) => Ok(l.cmp(r)),
-        _ => Err(ModelError::Type(format!(
-            "cannot order {l} against {r}"
-        ))),
+        _ => Err(ModelError::Type(format!("cannot order {l} against {r}"))),
     }
 }
 
@@ -332,9 +319,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 BinOp::Sub => a - b,
                 BinOp::Mul => a * b,
                 BinOp::Div => a / b,
-                BinOp::Mod => {
-                    return Err(ModelError::Type("`%` needs integers".into()))
-                }
+                BinOp::Mod => return Err(ModelError::Type("`%` needs integers".into())),
                 _ => unreachable!(),
             };
             Ok(Value::Float(out))
@@ -462,8 +447,7 @@ mod tests {
         let (s, id) = schema_with_item();
         let obj = s.new_object(id).unwrap();
         let e = parse_expr("quantity < $threshold").unwrap();
-        let params: HashMap<String, Value> =
-            [("threshold".to_string(), Value::Int(200))].into();
+        let params: HashMap<String, Value> = [("threshold".to_string(), Value::Int(200))].into();
         let got = EvalCtx::new(&s)
             .with_this(&obj)
             .with_params(&params)
@@ -479,8 +463,7 @@ mod tests {
         let (s, id) = schema_with_item();
         let mut obj = s.new_object(id).unwrap();
         obj.fields[1] = Value::Int(1);
-        let vars: HashMap<String, Value> =
-            [("quantity".to_string(), Value::Int(999))].into();
+        let vars: HashMap<String, Value> = [("quantity".to_string(), Value::Int(999))].into();
         let e = parse_expr("quantity").unwrap();
         let got = EvalCtx::new(&s)
             .with_this(&obj)
@@ -527,7 +510,8 @@ mod tests {
         .into();
         let ctx = EvalCtx::new(&s).with_this(&obj).with_vars(&vars);
         assert_eq!(
-            ctx.eval(&parse_expr("'dram' in supplies").unwrap()).unwrap(),
+            ctx.eval(&parse_expr("'dram' in supplies").unwrap())
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(

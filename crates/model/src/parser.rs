@@ -32,7 +32,11 @@ use crate::value::Value;
 /// Parse `src` into an expression tree.
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, at: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        src_len: src.len(),
+    };
     let e = p.expr()?;
     match p.peek() {
         Token::Eof => Ok(e),
@@ -167,9 +171,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
                             '\\' => '\\',
                             '\'' => '\'',
                             '"' => '"',
-                            other => {
-                                return Err(err(i, format!("unknown escape `\\{other}`")))
-                            }
+                            other => return Err(err(i, format!("unknown escape `\\{other}`"))),
                         });
                         i += esc.len_utf8();
                     } else {
@@ -186,9 +188,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Token::Ident(src[start..i].to_string()), start));
@@ -262,7 +262,11 @@ fn lex_number(src: &str, start: usize) -> Result<(Token, usize)> {
                         && matches!(next2, Some(b'0'..=b'9')));
                 if exp_ok {
                     saw_exp = true;
-                    i += if matches!(next, Some(b'+') | Some(b'-')) { 2 } else { 1 };
+                    i += if matches!(next, Some(b'+') | Some(b'-')) {
+                        2
+                    } else {
+                        1
+                    };
                 } else {
                     break;
                 }
@@ -379,7 +383,9 @@ impl Parser {
                 let class = match self.bump() {
                     Token::Ident(name) => name,
                     other => {
-                        return Err(self.error(format!("expected class name after `is`, found {other}")))
+                        return Err(
+                            self.error(format!("expected class name after `is`, found {other}"))
+                        )
                     }
                 };
                 return Ok(Expr::Is(Box::new(lhs), class));
@@ -490,9 +496,7 @@ impl Parser {
             match self.bump() {
                 Token::Comma => continue,
                 Token::RParen => return Ok(args),
-                other => {
-                    return Err(self.error(format!("expected `,` or `)`, found {other}")))
-                }
+                other => return Err(self.error(format!("expected `,` or `)`, found {other}"))),
             }
         }
     }
@@ -504,7 +508,9 @@ impl Parser {
             Token::Str(s) => Ok(Expr::Lit(Value::Str(s))),
             Token::Dollar => match self.bump() {
                 Token::Ident(n) => Ok(Expr::Param(n)),
-                other => Err(self.error(format!("expected parameter name after `$`, found {other}"))),
+                other => {
+                    Err(self.error(format!("expected parameter name after `$`, found {other}")))
+                }
             },
             Token::Ident(name) => match name.as_str() {
                 "true" => Ok(Expr::Lit(Value::Bool(true))),
@@ -555,14 +561,8 @@ mod tests {
 
     #[test]
     fn precedence() {
-        assert_eq!(
-            p("1 + 2 * 3").to_string(),
-            "(1 + (2 * 3))"
-        );
-        assert_eq!(
-            p("a || b && c").to_string(),
-            "(a || (b && c))"
-        );
+        assert_eq!(p("1 + 2 * 3").to_string(), "(1 + (2 * 3))");
+        assert_eq!(p("a || b && c").to_string(), "(a || (b && c))");
         assert_eq!(
             p("1 + 2 < 4 && true").to_string(),
             "(((1 + 2) < 4) && true)"

@@ -162,10 +162,7 @@ impl Schema {
         // Parse triggers.
         let mut triggers = Vec::new();
         for spec in &builder.triggers {
-            if triggers
-                .iter()
-                .any(|t: &TriggerDecl| t.name == spec.name)
-            {
+            if triggers.iter().any(|t: &TriggerDecl| t.name == spec.name) {
                 return Err(ModelError::Inheritance(format!(
                     "class `{}` declares trigger `{}` twice",
                     builder.name, spec.name
@@ -246,9 +243,7 @@ impl Schema {
         for ident in expr.free_idents() {
             if !layout.iter().any(|f| f.name == ident) {
                 return Err(ModelError::Parse {
-                    message: format!(
-                        "`{ident}` in `{src}` is not a field of class `{class_name}`"
-                    ),
+                    message: format!("`{ident}` in `{src}` is not a field of class `{class_name}`"),
                     at: 0,
                 });
             }
@@ -257,12 +252,7 @@ impl Schema {
     }
 
     /// C3 linearization of a new class with the given direct bases.
-    fn linearize(
-        &self,
-        this: ClassId,
-        bases: &[ClassId],
-        name: &str,
-    ) -> Result<Vec<ClassId>> {
+    fn linearize(&self, this: ClassId, bases: &[ClassId], name: &str) -> Result<Vec<ClassId>> {
         // merge(L(B1), …, L(Bn), [B1 … Bn])
         let mut sequences: Vec<Vec<ClassId>> = bases
             .iter()
@@ -498,10 +488,7 @@ mod tests {
         let def = s.class(ta).unwrap();
         // person appears exactly once in the linearization.
         assert_eq!(
-            def.linearization
-                .iter()
-                .filter(|&&c| c == person)
-                .count(),
+            def.linearization.iter().filter(|&&c| c == person).count(),
             1
         );
         // Layout is reverse-MRO: person's fields exactly once (base-most
@@ -535,8 +522,10 @@ mod tests {
     #[test]
     fn field_collision_across_unrelated_bases_is_rejected() {
         let mut s = Schema::new();
-        s.define(ClassBuilder::new("a").field("x", Type::Int)).unwrap();
-        s.define(ClassBuilder::new("b").field("x", Type::Int)).unwrap();
+        s.define(ClassBuilder::new("a").field("x", Type::Int))
+            .unwrap();
+        s.define(ClassBuilder::new("b").field("x", Type::Int))
+            .unwrap();
         let err = s
             .define(ClassBuilder::new("c").base("a").base("b"))
             .unwrap_err();
@@ -566,8 +555,10 @@ mod tests {
         s.define(ClassBuilder::new("o")).unwrap();
         s.define(ClassBuilder::new("a").base("o")).unwrap();
         s.define(ClassBuilder::new("b").base("o")).unwrap();
-        s.define(ClassBuilder::new("ab").base("a").base("b")).unwrap();
-        s.define(ClassBuilder::new("ba").base("b").base("a")).unwrap();
+        s.define(ClassBuilder::new("ab").base("a").base("b"))
+            .unwrap();
+        s.define(ClassBuilder::new("ba").base("b").base("a"))
+            .unwrap();
         let err = s
             .define(ClassBuilder::new("boom").base("ab").base("ba"))
             .unwrap_err();
@@ -585,7 +576,9 @@ mod tests {
     #[test]
     fn check_assign_enforces_types() {
         let (s, person, ..) = person_schema();
-        assert!(s.check_assign(person, "name", &Value::Str("ann".into())).is_ok());
+        assert!(s
+            .check_assign(person, "name", &Value::Str("ann".into()))
+            .is_ok());
         assert!(s.check_assign(person, "name", &Value::Int(5)).is_err());
         assert!(matches!(
             s.check_assign(person, "ghost", &Value::Null),
@@ -646,18 +639,20 @@ mod tests {
     #[test]
     fn trigger_override_in_derived_class() {
         let mut s = Schema::new();
-        s.define(
-            ClassBuilder::new("item")
-                .field("qty", Type::Int)
-                .trigger("low", &[], false, "qty < 10"),
-        )
+        s.define(ClassBuilder::new("item").field("qty", Type::Int).trigger(
+            "low",
+            &[],
+            false,
+            "qty < 10",
+        ))
         .unwrap();
         let special = s
-            .define(
-                ClassBuilder::new("special_item")
-                    .base("item")
-                    .trigger("low", &[], false, "qty < 100"),
-            )
+            .define(ClassBuilder::new("special_item").base("item").trigger(
+                "low",
+                &[],
+                false,
+                "qty < 100",
+            ))
             .unwrap();
         let trigs = s.all_triggers(special).unwrap();
         assert_eq!(trigs.len(), 1);
@@ -669,11 +664,12 @@ mod tests {
     #[test]
     fn trigger_params_are_exempt_from_field_checking() {
         let mut s = Schema::new();
-        s.define(
-            ClassBuilder::new("stock")
-                .field("qty", Type::Int)
-                .trigger("low", &["threshold"], false, "qty < $threshold"),
-        )
+        s.define(ClassBuilder::new("stock").field("qty", Type::Int).trigger(
+            "low",
+            &["threshold"],
+            false,
+            "qty < $threshold",
+        ))
         .unwrap();
     }
 }

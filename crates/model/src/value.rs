@@ -579,14 +579,8 @@ mod tests {
     fn set_algebra() {
         let a = SetValue::from_iter([Value::Int(1), Value::Int(2), Value::Int(3)]);
         let b = SetValue::from_iter([Value::Int(3), Value::Int(4)]);
-        assert_eq!(
-            a.union(&b),
-            SetValue::from_iter((1..=4).map(Value::Int))
-        );
-        assert_eq!(
-            a.intersection(&b),
-            SetValue::from_iter([Value::Int(3)])
-        );
+        assert_eq!(a.union(&b), SetValue::from_iter((1..=4).map(Value::Int)));
+        assert_eq!(a.intersection(&b), SetValue::from_iter([Value::Int(3)]));
         assert_eq!(
             a.difference(&b),
             SetValue::from_iter([Value::Int(1), Value::Int(2)])

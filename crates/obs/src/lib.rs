@@ -1,0 +1,971 @@
+//! # ode-obs
+//!
+//! Engine-wide telemetry for Ode. The paper's environment half promises an
+//! *observable* system; this crate supplies the primitives the engine
+//! threads through every layer:
+//!
+//! * [`Counter`] — a relaxed atomic counter cheap enough for hot paths,
+//! * [`MaxGauge`] — a high-watermark gauge (trigger cascade depth),
+//! * [`LatencyHisto`] — a log₂-bucketed nanosecond histogram (commit
+//!   latency),
+//! * [`EngineTelemetry`] — the live counter tree, grouped by subsystem
+//!   (transactions, queries, versions, triggers),
+//! * [`TelemetrySnapshot`] — a plain-data copy (including substrate
+//!   counters) with [`TelemetrySnapshot::delta`] for before/after
+//!   measurement and [`TelemetrySnapshot::to_json`] for reports,
+//! * [`QueryProfile`] — the per-query execution profile behind
+//!   `explain forall …`,
+//! * [`TraceEvent`]/[`TraceSink`] — begin/end span events for
+//!   transaction, query, and trigger scopes, delivered to a host callback.
+//!
+//! The crate is dependency-free so every layer of the workspace can use it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ----------------------------------------------------------- primitives
+
+/// A monotonically increasing event counter. All operations use relaxed
+/// ordering: counts are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (benches and tests measure deltas).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A high-watermark gauge: remembers the largest observed value.
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> MaxGauge {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Record `v`; the gauge keeps the maximum seen.
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Largest value observed since the last reset.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets in a [`LatencyHisto`]. Bucket `i` holds samples
+/// with `ns < 2^i` (the last bucket absorbs everything larger), so the
+/// range spans 1 ns to ~17 minutes — ample for commit latencies.
+pub const HISTO_BUCKETS: usize = 40;
+
+/// A lock-free latency histogram with power-of-two nanosecond buckets.
+/// Recording is two relaxed atomic adds; quantiles are approximate (bucket
+/// upper bounds), which is plenty for spotting fsync cliffs.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// A fresh empty histogram.
+    pub fn new() -> LatencyHisto {
+        LatencyHisto::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // Bucket i covers [2^(i-1), 2^i); 0 ns lands in bucket 0.
+        ((64 - ns.leading_zeros()) as usize).min(HISTO_BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Plain-data copy with approximate quantiles.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64) * q).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // Upper bound of bucket i.
+                    return 1u64 << i.min(63);
+                }
+            }
+            1u64 << (HISTO_BUCKETS - 1)
+        };
+        let max_ns = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| 1u64 << i.min(63))
+            .unwrap_or(0);
+        HistoSnapshot {
+            count,
+            sum_ns,
+            p50_ns: quantile(0.50),
+            p99_ns: quantile(0.99),
+            max_ns,
+        }
+    }
+
+    /// Zero every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data summary of a [`LatencyHisto`]. Quantiles are bucket upper
+/// bounds (within 2× of the true value by construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub sum_ns: u64,
+    /// Approximate median, in nanoseconds.
+    pub p50_ns: u64,
+    /// Approximate 99th percentile, in nanoseconds.
+    pub p99_ns: u64,
+    /// Approximate maximum, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistoSnapshot {
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Counter-style delta: count and sum subtract; the quantile fields
+    /// keep their current values (quantiles do not subtract meaningfully).
+    pub fn delta(&self, baseline: &HistoSnapshot) -> HistoSnapshot {
+        HistoSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum_ns: self.sum_ns.saturating_sub(baseline.sum_ns),
+            ..*self
+        }
+    }
+
+    fn json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.count, self.sum_ns, self.p50_ns, self.p99_ns, self.max_ns
+        ));
+    }
+}
+
+// -------------------------------------------------------- live counters
+
+/// Transaction-layer counters.
+#[derive(Debug, Default)]
+pub struct TxnTelemetry {
+    /// Transactions begun.
+    pub begun: Counter,
+    /// Transactions committed.
+    pub committed: Counter,
+    /// Rollbacks caused by a constraint violation (§5's abort semantics).
+    pub aborted_constraint: Counter,
+    /// Rollbacks from explicit `abort()`, drops, or non-constraint errors.
+    pub aborted_other: Counter,
+    /// Wall-clock latency of `commit()` (pipeline + weak-coupled actions).
+    pub commit_latency: LatencyHisto,
+}
+
+/// Query-execution counters.
+#[derive(Debug, Default)]
+pub struct QueryTelemetry {
+    /// `forall` iterations started.
+    pub foralls: Counter,
+    /// Join (`forall_join`) queries started.
+    pub joins: Counter,
+    /// Cluster heaps enumerated by extent scans.
+    pub clusters_visited: Counter,
+    /// Objects materialized as candidates (scanned or probed).
+    pub objects_scanned: Counter,
+    /// `suchthat` predicate evaluations.
+    pub predicate_evals: Counter,
+    /// Index lookups/ranges that answered a conjunct.
+    pub index_probes: Counter,
+    /// Passes that fell back to enumerating a deep extent.
+    pub deep_extent_scans: Counter,
+    /// Fixpoint re-evaluation rounds (§3.2).
+    pub fixpoint_rounds: Counter,
+    /// Newly visited objects across all fixpoint rounds.
+    pub fixpoint_new_objects: Counter,
+}
+
+/// Version-subsystem counters (§4).
+#[derive(Debug, Default)]
+pub struct VersionTelemetry {
+    /// `newversion` / `newversion_from` calls.
+    pub newversions: Counter,
+    /// Generic references resolved through a version anchor to the current
+    /// version's record (a chain follow).
+    pub generic_derefs: Counter,
+    /// Specific (pinned-version) dereferences.
+    pub specific_derefs: Counter,
+}
+
+/// Trigger-subsystem counters (§6).
+#[derive(Debug, Default)]
+pub struct TriggerTelemetry {
+    /// Trigger activations requested.
+    pub activations: Counter,
+    /// Trigger-condition evaluations at commit.
+    pub condition_evals: Counter,
+    /// Triggers fired (actions dispatched).
+    pub firings: Counter,
+    /// Fired actions whose own transaction failed (weak coupling records
+    /// these instead of propagating).
+    pub action_failures: Counter,
+    /// Firings deferred past the commit point (weak coupling, §6).
+    pub deferred_actions: Counter,
+    /// Deepest trigger cascade observed.
+    pub max_cascade_depth: MaxGauge,
+}
+
+/// The engine's live counter tree. One instance lives in each `Database`;
+/// every layer increments it through relaxed atomics.
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// Transaction counters.
+    pub txn: TxnTelemetry,
+    /// Query-execution counters.
+    pub query: QueryTelemetry,
+    /// Version counters.
+    pub versions: VersionTelemetry,
+    /// Trigger counters.
+    pub triggers: TriggerTelemetry,
+}
+
+impl EngineTelemetry {
+    /// Zero every engine counter (substrate counters reset separately).
+    pub fn reset(&self) {
+        let t = &self.txn;
+        for c in [
+            &t.begun,
+            &t.committed,
+            &t.aborted_constraint,
+            &t.aborted_other,
+        ] {
+            c.reset();
+        }
+        t.commit_latency.reset();
+        let q = &self.query;
+        for c in [
+            &q.foralls,
+            &q.joins,
+            &q.clusters_visited,
+            &q.objects_scanned,
+            &q.predicate_evals,
+            &q.index_probes,
+            &q.deep_extent_scans,
+            &q.fixpoint_rounds,
+            &q.fixpoint_new_objects,
+        ] {
+            c.reset();
+        }
+        let v = &self.versions;
+        for c in [&v.newversions, &v.generic_derefs, &v.specific_derefs] {
+            c.reset();
+        }
+        let g = &self.triggers;
+        for c in [
+            &g.activations,
+            &g.condition_evals,
+            &g.firings,
+            &g.action_failures,
+            &g.deferred_actions,
+        ] {
+            c.reset();
+        }
+        g.max_cascade_depth.reset();
+    }
+
+    /// Copy the live counters (plus the given substrate counters) into a
+    /// plain-data snapshot.
+    pub fn snapshot(&self, storage: StorageSnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            storage,
+            txn: TxnSnapshot {
+                begun: self.txn.begun.get(),
+                committed: self.txn.committed.get(),
+                aborted_constraint: self.txn.aborted_constraint.get(),
+                aborted_other: self.txn.aborted_other.get(),
+                commit_latency: self.txn.commit_latency.snapshot(),
+            },
+            query: QuerySnapshot {
+                foralls: self.query.foralls.get(),
+                joins: self.query.joins.get(),
+                clusters_visited: self.query.clusters_visited.get(),
+                objects_scanned: self.query.objects_scanned.get(),
+                predicate_evals: self.query.predicate_evals.get(),
+                index_probes: self.query.index_probes.get(),
+                deep_extent_scans: self.query.deep_extent_scans.get(),
+                fixpoint_rounds: self.query.fixpoint_rounds.get(),
+                fixpoint_new_objects: self.query.fixpoint_new_objects.get(),
+            },
+            versions: VersionSnapshot {
+                newversions: self.versions.newversions.get(),
+                generic_derefs: self.versions.generic_derefs.get(),
+                specific_derefs: self.versions.specific_derefs.get(),
+            },
+            triggers: TriggerSnapshot {
+                activations: self.triggers.activations.get(),
+                condition_evals: self.triggers.condition_evals.get(),
+                firings: self.triggers.firings.get(),
+                action_failures: self.triggers.action_failures.get(),
+                deferred_actions: self.triggers.deferred_actions.get(),
+                max_cascade_depth: self.triggers.max_cascade_depth.get(),
+            },
+        }
+    }
+}
+
+// ------------------------------------------------------------ snapshots
+
+/// Substrate (storage-layer) counters, flattened for snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageSnapshot {
+    /// Buffer-pool page requests served from the pool.
+    pub pager_hits: u64,
+    /// Page requests that read the data file.
+    pub pager_misses: u64,
+    /// Frames evicted to make room.
+    pub pager_evictions: u64,
+    /// Dirty frames written back.
+    pub pager_writebacks: u64,
+    /// Record reads served by the store.
+    pub record_reads: u64,
+    /// Records written by commit batches.
+    pub record_writes: u64,
+    /// WAL commit groups appended.
+    pub wal_appends: u64,
+    /// WAL fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Bytes in the WAL since the last checkpoint.
+    pub wal_bytes: u64,
+    /// Committed store batches since open.
+    pub commits: u64,
+}
+
+/// Transaction counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnSnapshot {
+    /// See [`TxnTelemetry::begun`].
+    pub begun: u64,
+    /// See [`TxnTelemetry::committed`].
+    pub committed: u64,
+    /// See [`TxnTelemetry::aborted_constraint`].
+    pub aborted_constraint: u64,
+    /// See [`TxnTelemetry::aborted_other`].
+    pub aborted_other: u64,
+    /// See [`TxnTelemetry::commit_latency`].
+    pub commit_latency: HistoSnapshot,
+}
+
+/// Query counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuerySnapshot {
+    /// See [`QueryTelemetry::foralls`].
+    pub foralls: u64,
+    /// See [`QueryTelemetry::joins`].
+    pub joins: u64,
+    /// See [`QueryTelemetry::clusters_visited`].
+    pub clusters_visited: u64,
+    /// See [`QueryTelemetry::objects_scanned`].
+    pub objects_scanned: u64,
+    /// See [`QueryTelemetry::predicate_evals`].
+    pub predicate_evals: u64,
+    /// See [`QueryTelemetry::index_probes`].
+    pub index_probes: u64,
+    /// See [`QueryTelemetry::deep_extent_scans`].
+    pub deep_extent_scans: u64,
+    /// See [`QueryTelemetry::fixpoint_rounds`].
+    pub fixpoint_rounds: u64,
+    /// See [`QueryTelemetry::fixpoint_new_objects`].
+    pub fixpoint_new_objects: u64,
+}
+
+/// Version counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VersionSnapshot {
+    /// See [`VersionTelemetry::newversions`].
+    pub newversions: u64,
+    /// See [`VersionTelemetry::generic_derefs`].
+    pub generic_derefs: u64,
+    /// See [`VersionTelemetry::specific_derefs`].
+    pub specific_derefs: u64,
+}
+
+/// Trigger counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriggerSnapshot {
+    /// See [`TriggerTelemetry::activations`].
+    pub activations: u64,
+    /// See [`TriggerTelemetry::condition_evals`].
+    pub condition_evals: u64,
+    /// See [`TriggerTelemetry::firings`].
+    pub firings: u64,
+    /// See [`TriggerTelemetry::action_failures`].
+    pub action_failures: u64,
+    /// See [`TriggerTelemetry::deferred_actions`].
+    pub deferred_actions: u64,
+    /// See [`TriggerTelemetry::max_cascade_depth`].
+    pub max_cascade_depth: u64,
+}
+
+/// A full engine + substrate telemetry snapshot: plain data, comparable,
+/// subtractable, and serializable to JSON without any dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Storage-layer counters.
+    pub storage: StorageSnapshot,
+    /// Transaction counters.
+    pub txn: TxnSnapshot,
+    /// Query counters.
+    pub query: QuerySnapshot,
+    /// Version counters.
+    pub versions: VersionSnapshot,
+    /// Trigger counters.
+    pub triggers: TriggerSnapshot,
+}
+
+macro_rules! sub_fields {
+    ($self:expr, $base:expr; $($field:ident),+ $(,)?) => {
+        ($( $self.$field.saturating_sub($base.$field), )+)
+    };
+}
+
+impl TelemetrySnapshot {
+    /// Field-wise `self - baseline` (saturating). Gauges
+    /// (`max_cascade_depth`, `wal_bytes`, quantiles) keep their current
+    /// values: they are levels, not counts.
+    pub fn delta(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let s = &self.storage;
+        let b = &baseline.storage;
+        let (
+            pager_hits,
+            pager_misses,
+            pager_evictions,
+            pager_writebacks,
+            record_reads,
+            record_writes,
+            wal_appends,
+            wal_fsyncs,
+            commits,
+        ) = sub_fields!(s, b; pager_hits, pager_misses, pager_evictions,
+            pager_writebacks, record_reads, record_writes, wal_appends,
+            wal_fsyncs, commits);
+        let storage = StorageSnapshot {
+            pager_hits,
+            pager_misses,
+            pager_evictions,
+            pager_writebacks,
+            record_reads,
+            record_writes,
+            wal_appends,
+            wal_fsyncs,
+            wal_bytes: s.wal_bytes,
+            commits,
+        };
+        let t = &self.txn;
+        let bt = &baseline.txn;
+        let (begun, committed, aborted_constraint, aborted_other) =
+            sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other);
+        let txn = TxnSnapshot {
+            begun,
+            committed,
+            aborted_constraint,
+            aborted_other,
+            commit_latency: t.commit_latency.delta(&bt.commit_latency),
+        };
+        let q = &self.query;
+        let bq = &baseline.query;
+        let (
+            foralls,
+            joins,
+            clusters_visited,
+            objects_scanned,
+            predicate_evals,
+            index_probes,
+            deep_extent_scans,
+            fixpoint_rounds,
+            fixpoint_new_objects,
+        ) = sub_fields!(q, bq; foralls, joins, clusters_visited,
+            objects_scanned, predicate_evals, index_probes,
+            deep_extent_scans, fixpoint_rounds, fixpoint_new_objects);
+        let query = QuerySnapshot {
+            foralls,
+            joins,
+            clusters_visited,
+            objects_scanned,
+            predicate_evals,
+            index_probes,
+            deep_extent_scans,
+            fixpoint_rounds,
+            fixpoint_new_objects,
+        };
+        let v = &self.versions;
+        let bv = &baseline.versions;
+        let (newversions, generic_derefs, specific_derefs) =
+            sub_fields!(v, bv; newversions, generic_derefs, specific_derefs);
+        let versions = VersionSnapshot {
+            newversions,
+            generic_derefs,
+            specific_derefs,
+        };
+        let g = &self.triggers;
+        let bg = &baseline.triggers;
+        let (activations, condition_evals, firings, action_failures, deferred_actions) = sub_fields!(g, bg; activations, condition_evals, firings,
+                action_failures, deferred_actions);
+        let triggers = TriggerSnapshot {
+            activations,
+            condition_evals,
+            firings,
+            action_failures,
+            deferred_actions,
+            max_cascade_depth: g.max_cascade_depth,
+        };
+        TelemetrySnapshot {
+            storage,
+            txn,
+            query,
+            versions,
+            triggers,
+        }
+    }
+
+    /// Flat `(dotted-name, value)` rows for line-oriented display (the
+    /// shell's `.stats`). Latency values are rendered in microseconds.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut out = Vec::with_capacity(40);
+        let mut push = |name: &str, v: u64| out.push((name.to_string(), v.to_string()));
+        let s = &self.storage;
+        push("storage.pager_hits", s.pager_hits);
+        push("storage.pager_misses", s.pager_misses);
+        push("storage.pager_evictions", s.pager_evictions);
+        push("storage.pager_writebacks", s.pager_writebacks);
+        push("storage.record_reads", s.record_reads);
+        push("storage.record_writes", s.record_writes);
+        push("storage.wal_appends", s.wal_appends);
+        push("storage.wal_fsyncs", s.wal_fsyncs);
+        push("storage.wal_bytes", s.wal_bytes);
+        push("storage.commits", s.commits);
+        let t = &self.txn;
+        push("txn.begun", t.begun);
+        push("txn.committed", t.committed);
+        push("txn.aborted_constraint", t.aborted_constraint);
+        push("txn.aborted_other", t.aborted_other);
+        push("txn.commit_latency.count", t.commit_latency.count);
+        let q = &self.query;
+        let lat = &self.txn.commit_latency;
+        out.push((
+            "txn.commit_latency.mean_us".to_string(),
+            format!("{:.1}", lat.mean_ns() as f64 / 1e3),
+        ));
+        out.push((
+            "txn.commit_latency.p99_us".to_string(),
+            format!("{:.1}", lat.p99_ns as f64 / 1e3),
+        ));
+        let mut push = |name: &str, v: u64| out.push((name.to_string(), v.to_string()));
+        push("query.foralls", q.foralls);
+        push("query.joins", q.joins);
+        push("query.clusters_visited", q.clusters_visited);
+        push("query.objects_scanned", q.objects_scanned);
+        push("query.predicate_evals", q.predicate_evals);
+        push("query.index_probes", q.index_probes);
+        push("query.deep_extent_scans", q.deep_extent_scans);
+        push("query.fixpoint_rounds", q.fixpoint_rounds);
+        push("query.fixpoint_new_objects", q.fixpoint_new_objects);
+        let v = &self.versions;
+        push("versions.newversions", v.newversions);
+        push("versions.generic_derefs", v.generic_derefs);
+        push("versions.specific_derefs", v.specific_derefs);
+        let g = &self.triggers;
+        push("triggers.activations", g.activations);
+        push("triggers.condition_evals", g.condition_evals);
+        push("triggers.firings", g.firings);
+        push("triggers.action_failures", g.action_failures);
+        push("triggers.deferred_actions", g.deferred_actions);
+        push("triggers.max_cascade_depth", g.max_cascade_depth);
+        out
+    }
+
+    /// Serialize as a stable JSON object (no external dependency; every
+    /// value is an unsigned integer or a nested object).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        let s = &self.storage;
+        out.push_str(&format!(
+            "\"storage\":{{\"pager_hits\":{},\"pager_misses\":{},\
+             \"pager_evictions\":{},\"pager_writebacks\":{},\
+             \"record_reads\":{},\"record_writes\":{},\"wal_appends\":{},\
+             \"wal_fsyncs\":{},\"wal_bytes\":{},\"commits\":{}}},",
+            s.pager_hits,
+            s.pager_misses,
+            s.pager_evictions,
+            s.pager_writebacks,
+            s.record_reads,
+            s.record_writes,
+            s.wal_appends,
+            s.wal_fsyncs,
+            s.wal_bytes,
+            s.commits
+        ));
+        let t = &self.txn;
+        out.push_str(&format!(
+            "\"txn\":{{\"begun\":{},\"committed\":{},\
+             \"aborted_constraint\":{},\"aborted_other\":{},\
+             \"commit_latency\":",
+            t.begun, t.committed, t.aborted_constraint, t.aborted_other
+        ));
+        t.commit_latency.json(&mut out);
+        out.push_str("},");
+        let q = &self.query;
+        out.push_str(&format!(
+            "\"query\":{{\"foralls\":{},\"joins\":{},\"clusters_visited\":{},\
+             \"objects_scanned\":{},\"predicate_evals\":{},\
+             \"index_probes\":{},\"deep_extent_scans\":{},\
+             \"fixpoint_rounds\":{},\"fixpoint_new_objects\":{}}},",
+            q.foralls,
+            q.joins,
+            q.clusters_visited,
+            q.objects_scanned,
+            q.predicate_evals,
+            q.index_probes,
+            q.deep_extent_scans,
+            q.fixpoint_rounds,
+            q.fixpoint_new_objects
+        ));
+        let v = &self.versions;
+        out.push_str(&format!(
+            "\"versions\":{{\"newversions\":{},\"generic_derefs\":{},\
+             \"specific_derefs\":{}}},",
+            v.newversions, v.generic_derefs, v.specific_derefs
+        ));
+        let g = &self.triggers;
+        out.push_str(&format!(
+            "\"triggers\":{{\"activations\":{},\"condition_evals\":{},\
+             \"firings\":{},\"action_failures\":{},\"deferred_actions\":{},\
+             \"max_cascade_depth\":{}}}",
+            g.activations,
+            g.condition_evals,
+            g.firings,
+            g.action_failures,
+            g.deferred_actions,
+            g.max_cascade_depth
+        ));
+        out.push('}');
+        out
+    }
+}
+
+// -------------------------------------------------------- query profile
+
+/// How a query's candidate set was produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// Enumerate the class's deep extent (cluster hierarchy scan).
+    #[default]
+    DeepExtentScan,
+    /// Enumerate the exact class's extent only (`only` / shallow).
+    ShallowExtentScan,
+    /// Answer an indexed conjunct from the B-tree on `field`, then
+    /// re-check the full predicate.
+    IndexProbe {
+        /// The indexed field backing the probe.
+        field: String,
+    },
+    /// Nested-loop join (inner variables may still probe indexes; see
+    /// [`QueryProfile::index_probes`]).
+    NestedLoopJoin,
+}
+
+impl std::fmt::Display for PlanStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanStrategy::DeepExtentScan => write!(f, "deep extent scan"),
+            PlanStrategy::ShallowExtentScan => write!(f, "shallow extent scan"),
+            PlanStrategy::IndexProbe { field } => write!(f, "index probe on `{field}`"),
+            PlanStrategy::NestedLoopJoin => write!(f, "nested-loop join"),
+        }
+    }
+}
+
+/// Execution profile of one query pass — the payload behind
+/// `explain forall …` and the source of the global query counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Iterated class (or comma-joined classes for a join).
+    pub target: String,
+    /// Chosen access path.
+    pub strategy: PlanStrategy,
+    /// Cluster heaps enumerated.
+    pub clusters_visited: u64,
+    /// Objects materialized as candidates before predicate filtering.
+    pub objects_scanned: u64,
+    /// `suchthat` evaluations performed.
+    pub predicate_evals: u64,
+    /// Index lookups/range scans performed.
+    pub index_probes: u64,
+    /// Bindings produced.
+    pub rows: u64,
+    /// Fixpoint rounds executed (0 for snapshot queries).
+    pub fixpoint_rounds: u64,
+    /// Newly visited objects per fixpoint round.
+    pub fixpoint_new_by_round: Vec<u64>,
+}
+
+impl QueryProfile {
+    /// Merge another pass into this profile (fixpoint rounds accumulate
+    /// passes; the strategy of the first pass wins).
+    pub fn absorb(&mut self, other: &QueryProfile) {
+        if self.target.is_empty() {
+            self.target = other.target.clone();
+            self.strategy = other.strategy.clone();
+        }
+        self.clusters_visited += other.clusters_visited;
+        self.objects_scanned += other.objects_scanned;
+        self.predicate_evals += other.predicate_evals;
+        self.index_probes += other.index_probes;
+        self.rows = other.rows;
+        self.fixpoint_rounds += other.fixpoint_rounds;
+        self.fixpoint_new_by_round
+            .extend_from_slice(&other.fixpoint_new_by_round);
+    }
+
+    /// `(column, value)` rows for tabular display (`explain` output).
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut out = vec![
+            ("target".to_string(), self.target.clone()),
+            ("strategy".to_string(), self.strategy.to_string()),
+            (
+                "clusters_visited".to_string(),
+                self.clusters_visited.to_string(),
+            ),
+            (
+                "objects_scanned".to_string(),
+                self.objects_scanned.to_string(),
+            ),
+            (
+                "predicate_evals".to_string(),
+                self.predicate_evals.to_string(),
+            ),
+            ("index_probes".to_string(), self.index_probes.to_string()),
+            ("rows".to_string(), self.rows.to_string()),
+        ];
+        if self.fixpoint_rounds > 0 {
+            out.push((
+                "fixpoint_rounds".to_string(),
+                self.fixpoint_rounds.to_string(),
+            ));
+            out.push((
+                "fixpoint_new_by_round".to_string(),
+                format!("{:?}", self.fixpoint_new_by_round),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- trace
+
+/// Which engine scope a trace span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceScope {
+    /// A transaction's lifetime (begin → commit/abort).
+    Transaction,
+    /// One query planning + candidate pass.
+    Query,
+    /// One trigger firing (weak-coupled action transaction).
+    Trigger,
+}
+
+/// Span boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// The scope opened.
+    Begin,
+    /// The scope closed.
+    End,
+}
+
+/// One span event delivered to a [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Scope kind.
+    pub scope: TraceScope,
+    /// Begin or end.
+    pub phase: TracePhase,
+    /// Scope-local serial (transaction serial, query serial, activation
+    /// id) pairing each Begin with its End.
+    pub id: u64,
+    /// Human-oriented detail: outcome for transactions (`commit`,
+    /// `abort:constraint`…), class for queries, trigger name for triggers.
+    pub detail: String,
+}
+
+/// Host callback receiving trace events. Mirrors the engine's `CallbackFn`
+/// shape; installed per-database, invoked synchronously on the engine
+/// thread, so sinks must be cheap and must not call back into the engine.
+pub type TraceSink = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = MaxGauge::new();
+        g.observe(3);
+        g.observe(1);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHisto::new();
+        for _ in 0..99 {
+            h.record_ns(1_000); // bucket ~2^10
+        }
+        h.record_ns(1_000_000); // one slow outlier
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ns <= 2_048, "p50 {}", s.p50_ns);
+        assert!(s.p99_ns <= 2_048, "p99 covers the fast mass: {}", s.p99_ns);
+        assert!(s.max_ns >= 1_000_000, "max {}", s.max_ns);
+        assert!(s.mean_ns() >= 1_000);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counts() {
+        let tel = EngineTelemetry::default();
+        tel.txn.begun.add(3);
+        tel.query.objects_scanned.add(10);
+        let before = tel.snapshot(StorageSnapshot::default());
+        tel.txn.begun.add(2);
+        tel.query.objects_scanned.add(5);
+        let after = tel.snapshot(StorageSnapshot {
+            pager_hits: 7,
+            ..StorageSnapshot::default()
+        });
+        let d = after.delta(&before);
+        assert_eq!(d.txn.begun, 2);
+        assert_eq!(d.query.objects_scanned, 5);
+        assert_eq!(d.storage.pager_hits, 7);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let snap = EngineTelemetry::default().snapshot(StorageSnapshot::default());
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"storage\":",
+            "\"txn\":",
+            "\"query\":",
+            "\"versions\":",
+            "\"triggers\":",
+        ] {
+            assert!(json.contains(key), "{json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn profile_rows_show_strategy() {
+        let prof = QueryProfile {
+            target: "stockitem".into(),
+            strategy: PlanStrategy::IndexProbe {
+                field: "quantity".into(),
+            },
+            objects_scanned: 12,
+            rows: 3,
+            ..QueryProfile::default()
+        };
+        let rows = prof.rows();
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k == "strategy" && v.contains("index probe")));
+        assert!(rows.iter().any(|(k, v)| k == "rows" && v == "3"));
+    }
+
+    #[test]
+    fn telemetry_reset_zeroes_everything() {
+        let tel = EngineTelemetry::default();
+        tel.txn.begun.inc();
+        tel.triggers.max_cascade_depth.observe(4);
+        tel.txn.commit_latency.record_ns(10);
+        tel.reset();
+        let s = tel.snapshot(StorageSnapshot::default());
+        assert_eq!(s, TelemetrySnapshot::default());
+    }
+}

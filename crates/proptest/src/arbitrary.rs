@@ -1,0 +1,129 @@
+//! `any::<T>()` — canonical strategies for primitive types, with the same
+//! edge-case bias real proptest applies (extremes show up often).
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8: an edge value; otherwise uniform bits.
+                if rng.next_u64().is_multiple_of(8) {
+                    match rng.next_u64() % 4 {
+                        0 => 0 as $t,
+                        1 => 1 as $t,
+                        2 => <$t>::MAX,
+                        _ => <$t>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64().is_multiple_of(2)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // NaN is deliberately excluded: generated values must satisfy
+        // `Eq ⇒ same value after a codec round-trip`, which NaN breaks.
+        if rng.next_u64().is_multiple_of(8) {
+            const EDGES: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            ];
+            EDGES[rng.below(EDGES.len())]
+        } else {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if !v.is_nan() {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::string::palette_char(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_values_appear() {
+        let mut rng = TestRng::new(11);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match u32::arbitrary(&mut rng) {
+                0 => saw_zero = true,
+                u32::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn floats_are_never_nan() {
+        let mut rng = TestRng::new(12);
+        for _ in 0..5000 {
+            assert!(!f64::arbitrary(&mut rng).is_nan());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed list; backs [`select`].
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}
+
+/// Pick uniformly from `items` (which must be non-empty).
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items() {
+        let s = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::new(31);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

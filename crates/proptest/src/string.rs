@@ -1,0 +1,65 @@
+//! String "pattern" strategies: `"pat{m,n}" `-style literals used directly
+//! as strategies (e.g. `".*{0,24}"`, `".{0,80}"`, `"\\PC{0,12}"`).
+//!
+//! Only the trailing `{m,n}` length range is honored; the body selects a
+//! character palette. That is enough for Ode's tests, which either only
+//! need *some* string (totality fuzzing) or filter specifics away with
+//! `prop_assume!`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Printable single-byte characters plus a sprinkling of multibyte ones,
+/// so string round-trip tests exercise non-ASCII payloads.
+const MULTIBYTE: [char; 12] = [
+    'é', 'ß', 'λ', 'Ж', '中', '日', '〜', '€', '𝔘', '🦀', 'ñ', 'ø',
+];
+
+/// One palette character: mostly printable ASCII, sometimes multibyte.
+pub(crate) fn palette_char(rng: &mut TestRng) -> char {
+    match rng.next_u64() % 8 {
+        0 => MULTIBYTE[rng.below(MULTIBYTE.len())],
+        _ => (0x20 + rng.below(0x5F) as u8) as char, // ' ' ..= '~'
+    }
+}
+
+/// Parse a trailing `{m,n}` length suffix; `None` if the literal has none.
+fn length_suffix(pat: &str) -> Option<(usize, usize)> {
+    let open = pat.rfind('{')?;
+    let body = pat[open..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (min, max) = length_suffix(self).unwrap_or((0, 8));
+        let len = rng.in_range(min, max);
+        (0..len).map(|_| palette_char(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honors_length_suffix() {
+        let mut rng = TestRng::new(41);
+        for _ in 0..100 {
+            let s: String = ".*{0,24}".generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            let t: String = "\\PC{3,12}".generate(&mut rng);
+            let n = t.chars().count();
+            assert!((3..=12).contains(&n), "len {n}");
+        }
+    }
+
+    #[test]
+    fn produces_multibyte_sometimes() {
+        let mut rng = TestRng::new(42);
+        let any_multibyte = (0..200).any(|_| !".{0,80}".generate(&mut rng).is_ascii());
+        assert!(any_multibyte);
+    }
+}

@@ -1,0 +1,197 @@
+//! Case driver: deterministic RNG, config, and the run loop behind the
+//! `proptest!` macro.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Deterministic 64-bit generator (SplitMix64) used for all input
+/// generation. Seeded from the test name, so every run of a given test
+/// sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Construct from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (assumed-away) cases across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: cases.saturating_mul(200).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is retried, not counted.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (assumed-away) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property: generate-and-check `config.cases` inputs.
+///
+/// Panics (failing the surrounding `#[test]`) on the first failing case,
+/// reporting the case number and seed so the run can be replayed under a
+/// debugger by re-running the test binary.
+pub fn run(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = name_seed(name);
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    let mut passed = 0u32;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+        attempt += 1;
+        let mut rng = TestRng::new(seed);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many rejected cases \
+                         ({rejects} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!("proptest {name}: case #{passed} (seed {seed:#x}) failed:\n{reason}");
+            }
+            Err(payload) => {
+                eprintln!("proptest {name}: case #{passed} (seed {seed:#x}) panicked");
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_counts_cases() {
+        let mut n = 0;
+        run(ProptestConfig::with_cases(10), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut calls = 0;
+        run(ProptestConfig::with_cases(5), "retry", |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::reject("coin"));
+            }
+            Ok(())
+        });
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run(ProptestConfig::with_cases(5), "fail", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

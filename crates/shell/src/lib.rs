@@ -167,9 +167,9 @@ impl Session {
         if let Some(rest) = trimmed.strip_prefix("activate") {
             // `activate <trigger> on <oid> [(arg, ...)]`
             let rest = rest.trim();
-            let (trigger, rest) = rest
-                .split_once(char::is_whitespace)
-                .ok_or_else(|| OdeError::Usage("usage: activate <trigger> on <oid> (args)".into()))?;
+            let (trigger, rest) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+                OdeError::Usage("usage: activate <trigger> on <oid> (args)".into())
+            })?;
             let rest = rest.trim();
             let rest = rest
                 .strip_prefix("on")
@@ -217,6 +217,13 @@ impl Session {
             ExecResult::Created(oid) => format!("created {oid}"),
             ExecResult::Updated(n) => format!("updated {n} object(s)"),
             ExecResult::Deleted(n) => format!("deleted {n} object(s)"),
+            ExecResult::Explain(prof) => {
+                let mut out = String::new();
+                for (k, v) in prof.rows() {
+                    let _ = writeln!(out, "{k:<24} {v}");
+                }
+                out.trim_end().to_string()
+            }
         };
         let info = tx.commit()?;
         let mut out = out;
@@ -346,8 +353,9 @@ impl Session {
             }
             "clusters" => {
                 let mut out = String::new();
-                let names: Vec<String> =
-                    self.db.with_schema(|s| s.classes().iter().map(|c| c.name.clone()).collect());
+                let names: Vec<String> = self
+                    .db
+                    .with_schema(|s| s.classes().iter().map(|c| c.name.clone()).collect());
                 for name in names {
                     if self.db.has_cluster(&name) {
                         let n = self.db.extent_size(&name, false)?;
@@ -375,18 +383,16 @@ impl Session {
                     .next()
                     .ok_or_else(|| OdeError::Usage("usage: .export <file>".into()))?;
                 let dump = self.db.export()?;
-                std::fs::write(path, &dump).map_err(|e| {
-                    OdeError::Usage(format!("cannot write {path}: {e}"))
-                })?;
+                std::fs::write(path, &dump)
+                    .map_err(|e| OdeError::Usage(format!("cannot write {path}: {e}")))?;
                 Ok(format!("wrote {} bytes to {path}", dump.len()))
             }
             "import" => {
                 let path = parts
                     .next()
                     .ok_or_else(|| OdeError::Usage("usage: .import <file>".into()))?;
-                let dump = std::fs::read(path).map_err(|e| {
-                    OdeError::Usage(format!("cannot read {path}: {e}"))
-                })?;
+                let dump = std::fs::read(path)
+                    .map_err(|e| OdeError::Usage(format!("cannot read {path}: {e}")))?;
                 let stats = self.db.import(&dump)?;
                 Ok(format!(
                     "imported {} class(es), {} object(s), {} version(s), {} activation(s)",
@@ -402,10 +408,27 @@ impl Session {
                 let line = self.format_object(&tx, oid)?;
                 Ok(line)
             }
+            "stats" => match parts.next() {
+                Some("reset") => {
+                    self.db.reset_telemetry();
+                    Ok("telemetry counters reset".to_string())
+                }
+                Some(other) => Err(OdeError::Usage(format!(
+                    "usage: .stats [reset] (got `{other}`)"
+                ))),
+                None => {
+                    let snap = self.db.telemetry();
+                    let mut out = String::new();
+                    for (k, v) in snap.rows() {
+                        let _ = writeln!(out, "{k:<32} {v}");
+                    }
+                    Ok(out.trim_end().to_string())
+                }
+            },
             "versions" => {
-                let spec = parts
-                    .next()
-                    .ok_or_else(|| OdeError::Usage("usage: .versions <cluster:page.slot>".into()))?;
+                let spec = parts.next().ok_or_else(|| {
+                    OdeError::Usage("usage: .versions <cluster:page.slot>".into())
+                })?;
                 let oid = parse_oid(spec)?;
                 let tx = self.db.begin();
                 let versions = tx.versions(oid)?;
@@ -481,6 +504,7 @@ queries (forall ... suchthat ... by ...):
   forall s in stockitem suchthat (quantity < 10) by (name)
   forall e in employee, d in dept suchthat (e.dno == d.dno)
   forall p in only person                             exact class, no subclasses
+  explain forall ...                                  plan + execution profile
 
 data manipulation:
   pnew <class> (field = expr, ...)
@@ -494,6 +518,7 @@ triggers:
 meta:
   .classes   .describe <class>   .clusters   .indexes
   .show <oid>   .versions <oid>
+  .stats [reset]                       engine telemetry counters
   .export <file>   .import <file>      whole-database dump / restore
   .help   .exit
 "#;
@@ -600,7 +625,10 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        let out = feed(&mut s, &format!(".versions {}", out.trim_start_matches("created ")));
+        let out = feed(
+            &mut s,
+            &format!(".versions {}", out.trim_start_matches("created ")),
+        );
         assert!(out.contains("v0 (root)"), "{out}");
         assert!(out.contains("v1 (parent v0)  <- current"), "{out}");
     }
@@ -618,6 +646,62 @@ mod tests {
         feed(&mut s, "class ok { int v; }");
         let out = feed(&mut s, ".classes");
         assert!(out.contains("ok"), "{out}");
+    }
+
+    #[test]
+    fn stats_and_explain_commands() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class part { string name; int weight = 0; }");
+        feed(&mut s, "create cluster part");
+        feed(&mut s, "create index part weight");
+        feed(&mut s, r#"pnew part (name = "bolt", weight = 3)"#);
+        feed(&mut s, r#"pnew part (name = "plate", weight = 11)"#);
+        feed(&mut s, "forall p in part suchthat (weight == 3)");
+
+        // `.stats` shows nonzero counters after the workload above.
+        let out = feed(&mut s, ".stats");
+        assert!(out.contains("txn.committed"), "{out}");
+        assert!(out.contains("query.foralls"), "{out}");
+        let committed: u64 = out
+            .lines()
+            .find(|l| l.starts_with("txn.committed"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(committed >= 3, "{out}");
+
+        // `explain` returns a plan + profile instead of rows.
+        let out = feed(&mut s, "explain forall p in part suchthat (weight == 3)");
+        assert!(out.contains("strategy"), "{out}");
+        assert!(out.contains("index probe on `weight`"), "{out}");
+        assert!(out.contains("rows"), "{out}");
+
+        let out = feed(
+            &mut s,
+            "explain forall p in part suchthat (name == \"bolt\")",
+        );
+        assert!(out.contains("deep extent scan"), "{out}");
+
+        // Reset zeroes the counters.
+        let out = feed(&mut s, ".stats reset");
+        assert!(out.contains("reset"), "{out}");
+        let out = feed(&mut s, ".stats");
+        let committed: u64 = out
+            .lines()
+            .find(|l| l.starts_with("txn.committed"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert_eq!(committed, 0, "{out}");
+
+        // Bad sub-command is a usage error, not a crash.
+        let out = feed(&mut s, ".stats bogus");
+        assert!(out.starts_with("error:"), "{out}");
+
+        // Help mentions the new surfaces.
+        let out = feed(&mut s, ".help");
+        assert!(out.contains(".stats [reset]"), "{out}");
+        assert!(out.contains("explain forall"), "{out}");
     }
 
     #[test]
@@ -650,11 +734,7 @@ mod tests {
         assert!(out.contains("on_order: 30"), "{out}");
         // Re-arm then deactivate before it can fire.
         let out = feed(&mut s, &format!("activate low on {oid} (99)"));
-        let tid = out
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .to_string();
+        let tid = out.split_whitespace().nth(1).unwrap().to_string();
         let out = feed(&mut s, &format!("deactivate {tid}"));
         assert!(out.contains("deactivated"), "{out}");
         let out = feed(&mut s, "update i in item set qty = 1");
@@ -663,10 +743,7 @@ mod tests {
 
     #[test]
     fn export_import_through_the_shell() {
-        let path = std::env::temp_dir().join(format!(
-            "ode-shell-dump-{}.odd",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("ode-shell-dump-{}.odd", std::process::id()));
         let mut s1 = Session::in_memory();
         feed(&mut s1, "class item { string name; int qty = 0; }");
         feed(&mut s1, "create cluster item");

@@ -36,7 +36,11 @@ fn main() {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
-        let prompt = if session.is_continuing() { "  ... " } else { "ode> " };
+        let prompt = if session.is_continuing() {
+            "  ... "
+        } else {
+            "ode> "
+        };
         let _ = write!(out, "{prompt}");
         let _ = out.flush();
         let mut line = String::new();

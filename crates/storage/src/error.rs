@@ -76,10 +76,7 @@ mod tests {
 
     #[test]
     fn display_mentions_context() {
-        let e = StorageError::io(
-            "read page",
-            std::io::Error::other("boom"),
-        );
+        let e = StorageError::io("read page", std::io::Error::other("boom"));
         let s = e.to_string();
         assert!(s.contains("read page"), "{s}");
         assert!(s.contains("boom"), "{s}");
@@ -98,10 +95,7 @@ mod tests {
     #[test]
     fn error_source_is_preserved() {
         use std::error::Error;
-        let e = StorageError::io(
-            "sync wal",
-            std::io::Error::other("disk gone"),
-        );
+        let e = StorageError::io("sync wal", std::io::Error::other("disk gone"));
         assert!(e.source().is_some());
         let e2 = StorageError::BadMagic;
         assert!(e2.source().is_none());

@@ -69,7 +69,10 @@ impl Meta {
         for i in 0..count {
             heaps.insert(word(16 + 4 * i)?);
         }
-        Ok(Meta { next_heap_id, heaps })
+        Ok(Meta {
+            next_heap_id,
+            heaps,
+        })
     }
 }
 
@@ -81,6 +84,8 @@ struct Inner {
     sync: bool,
     checkpoint_bytes: u64,
     commits: u64,
+    record_reads: u64,
+    record_writes: u64,
 }
 
 impl Inner {
@@ -206,11 +211,11 @@ impl FileStore {
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
                 commits: 0,
+                record_reads: 0,
+                record_writes: 0,
             }
         } else {
-            let meta_bytes = pager.with_page(0, |p| {
-                p.record(0).map(|r| r.to_vec())
-            })?;
+            let meta_bytes = pager.with_page(0, |p| p.record(0).map(|r| r.to_vec()))?;
             let meta_bytes =
                 meta_bytes.ok_or_else(|| StorageError::Corrupt("meta record missing".into()))?;
             let meta = Meta::decode(&meta_bytes)?;
@@ -238,6 +243,8 @@ impl FileStore {
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
                 commits: 0,
+                record_reads: 0,
+                record_writes: 0,
             };
             for batch in &replay {
                 for op in batch {
@@ -320,6 +327,7 @@ impl Store for FileStore {
 
     fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
         let mut g = self.inner.lock();
+        g.record_reads += 1;
         let Inner { pager, heaps, .. } = &mut *g;
         heaps.read(pager, heap, rid)
     }
@@ -346,6 +354,9 @@ impl Store for FileStore {
         let sync = g.sync;
         g.wal.append_commit(&wal_ops, sync)?;
         for op in &wal_ops {
+            if matches!(op, WalOp::Put { .. }) {
+                g.record_writes += 1;
+            }
             g.apply_op(op)?;
         }
         g.commits += 1;
@@ -373,11 +384,19 @@ impl Store for FileStore {
             wal_bytes: g.wal.len(),
             page_count: g.pager.page_count(),
             commits: g.commits,
+            record_reads: g.record_reads,
+            record_writes: g.record_writes,
+            wal_appends: g.wal.appends(),
+            wal_fsyncs: g.wal.fsyncs(),
         }
     }
 
     fn reset_stats(&self) {
-        self.inner.lock().pager.reset_stats();
+        let mut g = self.inner.lock();
+        g.pager.reset_stats();
+        g.record_reads = 0;
+        g.record_writes = 0;
+        g.wal.reset_counters();
     }
 
     fn clear_cache(&self) -> Result<()> {
@@ -394,10 +413,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ode-filestore-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ode-filestore-{}-{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -490,14 +506,26 @@ mod tests {
         let b = store.reserve(heap, 8).unwrap();
         store
             .commit(vec![
-                StoreOp::Put { heap, rid: a, data: b"alpha".to_vec() },
-                StoreOp::Put { heap, rid: b, data: b"beta".to_vec() },
+                StoreOp::Put {
+                    heap,
+                    rid: a,
+                    data: b"alpha".to_vec(),
+                },
+                StoreOp::Put {
+                    heap,
+                    rid: b,
+                    data: b"beta".to_vec(),
+                },
             ])
             .unwrap();
         store
             .commit(vec![
                 StoreOp::Delete { heap, rid: a },
-                StoreOp::Put { heap, rid: b, data: b"beta2".to_vec() },
+                StoreOp::Put {
+                    heap,
+                    rid: b,
+                    data: b"beta2".to_vec(),
+                },
             ])
             .unwrap();
         assert!(store.read(heap, a).is_err());
@@ -516,7 +544,11 @@ mod tests {
             h2 = store.create_heap().unwrap();
             let rid = store.reserve(h1, 8).unwrap();
             store
-                .commit(vec![StoreOp::Put { heap: h1, rid, data: b"x".to_vec() }])
+                .commit(vec![StoreOp::Put {
+                    heap: h1,
+                    rid,
+                    data: b"x".to_vec(),
+                }])
                 .unwrap();
             store.drop_heap(h1).unwrap();
         }

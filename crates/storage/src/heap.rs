@@ -155,10 +155,7 @@ impl HeapManager {
     /// scanning every page header in the file, reclaiming any RESERVED slots
     /// left behind by transactions that never committed. `live_heaps` comes
     /// from the meta page; pages claiming a dead heap are freed.
-    pub fn rebuild(
-        pager: &mut Pager,
-        live_heaps: &BTreeSet<u32>,
-    ) -> Result<HeapManager> {
+    pub fn rebuild(pager: &mut Pager, live_heaps: &BTreeSet<u32>) -> Result<HeapManager> {
         let mut mgr = HeapManager::new();
         for h in live_heaps {
             mgr.heaps.insert(*h, HeapState::default());
@@ -181,7 +178,9 @@ impl HeapManager {
                     // Reclaim reservations that never committed.
                     let reserved: Vec<u16> = pager.with_page(pid, |p| {
                         p.iter_records()
-                            .filter_map(|(s, r)| (!r.is_empty() && r[0] == FLAG_RESERVED).then_some(s))
+                            .filter_map(|(s, r)| {
+                                (!r.is_empty() && r[0] == FLAG_RESERVED).then_some(s)
+                            })
                             .collect()
                     })?;
                     if !reserved.is_empty() {
@@ -262,12 +261,7 @@ impl HeapManager {
     }
 
     /// Place an encoded extent in the heap, returning its record id.
-    fn place(
-        &mut self,
-        pager: &mut Pager,
-        heap: u32,
-        extent: &[u8],
-    ) -> Result<RecordId> {
+    fn place(&mut self, pager: &mut Pager, heap: u32, extent: &[u8]) -> Result<RecordId> {
         if extent.len() > MAX_RECORD {
             return Err(StorageError::RecordTooLarge {
                 size: extent.len(),
@@ -310,12 +304,7 @@ impl HeapManager {
     /// Reserve a record id without committing data. `size_hint` pre-sizes
     /// the extent so the eventual [`HeapManager::put_at`] usually fits in
     /// place. Reservations left behind by a crash are reclaimed at open.
-    pub fn reserve(
-        &mut self,
-        pager: &mut Pager,
-        heap: u32,
-        size_hint: usize,
-    ) -> Result<RecordId> {
+    pub fn reserve(&mut self, pager: &mut Pager, heap: u32, size_hint: usize) -> Result<RecordId> {
         let extent = encode(
             FLAG_RESERVED,
             &[],
@@ -326,9 +315,7 @@ impl HeapManager {
 
     /// Release a reservation (transaction abort path).
     pub fn release(&mut self, pager: &mut Pager, heap: u32, rid: RecordId) -> Result<()> {
-        let flag = pager.with_page(rid.page, |p| {
-            p.record(rid.slot).map(|r| r.first().copied())
-        })?;
+        let flag = pager.with_page(rid.page, |p| p.record(rid.slot).map(|r| r.first().copied()))?;
         match flag {
             Some(Some(FLAG_RESERVED)) => {
                 let free = pager.with_page_mut(rid.page, |p| {
@@ -362,9 +349,8 @@ impl HeapManager {
             FLAG_NORMAL | FLAG_FWD_TARGET => Ok(payload.to_vec()),
             FLAG_RESERVED => Err(no_such()),
             FLAG_FORWARD => {
-                let target = RecordId::from_bytes(payload).ok_or_else(|| {
-                    StorageError::Corrupt("short forward stub".into())
-                })?;
+                let target = RecordId::from_bytes(payload)
+                    .ok_or_else(|| StorageError::Corrupt("short forward stub".into()))?;
                 let raw = pager
                     .with_page(target.page, |p| p.record(target.slot).map(|r| r.to_vec()))?
                     .ok_or_else(|| {
@@ -378,7 +364,9 @@ impl HeapManager {
                 }
                 Ok(payload.to_vec())
             }
-            other => Err(StorageError::Corrupt(format!("unknown record flag {other}"))),
+            other => Err(StorageError::Corrupt(format!(
+                "unknown record flag {other}"
+            ))),
         }
     }
 
@@ -430,9 +418,7 @@ impl HeapManager {
         }
         self.ensure_page(pager, heap, rid.page)?;
         // Inspect the current occupant.
-        let current = pager.with_page(rid.page, |p| {
-            p.record(rid.slot).map(|r| r.to_vec())
-        })?;
+        let current = pager.with_page(rid.page, |p| p.record(rid.slot).map(|r| r.to_vec()))?;
         let old_target = match current.as_deref().map(decode).transpose()? {
             Some((FLAG_FORWARD, stub)) => RecordId::from_bytes(stub),
             _ => None,
@@ -519,9 +505,7 @@ impl HeapManager {
         let pages = self.state(heap)?.pages.clone();
         for pid in pages {
             let records: Vec<(u16, Vec<u8>)> = pager.with_page(pid, |p| {
-                p.iter_records()
-                    .map(|(s, r)| (s, r.to_vec()))
-                    .collect()
+                p.iter_records().map(|(s, r)| (s, r.to_vec())).collect()
             })?;
             for (slot, raw) in records {
                 let (flag, payload) = decode(&raw)?;
@@ -803,7 +787,10 @@ mod tests {
 
     #[test]
     fn record_id_byte_roundtrip() {
-        let rid = RecordId { page: 0xDEAD_BEEF, slot: 0x1234 };
+        let rid = RecordId {
+            page: 0xDEAD_BEEF,
+            slot: 0x1234,
+        };
         assert_eq!(RecordId::from_bytes(&rid.to_bytes()), Some(rid));
         assert_eq!(RecordId::from_bytes(&[1, 2, 3]), None);
     }

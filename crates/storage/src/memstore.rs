@@ -41,6 +41,8 @@ struct Inner {
     heaps: BTreeMap<HeapId, Heap>,
     next_heap: HeapId,
     commits: u64,
+    record_reads: u64,
+    record_writes: u64,
 }
 
 /// Volatile store: everything is lost on drop. Useful for unit tests and
@@ -58,6 +60,8 @@ impl MemStore {
                 heaps: BTreeMap::new(),
                 next_heap: 1,
                 commits: 0,
+                record_reads: 0,
+                record_writes: 0,
             }),
         }
     }
@@ -87,7 +91,10 @@ impl Store for MemStore {
 
     fn reserve(&self, heap: HeapId, _size_hint: usize) -> Result<RecordId> {
         let mut g = self.inner.lock();
-        let h = g.heaps.get_mut(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+        let h = g
+            .heaps
+            .get_mut(&heap)
+            .ok_or(StorageError::NoSuchHeap(heap))?;
         let rid = h.fresh_rid();
         h.records.insert(rid, Rec::Reserved);
         Ok(rid)
@@ -95,7 +102,10 @@ impl Store for MemStore {
 
     fn release(&self, heap: HeapId, rid: RecordId) -> Result<()> {
         let mut g = self.inner.lock();
-        let h = g.heaps.get_mut(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+        let h = g
+            .heaps
+            .get_mut(&heap)
+            .ok_or(StorageError::NoSuchHeap(heap))?;
         match h.records.get(&rid) {
             Some(Rec::Reserved) => {
                 h.records.remove(&rid);
@@ -108,7 +118,9 @@ impl Store for MemStore {
     }
 
     fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
-        let g = self.inner.lock();
+        let mut g = self.inner.lock();
+        g.record_reads += 1;
+        let g = &*g;
         let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
         match h.records.get(&rid) {
             Some(Rec::Data(d)) => Ok(d.clone()),
@@ -144,6 +156,7 @@ impl Store for MemStore {
         for op in ops {
             match op {
                 StoreOp::Put { heap, rid, data } => {
+                    g.record_writes += 1;
                     let h = g.heaps.get_mut(&heap).expect("validated");
                     // Keep the id allocator ahead of replay-style puts.
                     let linear = (rid.page.saturating_sub(1)) as u64 * 64 + rid.slot as u64;
@@ -195,11 +208,17 @@ impl Store for MemStore {
         let g = self.inner.lock();
         StoreStats {
             commits: g.commits,
+            record_reads: g.record_reads,
+            record_writes: g.record_writes,
             ..StoreStats::default()
         }
     }
 
-    fn reset_stats(&self) {}
+    fn reset_stats(&self) {
+        let mut g = self.inner.lock();
+        g.record_reads = 0;
+        g.record_writes = 0;
+    }
 
     fn clear_cache(&self) -> Result<()> {
         Ok(())
@@ -220,12 +239,14 @@ mod tests {
         let rid = store.reserve(heap, 8).unwrap();
         assert!(store.read(heap, rid).is_err(), "reserved is unreadable");
         store
-            .commit(vec![StoreOp::Put { heap, rid, data: b"v".to_vec() }])
+            .commit(vec![StoreOp::Put {
+                heap,
+                rid,
+                data: b"v".to_vec(),
+            }])
             .unwrap();
         assert_eq!(store.read(heap, rid).unwrap(), b"v");
-        store
-            .commit(vec![StoreOp::Delete { heap, rid }])
-            .unwrap();
+        store.commit(vec![StoreOp::Delete { heap, rid }]).unwrap();
         assert!(store.read(heap, rid).is_err());
     }
 
@@ -235,7 +256,11 @@ mod tests {
         let heap = store.create_heap().unwrap();
         let rid = store.reserve(heap, 8).unwrap();
         store
-            .commit(vec![StoreOp::Put { heap, rid, data: b"x".to_vec() }])
+            .commit(vec![StoreOp::Put {
+                heap,
+                rid,
+                data: b"x".to_vec(),
+            }])
             .unwrap();
         assert!(store.release(heap, rid).is_err());
     }
@@ -249,8 +274,16 @@ mod tests {
         let b = store.reserve(heap, 8).unwrap();
         store
             .commit(vec![
-                StoreOp::Put { heap, rid: b, data: b"b".to_vec() },
-                StoreOp::Put { heap, rid: a, data: b"a".to_vec() },
+                StoreOp::Put {
+                    heap,
+                    rid: b,
+                    data: b"b".to_vec(),
+                },
+                StoreOp::Put {
+                    heap,
+                    rid: a,
+                    data: b"a".to_vec(),
+                },
             ])
             .unwrap();
         let mut seen = Vec::new();
@@ -270,7 +303,11 @@ mod tests {
         for i in 0..3u8 {
             let rid = store.reserve(heap, 1).unwrap();
             store
-                .commit(vec![StoreOp::Put { heap, rid, data: vec![i] }])
+                .commit(vec![StoreOp::Put {
+                    heap,
+                    rid,
+                    data: vec![i],
+                }])
                 .unwrap();
         }
         let mut reads = 0;

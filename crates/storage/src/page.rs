@@ -119,8 +119,7 @@ impl Page {
                 bytes.len()
             )));
         }
-        let mut buf: Box<[u8; PAGE_SIZE]> =
-            bytes.to_vec().into_boxed_slice().try_into().unwrap();
+        let mut buf: Box<[u8; PAGE_SIZE]> = bytes.to_vec().into_boxed_slice().try_into().unwrap();
         if read_u16(&buf[..], 0) != PAGE_MAGIC {
             return Err(StorageError::Corrupt("page magic mismatch".into()));
         }
@@ -378,7 +377,8 @@ impl Page {
         for (slot, off, len) in live {
             let len_us = len as usize;
             let new_off = cursor - len_us;
-            self.buf.copy_within(off as usize..off as usize + len_us, new_off);
+            self.buf
+                .copy_within(off as usize..off as usize + len_us, new_off);
             self.set_slot_entry(slot, new_off as u16, len);
             cursor = new_off;
         }
@@ -522,10 +522,7 @@ mod tests {
         let b = p.insert(b"b").unwrap();
         let c = p.insert(b"c").unwrap();
         p.delete(b);
-        let seen: Vec<(u16, Vec<u8>)> = p
-            .iter_records()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let seen: Vec<(u16, Vec<u8>)> = p.iter_records().map(|(s, r)| (s, r.to_vec())).collect();
         assert_eq!(seen, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
     }
 

@@ -156,7 +156,14 @@ impl Pager {
         self.evict_if_full()?;
         let tick = self.next_tick;
         self.next_tick += 1;
-        self.frames.insert(pid, Frame { page, dirty: false, tick });
+        self.frames.insert(
+            pid,
+            Frame {
+                page,
+                dirty: false,
+                tick,
+            },
+        );
         self.order.insert(tick, pid);
         Ok(())
     }
@@ -168,11 +175,7 @@ impl Pager {
     }
 
     /// Run `f` with write access to the page; the frame is marked dirty.
-    pub fn with_page_mut<R>(
-        &mut self,
-        pid: PageId,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> Result<R> {
+    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
         self.load(pid)?;
         let frame = self.frames.get_mut(&pid).expect("just loaded");
         frame.dirty = true;
@@ -189,7 +192,14 @@ impl Pager {
         self.evict_if_full()?;
         let tick = self.next_tick;
         self.next_tick += 1;
-        self.frames.insert(pid, Frame { page, dirty: false, tick });
+        self.frames.insert(
+            pid,
+            Frame {
+                page,
+                dirty: false,
+                tick,
+            },
+        );
         self.order.insert(tick, pid);
         Ok(pid)
     }

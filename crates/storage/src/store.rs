@@ -29,7 +29,8 @@ pub enum StoreOp {
     Delete { heap: HeapId, rid: RecordId },
 }
 
-/// Counters for the substrate benches (figures F8/F9).
+/// Counters for the substrate benches (figures F8/F9) and the engine's
+/// telemetry snapshot.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StoreStats {
     /// Buffer-pool counters (zero for the in-memory store).
@@ -40,6 +41,14 @@ pub struct StoreStats {
     pub page_count: u32,
     /// Committed batches since open.
     pub commits: u64,
+    /// Record reads served.
+    pub record_reads: u64,
+    /// Records written by commit batches (`Put` ops applied).
+    pub record_writes: u64,
+    /// WAL commit groups appended (zero for the in-memory store).
+    pub wal_appends: u64,
+    /// WAL fsyncs issued (zero when sync is disabled).
+    pub wal_fsyncs: u64,
 }
 
 /// Abstract persistent store. Implementations: [`crate::FileStore`]

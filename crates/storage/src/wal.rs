@@ -115,23 +115,29 @@ enum Entry {
 
 fn decode_entry(payload: &[u8]) -> Result<Entry> {
     let corrupt = |what: &str| StorageError::Corrupt(format!("wal entry: {what}"));
-    let mut c = Cursor { buf: payload, at: 0 };
+    let mut c = Cursor {
+        buf: payload,
+        at: 0,
+    };
     let tag = c.u8().ok_or_else(|| corrupt("empty"))?;
     let entry = match tag {
         TAG_BEGIN => Entry::Begin(c.u64().ok_or_else(|| corrupt("short begin"))?),
         TAG_COMMIT => Entry::Commit(c.u64().ok_or_else(|| corrupt("short commit"))?),
         TAG_CHECKPOINT => Entry::Checkpoint,
-        TAG_ENSURE_HEAP => {
-            Entry::Op(WalOp::EnsureHeap(c.u32().ok_or_else(|| corrupt("short ensure"))?))
-        }
-        TAG_DROP_HEAP => {
-            Entry::Op(WalOp::DropHeap(c.u32().ok_or_else(|| corrupt("short drop"))?))
-        }
+        TAG_ENSURE_HEAP => Entry::Op(WalOp::EnsureHeap(
+            c.u32().ok_or_else(|| corrupt("short ensure"))?,
+        )),
+        TAG_DROP_HEAP => Entry::Op(WalOp::DropHeap(
+            c.u32().ok_or_else(|| corrupt("short drop"))?,
+        )),
         TAG_PUT => {
             let heap = c.u32().ok_or_else(|| corrupt("short put heap"))?;
             let rid = c.rid().ok_or_else(|| corrupt("short put rid"))?;
             let len = c.u32().ok_or_else(|| corrupt("short put len"))? as usize;
-            let data = c.bytes(len).ok_or_else(|| corrupt("short put data"))?.to_vec();
+            let data = c
+                .bytes(len)
+                .ok_or_else(|| corrupt("short put data"))?
+                .to_vec();
             Entry::Op(WalOp::Put { heap, rid, data })
         }
         TAG_DELETE => {
@@ -151,6 +157,10 @@ pub struct Wal {
     /// Bytes appended since open/truncate (drives checkpoint policy).
     len: u64,
     next_tx: u64,
+    /// Commit groups appended since open (telemetry).
+    appends: u64,
+    /// fsyncs issued since open (telemetry).
+    fsyncs: u64,
 }
 
 impl Wal {
@@ -180,6 +190,8 @@ impl Wal {
             writer: BufWriter::new(file),
             len: valid_len as u64,
             next_tx: max_tx + 1,
+            appends: 0,
+            fsyncs: 0,
         };
         Ok((wal, batches))
     }
@@ -278,8 +290,26 @@ impl Wal {
                 .get_ref()
                 .sync_data()
                 .map_err(|e| StorageError::io("fsync wal", e))?;
+            self.fsyncs += 1;
         }
+        self.appends += 1;
         Ok(tx)
+    }
+
+    /// Commit groups appended since open.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// fsyncs issued since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Zero the append/fsync counters (benches measure deltas).
+    pub fn reset_counters(&mut self) {
+        self.appends = 0;
+        self.fsyncs = 0;
     }
 
     /// Record a checkpoint and truncate the log: caller guarantees all
@@ -370,7 +400,8 @@ mod tests {
         let (mut wal, replay) = Wal::open(&path).unwrap();
         assert_eq!(replay.len(), 1);
         // The log is usable again after truncation.
-        wal.append_commit(&[put(1, 1, 1, b"post-crash")], true).unwrap();
+        wal.append_commit(&[put(1, 1, 1, b"post-crash")], true)
+            .unwrap();
         drop(wal);
         let (_, replay) = Wal::open(&path).unwrap();
         assert_eq!(replay.len(), 2);
@@ -381,7 +412,8 @@ mod tests {
         let path = temp_wal("uncommitted");
         {
             let (mut wal, _) = Wal::open(&path).unwrap();
-            wal.append_commit(&[put(1, 1, 0, b"committed")], true).unwrap();
+            wal.append_commit(&[put(1, 1, 0, b"committed")], true)
+                .unwrap();
             // Hand-write a Begin + op without a Commit.
             let mut payload = vec![TAG_BEGIN];
             payload.extend_from_slice(&99u64.to_le_bytes());
@@ -416,7 +448,8 @@ mod tests {
         {
             let (mut wal, _) = Wal::open(&path).unwrap();
             wal.append_commit(&[put(1, 1, 0, b"good")], true).unwrap();
-            wal.append_commit(&[put(1, 1, 1, b"also good")], true).unwrap();
+            wal.append_commit(&[put(1, 1, 1, b"also good")], true)
+                .unwrap();
         }
         // Flip one byte inside the second group's payload.
         {

@@ -113,7 +113,11 @@ fn check_against_model(store: &dyn Store, heap: u32, model: &HashMap<RecordId, V
     assert_eq!(&scanned, model, "scan contents");
 }
 
-fn run_store_ops(make: impl Fn() -> Box<dyn Store>, reopen: impl Fn(Box<dyn Store>) -> Box<dyn Store>, ops: Vec<HeapOp>) {
+fn run_store_ops(
+    make: impl Fn() -> Box<dyn Store>,
+    reopen: impl Fn(Box<dyn Store>) -> Box<dyn Store>,
+    ops: Vec<HeapOp>,
+) {
     let mut store = make();
     let heap = store.create_heap().unwrap();
     let mut model: HashMap<RecordId, Vec<u8>> = HashMap::new();
@@ -122,7 +126,11 @@ fn run_store_ops(make: impl Fn() -> Box<dyn Store>, reopen: impl Fn(Box<dyn Stor
             HeapOp::Put(data) => {
                 let rid = store.reserve(heap, data.len()).unwrap();
                 store
-                    .commit(vec![StoreOp::Put { heap, rid, data: data.clone() }])
+                    .commit(vec![StoreOp::Put {
+                        heap,
+                        rid,
+                        data: data.clone(),
+                    }])
                     .unwrap();
                 model.insert(rid, data);
             }
@@ -133,7 +141,11 @@ fn run_store_ops(make: impl Fn() -> Box<dyn Store>, reopen: impl Fn(Box<dyn Stor
                 }
                 let rid = rids[pick % rids.len()];
                 store
-                    .commit(vec![StoreOp::Put { heap, rid, data: data.clone() }])
+                    .commit(vec![StoreOp::Put {
+                        heap,
+                        rid,
+                        data: data.clone(),
+                    }])
                     .unwrap();
                 model.insert(rid, data);
             }

@@ -21,7 +21,12 @@ fn main() -> Result<()> {
             .constraint("quantity >= 0")
             // §6: once-only trigger (default): fires once, must be
             // re-activated explicitly.
-            .trigger("reorder", &["amount"], false, "quantity <= reorder_level && on_order == 0")
+            .trigger(
+                "reorder",
+                &["amount"],
+                false,
+                "quantity <= reorder_level && on_order == 0",
+            )
             .action_assign("on_order", "$amount")
             .action_callback("notify_purchasing")
             // Perpetual trigger with an argument: audit large stock drops.
@@ -49,7 +54,10 @@ fn main() -> Result<()> {
         let qty = tx.get(oid, "quantity")?.as_int()?;
         tx.pnew(
             "audit_log",
-            &[("item", Value::from(name.as_str())), ("quantity", Value::Int(qty))],
+            &[
+                ("item", Value::from(name.as_str())),
+                ("quantity", Value::Int(qty)),
+            ],
         )?;
         Ok(())
     });

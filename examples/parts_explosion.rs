@@ -15,8 +15,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ode::prelude::*;
 use ode::model::SetValue;
+use ode::prelude::*;
 
 /// (parent, child, how many children per parent)
 const BOM: &[(&str, &str, i64)] = &[
@@ -114,7 +114,10 @@ fn main() -> Result<()> {
                     None => {
                         tx.pnew(
                             "contains",
-                            &[("part", Value::from(child.as_str())), ("total", Value::Int(add))],
+                            &[
+                                ("part", Value::from(child.as_str())),
+                                ("total", Value::Int(add)),
+                            ],
                         )?;
                     }
                 }

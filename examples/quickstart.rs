@@ -98,8 +98,8 @@ fn main() -> Result<()> {
             .by_desc("price * quantity")?
             .run(|tx, item| {
                 let name = tx.get(item, "name")?.as_str()?.to_string();
-                let value = tx.get(item, "price")?.as_float()?
-                    * tx.get(item, "quantity")?.as_int()? as f64;
+                let value =
+                    tx.get(item, "price")?.as_float()? * tx.get(item, "quantity")?.as_int()? as f64;
                 println!("  {name:12} ${value:>10.2}");
                 Ok(())
             })?;

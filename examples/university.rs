@@ -19,11 +19,11 @@ fn main() -> Result<()> {
             .field("name", Type::Str)
             .field_default("base_income", Type::Int, 0),
     )?;
-    db.define_class(
-        ClassBuilder::new("student")
-            .base("person")
-            .field_default("stipend", Type::Int, 0),
-    )?;
+    db.define_class(ClassBuilder::new("student").base("person").field_default(
+        "stipend",
+        Type::Int,
+        0,
+    ))?;
     db.define_class(
         ClassBuilder::new("faculty")
             .base("person")
@@ -31,7 +31,11 @@ fn main() -> Result<()> {
             .field_default("deptno", Type::Int, 0),
     )?;
     // Multiple inheritance with a shared (diamond) base.
-    db.define_class(ClassBuilder::new("teaching_assistant").base("student").base("faculty"))?;
+    db.define_class(
+        ClassBuilder::new("teaching_assistant")
+            .base("student")
+            .base("faculty"),
+    )?;
     db.define_class(
         ClassBuilder::new("department")
             .field("dname", Type::Str)
@@ -63,12 +67,18 @@ fn main() -> Result<()> {
         for (i, name) in ["ritchie", "thompson", "kernighan"].iter().enumerate() {
             tx.pnew(
                 "department",
-                &[("dname", Value::from(format!("{name} lab"))), ("dno", Value::Int(i as i64))],
+                &[
+                    ("dname", Value::from(format!("{name} lab"))),
+                    ("dno", Value::Int(i as i64)),
+                ],
             )?;
         }
         tx.pnew(
             "person",
-            &[("name", Value::from("pat")), ("base_income", Value::Int(30_000))],
+            &[
+                ("name", Value::from("pat")),
+                ("base_income", Value::Int(30_000)),
+            ],
         )?;
         for (name, stipend) in [("sam", 12_000i64), ("sue", 15_000)] {
             tx.pnew(

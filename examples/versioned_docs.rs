@@ -69,8 +69,14 @@ fn main() -> Result<()> {
     db.transaction(|tx| {
         println!("version history of the contract:");
         for v in tx.versions(contract)? {
-            let s = tx.read_version(VersionRef { oid: contract, version: v })?;
-            let parent = tx.parent_version(VersionRef { oid: contract, version: v })?;
+            let s = tx.read_version(VersionRef {
+                oid: contract,
+                version: v,
+            })?;
+            let parent = tx.parent_version(VersionRef {
+                oid: contract,
+                version: v,
+            })?;
             println!(
                 "  v{v} (parent {:?}): fee {}, terms {}",
                 parent, s.fields[2], s.fields[1]
@@ -91,14 +97,23 @@ fn main() -> Result<()> {
 
     // Branch a renegotiation from v1 — a version *tree*.
     db.transaction(|tx| {
-        let branch = tx.newversion_from(VersionRef { oid: contract, version: 1 })?;
+        let branch = tx.newversion_from(VersionRef {
+            oid: contract,
+            version: 1,
+        })?;
         tx.set(contract, "terms", "net 45, 12k units, renegotiated")?;
         println!("\nbranched v{branch} from v1 (version tree):");
         for v in tx.versions(contract)? {
-            let p = tx.parent_version(VersionRef { oid: contract, version: v })?;
+            let p = tx.parent_version(VersionRef {
+                oid: contract,
+                version: v,
+            })?;
             println!("  v{v} <- parent {p:?}");
         }
-        let kids = tx.child_versions(VersionRef { oid: contract, version: 1 })?;
+        let kids = tx.child_versions(VersionRef {
+            oid: contract,
+            version: 1,
+        })?;
         assert_eq!(kids, vec![2, 3]);
         Ok(())
     })?;

@@ -121,7 +121,10 @@ fn full_roundtrip_preserves_everything() {
         let doc = tx.forall("document")?.collect_oids()?[0];
         assert_eq!(tx.versions(doc)?, vec![0, 1, 2]);
         assert_eq!(tx.get(doc, "rev")?, Value::Int(2));
-        let v1 = tx.read_version(VersionRef { oid: doc, version: 1 })?;
+        let v1 = tx.read_version(VersionRef {
+            oid: doc,
+            version: 1,
+        })?;
         assert_eq!(v1.fields[1], Value::Int(1));
         // v1's pinned predecessor points at the *new* doc oid, version 0.
         let Value::VRef(pred) = v1.fields[2].clone() else {
@@ -144,9 +147,7 @@ fn full_roundtrip_preserves_everything() {
 
     // The restored activation fires.
     let item = dst
-        .transaction(|tx| {
-            Ok(tx.forall("stockitem")?.collect_oids()?[0])
-        })
+        .transaction(|tx| Ok(tx.forall("stockitem")?.collect_oids()?[0]))
         .unwrap();
     let mut tx = dst.begin();
     tx.set(item, "quantity", 5i64).unwrap();
@@ -203,11 +204,19 @@ fn version_gaps_are_compacted() {
         // Renumbered densely; states preserved in order (rev 0, 3, 4).
         assert_eq!(tx.versions(doc)?, vec![0, 1, 2]);
         assert_eq!(
-            tx.read_version(VersionRef { oid: doc, version: 0 })?.fields[0],
+            tx.read_version(VersionRef {
+                oid: doc,
+                version: 0
+            })?
+            .fields[0],
             Value::Int(0)
         );
         assert_eq!(
-            tx.read_version(VersionRef { oid: doc, version: 1 })?.fields[0],
+            tx.read_version(VersionRef {
+                oid: doc,
+                version: 1
+            })?
+            .fields[0],
             Value::Int(3)
         );
         assert_eq!(tx.get(doc, "rev")?, Value::Int(4));

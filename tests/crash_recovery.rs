@@ -169,7 +169,9 @@ fn catalog_recovers_without_clean_shutdown() {
     // Index survived (and is queried through).
     db.transaction(|tx| {
         assert_eq!(
-            tx.forall("stockitem")?.suchthat("quantity == 50")?.count()?,
+            tx.forall("stockitem")?
+                .suchthat("quantity == 50")?
+                .count()?,
             1
         );
         Ok(())

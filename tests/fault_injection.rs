@@ -87,10 +87,8 @@ impl Store for FaultStore {
 
 fn setup(store: Arc<FaultStore>) -> Database {
     let db = Database::from_store(store, DbConfig::default()).unwrap();
-    db.define_from_source(
-        "class item { string name; int qty = 0; }",
-    )
-    .unwrap();
+    db.define_from_source("class item { string name; int qty = 0; }")
+        .unwrap();
     db.create_cluster("item").unwrap();
     db.create_index("item", "qty").unwrap();
     db
@@ -101,14 +99,22 @@ fn failed_commit_aborts_cleanly_and_database_stays_usable() {
     let store = FaultStore::new();
     let db = setup(store.clone());
     let keeper = db
-        .transaction(|tx| tx.pnew("item", &[("name", Value::from("keep")), ("qty", Value::Int(1))]))
+        .transaction(|tx| {
+            tx.pnew(
+                "item",
+                &[("name", Value::from("keep")), ("qty", Value::Int(1))],
+            )
+        })
         .unwrap();
 
     // Inject a failure into the next commit.
     store.arm();
     let mut tx = db.begin();
     let doomed = tx
-        .pnew("item", &[("name", Value::from("doomed")), ("qty", Value::Int(2))])
+        .pnew(
+            "item",
+            &[("name", Value::from("doomed")), ("qty", Value::Int(2))],
+        )
         .unwrap();
     tx.set(keeper, "qty", 99i64).unwrap();
     let err = tx.commit().unwrap_err();
@@ -120,11 +126,21 @@ fn failed_commit_aborts_cleanly_and_database_stays_usable() {
     assert_eq!(tx.get(keeper, "qty").unwrap(), Value::Int(1));
     // The index was not poisoned by the failed commit.
     assert_eq!(
-        tx.forall("item").unwrap().suchthat("qty == 99").unwrap().count().unwrap(),
+        tx.forall("item")
+            .unwrap()
+            .suchthat("qty == 99")
+            .unwrap()
+            .count()
+            .unwrap(),
         0
     );
     assert_eq!(
-        tx.forall("item").unwrap().suchthat("qty == 1").unwrap().count().unwrap(),
+        tx.forall("item")
+            .unwrap()
+            .suchthat("qty == 1")
+            .unwrap()
+            .count()
+            .unwrap(),
         1
     );
     drop(tx);
@@ -230,11 +246,10 @@ fn sequential_transactions_from_many_threads() {
     // behind a gate. Hammer it from several threads to prove the gate and
     // the shared catalogs are sound (Database is Sync).
     let db = Arc::new(Database::in_memory());
-    db.define_from_source("class counter { int n = 0; }").unwrap();
-    db.create_cluster("counter").unwrap();
-    let oid = db
-        .transaction(|tx| tx.pnew("counter", &[]))
+    db.define_from_source("class counter { int n = 0; }")
         .unwrap();
+    db.create_cluster("counter").unwrap();
+    let oid = db.transaction(|tx| tx.pnew("counter", &[])).unwrap();
 
     let threads: Vec<_> = (0..8)
         .map(|_| {

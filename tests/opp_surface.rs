@@ -117,7 +117,7 @@ fn bound_variable_enables_is_tests_and_qualified_fields() {
         .query("forall p in person suchthat (p is student)")
         .unwrap();
     assert_eq!(students.len(), 2); // sam + terry
-    // Qualified and bare field references may mix.
+                                   // Qualified and bare field references may mix.
     let rich_students = tx
         .query("forall p in person suchthat (p is student && p.income > 25)")
         .unwrap();
@@ -137,10 +137,7 @@ fn join_statement() {
     for m in rows.maps() {
         let f = m["f"];
         let d = m["d"];
-        assert_eq!(
-            tx.get(f, "deptno").unwrap(),
-            tx.get(d, "dno").unwrap()
-        );
+        assert_eq!(tx.get(f, "deptno").unwrap(), tx.get(d, "dno").unwrap());
     }
     tx.commit().unwrap();
 }
@@ -186,11 +183,7 @@ fn text_defined_triggers_fire() {
     let db = university();
     let oid = db
         .transaction(|tx| {
-            let oid = tx
-                .query("forall s in stockitem")?
-                .oids()?
-                .first()
-                .copied();
+            let oid = tx.query("forall s in stockitem")?.oids()?.first().copied();
             let oid = match oid {
                 Some(o) => o,
                 None => tx.pnew("stockitem", &[("name", Value::from("dram"))])?,
@@ -221,7 +214,10 @@ fn text_defined_constraints_enforce() {
             )
         })
         .unwrap_err();
-    assert!(matches!(err, ode::core::OdeError::ConstraintViolation { .. }));
+    assert!(matches!(
+        err,
+        ode::core::OdeError::ConstraintViolation { .. }
+    ));
 }
 
 #[test]
@@ -230,10 +226,8 @@ fn text_schema_survives_reopen() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open(&dir).unwrap();
-        db.define_from_source(
-            "class doc { string title; int rev = 0; constraint: rev >= 0; }",
-        )
-        .unwrap();
+        db.define_from_source("class doc { string title; int rev = 0; constraint: rev >= 0; }")
+            .unwrap();
         db.create_cluster("doc").unwrap();
         db.transaction(|tx| tx.pnew("doc", &[("title", Value::from("spec"))]))
             .unwrap();
@@ -256,12 +250,18 @@ fn bad_statements_report_errors() {
     let db = university();
     let mut tx = db.begin();
     assert!(tx.query("forall p in ghost_class").is_err());
-    assert!(tx.query("forall p in person by (name), q in person").is_err());
     assert!(tx
-        .query("forall a in person, b in person by (name)")
-        .is_err(), "by on joins is rejected");
-    assert!(tx
-        .query("forall a in only person, b in person suchthat (a.income == b.income)")
-        .is_err(), "only on join variables is rejected");
+        .query("forall p in person by (name), q in person")
+        .is_err());
+    assert!(
+        tx.query("forall a in person, b in person by (name)")
+            .is_err(),
+        "by on joins is rejected"
+    );
+    assert!(
+        tx.query("forall a in only person, b in person suchthat (a.income == b.income)")
+            .is_err(),
+        "only on join variables is rejected"
+    );
     tx.commit().unwrap();
 }

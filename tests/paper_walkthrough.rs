@@ -2,8 +2,8 @@
 //! facility of O++ (ODE, SIGMOD 1989) exercised end-to-end, with a
 //! close/reopen in the middle to prove the whole state is persistent.
 
-use ode::prelude::*;
 use ode::model::SetValue;
+use ode::prelude::*;
 
 fn temp(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("ode-walkthrough-{tag}-{}", std::process::id()));
@@ -31,17 +31,17 @@ fn the_whole_paper() {
                 .field_default("income", Type::Int, 0),
         )
         .unwrap();
-        db.define_class(
-            ClassBuilder::new("student")
-                .base("person")
-                .field_default("stipend", Type::Int, 0),
-        )
+        db.define_class(ClassBuilder::new("student").base("person").field_default(
+            "stipend",
+            Type::Int,
+            0,
+        ))
         .unwrap();
-        db.define_class(
-            ClassBuilder::new("faculty")
-                .base("person")
-                .field_default("salary", Type::Int, 0),
-        )
+        db.define_class(ClassBuilder::new("faculty").base("person").field_default(
+            "salary",
+            Type::Int,
+            0,
+        ))
         .unwrap();
         // §5: constraint-based specialization.
         db.define_class(
@@ -76,7 +76,14 @@ fn the_whole_paper() {
         .unwrap();
 
         // §2.5: clusters must exist before pnew.
-        for c in ["person", "student", "faculty", "female", "stockitem", "part"] {
+        for c in [
+            "person",
+            "student",
+            "faculty",
+            "female",
+            "stockitem",
+            "part",
+        ] {
             db.create_cluster(c).unwrap();
         }
 
@@ -101,7 +108,10 @@ fn the_whole_paper() {
                 )?;
                 let fran = tx.pnew(
                     "faculty",
-                    &[("name", Value::from("fran")), ("income", Value::Int(60_000))],
+                    &[
+                        ("name", Value::from("fran")),
+                        ("income", Value::Int(60_000)),
+                    ],
                 )?;
                 tx.pnew(
                     "female",
@@ -191,7 +201,10 @@ fn the_whole_paper() {
         // Versions survived.
         db.transaction(|tx| {
             assert_eq!(tx.versions(dram)?, vec![0, 1]);
-            let signed = tx.read_version(VersionRef { oid: dram, version: 0 })?;
+            let signed = tx.read_version(VersionRef {
+                oid: dram,
+                version: 0,
+            })?;
             let qty_field = 1; // name, quantity, ...
             assert_eq!(signed.fields[qty_field], Value::Int(100));
             assert_eq!(tx.get(dram, "quantity")?, Value::Int(80));
@@ -251,7 +264,11 @@ fn schema_errors_are_rejected_up_front() {
     assert!(db.define_class(ClassBuilder::new("a")).is_err());
     // Constraint referencing an unknown field.
     assert!(db
-        .define_class(ClassBuilder::new("c").field("y", Type::Int).constraint("z > 0"))
+        .define_class(
+            ClassBuilder::new("c")
+                .field("y", Type::Int)
+                .constraint("z > 0")
+        )
         .is_err());
     // Cluster for an unknown class.
     assert!(db.create_cluster("ghost").is_err());

@@ -73,10 +73,17 @@ fn check(db: &Database, model: &HashMap<Oid, ModelObj>) {
         );
         // Version history: model.versions[i] = frozen qty of version i.
         let versions = tx.versions(*oid).unwrap();
-        assert_eq!(versions.len(), m.versions.len() + 1, "version count of {oid}");
+        assert_eq!(
+            versions.len(),
+            m.versions.len() + 1,
+            "version count of {oid}"
+        );
         for (i, frozen) in m.versions.iter().enumerate() {
             let s = tx
-                .read_version(VersionRef { oid: *oid, version: i as u32 })
+                .read_version(VersionRef {
+                    oid: *oid,
+                    version: i as u32,
+                })
                 .unwrap();
             assert_eq!(s.fields[0], Value::Int(*frozen), "version {i} of {oid}");
         }
