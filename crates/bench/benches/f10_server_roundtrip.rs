@@ -1,0 +1,85 @@
+//! Figure F10b — serving-layer overhead: the same statement executed
+//! in-process vs. through `ode-server` over a loopback socket.
+//!
+//! Two shapes bracket the range: an indexed point query (engine time is
+//! tiny, so the measurement is almost pure wire + session overhead) and a
+//! full extent scan (engine time dominates, so the wire cost should
+//! vanish in the noise). Both wire statements return one row, keeping
+//! response formatting out of the comparison.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ode_bench::workload;
+use ode_server::client::{Client, RemoteLine};
+use ode_server::{Server, ServerConfig};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f10_server_roundtrip");
+    let (db, _) = workload::inventory_db(N, true);
+    let db = Arc::new(db);
+    let handle = Server::bind(db, ServerConfig::default(), "127.0.0.1:0").expect("bind");
+    let db = handle.database();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Pick a value that exists so both paths do real work.
+    let point = "quantity == 7";
+    let scan = r#"name == "part-0000042""#;
+
+    g.bench_function("point/in_process", |b| {
+        b.iter(|| {
+            db.transaction(|tx| tx.forall("stockitem")?.suchthat(point)?.count())
+                .unwrap()
+        })
+    });
+    g.bench_function("point/wire", |b| {
+        b.iter(|| {
+            match client
+                .line(&format!("forall s in stockitem suchthat ({point})"))
+                .unwrap()
+            {
+                RemoteLine::Output(out) => out.len(),
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+    g.bench_function("scan/in_process", |b| {
+        b.iter(|| {
+            db.transaction(|tx| tx.forall("stockitem")?.suchthat(scan)?.count())
+                .unwrap()
+        })
+    });
+    g.bench_function("scan/wire", |b| {
+        b.iter(|| {
+            match client
+                .line(&format!("forall s in stockitem suchthat ({scan})"))
+                .unwrap()
+            {
+                RemoteLine::Output(out) => out.len(),
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+
+    g.finish();
+    client.bye().expect("bye");
+    let report = handle.shutdown();
+    assert!(report.drained, "{report:?}");
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench
+}
+criterion_main!(benches);

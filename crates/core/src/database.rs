@@ -20,8 +20,8 @@ use parking_lot::{Mutex, RwLock};
 use ode_model::encode::{decode_class, encode_class};
 use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
 use ode_obs::{
-    EngineTelemetry, StorageSnapshot, TelemetrySnapshot, TraceEvent, TracePhase, TraceScope,
-    TraceSink,
+    EngineTelemetry, QueryProfile, StorageSnapshot, TelemetrySnapshot, TraceEvent, TracePhase,
+    TraceScope, TraceSink,
 };
 use ode_storage::{FileStore, MemStore, Store, StoreOp, StoreStats};
 
@@ -34,6 +34,25 @@ use crate::txn::Transaction;
 
 /// Signature of a host callback invocable from trigger actions.
 pub type CallbackFn = Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
+
+/// Upper bound on distinct accumulated query-profile buckets. Long-lived
+/// servers execute unbounded query streams; past this many distinct
+/// (target, strategy) shapes, new shapes are dropped (existing buckets
+/// keep accumulating) until the map is cleared by
+/// [`Database::reset_telemetry`].
+pub const MAX_PROFILE_BUCKETS: usize = 1024;
+
+/// One accumulated per-query-shape profile (see
+/// [`Database::query_profiles`]): every executed pass is absorbed into
+/// the bucket keyed by its `(target, strategy)` shape.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileBucket {
+    /// Query passes absorbed into this bucket.
+    pub passes: u64,
+    /// Accumulated counters ([`QueryProfile::absorb`] semantics: sums,
+    /// except `rows` which holds the last pass's value).
+    pub profile: QueryProfile,
+}
 
 /// Tuning knobs.
 #[derive(Debug, Clone)]
@@ -93,6 +112,8 @@ pub struct Database {
     pub(crate) tel: EngineTelemetry,
     /// Optional span-event sink (tracing layer).
     pub(crate) trace: RwLock<Option<TraceSink>>,
+    /// Accumulated per-query-shape profiles, keyed by `target | strategy`.
+    pub(crate) profiles: RwLock<HashMap<String, ProfileBucket>>,
     pub(crate) next_txn_serial: AtomicU64,
     pub(crate) next_query_serial: AtomicU64,
 }
@@ -205,6 +226,7 @@ impl Database {
             config,
             tel: EngineTelemetry::default(),
             trace: RwLock::new(None),
+            profiles: RwLock::new(HashMap::new()),
             next_txn_serial: AtomicU64::new(1),
             next_query_serial: AtomicU64::new(1),
         })
@@ -497,11 +519,45 @@ impl Database {
         })
     }
 
-    /// Zero every engine and substrate counter (benches and the shell's
-    /// `.stats reset` measure deltas between phases).
+    /// Zero every engine and substrate counter and drop the accumulated
+    /// per-query profiles (benches and the shell's `.stats reset` measure
+    /// deltas between phases; long-lived servers reset periodically so
+    /// telemetry does not grow without bound).
     pub fn reset_telemetry(&self) {
         self.tel.reset();
         self.store.reset_stats();
+        self.profiles.write().clear();
+    }
+
+    /// Absorb one executed query pass into the per-shape profile buckets.
+    pub(crate) fn record_query_pass(&self, pass: &QueryProfile) {
+        let key = format!("{} | {}", pass.target, pass.strategy);
+        let mut map = self.profiles.write();
+        if let Some(bucket) = map.get_mut(&key) {
+            bucket.passes += 1;
+            bucket.profile.absorb(pass);
+            return;
+        }
+        if map.len() >= MAX_PROFILE_BUCKETS {
+            return; // at capacity: existing buckets keep accumulating
+        }
+        let mut bucket = ProfileBucket {
+            passes: 1,
+            ..ProfileBucket::default()
+        };
+        bucket.profile.absorb(pass);
+        map.insert(key, bucket);
+    }
+
+    /// Accumulated per-query-shape profiles since open (or the last
+    /// [`Database::reset_telemetry`]), sorted by shape key. Bounded at
+    /// [`MAX_PROFILE_BUCKETS`] distinct shapes.
+    pub fn query_profiles(&self) -> Vec<(String, ProfileBucket)> {
+        let map = self.profiles.read();
+        let mut out: Vec<(String, ProfileBucket)> =
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Install (or with `None`, remove) a span-event sink. The sink is

@@ -38,7 +38,7 @@ pub mod version;
 pub use ode_obs as obs;
 
 pub use backup::DumpStats;
-pub use database::{CallbackFn, Database, DbConfig};
+pub use database::{CallbackFn, Database, DbConfig, ProfileBucket, MAX_PROFILE_BUCKETS};
 pub use error::{OdeError, Result};
 pub use obs::{
     PlanStrategy, QueryProfile, TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink,

@@ -562,7 +562,8 @@ impl<'t, 'db> Forall<'t, 'db> {
     }
 }
 
-/// Publish one pass's profile into the database's global query counters.
+/// Publish one pass's profile into the database's global query counters
+/// and the accumulated per-shape profile buckets.
 fn publish_pass(db: &Database, pass: &QueryProfile) {
     let q = &db.tel.query;
     q.clusters_visited.add(pass.clusters_visited);
@@ -572,6 +573,7 @@ fn publish_pass(db: &Database, pass: &QueryProfile) {
     if pass.strategy == PlanStrategy::DeepExtentScan {
         q.deep_extent_scans.inc();
     }
+    db.record_query_pass(pass);
 }
 
 /// Enumerate + filter + order the qualifying oids. One call is one *pass*:
@@ -1036,6 +1038,7 @@ fn collect_join(
     q.predicate_evals.add(pass.predicate_evals);
     q.index_probes.add(pass.index_probes);
     q.deep_extent_scans.add(enumerated_vars);
+    tx.db.record_query_pass(&pass);
     tx.db
         .trace_event(TraceScope::Query, TracePhase::End, serial, || {
             format!("{target} via {}", pass.strategy)

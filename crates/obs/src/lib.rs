@@ -57,6 +57,42 @@ impl Counter {
     }
 }
 
+/// An up/down level gauge (e.g. connections currently open). Like
+/// [`Counter`], all operations are relaxed: the value is a statistic.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Raise the level by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A high-watermark gauge: remembers the largest observed value.
 #[derive(Debug, Default)]
 pub struct MaxGauge(AtomicU64);
@@ -278,6 +314,192 @@ pub struct TriggerTelemetry {
     pub deferred_actions: Counter,
     /// Deepest trigger cascade observed.
     pub max_cascade_depth: MaxGauge,
+}
+
+/// Serving-layer counters (the `ode-server` network front-end). One
+/// instance lives in each server; connection and request paths increment
+/// it through relaxed atomics, and the `.server` control op snapshots it.
+#[derive(Debug, Default)]
+pub struct ServerTelemetry {
+    /// Connections admitted past the admission semaphore.
+    pub accepted: Counter,
+    /// Connections refused because the server was at `max_connections`.
+    pub rejected_admission: Counter,
+    /// Connections refused because the server was draining for shutdown.
+    pub rejected_shutdown: Counter,
+    /// Connections dropped during the protocol handshake (bad magic,
+    /// version mismatch, oversized or malformed first frame).
+    pub handshake_failures: Counter,
+    /// Requests executed (statements and control ops).
+    pub requests: Counter,
+    /// Requests answered with an engine error (constraint violation,
+    /// parse error, …) — the connection survives these.
+    pub engine_errors: Counter,
+    /// Requests whose execution exceeded the per-request budget and were
+    /// answered with a typed timeout error.
+    pub timed_out: Counter,
+    /// Wire bytes received (frame headers included).
+    pub bytes_in: Counter,
+    /// Wire bytes sent (frame headers included).
+    pub bytes_out: Counter,
+    /// Wall-clock latency of request execution.
+    pub request_latency: LatencyHisto,
+    /// Connections currently open.
+    pub active_connections: Gauge,
+    /// Most connections ever open at once.
+    pub max_concurrent: MaxGauge,
+}
+
+impl ServerTelemetry {
+    /// Copy the live counters into a plain-data snapshot.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            accepted: self.accepted.get(),
+            rejected_admission: self.rejected_admission.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            handshake_failures: self.handshake_failures.get(),
+            requests: self.requests.get(),
+            engine_errors: self.engine_errors.get(),
+            timed_out: self.timed_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            request_latency: self.request_latency.snapshot(),
+            active_connections: self.active_connections.get(),
+            max_concurrent: self.max_concurrent.get(),
+        }
+    }
+
+    /// Zero every server counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.accepted,
+            &self.rejected_admission,
+            &self.rejected_shutdown,
+            &self.handshake_failures,
+            &self.requests,
+            &self.engine_errors,
+            &self.timed_out,
+            &self.bytes_in,
+            &self.bytes_out,
+        ] {
+            c.reset();
+        }
+        self.request_latency.reset();
+        self.max_concurrent.reset();
+        // `active_connections` is a live level, not a statistic: resetting
+        // it would desynchronize the open-connection count.
+    }
+}
+
+/// Server counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSnapshot {
+    /// See [`ServerTelemetry::accepted`].
+    pub accepted: u64,
+    /// See [`ServerTelemetry::rejected_admission`].
+    pub rejected_admission: u64,
+    /// See [`ServerTelemetry::rejected_shutdown`].
+    pub rejected_shutdown: u64,
+    /// See [`ServerTelemetry::handshake_failures`].
+    pub handshake_failures: u64,
+    /// See [`ServerTelemetry::requests`].
+    pub requests: u64,
+    /// See [`ServerTelemetry::engine_errors`].
+    pub engine_errors: u64,
+    /// See [`ServerTelemetry::timed_out`].
+    pub timed_out: u64,
+    /// See [`ServerTelemetry::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`ServerTelemetry::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`ServerTelemetry::request_latency`].
+    pub request_latency: HistoSnapshot,
+    /// See [`ServerTelemetry::active_connections`].
+    pub active_connections: u64,
+    /// See [`ServerTelemetry::max_concurrent`].
+    pub max_concurrent: u64,
+}
+
+impl ServerSnapshot {
+    /// Field-wise `self - baseline` (saturating); levels
+    /// (`active_connections`, `max_concurrent`, quantiles) keep their
+    /// current values.
+    pub fn delta(&self, baseline: &ServerSnapshot) -> ServerSnapshot {
+        ServerSnapshot {
+            accepted: self.accepted.saturating_sub(baseline.accepted),
+            rejected_admission: self
+                .rejected_admission
+                .saturating_sub(baseline.rejected_admission),
+            rejected_shutdown: self
+                .rejected_shutdown
+                .saturating_sub(baseline.rejected_shutdown),
+            handshake_failures: self
+                .handshake_failures
+                .saturating_sub(baseline.handshake_failures),
+            requests: self.requests.saturating_sub(baseline.requests),
+            engine_errors: self.engine_errors.saturating_sub(baseline.engine_errors),
+            timed_out: self.timed_out.saturating_sub(baseline.timed_out),
+            bytes_in: self.bytes_in.saturating_sub(baseline.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(baseline.bytes_out),
+            request_latency: self.request_latency.delta(&baseline.request_latency),
+            ..*self
+        }
+    }
+
+    /// Flat `(dotted-name, value)` rows for line-oriented display (the
+    /// shell's `.server` over the wire).
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut out = Vec::with_capacity(16);
+        let mut push = |name: &str, v: u64| out.push((name.to_string(), v.to_string()));
+        push("server.accepted", self.accepted);
+        push("server.rejected_admission", self.rejected_admission);
+        push("server.rejected_shutdown", self.rejected_shutdown);
+        push("server.handshake_failures", self.handshake_failures);
+        push("server.requests", self.requests);
+        push("server.engine_errors", self.engine_errors);
+        push("server.timed_out", self.timed_out);
+        push("server.bytes_in", self.bytes_in);
+        push("server.bytes_out", self.bytes_out);
+        push("server.active_connections", self.active_connections);
+        push("server.max_concurrent", self.max_concurrent);
+        push("server.request_latency.count", self.request_latency.count);
+        out.push((
+            "server.request_latency.mean_us".to_string(),
+            format!("{:.1}", self.request_latency.mean_ns() as f64 / 1e3),
+        ));
+        out.push((
+            "server.request_latency.p99_us".to_string(),
+            format!("{:.1}", self.request_latency.p99_ns as f64 / 1e3),
+        ));
+        out
+    }
+
+    /// Serialize as a stable JSON object (dependency-free, like
+    /// [`TelemetrySnapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"accepted\":{},\"rejected_admission\":{},\
+             \"rejected_shutdown\":{},\"handshake_failures\":{},\
+             \"requests\":{},\"engine_errors\":{},\"timed_out\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"active_connections\":{},\
+             \"max_concurrent\":{},\"request_latency\":",
+            self.accepted,
+            self.rejected_admission,
+            self.rejected_shutdown,
+            self.handshake_failures,
+            self.requests,
+            self.engine_errors,
+            self.timed_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.active_connections,
+            self.max_concurrent
+        ));
+        self.request_latency.json(&mut out);
+        out.push('}');
+        out
+    }
 }
 
 /// The engine's live counter tree. One instance lives in each `Database`;
@@ -956,6 +1178,55 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "strategy" && v.contains("index probe")));
         assert!(rows.iter().any(|(k, v)| k == "rows" && v == "3"));
+    }
+
+    #[test]
+    fn gauge_tracks_levels() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates at zero
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn server_telemetry_snapshot_rows_and_reset() {
+        let tel = ServerTelemetry::default();
+        tel.accepted.add(3);
+        tel.rejected_admission.inc();
+        tel.requests.add(10);
+        tel.bytes_in.add(100);
+        tel.request_latency.record_ns(5_000);
+        tel.active_connections.inc();
+        tel.max_concurrent.observe(2);
+        let snap = tel.snapshot();
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.rejected_admission, 1);
+        assert_eq!(snap.active_connections, 1);
+        let rows = snap.rows();
+        assert!(rows.iter().any(|(k, v)| k == "server.accepted" && v == "3"));
+        assert!(rows
+            .iter()
+            .any(|(k, _)| k == "server.request_latency.p99_us"));
+        let json = snap.to_json();
+        assert!(json.contains("\"rejected_admission\":1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let before = snap;
+        tel.requests.add(5);
+        let d = tel.snapshot().delta(&before);
+        assert_eq!(d.requests, 5);
+        assert_eq!(d.accepted, 0);
+
+        tel.reset();
+        let snap = tel.snapshot();
+        assert_eq!(snap.accepted, 0);
+        assert_eq!(snap.requests, 0);
+        // The live connection level survives a counter reset.
+        assert_eq!(snap.active_connections, 1);
     }
 
     #[test]

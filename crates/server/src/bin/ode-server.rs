@@ -1,0 +1,155 @@
+//! `ode-server` — serve one Ode database to many remote shells.
+//!
+//! ```text
+//! ode-server --memory --listen 127.0.0.1:7340
+//! ode-server /path/to/db --listen 0.0.0.0:7340 --max-connections 128
+//! ```
+//!
+//! Prints `listening on <addr>` once ready. On SIGTERM or SIGINT the
+//! server drains gracefully: it stops accepting, finishes every in-flight
+//! request, and exits 0 once drained (1 if the drain budget expired with
+//! connections still open).
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ode_core::Database;
+use ode_server::{Server, ServerConfig};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+const USAGE: &str = "usage: ode-server [--memory | <directory>] [--listen HOST:PORT]
+                  [--max-connections N] [--request-timeout-ms MS]
+                  [--max-request-bytes N] [--drain-timeout-ms MS]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ode-server: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7340".to_string();
+    let mut dir: Option<String> = None;
+    let mut memory = false;
+    let mut cfg = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--memory" => memory = true,
+            "--listen" => listen = value("--listen"),
+            "--max-connections" => {
+                cfg.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-connections must be a number"))
+            }
+            "--request-timeout-ms" => {
+                let ms: u64 = value("--request-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--request-timeout-ms must be a number"));
+                cfg.request_timeout = Duration::from_millis(ms);
+            }
+            "--drain-timeout-ms" => {
+                let ms: u64 = value("--drain-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--drain-timeout-ms must be a number"));
+                cfg.drain_timeout = Duration::from_millis(ms);
+            }
+            "--max-request-bytes" => {
+                cfg.max_request_bytes = value("--max-request-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-request-bytes must be a number"))
+            }
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            other => {
+                if dir.is_some() {
+                    fail("more than one database directory given");
+                }
+                dir = Some(other.to_string());
+            }
+        }
+    }
+
+    let db = match (&dir, memory) {
+        (Some(_), true) => fail("--memory conflicts with a database directory"),
+        (Some(d), false) => match Database::open(Path::new(d)) {
+            Ok(db) => {
+                eprintln!("ode-server: database at {d}");
+                db
+            }
+            Err(e) => {
+                eprintln!("ode-server: cannot open {d}: {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, _) => {
+            eprintln!("ode-server: in-memory database (pass a directory to persist)");
+            Database::in_memory()
+        }
+    };
+
+    install_signal_handlers();
+    let handle = match Server::bind(Arc::new(db), cfg.clone(), listen.as_str()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ode-server: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Readiness line on stdout so scripts can wait for it.
+    println!(
+        "listening on {} (max {} connections)",
+        handle.addr(),
+        cfg.max_connections
+    );
+    let _ = std::io::stdout().flush();
+
+    while !TERMINATE.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("ode-server: draining…");
+    let report = handle.shutdown();
+    if report.drained {
+        eprintln!("ode-server: drained cleanly");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "ode-server: drain budget expired with {} connection(s) open",
+        report.connections_remaining
+    );
+    std::process::exit(1);
+}

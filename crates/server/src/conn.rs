@@ -1,0 +1,254 @@
+//! Per-connection session loop: handshake, request dispatch, drain.
+//!
+//! Each connection runs an [`ode_shell::Session`] over the shared
+//! database, so every statement and meta-command of the local shell works
+//! over the wire unchanged. Sockets are read with a short timeout so the
+//! loop can poll the server's shutdown flag: on drain, a connection
+//! finishes the request it is executing (and flushes the response), then
+//! sends `Goodbye` and closes — no in-flight request is ever dropped.
+
+use std::fmt::Write as _;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ode_shell::{EvalResult, Session};
+use ode_wire::protocol::{
+    write_frame, ControlOp, ErrorKind, FrameReader, Request, Response, PROTOCOL_VERSION,
+};
+
+use crate::ServerState;
+
+/// Why the request-wait loop stopped.
+enum Wait {
+    /// A complete request frame arrived.
+    Frame(Vec<u8>),
+    /// The peer closed (EOF) or the socket failed.
+    Closed,
+    /// The server is draining and no complete request is pending.
+    Draining,
+    /// No complete request arrived within the idle budget.
+    Idle,
+    /// The pending frame exceeds the request-size limit.
+    TooLarge,
+}
+
+pub(crate) fn serve(stream: TcpStream, state: &Arc<ServerState>) {
+    let mut conn = Conn {
+        stream,
+        reader: FrameReader::new(),
+        state: Arc::clone(state),
+    };
+    let _ = conn.stream.set_nodelay(true);
+    if conn
+        .stream
+        .set_read_timeout(Some(state.cfg.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(30)));
+    conn.run();
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    state: Arc<ServerState>,
+}
+
+impl Conn {
+    fn run(&mut self) {
+        let state = Arc::clone(&self.state);
+        let tel = &state.tel;
+
+        // ------------------------------------------------- handshake
+        let first = match self.wait_for_frame() {
+            Wait::Frame(f) => f,
+            Wait::TooLarge => {
+                tel.handshake_failures.inc();
+                self.send_best_effort(&Response::Error {
+                    kind: ErrorKind::TooLarge,
+                    message: "handshake frame exceeds request-size limit".into(),
+                });
+                return;
+            }
+            _ => {
+                tel.handshake_failures.inc();
+                return;
+            }
+        };
+        match Request::decode(&first) {
+            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {}
+            Ok(Request::Hello { version }) => {
+                tel.handshake_failures.inc();
+                self.send_best_effort(&Response::Error {
+                    kind: ErrorKind::Protocol,
+                    message: format!(
+                        "server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"
+                    ),
+                });
+                return;
+            }
+            _ => {
+                tel.handshake_failures.inc();
+                self.send_best_effort(&Response::Error {
+                    kind: ErrorKind::Protocol,
+                    message: "first frame must be Hello".into(),
+                });
+                return;
+            }
+        }
+        if self
+            .send(&Response::Welcome {
+                version: PROTOCOL_VERSION,
+            })
+            .is_err()
+        {
+            return;
+        }
+
+        // ---------------------------------------------- request loop
+        let mut session = Session::with_shared(Arc::clone(&self.state.db));
+        loop {
+            let frame = match self.wait_for_frame() {
+                Wait::Frame(f) => f,
+                Wait::Closed => return,
+                Wait::Draining | Wait::Idle => {
+                    self.send_best_effort(&Response::Goodbye);
+                    return;
+                }
+                Wait::TooLarge => {
+                    // Framing is lost past an oversized header; refuse and
+                    // close rather than desynchronize.
+                    self.send_best_effort(&Response::Error {
+                        kind: ErrorKind::TooLarge,
+                        message: format!(
+                            "request exceeds the {}-byte limit",
+                            self.state.cfg.max_request_bytes
+                        ),
+                    });
+                    return;
+                }
+            };
+            let req = match Request::decode(&frame) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.send_best_effort(&Response::Error {
+                        kind: ErrorKind::Protocol,
+                        message: e.to_string(),
+                    });
+                    return;
+                }
+            };
+            tel.requests.inc();
+            let resp = match req {
+                Request::Hello { .. } => {
+                    self.send_best_effort(&Response::Error {
+                        kind: ErrorKind::Protocol,
+                        message: "session already handshaken".into(),
+                    });
+                    return;
+                }
+                Request::Bye => {
+                    self.send_best_effort(&Response::Goodbye);
+                    return;
+                }
+                Request::Control(op) => Response::Output(self.control(op)),
+                Request::Line(text) => {
+                    let started = Instant::now();
+                    let outcome = session.eval_line(&text);
+                    let elapsed = started.elapsed();
+                    tel.request_latency.record_ns(elapsed.as_nanos() as u64);
+                    if elapsed > self.state.cfg.request_timeout {
+                        tel.timed_out.inc();
+                        Response::Error {
+                            kind: ErrorKind::Timeout,
+                            message: format!(
+                                "request took {elapsed:.1?}, budget is {:.1?}",
+                                self.state.cfg.request_timeout
+                            ),
+                        }
+                    } else {
+                        match outcome {
+                            EvalResult::Output(out) => Response::Output(out),
+                            EvalResult::Continue => Response::Continue,
+                            EvalResult::Error(e) => {
+                                tel.engine_errors.inc();
+                                Response::Error {
+                                    kind: ErrorKind::Engine,
+                                    message: e.to_string(),
+                                }
+                            }
+                            EvalResult::Exit => {
+                                self.send_best_effort(&Response::Goodbye);
+                                return;
+                            }
+                        }
+                    }
+                }
+            };
+            if self.send(&resp).is_err() {
+                return;
+            }
+        }
+    }
+
+    fn control(&self, op: ControlOp) -> String {
+        match op {
+            ControlOp::Ping => "pong".to_string(),
+            ControlOp::ServerStats => {
+                let mut out = String::new();
+                for (k, v) in self.state.tel.snapshot().rows() {
+                    let _ = writeln!(out, "{k:<32} {v}");
+                }
+                out.trim_end().to_string()
+            }
+            ControlOp::TelemetryJson => self.state.db.telemetry().to_json(),
+        }
+    }
+
+    /// Block (in poll-interval ticks) until a complete request frame is
+    /// available, the peer hangs up, the idle budget expires, or the
+    /// server starts draining.
+    fn wait_for_frame(&mut self) -> Wait {
+        let deadline = Instant::now() + self.state.cfg.idle_timeout;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.reader.next_frame(self.state.cfg.max_request_bytes) {
+                Ok(Some(frame)) => return Wait::Frame(frame),
+                Ok(None) => {}
+                Err(_) => return Wait::TooLarge,
+            }
+            if self.state.draining() {
+                return Wait::Draining;
+            }
+            if Instant::now() > deadline {
+                return Wait::Idle;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Wait::Closed,
+                Ok(n) => {
+                    self.state.tel.bytes_in.add(n as u64);
+                    self.reader.push(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Wait::Closed,
+            }
+        }
+    }
+
+    fn send(&mut self, resp: &Response) -> std::io::Result<()> {
+        let payload = resp.encode();
+        self.state.tel.bytes_out.add(payload.len() as u64 + 4);
+        write_frame(&mut self.stream, &payload)
+    }
+
+    fn send_best_effort(&mut self, resp: &Response) {
+        let _ = self.send(resp);
+    }
+}

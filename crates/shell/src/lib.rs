@@ -19,6 +19,7 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use ode_core::oql::{ExecResult, QueryRows};
 use ode_core::prelude::*;
@@ -26,9 +27,11 @@ use ode_core::TriggerId;
 use ode_model::{Oid, VersionRef};
 use ode_storage::RecordId;
 
-/// A live shell session over one database.
+/// A live shell session over one (possibly shared) database. Sessions
+/// hold the database behind an [`Arc`], so any number of them — local
+/// REPLs, `ode-server` connections — can run over the same engine.
 pub struct Session {
-    db: Database,
+    db: Arc<Database>,
     /// Buffered partial input (multi-line class declarations).
     pending: String,
     /// Set by `.exit`.
@@ -46,27 +49,40 @@ pub enum LineResult {
     Exit,
 }
 
+/// Outcome of feeding one line, with the engine error kept typed —
+/// `ode-server` maps [`EvalResult::Error`] to a typed wire error while
+/// [`LineResult`] flattens it into printable text.
+#[derive(Debug)]
+pub enum EvalResult {
+    /// Output to print (possibly empty).
+    Output(String),
+    /// The statement ran and the engine rejected it.
+    Error(OdeError),
+    /// The line was absorbed; more input is needed (unbalanced braces).
+    Continue,
+    /// `.exit` was requested.
+    Exit,
+}
+
 impl Session {
     /// Open a durable session.
     pub fn open(dir: &Path) -> Result<Session> {
-        Ok(Session {
-            db: Database::open(dir)?,
-            pending: String::new(),
-            done: false,
-        })
+        Ok(Session::with_database(Database::open(dir)?))
     }
 
     /// Open a volatile in-memory session.
     pub fn in_memory() -> Session {
-        Session {
-            db: Database::in_memory(),
-            pending: String::new(),
-            done: false,
-        }
+        Session::with_database(Database::in_memory())
     }
 
     /// Wrap an existing database.
     pub fn with_database(db: Database) -> Session {
+        Session::with_shared(Arc::new(db))
+    }
+
+    /// A session over an already-shared database (one of many — the
+    /// server opens one per connection).
+    pub fn with_shared(db: Arc<Database>) -> Session {
         Session {
             db,
             pending: String::new(),
@@ -79,6 +95,11 @@ impl Session {
         &self.db
     }
 
+    /// Clone the shared handle to the underlying database.
+    pub fn shared_database(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
     /// Has `.exit` been issued?
     pub fn finished(&self) -> bool {
         self.done
@@ -89,30 +110,49 @@ impl Session {
         !self.pending.is_empty()
     }
 
-    /// Feed one input line.
+    /// Feed one input line, flattening engine errors into printable
+    /// `error: …` text (the local REPL's behaviour).
     pub fn line(&mut self, line: &str) -> LineResult {
+        match self.eval_line(line) {
+            EvalResult::Output(o) => LineResult::Output(o),
+            EvalResult::Error(e) => LineResult::Output(format!("error: {e}")),
+            EvalResult::Continue => LineResult::Continue,
+            EvalResult::Exit => LineResult::Exit,
+        }
+    }
+
+    /// Feed one input line, keeping engine errors typed.
+    pub fn eval_line(&mut self, line: &str) -> EvalResult {
         if !self.pending.is_empty() {
             self.pending.push('\n');
             self.pending.push_str(line);
             if balanced(&self.pending) {
                 let stmt = std::mem::take(&mut self.pending);
-                return LineResult::Output(self.statement(&stmt));
+                return self.eval_statement(&stmt);
             }
-            return LineResult::Continue;
+            return EvalResult::Continue;
         }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with("//") {
-            return LineResult::Output(String::new());
+            return EvalResult::Output(String::new());
         }
         if trimmed == ".exit" || trimmed == ".quit" {
             self.done = true;
-            return LineResult::Exit;
+            return EvalResult::Exit;
         }
         if trimmed.starts_with("class") && !balanced(trimmed) {
             self.pending = line.to_string();
-            return LineResult::Continue;
+            return EvalResult::Continue;
         }
-        LineResult::Output(self.statement(line))
+        self.eval_statement(line)
+    }
+
+    /// Execute one complete statement, keeping the engine error typed.
+    pub fn eval_statement(&mut self, stmt: &str) -> EvalResult {
+        match self.dispatch(stmt) {
+            Ok(out) => EvalResult::Output(out),
+            Err(e) => EvalResult::Error(e),
+        }
     }
 
     /// Execute one complete statement, formatting output or error.
@@ -411,10 +451,30 @@ impl Session {
             "stats" => match parts.next() {
                 Some("reset") => {
                     self.db.reset_telemetry();
-                    Ok("telemetry counters reset".to_string())
+                    Ok("telemetry counters and query profiles reset".to_string())
+                }
+                Some("profiles") => {
+                    let profiles = self.db.query_profiles();
+                    if profiles.is_empty() {
+                        return Ok("no query profiles".to_string());
+                    }
+                    let mut out = String::new();
+                    for (key, bucket) in profiles {
+                        let p = &bucket.profile;
+                        let _ = writeln!(
+                            out,
+                            "{key}: passes={} scanned={} pred_evals={} probes={} rows={}",
+                            bucket.passes,
+                            p.objects_scanned,
+                            p.predicate_evals,
+                            p.index_probes,
+                            p.rows
+                        );
+                    }
+                    Ok(out.trim_end().to_string())
                 }
                 Some(other) => Err(OdeError::Usage(format!(
-                    "usage: .stats [reset] (got `{other}`)"
+                    "usage: .stats [reset|profiles] (got `{other}`)"
                 ))),
                 None => {
                     let snap = self.db.telemetry();
@@ -519,6 +579,7 @@ meta:
   .classes   .describe <class>   .clusters   .indexes
   .show <oid>   .versions <oid>
   .stats [reset]                       engine telemetry counters
+  .stats profiles                      accumulated per-query profiles
   .export <file>   .import <file>      whole-database dump / restore
   .help   .exit
 "#;
@@ -702,6 +763,43 @@ mod tests {
         let out = feed(&mut s, ".help");
         assert!(out.contains(".stats [reset]"), "{out}");
         assert!(out.contains("explain forall"), "{out}");
+    }
+
+    #[test]
+    fn stats_reset_clears_query_profiles() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class part { string name; int weight = 0; }");
+        feed(&mut s, "create cluster part");
+        feed(&mut s, r#"pnew part (name = "bolt", weight = 3)"#);
+        assert_eq!(feed(&mut s, ".stats profiles"), "no query profiles");
+        feed(&mut s, "forall p in part suchthat (weight == 3)");
+        feed(&mut s, "forall p in part suchthat (weight == 3)");
+        let out = feed(&mut s, ".stats profiles");
+        assert!(out.contains("part | deep extent scan"), "{out}");
+        assert!(out.contains("passes=2"), "{out}");
+        // Reset clears counters AND the accumulated profiles, so a
+        // long-lived server session cannot grow telemetry unboundedly.
+        let out = feed(&mut s, ".stats reset");
+        assert!(out.contains("query profiles reset"), "{out}");
+        assert_eq!(feed(&mut s, ".stats profiles"), "no query profiles");
+        assert!(s.database().query_profiles().is_empty());
+    }
+
+    #[test]
+    fn typed_eval_distinguishes_engine_errors() {
+        let mut s = Session::in_memory();
+        match s.eval_line("forall x in nowhere") {
+            EvalResult::Error(e) => assert!(e.to_string().contains("unknown class"), "{e}"),
+            other => panic!("expected typed engine error, got {other:?}"),
+        }
+        match s.eval_line("class partial {") {
+            EvalResult::Continue => {}
+            other => panic!("expected continuation, got {other:?}"),
+        }
+        match s.eval_line("}") {
+            EvalResult::Output(o) => assert!(o.contains("defined"), "{o}"),
+            other => panic!("expected output, got {other:?}"),
+        }
     }
 
     #[test]

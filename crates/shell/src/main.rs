@@ -1,65 +1,196 @@
-//! `ode-shell` — interactive Ode session.
+//! `ode-shell` — interactive Ode session, local or remote.
 //!
 //! ```text
-//! ode-shell                # in-memory scratch database
-//! ode-shell /path/to/db    # durable database (created if absent)
+//! ode-shell                          # in-memory scratch database
+//! ode-shell /path/to/db              # durable database (created if absent)
+//! ode-shell --connect 127.0.0.1:7340 # remote session over an ode-server
 //! ```
+//!
+//! Exit codes (so scripted sessions can tell failure classes apart):
+//!
+//! * `0` — clean session.
+//! * `1` — the engine rejected at least one statement (parse error,
+//!   constraint violation, …) in a *scripted* (non-TTY stdin) session;
+//!   interactive sessions report the error and keep going.
+//! * `2` — transport-class failure: connection refused, server at
+//!   capacity, protocol mismatch, I/O timeout, server shutdown. Nothing
+//!   (more) reached the engine.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, IsTerminal, Write};
 
-use ode_shell::{LineResult, Session};
+use ode_shell::{EvalResult, Session};
+use ode_wire::client::{Client, ClientError, RemoteLine};
+
+const EXIT_ENGINE: i32 = 1;
+const EXIT_TRANSPORT: i32 = 2;
+
+const USAGE: &str = "usage: ode-shell [--memory | <directory> | --connect HOST:PORT]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut session = match args.first().map(String::as_str) {
-        None | Some("--memory") => {
+    let mut connect: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut memory = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            "--memory" => memory = true,
+            "--connect" => match args.next() {
+                Some(addr) => connect = Some(addr),
+                None => {
+                    eprintln!("ode-shell: --connect needs HOST:PORT");
+                    eprintln!("{USAGE}");
+                    std::process::exit(EXIT_TRANSPORT);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("ode-shell: unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                std::process::exit(EXIT_TRANSPORT);
+            }
+            other => dir = Some(other.to_string()),
+        }
+    }
+
+    let code = match connect {
+        Some(addr) => {
+            if memory || dir.is_some() {
+                eprintln!("ode-shell: --connect conflicts with a local database");
+                std::process::exit(EXIT_TRANSPORT);
+            }
+            remote_repl(&addr)
+        }
+        None => local_repl(dir, memory),
+    };
+    std::process::exit(code);
+}
+
+/// Read one line from stdin (with a prompt when interactive). `None` at
+/// EOF or on a read error.
+fn read_line(continuing: bool, interactive: bool) -> Option<String> {
+    if interactive {
+        let prompt = if continuing { "  ... " } else { "ode> " };
+        let mut out = std::io::stdout();
+        let _ = write!(out, "{prompt}");
+        let _ = out.flush();
+    }
+    let mut line = String::new();
+    match std::io::stdin().lock().read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim_end_matches(['\n', '\r']).to_string()),
+        Err(e) => {
+            eprintln!("read error: {e}");
+            None
+        }
+    }
+}
+
+fn local_repl(dir: Option<String>, _memory: bool) -> i32 {
+    let mut session = match &dir {
+        None => {
             eprintln!("ode-shell: in-memory database (pass a directory to persist)");
             Session::in_memory()
         }
-        Some("--help") | Some("-h") => {
-            eprintln!("usage: ode-shell [--memory | <directory>]");
-            return;
-        }
-        Some(dir) => match Session::open(std::path::Path::new(dir)) {
+        Some(d) => match Session::open(std::path::Path::new(d)) {
             Ok(s) => {
-                eprintln!("ode-shell: database at {dir}");
+                eprintln!("ode-shell: database at {d}");
                 s
             }
             Err(e) => {
-                eprintln!("ode-shell: cannot open {dir}: {e}");
-                std::process::exit(1);
+                eprintln!("ode-shell: cannot open {d}: {e}");
+                return EXIT_TRANSPORT;
             }
         },
     };
-    eprintln!("type `.help` for commands, `.exit` to leave");
-
-    let stdin = std::io::stdin();
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        eprintln!("type `.help` for commands, `.exit` to leave");
+    }
     let mut out = std::io::stdout();
-    loop {
-        let prompt = if session.is_continuing() {
-            "  ... "
-        } else {
-            "ode> "
-        };
-        let _ = write!(out, "{prompt}");
-        let _ = out.flush();
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("read error: {e}");
-                break;
-            }
-        }
-        match session.line(line.trim_end_matches(['\n', '\r'])) {
-            LineResult::Output(s) => {
+    let mut engine_errors = 0usize;
+    while let Some(line) = read_line(session.is_continuing(), interactive) {
+        match session.eval_line(&line) {
+            EvalResult::Output(s) => {
                 if !s.is_empty() {
                     let _ = writeln!(out, "{s}");
                 }
             }
-            LineResult::Continue => {}
-            LineResult::Exit => break,
+            EvalResult::Error(e) => {
+                engine_errors += 1;
+                let _ = writeln!(out, "error: {e}");
+            }
+            EvalResult::Continue => {}
+            EvalResult::Exit => break,
         }
+    }
+    // Interactive users saw the errors as they happened; scripts need the
+    // exit code to notice them.
+    if engine_errors > 0 && !interactive {
+        EXIT_ENGINE
+    } else {
+        0
+    }
+}
+
+fn remote_repl(addr: &str) -> i32 {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ode-shell: {e}");
+            return EXIT_TRANSPORT;
+        }
+    };
+    let interactive = std::io::stdin().is_terminal();
+    eprintln!("ode-shell: connected to {addr}");
+    if interactive {
+        eprintln!("type `.help` for commands, `.exit` to leave");
+    }
+    let mut out = std::io::stdout();
+    let mut engine_errors = 0usize;
+    let mut continuing = false;
+    while let Some(line) = read_line(continuing, interactive) {
+        // `.server` is a shell-side alias for the serving-layer stats
+        // control op (the engine's `.stats` still works over the wire).
+        let result = if line.trim() == ".server" {
+            client.server_stats().map(RemoteLine::Output)
+        } else {
+            client.line(&line)
+        };
+        match result {
+            Ok(RemoteLine::Output(s)) => {
+                continuing = false;
+                if !s.is_empty() {
+                    let _ = writeln!(out, "{s}");
+                }
+            }
+            Ok(RemoteLine::Continue) => continuing = true,
+            Ok(RemoteLine::Goodbye) => return 0,
+            Err(ClientError::Engine(msg)) => {
+                continuing = false;
+                engine_errors += 1;
+                let _ = writeln!(out, "error: {msg}");
+            }
+            Err(ClientError::Timeout(msg)) if interactive => {
+                // The session survives a per-request timeout; keep going.
+                continuing = false;
+                let _ = writeln!(out, "error: {msg}");
+            }
+            Err(e) => {
+                // Transport-class: the session is gone (or, for scripted
+                // timeouts, no longer trustworthy). Fail loudly.
+                eprintln!("ode-shell: {e}");
+                return EXIT_TRANSPORT;
+            }
+        }
+    }
+    let _ = client.bye();
+    if engine_errors > 0 && !interactive {
+        EXIT_ENGINE
+    } else {
+        0
     }
 }

@@ -1,0 +1,235 @@
+//! The blocking client: one `TcpStream`, one request in flight.
+//!
+//! [`ClientError`] is deliberately typed to keep *transport* failures
+//! (connect refused, timeout, broken pipe — nothing reached the engine)
+//! distinct from *engine* errors (the statement ran and was rejected:
+//! parse error, constraint violation). Callers like `ode-shell
+//! --connect` map the two classes to different exit codes.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, ControlOp, ErrorKind, Request, Response, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+
+/// Typed client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure: connect refused, I/O timeout, connection
+    /// reset. The request may never have reached the server.
+    Transport(String),
+    /// The peer violated the wire protocol (bad frame, bad handshake).
+    Protocol(String),
+    /// Admission control refused the connection (server at capacity).
+    Rejected(String),
+    /// The server is draining for shutdown.
+    ShuttingDown(String),
+    /// The server gave up on the request (per-request budget exceeded).
+    Timeout(String),
+    /// The engine rejected the statement; the session remains usable.
+    Engine(String),
+    /// The request exceeded the server's frame-size limit.
+    TooLarge(String),
+}
+
+impl ClientError {
+    /// Is this a transport-class failure (as opposed to a server- or
+    /// engine-reported one)?
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Transport(_))
+    }
+
+    fn from_io(e: io::Error) -> ClientError {
+        ClientError::Transport(e.to_string())
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected(m) => write!(f, "connection rejected: {m}"),
+            ClientError::ShuttingDown(m) => write!(f, "server shutting down: {m}"),
+            ClientError::Timeout(m) => write!(f, "request timed out: {m}"),
+            ClientError::Engine(m) => write!(f, "{m}"),
+            ClientError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Outcome of sending one input line to the remote session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteLine {
+    /// The statement ran; here is its (possibly empty) output.
+    Output(String),
+    /// More input is needed (multi-line class declaration).
+    Continue,
+    /// The remote session ended (`.exit`, or the server drained).
+    Goodbye,
+}
+
+/// A connected, handshaken session with an `ode-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and perform the protocol handshake. An admission-control
+    /// rejection surfaces as [`ClientError::Rejected`], a draining server
+    /// as [`ClientError::ShuttingDown`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::from_io)?;
+        stream.set_nodelay(true).ok();
+        let mut client = Client { stream };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Response::Welcome { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Welcome { version } => Err(ClientError::Protocol(format!(
+                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+            ))),
+            Response::Error { kind, message } => Err(typed(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected handshake response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Bound every subsequent socket read/write (`None` removes the
+    /// bound). Expired bounds surface as [`ClientError::Transport`].
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .and_then(|()| self.stream.set_write_timeout(timeout))
+            .map_err(ClientError::from_io)
+    }
+
+    /// Send one shell input line and read its response.
+    pub fn line(&mut self, text: &str) -> Result<RemoteLine, ClientError> {
+        self.send(&Request::Line(text.to_string()))?;
+        match self.recv()? {
+            Response::Output(out) => Ok(RemoteLine::Output(out)),
+            Response::Continue => Ok(RemoteLine::Continue),
+            Response::Goodbye => Ok(RemoteLine::Goodbye),
+            Response::Error { kind, message } => Err(typed(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.control(ControlOp::Ping)? {
+            ref s if s == "pong" => Ok(()),
+            other => Err(ClientError::Protocol(format!("ping answered `{other}`"))),
+        }
+    }
+
+    /// Serving-layer telemetry, formatted as `name value` rows.
+    pub fn server_stats(&mut self) -> Result<String, ClientError> {
+        self.control(ControlOp::ServerStats)
+    }
+
+    /// The engine telemetry snapshot as JSON.
+    pub fn telemetry_json(&mut self) -> Result<String, ClientError> {
+        self.control(ControlOp::TelemetryJson)
+    }
+
+    /// Orderly goodbye; consumes the client.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Bye)?;
+        match self.recv()? {
+            Response::Goodbye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected bye response: {other:?}"
+            ))),
+        }
+    }
+
+    fn control(&mut self, op: ControlOp) -> Result<String, ClientError> {
+        self.send(&Request::Control(op))?;
+        match self.recv()? {
+            Response::Output(out) => Ok(out),
+            Response::Error { kind, message } => Err(typed(kind, message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &req.encode()).map_err(ClientError::from_io)
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream, MAX_FRAME_BYTES).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                ClientError::Protocol(e.to_string())
+            } else {
+                ClientError::from_io(e)
+            }
+        })?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+}
+
+fn typed(kind: ErrorKind, message: String) -> ClientError {
+    match kind {
+        ErrorKind::Protocol => ClientError::Protocol(message),
+        ErrorKind::Engine => ClientError::Engine(message),
+        ErrorKind::Timeout => ClientError::Timeout(message),
+        ErrorKind::Admission => ClientError::Rejected(message),
+        ErrorKind::Shutdown => ClientError::ShuttingDown(message),
+        ErrorKind::TooLarge => ClientError::TooLarge(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_classification() {
+        assert!(ClientError::Transport("refused".into()).is_transport());
+        for e in [
+            ClientError::Engine("parse".into()),
+            ClientError::Rejected("full".into()),
+            ClientError::Timeout("slow".into()),
+            ClientError::Protocol("bad tag".into()),
+        ] {
+            assert!(!e.is_transport(), "{e}");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_transport() {
+        // Port 1 on localhost is essentially never listening.
+        let err = Client::connect("127.0.0.1:1").unwrap_err();
+        assert!(err.is_transport(), "{err}");
+    }
+
+    #[test]
+    fn typed_mapping_covers_all_kinds() {
+        assert_eq!(
+            typed(ErrorKind::Admission, "full".into()),
+            ClientError::Rejected("full".into())
+        );
+        assert_eq!(
+            typed(ErrorKind::Shutdown, "bye".into()),
+            ClientError::ShuttingDown("bye".into())
+        );
+        assert_eq!(
+            typed(ErrorKind::TooLarge, "big".into()),
+            ClientError::TooLarge("big".into())
+        );
+    }
+}
