@@ -1,0 +1,221 @@
+//! Figure F11 — reader scaling on the concurrent read path.
+//!
+//! The paper's single-program transaction model serializes writers; this
+//! figure measures what PR 3 bought readers: snapshot read transactions
+//! (`Database::begin_read`) that never touch the writer gate, over the
+//! lock-striped buffer pool. One durable 100k-object inventory cluster
+//! is shared by 1, 2, 4, then 8 reader threads; each thread loops either
+//! point lookups (index probe on `quantity`) or full cluster scans for a
+//! fixed wall-clock window, and we report aggregate ops/sec.
+//!
+//! Expected shape: near-linear scaling until threads exceed cores. On a
+//! host with ≥4 cores the run asserts ≥2x aggregate point-lookup
+//! throughput at 4 threads vs 1 (the acceptance bar); on smaller hosts
+//! the assertion is skipped but the numbers are still emitted.
+//!
+//! Output: a table on stderr and `BENCH_f11.json` at the repo root
+//! (override with `ODE_BENCH_OUT`). Set `ODE_BENCH_QUICK=1` for a
+//! seconds-long smoke run (CI).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use ode_bench::workload;
+use ode_core::prelude::*;
+use ode_storage::filestore::FileStoreOptions;
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+struct Config {
+    objects: usize,
+    window: Duration,
+    quick: bool,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let quick = std::env::var("ODE_BENCH_QUICK").is_ok_and(|v| v != "0");
+        if quick {
+            Config {
+                objects: 10_000,
+                window: Duration::from_millis(250),
+                quick,
+            }
+        } else {
+            Config {
+                objects: 100_000,
+                window: Duration::from_millis(1500),
+                quick,
+            }
+        }
+    }
+}
+
+struct Row {
+    threads: usize,
+    point_ops_s: f64,
+    scan_ops_s: f64,
+}
+
+fn file_db(cfg: &Config) -> Database {
+    let dir = workload::temp_dir("f11");
+    let db = Database::open_with(
+        &dir,
+        FileStoreOptions {
+            // Keep the whole cluster resident: this figure measures lock
+            // scaling on the read path, not eviction behaviour (that is
+            // F9's job).
+            pool_pages: 16_384,
+            sync_commits: false,
+            ..FileStoreOptions::default()
+        },
+        DbConfig::default(),
+    )
+    .expect("open");
+    workload::define_inventory(&db);
+    workload::fill_inventory(&db, cfg.objects);
+    db.create_index("stockitem", "quantity").expect("index");
+    db.checkpoint().expect("checkpoint");
+    db
+}
+
+/// Run `threads` readers for the window; each op is one snapshot read
+/// transaction. Returns aggregate ops/sec.
+fn run(
+    db: &Database,
+    threads: usize,
+    window: Duration,
+    op: impl Fn(&Database, u64) + Send + Copy,
+) -> f64 {
+    let start = Arc::new(Barrier::new(threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut total_ops = 0u64;
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = Arc::clone(&start);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut ops = 0u64;
+                    let mut i = (t as u64) << 32;
+                    start.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        op(db, i);
+                        ops += 1;
+                        i = i.wrapping_add(1);
+                    }
+                    ops
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            total_ops += h.join().expect("reader thread");
+        }
+        elapsed = t0.elapsed();
+    });
+    total_ops as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    eprintln!(
+        "f11: {} objects, {:?} window per cell, host parallelism {}",
+        cfg.objects, cfg.window, parallelism
+    );
+
+    let db = file_db(&cfg);
+    let n = cfg.objects as u64;
+    // Warm the pool once so every cell measures a resident dataset.
+    db.read(|rtx| rtx.forall("stockitem")?.count())
+        .expect("warmup");
+
+    let point = move |db: &Database, i: u64| {
+        // Deterministic pseudo-random key: hits the secondary index.
+        let k = (i.wrapping_mul(2654435761)) % n;
+        db.read(|rtx| {
+            rtx.forall("stockitem")?
+                .suchthat(&format!("quantity == {k}"))?
+                .count()
+        })
+        .expect("point lookup");
+    };
+    let scan = move |db: &Database, _i: u64| {
+        let c = db
+            .read(|rtx| rtx.forall("stockitem")?.count())
+            .expect("scan");
+        assert_eq!(c, n as usize);
+    };
+
+    let mut rows = Vec::new();
+    for &threads in THREAD_COUNTS {
+        let point_ops_s = run(&db, threads, cfg.window, point);
+        // Scans are long ops; quick mode keeps the same window.
+        let scan_ops_s = run(&db, threads, cfg.window, scan);
+        eprintln!(
+            "f11: threads={threads:<2} point={point_ops_s:>10.0} ops/s  scan={scan_ops_s:>8.1} ops/s"
+        );
+        rows.push(Row {
+            threads,
+            point_ops_s,
+            scan_ops_s,
+        });
+    }
+
+    let base_point = rows[0].point_ops_s;
+    let base_scan = rows[0].scan_ops_s;
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"figure\": \"f11_concurrent_readers\",");
+    let _ = writeln!(json, "  \"objects\": {},", cfg.objects);
+    let _ = writeln!(json, "  \"window_ms\": {},", cfg.window.as_millis());
+    let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
+    let _ = writeln!(json, "  \"host_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"point_ops_per_sec\": {:.1}, \"scan_ops_per_sec\": {:.1}, \"point_speedup\": {:.2}, \"scan_speedup\": {:.2}}}{comma}",
+            r.threads,
+            r.point_ops_s,
+            r.scan_ops_s,
+            r.point_ops_s / base_point,
+            r.scan_ops_s / base_scan,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("ODE_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_f11.json")
+        },
+        PathBuf::from,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_f11.json");
+    eprintln!("f11: wrote {}", out.display());
+
+    let at4 = rows.iter().find(|r| r.threads == 4).expect("4-thread row");
+    let speedup = at4.point_ops_s / base_point;
+    if parallelism >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "read path failed to scale: 4-thread point throughput is only {speedup:.2}x of 1-thread"
+        );
+        eprintln!("f11: 4-thread point speedup {speedup:.2}x (>= 2.0x bar) — PASS");
+    } else {
+        eprintln!(
+            "f11: host has {parallelism} core(s); ≥2x@4-threads assertion skipped (measured {speedup:.2}x)"
+        );
+    }
+}

@@ -6,9 +6,16 @@
 //! existing store replays that catalog, then rebuilds the in-memory
 //! indexes by scanning.
 //!
-//! Concurrency model: the paper explicitly leaves concurrency out of scope
-//! (§1), so the engine serializes transactions behind a single gate. DDL
-//! operations auto-commit individually and also take the gate.
+//! Concurrency model (DESIGN.md §8): the paper explicitly leaves
+//! concurrency out of scope (§1), so *writers* serialize behind a single
+//! gate — but reads need no such protection. [`Database::begin_read`]
+//! hands out snapshot [`ReadTransaction`]s that share the `apply_gate`
+//! reader-writer lock: any number run concurrently, and a committing
+//! writer takes the gate exclusively only for the short window in which
+//! it publishes its batch (store commit + index update), never for the
+//! whole transaction. A monotonic commit epoch lets readers detect
+//! staleness. DDL operations auto-commit individually and take both the
+//! writer gate and the apply gate.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -29,6 +36,7 @@ use crate::catalog::{CatalogRecord, CatalogState, CATALOG_HEAP};
 use crate::error::{OdeError, Result};
 use crate::index::BTreeIndex;
 use crate::object::{decode_record, is_anchor, ObjRecord};
+use crate::read::ReadTransaction;
 use crate::trigger::Activation;
 use crate::txn::Transaction;
 
@@ -104,7 +112,18 @@ impl DbInner {
 pub struct Database {
     pub(crate) store: Arc<dyn Store>,
     pub(crate) inner: RwLock<DbInner>,
+    /// Writer gate: held for the whole lifetime of a write transaction, so
+    /// writers are fully serialized. Readers never touch it.
     pub(crate) txn_gate: Mutex<()>,
+    /// Apply gate: snapshot readers hold the shared side for their whole
+    /// lifetime; a committing writer (or DDL) takes the exclusive side only
+    /// around the publish window (store commit + in-memory index update).
+    /// Lock order is always `apply_gate` before `inner` — never the
+    /// reverse — which rules out ABBA deadlock between the two.
+    pub(crate) apply_gate: RwLock<()>,
+    /// Bumped once per published commit/DDL; lets snapshot readers detect
+    /// staleness ([`ReadTransaction::is_stale`]).
+    pub(crate) commit_epoch: AtomicU64,
     pub(crate) callbacks: RwLock<HashMap<String, CallbackFn>>,
     pub(crate) next_activation_id: AtomicU64,
     pub(crate) config: DbConfig,
@@ -221,6 +240,8 @@ impl Database {
             store,
             inner: RwLock::new(inner),
             txn_gate: Mutex::new(()),
+            apply_gate: RwLock::new(()),
+            commit_epoch: AtomicU64::new(0),
             callbacks: RwLock::new(HashMap::new()),
             next_activation_id: AtomicU64::new(max_activation + 1),
             config,
@@ -255,6 +276,7 @@ impl Database {
     /// Define a class (auto-commits its catalog record).
     pub fn define_class(&self, builder: ClassBuilder) -> Result<ClassId> {
         let _gate = self.txn_gate.lock();
+        let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();
         let name = builder_name(&builder);
         let id = inner.schema.define(builder)?;
@@ -268,6 +290,7 @@ impl Database {
             data: rec,
         }])?;
         inner.catalog.class_rids.insert(name, rid);
+        self.bump_epoch();
         Ok(id)
     }
 
@@ -276,6 +299,7 @@ impl Database {
     /// cluster.
     pub fn create_cluster(&self, class_name: &str) -> Result<u32> {
         let _gate = self.txn_gate.lock();
+        let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();
         let class = inner.schema.id_of(class_name)?;
         if let Some(&heap) = inner.clusters.get(&class) {
@@ -299,6 +323,7 @@ impl Database {
             .catalog
             .cluster_rids
             .insert(class_name.to_string(), rid);
+        self.bump_epoch();
         Ok(heap)
     }
 
@@ -318,6 +343,7 @@ impl Database {
     /// object"), exactly like `pdelete` of an individual object.
     pub fn destroy_cluster(&self, class_name: &str) -> Result<()> {
         let _gate = self.txn_gate.lock();
+        let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();
         let class = inner.schema.id_of(class_name)?;
         let Some(&heap) = inner.clusters.get(&class) else {
@@ -368,6 +394,7 @@ impl Database {
             let ix = build_index(self.store.as_ref(), &inner, key.0, &key.1)?;
             inner.indexes.insert(key, ix);
         }
+        self.bump_epoch();
         Ok(())
     }
 
@@ -375,6 +402,7 @@ impl Database {
     /// covering the class's deep extent.
     pub fn create_index(&self, class_name: &str, field: &str) -> Result<()> {
         let _gate = self.txn_gate.lock();
+        let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();
         let class = inner.schema.id_of(class_name)?;
         // Validate the field exists on the class.
@@ -400,6 +428,7 @@ impl Database {
             .insert((class_name.to_string(), field.to_string()), rid);
         let ix = build_index(self.store.as_ref(), &inner, class, field)?;
         inner.indexes.insert(key, ix);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -429,9 +458,41 @@ impl Database {
 
     // ----------------------------------------------------------- access
 
-    /// Begin a transaction. Transactions are serialized (single writer).
+    /// Begin a (write) transaction. Write transactions are serialized
+    /// (single writer) behind the transaction gate.
     pub fn begin(&self) -> Transaction<'_> {
         Transaction::new(self, 0)
+    }
+
+    /// Begin a snapshot read transaction. Read transactions never touch
+    /// the writer gate: any number run concurrently with each other, and
+    /// a writer blocks them only for the short window in which it
+    /// publishes a commit. The snapshot is pinned for the reader's whole
+    /// lifetime — no commit can land while it is open.
+    ///
+    /// Caveat: do not commit a write transaction (or run DDL) on a thread
+    /// that still holds an open `ReadTransaction` — the publish window
+    /// needs the apply gate exclusively and would self-deadlock.
+    pub fn begin_read(&self) -> ReadTransaction<'_> {
+        ReadTransaction::new(self)
+    }
+
+    /// Run `f` in a snapshot read transaction. (The reference is mutable
+    /// only because the `forall` builder borrows its transaction mutably;
+    /// nothing in a read transaction mutates the database.)
+    pub fn read<R>(&self, f: impl FnOnce(&mut ReadTransaction<'_>) -> Result<R>) -> Result<R> {
+        let mut rtx = self.begin_read();
+        f(&mut rtx)
+    }
+
+    /// The current commit epoch: bumped once per published commit or DDL
+    /// operation. [`ReadTransaction::is_stale`] compares against this.
+    pub fn commit_epoch(&self) -> u64 {
+        self.commit_epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_epoch(&self) {
+        self.commit_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Run `f` in a transaction: commit on `Ok`, abort on `Err`.

@@ -80,11 +80,17 @@ impl BTreeIndex {
     /// values: callers remove old keys precisely; this is the slow fallback
     /// for bulk deletion).
     pub fn purge(&mut self, oids: &HashSet<Oid>) {
+        // Track removals bucket-by-bucket instead of recounting the whole
+        // map afterwards (that full walk made purge O(index size) even for
+        // a single-oid purge).
+        let mut removed = 0usize;
         self.map.retain(|_, bucket| {
+            let before = bucket.len();
             bucket.retain(|o| !oids.contains(o));
+            removed += before - bucket.len();
             !bucket.is_empty()
         });
-        self.len = self.map.values().map(Vec::len).sum();
+        self.len -= removed;
     }
 }
 

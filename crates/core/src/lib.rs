@@ -29,6 +29,7 @@ pub mod index;
 pub mod object;
 pub mod oql;
 pub mod query;
+pub mod read;
 pub mod trigger;
 pub mod txn;
 pub mod typed;
@@ -45,6 +46,7 @@ pub use obs::{
 };
 pub use oql::{parse_query, ExecResult, QueryRows, QueryStmt};
 pub use query::{Forall, ForallJoin};
+pub use read::{ReadContext, ReadTransaction};
 pub use trigger::{CommitInfo, FiredTrigger, TriggerFailure, TriggerId};
 pub use txn::{ObjWriter, Transaction};
 pub use typed::{OdeInstance, Persistent};
@@ -53,6 +55,7 @@ pub use typed::{OdeInstance, Persistent};
 pub mod prelude {
     pub use crate::database::{Database, DbConfig};
     pub use crate::error::{OdeError, Result};
+    pub use crate::read::{ReadContext, ReadTransaction};
     pub use crate::trigger::{CommitInfo, TriggerId};
     pub use crate::txn::{ObjWriter, Transaction};
     pub use crate::typed::{OdeInstance, Persistent};

@@ -33,6 +33,8 @@ use ode_model::{parse_expr, Expr, ModelError, Oid};
 use ode_obs::QueryProfile;
 
 use crate::error::{OdeError, Result};
+use crate::query::{new_forall, new_forall_join};
+use crate::read::{ReadContext, ReadTransaction};
 use crate::txn::Transaction;
 
 /// A parsed query statement.
@@ -298,6 +300,7 @@ impl<'db> Transaction<'db> {
     /// Execute a `forall …` statement and materialize the qualifying
     /// bindings.
     pub fn query(&mut self, src: &str) -> Result<QueryRows> {
+        self.ensure_live()?;
         let stmt = parse_query(src)?;
         self.run_stmt(stmt)
     }
@@ -318,61 +321,7 @@ impl<'db> Transaction<'db> {
     }
 
     fn run_stmt(&mut self, stmt: QueryStmt) -> Result<QueryRows> {
-        self.run_stmt_profiled(stmt, &mut QueryProfile::default())
-    }
-
-    /// Execute a parsed query, accumulating its execution profile — the
-    /// engine behind `explain <query>`.
-    fn run_stmt_profiled(&mut self, stmt: QueryStmt, prof: &mut QueryProfile) -> Result<QueryRows> {
-        if stmt.bindings.len() == 1 {
-            let (var, cluster, deep) = stmt.bindings.into_iter().next().unwrap();
-            let mut q = self.forall(&cluster)?.bind(&var);
-            if !deep {
-                q = q.shallow();
-            }
-            if let Some(pred) = stmt.suchthat {
-                q = q.suchthat_expr(pred);
-            }
-            if let Some((key, desc)) = stmt.by {
-                q = if desc {
-                    q.by_desc(&key.to_string())?
-                } else {
-                    q.by(&key.to_string())?
-                };
-            }
-            let oids = q.collect_oids_profiled(prof)?;
-            return Ok(QueryRows {
-                vars: vec![var],
-                rows: oids.into_iter().map(|o| vec![o]).collect(),
-            });
-        }
-        // Join form. `by` over joins is not defined by the paper's grammar.
-        if stmt.by.is_some() {
-            return Err(OdeError::Usage(
-                "`by` is only supported on single-variable queries".into(),
-            ));
-        }
-        for (var, _, deep) in &stmt.bindings {
-            if !deep {
-                return Err(OdeError::Usage(format!(
-                    "`only` on join variable `{var}` is not supported"
-                )));
-            }
-        }
-        let vars: Vec<(&str, &str)> = stmt
-            .bindings
-            .iter()
-            .map(|(v, c, _)| (v.as_str(), c.as_str()))
-            .collect();
-        let mut q = self.forall_join(&vars)?;
-        if let Some(pred) = stmt.suchthat {
-            q = q.suchthat_expr(pred);
-        }
-        let rows = q.collect_profiled(prof)?;
-        Ok(QueryRows {
-            vars: stmt.bindings.into_iter().map(|(v, ..)| v).collect(),
-            rows,
-        })
+        run_stmt_ctx(self, stmt, &mut QueryProfile::default())
     }
 
     /// Execute any statement — query or DML — returning what it produced.
@@ -389,12 +338,13 @@ impl<'db> Transaction<'db> {
     /// (§5), and trigger conditions are evaluated when the transaction
     /// commits (§6).
     pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
+        self.ensure_live()?;
         let trimmed = src.trim_start();
         if let Some(rest) = trimmed.strip_prefix("explain") {
             if rest.starts_with(char::is_whitespace) {
                 let stmt = parse_query(rest)?;
                 let mut prof = QueryProfile::default();
-                self.run_stmt_profiled(stmt, &mut prof)?;
+                run_stmt_ctx(self, stmt, &mut prof)?;
                 return Ok(ExecResult::Explain(prof));
             }
         }
@@ -445,6 +395,96 @@ impl<'db> Transaction<'db> {
         }
         Ok(ExecResult::Rows(self.query(src)?))
     }
+}
+
+impl ReadTransaction<'_> {
+    /// Execute a `forall …` statement against this snapshot and
+    /// materialize the qualifying bindings.
+    pub fn query(&mut self, src: &str) -> Result<QueryRows> {
+        let stmt = parse_query(src)?;
+        run_stmt_ctx(self, stmt, &mut QueryProfile::default())
+    }
+
+    /// Execute a read-only statement: `forall` queries and `explain`.
+    /// DML (`pnew`/`update … set`/`delete`) needs a write transaction —
+    /// requesting it here is a usage error, not a silent no-op.
+    pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
+        let trimmed = src.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("explain") {
+            if rest.starts_with(char::is_whitespace) {
+                let stmt = parse_query(rest)?;
+                let mut prof = QueryProfile::default();
+                run_stmt_ctx(self, stmt, &mut prof)?;
+                return Ok(ExecResult::Explain(prof));
+            }
+        }
+        for kw in ["pnew", "update", "delete"] {
+            if trimmed.starts_with(kw) {
+                return Err(OdeError::Usage(format!(
+                    "`{kw}` mutates the database; a read transaction only runs `forall`/`explain`"
+                )));
+            }
+        }
+        Ok(ExecResult::Rows(self.query(src)?))
+    }
+}
+
+/// Execute a parsed query through either transaction kind, accumulating
+/// its execution profile — the engine behind `explain <query>`.
+fn run_stmt_ctx<C: ReadContext>(
+    tx: &mut C,
+    stmt: QueryStmt,
+    prof: &mut QueryProfile,
+) -> Result<QueryRows> {
+    if stmt.bindings.len() == 1 {
+        let (var, cluster, deep) = stmt.bindings.into_iter().next().unwrap();
+        let mut q = new_forall(tx, &cluster)?.bind(&var);
+        if !deep {
+            q = q.shallow();
+        }
+        if let Some(pred) = stmt.suchthat {
+            q = q.suchthat_expr(pred);
+        }
+        if let Some((key, desc)) = stmt.by {
+            q = if desc {
+                q.by_desc(&key.to_string())?
+            } else {
+                q.by(&key.to_string())?
+            };
+        }
+        let oids = q.collect_oids_profiled(prof)?;
+        return Ok(QueryRows {
+            vars: vec![var],
+            rows: oids.into_iter().map(|o| vec![o]).collect(),
+        });
+    }
+    // Join form. `by` over joins is not defined by the paper's grammar.
+    if stmt.by.is_some() {
+        return Err(OdeError::Usage(
+            "`by` is only supported on single-variable queries".into(),
+        ));
+    }
+    for (var, _, deep) in &stmt.bindings {
+        if !deep {
+            return Err(OdeError::Usage(format!(
+                "`only` on join variable `{var}` is not supported"
+            )));
+        }
+    }
+    let vars: Vec<(&str, &str)> = stmt
+        .bindings
+        .iter()
+        .map(|(v, c, _)| (v.as_str(), c.as_str()))
+        .collect();
+    let mut q = new_forall_join(tx, &vars)?;
+    if let Some(pred) = stmt.suchthat {
+        q = q.suchthat_expr(pred);
+    }
+    let rows = q.collect_profiled(prof)?;
+    Ok(QueryRows {
+        vars: stmt.bindings.into_iter().map(|(v, ..)| v).collect(),
+        rows,
+    })
 }
 
 /// Helper: evaluate an expression against an in-progress [`ObjWriter`].

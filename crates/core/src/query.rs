@@ -20,6 +20,12 @@
 //!   suchthat (e.deptno == d.dno)`.
 //! * [`Transaction::iterate_set`] walks a set-valued field with the same
 //!   add-during-iteration guarantee, for set-based fixpoints.
+//!
+//! The machinery is generic over [`ReadContext`]: queries run identically
+//! inside a write [`Transaction`] (overlay included) and a snapshot
+//! [`crate::read::ReadTransaction`] (committed state, shared access —
+//! DESIGN.md §8). Mutating terminals ([`Forall::run`], fixpoints, join
+//! bodies) exist only on the `Transaction` instantiation.
 
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
@@ -28,8 +34,9 @@ use ode_model::eval::EvalCtx;
 use ode_model::{parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
 use ode_obs::{PlanStrategy, QueryProfile, TracePhase, TraceScope};
 
-use crate::database::{Database, DbInner};
+use crate::database::DbInner;
 use crate::error::{OdeError, Result};
+use crate::read::{ReadContext, ReadTransaction};
 
 /// A native predicate over object state (host-language filter).
 pub type FilterFn<'t> = Box<dyn FnMut(&ObjState) -> bool + 't>;
@@ -43,9 +50,11 @@ enum Dir {
     Desc,
 }
 
-/// A `forall` iteration under construction.
-pub struct Forall<'t, 'db> {
-    tx: &'t mut Transaction<'db>,
+/// A `forall` iteration under construction, generic over the transaction
+/// kind it reads through (`C` = [`Transaction`] or
+/// [`ReadTransaction`]).
+pub struct Forall<'t, C> {
+    tx: &'t mut C,
     class_name: String,
     deep: bool,
     suchthat: Option<Expr>,
@@ -60,53 +69,70 @@ pub struct Forall<'t, 'db> {
     filter: Option<FilterFn<'t>>,
 }
 
+pub(crate) fn new_forall<'t, C: ReadContext>(
+    tx: &'t mut C,
+    class_name: &str,
+) -> Result<Forall<'t, C>> {
+    tx.db().tel.query.foralls.inc();
+    // Validate the class name early for a good error.
+    {
+        let inner = tx.db().inner.read();
+        inner.schema.id_of(class_name)?;
+    }
+    Ok(Forall {
+        tx,
+        class_name: class_name.to_string(),
+        deep: true,
+        suchthat: None,
+        by: None,
+        fixpoint: false,
+        var: None,
+        filter: None,
+    })
+}
+
+pub(crate) fn new_forall_join<'t, C: ReadContext>(
+    tx: &'t mut C,
+    vars: &[(&str, &str)],
+) -> Result<ForallJoin<'t, C>> {
+    tx.db().tel.query.joins.inc();
+    if vars.is_empty() {
+        return Err(OdeError::Usage(
+            "forall_join needs at least one variable".into(),
+        ));
+    }
+    {
+        let inner = tx.db().inner.read();
+        for (_, class) in vars {
+            inner.schema.id_of(class)?;
+        }
+    }
+    Ok(ForallJoin {
+        tx,
+        vars: vars
+            .iter()
+            .map(|(v, c)| (v.to_string(), c.to_string()))
+            .collect(),
+        suchthat: None,
+    })
+}
+
 impl<'db> Transaction<'db> {
     /// Start a `forall x in <cluster>` iteration (§3.1). The cluster need
     /// not exist yet (an empty iteration results), but the class must.
-    pub fn forall<'t>(&'t mut self, class_name: &str) -> Result<Forall<'t, 'db>> {
+    pub fn forall<'t>(&'t mut self, class_name: &str) -> Result<Forall<'t, Transaction<'db>>> {
         self.ensure_live()?;
-        self.db.tel.query.foralls.inc();
-        // Validate the class name early for a good error.
-        {
-            let inner = self.db.inner.read();
-            inner.schema.id_of(class_name)?;
-        }
-        Ok(Forall {
-            tx: self,
-            class_name: class_name.to_string(),
-            deep: true,
-            suchthat: None,
-            by: None,
-            fixpoint: false,
-            var: None,
-            filter: None,
-        })
+        new_forall(self, class_name)
     }
 
     /// Multi-variable iteration — the join form of §3.1:
     /// `forall e in employee, d in dept suchthat (...)`.
-    pub fn forall_join<'t>(&'t mut self, vars: &[(&str, &str)]) -> Result<ForallJoin<'t, 'db>> {
+    pub fn forall_join<'t>(
+        &'t mut self,
+        vars: &[(&str, &str)],
+    ) -> Result<ForallJoin<'t, Transaction<'db>>> {
         self.ensure_live()?;
-        self.db.tel.query.joins.inc();
-        if vars.is_empty() {
-            return Err(OdeError::Usage(
-                "forall_join needs at least one variable".into(),
-            ));
-        }
-        {
-            let inner = self.db.inner.read();
-            for (_, class) in vars {
-                inner.schema.id_of(class)?;
-            }
-        }
-        Ok(ForallJoin {
-            tx: self,
-            vars: vars
-                .iter()
-                .map(|(v, c)| (v.to_string(), c.to_string()))
-                .collect(),
-            suchthat: None,
-        })
+        new_forall_join(self, vars)
     }
 
     /// Iterate a set-valued field with §3.2 semantics: elements inserted
@@ -219,6 +245,24 @@ impl<'db> Transaction<'db> {
     }
 }
 
+impl<'db> ReadTransaction<'db> {
+    /// Start a read-only `forall x in <cluster>` iteration (§3.1) against
+    /// this snapshot. All non-mutating terminals (`collect_oids`, `count`,
+    /// aggregates, `collect_values`) are available; `run`/`fixpoint` need
+    /// a write [`Transaction`].
+    pub fn forall<'t>(&'t mut self, class_name: &str) -> Result<Forall<'t, ReadTransaction<'db>>> {
+        new_forall(self, class_name)
+    }
+
+    /// Multi-variable read-only iteration (join form of §3.1).
+    pub fn forall_join<'t>(
+        &'t mut self,
+        vars: &[(&str, &str)],
+    ) -> Result<ForallJoin<'t, ReadTransaction<'db>>> {
+        new_forall_join(self, vars)
+    }
+}
+
 /// Try to answer an equality/range conjunct from an index. Returns the
 /// indexed field plus matching oids (which still must pass the full
 /// predicate), or `None` when no index applies.
@@ -284,7 +328,7 @@ fn index_candidates(
     None
 }
 
-impl<'t, 'db> Forall<'t, 'db> {
+impl<'t, C: ReadContext> Forall<'t, C> {
     /// Restrict to the exact class (no derived-class members).
     pub fn shallow(mut self) -> Self {
         self.deep = false;
@@ -313,14 +357,6 @@ impl<'t, 'db> Forall<'t, 'db> {
     pub fn by_desc(mut self, src: &str) -> Result<Self> {
         self.by = Some((parse_expr(src)?, Dir::Desc));
         Ok(self)
-    }
-
-    /// Also visit objects added to the extent during the iteration (§3.2's
-    /// fixpoint facility). Incompatible with `by` (ordering over a growing
-    /// domain is not well-defined).
-    pub fn fixpoint(mut self) -> Self {
-        self.fixpoint = true;
-        self
     }
 
     /// Bind the loop variable's name: `forall p in person` makes `p`
@@ -365,7 +401,7 @@ impl<'t, 'db> Forall<'t, 'db> {
             ));
         }
         candidates(
-            tx,
+            &*tx,
             &class_name,
             deep,
             &suchthat,
@@ -462,6 +498,7 @@ impl<'t, 'db> Forall<'t, 'db> {
             mut filter,
             ..
         } = self;
+        let tx = &*tx;
         let oids = candidates(
             tx,
             &class_name,
@@ -472,10 +509,10 @@ impl<'t, 'db> Forall<'t, 'db> {
             &mut filter,
             &mut QueryProfile::default(),
         )?;
-        let inner = tx.db.inner.read();
+        let inner = tx.db().inner.read();
         let mut out = Vec::with_capacity(oids.len());
         for oid in oids {
-            let state = tx.read(oid)?;
+            let state = tx.read_obj(oid)?;
             let mut env = HashMap::new();
             if let Some(v) = &var {
                 env.insert(v.clone(), Value::Ref(oid));
@@ -488,6 +525,16 @@ impl<'t, 'db> Forall<'t, 'db> {
             out.push(v);
         }
         Ok(out)
+    }
+}
+
+impl<'t, 'db> Forall<'t, Transaction<'db>> {
+    /// Also visit objects added to the extent during the iteration (§3.2's
+    /// fixpoint facility). Incompatible with `by` (ordering over a growing
+    /// domain is not well-defined).
+    pub fn fixpoint(mut self) -> Self {
+        self.fixpoint = true;
+        self
     }
 
     /// Run the loop body over every qualifying object. The body may update,
@@ -525,7 +572,7 @@ impl<'t, 'db> Forall<'t, 'db> {
         let mut n = 0usize;
         loop {
             let batch: Vec<Oid> = candidates(
-                tx,
+                &*tx,
                 &class_name,
                 deep,
                 &suchthat,
@@ -564,7 +611,7 @@ impl<'t, 'db> Forall<'t, 'db> {
 
 /// Publish one pass's profile into the database's global query counters
 /// and the accumulated per-shape profile buckets.
-fn publish_pass(db: &Database, pass: &QueryProfile) {
+fn publish_pass(db: &crate::database::Database, pass: &QueryProfile) {
     let q = &db.tel.query;
     q.clusters_visited.add(pass.clusters_visited);
     q.objects_scanned.add(pass.objects_scanned);
@@ -578,10 +625,10 @@ fn publish_pass(db: &Database, pass: &QueryProfile) {
 
 /// Enumerate + filter + order the qualifying oids. One call is one *pass*:
 /// its work is accumulated into `prof` and the global query counters, and
-/// bracketed by a Query trace span.
+/// bracketed by a Query trace span. Generic over the transaction kind.
 #[allow(clippy::too_many_arguments)]
-fn candidates(
-    tx: &Transaction<'_>,
+fn candidates<C: ReadContext>(
+    tx: &C,
     class_name: &str,
     deep: bool,
     suchthat: &Option<Expr>,
@@ -590,19 +637,18 @@ fn candidates(
     filter: &mut Option<FilterFn<'_>>,
     prof: &mut QueryProfile,
 ) -> Result<Vec<Oid>> {
-    let serial = tx
-        .db
+    let db = tx.db();
+    let serial = db
         .next_query_serial
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    tx.db
-        .trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
-            class_name.to_string()
-        });
+    db.trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
+        class_name.to_string()
+    });
     let mut pass = QueryProfile {
         target: class_name.to_string(),
         ..QueryProfile::default()
     };
-    let inner = tx.db.inner.read();
+    let inner = db.inner.read();
     let class = inner.schema.id_of(class_name)?;
 
     // Index plan: equality/range conjunct over an indexed field. Index
@@ -623,28 +669,25 @@ fn candidates(
             pass.index_probes += 1;
             let mut pairs = Vec::with_capacity(oids.len());
             for oid in oids {
-                if tx.deleted.contains_key(&oid) {
+                if tx.is_deleted(oid) {
                     continue;
                 }
                 // An in-transaction write may have changed the key: the
                 // state read here is authoritative; the predicate is
                 // re-checked below either way.
-                if let Ok(state) = tx.read(oid) {
+                if let Ok(state) = tx.read_obj(oid) {
                     pairs.push((oid, state));
                 }
             }
             // Objects written in this txn are missing from the committed
             // index — fold in any written object of the right classes.
-            let inner = tx.db.inner.read();
+            let inner = db.inner.read();
             let seen: HashSet<Oid> = pairs.iter().map(|p| p.0).collect();
-            for (&oid, obj) in tx.writes.iter() {
-                if seen.contains(&oid)
-                    || tx.deleted.contains_key(&oid)
-                    || !inner.schema.is_subclass(obj.state.class, class)
-                {
+            for (oid, state) in tx.overlay() {
+                if seen.contains(&oid) || !inner.schema.is_subclass(state.class, class) {
                     continue;
                 }
-                pairs.push((oid, obj.state.clone()));
+                pairs.push((oid, state));
             }
             pairs
         }
@@ -655,10 +698,10 @@ fn candidates(
                 PlanStrategy::ShallowExtentScan
             };
             pass.clusters_visited = {
-                let inner = tx.db.inner.read();
+                let inner = db.inner.read();
                 inner.extent_heaps(class, deep).len() as u64
             };
-            tx.extent(class_name, deep)?
+            tx.extent_of(class_name, deep)?
         }
     };
     pass.objects_scanned = pairs.len() as u64;
@@ -666,12 +709,10 @@ fn candidates(
     // Shallow iteration must drop subclass members (relevant only for the
     // index path, which covers the deep extent).
     if !deep {
-        let inner = tx.db.inner.read();
         pairs.retain(|(_, s)| s.class == class);
-        drop(inner);
     }
 
-    let inner = tx.db.inner.read();
+    let inner = db.inner.read();
     let mut env: HashMap<String, Value> = HashMap::new();
     if let Some(pred) = suchthat {
         let mut kept = Vec::with_capacity(pairs.len());
@@ -719,23 +760,23 @@ fn candidates(
     drop(inner);
 
     pass.rows = result.len() as u64;
-    publish_pass(tx.db, &pass);
-    tx.db
-        .trace_event(TraceScope::Query, TracePhase::End, serial, || {
-            format!("{} via {}", pass.target, pass.strategy)
-        });
+    publish_pass(db, &pass);
+    db.trace_event(TraceScope::Query, TracePhase::End, serial, || {
+        format!("{} via {}", pass.target, pass.strategy)
+    });
     prof.absorb(&pass);
     Ok(result)
 }
 
-/// A multi-variable `forall` (join query, §3.1).
-pub struct ForallJoin<'t, 'db> {
-    tx: &'t mut Transaction<'db>,
+/// A multi-variable `forall` (join query, §3.1), generic over the
+/// transaction kind like [`Forall`].
+pub struct ForallJoin<'t, C> {
+    tx: &'t mut C,
     vars: Vec<(String, String)>,
     suchthat: Option<Expr>,
 }
 
-impl<'db> ForallJoin<'_, 'db> {
+impl<C: ReadContext> ForallJoin<'_, C> {
     /// Attach the join predicate, e.g. `"e.deptno == d.dno"`. Loop
     /// variables appear as bare identifiers.
     pub fn suchthat(mut self, src: &str) -> Result<Self> {
@@ -758,9 +799,11 @@ impl<'db> ForallJoin<'_, 'db> {
     /// Like [`ForallJoin::collect`], additionally accumulating the join's
     /// execution profile into `prof`.
     pub fn collect_profiled(self, prof: &mut QueryProfile) -> Result<Vec<Vec<Oid>>> {
-        collect_join(self.tx, &self.vars, &self.suchthat, prof)
+        collect_join(&*self.tx, &self.vars, &self.suchthat, prof)
     }
+}
 
+impl<'db> ForallJoin<'_, Transaction<'db>> {
     /// Run the body over every qualifying binding. The binding map gives
     /// each loop variable's object.
     pub fn run(
@@ -768,7 +811,7 @@ impl<'db> ForallJoin<'_, 'db> {
         mut f: impl FnMut(&mut Transaction<'db>, &HashMap<String, Oid>) -> Result<()>,
     ) -> Result<usize> {
         let ForallJoin { tx, vars, suchthat } = self;
-        let rows = collect_join(tx, &vars, &suchthat, &mut QueryProfile::default())?;
+        let rows = collect_join(&*tx, &vars, &suchthat, &mut QueryProfile::default())?;
         let names: Vec<String> = vars.into_iter().map(|(v, _)| v).collect();
         let mut n = 0usize;
         for row in rows {
@@ -861,14 +904,14 @@ fn build_probe_plans(
 /// Inner variables whose join key is indexed are *probed* (index lookup
 /// per outer binding) rather than enumerated — §3.1's "query optimization"
 /// applied to joins.
-fn collect_join(
-    tx: &Transaction<'_>,
+fn collect_join<C: ReadContext>(
+    tx: &C,
     vars: &[(String, String)],
     suchthat: &Option<Expr>,
     prof: &mut QueryProfile,
 ) -> Result<Vec<Vec<Oid>>> {
-    let serial = tx
-        .db
+    let db = tx.db();
+    let serial = db
         .next_query_serial
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let target = vars
@@ -876,16 +919,15 @@ fn collect_join(
         .map(|(_, c)| c.as_str())
         .collect::<Vec<_>>()
         .join(",");
-    tx.db
-        .trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
-            target.clone()
-        });
+    db.trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
+        target.clone()
+    });
     let mut pass = QueryProfile {
         target: target.clone(),
         strategy: PlanStrategy::NestedLoopJoin,
         ..QueryProfile::default()
     };
-    let inner = tx.db.inner.read();
+    let inner = db.inner.read();
     let plans = build_probe_plans(&inner, vars, suchthat)?;
     drop(inner);
 
@@ -895,19 +937,18 @@ fn collect_join(
     let mut extents: Vec<Vec<(Oid, ObjState)>> = Vec::with_capacity(vars.len());
     let mut overlays: Vec<Vec<Oid>> = Vec::with_capacity(vars.len());
     {
-        let inner = tx.db.inner.read();
+        let inner = db.inner.read();
         for (d, (_, class_name)) in vars.iter().enumerate() {
             if plans[d].is_some() {
                 extents.push(Vec::new());
                 let class = inner.schema.id_of(class_name)?;
                 let overlay: Vec<Oid> = tx
-                    .writes
-                    .iter()
-                    .filter(|(oid, obj)| {
-                        !tx.deleted.contains_key(oid)
-                            && inner.schema.is_subclass(obj.state.class, class)
+                    .overlay()
+                    .into_iter()
+                    .filter(|(oid, state)| {
+                        !tx.is_deleted(*oid) && inner.schema.is_subclass(state.class, class)
                     })
-                    .map(|(&oid, _)| oid)
+                    .map(|(oid, _)| oid)
                     .collect();
                 overlays.push(overlay);
             } else {
@@ -920,22 +961,22 @@ fn collect_join(
     for (d, (_, class_name)) in vars.iter().enumerate() {
         if plans[d].is_none() {
             {
-                let inner = tx.db.inner.read();
+                let inner = db.inner.read();
                 let class = inner.schema.id_of(class_name)?;
                 pass.clusters_visited += inner.extent_heaps(class, true).len() as u64;
             }
-            extents[d] = tx.extent(class_name, true)?;
+            extents[d] = tx.extent_of(class_name, true)?;
             enumerated_vars += 1;
         }
     }
 
-    let inner = tx.db.inner.read();
+    let inner = db.inner.read();
     let mut out = Vec::new();
     let mut binding: Vec<Oid> = Vec::with_capacity(vars.len());
     let mut env: HashMap<String, Value> = HashMap::new();
     #[allow(clippy::too_many_arguments)]
-    fn rec(
-        tx: &Transaction<'_>,
+    fn rec<C: ReadContext>(
+        tx: &C,
         inner: &DbInner,
         vars: &[(String, String)],
         extents: &[Vec<(Oid, ObjState)>],
@@ -971,7 +1012,7 @@ fn collect_join(
                 if key.is_null() {
                     // Null keys are not indexed; fall back to enumerating
                     // this variable's extent for this outer binding.
-                    tx.extent(&vars[depth].1, true)?
+                    tx.extent_of(&vars[depth].1, true)?
                         .into_iter()
                         .map(|(oid, _)| oid)
                         .collect()
@@ -982,9 +1023,7 @@ fn collect_join(
                         .expect("probe plan implies index");
                     pass.index_probes += 1;
                     let mut oids = ix.lookup(&key);
-                    oids.retain(|oid| {
-                        !tx.deleted.contains_key(oid) && !tx.writes.contains_key(oid)
-                    });
+                    oids.retain(|oid| !tx.is_deleted(*oid) && !tx.overlay_contains(*oid));
                     // Transaction-written objects re-checked by the leaf.
                     oids.extend_from_slice(&overlays[depth]);
                     oids
@@ -1032,17 +1071,16 @@ fn collect_join(
     drop(inner);
 
     pass.rows = out.len() as u64;
-    let q = &tx.db.tel.query;
+    let q = &db.tel.query;
     q.clusters_visited.add(pass.clusters_visited);
     q.objects_scanned.add(pass.objects_scanned);
     q.predicate_evals.add(pass.predicate_evals);
     q.index_probes.add(pass.index_probes);
     q.deep_extent_scans.add(enumerated_vars);
-    tx.db.record_query_pass(&pass);
-    tx.db
-        .trace_event(TraceScope::Query, TracePhase::End, serial, || {
-            format!("{target} via {}", pass.strategy)
-        });
+    db.record_query_pass(&pass);
+    db.trace_event(TraceScope::Query, TracePhase::End, serial, || {
+        format!("{target} via {}", pass.strategy)
+    });
     prof.absorb(&pass);
     Ok(out)
 }

@@ -1,0 +1,416 @@
+//! Snapshot read transactions — the concurrent read path (DESIGN.md §8).
+//!
+//! A [`ReadTransaction`] gives a consistent, read-only view of the
+//! database without entering the writer gate: any number of read
+//! transactions run concurrently with each other *and* with the
+//! read/compute phase of a writer. Only a committing writer's short
+//! publish window (and DDL) excludes readers, which is what makes the
+//! view a snapshot: no commit can become visible while a read
+//! transaction is live, so every read observes the same committed state.
+//!
+//! The paper's model (§1) makes "any O++ program that interacts with the
+//! database" one transaction; it says nothing about concurrency control
+//! between such programs. We split them by intent: programs that only
+//! query take this shared path, programs that mutate serialize behind
+//! [`Database::begin`]'s gate.
+//!
+//! [`ReadContext`] is the abstraction the query layer ([`crate::query`])
+//! executes against: both [`Transaction`] (write-set overlay included)
+//! and [`ReadTransaction`] (committed state only) implement it, so
+//! `forall`/join/aggregate machinery is written once.
+//!
+//! **Caveat:** do not commit a write transaction, run DDL, or call
+//! [`Database::backup`]-style maintenance on a thread that still holds an
+//! open `ReadTransaction` — the publish window waits for all readers to
+//! drain, so that thread would wait on itself.
+
+use std::collections::HashSet;
+
+use ode_model::{ClassId, ModelError, ObjState, Oid, Resolver, Value, VersionNo, VersionRef};
+use ode_obs::{TracePhase, TraceScope};
+
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::object::{decode_record, is_anchor, ObjRecord, NO_PARENT};
+use crate::txn::Transaction;
+
+/// The read surface the query layer needs from a transaction-like view.
+///
+/// Implemented by [`Transaction`] (reads see the private write-set
+/// overlaid on committed state) and [`ReadTransaction`] (committed state
+/// only; the overlay methods are trivially empty). `Resolver` is a
+/// supertrait so predicate evaluation can dereference object references
+/// through the same view.
+pub trait ReadContext: Resolver + Sized {
+    /// The database this view reads.
+    fn db(&self) -> &Database;
+
+    /// Was the object deleted by this transaction? (Never, for snapshots.)
+    fn is_deleted(&self, oid: Oid) -> bool;
+
+    /// Read an object's current state through this view.
+    fn read_obj(&self, oid: Oid) -> Result<ObjState>;
+
+    /// Write-set overlay: objects created or loaded-for-write by this
+    /// transaction, with their in-transaction states. Empty for snapshots.
+    fn overlay(&self) -> Vec<(Oid, ObjState)>;
+
+    /// Is the object in this transaction's write-set?
+    fn overlay_contains(&self, oid: Oid) -> bool;
+
+    /// Enumerate the (deep or shallow) extent of a class as seen by this
+    /// view: committed members plus, for write transactions, the overlay.
+    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>>;
+}
+
+impl ReadContext for Transaction<'_> {
+    fn db(&self) -> &Database {
+        self.db
+    }
+
+    fn is_deleted(&self, oid: Oid) -> bool {
+        self.deleted.contains_key(&oid)
+    }
+
+    fn read_obj(&self, oid: Oid) -> Result<ObjState> {
+        self.read(oid)
+    }
+
+    fn overlay(&self) -> Vec<(Oid, ObjState)> {
+        self.writes
+            .iter()
+            .map(|(&oid, obj)| (oid, obj.state.clone()))
+            .collect()
+    }
+
+    fn overlay_contains(&self, oid: Oid) -> bool {
+        self.writes.contains_key(&oid)
+    }
+
+    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
+        self.extent(class_name, deep)
+    }
+}
+
+/// A snapshot read transaction. Obtain with [`Database::begin_read`];
+/// finished by dropping (there is nothing to commit or abort).
+///
+/// Holds the apply gate shared for its lifetime: readers never block each
+/// other, and no writer can *publish* a commit (or run DDL) until every
+/// open read transaction drops — which is exactly what guarantees the
+/// snapshot is never torn. The epoch captured at begin ([`epoch`]) names
+/// the committed state this snapshot sees.
+///
+/// [`epoch`]: ReadTransaction::epoch
+pub struct ReadTransaction<'db> {
+    pub(crate) db: &'db Database,
+    /// Shared hold on the publish gate; lock order is `apply_gate` before
+    /// `inner`, and this guard is taken before any `inner` access.
+    _apply: parking_lot::RwLockReadGuard<'db, ()>,
+    epoch: u64,
+    serial: u64,
+}
+
+impl<'db> ReadTransaction<'db> {
+    pub(crate) fn new(db: &'db Database) -> ReadTransaction<'db> {
+        let serial = db
+            .next_txn_serial
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let apply = db.apply_gate.read();
+        db.tel.txn.read_txns.inc();
+        let epoch = db.commit_epoch();
+        db.trace_event(TraceScope::Transaction, TracePhase::Begin, serial, || {
+            format!("begin read epoch={epoch}")
+        });
+        ReadTransaction {
+            db,
+            _apply: apply,
+            epoch,
+            serial,
+        }
+    }
+
+    /// The commit epoch this snapshot reads at: the number of
+    /// commits/DDL statements published before it began. Two snapshots
+    /// with the same epoch see identical committed state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has the database committed past this snapshot's epoch? While the
+    /// snapshot is live this is always false — the gate excludes
+    /// publishes — so it doubles as a torn-commit assertion in tests.
+    pub fn is_stale(&self) -> bool {
+        self.db.commit_epoch() != self.epoch
+    }
+
+    /// Load the committed image of an object (current version for
+    /// versioned objects).
+    fn load_committed(&self, oid: Oid) -> Result<ObjState> {
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(state) => Ok(state),
+            ObjRecord::Anchor(table) => {
+                self.db.tel.versions.generic_derefs.inc();
+                let vrid = table.current_rid()?;
+                match decode_record(&self.db.store.read(oid.cluster, vrid)?)? {
+                    ObjRecord::VersionRec { state, .. } => Ok(state),
+                    _ => Err(OdeError::Version(format!(
+                        "anchor {oid} points at a non-version record"
+                    ))),
+                }
+            }
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// Does the object exist in this snapshot?
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.load_committed(oid).is_ok()
+    }
+
+    /// Read an object's committed current state — dereferencing a
+    /// *generic* reference (§4).
+    pub fn read(&self, oid: Oid) -> Result<ObjState> {
+        self.load_committed(oid)
+    }
+
+    /// Read one field.
+    pub fn get(&self, oid: Oid, field: &str) -> Result<Value> {
+        let state = self.read(oid)?;
+        let inner = self.db.inner.read();
+        let def = inner.schema.class(state.class)?;
+        let i = def.field_index(field)?;
+        Ok(state.fields[i].clone())
+    }
+
+    /// The object's dynamic (most-derived) class.
+    pub fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        Ok(self.read(oid)?.class)
+    }
+
+    /// The paper's `is` test (§3.1.1): is the object an instance of (a
+    /// subclass of) `class_name`?
+    pub fn instance_of(&self, oid: Oid, class_name: &str) -> Result<bool> {
+        let class = self.read(oid)?.class;
+        let inner = self.db.inner.read();
+        let target = inner.schema.id_of(class_name)?;
+        Ok(inner.schema.is_subclass(class, target))
+    }
+
+    /// Call a registered method on the object.
+    pub fn call(&self, oid: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        let state = self.read(oid)?;
+        let inner = self.db.inner.read();
+        let m = inner.schema.lookup_method(state.class, method)?;
+        Ok(m(&state, args)?)
+    }
+
+    /// Dereference a *specific* reference: one pinned version (§4).
+    pub fn read_version(&self, vref: VersionRef) -> Result<ObjState> {
+        self.db.tel.versions.specific_derefs.inc();
+        let oid = vref.oid;
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(state) => {
+                if vref.version == 0 {
+                    Ok(state)
+                } else {
+                    Err(OdeError::Version(format!(
+                        "object {oid} has no version {}",
+                        vref.version
+                    )))
+                }
+            }
+            ObjRecord::Anchor(table) => {
+                let Some(entry) = table.entry(vref.version) else {
+                    return Err(OdeError::Version(format!(
+                        "object {oid} has no version {}",
+                        vref.version
+                    )));
+                };
+                match decode_record(&self.db.store.read(oid.cluster, entry.rid)?)? {
+                    ObjRecord::VersionRec { no, state } if no == vref.version => Ok(state),
+                    _ => Err(OdeError::Version(format!(
+                        "version table of {oid} is inconsistent at version {}",
+                        vref.version
+                    ))),
+                }
+            }
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// The current version number (0 for never-versioned objects).
+    pub fn current_version(&self, oid: Oid) -> Result<VersionNo> {
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(_) => Ok(0),
+            ObjRecord::Anchor(table) => Ok(table.current),
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// A *specific* reference to the object's current version.
+    pub fn vref(&self, oid: Oid) -> Result<VersionRef> {
+        Ok(VersionRef {
+            oid,
+            version: self.current_version(oid)?,
+        })
+    }
+
+    /// All live version numbers, in creation order.
+    pub fn versions(&self, oid: Oid) -> Result<Vec<VersionNo>> {
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(_) => Ok(vec![0]),
+            ObjRecord::Anchor(table) => Ok(table.versions()),
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// The version this one was derived from (`None` for a root).
+    pub fn parent_version(&self, vref: VersionRef) -> Result<Option<VersionNo>> {
+        let oid = vref.oid;
+        let bytes = self
+            .db
+            .store
+            .read(oid.cluster, oid.rid)
+            .map_err(|_| OdeError::NoSuchObject(oid.to_string()))?;
+        let missing = || OdeError::Version(format!("object {oid} has no version {}", vref.version));
+        match decode_record(&bytes)? {
+            ObjRecord::Plain(_) => {
+                if vref.version == 0 {
+                    Ok(None)
+                } else {
+                    Err(missing())
+                }
+            }
+            ObjRecord::Anchor(table) => {
+                let entry = table.entry(vref.version).ok_or_else(missing)?;
+                Ok((entry.parent != NO_PARENT).then_some(entry.parent))
+            }
+            ObjRecord::VersionRec { .. } => Err(OdeError::NoSuchObject(format!(
+                "{oid} is a version record, not an object"
+            ))),
+        }
+    }
+
+    /// The database this snapshot reads.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+}
+
+impl Drop for ReadTransaction<'_> {
+    fn drop(&mut self) {
+        let serial = self.serial;
+        self.db
+            .trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
+                "end read".to_string()
+            });
+    }
+}
+
+impl Resolver for ReadTransaction<'_> {
+    fn deref_obj(&self, oid: Oid) -> ode_model::Result<ObjState> {
+        self.read(oid).map_err(|e| ModelError::Eval(e.to_string()))
+    }
+
+    fn deref_version(&self, vref: VersionRef) -> ode_model::Result<ObjState> {
+        self.read_version(vref)
+            .map_err(|e| ModelError::Eval(e.to_string()))
+    }
+}
+
+impl ReadContext for ReadTransaction<'_> {
+    fn db(&self) -> &Database {
+        self.db
+    }
+
+    fn is_deleted(&self, _oid: Oid) -> bool {
+        false
+    }
+
+    fn read_obj(&self, oid: Oid) -> Result<ObjState> {
+        self.read(oid)
+    }
+
+    fn overlay(&self) -> Vec<(Oid, ObjState)> {
+        Vec::new()
+    }
+
+    fn overlay_contains(&self, _oid: Oid) -> bool {
+        false
+    }
+
+    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
+        let inner = self.db.inner.read();
+        let class = inner.schema.id_of(class_name)?;
+        let heaps = inner.extent_heaps(class, deep);
+        drop(inner);
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for (_, heap) in &heaps {
+            // Collect raw records first: the store's scan callback must not
+            // re-enter the store (single-lock policy on some stores).
+            let mut raw = Vec::new();
+            self.db.store.scan(*heap, &mut |rid, bytes| {
+                if is_anchor(bytes) {
+                    raw.push((rid, bytes.to_vec()));
+                }
+                Ok(true)
+            })?;
+            for (rid, bytes) in raw {
+                let oid = Oid {
+                    cluster: *heap,
+                    rid,
+                };
+                if !seen.insert(oid) {
+                    continue;
+                }
+                let state = match decode_record(&bytes)? {
+                    ObjRecord::Plain(s) => s,
+                    ObjRecord::Anchor(table) => {
+                        let vrid = table.current_rid()?;
+                        match decode_record(&self.db.store.read(*heap, vrid)?)? {
+                            ObjRecord::VersionRec { state, .. } => state,
+                            _ => {
+                                return Err(OdeError::Version(format!(
+                                    "anchor {oid} points at a non-version record"
+                                )))
+                            }
+                        }
+                    }
+                    ObjRecord::VersionRec { .. } => continue,
+                };
+                out.push((oid, state));
+            }
+        }
+        Ok(out)
+    }
+}

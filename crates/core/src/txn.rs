@@ -208,9 +208,18 @@ impl<'db> Transaction<'db> {
             .next_txn_serial
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         db.tel.txn.begun.inc();
+        db.tel.txn.write_txns.inc();
+        // Writers serialize here; the wait histogram makes gate contention
+        // observable (and lets tests assert the read path never queues).
+        let gate_started = std::time::Instant::now();
+        let gate = db.txn_gate.lock();
+        db.tel
+            .txn
+            .gate_wait
+            .record_ns(gate_started.elapsed().as_nanos() as u64);
         let tx = Transaction {
             db,
-            _gate: db.txn_gate.lock(),
+            _gate: gate,
             writes: HashMap::new(),
             write_order: Vec::new(),
             deleted: HashMap::new(),
@@ -788,7 +797,12 @@ impl<'db> Transaction<'db> {
             }
         }
 
-        // 4. Atomic store commit, then in-memory catalog/index updates.
+        // 4. Atomic store commit, then in-memory catalog/index updates —
+        // both inside the publish window. Holding `apply_gate` exclusively
+        // here (lock order: apply_gate before inner) keeps the whole commit
+        // invisible to snapshot readers until every update has landed, so a
+        // ReadTransaction can never observe a torn commit (DESIGN.md §8).
+        let publish = self.db.apply_gate.write();
         self.db.store.commit(ops)?;
         self.committed = true;
 
@@ -842,6 +856,11 @@ impl<'db> Transaction<'db> {
             }
         }
         drop(inner);
+        // Advance the epoch before readers can re-enter: the bump must be
+        // ordered inside the publish window so a snapshot's epoch always
+        // names exactly the commits it can see.
+        self.db.bump_epoch();
+        drop(publish);
 
         Ok(firings)
     }

@@ -259,8 +259,17 @@ pub struct TxnTelemetry {
     pub aborted_constraint: Counter,
     /// Rollbacks from explicit `abort()`, drops, or non-constraint errors.
     pub aborted_other: Counter,
+    /// Snapshot read transactions begun (`begin_read`): never queue at the
+    /// write gate.
+    pub read_txns: Counter,
+    /// Write transactions begun (`begin`): serialized behind the gate.
+    pub write_txns: Counter,
     /// Wall-clock latency of `commit()` (pipeline + weak-coupled actions).
     pub commit_latency: LatencyHisto,
+    /// Time spent waiting to acquire the write gate in `begin()`. A read
+    /// path that stays off the gate contributes nothing here — asserting
+    /// `gate_wait.count` stays flat under read traffic proves it.
+    pub gate_wait: LatencyHisto,
 }
 
 /// Query-execution counters.
@@ -525,10 +534,13 @@ impl EngineTelemetry {
             &t.committed,
             &t.aborted_constraint,
             &t.aborted_other,
+            &t.read_txns,
+            &t.write_txns,
         ] {
             c.reset();
         }
         t.commit_latency.reset();
+        t.gate_wait.reset();
         let q = &self.query;
         for c in [
             &q.foralls,
@@ -570,7 +582,10 @@ impl EngineTelemetry {
                 committed: self.txn.committed.get(),
                 aborted_constraint: self.txn.aborted_constraint.get(),
                 aborted_other: self.txn.aborted_other.get(),
+                read_txns: self.txn.read_txns.get(),
+                write_txns: self.txn.write_txns.get(),
                 commit_latency: self.txn.commit_latency.snapshot(),
+                gate_wait: self.txn.gate_wait.snapshot(),
             },
             query: QuerySnapshot {
                 foralls: self.query.foralls.get(),
@@ -638,8 +653,14 @@ pub struct TxnSnapshot {
     pub aborted_constraint: u64,
     /// See [`TxnTelemetry::aborted_other`].
     pub aborted_other: u64,
+    /// See [`TxnTelemetry::read_txns`].
+    pub read_txns: u64,
+    /// See [`TxnTelemetry::write_txns`].
+    pub write_txns: u64,
     /// See [`TxnTelemetry::commit_latency`].
     pub commit_latency: HistoSnapshot,
+    /// See [`TxnTelemetry::gate_wait`].
+    pub gate_wait: HistoSnapshot,
 }
 
 /// Query counters, frozen.
@@ -749,14 +770,17 @@ impl TelemetrySnapshot {
         };
         let t = &self.txn;
         let bt = &baseline.txn;
-        let (begun, committed, aborted_constraint, aborted_other) =
-            sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other);
+        let (begun, committed, aborted_constraint, aborted_other, read_txns, write_txns) = sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other,
+                read_txns, write_txns);
         let txn = TxnSnapshot {
             begun,
             committed,
             aborted_constraint,
             aborted_other,
+            read_txns,
+            write_txns,
             commit_latency: t.commit_latency.delta(&bt.commit_latency),
+            gate_wait: t.gate_wait.delta(&bt.gate_wait),
         };
         let q = &self.query;
         let bq = &baseline.query;
@@ -835,6 +859,8 @@ impl TelemetrySnapshot {
         push("txn.committed", t.committed);
         push("txn.aborted_constraint", t.aborted_constraint);
         push("txn.aborted_other", t.aborted_other);
+        push("txn.read_txns", t.read_txns);
+        push("txn.write_txns", t.write_txns);
         push("txn.commit_latency.count", t.commit_latency.count);
         let q = &self.query;
         let lat = &self.txn.commit_latency;
@@ -845,6 +871,16 @@ impl TelemetrySnapshot {
         out.push((
             "txn.commit_latency.p99_us".to_string(),
             format!("{:.1}", lat.p99_ns as f64 / 1e3),
+        ));
+        let gate = &self.txn.gate_wait;
+        out.push(("txn.gate_wait.count".to_string(), gate.count.to_string()));
+        out.push((
+            "txn.gate_wait.mean_us".to_string(),
+            format!("{:.1}", gate.mean_ns() as f64 / 1e3),
+        ));
+        out.push((
+            "txn.gate_wait.p99_us".to_string(),
+            format!("{:.1}", gate.p99_ns as f64 / 1e3),
         ));
         let mut push = |name: &str, v: u64| out.push((name.to_string(), v.to_string()));
         push("query.foralls", q.foralls);
@@ -896,10 +932,13 @@ impl TelemetrySnapshot {
         out.push_str(&format!(
             "\"txn\":{{\"begun\":{},\"committed\":{},\
              \"aborted_constraint\":{},\"aborted_other\":{},\
+             \"read_txns\":{},\"write_txns\":{},\
              \"commit_latency\":",
-            t.begun, t.committed, t.aborted_constraint, t.aborted_other
+            t.begun, t.committed, t.aborted_constraint, t.aborted_other, t.read_txns, t.write_txns
         ));
         t.commit_latency.json(&mut out);
+        out.push_str(",\"gate_wait\":");
+        t.gate_wait.json(&mut out);
         out.push_str("},");
         let q = &self.query;
         out.push_str(&format!(

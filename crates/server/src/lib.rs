@@ -12,9 +12,12 @@
 //! * **Wire protocol** — length-prefixed frames with typed messages and a
 //!   version handshake (crate `ode-wire`; re-exported as [`wire`]).
 //! * **Sessions** — thread-per-connection over a blocking `TcpListener`.
-//!   The engine serializes transactions behind its gate, so handler
-//!   threads queue at `begin()`; the serving layer's job is fairness and
-//!   protection, not intra-engine parallelism.
+//!   Mutating statements serialize behind the engine's writer gate, so
+//!   those handler threads queue at `begin()`. Read-only statements
+//!   (`forall`, `explain`, `.show`, `.versions`) run as snapshot read
+//!   transactions ([`Database::begin_read`]) that never touch the gate,
+//!   so query-heavy connections scale across threads (DESIGN.md §8);
+//!   the serving layer's job is fairness and protection.
 //! * **Admission control** — a connection-count semaphore: past
 //!   [`ServerConfig::max_connections`], new connections are refused with
 //!   a typed `Admission` error before any engine work happens. Oversized

@@ -365,6 +365,58 @@ fn control_ops_and_shell_parity_over_the_wire() {
     handle.shutdown();
 }
 
+/// Read-only requests (`forall`, `explain`, `.show`) go down the
+/// snapshot read path: they bump `read_txns` but never acquire the
+/// writer gate, so `write_txns` and the `gate_wait` sample count stay
+/// exactly flat across a burst of query traffic.
+#[test]
+fn read_only_requests_skip_the_writer_gate() {
+    let db = seeded_db();
+    let handle = Server::bind(Arc::clone(&db), quick_cfg(), "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // One write so the queries below have something to see.
+    let out = output(
+        c.line(r#"pnew stockitem (name = "gear", quantity = 7)"#)
+            .unwrap(),
+    );
+    let oid = out.trim_start_matches("created ").to_string();
+
+    let before = db.telemetry().txn;
+    for _ in 0..10 {
+        let out = output(
+            c.line("forall s in stockitem suchthat (quantity == 7)")
+                .unwrap(),
+        );
+        assert!(out.contains("1 row(s)"), "{out}");
+        let out = output(
+            c.line("explain forall s in stockitem suchthat (quantity == 7)")
+                .unwrap(),
+        );
+        assert!(out.contains("index probe"), "{out}");
+        let out = output(c.line(&format!(".show {oid}")).unwrap());
+        assert!(out.contains("gear"), "{out}");
+    }
+    let after = db.telemetry().txn;
+
+    assert!(
+        after.read_txns >= before.read_txns + 30,
+        "read traffic not counted: before={} after={}",
+        before.read_txns,
+        after.read_txns
+    );
+    assert_eq!(
+        after.write_txns, before.write_txns,
+        "a read-only request started a write transaction"
+    );
+    assert_eq!(
+        after.gate_wait.count, before.gate_wait.count,
+        "a read-only request waited on the writer gate"
+    );
+
+    handle.shutdown();
+}
+
 /// Connections arriving during a drain are refused with a typed
 /// shutdown error (when the accept loop is still winding down) or a
 /// plain transport error (once the listener is gone) — never a hang.

@@ -249,7 +249,22 @@ impl Session {
             tx.commit()?;
             return Ok(format!("deactivated trigger#{id}"));
         }
-        // Query / DML, auto-committed.
+        // Queries and `explain` never mutate: run them on the shared
+        // snapshot path, which skips the writer gate entirely so any
+        // number of shell/server sessions can read concurrently
+        // (DESIGN.md §8).
+        if is_read_only(trimmed) {
+            let mut rtx = self.db.begin_read();
+            let result = rtx.execute(trimmed)?;
+            return match result {
+                ExecResult::Rows(rows) => self.format_rows(&rtx, &rows),
+                ExecResult::Explain(prof) => Ok(format_explain(&prof)),
+                _ => Err(OdeError::Usage(
+                    "read-only statement produced a write result".into(),
+                )),
+            };
+        }
+        // DML, auto-committed.
         let mut tx = self.db.begin();
         let result = tx.execute(trimmed)?;
         let out = match result {
@@ -257,13 +272,7 @@ impl Session {
             ExecResult::Created(oid) => format!("created {oid}"),
             ExecResult::Updated(n) => format!("updated {n} object(s)"),
             ExecResult::Deleted(n) => format!("deleted {n} object(s)"),
-            ExecResult::Explain(prof) => {
-                let mut out = String::new();
-                for (k, v) in prof.rows() {
-                    let _ = writeln!(out, "{k:<24} {v}");
-                }
-                out.trim_end().to_string()
-            }
+            ExecResult::Explain(prof) => format_explain(&prof),
         };
         let info = tx.commit()?;
         let mut out = out;
@@ -278,7 +287,7 @@ impl Session {
         Ok(out)
     }
 
-    fn format_rows(&self, tx: &Transaction<'_>, rows: &QueryRows) -> Result<String> {
+    fn format_rows<C: ReadContext>(&self, tx: &C, rows: &QueryRows) -> Result<String> {
         let mut out = String::new();
         for row in &rows.rows {
             for (var, oid) in rows.vars.iter().zip(row.iter()) {
@@ -290,8 +299,8 @@ impl Session {
         Ok(out)
     }
 
-    fn format_object(&self, tx: &Transaction<'_>, oid: Oid) -> Result<String> {
-        let state = tx.read(oid)?;
+    fn format_object<C: ReadContext>(&self, tx: &C, oid: Oid) -> Result<String> {
+        let state = tx.read_obj(oid)?;
         self.db.with_schema(|schema| -> Result<String> {
             let def = schema.class(state.class)?;
             let mut s = format!("{oid} ({})", def.name);
@@ -444,8 +453,8 @@ impl Session {
                     .next()
                     .ok_or_else(|| OdeError::Usage("usage: .show <cluster:page.slot>".into()))?;
                 let oid = parse_oid(spec)?;
-                let tx = self.db.begin();
-                let line = self.format_object(&tx, oid)?;
+                let rtx = self.db.begin_read();
+                let line = self.format_object(&rtx, oid)?;
                 Ok(line)
             }
             "stats" => match parts.next() {
@@ -490,7 +499,7 @@ impl Session {
                     OdeError::Usage("usage: .versions <cluster:page.slot>".into())
                 })?;
                 let oid = parse_oid(spec)?;
-                let tx = self.db.begin();
+                let tx = self.db.begin_read();
                 let versions = tx.versions(oid)?;
                 let current = tx.current_version(oid)?;
                 let mut out = String::new();
@@ -513,6 +522,27 @@ impl Session {
             ))),
         }
     }
+}
+
+/// Would this statement leave the database unchanged? Such statements
+/// are routed through [`Database::begin_read`] so they never queue
+/// behind the writer gate.
+fn is_read_only(stmt: &str) -> bool {
+    let head = stmt
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    matches!(head.as_str(), "forall" | "for" | "explain")
+}
+
+/// Render an `explain` profile as aligned `key value` lines.
+fn format_explain(prof: &QueryProfile) -> String {
+    let mut out = String::new();
+    for (k, v) in prof.rows() {
+        let _ = writeln!(out, "{k:<24} {v}");
+    }
+    out.trim_end().to_string()
 }
 
 /// Parse `cluster:page.slot` — the textual oid form the shell prints.
@@ -723,13 +753,18 @@ mod tests {
         let out = feed(&mut s, ".stats");
         assert!(out.contains("txn.committed"), "{out}");
         assert!(out.contains("query.foralls"), "{out}");
-        let committed: u64 = out
-            .lines()
-            .find(|l| l.starts_with("txn.committed"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .and_then(|v| v.parse().ok())
-            .unwrap();
-        assert!(committed >= 3, "{out}");
+        let counter = |name: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        // The two `pnew`s committed write transactions; the `forall` ran
+        // on the snapshot read path and so shows up in read_txns only.
+        assert!(counter("txn.committed") >= 2, "{out}");
+        assert!(counter("txn.read_txns") >= 1, "{out}");
+        assert_eq!(counter("txn.write_txns"), counter("txn.committed"), "{out}");
 
         // `explain` returns a plan + profile instead of rows.
         let out = feed(&mut s, "explain forall p in part suchthat (weight == 3)");

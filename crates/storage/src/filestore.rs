@@ -12,6 +12,7 @@
 use std::collections::BTreeSet;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -76,23 +77,23 @@ impl Meta {
     }
 }
 
-struct Inner {
-    pager: Pager,
+/// Structural state: heap bookkeeping, the WAL, and the meta record. One
+/// narrow lock guards it — mutations (commit apply, allocation, DDL) and
+/// page-list snapshots take it; record reads never do, going straight to
+/// the internally synchronized [`Pager`] (DESIGN.md §8).
+struct StoreState {
     heaps: HeapManager,
     wal: Wal,
     meta: Meta,
     sync: bool,
     checkpoint_bytes: u64,
-    commits: u64,
-    record_reads: u64,
-    record_writes: u64,
 }
 
-impl Inner {
+impl StoreState {
     /// Persist the meta record into page 0, slot 0.
-    fn write_meta(&mut self) -> Result<()> {
+    fn write_meta(&mut self, pager: &Pager) -> Result<()> {
         let bytes = self.meta.encode();
-        let ok = self.pager.with_page_mut(0, |p| {
+        let ok = pager.with_page_mut(0, |p| {
             if !p.ensure_slot(0) {
                 return false;
             }
@@ -106,47 +107,59 @@ impl Inner {
         Ok(())
     }
 
-    fn apply_op(&mut self, op: &WalOp) -> Result<()> {
+    fn apply_op(&mut self, pager: &Pager, op: &WalOp) -> Result<()> {
         match op {
             WalOp::EnsureHeap(h) => {
                 self.heaps.create_heap(*h);
                 self.meta.heaps.insert(*h);
                 self.meta.next_heap_id = self.meta.next_heap_id.max(h + 1);
-                self.write_meta()?;
+                self.write_meta(pager)?;
             }
             WalOp::DropHeap(h) => {
                 if self.heaps.has_heap(*h) {
-                    self.heaps.drop_heap(&mut self.pager, *h)?;
+                    self.heaps.drop_heap(pager, *h)?;
                 }
                 self.meta.heaps.remove(h);
-                self.write_meta()?;
+                self.write_meta(pager)?;
             }
             WalOp::Put { heap, rid, data } => {
-                self.heaps.put_at(&mut self.pager, *heap, *rid, data)?;
+                self.heaps.put_at(pager, *heap, *rid, data)?;
             }
             WalOp::Delete { heap, rid } => {
-                self.heaps.delete(&mut self.pager, *heap, *rid)?;
+                self.heaps.delete(pager, *heap, *rid)?;
             }
         }
         Ok(())
     }
 
-    fn checkpoint(&mut self) -> Result<()> {
-        self.pager.sync()?;
+    fn checkpoint(&mut self, pager: &Pager) -> Result<()> {
+        pager.sync()?;
         self.wal.checkpoint()
     }
 
-    fn maybe_checkpoint(&mut self) -> Result<()> {
+    fn maybe_checkpoint(&mut self, pager: &Pager) -> Result<()> {
         if self.wal.len() > self.checkpoint_bytes {
-            self.checkpoint()?;
+            self.checkpoint(pager)?;
         }
         Ok(())
     }
 }
 
 /// Durable, WAL-protected store rooted at a directory.
+///
+/// Locking: the buffer pool is lock-striped inside [`Pager`]; `read` and
+/// the page-visiting part of `scan` touch only pager shards, so concurrent
+/// readers on different pages never contend. Everything that mutates
+/// structure — WAL appends, commit apply, heap create/drop, reservations —
+/// serializes behind the single [`StoreState`] mutex, which keeps the
+/// WAL-before-data ordering proof exactly as simple as the old
+/// one-big-lock design.
 pub struct FileStore {
-    inner: Mutex<Inner>,
+    pager: Pager,
+    state: Mutex<StoreState>,
+    commits: AtomicU64,
+    record_reads: AtomicU64,
+    record_writes: AtomicU64,
     dir: PathBuf,
 }
 
@@ -190,10 +203,10 @@ impl FileStore {
             .truncate(false)
             .open(&data_path)
             .map_err(|e| StorageError::io("open data file", e))?;
-        let mut pager = Pager::new(file, opts.pool_pages)?;
+        let pager = Pager::new(file, opts.pool_pages)?;
 
         let (wal, replay) = Wal::open(&wal_path)?;
-        let mut inner = if fresh || pager.page_count() == 0 {
+        let mut state = if fresh || pager.page_count() == 0 {
             let mut meta_page = Page::new(PageType::Meta, 0);
             let meta = Meta {
                 next_heap_id: 1,
@@ -203,16 +216,12 @@ impl FileStore {
                 .insert(&meta.encode())
                 .expect("meta record fits a fresh page");
             pager.allocate(meta_page)?;
-            Inner {
-                pager,
+            StoreState {
                 heaps: HeapManager::new(),
                 wal,
                 meta,
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
-                commits: 0,
-                record_reads: 0,
-                record_writes: 0,
             }
         } else {
             let meta_bytes = pager.with_page(0, |p| p.record(0).map(|r| r.to_vec()))?;
@@ -234,32 +243,32 @@ impl FileStore {
                     }
                 }
             }
-            let heaps = HeapManager::rebuild(&mut pager, &live)?;
-            let mut inner = Inner {
-                pager,
+            let heaps = HeapManager::rebuild(&pager, &live)?;
+            let mut state = StoreState {
                 heaps,
                 wal,
                 meta,
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
-                commits: 0,
-                record_reads: 0,
-                record_writes: 0,
             };
             for batch in &replay {
                 for op in batch {
-                    inner.apply_op(op)?;
+                    state.apply_op(&pager, op)?;
                 }
             }
             // Everything replayed is now in buffer-pool pages; checkpoint so
             // the WAL does not grow across repeated crashes.
-            inner.write_meta()?;
-            inner.checkpoint()?;
-            inner
+            state.write_meta(&pager)?;
+            state.checkpoint(&pager)?;
+            state
         };
-        inner.write_meta()?;
+        state.write_meta(&pager)?;
         Ok(FileStore {
-            inner: Mutex::new(inner),
+            pager,
+            state: Mutex::new(state),
+            commits: AtomicU64::new(0),
+            record_reads: AtomicU64::new(0),
+            record_writes: AtomicU64::new(0),
             dir: dir.to_path_buf(),
         })
     }
@@ -271,69 +280,67 @@ impl FileStore {
 
     /// Flush everything and truncate the WAL. Called on drop as well.
     pub fn close(&self) -> Result<()> {
-        self.inner.lock().checkpoint()
+        self.state.lock().checkpoint(&self.pager)
     }
 }
 
 impl Drop for FileStore {
     fn drop(&mut self) {
         // Best-effort clean shutdown; recovery handles the rest.
-        let _ = self.inner.lock().checkpoint();
+        let _ = self.state.lock().checkpoint(&self.pager);
     }
 }
 
 impl Store for FileStore {
     fn create_heap(&self) -> Result<HeapId> {
-        let mut g = self.inner.lock();
+        let mut g = self.state.lock();
         let id = g.meta.next_heap_id;
         let sync = g.sync;
         g.wal.append_commit(&[WalOp::EnsureHeap(id)], sync)?;
         g.meta.next_heap_id += 1;
         g.meta.heaps.insert(id);
         g.heaps.create_heap(id);
-        g.write_meta()?;
+        g.write_meta(&self.pager)?;
         Ok(id)
     }
 
     fn drop_heap(&self, heap: HeapId) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.state.lock();
         if !g.heaps.has_heap(heap) {
             return Err(StorageError::NoSuchHeap(heap));
         }
         let sync = g.sync;
         g.wal.append_commit(&[WalOp::DropHeap(heap)], sync)?;
-        let Inner { pager, heaps, .. } = &mut *g;
-        heaps.drop_heap(pager, heap)?;
+        g.heaps.drop_heap(&self.pager, heap)?;
         g.meta.heaps.remove(&heap);
-        g.write_meta()?;
+        g.write_meta(&self.pager)?;
         Ok(())
     }
 
     fn has_heap(&self, heap: HeapId) -> bool {
-        self.inner.lock().heaps.has_heap(heap)
+        self.state.lock().heaps.has_heap(heap)
     }
 
     fn reserve(&self, heap: HeapId, size_hint: usize) -> Result<RecordId> {
-        let mut g = self.inner.lock();
-        let Inner { pager, heaps, .. } = &mut *g;
-        heaps.reserve(pager, heap, size_hint)
+        let mut g = self.state.lock();
+        g.heaps.reserve(&self.pager, heap, size_hint)
     }
 
     fn release(&self, heap: HeapId, rid: RecordId) -> Result<()> {
-        let mut g = self.inner.lock();
-        let Inner { pager, heaps, .. } = &mut *g;
-        heaps.release(pager, heap, rid)
+        let mut g = self.state.lock();
+        g.heaps.release(&self.pager, heap, rid)
     }
 
     fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
-        let mut g = self.inner.lock();
-        g.record_reads += 1;
-        let Inner { pager, heaps, .. } = &mut *g;
-        heaps.read(pager, heap, rid)
+        // No structural lock: record reads resolve entirely inside the
+        // lock-striped pager, so readers on different pages run in
+        // parallel and never queue behind a committing writer.
+        self.record_reads.fetch_add(1, Ordering::Relaxed);
+        HeapManager::read_record(&self.pager, heap, rid)
     }
 
     fn commit(&self, ops: Vec<StoreOp>) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.state.lock();
         let wal_ops: Vec<WalOp> = ops
             .iter()
             .map(|op| match op {
@@ -350,17 +357,19 @@ impl Store for FileStore {
             .collect();
         // Log first (the durability point), then apply to pages. The data
         // file can never get ahead of the log because pages are only
-        // written back after this append returns.
+        // written back after this append returns. Holding the structural
+        // lock across append + apply keeps the batch atomic with respect
+        // to every other mutation.
         let sync = g.sync;
         g.wal.append_commit(&wal_ops, sync)?;
         for op in &wal_ops {
             if matches!(op, WalOp::Put { .. }) {
-                g.record_writes += 1;
+                self.record_writes.fetch_add(1, Ordering::Relaxed);
             }
-            g.apply_op(op)?;
+            g.apply_op(&self.pager, op)?;
         }
-        g.commits += 1;
-        g.maybe_checkpoint()
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        g.maybe_checkpoint(&self.pager)
     }
 
     fn scan(
@@ -368,43 +377,46 @@ impl Store for FileStore {
         heap: HeapId,
         visit: &mut dyn FnMut(RecordId, &[u8]) -> Result<bool>,
     ) -> Result<()> {
-        let mut g = self.inner.lock();
-        let Inner { pager, heaps, .. } = &mut *g;
-        heaps.scan(pager, heap, |rid, data| visit(rid, data))
+        // Snapshot the page list under a brief structural lock, then walk
+        // the pages through the pager only, so a long scan does not block
+        // writers (the engine's apply gate prevents a commit from landing
+        // mid-scan for snapshot readers; see DESIGN.md §8).
+        let pages = self.state.lock().heaps.pages_of(heap)?;
+        HeapManager::scan_pages(&self.pager, heap, &pages, |rid, data| visit(rid, data))
     }
 
     fn checkpoint(&self) -> Result<()> {
-        self.inner.lock().checkpoint()
+        self.state.lock().checkpoint(&self.pager)
     }
 
     fn stats(&self) -> StoreStats {
-        let g = self.inner.lock();
+        let g = self.state.lock();
         StoreStats {
-            pager: g.pager.stats(),
+            pager: self.pager.stats(),
             wal_bytes: g.wal.len(),
-            page_count: g.pager.page_count(),
-            commits: g.commits,
-            record_reads: g.record_reads,
-            record_writes: g.record_writes,
+            page_count: self.pager.page_count(),
+            commits: self.commits.load(Ordering::Relaxed),
+            record_reads: self.record_reads.load(Ordering::Relaxed),
+            record_writes: self.record_writes.load(Ordering::Relaxed),
             wal_appends: g.wal.appends(),
             wal_fsyncs: g.wal.fsyncs(),
         }
     }
 
     fn reset_stats(&self) {
-        let mut g = self.inner.lock();
-        g.pager.reset_stats();
-        g.record_reads = 0;
-        g.record_writes = 0;
+        let mut g = self.state.lock();
+        self.pager.reset_stats();
+        self.record_reads.store(0, Ordering::Relaxed);
+        self.record_writes.store(0, Ordering::Relaxed);
         g.wal.reset_counters();
     }
 
     fn clear_cache(&self) -> Result<()> {
-        self.inner.lock().pager.clear_cache()
+        self.pager.clear_cache()
     }
 
     fn set_sync(&self, sync: bool) {
-        self.inner.lock().sync = sync;
+        self.state.lock().sync = sync;
     }
 }
 
@@ -481,7 +493,7 @@ mod tests {
             orphan = store.reserve(heap, 64).unwrap();
             // Push the reservation to the data file, then "crash" without
             // committing it.
-            store.inner.lock().pager.sync().unwrap();
+            store.pager.sync().unwrap();
             std::mem::forget(store);
         }
         let store = FileStore::open(&dir).unwrap();

@@ -137,7 +137,8 @@ struct HeapState {
 }
 
 /// Manages every heap in one data file. Operates on a borrowed [`Pager`]
-/// (the store owns both and serializes access).
+/// (internally synchronized, so `read` needs no exclusive access; the store
+/// serializes *mutations* of heap state behind its structural lock).
 #[derive(Default)]
 pub struct HeapManager {
     heaps: HashMap<u32, HeapState>,
@@ -155,7 +156,7 @@ impl HeapManager {
     /// scanning every page header in the file, reclaiming any RESERVED slots
     /// left behind by transactions that never committed. `live_heaps` comes
     /// from the meta page; pages claiming a dead heap are freed.
-    pub fn rebuild(pager: &mut Pager, live_heaps: &BTreeSet<u32>) -> Result<HeapManager> {
+    pub fn rebuild(pager: &Pager, live_heaps: &BTreeSet<u32>) -> Result<HeapManager> {
         let mut mgr = HeapManager::new();
         for h in live_heaps {
             mgr.heaps.insert(*h, HeapState::default());
@@ -219,7 +220,7 @@ impl HeapManager {
     }
 
     /// Release every page of `heap` to the free list.
-    pub fn drop_heap(&mut self, pager: &mut Pager, heap: u32) -> Result<()> {
+    pub fn drop_heap(&mut self, pager: &Pager, heap: u32) -> Result<()> {
         let st = self
             .heaps
             .remove(&heap)
@@ -243,7 +244,7 @@ impl HeapManager {
             .ok_or(StorageError::NoSuchHeap(heap))
     }
 
-    fn grow_heap(&mut self, pager: &mut Pager, heap: u32) -> Result<PageId> {
+    fn grow_heap(&mut self, pager: &Pager, heap: u32) -> Result<PageId> {
         let pid = match self.free_pages.pop() {
             Some(pid) => {
                 pager.with_page_mut(pid, |p| {
@@ -261,7 +262,7 @@ impl HeapManager {
     }
 
     /// Place an encoded extent in the heap, returning its record id.
-    fn place(&mut self, pager: &mut Pager, heap: u32, extent: &[u8]) -> Result<RecordId> {
+    fn place(&mut self, pager: &Pager, heap: u32, extent: &[u8]) -> Result<RecordId> {
         if extent.len() > MAX_RECORD {
             return Err(StorageError::RecordTooLarge {
                 size: extent.len(),
@@ -290,7 +291,7 @@ impl HeapManager {
     }
 
     /// Insert a new record, returning its id.
-    pub fn insert(&mut self, pager: &mut Pager, heap: u32, payload: &[u8]) -> Result<RecordId> {
+    pub fn insert(&mut self, pager: &Pager, heap: u32, payload: &[u8]) -> Result<RecordId> {
         if payload.len() > MAX_PAYLOAD {
             return Err(StorageError::RecordTooLarge {
                 size: payload.len(),
@@ -304,7 +305,7 @@ impl HeapManager {
     /// Reserve a record id without committing data. `size_hint` pre-sizes
     /// the extent so the eventual [`HeapManager::put_at`] usually fits in
     /// place. Reservations left behind by a crash are reclaimed at open.
-    pub fn reserve(&mut self, pager: &mut Pager, heap: u32, size_hint: usize) -> Result<RecordId> {
+    pub fn reserve(&mut self, pager: &Pager, heap: u32, size_hint: usize) -> Result<RecordId> {
         let extent = encode(
             FLAG_RESERVED,
             &[],
@@ -314,7 +315,7 @@ impl HeapManager {
     }
 
     /// Release a reservation (transaction abort path).
-    pub fn release(&mut self, pager: &mut Pager, heap: u32, rid: RecordId) -> Result<()> {
+    pub fn release(&mut self, pager: &Pager, heap: u32, rid: RecordId) -> Result<()> {
         let flag = pager.with_page(rid.page, |p| p.record(rid.slot).map(|r| r.first().copied()))?;
         match flag {
             Some(Some(FLAG_RESERVED)) => {
@@ -333,7 +334,14 @@ impl HeapManager {
 
     /// Read the payload of the record at `rid`, following a forward stub if
     /// present.
-    pub fn read(&self, pager: &mut Pager, heap: u32, rid: RecordId) -> Result<Vec<u8>> {
+    pub fn read(&self, pager: &Pager, heap: u32, rid: RecordId) -> Result<Vec<u8>> {
+        Self::read_record(pager, heap, rid)
+    }
+
+    /// [`HeapManager::read`] without the manager: record reads consult only
+    /// page contents, never heap bookkeeping, so the store's read path can
+    /// call this with no structural lock held (DESIGN.md §8).
+    pub fn read_record(pager: &Pager, heap: u32, rid: RecordId) -> Result<Vec<u8>> {
         let no_such = || StorageError::NoSuchRecord {
             heap,
             page: rid.page,
@@ -372,7 +380,7 @@ impl HeapManager {
 
     /// Make sure `rid.page` exists and belongs to `heap` (WAL replay may
     /// reference pages that were never flushed before a crash).
-    fn ensure_page(&mut self, pager: &mut Pager, heap: u32, pid: PageId) -> Result<()> {
+    fn ensure_page(&mut self, pager: &Pager, heap: u32, pid: PageId) -> Result<()> {
         while pager.page_count() <= pid {
             let fresh = pager.allocate(Page::new(PageType::Free, 0))?;
             self.free_pages.push(fresh);
@@ -405,7 +413,7 @@ impl HeapManager {
     /// needed. Idempotent: used both for committed updates and WAL replay.
     pub fn put_at(
         &mut self,
-        pager: &mut Pager,
+        pager: &Pager,
         heap: u32,
         rid: RecordId,
         payload: &[u8],
@@ -463,7 +471,7 @@ impl HeapManager {
         Ok(())
     }
 
-    fn delete_extent(&mut self, pager: &mut Pager, heap: u32, rid: RecordId) -> Result<()> {
+    fn delete_extent(&mut self, pager: &Pager, heap: u32, rid: RecordId) -> Result<()> {
         if rid.page >= pager.page_count() {
             return Ok(());
         }
@@ -479,7 +487,7 @@ impl HeapManager {
 
     /// Delete the record at `rid` (and its forward target, if relocated).
     /// Idempotent: deleting an absent record succeeds.
-    pub fn delete(&mut self, pager: &mut Pager, heap: u32, rid: RecordId) -> Result<()> {
+    pub fn delete(&mut self, pager: &Pager, heap: u32, rid: RecordId) -> Result<()> {
         if rid.page >= pager.page_count() {
             return Ok(());
         }
@@ -494,16 +502,33 @@ impl HeapManager {
         self.delete_extent(pager, heap, rid)
     }
 
+    /// Snapshot of the heap's page list, in scan order. Lets a caller take
+    /// the list under a brief lock and run the scan itself without one.
+    pub fn pages_of(&self, heap: u32) -> Result<Vec<PageId>> {
+        Ok(self.state(heap)?.pages.clone())
+    }
+
     /// Visit every live record of the heap as `(rid, payload)`, in page
     /// order. Forwarded records are yielded at their *home* id.
     pub fn scan(
         &self,
-        pager: &mut Pager,
+        pager: &Pager,
         heap: u32,
+        visit: impl FnMut(RecordId, &[u8]) -> Result<bool>,
+    ) -> Result<()> {
+        let pages = self.pages_of(heap)?;
+        Self::scan_pages(pager, heap, &pages, visit)
+    }
+
+    /// [`HeapManager::scan`] over an already-snapshotted page list: needs no
+    /// heap bookkeeping, so it runs with no structural lock held.
+    pub fn scan_pages(
+        pager: &Pager,
+        heap: u32,
+        pages: &[PageId],
         mut visit: impl FnMut(RecordId, &[u8]) -> Result<bool>,
     ) -> Result<()> {
-        let pages = self.state(heap)?.pages.clone();
-        for pid in pages {
+        for &pid in pages {
             let records: Vec<(u16, Vec<u8>)> = pager.with_page(pid, |p| {
                 p.iter_records().map(|(s, r)| (s, r.to_vec())).collect()
             })?;
@@ -517,7 +542,7 @@ impl HeapManager {
                         }
                     }
                     FLAG_FORWARD => {
-                        let data = self.read(pager, heap, rid)?;
+                        let data = Self::read_record(pager, heap, rid)?;
                         if !visit(rid, &data)? {
                             return Ok(());
                         }
@@ -557,7 +582,7 @@ mod tests {
             .truncate(false)
             .open(&path)
             .unwrap();
-        let mut pager = Pager::new(file, 64).unwrap();
+        let pager = Pager::new(file, 64).unwrap();
         // Page 0 stands in for the meta page.
         pager.allocate(Page::new(PageType::Meta, 0)).unwrap();
         (pager, path)
@@ -565,70 +590,70 @@ mod tests {
 
     #[test]
     fn insert_read_roundtrip() {
-        let (mut pager, _p) = temp_pager("roundtrip");
+        let (pager, _p) = temp_pager("roundtrip");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
-        let rid = mgr.insert(&mut pager, 1, b"stockitem 512 dram").unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, rid).unwrap(), b"stockitem 512 dram");
+        let rid = mgr.insert(&pager, 1, b"stockitem 512 dram").unwrap();
+        assert_eq!(mgr.read(&pager, 1, rid).unwrap(), b"stockitem 512 dram");
     }
 
     #[test]
     fn records_span_many_pages() {
-        let (mut pager, _p) = temp_pager("many-pages");
+        let (pager, _p) = temp_pager("many-pages");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         let mut rids = Vec::new();
         for i in 0..500u32 {
             let data = vec![(i % 251) as u8; 100];
-            rids.push((mgr.insert(&mut pager, 1, &data).unwrap(), data));
+            rids.push((mgr.insert(&pager, 1, &data).unwrap(), data));
         }
         assert!(mgr.page_count_of(1) > 1);
         for (rid, data) in &rids {
-            assert_eq!(&mgr.read(&mut pager, 1, *rid).unwrap(), data);
+            assert_eq!(&mgr.read(&pager, 1, *rid).unwrap(), data);
         }
     }
 
     #[test]
     fn update_grows_into_forwarding_and_id_stays_stable() {
-        let (mut pager, _p) = temp_pager("forward");
+        let (pager, _p) = temp_pager("forward");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         // Fill a page almost completely so growth must forward.
-        let rid = mgr.insert(&mut pager, 1, &[1u8; 16]).unwrap();
+        let rid = mgr.insert(&pager, 1, &[1u8; 16]).unwrap();
         let mut fillers = Vec::new();
         loop {
-            let f = mgr.insert(&mut pager, 1, &[9u8; 512]).unwrap();
+            let f = mgr.insert(&pager, 1, &[9u8; 512]).unwrap();
             if f.page != rid.page {
                 // Landed on a second page; the first is effectively full.
-                mgr.delete(&mut pager, 1, f).unwrap();
+                mgr.delete(&pager, 1, f).unwrap();
                 break;
             }
             fillers.push(f);
         }
         let big = vec![7u8; 4000];
-        mgr.put_at(&mut pager, 1, rid, &big).unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, rid).unwrap(), big);
+        mgr.put_at(&pager, 1, rid, &big).unwrap();
+        assert_eq!(mgr.read(&pager, 1, rid).unwrap(), big);
         // Shrink again: collapses back in place (still readable either way).
         let small = vec![3u8; 8];
-        mgr.put_at(&mut pager, 1, rid, &small).unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, rid).unwrap(), small);
+        mgr.put_at(&pager, 1, rid, &small).unwrap();
+        assert_eq!(mgr.read(&pager, 1, rid).unwrap(), small);
         for f in fillers {
-            assert_eq!(mgr.read(&mut pager, 1, f).unwrap(), vec![9u8; 512]);
+            assert_eq!(mgr.read(&pager, 1, f).unwrap(), vec![9u8; 512]);
         }
     }
 
     #[test]
     fn forwarded_records_scan_at_home_id() {
-        let (mut pager, _p) = temp_pager("scan-fwd");
+        let (pager, _p) = temp_pager("scan-fwd");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
-        let a = mgr.insert(&mut pager, 1, &[1u8; 3000]).unwrap();
-        let b = mgr.insert(&mut pager, 1, &[2u8; 3000]).unwrap();
-        let c = mgr.insert(&mut pager, 1, &[3u8; 1500]).unwrap();
+        let a = mgr.insert(&pager, 1, &[1u8; 3000]).unwrap();
+        let b = mgr.insert(&pager, 1, &[2u8; 3000]).unwrap();
+        let c = mgr.insert(&pager, 1, &[3u8; 1500]).unwrap();
         // Grow c so it forwards off the full page.
-        mgr.put_at(&mut pager, 1, c, &[4u8; 5000]).unwrap();
+        mgr.put_at(&pager, 1, c, &[4u8; 5000]).unwrap();
         let mut seen = Vec::new();
-        mgr.scan(&mut pager, 1, |rid, data| {
+        mgr.scan(&pager, 1, |rid, data| {
             seen.push((rid, data[0], data.len()));
             Ok(true)
         })
@@ -641,19 +666,19 @@ mod tests {
 
     #[test]
     fn delete_frees_space_for_reuse() {
-        let (mut pager, _p) = temp_pager("delete");
+        let (pager, _p) = temp_pager("delete");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         let mut rids = Vec::new();
         for _ in 0..50 {
-            rids.push(mgr.insert(&mut pager, 1, &[5u8; 1000]).unwrap());
+            rids.push(mgr.insert(&pager, 1, &[5u8; 1000]).unwrap());
         }
         let pages_before = mgr.page_count_of(1);
         for rid in &rids {
-            mgr.delete(&mut pager, 1, *rid).unwrap();
+            mgr.delete(&pager, 1, *rid).unwrap();
         }
         for _ in 0..50 {
-            mgr.insert(&mut pager, 1, &[6u8; 1000]).unwrap();
+            mgr.insert(&pager, 1, &[6u8; 1000]).unwrap();
         }
         assert_eq!(
             mgr.page_count_of(1),
@@ -664,39 +689,39 @@ mod tests {
 
     #[test]
     fn reserve_then_put_at_then_read() {
-        let (mut pager, _p) = temp_pager("reserve");
+        let (pager, _p) = temp_pager("reserve");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
-        let rid = mgr.reserve(&mut pager, 1, 64).unwrap();
+        let rid = mgr.reserve(&pager, 1, 64).unwrap();
         assert!(matches!(
-            mgr.read(&mut pager, 1, rid),
+            mgr.read(&pager, 1, rid),
             Err(StorageError::NoSuchRecord { .. })
         ));
-        mgr.put_at(&mut pager, 1, rid, b"now committed").unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, rid).unwrap(), b"now committed");
+        mgr.put_at(&pager, 1, rid, b"now committed").unwrap();
+        assert_eq!(mgr.read(&pager, 1, rid).unwrap(), b"now committed");
     }
 
     #[test]
     fn release_reclaims_reservation() {
-        let (mut pager, _p) = temp_pager("release");
+        let (pager, _p) = temp_pager("release");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
-        let rid = mgr.reserve(&mut pager, 1, 32).unwrap();
-        mgr.release(&mut pager, 1, rid).unwrap();
+        let rid = mgr.reserve(&pager, 1, 32).unwrap();
+        mgr.release(&pager, 1, rid).unwrap();
         // The same slot becomes available again.
-        let rid2 = mgr.insert(&mut pager, 1, b"x").unwrap();
+        let rid2 = mgr.insert(&pager, 1, b"x").unwrap();
         assert_eq!(rid, rid2);
     }
 
     #[test]
     fn reservations_skipped_by_scan() {
-        let (mut pager, _p) = temp_pager("scan-reserved");
+        let (pager, _p) = temp_pager("scan-reserved");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
-        mgr.reserve(&mut pager, 1, 16).unwrap();
-        let real = mgr.insert(&mut pager, 1, b"real").unwrap();
+        mgr.reserve(&pager, 1, 16).unwrap();
+        let real = mgr.insert(&pager, 1, b"real").unwrap();
         let mut seen = Vec::new();
-        mgr.scan(&mut pager, 1, |rid, data| {
+        mgr.scan(&pager, 1, |rid, data| {
             seen.push((rid, data.to_vec()));
             Ok(true)
         })
@@ -706,13 +731,13 @@ mod tests {
 
     #[test]
     fn rebuild_reconstructs_membership_and_reclaims_reservations() {
-        let (mut pager, path) = temp_pager("rebuild");
+        let (pager, path) = temp_pager("rebuild");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         mgr.create_heap(2);
-        let a = mgr.insert(&mut pager, 1, b"heap one").unwrap();
-        let b = mgr.insert(&mut pager, 2, b"heap two").unwrap();
-        let r = mgr.reserve(&mut pager, 1, 16).unwrap();
+        let a = mgr.insert(&pager, 1, b"heap one").unwrap();
+        let b = mgr.insert(&pager, 2, b"heap two").unwrap();
+        let r = mgr.reserve(&pager, 1, 16).unwrap();
         pager.sync().unwrap();
         drop(pager);
         drop(mgr);
@@ -722,30 +747,30 @@ mod tests {
             .write(true)
             .open(&path)
             .unwrap();
-        let mut pager = Pager::new(file, 64).unwrap();
+        let pager = Pager::new(file, 64).unwrap();
         let live: BTreeSet<u32> = [1u32, 2].into_iter().collect();
-        let mgr = HeapManager::rebuild(&mut pager, &live).unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, a).unwrap(), b"heap one");
-        assert_eq!(mgr.read(&mut pager, 2, b).unwrap(), b"heap two");
+        let mgr = HeapManager::rebuild(&pager, &live).unwrap();
+        assert_eq!(mgr.read(&pager, 1, a).unwrap(), b"heap one");
+        assert_eq!(mgr.read(&pager, 2, b).unwrap(), b"heap two");
         // Reservation was reclaimed: reading it fails, slot reusable.
-        assert!(mgr.read(&mut pager, 1, r).is_err());
+        assert!(mgr.read(&pager, 1, r).is_err());
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn drop_heap_recycles_pages() {
-        let (mut pager, _p) = temp_pager("drop-heap");
+        let (pager, _p) = temp_pager("drop-heap");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         for _ in 0..200 {
-            mgr.insert(&mut pager, 1, &[1u8; 500]).unwrap();
+            mgr.insert(&pager, 1, &[1u8; 500]).unwrap();
         }
         let page_count_before = pager.page_count();
-        mgr.drop_heap(&mut pager, 1).unwrap();
+        mgr.drop_heap(&pager, 1).unwrap();
         assert!(!mgr.has_heap(1));
         mgr.create_heap(2);
         for _ in 0..200 {
-            mgr.insert(&mut pager, 2, &[2u8; 500]).unwrap();
+            mgr.insert(&pager, 2, &[2u8; 500]).unwrap();
         }
         assert_eq!(
             pager.page_count(),
@@ -756,28 +781,28 @@ mod tests {
 
     #[test]
     fn oversized_record_rejected() {
-        let (mut pager, _p) = temp_pager("oversize");
+        let (pager, _p) = temp_pager("oversize");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         let too_big = vec![0u8; PAGE_SIZE];
         assert!(matches!(
-            mgr.insert(&mut pager, 1, &too_big),
+            mgr.insert(&pager, 1, &too_big),
             Err(StorageError::RecordTooLarge { .. })
         ));
     }
 
     #[test]
     fn put_at_is_idempotent_like_wal_replay() {
-        let (mut pager, _p) = temp_pager("idempotent");
+        let (pager, _p) = temp_pager("idempotent");
         let mut mgr = HeapManager::new();
         mgr.create_heap(1);
         let rid = RecordId { page: 5, slot: 3 };
         // Replay against a page that does not exist yet.
-        mgr.put_at(&mut pager, 1, rid, b"replayed").unwrap();
-        mgr.put_at(&mut pager, 1, rid, b"replayed").unwrap();
-        assert_eq!(mgr.read(&mut pager, 1, rid).unwrap(), b"replayed");
+        mgr.put_at(&pager, 1, rid, b"replayed").unwrap();
+        mgr.put_at(&pager, 1, rid, b"replayed").unwrap();
+        assert_eq!(mgr.read(&pager, 1, rid).unwrap(), b"replayed");
         let mut n = 0;
-        mgr.scan(&mut pager, 1, |_, _| {
+        mgr.scan(&pager, 1, |_, _| {
             n += 1;
             Ok(true)
         })

@@ -2,11 +2,14 @@
 //!
 //! Implements the same contract as [`crate::FileStore`] — including the
 //! reserve/commit protocol and stable record-id scan order — with plain
-//! maps. Record ids are synthesized from a per-heap counter.
+//! maps behind a reader-writer lock, so concurrent readers share access
+//! just as they do on the striped file store. Record ids are synthesized
+//! from a per-heap counter.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::error::{Result, StorageError};
 use crate::heap::{RecordId, MAX_PAYLOAD};
@@ -40,36 +43,36 @@ impl Heap {
 struct Inner {
     heaps: BTreeMap<HeapId, Heap>,
     next_heap: HeapId,
-    commits: u64,
-    record_reads: u64,
-    record_writes: u64,
 }
 
 /// Volatile store: everything is lost on drop. Useful for unit tests and
 /// for benchmarking engine logic without I/O noise.
 #[derive(Default)]
 pub struct MemStore {
-    inner: Mutex<Inner>,
+    inner: RwLock<Inner>,
+    commits: AtomicU64,
+    record_reads: AtomicU64,
+    record_writes: AtomicU64,
 }
 
 impl MemStore {
     /// Create an empty in-memory store.
     pub fn new() -> MemStore {
         MemStore {
-            inner: Mutex::new(Inner {
+            inner: RwLock::new(Inner {
                 heaps: BTreeMap::new(),
                 next_heap: 1,
-                commits: 0,
-                record_reads: 0,
-                record_writes: 0,
             }),
+            commits: AtomicU64::new(0),
+            record_reads: AtomicU64::new(0),
+            record_writes: AtomicU64::new(0),
         }
     }
 }
 
 impl Store for MemStore {
     fn create_heap(&self) -> Result<HeapId> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.write();
         let id = g.next_heap;
         g.next_heap += 1;
         g.heaps.insert(id, Heap::default());
@@ -78,7 +81,7 @@ impl Store for MemStore {
 
     fn drop_heap(&self, heap: HeapId) -> Result<()> {
         self.inner
-            .lock()
+            .write()
             .heaps
             .remove(&heap)
             .map(|_| ())
@@ -86,11 +89,11 @@ impl Store for MemStore {
     }
 
     fn has_heap(&self, heap: HeapId) -> bool {
-        self.inner.lock().heaps.contains_key(&heap)
+        self.inner.read().heaps.contains_key(&heap)
     }
 
     fn reserve(&self, heap: HeapId, _size_hint: usize) -> Result<RecordId> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.write();
         let h = g
             .heaps
             .get_mut(&heap)
@@ -101,7 +104,7 @@ impl Store for MemStore {
     }
 
     fn release(&self, heap: HeapId, rid: RecordId) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.write();
         let h = g
             .heaps
             .get_mut(&heap)
@@ -118,9 +121,9 @@ impl Store for MemStore {
     }
 
     fn read(&self, heap: HeapId, rid: RecordId) -> Result<Vec<u8>> {
-        let mut g = self.inner.lock();
-        g.record_reads += 1;
-        let g = &*g;
+        // Shared lock: concurrent readers never serialize each other.
+        self.record_reads.fetch_add(1, Ordering::Relaxed);
+        let g = self.inner.read();
         let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
         match h.records.get(&rid) {
             Some(Rec::Data(d)) => Ok(d.clone()),
@@ -133,7 +136,7 @@ impl Store for MemStore {
     }
 
     fn commit(&self, ops: Vec<StoreOp>) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.write();
         // Validate first so the batch is all-or-nothing even in memory.
         // Enforce the same record-size limit as the durable store so
         // programs behave identically on both.
@@ -156,7 +159,7 @@ impl Store for MemStore {
         for op in ops {
             match op {
                 StoreOp::Put { heap, rid, data } => {
-                    g.record_writes += 1;
+                    self.record_writes.fetch_add(1, Ordering::Relaxed);
                     let h = g.heaps.get_mut(&heap).expect("validated");
                     // Keep the id allocator ahead of replay-style puts.
                     let linear = (rid.page.saturating_sub(1)) as u64 * 64 + rid.slot as u64;
@@ -171,7 +174,7 @@ impl Store for MemStore {
                 }
             }
         }
-        g.commits += 1;
+        self.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -182,7 +185,7 @@ impl Store for MemStore {
     ) -> Result<()> {
         // Clone the record list so the callback may re-enter the store.
         let records: Vec<(RecordId, Vec<u8>)> = {
-            let g = self.inner.lock();
+            let g = self.inner.read();
             let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
             h.records
                 .iter()
@@ -205,19 +208,17 @@ impl Store for MemStore {
     }
 
     fn stats(&self) -> StoreStats {
-        let g = self.inner.lock();
         StoreStats {
-            commits: g.commits,
-            record_reads: g.record_reads,
-            record_writes: g.record_writes,
+            commits: self.commits.load(Ordering::Relaxed),
+            record_reads: self.record_reads.load(Ordering::Relaxed),
+            record_writes: self.record_writes.load(Ordering::Relaxed),
             ..StoreStats::default()
         }
     }
 
     fn reset_stats(&self) {
-        let mut g = self.inner.lock();
-        g.record_reads = 0;
-        g.record_writes = 0;
+        self.record_reads.store(0, Ordering::Relaxed);
+        self.record_writes.store(0, Ordering::Relaxed);
     }
 
     fn clear_cache(&self) -> Result<()> {

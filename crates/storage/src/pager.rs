@@ -1,22 +1,38 @@
-//! File-backed pager with an LRU buffer pool.
+//! File-backed pager with a lock-striped LRU buffer pool.
 //!
 //! The pager owns the data file and a bounded cache of decoded [`Page`]s.
 //! Pages are fetched on demand, verified against their checksum, and written
-//! back when dirty frames are evicted or on [`Pager::flush_all`]. Eviction is
-//! strict LRU, implemented with a tick-ordered map so both lookup and
-//! eviction are `O(log n)`.
+//! back when dirty frames are evicted or on [`Pager::flush_all`].
 //!
-//! The pager is deliberately *not* thread-safe: the store that owns it
-//! serializes access behind a single lock (the paper excludes concurrency
-//! concerns, §1), which also gives the WAL-before-data ordering a trivial
-//! proof.
+//! The pool is split into [`STRIPES`] shards, each guarded by its own mutex
+//! and holding its own strict-LRU eviction order. A page id maps to exactly
+//! one shard (`page_id % STRIPES`), and since every page belongs to exactly
+//! one heap this is equivalent to striping by `(heap, page)`: concurrent
+//! readers touching different pages almost never contend, while two readers
+//! of the *same* page serialize only on that page's shard. File I/O uses
+//! positioned reads/writes (`pread`/`pwrite`), so disk access needs no lock
+//! at all beyond the shard that owns the frame.
+//!
+//! The store that owns the pager still serializes *mutations* (allocation,
+//! heap surgery, commit apply) behind its own structural lock; the pager's
+//! internal synchronization is what lets pure readers bypass that lock
+//! entirely (DESIGN.md §8).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Number of buffer-pool shards. A small power of two: enough that eight
+/// reader threads on distinct pages collide rarely (expected collisions
+/// follow the birthday bound, ~2 for 8 threads over 16 stripes), small
+/// enough that per-shard LRU state stays cache-friendly.
+pub const STRIPES: usize = 16;
 
 /// Counters exposed for the buffer-pool characterization bench (figure F9).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -37,23 +53,52 @@ struct Frame {
     tick: u64,
 }
 
-/// A bounded cache of pages over a data file.
+/// One buffer-pool shard: a bounded frame cache with strict LRU eviction.
+#[derive(Default)]
+struct Shard {
+    frames: HashMap<PageId, Frame>,
+    /// LRU order: tick -> page id. Ticks are unique within the shard.
+    order: BTreeMap<u64, PageId>,
+    next_tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, pid: PageId) {
+        if let Some(frame) = self.frames.get_mut(&pid) {
+            self.order.remove(&frame.tick);
+            frame.tick = self.next_tick;
+            self.order.insert(self.next_tick, pid);
+            self.next_tick += 1;
+        }
+    }
+
+    fn insert(&mut self, pid: PageId, page: Page, dirty: bool) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.frames.insert(pid, Frame { page, dirty, tick });
+        self.order.insert(tick, pid);
+    }
+}
+
+/// A bounded, internally synchronized cache of pages over a data file.
+/// Every method takes `&self`; the pager is safe to share across threads.
 pub struct Pager {
     file: File,
     /// Number of pages currently in the file (page 0 is the meta page).
-    page_count: u32,
-    capacity: usize,
-    frames: HashMap<PageId, Frame>,
-    /// LRU order: tick -> page id. Ticks are unique.
-    order: BTreeMap<u64, PageId>,
-    next_tick: u64,
-    stats: PagerStats,
+    page_count: AtomicU32,
+    /// Maximum frames cached per shard.
+    shard_capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
 }
 
 impl Pager {
     /// Wrap an open data file. `capacity` is the maximum number of cached
-    /// pages (minimum 8). The file length must be a multiple of the page
-    /// size.
+    /// pages pool-wide (minimum 8), divided evenly among the shards. The
+    /// file length must be a multiple of the page size.
     pub fn new(file: File, capacity: usize) -> Result<Self> {
         let len = file
             .metadata()
@@ -64,165 +109,152 @@ impl Pager {
                 "data file length {len} is not a multiple of the page size"
             )));
         }
+        let capacity = capacity.max(8);
+        let shard_capacity = capacity.div_ceil(STRIPES).max(1);
         Ok(Pager {
             file,
-            page_count: (len / PAGE_SIZE as u64) as u32,
-            capacity: capacity.max(8),
-            frames: HashMap::new(),
-            order: BTreeMap::new(),
-            next_tick: 0,
-            stats: PagerStats::default(),
+            page_count: AtomicU32::new((len / PAGE_SIZE as u64) as u32),
+            shard_capacity,
+            shards: (0..STRIPES).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
         })
+    }
+
+    fn shard_of(&self, pid: PageId) -> &Mutex<Shard> {
+        &self.shards[pid as usize % STRIPES]
     }
 
     /// Number of pages in the file.
     pub fn page_count(&self) -> u32 {
-        self.page_count
+        self.page_count.load(Ordering::Acquire)
     }
 
     /// Buffer-pool counters.
     pub fn stats(&self) -> PagerStats {
-        self.stats
-    }
-
-    /// Reset the counters (benches measure deltas).
-    pub fn reset_stats(&mut self) {
-        self.stats = PagerStats::default();
-    }
-
-    fn touch(&mut self, pid: PageId) {
-        if let Some(frame) = self.frames.get_mut(&pid) {
-            self.order.remove(&frame.tick);
-            frame.tick = self.next_tick;
-            self.order.insert(self.next_tick, pid);
-            self.next_tick += 1;
+        PagerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
         }
     }
 
-    fn read_from_disk(&mut self, pid: PageId) -> Result<Page> {
-        if pid >= self.page_count {
+    /// Reset the counters (benches measure deltas).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    fn read_from_disk(&self, pid: PageId) -> Result<Page> {
+        let count = self.page_count();
+        if pid >= count {
             return Err(StorageError::Internal(format!(
-                "page {pid} beyond end of file ({} pages)",
-                self.page_count
+                "page {pid} beyond end of file ({count} pages)"
             )));
         }
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file
-            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
-            .map_err(|e| StorageError::io("seek to page", e))?;
-        self.file
-            .read_exact(&mut buf)
+            .read_exact_at(&mut buf, pid as u64 * PAGE_SIZE as u64)
             .map_err(|e| StorageError::io("read page", e))?;
         Page::from_bytes(&buf)
     }
 
-    fn write_to_disk(&mut self, pid: PageId, page: &Page) -> Result<()> {
+    fn write_to_disk(&self, pid: PageId, page: &Page) -> Result<()> {
         let bytes = page.to_bytes();
         self.file
-            .seek(SeekFrom::Start(pid as u64 * PAGE_SIZE as u64))
-            .map_err(|e| StorageError::io("seek to page", e))?;
-        self.file
-            .write_all(&bytes)
+            .write_all_at(&bytes, pid as u64 * PAGE_SIZE as u64)
             .map_err(|e| StorageError::io("write page", e))?;
         Ok(())
     }
 
-    fn evict_if_full(&mut self) -> Result<()> {
-        while self.frames.len() >= self.capacity {
-            let (&tick, &victim) = self
+    fn evict_if_full(&self, shard: &mut Shard) -> Result<()> {
+        while shard.frames.len() >= self.shard_capacity {
+            let (&tick, &victim) = shard
                 .order
                 .iter()
                 .next()
                 .expect("order map tracks every frame");
-            self.order.remove(&tick);
-            let frame = self.frames.remove(&victim).expect("frame exists");
-            self.stats.evictions += 1;
+            shard.order.remove(&tick);
+            let frame = shard.frames.remove(&victim).expect("frame exists");
+            self.evictions.fetch_add(1, Ordering::Relaxed);
             if frame.dirty {
-                self.stats.writebacks += 1;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
                 self.write_to_disk(victim, &frame.page)?;
             }
         }
         Ok(())
     }
 
-    fn load(&mut self, pid: PageId) -> Result<()> {
-        if self.frames.contains_key(&pid) {
-            self.stats.hits += 1;
-            self.touch(pid);
+    fn load(&self, shard: &mut Shard, pid: PageId) -> Result<()> {
+        if shard.frames.contains_key(&pid) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.touch(pid);
             return Ok(());
         }
-        self.stats.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let page = self.read_from_disk(pid)?;
-        self.evict_if_full()?;
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.frames.insert(
-            pid,
-            Frame {
-                page,
-                dirty: false,
-                tick,
-            },
-        );
-        self.order.insert(tick, pid);
+        self.evict_if_full(shard)?;
+        shard.insert(pid, page, false);
         Ok(())
     }
 
-    /// Run `f` with read access to the page.
-    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        self.load(pid)?;
-        Ok(f(&self.frames[&pid].page))
+    /// Run `f` with read access to the page. Only the page's shard is
+    /// locked; readers of other pages proceed in parallel.
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        let mut shard = self.shard_of(pid).lock();
+        self.load(&mut shard, pid)?;
+        Ok(f(&shard.frames[&pid].page))
     }
 
     /// Run `f` with write access to the page; the frame is marked dirty.
-    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        self.load(pid)?;
-        let frame = self.frames.get_mut(&pid).expect("just loaded");
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
+        let mut shard = self.shard_of(pid).lock();
+        self.load(&mut shard, pid)?;
+        let frame = shard.frames.get_mut(&pid).expect("just loaded");
         frame.dirty = true;
         Ok(f(&mut frame.page))
     }
 
-    /// Append a fresh page to the file and cache it dirty. Returns its id.
-    pub fn allocate(&mut self, page: Page) -> Result<PageId> {
-        let pid = self.page_count;
-        self.page_count += 1;
+    /// Append a fresh page to the file and cache it clean. Returns its id.
+    /// Callers serialize allocation behind the store's structural lock.
+    pub fn allocate(&self, page: Page) -> Result<PageId> {
+        let pid = self.page_count.fetch_add(1, Ordering::AcqRel);
         // Extend the file eagerly so page_count always matches file length
         // (recovery derives the page count from the length).
         self.write_to_disk(pid, &page)?;
-        self.evict_if_full()?;
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.frames.insert(
-            pid,
-            Frame {
-                page,
-                dirty: false,
-                tick,
-            },
-        );
-        self.order.insert(tick, pid);
+        let mut shard = self.shard_of(pid).lock();
+        self.evict_if_full(&mut shard)?;
+        shard.insert(pid, page, false);
         Ok(pid)
     }
 
     /// Write back every dirty frame (without dropping the cache).
-    pub fn flush_all(&mut self) -> Result<()> {
-        let dirty: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&pid, _)| pid)
-            .collect();
-        for pid in dirty {
-            let page = self.frames[&pid].page.clone();
-            self.write_to_disk(pid, &page)?;
-            self.frames.get_mut(&pid).expect("exists").dirty = false;
-            self.stats.writebacks += 1;
+    pub fn flush_all(&self) -> Result<()> {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dirty: Vec<PageId> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| f.dirty)
+                .map(|(&pid, _)| pid)
+                .collect();
+            for pid in dirty {
+                let page = shard.frames[&pid].page.clone();
+                self.write_to_disk(pid, &page)?;
+                shard.frames.get_mut(&pid).expect("exists").dirty = false;
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(())
     }
 
     /// Flush and fsync the data file.
-    pub fn sync(&mut self) -> Result<()> {
+    pub fn sync(&self) -> Result<()> {
         self.flush_all()?;
         self.file
             .sync_data()
@@ -231,10 +263,13 @@ impl Pager {
 
     /// Drop every cached frame (after flushing). Used by tests to force
     /// cold-cache behaviour.
-    pub fn clear_cache(&mut self) -> Result<()> {
+    pub fn clear_cache(&self) -> Result<()> {
         self.flush_all()?;
-        self.frames.clear();
-        self.order.clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.clear();
+            shard.order.clear();
+        }
         Ok(())
     }
 }
@@ -265,7 +300,7 @@ mod tests {
 
     #[test]
     fn allocate_and_read_back() {
-        let (mut pager, path) = temp_pager(16);
+        let (pager, path) = temp_pager(16);
         let mut p = Page::new(PageType::Heap, 3);
         let slot = p.insert(b"persist me").unwrap();
         let pid = pager.allocate(p).unwrap();
@@ -278,9 +313,9 @@ mod tests {
 
     #[test]
     fn eviction_respects_lru_and_persists_dirty_pages() {
-        let (mut pager, _path) = temp_pager(8);
+        let (pager, _path) = temp_pager(8);
         let mut pids = Vec::new();
-        for i in 0..20u32 {
+        for i in 0..40u32 {
             let mut p = Page::new(PageType::Heap, 1);
             p.insert(&i.to_le_bytes()).unwrap();
             pids.push(pager.allocate(p).unwrap());
@@ -297,7 +332,7 @@ mod tests {
 
     #[test]
     fn dirty_page_survives_eviction() {
-        let (mut pager, path) = temp_pager(8);
+        let (pager, path) = temp_pager(8);
         let mut first = None;
         for i in 0..10u32 {
             let p = Page::new(PageType::Heap, i);
@@ -312,8 +347,8 @@ mod tests {
                 p.insert(b"dirty data").unwrap();
             })
             .unwrap();
-        // Push enough pages through to evict `first`.
-        for i in 100..120u32 {
+        // Push enough pages through `first`'s shard to evict it.
+        for i in 100..164u32 {
             pager.allocate(Page::new(PageType::Heap, i)).unwrap();
         }
         let v = pager
@@ -325,7 +360,7 @@ mod tests {
 
     #[test]
     fn hit_miss_accounting() {
-        let (mut pager, path) = temp_pager(16);
+        let (pager, path) = temp_pager(16);
         let pid = pager.allocate(Page::new(PageType::Heap, 1)).unwrap();
         pager.reset_stats();
         pager.with_page(pid, |_| ()).unwrap();
@@ -339,14 +374,14 @@ mod tests {
 
     #[test]
     fn reading_past_eof_is_an_error() {
-        let (mut pager, path) = temp_pager(8);
+        let (pager, path) = temp_pager(8);
         assert!(pager.with_page(5, |_| ()).is_err());
         std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn flush_then_reopen_sees_data() {
-        let (mut pager, path) = temp_pager(8);
+        let (pager, path) = temp_pager(8);
         let mut p = Page::new(PageType::Heap, 9);
         let slot = p.insert(b"durable").unwrap();
         let pid = pager.allocate(p).unwrap();
@@ -363,11 +398,41 @@ mod tests {
             .write(true)
             .open(&path)
             .unwrap();
-        let mut pager2 = Pager::new(file, 8).unwrap();
+        let pager2 = Pager::new(file, 8).unwrap();
         let v = pager2
             .with_page(pid, |p| p.record(slot).unwrap().to_vec())
             .unwrap();
         assert_eq!(v, b"durable");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_on_distinct_pages() {
+        let (pager, path) = temp_pager(64);
+        let mut pids = Vec::new();
+        for i in 0..32u32 {
+            let mut p = Page::new(PageType::Heap, 1);
+            p.insert(&i.to_le_bytes()).unwrap();
+            pids.push(pager.allocate(p).unwrap());
+        }
+        let pager = std::sync::Arc::new(pager);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pager = std::sync::Arc::clone(&pager);
+            let pids = pids.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200 {
+                    let idx = (t * 7 + round * 3) % pids.len();
+                    let v = pager
+                        .with_page(pids[idx], |p| p.record(0).unwrap().to_vec())
+                        .unwrap();
+                    assert_eq!(v, (idx as u32).to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
         std::fs::remove_file(path).ok();
     }
 }

@@ -54,9 +54,12 @@ pub struct StoreStats {
 /// Abstract persistent store. Implementations: [`crate::FileStore`]
 /// (durable) and [`crate::MemStore`] (tests/benches without I/O).
 ///
-/// All methods take `&self`; implementations serialize internally. The
-/// paper explicitly leaves concurrency out of scope (§1), so a single
-/// store-wide lock is an acceptable and easily-audited policy.
+/// All methods take `&self`; implementations synchronize internally.
+/// Mutations (commit, reserve, heap DDL) serialize behind one structural
+/// lock per store, while `read` and `scan` run on a shared path — the
+/// lock-striped buffer pool in [`crate::FileStore`], a reader-writer lock
+/// in [`crate::MemStore`] — so concurrent readers never contend with each
+/// other (DESIGN.md §8).
 pub trait Store: Send + Sync {
     /// Create a new heap and return its id. Ids are assigned sequentially
     /// starting at 1, so a fresh store's first heap (the engine's catalog)
