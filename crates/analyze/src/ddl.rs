@@ -1,0 +1,247 @@
+//! Schema-level analysis, run at DDL time: constraint contradictions
+//! across a class and its superclasses (§5 constraint-based
+//! specialization), perpetual-trigger dependency cycles (§6), type
+//! checks over constraint and trigger expressions, and the §3.2
+//! fixpoint-safety check.
+
+use std::collections::{HashMap, HashSet};
+
+use ode_model::{ClassId, Schema, TriggerAction};
+
+use crate::infer::{self, Scope};
+use crate::{dedup, sat, Diagnostic, Severity, StmtKind, A002, A003, A005, A007, A009, A010};
+
+/// Analyze a just-defined class (and everything it inherits). Called by
+/// the engine after the definition has been applied to a scratch copy of
+/// the schema, so the class is fully linearized here but nothing has
+/// been committed to the catalog yet.
+pub fn analyze_class(schema: &Schema, class: ClassId) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Ok(def) = schema.class(class) else {
+        return diags;
+    };
+    let name = def.name.clone();
+
+    // §5 — constraints: each must type-check as a boolean over the
+    // class's members, and their conjunction must be satisfiable.
+    let Ok(constraints) = schema.all_constraints(class) else {
+        return diags;
+    };
+    for (_, cons) in &constraints {
+        let scope = Scope::for_this(class, false);
+        let ty = infer::infer(schema, &scope, &cons.src, &cons.expr, &mut diags);
+        if !ty.is_boolish() {
+            diags.push(Diagnostic::new(
+                A005,
+                Severity::Error,
+                format!(
+                    "constraint `{}` on class `{name}` has type {}, expected bool",
+                    cons.name,
+                    ty.describe(schema)
+                ),
+            ));
+        }
+    }
+    sat::check_constraints_satisfiable(&name, constraints.iter().map(|(_, c)| &c.expr), &mut diags);
+
+    // §6 — triggers: conditions are boolean predicates over the members
+    // (activation parameters allowed), actions assign type-correct
+    // values to real members.
+    let Ok(triggers) = schema.all_triggers(class) else {
+        return diags;
+    };
+    for (_, trig) in &triggers {
+        let scope = Scope::for_this(class, true);
+        let ty = infer::infer(
+            schema,
+            &scope,
+            &trig.condition_src,
+            &trig.condition,
+            &mut diags,
+        );
+        if !ty.is_boolish() {
+            diags.push(Diagnostic::new(
+                A005,
+                Severity::Error,
+                format!(
+                    "trigger `{}` on class `{name}` has a condition of type {}, expected bool",
+                    trig.name,
+                    ty.describe(schema)
+                ),
+            ));
+        }
+        for action in &trig.actions {
+            if let TriggerAction::Assign { field, src, expr } = action {
+                let value_ty = infer::infer(schema, &scope, src, expr, &mut diags);
+                match def.field(field) {
+                    Ok(layout) => {
+                        if !value_ty.assignable_to(schema, &layout.ty) {
+                            diags.push(Diagnostic::new(
+                                A007,
+                                Severity::Error,
+                                format!(
+                                    "trigger `{}` assigns a value of type {} to \
+                                     `{name}.{field}` ({})",
+                                    trig.name,
+                                    value_ty.describe(schema),
+                                    layout.ty.name()
+                                ),
+                            ));
+                        }
+                    }
+                    Err(_) => diags.push(Diagnostic::new(
+                        A002,
+                        Severity::Error,
+                        format!(
+                            "trigger `{}` assigns to `{field}`, which is not a \
+                             member of class `{name}`",
+                            trig.name
+                        ),
+                    )),
+                }
+            }
+        }
+    }
+    check_trigger_cycles(&name, &triggers, &mut diags);
+    // Methods are registered at runtime *after* the class is defined
+    // (registration needs the class to exist), so an unknown method in a
+    // constraint or trigger at DDL time is not evidence of an error —
+    // drop A003 here. Query analysis keeps it: by then the schema has
+    // settled and every method the program uses is registered.
+    diags.retain(|d| d.code != A003);
+    dedup(diags)
+}
+
+/// A009: perpetual triggers whose actions can re-arm each other.
+///
+/// Edge `T → U` when an action of `T` assigns a member that `U`'s
+/// condition reads: firing `T` re-evaluates `U`'s condition with a value
+/// `T` just changed. A cycle among *perpetual* triggers (including a
+/// self-loop) may never quiesce — once-only triggers fire at most once,
+/// so they break any cycle they are on and are excluded from the graph.
+///
+/// This is a warning, not an error: the read/write graph cannot see
+/// whether the condition eventually goes false (`n < 5` with `n = n + 1`
+/// is a self-loop that terminates), and the engine bounds runaway
+/// cascades at runtime anyway (the trigger cascade depth limit).
+fn check_trigger_cycles(
+    class: &str,
+    triggers: &[(&ode_model::ClassDef, &ode_model::TriggerDecl)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let perpetual: Vec<_> = triggers.iter().filter(|(_, t)| t.perpetual).collect();
+    if perpetual.is_empty() {
+        return;
+    }
+    let reads: Vec<HashSet<&str>> = perpetual
+        .iter()
+        .map(|(_, t)| t.condition.free_idents().into_iter().collect())
+        .collect();
+    let writes: Vec<HashSet<&str>> = perpetual
+        .iter()
+        .map(|(_, t)| {
+            t.actions
+                .iter()
+                .filter_map(|a| match a {
+                    TriggerAction::Assign { field, .. } => Some(field.as_str()),
+                    TriggerAction::Callback { .. } => None,
+                })
+                .collect()
+        })
+        .collect();
+    let n = perpetual.len();
+    let edges: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| writes[i].iter().any(|f| reads[j].contains(f)))
+                .collect()
+        })
+        .collect();
+    // Iterative DFS with colors; report the first cycle found.
+    let mut color: HashMap<usize, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    for start in 0..n {
+        if color.contains_key(&start) {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color.insert(start, 1);
+        let mut path = vec![start];
+        while let Some((node, next)) = stack.pop() {
+            if next < edges[node].len() {
+                stack.push((node, next + 1));
+                let to = edges[node][next];
+                match color.get(&to) {
+                    Some(1) => {
+                        let names: Vec<&str> = path
+                            .iter()
+                            .skip_while(|&&p| p != to)
+                            .map(|&p| perpetual[p].1.name.as_str())
+                            .chain(std::iter::once(perpetual[to].1.name.as_str()))
+                            .collect();
+                        diags.push(Diagnostic::new(
+                            A009,
+                            Severity::Warning,
+                            format!(
+                                "perpetual trigger cycle on class `{class}`: \
+                                 {} — each firing re-arms the next; the \
+                                 cascade may not quiesce (bounded only by \
+                                 the runtime cascade limit)",
+                                names.join(" -> ")
+                            ),
+                        ));
+                        return;
+                    }
+                    Some(_) => {}
+                    None => {
+                        color.insert(to, 1);
+                        path.push(to);
+                        stack.push((to, 0));
+                    }
+                }
+            } else {
+                color.insert(node, 2);
+                if path.last() == Some(&node) {
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// A010 — §3.2 fixpoint safety: the body of a recursive `forall` may
+/// only *add* to the cluster being iterated. A body that deletes from
+/// the iterated hierarchy could remove objects the fixpoint has not yet
+/// visited, so its termination and coverage guarantees evaporate.
+pub fn check_fixpoint_body(
+    schema: &Schema,
+    iterated: &str,
+    body: &StmtKind<'_>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Ok(iter_id) = schema.id_of(iterated) else {
+        return diags;
+    };
+    if let StmtKind::Delete { bindings, .. } = body {
+        for (_, class, _) in bindings.iter() {
+            let Ok(target) = schema.id_of(class) else {
+                continue;
+            };
+            let overlaps = schema
+                .classes()
+                .iter()
+                .any(|d| schema.is_subclass(d.id, iter_id) && schema.is_subclass(d.id, target));
+            if overlaps {
+                diags.push(Diagnostic::new(
+                    A010,
+                    Severity::Error,
+                    format!(
+                        "fixpoint body deletes from `{class}`, which is inside \
+                         the iterated `{iterated}` hierarchy; a recursive \
+                         forall body may only add objects (§3.2)"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,493 @@
+//! Static semantic analysis for O++ statements and schemas.
+//!
+//! The paper's O++ is a *compiled* language: unknown members, type
+//! mismatches, and ill-formed constraints are rejected by the compiler,
+//! never discovered halfway through a `forall` that has already visited
+//! thousands of objects. This crate restores that front-end: a
+//! catalog-aware checker that runs on every parsed statement *before* a
+//! write transaction is opened or a snapshot is taken (§2 classes, §3.1
+//! `suchthat`/`by` typing, §3.2 fixpoint safety, §5 constraints, §6
+//! triggers).
+//!
+//! The crate deliberately depends only on `ode-model`: the engine
+//! (`ode-core`) parses its statement forms, lowers them to the
+//! plain-data [`StmtKind`] IR here, and supplies catalog facts (which
+//! `(class, field)` pairs are indexed) as a [`CatalogView`]. That keeps
+//! the dependency arrow pointing the same way as the rest of the stack
+//! (model ← analyze ← core ← shell/server).
+//!
+//! Three families of passes, each producing [`Diagnostic`]s with stable
+//! codes (see DESIGN.md §9 for the full table):
+//!
+//! * **statement analysis** ([`analyze_stmt`]) — name/type resolution of
+//!   every member access, method call, and loop variable; per-binding
+//!   checks for multi-variable joins; lints for provably unsatisfiable
+//!   `suchthat` ranges, non-orderable `by` keys, unindexed equality
+//!   predicates, and `is`-tests outside the cluster hierarchy.
+//! * **schema analysis** ([`analyze_class`]) — at DDL time: constraint
+//!   contradictions across a class and its superclasses (§5
+//!   constraint-based specialization), perpetual-trigger dependency
+//!   cycles (§6), and type checks over constraint/trigger expressions.
+//! * **fixpoint safety** ([`check_fixpoint_body`]) — a §3.2 recursive
+//!   `forall` body may only *add* to the iterated cluster; a body that
+//!   deletes from it is rejected.
+
+mod ddl;
+mod infer;
+mod sat;
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ode_model::{ClassId, Expr, Schema};
+
+pub use ddl::{analyze_class, check_fixpoint_body};
+
+// ------------------------------------------------------------ diagnostics
+
+/// Where in the statement source a diagnostic points (byte offsets).
+///
+/// Spans are best-effort: the expression AST carries no positions, so
+/// the analyzer locates the offending token by searching the statement
+/// text. A span is omitted when the token cannot be found verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// Diagnostic severity. Errors abort the statement before any
+/// transaction work; warnings are advisory and never block execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory: the statement runs, but is probably not what was meant.
+    Warning,
+    /// The statement is rejected before a transaction is opened.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One analyzer finding: a stable code, severity, message, and an
+/// optional span into the statement source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`A001` …). Codes never change meaning; tools may
+    /// match on them.
+    pub code: &'static str,
+    /// Error (blocks execution) or warning (advisory).
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Best-effort location in the statement source.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(code: &'static str, severity: Severity, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message,
+            span: None,
+        }
+    }
+
+    /// A001 for a class the schema does not know — the engine uses this
+    /// for `create cluster`-style statements it classifies itself.
+    pub fn unknown_class(class: &str, src: &str) -> Diagnostic {
+        Diagnostic::new(A001, Severity::Error, format!("unknown class `{class}`"))
+            .locate(src, class)
+    }
+
+    /// A000 for a statement the engine could not parse at all — used by
+    /// batch lint (`.check`), where a parse failure must still be a
+    /// coded, per-statement finding rather than aborting the whole file.
+    pub fn parse_failure(message: String) -> Diagnostic {
+        Diagnostic::new(A000, Severity::Error, message)
+    }
+
+    /// A002 for a member the class does not declare.
+    pub fn unknown_member(class: &str, member: &str, src: &str) -> Diagnostic {
+        Diagnostic::new(
+            A002,
+            Severity::Error,
+            format!("class `{class}` has no member `{member}`"),
+        )
+        .locate(src, member)
+    }
+
+    /// Attach a span by locating `token` in `src` (first occurrence).
+    pub(crate) fn locate(mut self, src: &str, token: &str) -> Diagnostic {
+        if !token.is_empty() {
+            if let Some(offset) = src.find(token) {
+                self.span = Some(Span {
+                    offset,
+                    len: token.len(),
+                });
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " (at byte {})", span.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// Do any of the diagnostics carry [`Severity::Error`]?
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+// Stable diagnostic codes. `A0xx` are errors, `A1xx` are warnings —
+// except A009 (trigger cycle), which is advisory because the read/write
+// graph cannot prove non-termination and the engine bounds cascades at
+// runtime.
+pub(crate) const A000: &str = "A000"; // statement does not parse
+pub(crate) const A001: &str = "A001"; // unknown class
+pub(crate) const A002: &str = "A002"; // unknown member
+pub(crate) const A003: &str = "A003"; // unknown method
+pub(crate) const A004: &str = "A004"; // unresolved variable
+pub(crate) const A005: &str = "A005"; // type mismatch
+pub(crate) const A006: &str = "A006"; // `by` key not totally ordered
+pub(crate) const A007: &str = "A007"; // DML assignment type mismatch
+pub(crate) const A008: &str = "A008"; // contradictory constraints (DDL)
+pub(crate) const A009: &str = "A009"; // perpetual trigger cycle (DDL, warning)
+pub(crate) const A010: &str = "A010"; // fixpoint body deletes from cluster
+pub(crate) const A101: &str = "A101"; // suchthat provably unsatisfiable
+pub(crate) const A102: &str = "A102"; // unindexed equality predicate
+pub(crate) const A103: &str = "A103"; // is-test outside the hierarchy
+
+// ------------------------------------------------------------ inputs
+
+/// Catalog facts the analyzer cannot learn from the [`Schema`] alone.
+/// Built by the engine from its live catalog under the schema lock.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogView {
+    /// `(class, field)` pairs backed by a B-tree index — the basis for
+    /// the unindexed-predicate lint (A102, cross-referenced in
+    /// `explain`'s plan strategy).
+    pub indexed: HashSet<(ClassId, String)>,
+}
+
+impl CatalogView {
+    fn is_indexed(&self, class: ClassId, field: &str) -> bool {
+        self.indexed.contains(&(class, field.to_string()))
+    }
+}
+
+/// The analyzer's statement IR: a borrowed, plain-data view of a parsed
+/// statement. The engine lowers its own parse trees into this shape.
+#[derive(Debug)]
+pub enum StmtKind<'a> {
+    /// `forall v in cluster [only] (, w in cluster2 …) suchthat (…) by (…)`
+    /// — also the payload of `explain`.
+    Query {
+        /// `(variable, class, only)` per binding, join order preserved.
+        bindings: &'a [(String, String, bool)],
+        /// The `suchthat` predicate, if any.
+        suchthat: Option<&'a Expr>,
+        /// The `by` ordering key and descending flag, if any.
+        by: Option<(&'a Expr, bool)>,
+    },
+    /// `pnew class (field = expr, …)`.
+    Pnew {
+        /// Target class.
+        class: &'a str,
+        /// Field initializers.
+        inits: &'a [(String, Expr)],
+    },
+    /// `update v in cluster suchthat (…) set field = expr, …`.
+    Update {
+        /// `(variable, class, only)` bindings.
+        bindings: &'a [(String, String, bool)],
+        /// The `suchthat` predicate, if any.
+        suchthat: Option<&'a Expr>,
+        /// `set` assignments.
+        assigns: &'a [(String, Expr)],
+    },
+    /// `delete v in cluster suchthat (…)`.
+    Delete {
+        /// `(variable, class, only)` bindings.
+        bindings: &'a [(String, String, bool)],
+        /// The `suchthat` predicate, if any.
+        suchthat: Option<&'a Expr>,
+    },
+}
+
+// ------------------------------------------------------------ statements
+
+/// Analyze one statement against the schema and catalog. `src` is the
+/// statement's source text (used only for spans); `catalog` enables the
+/// index-awareness lints when present.
+pub fn analyze_stmt(
+    schema: &Schema,
+    catalog: Option<&CatalogView>,
+    src: &str,
+    stmt: &StmtKind<'_>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match stmt {
+        StmtKind::Query {
+            bindings,
+            suchthat,
+            by,
+        } => {
+            analyze_query(
+                schema, catalog, src, bindings, *suchthat, *by, &mut diags, true,
+            );
+        }
+        StmtKind::Pnew { class, inits } => {
+            analyze_pnew(schema, src, class, inits, &mut diags);
+        }
+        StmtKind::Update {
+            bindings,
+            suchthat,
+            assigns,
+        } => {
+            analyze_query(
+                schema, catalog, src, bindings, *suchthat, None, &mut diags, false,
+            );
+            if let Some(scope) = infer::Scope::for_bindings(schema, bindings) {
+                for (field, expr) in assigns.iter() {
+                    check_assignment(schema, src, &scope, bindings, field, expr, &mut diags);
+                }
+            }
+        }
+        StmtKind::Delete {
+            bindings, suchthat, ..
+        } => {
+            analyze_query(
+                schema, catalog, src, bindings, *suchthat, None, &mut diags, false,
+            );
+        }
+    }
+    dedup(diags)
+}
+
+/// Shared analysis for the query-shaped statements (`forall`, `update`,
+/// `delete`): binding resolution, predicate typing, satisfiability,
+/// `by`-key orderability, and the unindexed-predicate lint.
+#[allow(clippy::too_many_arguments)]
+fn analyze_query(
+    schema: &Schema,
+    catalog: Option<&CatalogView>,
+    src: &str,
+    bindings: &[(String, String, bool)],
+    suchthat: Option<&Expr>,
+    by: Option<(&Expr, bool)>,
+    diags: &mut Vec<Diagnostic>,
+    lint_index: bool,
+) {
+    for (_, class, _) in bindings {
+        if schema.class_by_name(class).is_err() {
+            diags.push(
+                Diagnostic::new(A001, Severity::Error, format!("unknown class `{class}`"))
+                    .locate(src, class),
+            );
+        }
+    }
+    // Name/type resolution needs every binding resolved; bail out of the
+    // deeper passes when a class is unknown rather than cascade.
+    let Some(scope) = infer::Scope::for_bindings(schema, bindings) else {
+        return;
+    };
+    if let Some(pred) = suchthat {
+        let ty = infer::infer(schema, &scope, src, pred, diags);
+        if !ty.is_boolish() {
+            diags.push(Diagnostic::new(
+                A005,
+                Severity::Error,
+                format!(
+                    "suchthat predicate has type {}, expected bool",
+                    ty.describe(schema)
+                ),
+            ));
+        }
+        sat::check_satisfiable(src, pred, diags);
+        if lint_index {
+            if let Some(cat) = catalog {
+                lint_unindexed(schema, cat, src, bindings, pred, diags);
+            }
+        }
+    }
+    if let Some((key, _)) = by {
+        let ty = infer::infer(schema, &scope, src, key, diags);
+        if !ty.is_orderable() {
+            diags.push(Diagnostic::new(
+                A006,
+                Severity::Error,
+                format!(
+                    "`by` key has type {}, which is not totally ordered \
+                     (only numbers and strings sort)",
+                    ty.describe(schema)
+                ),
+            ));
+        }
+    }
+}
+
+fn analyze_pnew(
+    schema: &Schema,
+    src: &str,
+    class: &str,
+    inits: &[(String, Expr)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Ok(def) = schema.class_by_name(class) else {
+        diags.push(
+            Diagnostic::new(A001, Severity::Error, format!("unknown class `{class}`"))
+                .locate(src, class),
+        );
+        return;
+    };
+    // Initializers evaluate with no object in scope: bare identifiers
+    // would be unresolved at run time, so only literal-ish expressions
+    // and parameters of already-checked shape appear here.
+    let scope = infer::Scope::free(schema);
+    for (field, expr) in inits {
+        let value_ty = infer::infer(schema, &scope, src, expr, diags);
+        match def.field(field) {
+            Ok(layout) => {
+                if !value_ty.assignable_to(schema, &layout.ty) {
+                    diags.push(
+                        Diagnostic::new(
+                            A007,
+                            Severity::Error,
+                            format!(
+                                "cannot initialize `{class}.{field}` ({}) with a value of type {}",
+                                layout.ty.name(),
+                                value_ty.describe(schema)
+                            ),
+                        )
+                        .locate(src, field),
+                    );
+                }
+            }
+            Err(_) => diags.push(
+                Diagnostic::new(
+                    A002,
+                    Severity::Error,
+                    format!("class `{class}` has no member `{field}`"),
+                )
+                .locate(src, field),
+            ),
+        }
+    }
+}
+
+/// Check one `set field = expr` assignment of an `update` statement.
+fn check_assignment(
+    schema: &Schema,
+    src: &str,
+    scope: &infer::Scope<'_>,
+    bindings: &[(String, String, bool)],
+    field: &str,
+    expr: &Expr,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (_, class, _) = &bindings[0];
+    let Ok(def) = schema.class_by_name(class) else {
+        return;
+    };
+    let value_ty = infer::infer(schema, scope, src, expr, diags);
+    match def.field(field) {
+        Ok(layout) => {
+            if !value_ty.assignable_to(schema, &layout.ty) {
+                diags.push(
+                    Diagnostic::new(
+                        A007,
+                        Severity::Error,
+                        format!(
+                            "cannot assign a value of type {} to `{class}.{field}` ({})",
+                            value_ty.describe(schema),
+                            layout.ty.name()
+                        ),
+                    )
+                    .locate(src, field),
+                );
+            }
+        }
+        Err(_) => diags.push(
+            Diagnostic::new(
+                A002,
+                Severity::Error,
+                format!("class `{class}` has no member `{field}`"),
+            )
+            .locate(src, field),
+        ),
+    }
+}
+
+/// A102: an equality conjunct on a member of a single-binding query
+/// where no mentioned member is indexed — the query will scan the
+/// extent. Cross-referenced with `explain`'s plan strategy, which would
+/// show `deep extent scan` for the same statement.
+fn lint_unindexed(
+    schema: &Schema,
+    catalog: &CatalogView,
+    src: &str,
+    bindings: &[(String, String, bool)],
+    pred: &Expr,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if bindings.len() != 1 {
+        return; // join planning has its own cost model
+    }
+    let (var, class, _) = &bindings[0];
+    let Ok(def) = schema.class_by_name(class) else {
+        return;
+    };
+    let eq_members = sat::equality_members(pred, var, def);
+    if eq_members.is_empty() {
+        return;
+    }
+    if eq_members
+        .iter()
+        .any(|f| catalog.is_indexed(def.id, f.as_str()))
+    {
+        return;
+    }
+    let field = &eq_members[0];
+    diags.push(
+        Diagnostic::new(
+            A102,
+            Severity::Warning,
+            format!(
+                "equality on `{class}.{field}` has no index; the query will \
+                 scan the extent (`explain` shows the plan, `create index \
+                 {class} {field}` would probe)"
+            ),
+        )
+        .locate(src, field),
+    );
+}
+
+/// Drop exact-duplicate diagnostics (the same unresolved name reported
+/// from several sub-expressions reads as noise).
+pub(crate) fn dedup(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut seen = HashSet::new();
+    diags
+        .into_iter()
+        .filter(|d| seen.insert((d.code, d.message.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,472 @@
+use ode_model::{parse_expr, ClassBuilder, Schema, Type};
+
+use super::*;
+
+fn fixture() -> Schema {
+    let mut s = Schema::new();
+    s.define(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 0i64)
+            .field_default("on_order", Type::Int, 0i64)
+            .field_default("price", Type::Float, 1.0f64)
+            .field("supplies", Type::Set(Box::new(Type::Str)))
+            .constraint("quantity >= 0"),
+    )
+    .unwrap();
+    s.define(
+        ClassBuilder::new("person")
+            .field("name", Type::Str)
+            .field_default("age", Type::Int, 0i64)
+            .field("friend", Type::Ref("person".into())),
+    )
+    .unwrap();
+    s.define(
+        ClassBuilder::new("student")
+            .base("person")
+            .field_default("gpa", Type::Float, 0.0f64),
+    )
+    .unwrap();
+    s.define(ClassBuilder::new("building").field("floors", Type::Int))
+        .unwrap();
+    s
+}
+
+fn bindings(pairs: &[(&str, &str)]) -> Vec<(String, String, bool)> {
+    pairs
+        .iter()
+        .map(|(v, c)| (v.to_string(), c.to_string(), false))
+        .collect()
+}
+
+fn check_query(schema: &Schema, binds: &[(&str, &str)], suchthat: &str) -> Vec<Diagnostic> {
+    let b = bindings(binds);
+    let pred = parse_expr(suchthat).unwrap();
+    analyze_stmt(
+        schema,
+        None,
+        suchthat,
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: Some(&pred),
+            by: None,
+        },
+    )
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn clean_queries_produce_no_diagnostics() {
+    let s = fixture();
+    for pred in [
+        "quantity > 10 && price < 3.5",
+        "name == \"dram\"",
+        "\"dram\" in supplies",
+        "quantity + on_order >= 100",
+        "friend.age > 21",
+        "p is student",
+    ] {
+        let binds = if pred.contains("friend") || pred.contains("is student") {
+            vec![("p", "person")]
+        } else {
+            vec![("s", "stockitem")]
+        };
+        let diags = check_query(&s, &binds, pred);
+        assert!(diags.is_empty(), "{pred}: {diags:?}");
+    }
+}
+
+#[test]
+fn unknown_class_is_a001() {
+    let s = fixture();
+    let b = bindings(&[("x", "nowhere")]);
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "forall x in nowhere",
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: None,
+            by: None,
+        },
+    );
+    assert_eq!(codes(&diags), vec![A001]);
+    assert!(diags[0].message.contains("unknown class"), "{diags:?}");
+}
+
+#[test]
+fn unknown_member_is_a002_with_span() {
+    let s = fixture();
+    let diags = check_query(&s, &[("s", "stockitem")], "ghost > 1");
+    assert_eq!(codes(&diags), vec![A002]);
+    assert_eq!(diags[0].span, Some(Span { offset: 0, len: 5 }));
+}
+
+#[test]
+fn unknown_member_through_path_is_a002() {
+    let s = fixture();
+    let diags = check_query(&s, &[("p", "person")], "p.salary > 10");
+    assert_eq!(codes(&diags), vec![A002]);
+    let diags = check_query(&s, &[("p", "person")], "friend.salary > 10");
+    assert_eq!(codes(&diags), vec![A002]);
+}
+
+#[test]
+fn unknown_method_is_a003() {
+    let s = fixture();
+    let diags = check_query(&s, &[("p", "person")], "p.income() > 10");
+    assert_eq!(codes(&diags), vec![A003]);
+}
+
+#[test]
+fn registered_method_resolves_even_on_a_subclass() {
+    let mut s = fixture();
+    let student = s.id_of("student").unwrap();
+    s.register_method(student, "income", |_, _| Ok(0i64.into()));
+    // Static class `person`, method on `student`: deep iteration may
+    // legitimately reach students, so this must not be rejected.
+    let diags = check_query(&s, &[("p", "person")], "p.income() > 10");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn bare_ident_in_join_is_a004() {
+    let s = fixture();
+    let diags = check_query(
+        &s,
+        &[("p", "person"), ("q", "person")],
+        "age > 10 && p.name == q.name",
+    );
+    assert_eq!(codes(&diags), vec![A004]);
+}
+
+#[test]
+fn join_members_resolve_per_binding() {
+    let s = fixture();
+    let diags = check_query(
+        &s,
+        &[("p", "person"), ("s", "stockitem")],
+        "p.name == s.name && s.quantity > p.age",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn activation_param_in_query_is_a004() {
+    let s = fixture();
+    let diags = check_query(&s, &[("s", "stockitem")], "quantity < $threshold");
+    assert_eq!(codes(&diags), vec![A004]);
+}
+
+#[test]
+fn type_mismatches_are_a005() {
+    let s = fixture();
+    for pred in [
+        "name > 3",         // string ordered against int
+        "name == 3",        // disjoint equality
+        "quantity && true", // int as bool operand
+        "quantity + name == 0",
+        "name in quantity", // membership in a non-collection
+    ] {
+        let diags = check_query(&s, &[("s", "stockitem")], pred);
+        assert!(
+            codes(&diags).contains(&A005),
+            "{pred} should be A005, got {diags:?}"
+        );
+    }
+    // A non-boolean suchthat is also a type error.
+    let diags = check_query(&s, &[("s", "stockitem")], "quantity + 1");
+    assert_eq!(codes(&diags), vec![A005]);
+}
+
+#[test]
+fn unordered_by_key_is_a006() {
+    let s = fixture();
+    let b = bindings(&[("s", "stockitem")]);
+    let key = parse_expr("supplies").unwrap();
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "forall s in stockitem by (supplies)",
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: None,
+            by: Some((&key, false)),
+        },
+    );
+    assert_eq!(codes(&diags), vec![A006]);
+    // Numeric and string keys are fine.
+    for good in ["quantity", "name", "price + 1.0"] {
+        let key = parse_expr(good).unwrap();
+        let diags = analyze_stmt(
+            &s,
+            None,
+            good,
+            &StmtKind::Query {
+                bindings: &b,
+                suchthat: None,
+                by: Some((&key, true)),
+            },
+        );
+        assert!(diags.is_empty(), "{good}: {diags:?}");
+    }
+}
+
+#[test]
+fn pnew_checks_members_and_types() {
+    let s = fixture();
+    let inits = vec![("ghost".to_string(), parse_expr("1").unwrap())];
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "pnew stockitem (ghost = 1)",
+        &StmtKind::Pnew {
+            class: "stockitem",
+            inits: &inits,
+        },
+    );
+    assert_eq!(codes(&diags), vec![A002]);
+
+    let inits = vec![("quantity".to_string(), parse_expr("\"many\"").unwrap())];
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "pnew stockitem (quantity = \"many\")",
+        &StmtKind::Pnew {
+            class: "stockitem",
+            inits: &inits,
+        },
+    );
+    assert_eq!(codes(&diags), vec![A007]);
+
+    // Int into a double field coerces, as in C++.
+    let inits = vec![("price".to_string(), parse_expr("3").unwrap())];
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "pnew stockitem (price = 3)",
+        &StmtKind::Pnew {
+            class: "stockitem",
+            inits: &inits,
+        },
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn update_checks_assignments() {
+    let s = fixture();
+    let b = bindings(&[("s", "stockitem")]);
+    let assigns = vec![("quantity".to_string(), parse_expr("name").unwrap())];
+    let diags = analyze_stmt(
+        &s,
+        None,
+        "update s in stockitem set quantity = name",
+        &StmtKind::Update {
+            bindings: &b,
+            suchthat: None,
+            assigns: &assigns,
+        },
+    );
+    assert_eq!(codes(&diags), vec![A007]);
+}
+
+#[test]
+fn unsatisfiable_suchthat_is_a101() {
+    let s = fixture();
+    for pred in [
+        "quantity < 10 && quantity > 20",
+        "quantity == 1 && quantity == 2",
+        "quantity == 5 && quantity != 5",
+        "quantity >= 10 && quantity < 10",
+        "name == \"a\" && name == \"b\"",
+    ] {
+        let diags = check_query(&s, &[("s", "stockitem")], pred);
+        assert_eq!(codes(&diags), vec![A101], "{pred}: {diags:?}");
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+    // Satisfiable ranges stay silent.
+    for pred in [
+        "quantity > 10 && quantity < 20",
+        "quantity >= 10 && quantity <= 10",
+        "quantity != 5 && quantity != 6",
+    ] {
+        let diags = check_query(&s, &[("s", "stockitem")], pred);
+        assert!(diags.is_empty(), "{pred}: {diags:?}");
+    }
+}
+
+#[test]
+fn unindexed_equality_is_a102_only_without_an_index() {
+    let s = fixture();
+    let b = bindings(&[("s", "stockitem")]);
+    let pred = parse_expr("quantity == 7").unwrap();
+    let stmt = StmtKind::Query {
+        bindings: &b,
+        suchthat: Some(&pred),
+        by: None,
+    };
+    let empty = CatalogView::default();
+    let diags = analyze_stmt(&s, Some(&empty), "quantity == 7", &stmt);
+    assert_eq!(codes(&diags), vec![A102]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+
+    let mut indexed = CatalogView::default();
+    indexed
+        .indexed
+        .insert((s.id_of("stockitem").unwrap(), "quantity".to_string()));
+    let diags = analyze_stmt(&s, Some(&indexed), "quantity == 7", &stmt);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // Without a catalog (pure schema checking) the lint is off.
+    let diags = analyze_stmt(&s, None, "quantity == 7", &stmt);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn is_test_outside_the_hierarchy_is_a103() {
+    let s = fixture();
+    let diags = check_query(&s, &[("p", "person")], "p is building");
+    assert_eq!(codes(&diags), vec![A103]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+    // Unknown class in an `is` test is a hard error.
+    let diags = check_query(&s, &[("p", "person")], "p is nowhere");
+    assert_eq!(codes(&diags), vec![A001]);
+}
+
+#[test]
+fn contradictory_constraints_are_a008() {
+    let mut s = fixture();
+    let id = s
+        .define(
+            ClassBuilder::new("scarce")
+                .base("stockitem")
+                .constraint("quantity < 0"), // fights inherited quantity >= 0
+        )
+        .unwrap();
+    let diags = analyze_class(&s, id);
+    assert_eq!(codes(&diags), vec![A008]);
+    assert_eq!(diags[0].severity, Severity::Error);
+
+    // The base class alone is consistent.
+    let base = s.id_of("stockitem").unwrap();
+    assert!(analyze_class(&s, base).is_empty());
+}
+
+#[test]
+fn perpetual_trigger_cycle_is_a009() {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("acct")
+                .field_default("a", Type::Int, 0i64)
+                .field_default("b", Type::Int, 0i64)
+                .trigger("ping", &[], true, "a > 0")
+                .action_assign("b", "b + 1")
+                .trigger("pong", &[], true, "b > 0")
+                .action_assign("a", "a + 1"),
+        )
+        .unwrap();
+    let diags = analyze_class(&s, id);
+    assert_eq!(codes(&diags), vec![A009]);
+    assert!(diags[0].message.contains("ping"), "{diags:?}");
+}
+
+#[test]
+fn once_triggers_do_not_cycle() {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("acct")
+                .field_default("a", Type::Int, 0i64)
+                .field_default("b", Type::Int, 0i64)
+                // Same dependency shape as above, but once-only triggers
+                // fire at most once each: no unbounded cascade.
+                .trigger("ping", &[], false, "a > 0")
+                .action_assign("b", "b + 1")
+                .trigger("pong", &[], false, "b > 0")
+                .action_assign("a", "a + 1"),
+        )
+        .unwrap();
+    assert!(analyze_class(&s, id).is_empty());
+}
+
+#[test]
+fn reorder_style_trigger_is_not_a_cycle() {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("stockitem")
+                .field_default("quantity", Type::Int, 0i64)
+                .field_default("on_order", Type::Int, 0i64)
+                // The paper's reorder trigger: reads quantity, writes
+                // on_order. No edge back to itself.
+                .trigger("reorder", &["n"], true, "quantity < $n")
+                .action_assign("on_order", "on_order + 10"),
+        )
+        .unwrap();
+    assert!(analyze_class(&s, id).is_empty());
+}
+
+#[test]
+fn trigger_condition_type_errors_are_a005() {
+    let mut s = Schema::new();
+    let id = s
+        .define(ClassBuilder::new("doc").field("title", Type::Str).trigger(
+            "bad",
+            &[],
+            false,
+            "title + 1 > 0",
+        ))
+        .unwrap();
+    assert!(codes(&analyze_class(&s, id)).contains(&A005));
+}
+
+#[test]
+fn fixpoint_body_may_add_but_not_delete() {
+    let s = fixture();
+    let b = bindings(&[("p", "person")]);
+    let del = StmtKind::Delete {
+        bindings: &b,
+        suchthat: None,
+    };
+    let diags = check_fixpoint_body(&s, "person", &del);
+    assert_eq!(codes(&diags), vec![A010]);
+    // Deleting students still shrinks the deep person extent.
+    let bs = bindings(&[("x", "student")]);
+    let del = StmtKind::Delete {
+        bindings: &bs,
+        suchthat: None,
+    };
+    assert_eq!(codes(&check_fixpoint_body(&s, "person", &del)), vec![A010]);
+    // Deleting from an unrelated cluster is fine, as is inserting.
+    let bb = bindings(&[("x", "building")]);
+    let del = StmtKind::Delete {
+        bindings: &bb,
+        suchthat: None,
+    };
+    assert!(check_fixpoint_body(&s, "person", &del).is_empty());
+    let inits: Vec<(String, Expr)> = Vec::new();
+    let add = StmtKind::Pnew {
+        class: "person",
+        inits: &inits,
+    };
+    assert!(check_fixpoint_body(&s, "person", &add).is_empty());
+}
+
+#[test]
+fn diagnostics_render_with_code_and_severity() {
+    let d = Diagnostic::new(A002, Severity::Error, "class `x` has no member `y`".into());
+    assert_eq!(d.to_string(), "error[A002]: class `x` has no member `y`");
+    let d = d.locate("forall s in x suchthat (y > 1)", "y");
+    assert!(d.to_string().ends_with("(at byte 24)"), "{d}");
+    assert!(has_errors(&[d]));
+    assert!(!has_errors(&[Diagnostic::new(
+        A102,
+        Severity::Warning,
+        String::new()
+    )]));
+}

@@ -1,0 +1,213 @@
+//! Bridge between the engine and the `ode-analyze` front-end (DESIGN.md
+//! §9): statement classification, catalog extraction, and the analysis
+//! gate that `Transaction::execute`/`ReadTransaction::execute` run
+//! before touching any data.
+//!
+//! O++ is a compiled language: the paper's compiler rejects unknown
+//! members, type mismatches, and ill-formed constraints before a program
+//! runs. This module restores that boundary for the statement surface —
+//! every statement class (DDL, DML, `forall`, `explain`) is analyzed
+//! against the live schema and catalog *before* a write transaction is
+//! opened or a snapshot is taken, so a bad statement costs no gate
+//! acquisition, no iteration, and no rollback.
+
+use std::time::Instant;
+
+use ode_analyze::{analyze_class, analyze_stmt, has_errors, CatalogView, Diagnostic, StmtKind};
+
+use crate::database::Database;
+use crate::error::{OdeError, Result};
+use crate::oql::{parse_delete, parse_pnew, parse_query, parse_update};
+
+impl Database {
+    /// Run static analysis on one statement without executing anything.
+    ///
+    /// Returns every diagnostic the pass produced — warnings and errors
+    /// alike; [`ode_analyze::has_errors`] tells them apart. Statements
+    /// that do not parse return the parse error unchanged (the executor
+    /// would report the identical error, so nothing is lost by not
+    /// wrapping it). Statements with no analyzable form (`activate`,
+    /// `deactivate`, …) come back clean.
+    ///
+    /// Analysis runs against the committed schema and catalog under a
+    /// read lock; no transaction is opened and no counters beyond the
+    /// `analyze.*` family move.
+    pub fn analyze_statement(&self, src: &str) -> Result<Vec<Diagnostic>> {
+        let start = Instant::now();
+        let result = self.analyze_inner(src);
+        let tel = &self.tel.analyze;
+        tel.passes.inc();
+        tel.latency.record_ns(start.elapsed().as_nanos() as u64);
+        if let Ok(diags) = &result {
+            for d in diags {
+                match d.severity {
+                    ode_analyze::Severity::Error => tel.errors.inc(),
+                    ode_analyze::Severity::Warning => tel.warnings.inc(),
+                }
+            }
+        }
+        result
+    }
+
+    /// The gate the statement executors call: reject on error-severity
+    /// diagnostics, stay silent otherwise. Parse failures pass through so
+    /// the executor reports them with their original error type.
+    pub(crate) fn analysis_gate(&self, src: &str) -> Result<()> {
+        match self.analyze_statement(src) {
+            Ok(diags) if has_errors(&diags) => Err(OdeError::Analysis(diags)),
+            _ => Ok(()),
+        }
+    }
+
+    fn analyze_inner(&self, src: &str) -> Result<Vec<Diagnostic>> {
+        let trimmed = src.trim();
+        let stripped = match trimmed.strip_prefix("explain") {
+            Some(rest) if rest.starts_with(char::is_whitespace) => rest.trim_start(),
+            _ => trimmed,
+        };
+        if starts_with_kw(stripped, "class") {
+            return self.analyze_ddl(stripped);
+        }
+        if let Some(rest) = strip_kw2(stripped, "create", "cluster") {
+            return Ok(self.check_class_exists(rest.trim(), src));
+        }
+        if let Some(rest) = strip_kw2(stripped, "create", "index") {
+            return Ok(self.check_index_target(rest.trim(), src));
+        }
+        if starts_with_kw(stripped, "pnew") {
+            let (class, inits) = parse_pnew(stripped)?;
+            let inner = self.inner.read();
+            return Ok(analyze_stmt(
+                &inner.schema,
+                Some(&catalog_view(&inner)),
+                src,
+                &StmtKind::Pnew {
+                    class: &class,
+                    inits: &inits,
+                },
+            ));
+        }
+        if starts_with_kw(stripped, "update") {
+            let (query, assigns) = parse_update(stripped)?;
+            let inner = self.inner.read();
+            return Ok(analyze_stmt(
+                &inner.schema,
+                Some(&catalog_view(&inner)),
+                src,
+                &StmtKind::Update {
+                    bindings: &query.bindings,
+                    suchthat: query.suchthat.as_ref(),
+                    assigns: &assigns,
+                },
+            ));
+        }
+        if starts_with_kw(stripped, "delete") {
+            let query = parse_delete(stripped)?;
+            let inner = self.inner.read();
+            return Ok(analyze_stmt(
+                &inner.schema,
+                Some(&catalog_view(&inner)),
+                src,
+                &StmtKind::Delete {
+                    bindings: &query.bindings,
+                    suchthat: query.suchthat.as_ref(),
+                },
+            ));
+        }
+        if starts_with_kw(stripped, "forall") || starts_with_kw(stripped, "for") {
+            let query = parse_query(stripped)?;
+            let inner = self.inner.read();
+            return Ok(analyze_stmt(
+                &inner.schema,
+                Some(&catalog_view(&inner)),
+                src,
+                &StmtKind::Query {
+                    bindings: &query.bindings,
+                    suchthat: query.suchthat.as_ref(),
+                    by: query.by.as_ref().map(|(e, desc)| (e, *desc)),
+                },
+            ));
+        }
+        // Version ops, trigger activation, and anything else without a
+        // statically analyzable shape: nothing to check here.
+        Ok(Vec::new())
+    }
+
+    /// DDL-time analysis (§5 constraints, §6 triggers): apply the
+    /// definitions to a scratch copy of the schema, then run the
+    /// schema-level passes on each new class. Definition errors (dup
+    /// class, unknown base, bad field refs) are left for the real
+    /// `define` to report with their original error type.
+    fn analyze_ddl(&self, src: &str) -> Result<Vec<Diagnostic>> {
+        let builders = ode_model::parse_classes(src)?;
+        let mut scratch = self.inner.read().schema.clone();
+        let mut diags = Vec::new();
+        for b in builders {
+            match scratch.define(b) {
+                Ok(id) => diags.extend(analyze_class(&scratch, id)),
+                Err(_) => break,
+            }
+        }
+        Ok(diags)
+    }
+
+    /// `create cluster <class>`: the class must be defined.
+    fn check_class_exists(&self, class: &str, src: &str) -> Vec<Diagnostic> {
+        if class.is_empty() || class.split_whitespace().count() != 1 {
+            return Vec::new(); // malformed: the executor reports usage
+        }
+        let inner = self.inner.read();
+        if inner.schema.class_by_name(class).is_err() {
+            return vec![unknown_class(class, src)];
+        }
+        Vec::new()
+    }
+
+    /// `create index <class> <field>`: class and member must exist.
+    fn check_index_target(&self, rest: &str, src: &str) -> Vec<Diagnostic> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [class, field] = parts.as_slice() else {
+            return Vec::new(); // malformed: the executor reports usage
+        };
+        let inner = self.inner.read();
+        let Ok(def) = inner.schema.class_by_name(class) else {
+            return vec![unknown_class(class, src)];
+        };
+        if def.field(field).is_err() {
+            return vec![Diagnostic::unknown_member(&def.name, field, src)];
+        }
+        Vec::new()
+    }
+}
+
+fn unknown_class(class: &str, src: &str) -> Diagnostic {
+    Diagnostic::unknown_class(class, src)
+}
+
+/// Extract the catalog facts the analyzer wants: which `(class, field)`
+/// pairs have B-tree indexes.
+fn catalog_view(inner: &crate::database::DbInner) -> CatalogView {
+    CatalogView {
+        indexed: inner.indexes.keys().cloned().collect(),
+    }
+}
+
+/// Does `src` start with keyword `kw` followed by a word boundary?
+fn starts_with_kw(src: &str, kw: &str) -> bool {
+    src.strip_prefix(kw)
+        .is_some_and(|rest| rest.is_empty() || rest.starts_with(|c: char| !c.is_alphanumeric()))
+}
+
+/// Strip two leading keywords (`create cluster`, `create index`).
+fn strip_kw2<'a>(src: &'a str, a: &str, b: &str) -> Option<&'a str> {
+    let rest = src.strip_prefix(a)?;
+    if !rest.starts_with(char::is_whitespace) {
+        return None;
+    }
+    let rest = rest.trim_start().strip_prefix(b)?;
+    if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}

@@ -274,7 +274,36 @@ impl Database {
     }
 
     /// Define a class (auto-commits its catalog record).
+    ///
+    /// The static analyzer runs first (DESIGN.md §9): the definition is
+    /// applied to a scratch copy of the schema and the schema-level
+    /// passes (§5 constraint contradictions, §6 trigger cycles, type
+    /// checks) must come back clean before anything touches the catalog.
     pub fn define_class(&self, builder: ClassBuilder) -> Result<ClassId> {
+        {
+            let start = std::time::Instant::now();
+            let mut scratch = self.inner.read().schema.clone();
+            // Definition errors (duplicate class, unknown base, bad
+            // field refs) are reported by the real `define` below with
+            // their original error type; only analyzer findings reject
+            // here.
+            let diags = match scratch.define(builder.clone()) {
+                Ok(id) => ode_analyze::analyze_class(&scratch, id),
+                Err(_) => Vec::new(),
+            };
+            let tel = &self.tel.analyze;
+            tel.passes.inc();
+            tel.latency.record_ns(start.elapsed().as_nanos() as u64);
+            for d in &diags {
+                match d.severity {
+                    ode_analyze::Severity::Error => tel.errors.inc(),
+                    ode_analyze::Severity::Warning => tel.warnings.inc(),
+                }
+            }
+            if ode_analyze::has_errors(&diags) {
+                return Err(OdeError::Analysis(diags));
+            }
+        }
         let _gate = self.txn_gate.lock();
         let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();

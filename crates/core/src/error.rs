@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ode_analyze::Diagnostic;
 use ode_model::ModelError;
 use ode_storage::StorageError;
 
@@ -42,6 +43,18 @@ pub enum OdeError {
     },
     /// The transaction was already aborted and cannot be used further.
     TransactionAborted,
+    /// The static analyzer rejected the statement before any transaction
+    /// work (O++ is a compiled language; see DESIGN.md §9). Carries every
+    /// diagnostic the pass produced, errors and warnings alike.
+    Analysis(Vec<Diagnostic>),
+    /// An evaluation error annotated with the statement it came from, so
+    /// shell/server users see *where* it failed.
+    InStatement {
+        /// The originating statement text (truncated for display).
+        statement: String,
+        /// The underlying failure.
+        source: Box<OdeError>,
+    },
     /// Generic misuse of the API.
     Usage(String),
 }
@@ -70,6 +83,20 @@ impl fmt::Display for OdeError {
                 write!(f, "trigger cascade exceeded {limit} rounds")
             }
             OdeError::TransactionAborted => write!(f, "transaction already aborted"),
+            OdeError::Analysis(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == ode_analyze::Severity::Error)
+                    .count();
+                write!(f, "analysis rejected the statement ({errors} error(s))")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            OdeError::InStatement { statement, source } => {
+                write!(f, "{source} (in statement `{statement}`)")
+            }
             OdeError::Usage(msg) => write!(f, "usage error: {msg}"),
         }
     }
@@ -80,6 +107,7 @@ impl std::error::Error for OdeError {
         match self {
             OdeError::Storage(e) => Some(e),
             OdeError::Model(e) => Some(e),
+            OdeError::InStatement { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -21,6 +21,7 @@
 //! define classes with [`ode_model::ClassBuilder`], create clusters, and
 //! work inside [`Transaction`]s.
 
+pub mod analyze;
 pub mod backup;
 pub mod catalog;
 pub mod database;
@@ -37,6 +38,9 @@ pub mod version;
 
 /// Telemetry primitives and snapshot types (re-export of `ode-obs`).
 pub use ode_obs as obs;
+
+/// Static-analysis diagnostics (re-export of `ode-analyze`).
+pub use ode_analyze::{Diagnostic, Severity};
 
 pub use backup::DumpStats;
 pub use database::{CallbackFn, Database, DbConfig, ProfileBucket, MAX_PROFILE_BUCKETS};
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use crate::trigger::{CommitInfo, TriggerId};
     pub use crate::txn::{ObjWriter, Transaction};
     pub use crate::typed::{OdeInstance, Persistent};
+    pub use ode_analyze::{Diagnostic, Severity};
     pub use ode_model::{ClassBuilder, Expr, ObjState, Oid, SetValue, Type, Value, VersionRef};
     pub use ode_obs::{QueryProfile, TelemetrySnapshot, TraceEvent, TraceSink};
 }

@@ -303,6 +303,7 @@ impl<'db> Transaction<'db> {
         self.ensure_live()?;
         let stmt = parse_query(src)?;
         self.run_stmt(stmt)
+            .map_err(|e| with_statement_context(e, src))
     }
 
     /// Execute a `forall …` statement, running `f` for every qualifying
@@ -339,6 +340,14 @@ impl<'db> Transaction<'db> {
     /// commits (§6).
     pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
         self.ensure_live()?;
+        // The front-end runs first (DESIGN.md §9): a statement the
+        // analyzer rejects does no transaction work at all.
+        self.db.analysis_gate(src)?;
+        self.execute_unchecked(src)
+            .map_err(|e| with_statement_context(e, src))
+    }
+
+    fn execute_unchecked(&mut self, src: &str) -> Result<ExecResult> {
         let trimmed = src.trim_start();
         if let Some(rest) = trimmed.strip_prefix("explain") {
             if rest.starts_with(char::is_whitespace) {
@@ -403,12 +412,15 @@ impl ReadTransaction<'_> {
     pub fn query(&mut self, src: &str) -> Result<QueryRows> {
         let stmt = parse_query(src)?;
         run_stmt_ctx(self, stmt, &mut QueryProfile::default())
+            .map_err(|e| with_statement_context(e, src))
     }
 
     /// Execute a read-only statement: `forall` queries and `explain`.
     /// DML (`pnew`/`update … set`/`delete`) needs a write transaction —
     /// requesting it here is a usage error, not a silent no-op.
     pub fn execute(&mut self, src: &str) -> Result<ExecResult> {
+        // Front-end first, as in `Transaction::execute`.
+        self.db.analysis_gate(src)?;
         let trimmed = src.trim_start();
         if let Some(rest) = trimmed.strip_prefix("explain") {
             if rest.starts_with(char::is_whitespace) {
@@ -515,7 +527,7 @@ pub enum ExecResult {
 }
 
 /// Parse `pnew <class> (field = expr, ...)`.
-fn parse_pnew(src: &str) -> Result<(String, Vec<(String, Expr)>)> {
+pub(crate) fn parse_pnew(src: &str) -> Result<(String, Vec<(String, Expr)>)> {
     let mut p = Lex { src, at: 0 };
     if !p.eat_kw("pnew") {
         return Err(p.err("expected `pnew`"));
@@ -550,7 +562,7 @@ fn parse_pnew(src: &str) -> Result<(String, Vec<(String, Expr)>)> {
 }
 
 /// Parse `update <var> in <class> [suchthat (…)] set f = expr [, …]`.
-fn parse_update(src: &str) -> Result<(QueryStmt, Vec<(String, Expr)>)> {
+pub(crate) fn parse_update(src: &str) -> Result<(QueryStmt, Vec<(String, Expr)>)> {
     let mut p = Lex { src, at: 0 };
     if !p.eat_kw("update") {
         return Err(p.err("expected `update`"));
@@ -596,7 +608,7 @@ fn parse_update(src: &str) -> Result<(QueryStmt, Vec<(String, Expr)>)> {
 }
 
 /// Parse `delete <var> in <class> [suchthat (…)]`.
-fn parse_delete(src: &str) -> Result<QueryStmt> {
+pub(crate) fn parse_delete(src: &str) -> Result<QueryStmt> {
     let mut p = Lex { src, at: 0 };
     if !p.eat_kw("delete") {
         return Err(p.err("expected `delete`"));
@@ -621,6 +633,33 @@ fn parse_delete(src: &str) -> Result<QueryStmt> {
         suchthat,
         by: None,
     })
+}
+
+/// Annotate eval-time unbound-variable failures with the statement they
+/// came from (`$param` outside a trigger body, a bare name the evaluator
+/// could not resolve), so shell/server users see *where* it failed
+/// instead of a naked `unknown variable`.
+fn with_statement_context(e: OdeError, src: &str) -> OdeError {
+    match e {
+        OdeError::Model(ModelError::UnknownVar(_)) => OdeError::InStatement {
+            statement: clip_statement(src),
+            source: Box::new(e),
+        },
+        other => other,
+    }
+}
+
+/// One display line of statement text: whitespace collapsed, long tails
+/// elided.
+fn clip_statement(src: &str) -> String {
+    const MAX: usize = 120;
+    let collapsed = src.split_whitespace().collect::<Vec<_>>().join(" ");
+    if collapsed.chars().count() > MAX {
+        let head: String = collapsed.chars().take(MAX).collect();
+        format!("{head}…")
+    } else {
+        collapsed
+    }
 }
 
 #[cfg(test)]

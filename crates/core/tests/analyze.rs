@@ -1,0 +1,132 @@
+//! The static-analysis gate (DESIGN.md §9): every statement class runs
+//! through the analyzer before the engine does any transaction work,
+//! statically bad statements come back as [`OdeError::Analysis`] with
+//! coded diagnostics, and DDL-time schema analysis rejects contradictory
+//! constraints before they reach the catalog.
+
+use ode_core::oql::ExecResult;
+use ode_core::prelude::*;
+
+fn db() -> Database {
+    let db = Database::in_memory();
+    db.define_from_source(
+        r#"
+        class stockitem {
+            string name;
+            int    quantity = 0;
+            int    on_order = 0;
+            double price = 1.0;
+            constraint: quantity >= 0;
+        }
+        "#,
+    )
+    .unwrap();
+    db.create_cluster("stockitem").unwrap();
+    db
+}
+
+fn analysis_codes(e: &OdeError) -> Vec<&'static str> {
+    match e {
+        OdeError::Analysis(diags) => diags.iter().map(|d| d.code).collect(),
+        other => panic!("expected OdeError::Analysis, got {other}"),
+    }
+}
+
+#[test]
+fn execute_gates_every_statement_class() {
+    let db = db();
+    // Query in a write transaction.
+    let mut tx = db.begin();
+    let e = tx.execute("forall s in stockitem suchthat (missing > 1)");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A002"]);
+    // DML: pnew, update, delete.
+    let e = tx.execute("pnew stockitem (quantity = \"lots\")");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A007"]);
+    let e = tx.execute("update s in stockitem set missing = 1");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A002"]);
+    let e = tx.execute("delete z in zombie");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A001"]);
+    // The transaction survives analysis rejections and still works.
+    let r = tx.execute("pnew stockitem (name = \"dram\", quantity = 5)");
+    assert!(matches!(r, Ok(ExecResult::Created(_))), "{r:?}");
+    tx.commit().unwrap();
+
+    // Read transactions gate too, including through `explain`.
+    let mut rtx = db.begin_read();
+    let e = rtx.execute("forall s in stockitem suchthat (missing > 1)");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A002"]);
+    let e = rtx.execute("explain forall s in stockitem suchthat (missing > 1)");
+    assert_eq!(analysis_codes(&e.unwrap_err()), ["A002"]);
+    let r = rtx.execute("forall s in stockitem suchthat (quantity > 1)");
+    assert!(r.is_ok(), "{r:?}");
+}
+
+#[test]
+fn parse_errors_keep_their_original_type() {
+    let db = db();
+    let mut tx = db.begin();
+    // Unparsable statements are not the analyzer's to report: the
+    // executor returns the original parse error.
+    let e = tx.execute("forall suchthat quantity").unwrap_err();
+    assert!(matches!(e, OdeError::Model(_)), "{e}");
+    tx.commit().unwrap();
+}
+
+#[test]
+fn ddl_analysis_rejects_contradictory_constraints() {
+    let db = db();
+    // A subclass whose constraint contradicts the inherited one (§5):
+    // rejected before the catalog sees it.
+    let e = db
+        .define_from_source("class scarce : public stockitem { constraint: quantity < 0; }")
+        .unwrap_err();
+    assert_eq!(analysis_codes(&e), ["A008"]);
+    // The class was never defined.
+    assert!(db.with_schema(|s| s.class_by_name("scarce").is_err()));
+    // A sane subclass still defines fine.
+    db.define_from_source("class bulk : public stockitem { int pallets = 0; }")
+        .unwrap();
+}
+
+#[test]
+fn analyze_statement_reports_without_executing() {
+    let db = db();
+    let before = db.telemetry();
+    let diags = db
+        .analyze_statement("forall s in stockitem suchthat (quantity > 10 && quantity < 5)")
+        .unwrap();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "A101");
+    assert_eq!(diags[0].severity, Severity::Warning);
+    let after = db.telemetry();
+    assert_eq!(after.analyze.passes, before.analyze.passes + 1);
+    assert_eq!(after.analyze.warnings, before.analyze.warnings + 1);
+    assert_eq!(after.txn.begun, before.txn.begun);
+    assert!(after.analyze.latency.count > before.analyze.latency.count);
+}
+
+#[test]
+fn eval_time_unknown_var_names_the_statement() {
+    let db = db();
+    // `$param` survives parsing and analysis only where parameters are
+    // legal; `query()` (no gate) lets it reach the evaluator, which
+    // must now say *which statement* had the unbound variable.
+    let mut tx = db.begin();
+    // The predicate only evaluates against an object.
+    tx.pnew("stockitem", &[("name", Value::from("dram"))])
+        .unwrap();
+    let e = tx
+        .query("forall s in stockitem suchthat ($floor > quantity)")
+        .unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("unbound variable `$floor`"), "{msg}");
+    assert!(msg.contains("in statement"), "{msg}");
+    assert!(msg.contains("$floor > quantity"), "{msg}");
+    // The typed source is preserved underneath.
+    assert!(
+        matches!(&e, OdeError::InStatement { source, .. }
+            if matches!(**source, OdeError::Model(_))),
+        "{e:?}"
+    );
+    tx.commit().unwrap();
+}

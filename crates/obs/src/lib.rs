@@ -325,6 +325,21 @@ pub struct TriggerTelemetry {
     pub max_cascade_depth: MaxGauge,
 }
 
+/// Static-analyzer counters (the `ode-analyze` front-end pass that runs
+/// before any transaction is opened).
+#[derive(Debug, Default)]
+pub struct AnalyzeTelemetry {
+    /// Statements (and DDL batches) analyzed.
+    pub passes: Counter,
+    /// Error-severity diagnostics produced (statements rejected).
+    pub errors: Counter,
+    /// Warning-severity diagnostics produced (statement still ran).
+    pub warnings: Counter,
+    /// Wall-clock latency of one analysis pass — the overhead the
+    /// front-end adds to each statement, visible in `.stats`.
+    pub latency: LatencyHisto,
+}
+
 /// Serving-layer counters (the `ode-server` network front-end). One
 /// instance lives in each server; connection and request paths increment
 /// it through relaxed atomics, and the `.server` control op snapshots it.
@@ -523,6 +538,8 @@ pub struct EngineTelemetry {
     pub versions: VersionTelemetry,
     /// Trigger counters.
     pub triggers: TriggerTelemetry,
+    /// Static-analyzer counters.
+    pub analyze: AnalyzeTelemetry,
 }
 
 impl EngineTelemetry {
@@ -570,6 +587,11 @@ impl EngineTelemetry {
             c.reset();
         }
         g.max_cascade_depth.reset();
+        let a = &self.analyze;
+        for c in [&a.passes, &a.errors, &a.warnings] {
+            c.reset();
+        }
+        a.latency.reset();
     }
 
     /// Copy the live counters (plus the given substrate counters) into a
@@ -610,6 +632,12 @@ impl EngineTelemetry {
                 action_failures: self.triggers.action_failures.get(),
                 deferred_actions: self.triggers.deferred_actions.get(),
                 max_cascade_depth: self.triggers.max_cascade_depth.get(),
+            },
+            analyze: AnalyzeSnapshot {
+                passes: self.analyze.passes.get(),
+                errors: self.analyze.errors.get(),
+                warnings: self.analyze.warnings.get(),
+                latency: self.analyze.latency.snapshot(),
             },
         }
     }
@@ -714,6 +742,19 @@ pub struct TriggerSnapshot {
     pub max_cascade_depth: u64,
 }
 
+/// Static-analyzer counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeSnapshot {
+    /// See [`AnalyzeTelemetry::passes`].
+    pub passes: u64,
+    /// See [`AnalyzeTelemetry::errors`].
+    pub errors: u64,
+    /// See [`AnalyzeTelemetry::warnings`].
+    pub warnings: u64,
+    /// See [`AnalyzeTelemetry::latency`].
+    pub latency: HistoSnapshot,
+}
+
 /// A full engine + substrate telemetry snapshot: plain data, comparable,
 /// subtractable, and serializable to JSON without any dependency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -728,6 +769,8 @@ pub struct TelemetrySnapshot {
     pub versions: VersionSnapshot,
     /// Trigger counters.
     pub triggers: TriggerSnapshot,
+    /// Static-analyzer counters.
+    pub analyze: AnalyzeSnapshot,
 }
 
 macro_rules! sub_fields {
@@ -829,12 +872,22 @@ impl TelemetrySnapshot {
             deferred_actions,
             max_cascade_depth: g.max_cascade_depth,
         };
+        let a = &self.analyze;
+        let ba = &baseline.analyze;
+        let (passes, errors, warnings) = sub_fields!(a, ba; passes, errors, warnings);
+        let analyze = AnalyzeSnapshot {
+            passes,
+            errors,
+            warnings,
+            latency: a.latency.delta(&ba.latency),
+        };
         TelemetrySnapshot {
             storage,
             txn,
             query,
             versions,
             triggers,
+            analyze,
         }
     }
 
@@ -903,6 +956,19 @@ impl TelemetrySnapshot {
         push("triggers.action_failures", g.action_failures);
         push("triggers.deferred_actions", g.deferred_actions);
         push("triggers.max_cascade_depth", g.max_cascade_depth);
+        let a = &self.analyze;
+        push("analyze.passes", a.passes);
+        push("analyze.errors", a.errors);
+        push("analyze.warnings", a.warnings);
+        push("analyze.latency.count", a.latency.count);
+        out.push((
+            "analyze.latency.mean_us".to_string(),
+            format!("{:.1}", a.latency.mean_ns() as f64 / 1e3),
+        ));
+        out.push((
+            "analyze.latency.p99_us".to_string(),
+            format!("{:.1}", a.latency.p99_ns as f64 / 1e3),
+        ));
         out
     }
 
@@ -974,6 +1040,14 @@ impl TelemetrySnapshot {
             g.deferred_actions,
             g.max_cascade_depth
         ));
+        let a = &self.analyze;
+        out.push_str(&format!(
+            ",\"analyze\":{{\"passes\":{},\"errors\":{},\"warnings\":{},\
+             \"latency\":",
+            a.passes, a.errors, a.warnings
+        ));
+        a.latency.json(&mut out);
+        out.push('}');
         out.push('}');
         out
     }
@@ -1191,6 +1265,7 @@ mod tests {
             "\"query\":",
             "\"versions\":",
             "\"triggers\":",
+            "\"analyze\":",
         ] {
             assert!(json.contains(key), "{json}");
         }
@@ -1274,6 +1349,9 @@ mod tests {
         tel.txn.begun.inc();
         tel.triggers.max_cascade_depth.observe(4);
         tel.txn.commit_latency.record_ns(10);
+        tel.analyze.passes.inc();
+        tel.analyze.errors.inc();
+        tel.analyze.latency.record_ns(10);
         tel.reset();
         let s = tel.snapshot(StorageSnapshot::default());
         assert_eq!(s, TelemetrySnapshot::default());

@@ -176,8 +176,12 @@ impl Conn {
                             EvalResult::Continue => Response::Continue,
                             EvalResult::Error(e) => {
                                 tel.engine_errors.inc();
+                                let kind = match &e {
+                                    ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
+                                    _ => ErrorKind::Engine,
+                                };
                                 Response::Error {
-                                    kind: ErrorKind::Engine,
+                                    kind,
                                     message: e.to_string(),
                                 }
                             }

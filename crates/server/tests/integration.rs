@@ -335,9 +335,20 @@ fn control_ops_and_shell_parity_over_the_wire() {
     let out = output(c.line(r#"pnew doc (title = "paper", rev = 1)"#).unwrap());
     assert!(out.starts_with("created "), "{out}");
 
-    // Engine errors are typed and do not kill the session.
+    // Statically detectable mistakes come back as the typed analysis
+    // kind — rejected before any transaction — and do not kill the
+    // session.
     match c.line("forall x in nowhere") {
-        Err(ClientError::Engine(msg)) => assert!(msg.contains("unknown class"), "{msg}"),
+        Err(ClientError::Analysis(msg)) => {
+            assert!(msg.contains("unknown class"), "{msg}");
+            assert!(msg.contains("A001"), "{msg}");
+        }
+        other => panic!("expected analysis error, got {other:?}"),
+    }
+
+    // Runtime-only failures keep the engine kind.
+    match c.line(".show 99:0.0") {
+        Err(ClientError::Engine(msg)) => assert!(msg.contains("no such object"), "{msg}"),
         other => panic!("expected engine error, got {other:?}"),
     }
 

@@ -168,6 +168,38 @@ impl Session {
         if let Some(meta) = trimmed.strip_prefix('.') {
             return self.meta(meta);
         }
+        // Static analysis first (DESIGN.md §9): error-severity findings
+        // reject the statement *before* any transaction is opened or
+        // snapshot taken; warnings ride along and are printed above the
+        // statement's normal output.
+        let warnings = self.preflight(trimmed)?;
+        let out = self.run_statement(trimmed)?;
+        if warnings.is_empty() {
+            return Ok(out);
+        }
+        let mut with_warnings = String::new();
+        for w in &warnings {
+            let _ = writeln!(with_warnings, "{w}");
+        }
+        with_warnings.push_str(&out);
+        Ok(with_warnings)
+    }
+
+    /// Run the analyzer on a statement about to execute. Errors become
+    /// [`OdeError::Analysis`]; warnings are returned for inline display;
+    /// parse failures pass silently so the executor reports them with
+    /// their original error type.
+    fn preflight(&self, stmt: &str) -> Result<Vec<Diagnostic>> {
+        match self.db.analyze_statement(stmt) {
+            Ok(diags) if diags.iter().any(|d| d.severity == Severity::Error) => {
+                Err(OdeError::Analysis(diags))
+            }
+            Ok(diags) => Ok(diags),
+            Err(_) => Ok(Vec::new()),
+        }
+    }
+
+    fn run_statement(&mut self, trimmed: &str) -> Result<String> {
         if trimmed.starts_with("class") {
             let ids = self.db.define_from_source(trimmed)?;
             let names: Vec<String> = self.db.with_schema(|s| {
@@ -494,6 +526,42 @@ impl Session {
                     Ok(out.trim_end().to_string())
                 }
             },
+            "check" => {
+                let mut json = false;
+                let mut files = Vec::new();
+                for p in parts {
+                    if p == "--json" {
+                        json = true;
+                    } else {
+                        files.push(p.to_string());
+                    }
+                }
+                if files.is_empty() {
+                    return Err(OdeError::Usage("usage: .check [--json] <file> ...".into()));
+                }
+                let report = check_files(&files).map_err(OdeError::Usage)?;
+                let out = if json {
+                    report.render_json()
+                } else {
+                    report.render_text()
+                };
+                if report.has_errors() {
+                    // Scripted sessions need a non-zero exit: surface the
+                    // findings as a typed analysis error, each annotated
+                    // with its file and line.
+                    let diags = report
+                        .findings
+                        .iter()
+                        .map(|f| {
+                            let mut d = f.diag.clone();
+                            d.message = format!("{}:{}: {}", f.file, f.line, d.message);
+                            d
+                        })
+                        .collect();
+                    return Err(OdeError::Analysis(diags));
+                }
+                Ok(out)
+            }
             "versions" => {
                 let spec = parts.next().ok_or_else(|| {
                     OdeError::Usage("usage: .versions <cluster:page.slot>".into())
@@ -521,6 +589,219 @@ impl Session {
                 "unknown command `.{other}` (try .help)"
             ))),
         }
+    }
+}
+
+// ------------------------------------------------------------ batch lint
+
+/// One `.check` finding: an analyzer diagnostic tied back to the file
+/// and line of the statement that produced it.
+#[derive(Debug, Clone)]
+pub struct CheckFinding {
+    /// The file (or label) the statement came from.
+    pub file: String,
+    /// 1-based line where the statement starts.
+    pub line: usize,
+    /// The analyzer's finding.
+    pub diag: Diagnostic,
+}
+
+/// Accumulated results of batch-linting one or more O++ source files.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Every finding, in file/statement order.
+    pub findings: Vec<CheckFinding>,
+    /// Files checked.
+    pub files: usize,
+    /// Statements checked (across all files).
+    pub statements: usize,
+}
+
+impl CheckReport {
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.diag.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// Should a batch run exit non-zero?
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// `file:line: severity[code]: message` lines plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: {}[{}]: {}",
+                f.file, f.line, f.diag.severity, f.diag.code, f.diag.message
+            );
+        }
+        let _ = write!(
+            out,
+            "{} file(s), {} statement(s): {} error(s), {} warning(s)",
+            self.files,
+            self.statements,
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+
+    /// Machine-readable report (one JSON object, findings as an array).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"files\":{},\"statements\":{},\"errors\":{},\"warnings\":{},\"findings\":[",
+            self.files,
+            self.statements,
+            self.errors(),
+            self.warnings()
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"line\":{},\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.diag.code,
+                f.diag.severity,
+                json_escape(&f.diag.message)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Read and batch-lint each file into one [`CheckReport`]. `Err` only
+/// for I/O failures (unreadable file); findings — including statements
+/// that do not parse — go into the report.
+pub fn check_files(paths: &[String]) -> std::result::Result<CheckReport, String> {
+    let mut report = CheckReport::default();
+    for path in paths {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        check_source(path, &source, &mut report);
+    }
+    Ok(report)
+}
+
+/// Batch-lint one O++ source: every statement is analyzed against a
+/// scratch in-memory database, with DDL (`class`, `create cluster`,
+/// `create index`, `destroy cluster`) *applied* as it passes so later
+/// statements resolve against the schema and catalog the file builds up.
+/// DML and queries are analyzed but never executed. Statement assembly
+/// mirrors the REPL: `//` comments and blank lines skipped, `.meta`
+/// lines skipped (they are interactive-only), class declarations span
+/// lines until their braces balance.
+pub fn check_source(file: &str, source: &str, report: &mut CheckReport) {
+    let db = Database::in_memory();
+    report.files += 1;
+    let mut pending = String::new();
+    let mut start_line = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        if !pending.is_empty() {
+            pending.push('\n');
+            pending.push_str(raw);
+            if balanced(&pending) {
+                let stmt = std::mem::take(&mut pending);
+                check_statement(&db, file, start_line, &stmt, report);
+            }
+            continue;
+        }
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") || trimmed.starts_with('.') {
+            continue;
+        }
+        if trimmed.starts_with("class") && !balanced(trimmed) {
+            pending = raw.to_string();
+            start_line = lineno;
+            continue;
+        }
+        check_statement(&db, file, lineno, raw, report);
+    }
+    if !pending.is_empty() {
+        report.statements += 1;
+        report.findings.push(CheckFinding {
+            file: file.to_string(),
+            line: start_line,
+            diag: Diagnostic::parse_failure(
+                "unterminated class declaration (braces unbalanced at end of file)".into(),
+            ),
+        });
+    }
+}
+
+fn check_statement(db: &Database, file: &str, line: usize, stmt: &str, report: &mut CheckReport) {
+    report.statements += 1;
+    let trimmed = stmt.trim();
+    let diags = match db.analyze_statement(trimmed) {
+        Ok(d) => d,
+        Err(e) => vec![Diagnostic::parse_failure(e.to_string())],
+    };
+    let had_errors = diags.iter().any(|d| d.severity == Severity::Error);
+    for diag in diags {
+        report.findings.push(CheckFinding {
+            file: file.to_string(),
+            line,
+            diag,
+        });
+    }
+    if had_errors {
+        return;
+    }
+    // Apply schema-shaping statements so the rest of the file resolves.
+    let applied: Result<()> = if trimmed.starts_with("class") {
+        db.define_from_source(trimmed).map(|_| ())
+    } else if let Some(rest) = trimmed.strip_prefix("create cluster") {
+        db.create_cluster(rest.trim()).map(|_| ())
+    } else if let Some(rest) = trimmed.strip_prefix("destroy cluster") {
+        db.destroy_cluster(rest.trim())
+    } else if let Some(rest) = trimmed.strip_prefix("create index") {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            [class, field] => db.create_index(class, field).map(|_| ()),
+            _ => Ok(()), // malformed: already reported by analysis, or usage-level
+        }
+    } else {
+        Ok(())
+    };
+    if let Err(e) = applied {
+        report.findings.push(CheckFinding {
+            file: file.to_string(),
+            line,
+            diag: Diagnostic::parse_failure(e.to_string()),
+        });
     }
 }
 
@@ -608,10 +889,16 @@ triggers:
 meta:
   .classes   .describe <class>   .clusters   .indexes
   .show <oid>   .versions <oid>
+  .check [--json] <file> ...           batch-lint O++ files (no execution)
   .stats [reset]                       engine telemetry counters
   .stats profiles                      accumulated per-query profiles
   .export <file>   .import <file>      whole-database dump / restore
   .help   .exit
+
+Every statement is statically analyzed before it runs: errors (unknown
+members, type mismatches, contradictory constraints) reject the
+statement before a transaction is opened; warnings (unsatisfiable
+suchthat, unindexed equality, trigger cycles) print inline.
 "#;
 
 #[cfg(test)]
@@ -911,6 +1198,155 @@ mod tests {
         assert!(parse_oid("junk").is_err());
         assert!(parse_oid("1:2").is_err());
         assert!(parse_oid("a:b.c").is_err());
+    }
+
+    #[test]
+    fn analysis_rejects_before_any_transaction() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class item { string name; int qty = 0; }");
+        feed(&mut s, "create cluster item");
+        let before = s.database().telemetry();
+        // A read-only query with an unknown member: rejected with a coded
+        // diagnostic, and no snapshot was ever taken.
+        match s.eval_statement("forall i in item suchthat (missing > 3)") {
+            EvalResult::Error(OdeError::Analysis(diags)) => {
+                assert_eq!(diags.len(), 1, "{diags:?}");
+                assert_eq!(diags[0].code, "A002");
+                assert_eq!(diags[0].severity, Severity::Error);
+            }
+            other => panic!("expected analysis error, got {other:?}"),
+        }
+        // DML with a type mismatch: rejected before a write transaction.
+        match s.eval_statement("pnew item (qty = \"lots\")") {
+            EvalResult::Error(OdeError::Analysis(diags)) => {
+                assert_eq!(diags[0].code, "A007");
+            }
+            other => panic!("expected analysis error, got {other:?}"),
+        }
+        let after = s.database().telemetry();
+        assert_eq!(before.txn.read_txns, after.txn.read_txns);
+        assert_eq!(before.txn.write_txns, after.txn.write_txns);
+        assert_eq!(before.txn.begun, after.txn.begun);
+        // The analyzer itself was counted.
+        assert!(after.analyze.errors >= before.analyze.errors + 2);
+        assert!(after.analyze.passes > before.analyze.passes);
+    }
+
+    #[test]
+    fn warnings_print_inline_and_do_not_block() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class item { string name; int qty = 0; }");
+        feed(&mut s, "create cluster item");
+        let out = feed(&mut s, "forall i in item suchthat (name == \"x\")");
+        assert!(out.contains("warning[A102]"), "{out}");
+        assert!(out.contains("0 row(s)"), "{out}");
+        // With the index the warning disappears.
+        feed(&mut s, "create index item name");
+        let out = feed(&mut s, "forall i in item suchthat (name == \"x\")");
+        assert!(!out.contains("warning"), "{out}");
+    }
+
+    fn corpus_path() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/negative.ode").to_string()
+    }
+
+    fn example_script_paths() -> Vec<String> {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/scripts");
+        [
+            "stock_items.ode",
+            "persons_students.ode",
+            "parts_explosion.ode",
+            "versioned_docs.ode",
+        ]
+        .iter()
+        .map(|f| format!("{root}/{f}"))
+        .collect()
+    }
+
+    #[test]
+    fn example_scripts_are_analyzer_clean() {
+        let report = check_files(&example_script_paths()).unwrap();
+        assert_eq!(report.files, 4);
+        assert!(report.statements >= 60, "{}", report.statements);
+        assert!(!report.has_errors(), "{}", report.render_text());
+        assert_eq!(report.findings.len(), 0, "{}", report.render_text());
+    }
+
+    #[test]
+    fn negative_corpus_produces_exact_codes() {
+        let report = check_files(&[corpus_path()]).unwrap();
+        assert!(report.has_errors());
+        let got: Vec<(usize, &str)> = report
+            .findings
+            .iter()
+            .map(|f| (f.line, f.diag.code))
+            .collect();
+        let expected: Vec<(usize, &str)> = vec![
+            (15, "A001"), // forall over unknown class
+            (16, "A001"), // pnew into unknown class
+            (17, "A001"), // create cluster for unknown class
+            (18, "A002"), // create index on unknown member
+            (19, "A001"), // delete from unknown class
+            (20, "A002"), // unknown member in suchthat
+            (21, "A002"), // unknown member via path
+            (22, "A003"), // unknown method
+            (23, "A004"), // bare ident in join predicate
+            (24, "A004"), // $param in a query
+            (27, "A005"), // string ordered against int
+            (28, "A005"), // int compared with string
+            (29, "A006"), // bool `by` key
+            (30, "A007"), // pnew init type mismatch
+            (31, "A007"), // update assignment type mismatch
+            (32, "A002"), // update assigns unknown member
+            (35, "A008"), // contradictory constraints in one class
+            (36, "A008"), // contradiction with inherited constraint
+            (37, "A009"), // perpetual trigger cycle (warning)
+            (40, "A101"), // unsatisfiable suchthat (warning)
+            (41, "A102"), // unindexed equality (warning)
+            (42, "A103"), // is-test outside hierarchy (warning)
+            (45, "A000"), // statement does not parse
+        ];
+        assert_eq!(got, expected, "{}", report.render_text());
+        assert_eq!(report.errors(), 19);
+        assert_eq!(report.warnings(), 4);
+    }
+
+    #[test]
+    fn check_meta_command_reports_and_fails_typed() {
+        let mut s = Session::in_memory();
+        // Errors: surfaced as a typed analysis error (scripted sessions
+        // exit non-zero; servers answer the analysis wire kind).
+        match s.eval_statement(&format!(".check {}", corpus_path())) {
+            EvalResult::Error(OdeError::Analysis(diags)) => {
+                assert!(diags.iter().any(|d| d.code == "A001"), "{diags:?}");
+                assert!(
+                    diags.iter().any(|d| d.message.contains("negative.ode:15:")),
+                    "{diags:?}"
+                );
+            }
+            other => panic!("expected analysis error, got {other:?}"),
+        }
+        // Clean file: a summary comes back.
+        let paths = example_script_paths();
+        let out = feed(&mut s, &format!(".check {}", paths[0]));
+        assert!(out.contains("0 error(s)"), "{out}");
+        // Missing operand / unreadable file are usage errors.
+        let out = feed(&mut s, ".check");
+        assert!(out.contains("usage"), "{out}");
+        let out = feed(&mut s, ".check /no/such/file.ode");
+        assert!(out.contains("cannot read"), "{out}");
+    }
+
+    #[test]
+    fn check_json_is_machine_readable() {
+        let mut report = CheckReport::default();
+        check_source("inline.ode", "forall x in nowhere", &mut report);
+        let json = report.render_json();
+        assert!(json.contains("\"errors\":1"), "{json}");
+        assert!(json.contains("\"code\":\"A001\""), "{json}");
+        assert!(json.contains("\"line\":1"), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("unknown class `nowhere`"), "{json}");
     }
 
     #[test]

@@ -18,18 +18,22 @@
 
 use std::io::{BufRead, IsTerminal, Write};
 
-use ode_shell::{EvalResult, Session};
+use ode_shell::{check_files, EvalResult, Session};
 use ode_wire::client::{Client, ClientError, RemoteLine};
 
 const EXIT_ENGINE: i32 = 1;
 const EXIT_TRANSPORT: i32 = 2;
 
-const USAGE: &str = "usage: ode-shell [--memory | <directory> | --connect HOST:PORT]";
+const USAGE: &str =
+    "usage: ode-shell [--memory | <directory> | --connect HOST:PORT | --check [--json] FILE...]";
 
 fn main() {
     let mut connect: Option<String> = None;
     let mut dir: Option<String> = None;
     let mut memory = false;
+    let mut check = false;
+    let mut json = false;
+    let mut check_paths: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +43,8 @@ fn main() {
                 return;
             }
             "--memory" => memory = true,
+            "--check" => check = true,
+            "--json" => json = true,
             "--connect" => match args.next() {
                 Some(addr) => connect = Some(addr),
                 None => {
@@ -52,8 +58,17 @@ fn main() {
                 eprintln!("{USAGE}");
                 std::process::exit(EXIT_TRANSPORT);
             }
+            other if check => check_paths.push(other.to_string()),
             other => dir = Some(other.to_string()),
         }
+    }
+
+    if check {
+        std::process::exit(check_main(&check_paths, json));
+    }
+    if json {
+        eprintln!("ode-shell: --json only makes sense with --check");
+        std::process::exit(EXIT_TRANSPORT);
     }
 
     let code = match connect {
@@ -67,6 +82,39 @@ fn main() {
         None => local_repl(dir, memory),
     };
     std::process::exit(code);
+}
+
+/// `ode-shell --check [--json] FILE...` — batch-lint O++ files without
+/// executing anything. Exit 0 when every file is clean of errors
+/// (warnings allowed), [`EXIT_ENGINE`] when any error-severity finding
+/// exists, [`EXIT_TRANSPORT`] for unreadable files.
+fn check_main(paths: &[String], json: bool) -> i32 {
+    if paths.is_empty() {
+        eprintln!("ode-shell: --check needs at least one file");
+        eprintln!("{USAGE}");
+        return EXIT_TRANSPORT;
+    }
+    let report = match check_files(paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ode-shell: {e}");
+            return EXIT_TRANSPORT;
+        }
+    };
+    // Tolerate a closed pipe: `--check ... | head` / `| grep -q` is the
+    // normal CI idiom and must not panic the linter.
+    let mut out = std::io::stdout();
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    let _ = writeln!(out, "{rendered}");
+    if report.has_errors() {
+        EXIT_ENGINE
+    } else {
+        0
+    }
 }
 
 /// Read one line from stdin (with a prompt when interactive). `None` at
@@ -169,7 +217,7 @@ fn remote_repl(addr: &str) -> i32 {
             }
             Ok(RemoteLine::Continue) => continuing = true,
             Ok(RemoteLine::Goodbye) => return 0,
-            Err(ClientError::Engine(msg)) => {
+            Err(ClientError::Engine(msg)) | Err(ClientError::Analysis(msg)) => {
                 continuing = false;
                 engine_errors += 1;
                 let _ = writeln!(out, "error: {msg}");

@@ -33,6 +33,9 @@ pub enum ClientError {
     Engine(String),
     /// The request exceeded the server's frame-size limit.
     TooLarge(String),
+    /// The static analyzer rejected the statement before execution; no
+    /// transaction was opened and the session remains usable.
+    Analysis(String),
 }
 
 impl ClientError {
@@ -57,6 +60,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Timeout(m) => write!(f, "request timed out: {m}"),
             ClientError::Engine(m) => write!(f, "{m}"),
             ClientError::TooLarge(m) => write!(f, "request too large: {m}"),
+            ClientError::Analysis(m) => write!(f, "{m}"),
         }
     }
 }
@@ -190,6 +194,7 @@ fn typed(kind: ErrorKind, message: String) -> ClientError {
         ErrorKind::Admission => ClientError::Rejected(message),
         ErrorKind::Shutdown => ClientError::ShuttingDown(message),
         ErrorKind::TooLarge => ClientError::TooLarge(message),
+        ErrorKind::Analysis => ClientError::Analysis(message),
     }
 }
 

@@ -148,6 +148,10 @@ pub enum ErrorKind {
     Shutdown,
     /// The request frame exceeded the server's size limit.
     TooLarge,
+    /// The static analyzer rejected the statement before execution
+    /// (unknown member, type mismatch, contradictory constraint, …).
+    /// No transaction was opened; the session continues.
+    Analysis,
 }
 
 impl ErrorKind {
@@ -159,6 +163,7 @@ impl ErrorKind {
             ErrorKind::Admission => 4,
             ErrorKind::Shutdown => 5,
             ErrorKind::TooLarge => 6,
+            ErrorKind::Analysis => 7,
         }
     }
 
@@ -170,6 +175,7 @@ impl ErrorKind {
             4 => ErrorKind::Admission,
             5 => ErrorKind::Shutdown,
             6 => ErrorKind::TooLarge,
+            7 => ErrorKind::Analysis,
             _ => return None,
         })
     }
@@ -184,6 +190,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::Admission => "admission",
             ErrorKind::Shutdown => "shutdown",
             ErrorKind::TooLarge => "too-large",
+            ErrorKind::Analysis => "analysis",
         };
         f.write_str(s)
     }
@@ -384,6 +391,7 @@ mod tests {
             ErrorKind::Admission,
             ErrorKind::Shutdown,
             ErrorKind::TooLarge,
+            ErrorKind::Analysis,
         ] {
             roundtrip_resp(Response::Error {
                 kind,
