@@ -67,12 +67,17 @@ pub struct ProfileBucket {
 pub struct DbConfig {
     /// Maximum trigger cascade depth before the engine gives up.
     pub trigger_cascade_limit: usize,
+    /// How many times a transient store-commit failure is retried before
+    /// the transaction aborts. Safe because the WAL rolls a failed group
+    /// append back to a clean tail (DESIGN.md §10); 0 disables retries.
+    pub commit_retries: usize,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             trigger_cascade_limit: 64,
+            commit_retries: 2,
         }
     }
 }
@@ -606,6 +611,9 @@ impl Database {
             wal_fsyncs: s.wal_fsyncs,
             wal_bytes: s.wal_bytes,
             commits: s.commits,
+            replayed_groups: s.replayed_groups,
+            faults_injected: s.faults_injected,
+            checkpoint_failures: s.checkpoint_failures,
         })
     }
 

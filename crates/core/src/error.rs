@@ -113,6 +113,20 @@ impl std::error::Error for OdeError {
     }
 }
 
+impl OdeError {
+    /// Is this a *transient* storage failure — worth retrying after a
+    /// backoff? True exactly when the root cause is a retryable
+    /// [`StorageError`] (see [`StorageError::is_transient`]); the server
+    /// maps these to the wire protocol's retryable `Unavailable` kind.
+    pub fn is_unavailable(&self) -> bool {
+        match self {
+            OdeError::Storage(e) => e.is_transient(),
+            OdeError::InStatement { source, .. } => source.is_unavailable(),
+            _ => false,
+        }
+    }
+}
+
 impl From<StorageError> for OdeError {
     fn from(e: StorageError) -> Self {
         OdeError::Storage(e)

@@ -289,7 +289,11 @@ impl<'db> Transaction<'db> {
 
     fn release_reservations(&mut self) {
         for (heap, rid) in self.reserved.drain(..) {
-            let _ = self.db.store.release(heap, rid);
+            // A failed release leaks the reserved slot until the next
+            // reopen reclaims it — survivable, but it must be visible.
+            if self.db.store.release(heap, rid).is_err() {
+                self.db.tel.txn.release_errors.inc();
+            }
         }
     }
 
@@ -522,7 +526,9 @@ impl<'db> Transaction<'db> {
                 // reserved anchor and forget it entirely.
                 self.reserved
                     .retain(|&(h, r)| !(h == oid.cluster && r == oid.rid));
-                let _ = self.db.store.release(oid.cluster, oid.rid);
+                if self.db.store.release(oid.cluster, oid.rid).is_err() {
+                    self.db.tel.txn.release_errors.inc();
+                }
                 self.pending_activations.retain(|a| a.oid != oid);
                 return Ok(());
             }
@@ -803,7 +809,32 @@ impl<'db> Transaction<'db> {
         // invisible to snapshot readers until every update has landed, so a
         // ReadTransaction can never observe a torn commit (DESIGN.md §8).
         let publish = self.db.apply_gate.write();
-        self.db.store.commit(ops)?;
+        // Transient store failures (ENOSPC, a flaky disk) are retried a
+        // bounded number of times: a failed WAL group append rolls the log
+        // back to a clean tail, so re-issuing the identical batch is safe
+        // (DESIGN.md §10). Permanent errors abort immediately.
+        let max_retries = self.db.config.commit_retries;
+        let mut ops = Some(ops);
+        let mut attempt = 0usize;
+        loop {
+            // The last attempt consumes the batch; earlier ones clone it
+            // so it is still around to retry.
+            let batch = if attempt < max_retries {
+                ops.as_ref()
+                    .expect("batch retained until last attempt")
+                    .clone()
+            } else {
+                ops.take().expect("batch consumed only once")
+            };
+            match self.db.store.commit(batch) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < max_retries => {
+                    attempt += 1;
+                    self.db.tel.txn.commit_retries.inc();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         self.committed = true;
 
         let mut inner = self.db.inner.write();

@@ -1,0 +1,80 @@
+//! Engine behavior under injected storage faults: bounded commit retry,
+//! release-error accounting, and the permanent-vs-transient split
+//! (DESIGN.md §10).
+
+use std::sync::Arc;
+
+use ode_core::{Database, DbConfig};
+use ode_storage::{FailpointConfig, FailpointStore, FaultKind, MemStore, Store};
+
+fn faulty_db(retries: usize) -> (Database, Arc<FailpointStore>) {
+    let inner: Arc<dyn Store> = Arc::new(MemStore::new());
+    let fp = Arc::new(FailpointStore::new(inner, FailpointConfig::disabled(1)));
+    let db = Database::from_store(
+        Arc::clone(&fp) as Arc<dyn Store>,
+        DbConfig {
+            commit_retries: retries,
+            ..DbConfig::default()
+        },
+    )
+    .unwrap();
+    db.define_from_source("class item { int n = 0; }").unwrap();
+    db.create_cluster("item").unwrap();
+    (db, fp)
+}
+
+#[test]
+fn transient_commit_failure_is_retried_and_succeeds() {
+    let (db, fp) = faulty_db(2);
+    fp.force(FaultKind::CommitPre);
+    let oid = db
+        .transaction(|tx| tx.pnew("item", &[("n", 7.into())]))
+        .expect("one transient fault is absorbed by the retry budget");
+    assert_eq!(fp.faults_injected(), 1);
+    assert_eq!(db.telemetry().txn.commit_retries, 1);
+    // The retried batch landed: the object is readable afterwards.
+    db.transaction(|tx| {
+        assert_eq!(tx.get(oid, "n")?.as_int()?, 7);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn retry_budget_exhaustion_aborts_with_unavailable() {
+    let (db, fp) = faulty_db(0);
+    fp.force(FaultKind::CommitPre);
+    let err = db
+        .transaction(|tx| tx.pnew("item", &[]))
+        .expect_err("no retry budget: the transient fault surfaces");
+    assert!(err.is_unavailable(), "{err}");
+    assert_eq!(db.telemetry().txn.commit_retries, 0);
+    // Nothing half-applied: a later transaction starts from a clean store.
+    db.transaction(|tx| tx.pnew("item", &[])).unwrap();
+}
+
+#[test]
+fn failed_release_on_abort_is_counted_not_swallowed() {
+    let (db, fp) = faulty_db(2);
+    fp.force(FaultKind::Release);
+    let err = db
+        .transaction(|tx| {
+            tx.pnew("item", &[])?;
+            Err::<(), _>(ode_core::OdeError::Usage("forced abort".into()))
+        })
+        .expect_err("transaction aborts");
+    assert!(
+        !err.is_unavailable(),
+        "usage errors are not retryable: {err}"
+    );
+    assert_eq!(db.telemetry().txn.release_errors, 1);
+}
+
+#[test]
+fn permanent_errors_are_not_unavailable() {
+    let (db, _fp) = faulty_db(2);
+    let err = db
+        .transaction(|tx| tx.pnew("nonexistent", &[]))
+        .expect_err("unknown class");
+    assert!(!err.is_unavailable(), "{err}");
+}

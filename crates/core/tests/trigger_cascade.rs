@@ -152,6 +152,7 @@ fn chain_longer_than_cascade_limit_is_cut_and_reported() {
         std::sync::Arc::new(ode_storage::MemStore::new()),
         DbConfig {
             trigger_cascade_limit: 4,
+            ..DbConfig::default()
         },
     )
     .unwrap();

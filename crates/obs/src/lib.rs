@@ -270,6 +270,14 @@ pub struct TxnTelemetry {
     /// path that stays off the gate contributes nothing here — asserting
     /// `gate_wait.count` stays flat under read traffic proves it.
     pub gate_wait: LatencyHisto,
+    /// `store.release()` failures during rollback. A failed release leaks
+    /// the reserved slot until the next reopen reclaims it; the count makes
+    /// that leak observable instead of silently swallowed.
+    pub release_errors: Counter,
+    /// Store-commit attempts retried after a transient (retryable) storage
+    /// failure. The WAL rolls a failed group append back to a clean tail,
+    /// so the engine can re-issue the identical batch (DESIGN.md §10).
+    pub commit_retries: Counter,
 }
 
 /// Query-execution counters.
@@ -366,6 +374,9 @@ pub struct ServerTelemetry {
     pub bytes_in: Counter,
     /// Wire bytes sent (frame headers included).
     pub bytes_out: Counter,
+    /// Socket-configuration failures (nodelay, read/write timeouts) that
+    /// the connection loop survives but should not silently drop.
+    pub socket_errors: Counter,
     /// Wall-clock latency of request execution.
     pub request_latency: LatencyHisto,
     /// Connections currently open.
@@ -387,6 +398,7 @@ impl ServerTelemetry {
             timed_out: self.timed_out.get(),
             bytes_in: self.bytes_in.get(),
             bytes_out: self.bytes_out.get(),
+            socket_errors: self.socket_errors.get(),
             request_latency: self.request_latency.snapshot(),
             active_connections: self.active_connections.get(),
             max_concurrent: self.max_concurrent.get(),
@@ -405,6 +417,7 @@ impl ServerTelemetry {
             &self.timed_out,
             &self.bytes_in,
             &self.bytes_out,
+            &self.socket_errors,
         ] {
             c.reset();
         }
@@ -436,6 +449,8 @@ pub struct ServerSnapshot {
     pub bytes_in: u64,
     /// See [`ServerTelemetry::bytes_out`].
     pub bytes_out: u64,
+    /// See [`ServerTelemetry::socket_errors`].
+    pub socket_errors: u64,
     /// See [`ServerTelemetry::request_latency`].
     pub request_latency: HistoSnapshot,
     /// See [`ServerTelemetry::active_connections`].
@@ -465,6 +480,7 @@ impl ServerSnapshot {
             timed_out: self.timed_out.saturating_sub(baseline.timed_out),
             bytes_in: self.bytes_in.saturating_sub(baseline.bytes_in),
             bytes_out: self.bytes_out.saturating_sub(baseline.bytes_out),
+            socket_errors: self.socket_errors.saturating_sub(baseline.socket_errors),
             request_latency: self.request_latency.delta(&baseline.request_latency),
             ..*self
         }
@@ -484,6 +500,7 @@ impl ServerSnapshot {
         push("server.timed_out", self.timed_out);
         push("server.bytes_in", self.bytes_in);
         push("server.bytes_out", self.bytes_out);
+        push("server.socket_errors", self.socket_errors);
         push("server.active_connections", self.active_connections);
         push("server.max_concurrent", self.max_concurrent);
         push("server.request_latency.count", self.request_latency.count);
@@ -506,7 +523,8 @@ impl ServerSnapshot {
             "{{\"accepted\":{},\"rejected_admission\":{},\
              \"rejected_shutdown\":{},\"handshake_failures\":{},\
              \"requests\":{},\"engine_errors\":{},\"timed_out\":{},\
-             \"bytes_in\":{},\"bytes_out\":{},\"active_connections\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"socket_errors\":{},\
+             \"active_connections\":{},\
              \"max_concurrent\":{},\"request_latency\":",
             self.accepted,
             self.rejected_admission,
@@ -517,6 +535,7 @@ impl ServerSnapshot {
             self.timed_out,
             self.bytes_in,
             self.bytes_out,
+            self.socket_errors,
             self.active_connections,
             self.max_concurrent
         ));
@@ -553,6 +572,8 @@ impl EngineTelemetry {
             &t.aborted_other,
             &t.read_txns,
             &t.write_txns,
+            &t.release_errors,
+            &t.commit_retries,
         ] {
             c.reset();
         }
@@ -608,6 +629,8 @@ impl EngineTelemetry {
                 write_txns: self.txn.write_txns.get(),
                 commit_latency: self.txn.commit_latency.snapshot(),
                 gate_wait: self.txn.gate_wait.snapshot(),
+                release_errors: self.txn.release_errors.get(),
+                commit_retries: self.txn.commit_retries.get(),
             },
             query: QuerySnapshot {
                 foralls: self.query.foralls.get(),
@@ -668,6 +691,14 @@ pub struct StorageSnapshot {
     pub wal_bytes: u64,
     /// Committed store batches since open.
     pub commits: u64,
+    /// WAL commit groups replayed during recovery at the last open.
+    pub replayed_groups: u64,
+    /// Faults injected by a fault-injection wrapper (zero in production;
+    /// nonzero only under the crash-torture harness, DESIGN.md §10).
+    pub faults_injected: u64,
+    /// Checkpoint attempts that failed (including the best-effort one in
+    /// `Drop`); each leaves the WAL intact, so durability is unharmed.
+    pub checkpoint_failures: u64,
 }
 
 /// Transaction counters, frozen.
@@ -689,6 +720,10 @@ pub struct TxnSnapshot {
     pub commit_latency: HistoSnapshot,
     /// See [`TxnTelemetry::gate_wait`].
     pub gate_wait: HistoSnapshot,
+    /// See [`TxnTelemetry::release_errors`].
+    pub release_errors: u64,
+    /// See [`TxnTelemetry::commit_retries`].
+    pub commit_retries: u64,
 }
 
 /// Query counters, frozen.
@@ -796,9 +831,11 @@ impl TelemetrySnapshot {
             wal_appends,
             wal_fsyncs,
             commits,
+            faults_injected,
+            checkpoint_failures,
         ) = sub_fields!(s, b; pager_hits, pager_misses, pager_evictions,
             pager_writebacks, record_reads, record_writes, wal_appends,
-            wal_fsyncs, commits);
+            wal_fsyncs, commits, faults_injected, checkpoint_failures);
         let storage = StorageSnapshot {
             pager_hits,
             pager_misses,
@@ -810,11 +847,24 @@ impl TelemetrySnapshot {
             wal_fsyncs,
             wal_bytes: s.wal_bytes,
             commits,
+            // A level, not a count: recovery work from the last reopen.
+            replayed_groups: s.replayed_groups,
+            faults_injected,
+            checkpoint_failures,
         };
         let t = &self.txn;
         let bt = &baseline.txn;
-        let (begun, committed, aborted_constraint, aborted_other, read_txns, write_txns) = sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other,
-                read_txns, write_txns);
+        let (
+            begun,
+            committed,
+            aborted_constraint,
+            aborted_other,
+            read_txns,
+            write_txns,
+            release_errors,
+            commit_retries,
+        ) = sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other,
+                read_txns, write_txns, release_errors, commit_retries);
         let txn = TxnSnapshot {
             begun,
             committed,
@@ -824,6 +874,8 @@ impl TelemetrySnapshot {
             write_txns,
             commit_latency: t.commit_latency.delta(&bt.commit_latency),
             gate_wait: t.gate_wait.delta(&bt.gate_wait),
+            release_errors,
+            commit_retries,
         };
         let q = &self.query;
         let bq = &baseline.query;
@@ -907,6 +959,9 @@ impl TelemetrySnapshot {
         push("storage.wal_fsyncs", s.wal_fsyncs);
         push("storage.wal_bytes", s.wal_bytes);
         push("storage.commits", s.commits);
+        push("storage.faults_injected", s.faults_injected);
+        push("storage.checkpoint_failures", s.checkpoint_failures);
+        push("recovery.replayed_groups", s.replayed_groups);
         let t = &self.txn;
         push("txn.begun", t.begun);
         push("txn.committed", t.committed);
@@ -914,6 +969,8 @@ impl TelemetrySnapshot {
         push("txn.aborted_other", t.aborted_other);
         push("txn.read_txns", t.read_txns);
         push("txn.write_txns", t.write_txns);
+        push("txn.release_errors", t.release_errors);
+        push("commit.retries", t.commit_retries);
         push("txn.commit_latency.count", t.commit_latency.count);
         let q = &self.query;
         let lat = &self.txn.commit_latency;
@@ -982,7 +1039,9 @@ impl TelemetrySnapshot {
             "\"storage\":{{\"pager_hits\":{},\"pager_misses\":{},\
              \"pager_evictions\":{},\"pager_writebacks\":{},\
              \"record_reads\":{},\"record_writes\":{},\"wal_appends\":{},\
-             \"wal_fsyncs\":{},\"wal_bytes\":{},\"commits\":{}}},",
+             \"wal_fsyncs\":{},\"wal_bytes\":{},\"commits\":{},\
+             \"replayed_groups\":{},\"faults_injected\":{},\
+             \"checkpoint_failures\":{}}},",
             s.pager_hits,
             s.pager_misses,
             s.pager_evictions,
@@ -992,15 +1051,26 @@ impl TelemetrySnapshot {
             s.wal_appends,
             s.wal_fsyncs,
             s.wal_bytes,
-            s.commits
+            s.commits,
+            s.replayed_groups,
+            s.faults_injected,
+            s.checkpoint_failures
         ));
         let t = &self.txn;
         out.push_str(&format!(
             "\"txn\":{{\"begun\":{},\"committed\":{},\
              \"aborted_constraint\":{},\"aborted_other\":{},\
              \"read_txns\":{},\"write_txns\":{},\
+             \"release_errors\":{},\"commit_retries\":{},\
              \"commit_latency\":",
-            t.begun, t.committed, t.aborted_constraint, t.aborted_other, t.read_txns, t.write_txns
+            t.begun,
+            t.committed,
+            t.aborted_constraint,
+            t.aborted_other,
+            t.read_txns,
+            t.write_txns,
+            t.release_errors,
+            t.commit_retries
         ));
         t.commit_latency.json(&mut out);
         out.push_str(",\"gate_wait\":");

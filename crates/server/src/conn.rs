@@ -40,15 +40,28 @@ pub(crate) fn serve(stream: TcpStream, state: &Arc<ServerState>) {
         reader: FrameReader::new(),
         state: Arc::clone(state),
     };
-    let _ = conn.stream.set_nodelay(true);
+    // Socket tuning failures are survivable (the connection still works,
+    // just slower or without a write bound) but must not be silent.
+    if conn.stream.set_nodelay(true).is_err() {
+        state.tel.socket_errors.inc();
+    }
     if conn
         .stream
         .set_read_timeout(Some(state.cfg.poll_interval))
         .is_err()
     {
+        // Without a read timeout the poll loop would block forever and
+        // never observe drain; refuse the connection instead.
+        state.tel.socket_errors.inc();
         return;
     }
-    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(30)));
+    if conn
+        .stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .is_err()
+    {
+        state.tel.socket_errors.inc();
+    }
     conn.run();
 }
 
@@ -178,6 +191,7 @@ impl Conn {
                                 tel.engine_errors.inc();
                                 let kind = match &e {
                                     ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
+                                    e if e.is_unavailable() => ErrorKind::Unavailable,
                                     _ => ErrorKind::Engine,
                                 };
                                 Response::Error {

@@ -65,6 +65,15 @@ impl StorageError {
     pub fn io(context: &'static str, source: std::io::Error) -> Self {
         StorageError::Io { context, source }
     }
+
+    /// Is this failure worth retrying? Operating-system I/O errors
+    /// (ENOSPC, a flaky disk) can clear up; after a failed commit the WAL
+    /// rolls its tail back to the last complete group, so re-issuing the
+    /// identical batch is safe (DESIGN.md §10). Corruption, missing
+    /// records, and format errors are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io { .. })
+    }
 }
 
 /// Convenient result alias used across the crate.

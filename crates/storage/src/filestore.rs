@@ -160,6 +160,10 @@ pub struct FileStore {
     commits: AtomicU64,
     record_reads: AtomicU64,
     record_writes: AtomicU64,
+    /// WAL commit groups replayed when this store was opened.
+    replayed_groups: u64,
+    /// Checkpoint attempts that failed (the WAL stays intact each time).
+    checkpoint_failures: AtomicU64,
     dir: PathBuf,
 }
 
@@ -206,6 +210,7 @@ impl FileStore {
         let pager = Pager::new(file, opts.pool_pages)?;
 
         let (wal, replay) = Wal::open(&wal_path)?;
+        let replayed_groups = replay.len() as u64;
         let mut state = if fresh || pager.page_count() == 0 {
             let mut meta_page = Page::new(PageType::Meta, 0);
             let meta = Meta {
@@ -251,11 +256,24 @@ impl FileStore {
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
             };
+            // Pin every home rid the replay stream will address, so that
+            // forward-target placement during replay cannot allocate a slot
+            // a later replayed operation owns (pre-crash those slots were
+            // held by in-memory reservations, which are not durable).
+            state
+                .heaps
+                .pin_replay_homes(replay.iter().flatten().filter_map(|op| match op {
+                    WalOp::Put { heap, rid, .. } | WalOp::Delete { heap, rid } => {
+                        Some((*heap, *rid))
+                    }
+                    _ => None,
+                }));
             for batch in &replay {
                 for op in batch {
                     state.apply_op(&pager, op)?;
                 }
             }
+            state.heaps.clear_replay_pins();
             // Everything replayed is now in buffer-pool pages; checkpoint so
             // the WAL does not grow across repeated crashes.
             state.write_meta(&pager)?;
@@ -269,6 +287,8 @@ impl FileStore {
             commits: AtomicU64::new(0),
             record_reads: AtomicU64::new(0),
             record_writes: AtomicU64::new(0),
+            replayed_groups,
+            checkpoint_failures: AtomicU64::new(0),
             dir: dir.to_path_buf(),
         })
     }
@@ -280,14 +300,30 @@ impl FileStore {
 
     /// Flush everything and truncate the WAL. Called on drop as well.
     pub fn close(&self) -> Result<()> {
-        self.state.lock().checkpoint(&self.pager)
+        self.run_checkpoint()
+    }
+
+    /// WAL commit groups replayed when this store was opened.
+    pub fn replayed_groups(&self) -> u64 {
+        self.replayed_groups
+    }
+
+    fn run_checkpoint(&self) -> Result<()> {
+        let r = self.state.lock().checkpoint(&self.pager);
+        if r.is_err() {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        r
     }
 }
 
 impl Drop for FileStore {
     fn drop(&mut self) {
-        // Best-effort clean shutdown; recovery handles the rest.
-        let _ = self.state.lock().checkpoint(&self.pager);
+        // Best-effort clean shutdown; recovery handles the rest — but the
+        // failure must not vanish: count it and say why the WAL remains.
+        if let Err(e) = self.run_checkpoint() {
+            eprintln!("ode-storage: checkpoint on close failed (WAL retained for recovery): {e}");
+        }
     }
 }
 
@@ -369,7 +405,14 @@ impl Store for FileStore {
             g.apply_op(&self.pager, op)?;
         }
         self.commits.fetch_add(1, Ordering::Relaxed);
-        g.maybe_checkpoint(&self.pager)
+        // The batch is durable once the WAL append returned: a failed
+        // checkpoint here must not fail the commit (the caller would treat
+        // a durable batch as lost). The WAL stays intact, so the next
+        // checkpoint — or recovery — finishes the job.
+        if g.maybe_checkpoint(&self.pager).is_err() {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     fn scan(
@@ -386,7 +429,7 @@ impl Store for FileStore {
     }
 
     fn checkpoint(&self) -> Result<()> {
-        self.state.lock().checkpoint(&self.pager)
+        self.run_checkpoint()
     }
 
     fn stats(&self) -> StoreStats {
@@ -400,6 +443,9 @@ impl Store for FileStore {
             record_writes: self.record_writes.load(Ordering::Relaxed),
             wal_appends: g.wal.appends(),
             wal_fsyncs: g.wal.fsyncs(),
+            replayed_groups: self.replayed_groups,
+            faults_injected: 0,
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
         }
     }
 

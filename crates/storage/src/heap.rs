@@ -17,7 +17,7 @@
 //! open time. That makes recovery trivially correct: no page-allocation
 //! bookkeeping ever needs to be logged.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PageType, MAX_RECORD};
@@ -73,14 +73,24 @@ const HOME_MIN_EXTENT: usize = REC_HEADER + 6;
 /// Largest payload storable (one page minus page/record overheads).
 pub const MAX_PAYLOAD: usize = MAX_RECORD - REC_HEADER;
 
-fn encode(flag: u8, payload: &[u8], min_extent: usize) -> Vec<u8> {
+fn encode(flag: u8, payload: &[u8], min_extent: usize) -> Result<Vec<u8>> {
+    // The header stores the payload length in 16 bits: anything larger
+    // would silently truncate the slot length and corrupt the page. The
+    // public entry points already enforce MAX_PAYLOAD (which is smaller),
+    // so this guard is the last line of defense, not the usual rejection.
+    if payload.len() > u16::MAX as usize {
+        return Err(StorageError::RecordTooLarge {
+            size: payload.len(),
+            max: u16::MAX as usize,
+        });
+    }
     let body = REC_HEADER + payload.len();
     let extent = body.max(min_extent);
     let mut out = vec![0u8; extent];
     out[0] = flag;
     out[1..3].copy_from_slice(&(payload.len() as u16).to_le_bytes());
     out[REC_HEADER..body].copy_from_slice(payload);
-    out
+    Ok(out)
 }
 
 fn decode(bytes: &[u8]) -> Result<(u8, &[u8])> {
@@ -144,6 +154,12 @@ pub struct HeapManager {
     heaps: HashMap<u32, HeapState>,
     /// Pages released by dropped heaps, available for reuse.
     free_pages: Vec<PageId>,
+    /// Home rids referenced by WAL operations not yet replayed. Pre-crash
+    /// these slots were protected by in-memory reservations, which are not
+    /// durable; if `place` handed one out as a forward target during
+    /// replay, the later replayed put/delete at that rid would overwrite
+    /// the target and dangle the forward stub pointing at it.
+    replay_pins: HashSet<(u32, RecordId)>,
 }
 
 impl HeapManager {
@@ -202,6 +218,20 @@ impl HeapManager {
             st.pages.sort_unstable();
         }
         Ok(mgr)
+    }
+
+    /// Pin the home slots of every operation in a WAL replay stream. Call
+    /// before applying the replayed batches, and pair with
+    /// [`HeapManager::clear_replay_pins`] once replay finishes.
+    pub fn pin_replay_homes(&mut self, pins: impl IntoIterator<Item = (u32, RecordId)>) {
+        self.replay_pins.extend(pins);
+    }
+
+    /// Forget the replay pins. Leftover pin reservations (rids whose only
+    /// replayed operation was a delete) are invisible to scans and are
+    /// reclaimed by the next open's rebuild.
+    pub fn clear_replay_pins(&mut self) {
+        self.replay_pins = HashSet::new();
     }
 
     /// Register a new, empty heap.
@@ -284,7 +314,28 @@ impl HeapManager {
             let (slot, free) = placed;
             self.state_mut(heap)?.freemap.set(pid, free);
             if let Some(slot) = slot {
-                return Ok(RecordId { page: pid, slot });
+                let rid = RecordId { page: pid, slot };
+                if self.replay_pins.contains(&(heap, rid)) {
+                    // This slot is the home of an operation later in the
+                    // replay stream: occupy it with a reservation (so it is
+                    // not chosen again) and place the extent elsewhere. The
+                    // pending put/delete overwrites or clears the
+                    // reservation when it replays.
+                    let pin = encode(FLAG_RESERVED, &[], extent.len().max(HOME_MIN_EXTENT))?;
+                    let same_size = encode(FLAG_RESERVED, &[], extent.len())?;
+                    let free = pager.with_page_mut(pid, |p| {
+                        if !p.update(slot, &pin) {
+                            // Shrinking to the extent already there cannot
+                            // fail; only the HOME_MIN_EXTENT growth can.
+                            let ok = p.update(slot, &same_size);
+                            debug_assert!(ok, "same-size pin rewrite failed");
+                        }
+                        p.total_free()
+                    })?;
+                    self.state_mut(heap)?.freemap.set(pid, free);
+                    continue;
+                }
+                return Ok(rid);
             }
             // Stale free-map entry: the entry was just corrected; retry.
         }
@@ -298,7 +349,7 @@ impl HeapManager {
                 max: MAX_PAYLOAD,
             });
         }
-        let extent = encode(FLAG_NORMAL, payload, HOME_MIN_EXTENT);
+        let extent = encode(FLAG_NORMAL, payload, HOME_MIN_EXTENT)?;
         self.place(pager, heap, &extent)
     }
 
@@ -310,7 +361,7 @@ impl HeapManager {
             FLAG_RESERVED,
             &[],
             (REC_HEADER + size_hint.min(MAX_PAYLOAD)).max(HOME_MIN_EXTENT),
-        );
+        )?;
         self.place(pager, heap, &extent)
     }
 
@@ -431,7 +482,7 @@ impl HeapManager {
             Some((FLAG_FORWARD, stub)) => RecordId::from_bytes(stub),
             _ => None,
         };
-        let extent = encode(FLAG_NORMAL, payload, HOME_MIN_EXTENT);
+        let extent = encode(FLAG_NORMAL, payload, HOME_MIN_EXTENT)?;
         let wrote = pager.with_page_mut(rid.page, |p| {
             if !p.ensure_slot(rid.slot) {
                 return false;
@@ -452,23 +503,76 @@ impl HeapManager {
         if let Some(t) = old_target {
             self.delete_extent(pager, heap, t)?;
         }
-        let target_extent = encode(FLAG_FWD_TARGET, payload, 0);
+        let target_extent = encode(FLAG_FWD_TARGET, payload, 0)?;
         let target = self.place(pager, heap, &target_extent)?;
-        let stub = encode(FLAG_FORWARD, &target.to_bytes(), HOME_MIN_EXTENT);
-        let ok = pager.with_page_mut(rid.page, |p| {
-            if !p.ensure_slot(rid.slot) {
-                return false;
+        let stub = encode(FLAG_FORWARD, &target.to_bytes(), HOME_MIN_EXTENT)?;
+        loop {
+            let ok = pager.with_page_mut(rid.page, |p| {
+                if !p.ensure_slot(rid.slot) {
+                    return false;
+                }
+                p.update(rid.slot, &stub)
+            })?;
+            if ok {
+                break;
             }
-            p.update(rid.slot, &stub)
-        })?;
-        if !ok {
-            return Err(StorageError::Internal(format!(
-                "forward stub does not fit at {rid} despite minimum extent"
-            )));
+            // Live operation guarantees every home slot holds at least
+            // HOME_MIN_EXTENT bytes, but WAL replay can meet a page image
+            // fuller than it ever was live (an evicted page carrying
+            // *later* record states). Forward another resident off the
+            // page to make room rather than failing recovery.
+            if !self.make_room_on(pager, heap, rid.page, rid.slot)? {
+                return Err(StorageError::Internal(format!(
+                    "forward stub does not fit at {rid} despite minimum extent"
+                )));
+            }
         }
         let free = pager.with_page(rid.page, |p| p.total_free())?;
         self.state_mut(heap)?.freemap.set(rid.page, free);
         Ok(())
+    }
+
+    /// Free at least one byte on `pid` so a forward stub fits at slot
+    /// `except`: shrink an oversized reservation in place, or forward the
+    /// largest resident record's body to another page. Returns false when
+    /// nothing on the page can move.
+    fn make_room_on(&mut self, pager: &Pager, heap: u32, pid: PageId, except: u16) -> Result<bool> {
+        let victim = pager.with_page(pid, |p| {
+            p.iter_records()
+                .filter(|&(s, r)| {
+                    s != except
+                        && r.len() > HOME_MIN_EXTENT
+                        && matches!(r.first(), Some(&FLAG_NORMAL) | Some(&FLAG_RESERVED))
+                })
+                .max_by_key(|&(_, r)| r.len())
+                .map(|(s, r)| (s, r.to_vec()))
+        })?;
+        let Some((slot, raw)) = victim else {
+            return Ok(false);
+        };
+        if raw[0] == FLAG_RESERVED {
+            let shrunk = encode(FLAG_RESERVED, &[], HOME_MIN_EXTENT)?;
+            let free = pager.with_page_mut(pid, |p| {
+                p.update(slot, &shrunk);
+                p.total_free()
+            })?;
+            self.state_mut(heap)?.freemap.set(pid, free);
+            return Ok(true);
+        }
+        // Relocate the record body; its id stays at `slot` via a stub, so
+        // identity is preserved. `place` cannot pick this page again: the
+        // body is larger than the page's free space by construction.
+        let (_, payload) = decode(&raw)?;
+        let body = encode(FLAG_FWD_TARGET, payload, 0)?;
+        let target = self.place(pager, heap, &body)?;
+        let stub = encode(FLAG_FORWARD, &target.to_bytes(), HOME_MIN_EXTENT)?;
+        let free = pager.with_page_mut(pid, |p| {
+            let ok = p.update(slot, &stub);
+            debug_assert!(ok, "stub is no larger than the extent it replaces");
+            p.total_free()
+        })?;
+        self.state_mut(heap)?.freemap.set(pid, free);
+        Ok(true)
     }
 
     fn delete_extent(&mut self, pager: &Pager, heap: u32, rid: RecordId) -> Result<()> {
@@ -792,6 +896,22 @@ mod tests {
     }
 
     #[test]
+    fn encode_rejects_payloads_past_u16_length() {
+        // Regression: `payload.len() as u16` used to truncate silently,
+        // writing a wrong slot length and corrupting the page.
+        let huge = vec![0u8; u16::MAX as usize + 1];
+        assert!(matches!(
+            encode(FLAG_NORMAL, &huge, 0),
+            Err(StorageError::RecordTooLarge {
+                size,
+                max
+            }) if size == huge.len() && max == u16::MAX as usize
+        ));
+        // The boundary itself still encodes.
+        assert!(encode(FLAG_NORMAL, &vec![0u8; u16::MAX as usize], 0).is_ok());
+    }
+
+    #[test]
     fn put_at_is_idempotent_like_wal_replay() {
         let (pager, _p) = temp_pager("idempotent");
         let mut mgr = HeapManager::new();
@@ -808,6 +928,46 @@ mod tests {
         })
         .unwrap();
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn replay_pins_protect_future_home_slots() {
+        let (pager, _p) = temp_pager("replay-pins");
+        let mut mgr = HeapManager::new();
+        mgr.create_heap(1);
+        let home = mgr.insert(&pager, 1, &[1u8; 16]).unwrap();
+        // Fill the home page so growing `home` must forward to a new page.
+        loop {
+            let f = mgr.insert(&pager, 1, &[9u8; 512]).unwrap();
+            if f.page != home.page {
+                mgr.delete(&pager, 1, f).unwrap();
+                break;
+            }
+        }
+        // The forward target would land at slot 0 of the next fresh page;
+        // pin that slot, as if a later WAL op addressed it as its home.
+        let future_home = RecordId {
+            page: pager.page_count(),
+            slot: 0,
+        };
+        mgr.pin_replay_homes([(1, future_home)]);
+        let big = vec![7u8; 4000];
+        mgr.put_at(&pager, 1, home, &big).unwrap();
+        assert_eq!(mgr.read(&pager, 1, home).unwrap(), big);
+        // Replay the pinned op: without the pin this would overwrite the
+        // forward target and dangle `home`'s stub.
+        mgr.put_at(&pager, 1, future_home, b"late replayed op")
+            .unwrap();
+        mgr.clear_replay_pins();
+        assert_eq!(
+            mgr.read(&pager, 1, home).unwrap(),
+            big,
+            "forward target survived the pinned home's replay"
+        );
+        assert_eq!(
+            mgr.read(&pager, 1, future_home).unwrap(),
+            b"late replayed op"
+        );
     }
 
     #[test]

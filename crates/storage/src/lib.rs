@@ -37,6 +37,7 @@
 
 pub mod crc;
 pub mod error;
+pub mod failpoint;
 pub mod filestore;
 pub mod heap;
 pub mod memstore;
@@ -46,6 +47,7 @@ pub mod store;
 pub mod wal;
 
 pub use error::{Result, StorageError};
+pub use failpoint::{FailpointConfig, FailpointStore, FaultKind};
 pub use filestore::FileStore;
 pub use heap::RecordId;
 pub use memstore::MemStore;

@@ -49,6 +49,14 @@ pub struct StoreStats {
     pub wal_appends: u64,
     /// WAL fsyncs issued (zero when sync is disabled).
     pub wal_fsyncs: u64,
+    /// WAL commit groups replayed during recovery at the last open.
+    pub replayed_groups: u64,
+    /// Faults injected by a wrapping [`crate::FailpointStore`] (always
+    /// zero for the concrete stores themselves).
+    pub faults_injected: u64,
+    /// Checkpoint attempts that failed; each leaves the WAL intact, so
+    /// durability is unharmed (DESIGN.md §10).
+    pub checkpoint_failures: u64,
 }
 
 /// Abstract persistent store. Implementations: [`crate::FileStore`]

@@ -150,6 +150,12 @@ fn decode_entry(payload: &[u8]) -> Result<Entry> {
     Ok(entry)
 }
 
+fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
 /// The write-ahead log file.
 pub struct Wal {
     path: PathBuf,
@@ -252,6 +258,10 @@ impl Wal {
         (batches, valid_end, max_tx)
     }
 
+    /// Append one framed record through the buffered writer. Production
+    /// appends go through [`Wal::append_commit`]'s all-or-nothing group
+    /// write; tests use this to hand-craft partial groups.
+    #[cfg(test)]
     fn frame(&mut self, payload: &[u8]) -> Result<()> {
         let mut head = [0u8; 8];
         head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -266,32 +276,55 @@ impl Wal {
 
     /// Append one committed group. With `sync`, the group is fsynced before
     /// returning — the durability point of the whole store.
+    ///
+    /// The whole group is assembled in memory and written with one
+    /// `write_all`, and on any failure (short write, ENOSPC, fsync) the
+    /// file is truncated back to its pre-append length. Either way the log
+    /// tail stays clean, so the caller may re-issue the identical batch —
+    /// this is what makes a failed commit *retryable* (DESIGN.md §10).
     pub fn append_commit(&mut self, ops: &[WalOp], sync: bool) -> Result<u64> {
         let tx = self.next_tx;
         self.next_tx += 1;
+        let mut group = Vec::with_capacity(64);
         let mut payload = Vec::with_capacity(16);
         payload.push(TAG_BEGIN);
         payload.extend_from_slice(&tx.to_le_bytes());
-        self.frame(&payload)?;
+        frame_into(&mut group, &payload);
         for op in ops {
             payload.clear();
             encode_op(op, &mut payload);
-            self.frame(&payload)?;
+            frame_into(&mut group, &payload);
         }
         payload.clear();
         payload.push(TAG_COMMIT);
         payload.extend_from_slice(&tx.to_le_bytes());
-        self.frame(&payload)?;
-        self.writer
+        frame_into(&mut group, &payload);
+
+        let start = self.len;
+        let result = self
+            .writer
             .flush()
-            .map_err(|e| StorageError::io("flush wal", e))?;
-        if sync {
-            self.writer
-                .get_ref()
-                .sync_data()
-                .map_err(|e| StorageError::io("fsync wal", e))?;
-            self.fsyncs += 1;
+            .and_then(|()| self.writer.get_mut().write_all(&group))
+            .map_err(|e| StorageError::io("append wal group", e))
+            .and_then(|()| {
+                if sync {
+                    self.writer
+                        .get_ref()
+                        .sync_data()
+                        .map_err(|e| StorageError::io("fsync wal", e))?;
+                    self.fsyncs += 1;
+                }
+                Ok(())
+            });
+        if let Err(e) = result {
+            // Best-effort rollback to the last complete group. If even
+            // this fails, the torn tail is truncated at the next open.
+            let file = self.writer.get_mut();
+            let _ = file.set_len(start);
+            let _ = file.seek(SeekFrom::Start(start));
+            return Err(e);
         }
+        self.len = start + group.len() as u64;
         self.appends += 1;
         Ok(tx)
     }

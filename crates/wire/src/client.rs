@@ -36,6 +36,9 @@ pub enum ClientError {
     /// The static analyzer rejected the statement before execution; no
     /// transaction was opened and the session remains usable.
     Analysis(String),
+    /// A transient storage failure on the server; the session survives
+    /// and the request is safe to retry after a backoff (DESIGN.md §10).
+    Unavailable(String),
 }
 
 impl ClientError {
@@ -43,6 +46,15 @@ impl ClientError {
     /// engine-reported one)?
     pub fn is_transport(&self) -> bool {
         matches!(self, ClientError::Transport(_))
+    }
+
+    /// Is this failure worth retrying after a backoff? True for the
+    /// server's typed `Unavailable` (transient storage trouble; the
+    /// session survives, so the same line can simply be re-sent).
+    /// Transport errors are NOT retryable here: the connection state is
+    /// unknown and the caller must reconnect first.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Unavailable(_))
     }
 
     fn from_io(e: io::Error) -> ClientError {
@@ -61,6 +73,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Engine(m) => write!(f, "{m}"),
             ClientError::TooLarge(m) => write!(f, "request too large: {m}"),
             ClientError::Analysis(m) => write!(f, "{m}"),
+            ClientError::Unavailable(m) => write!(f, "server unavailable (retryable): {m}"),
         }
     }
 }
@@ -76,6 +89,42 @@ pub enum RemoteLine {
     Continue,
     /// The remote session ended (`.exit`, or the server drained).
     Goodbye,
+}
+
+/// Client-side backoff for retryable server errors
+/// ([`ClientError::is_retryable`]). The delay doubles after each failed
+/// attempt: `base_delay`, `2 × base_delay`, `4 × base_delay`, …
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each time.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            base_delay: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based).
+    fn delay(&self, attempt: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+    }
 }
 
 /// A connected, handshaken session with an `ode-server`.
@@ -127,6 +176,28 @@ impl Client {
             other => Err(ClientError::Protocol(format!(
                 "unexpected response: {other:?}"
             ))),
+        }
+    }
+
+    /// [`Client::line`] with automatic backoff on retryable errors: when
+    /// the server answers `Unavailable` (transient storage trouble — the
+    /// session survives), sleep per `policy` and re-send the identical
+    /// line. Every other error, and exhaustion of the retry budget,
+    /// surfaces unchanged.
+    pub fn line_with_retry(
+        &mut self,
+        text: &str,
+        policy: RetryPolicy,
+    ) -> Result<RemoteLine, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.line(text) {
+                Err(e) if e.is_retryable() && attempt < policy.attempts => {
+                    attempt += 1;
+                    std::thread::sleep(policy.delay(attempt));
+                }
+                other => return other,
+            }
         }
     }
 
@@ -195,6 +266,7 @@ fn typed(kind: ErrorKind, message: String) -> ClientError {
         ErrorKind::Shutdown => ClientError::ShuttingDown(message),
         ErrorKind::TooLarge => ClientError::TooLarge(message),
         ErrorKind::Analysis => ClientError::Analysis(message),
+        ErrorKind::Unavailable => ClientError::Unavailable(message),
     }
 }
 
@@ -236,5 +308,35 @@ mod tests {
             typed(ErrorKind::TooLarge, "big".into()),
             ClientError::TooLarge("big".into())
         );
+        assert_eq!(
+            typed(ErrorKind::Unavailable, "disk".into()),
+            ClientError::Unavailable("disk".into())
+        );
+    }
+
+    #[test]
+    fn only_unavailable_is_retryable() {
+        assert!(ClientError::Unavailable("enospc".into()).is_retryable());
+        for e in [
+            ClientError::Transport("refused".into()),
+            ClientError::Engine("parse".into()),
+            ClientError::Timeout("slow".into()),
+            ClientError::Protocol("bad".into()),
+            ClientError::Rejected("full".into()),
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(10),
+        };
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(RetryPolicy::none().attempts, 0);
     }
 }

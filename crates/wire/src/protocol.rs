@@ -152,6 +152,11 @@ pub enum ErrorKind {
     /// (unknown member, type mismatch, contradictory constraint, …).
     /// No transaction was opened; the session continues.
     Analysis,
+    /// A transient storage failure (ENOSPC, a flaky disk) aborted the
+    /// request after the engine's own retry budget ran out. The session
+    /// survives and the request is safe to retry after a backoff
+    /// (DESIGN.md §10).
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -164,6 +169,7 @@ impl ErrorKind {
             ErrorKind::Shutdown => 5,
             ErrorKind::TooLarge => 6,
             ErrorKind::Analysis => 7,
+            ErrorKind::Unavailable => 8,
         }
     }
 
@@ -176,6 +182,7 @@ impl ErrorKind {
             5 => ErrorKind::Shutdown,
             6 => ErrorKind::TooLarge,
             7 => ErrorKind::Analysis,
+            8 => ErrorKind::Unavailable,
             _ => return None,
         })
     }
@@ -191,6 +198,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::Shutdown => "shutdown",
             ErrorKind::TooLarge => "too-large",
             ErrorKind::Analysis => "analysis",
+            ErrorKind::Unavailable => "unavailable",
         };
         f.write_str(s)
     }
@@ -392,6 +400,7 @@ mod tests {
             ErrorKind::Shutdown,
             ErrorKind::TooLarge,
             ErrorKind::Analysis,
+            ErrorKind::Unavailable,
         ] {
             roundtrip_resp(Response::Error {
                 kind,

@@ -85,8 +85,17 @@ impl Store for FaultStore {
     }
 }
 
+/// Retries off: these tests pin the *abort* path, and the injected fault
+/// is transient, so the default `commit_retries` would paper over it.
+fn no_retry() -> DbConfig {
+    DbConfig {
+        commit_retries: 0,
+        ..DbConfig::default()
+    }
+}
+
 fn setup(store: Arc<FaultStore>) -> Database {
-    let db = Database::from_store(store, DbConfig::default()).unwrap();
+    let db = Database::from_store(store, no_retry()).unwrap();
     db.define_from_source("class item { string name; int qty = 0; }")
         .unwrap();
     db.create_cluster("item").unwrap();
@@ -158,7 +167,7 @@ fn failed_commit_aborts_cleanly_and_database_stays_usable() {
 #[test]
 fn failed_commit_fires_no_triggers() {
     let store = FaultStore::new();
-    let db = Database::from_store(store.clone(), DbConfig::default()).unwrap();
+    let db = Database::from_store(store.clone(), no_retry()).unwrap();
     db.define_from_source(
         "class item { int qty = 100; int hits = 0; perpetual trigger low() : qty < 10 { hits = hits + 1; qty = 100; } }",
     )
@@ -202,7 +211,7 @@ fn failed_commit_fires_no_triggers() {
 #[test]
 fn failure_during_trigger_action_commit_is_reported_not_propagated() {
     let store = FaultStore::new();
-    let db = Database::from_store(store.clone(), DbConfig::default()).unwrap();
+    let db = Database::from_store(store.clone(), no_retry()).unwrap();
     // The action runs a callback (which arms the fault) and then assigns a
     // marker; the action transaction's own commit then fails.
     db.define_from_source(
@@ -238,6 +247,39 @@ fn failure_during_trigger_action_commit_is_reported_not_propagated() {
         Ok(())
     })
     .unwrap();
+}
+
+#[test]
+fn transient_commit_failure_is_retried_transparently() {
+    // Under the default config (DESIGN.md §10) a one-shot transient
+    // commit failure is absorbed by the engine's bounded retry: the
+    // caller sees a successful commit, and the retry shows up in
+    // telemetry rather than as an error.
+    let store = FaultStore::new();
+    let db = Database::from_store(store.clone(), DbConfig::default()).unwrap();
+    db.define_from_source("class item { int qty = 0; }")
+        .unwrap();
+    db.create_cluster("item").unwrap();
+
+    let commits_before = store.commits.load(Ordering::SeqCst);
+    store.arm();
+    let oid = db
+        .transaction(|tx| tx.pnew("item", &[("qty", Value::Int(7))]))
+        .expect("a transient failure within the retry budget must not surface");
+    assert_eq!(
+        store.commits.load(Ordering::SeqCst),
+        commits_before + 1,
+        "the retry reached the store exactly once"
+    );
+    db.transaction(|tx| {
+        assert_eq!(tx.get(oid, "qty")?, Value::Int(7));
+        Ok(())
+    })
+    .unwrap();
+    assert!(
+        db.telemetry().txn.commit_retries >= 1,
+        "the absorbed failure must be visible as txn.commit_retries"
+    );
 }
 
 #[test]
