@@ -179,6 +179,10 @@ fn main() {
     let _ = writeln!(json, "  \"window_ms\": {},", cfg.window.as_millis());
     let _ = writeln!(json, "  \"quick\": {},", cfg.quick);
     let _ = writeln!(json, "  \"host_parallelism\": {parallelism},");
+    // Reader *scaling* measured on one hardware thread says nothing —
+    // every thread count time-slices the same core — so such runs are
+    // recorded but flagged non-credible.
+    let _ = writeln!(json, "  \"credible\": {},", parallelism >= 2);
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -217,5 +221,6 @@ fn main() {
         eprintln!(
             "f11: host has {parallelism} core(s); ≥2x@4-threads assertion skipped (measured {speedup:.2}x)"
         );
+        eprintln!("f11: NOT CREDIBLE — single-core scaling numbers are time-slicing artifacts");
     }
 }

@@ -34,11 +34,19 @@ impl Database {
     /// `analyze.*` family move.
     pub fn analyze_statement(&self, src: &str) -> Result<Vec<Diagnostic>> {
         let start = Instant::now();
+        let mut span = self.flight.span(ode_obs::SpanStage::Analyze, head_of(src));
         let result = self.analyze_inner(src);
         let tel = &self.tel.analyze;
         tel.passes.inc();
         tel.latency.record_ns(start.elapsed().as_nanos() as u64);
         if let Ok(diags) = &result {
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == ode_analyze::Severity::Error)
+                .count();
+            if errors > 0 {
+                span.set_detail(format!("{} ({errors} errors)", head_of(src)));
+            }
             for d in diags {
                 match d.severity {
                     ode_analyze::Severity::Error => tel.errors.inc(),
@@ -182,6 +190,17 @@ impl Database {
 
 fn unknown_class(class: &str, src: &str) -> Diagnostic {
     Diagnostic::unknown_class(class, src)
+}
+
+/// First few words of a statement, for span details (bounded so one huge
+/// statement cannot bloat the flight recorder).
+fn head_of(src: &str) -> String {
+    let trimmed = src.trim();
+    let mut head: String = trimmed.chars().take(48).collect();
+    if head.len() < trimmed.len() {
+        head.push('…');
+    }
+    head
 }
 
 /// Extract the catalog facts the analyzer wants: which `(class, field)`

@@ -9,6 +9,7 @@
 
 use ode_model::encode::{read_value, write_value, Reader, Writer};
 use ode_model::{ModelError, Oid, Value};
+use ode_obs::WorkStatRow;
 use ode_storage::RecordId;
 use std::collections::HashMap;
 
@@ -21,6 +22,7 @@ const K_CLASS: u8 = 1;
 const K_CLUSTER: u8 = 2;
 const K_INDEX: u8 = 3;
 const K_ACTIVATION: u8 = 4;
+const K_STATS: u8 = 5;
 
 /// One catalog entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +54,11 @@ pub enum CatalogRecord {
         /// Activation arguments, bound to the declaration's parameters.
         args: Vec<Value>,
     },
+    /// Accumulated workload statistics (per-cluster / per-index read,
+    /// write, and scan counters), written at checkpoint time so the
+    /// counters survive restarts. At most one lives in the catalog; it is
+    /// updated in place (same rid) on every checkpoint.
+    Stats(Vec<WorkStatRow>),
 }
 
 impl CatalogRecord {
@@ -89,6 +96,18 @@ impl CatalogRecord {
                 write_value(&mut w, &Value::Ref(*oid));
                 write_value(&mut w, &Value::Str(trigger.clone()));
                 write_value(&mut w, &Value::Array(args.clone()));
+                out.extend_from_slice(&w.finish());
+                out
+            }
+            CatalogRecord::Stats(rows) => {
+                let mut out = vec![K_STATS];
+                write_value(&mut w, &Value::Int(rows.len() as i64));
+                for row in rows {
+                    write_value(&mut w, &Value::Str(row.key.clone()));
+                    write_value(&mut w, &Value::Int(row.reads as i64));
+                    write_value(&mut w, &Value::Int(row.writes as i64));
+                    write_value(&mut w, &Value::Int(row.scans as i64));
+                }
                 out.extend_from_slice(&w.finish());
                 out
             }
@@ -134,6 +153,23 @@ impl CatalogRecord {
                     args,
                 }
             }
+            K_STATS => {
+                let count = read_value(&mut r)?.as_int()? as usize;
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = read_value(&mut r)?.as_str()?.to_string();
+                    let reads = read_value(&mut r)?.as_int()? as u64;
+                    let writes = read_value(&mut r)?.as_int()? as u64;
+                    let scans = read_value(&mut r)?.as_int()? as u64;
+                    rows.push(WorkStatRow {
+                        key,
+                        reads,
+                        writes,
+                        scans,
+                    });
+                }
+                CatalogRecord::Stats(rows)
+            }
             other => return Err(ModelError::Decode(format!("unknown catalog kind {other}")).into()),
         };
         Ok(rec)
@@ -152,6 +188,9 @@ pub struct CatalogState {
     pub index_rids: HashMap<(String, String), RecordId>,
     /// activation id → rid of the activation record.
     pub activation_rids: HashMap<u64, RecordId>,
+    /// rid of the (single) workload-statistics record, if one has been
+    /// checkpointed.
+    pub stats_rid: Option<RecordId>,
 }
 
 #[cfg(test)]
@@ -184,6 +223,21 @@ mod tests {
                 trigger: "reorder".into(),
                 args: vec![Value::Int(10), Value::Str("rush".into())],
             },
+            CatalogRecord::Stats(vec![
+                WorkStatRow {
+                    key: "cluster:stockitem".into(),
+                    reads: 100,
+                    writes: 20,
+                    scans: 3,
+                },
+                WorkStatRow {
+                    key: "index:stockitem.supplier".into(),
+                    reads: 7,
+                    writes: 0,
+                    scans: 0,
+                },
+            ]),
+            CatalogRecord::Stats(Vec::new()),
         ];
         for rec in records {
             let bytes = rec.encode();

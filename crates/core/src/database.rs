@@ -27,8 +27,9 @@ use parking_lot::{Mutex, RwLock};
 use ode_model::encode::{decode_class, encode_class};
 use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
 use ode_obs::{
-    EngineTelemetry, QueryProfile, StorageSnapshot, TelemetrySnapshot, TraceEvent, TracePhase,
-    TraceScope, TraceSink,
+    EngineTelemetry, FlightRecorder, QueryProfile, SlowQueryLog, SpanStage, StorageSnapshot,
+    TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink, WorkStatRow, WorkloadStats,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SLOW_THRESHOLD_NS,
 };
 use ode_storage::{FileStore, MemStore, Store, StoreOp, StoreStats};
 
@@ -71,6 +72,10 @@ pub struct DbConfig {
     /// the transaction aborts. Safe because the WAL rolls a failed group
     /// append back to a clean tail (DESIGN.md §10); 0 disables retries.
     pub commit_retries: usize,
+    /// Capacity (in spans) of the always-on flight recorder ring.
+    pub flight_capacity: usize,
+    /// Statements slower than this land in the slow-query log.
+    pub slow_query_threshold_ns: u64,
 }
 
 impl Default for DbConfig {
@@ -78,6 +83,8 @@ impl Default for DbConfig {
         DbConfig {
             trigger_cascade_limit: 64,
             commit_retries: 2,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            slow_query_threshold_ns: DEFAULT_SLOW_THRESHOLD_NS,
         }
     }
 }
@@ -134,6 +141,15 @@ pub struct Database {
     pub(crate) config: DbConfig,
     /// Engine-wide counters; every layer increments through relaxed atomics.
     pub(crate) tel: EngineTelemetry,
+    /// Always-on flight recorder: the last N structured spans, ring-
+    /// buffered in bounded memory, dumpable on panic or via `.trace`.
+    pub(crate) flight: Arc<FlightRecorder>,
+    /// Per-cluster / per-index read/write/scan counters, persisted into
+    /// the catalog at checkpoint time.
+    pub(crate) workstats: WorkloadStats,
+    /// Statements slower than the configured threshold, with their plans
+    /// and per-stage span timings.
+    pub(crate) slowlog: SlowQueryLog,
     /// Optional span-event sink (tracing layer).
     pub(crate) trace: RwLock<Option<TraceSink>>,
     /// Accumulated per-query-shape profiles, keyed by `target | strategy`.
@@ -167,6 +183,11 @@ impl Database {
 
     /// Build a database over any store implementation.
     pub fn from_store(store: Arc<dyn Store>, config: DbConfig) -> Result<Database> {
+        let flight = Arc::new(FlightRecorder::with_capacity(config.flight_capacity));
+        let workstats = WorkloadStats::new();
+        // Recovery runs before any request exists, so its span belongs to
+        // the background (zero) trace.
+        let mut recovery_span = flight.span(SpanStage::Recovery, "catalog replay");
         if !store.has_heap(CATALOG_HEAP) {
             let id = store.create_heap()?;
             if id != CATALOG_HEAP {
@@ -194,7 +215,9 @@ impl Database {
         })?;
         let mut max_activation = 0u64;
         let mut index_decls = Vec::new();
+        let mut replayed = 0usize;
         for (rid, bytes) in records {
+            replayed += 1;
             match CatalogRecord::decode(&bytes)? {
                 CatalogRecord::Class(class_bytes) => {
                     let builder = decode_class(&class_bytes)?;
@@ -232,6 +255,12 @@ impl Database {
                     inner.activations_by_oid.entry(oid).or_default().push(id);
                     inner.catalog.activation_rids.insert(id, rid);
                 }
+                CatalogRecord::Stats(rows) => {
+                    for row in &rows {
+                        workstats.absorb(row);
+                    }
+                    inner.catalog.stats_rid = Some(rid);
+                }
             }
         }
 
@@ -240,6 +269,8 @@ impl Database {
             let ix = build_index(store.as_ref(), &inner, class, &field)?;
             inner.indexes.insert((class, field), ix);
         }
+        recovery_span.set_detail(format!("{replayed} catalog records"));
+        drop(recovery_span);
 
         Ok(Database {
             store,
@@ -249,8 +280,11 @@ impl Database {
             commit_epoch: AtomicU64::new(0),
             callbacks: RwLock::new(HashMap::new()),
             next_activation_id: AtomicU64::new(max_activation + 1),
+            slowlog: SlowQueryLog::with_threshold_ns(config.slow_query_threshold_ns),
             config,
             tel: EngineTelemetry::default(),
+            flight,
+            workstats,
             trace: RwLock::new(None),
             profiles: RwLock::new(HashMap::new()),
             next_txn_serial: AtomicU64::new(1),
@@ -686,14 +720,80 @@ impl Database {
         }
     }
 
+    // --------------------------------------------------- observability
+
+    /// The always-on flight recorder: the last N spans of every request,
+    /// in bounded memory. Inspect with [`FlightRecorder::for_trace`] /
+    /// [`FlightRecorder::recent_traces`], or render with
+    /// [`ode_obs::render_spans`].
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The slow-query log (statements over the configured threshold).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slowlog
+    }
+
+    /// Accumulated per-cluster / per-index workload counters, sorted by
+    /// key (`cluster:<class>` / `index:<class>.<field>`). Persisted into
+    /// the catalog at every checkpoint, so they survive restarts.
+    pub fn workload_stats(&self) -> Vec<WorkStatRow> {
+        self.workstats.snapshot()
+    }
+
+    /// Record a write of `n` objects against a cluster's workload
+    /// counters (commit pipeline).
+    pub(crate) fn note_cluster_writes(&self, class_name: &str, n: u64) {
+        if n > 0 {
+            self.workstats
+                .entry(&format!("cluster:{class_name}"))
+                .writes
+                .add(n);
+        }
+    }
+
     /// Drop cached pages (benchmarks: cold-cache runs).
     pub fn clear_cache(&self) -> Result<()> {
         Ok(self.store.clear_cache()?)
     }
 
-    /// Flush everything and truncate the WAL.
+    /// Flush everything and truncate the WAL. Also persists the workload
+    /// statistics counters into the catalog so they survive restarts.
     pub fn checkpoint(&self) -> Result<()> {
+        self.persist_workload_stats()?;
         Ok(self.store.checkpoint()?)
+    }
+
+    /// Write the accumulated workload counters into the catalog's single
+    /// stats record (reserving its rid on first use, updating in place
+    /// thereafter). A no-op when no counter has ever moved.
+    fn persist_workload_stats(&self) -> Result<()> {
+        let rows = self.workstats.snapshot();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        // Deliberately no `txn_gate` here: checkpoint() may be called
+        // while a write transaction is open (it holds the gate until
+        // commit). The apply-gate write lock alone excludes the commit
+        // publish window and DDL, which is all this single-record store
+        // commit needs.
+        let _apply = self.apply_gate.write();
+        let mut inner = self.inner.write();
+        let rec = CatalogRecord::Stats(rows).encode();
+        let rid = match inner.catalog.stats_rid {
+            Some(rid) => rid,
+            None => self.store.reserve(CATALOG_HEAP, rec.len())?,
+        };
+        self.store.commit(vec![StoreOp::Put {
+            heap: CATALOG_HEAP,
+            rid,
+            data: rec,
+        }])?;
+        inner.catalog.stats_rid = Some(rid);
+        drop(inner);
+        self.bump_epoch();
+        Ok(())
     }
 
     pub(crate) fn callback(&self, name: &str) -> Result<CallbackFn> {

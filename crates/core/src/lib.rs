@@ -46,7 +46,9 @@ pub use backup::DumpStats;
 pub use database::{CallbackFn, Database, DbConfig, ProfileBucket, MAX_PROFILE_BUCKETS};
 pub use error::{OdeError, Result};
 pub use obs::{
-    PlanStrategy, QueryProfile, TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink,
+    render_spans, FlightRecorder, PlanStrategy, QueryProfile, SlowQuery, SlowQueryLog, SpanRecord,
+    SpanStage, TelemetrySnapshot, TraceEvent, TraceId, TracePhase, TraceScope, TraceSink,
+    WorkStatRow,
 };
 pub use oql::{parse_query, ExecResult, QueryRows, QueryStmt};
 pub use query::{Forall, ForallJoin};

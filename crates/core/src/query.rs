@@ -32,7 +32,7 @@ use std::ops::Bound;
 
 use ode_model::eval::EvalCtx;
 use ode_model::{parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
-use ode_obs::{PlanStrategy, QueryProfile, TracePhase, TraceScope};
+use ode_obs::{PlanStrategy, QueryProfile, SpanStage, TracePhase, TraceScope};
 
 use crate::database::DbInner;
 use crate::error::{OdeError, Result};
@@ -620,6 +620,16 @@ fn publish_pass(db: &crate::database::Database, pass: &QueryProfile) {
     if pass.strategy == PlanStrategy::DeepExtentScan {
         q.deep_extent_scans.inc();
     }
+    // Per-cluster / per-index workload counters (persisted at checkpoint).
+    let ws = db.workstats.entry(&format!("cluster:{}", pass.target));
+    ws.scans.inc();
+    ws.reads.add(pass.objects_scanned);
+    if let PlanStrategy::IndexProbe { field } = &pass.strategy {
+        db.workstats
+            .entry(&format!("index:{}.{}", pass.target, field))
+            .reads
+            .add(pass.index_probes.max(1));
+    }
     db.record_query_pass(pass);
 }
 
@@ -644,6 +654,7 @@ fn candidates<C: ReadContext>(
     db.trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
         class_name.to_string()
     });
+    let mut span = db.flight.span(SpanStage::Execute, class_name);
     let mut pass = QueryProfile {
         target: class_name.to_string(),
         ..QueryProfile::default()
@@ -761,6 +772,7 @@ fn candidates<C: ReadContext>(
 
     pass.rows = result.len() as u64;
     publish_pass(db, &pass);
+    span.set_detail(format!("{} via {}", pass.target, pass.strategy));
     db.trace_event(TraceScope::Query, TracePhase::End, serial, || {
         format!("{} via {}", pass.target, pass.strategy)
     });
@@ -922,6 +934,7 @@ fn collect_join<C: ReadContext>(
     db.trace_event(TraceScope::Query, TracePhase::Begin, serial, || {
         target.clone()
     });
+    let mut span = db.flight.span(SpanStage::Execute, target.as_str());
     let mut pass = QueryProfile {
         target: target.clone(),
         strategy: PlanStrategy::NestedLoopJoin,
@@ -1077,7 +1090,12 @@ fn collect_join<C: ReadContext>(
     q.predicate_evals.add(pass.predicate_evals);
     q.index_probes.add(pass.index_probes);
     q.deep_extent_scans.add(enumerated_vars);
+    for (_, class_name) in vars {
+        let ws = db.workstats.entry(&format!("cluster:{class_name}"));
+        ws.scans.inc();
+    }
     db.record_query_pass(&pass);
+    span.set_detail(format!("{target} via {}", pass.strategy));
     db.trace_event(TraceScope::Query, TracePhase::End, serial, || {
         format!("{target} via {}", pass.strategy)
     });

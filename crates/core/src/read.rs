@@ -27,7 +27,7 @@
 use std::collections::HashSet;
 
 use ode_model::{ClassId, ModelError, ObjState, Oid, Resolver, Value, VersionNo, VersionRef};
-use ode_obs::{TracePhase, TraceScope};
+use ode_obs::{SpanGuard, SpanStage, TracePhase, TraceScope};
 
 use crate::database::Database;
 use crate::error::{OdeError, Result};
@@ -109,6 +109,8 @@ pub struct ReadTransaction<'db> {
     _apply: parking_lot::RwLockReadGuard<'db, ()>,
     epoch: u64,
     serial: u64,
+    /// Flight-recorder span covering the snapshot's lifetime.
+    _flight_span: SpanGuard,
 }
 
 impl<'db> ReadTransaction<'db> {
@@ -119,6 +121,9 @@ impl<'db> ReadTransaction<'db> {
         let apply = db.apply_gate.read();
         db.tel.txn.read_txns.inc();
         let epoch = db.commit_epoch();
+        let flight_span = db
+            .flight
+            .span(SpanStage::Txn, format!("read txn#{serial} epoch={epoch}"));
         db.trace_event(TraceScope::Transaction, TracePhase::Begin, serial, || {
             format!("begin read epoch={epoch}")
         });
@@ -127,6 +132,7 @@ impl<'db> ReadTransaction<'db> {
             _apply: apply,
             epoch,
             serial,
+            _flight_span: flight_span,
         }
     }
 

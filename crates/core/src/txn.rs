@@ -28,7 +28,7 @@ use ode_model::eval::EvalCtx;
 use ode_model::{
     ClassId, ModelError, ObjState, Oid, Resolver, TriggerAction, Value, VersionNo, VersionRef,
 };
-use ode_obs::{TracePhase, TraceScope};
+use ode_obs::{SpanGuard, SpanStage, TracePhase, TraceScope};
 use ode_storage::{RecordId, StoreOp};
 
 use crate::catalog::{CatalogRecord, CATALOG_HEAP};
@@ -196,6 +196,10 @@ pub struct Transaction<'db> {
     depth: usize,
     /// Telemetry serial pairing this transaction's trace spans.
     serial: u64,
+    /// Flight-recorder span covering the transaction's whole lifetime
+    /// (recorded on drop). While this guard lives, child spans (execute,
+    /// commit, trigger) parent under it.
+    flight_span: SpanGuard,
     /// Skip the eager per-update constraint check; commit still checks
     /// every written object. Used by bulk loads (import) whose
     /// intermediate states are transiently inconsistent.
@@ -209,6 +213,7 @@ impl<'db> Transaction<'db> {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         db.tel.txn.begun.inc();
         db.tel.txn.write_txns.inc();
+        let flight_span = db.flight.span(SpanStage::Txn, format!("txn#{serial}"));
         // Writers serialize here; the wait histogram makes gate contention
         // observable (and lets tests assert the read path never queues).
         let gate_started = std::time::Instant::now();
@@ -230,6 +235,7 @@ impl<'db> Transaction<'db> {
             committed: false,
             depth,
             serial,
+            flight_span,
             defer_constraints: false,
         };
         tx.db
@@ -268,6 +274,11 @@ impl<'db> Transaction<'db> {
     fn mark_aborted_cause(&mut self, constraint: bool) {
         if !self.aborted {
             self.aborted = true;
+            self.flight_span.set_detail(if constraint {
+                "abort:constraint"
+            } else {
+                "abort"
+            });
             self.release_reservations();
             let tel = &self.db.tel.txn;
             if constraint {
@@ -684,6 +695,7 @@ impl<'db> Transaction<'db> {
         let serial = self.serial;
         db.tel.txn.committed.inc();
         db.tel.triggers.deferred_actions.add(firings.len() as u64);
+        self.flight_span.set_detail(format!("txn#{serial} commit"));
         drop(self); // release the transaction gate before running actions
         db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
             "commit".to_string()
@@ -803,11 +815,27 @@ impl<'db> Transaction<'db> {
             }
         }
 
+        // Workload write counters, keyed by destination cluster (applied
+        // only after the store commit succeeds).
+        let mut per_heap: HashMap<u32, u64> = HashMap::new();
+        for op in &ops {
+            let heap = match op {
+                StoreOp::Put { heap, .. } | StoreOp::Delete { heap, .. } => *heap,
+            };
+            if heap != CATALOG_HEAP {
+                *per_heap.entry(heap).or_default() += 1;
+            }
+        }
+
         // 4. Atomic store commit, then in-memory catalog/index updates —
         // both inside the publish window. Holding `apply_gate` exclusively
         // here (lock order: apply_gate before inner) keeps the whole commit
         // invisible to snapshot readers until every update has landed, so a
         // ReadTransaction can never observe a torn commit (DESIGN.md §8).
+        let mut commit_span = self
+            .db
+            .flight
+            .span(SpanStage::Commit, format!("{} ops", ops.len()));
         let publish = self.db.apply_gate.write();
         // Transient store failures (ENOSPC, a flaky disk) are retried a
         // bounded number of times: a failed WAL group append rolls the log
@@ -886,12 +914,21 @@ impl<'db> Transaction<'db> {
                 }
             }
         }
+        for (heap, n) in per_heap {
+            if let Some(&class) = inner.class_of_cluster.get(&heap) {
+                if let Ok(def) = inner.schema.class(class) {
+                    let name = def.name.clone();
+                    self.db.note_cluster_writes(&name, n);
+                }
+            }
+        }
         drop(inner);
         // Advance the epoch before readers can re-enter: the bump must be
         // ordered inside the publish window so a snapshot's epoch always
         // names exactly the commits it can see.
         self.db.bump_epoch();
         drop(publish);
+        commit_span.set_detail(format!("published epoch {}", self.db.commit_epoch()));
 
         Ok(firings)
     }
@@ -1107,6 +1144,9 @@ pub(crate) fn run_firings(
         db.trace_event(TraceScope::Trigger, TracePhase::Begin, act_id, || {
             firing.activation.trigger.clone()
         });
+        let mut trigger_span = db
+            .flight
+            .span(SpanStage::Trigger, firing.activation.trigger.as_str());
         let result: Result<Vec<Firing>> = (|| {
             let mut tx = Transaction::new(db, depth + 1);
             apply_actions(&mut tx, &firing)?;
@@ -1132,6 +1172,12 @@ pub(crate) fn run_firings(
                 });
             }
         }
+        trigger_span.set_detail(format!(
+            "{} {}",
+            firing.activation.trigger,
+            if ok { "ok" } else { "failed" }
+        ));
+        drop(trigger_span);
         db.trace_event(TraceScope::Trigger, TracePhase::End, act_id, || {
             if ok {
                 "ok".to_string()

@@ -16,9 +16,29 @@
 //! * [`QueryProfile`] — the per-query execution profile behind
 //!   `explain forall …`,
 //! * [`TraceEvent`]/[`TraceSink`] — begin/end span events for
-//!   transaction, query, and trigger scopes, delivered to a host callback.
+//!   transaction, query, and trigger scopes, delivered to a host callback,
+//! * [`flight`] — the always-on flight recorder: per-request [`TraceId`]s
+//!   and a bounded lock-free span ring dumped by `.trace` or on panic,
+//! * [`prom`] — Prometheus text-format exposition of every metric here,
+//! * [`logging`] — level-filtered structured JSON logging,
+//! * [`slowlog`] — the bounded slow-query log with captured plans,
+//! * [`workstats`] — per-cluster/per-index read/write/scan statistics,
+//!   persisted into the catalog as the future optimizer's substrate.
 //!
 //! The crate is dependency-free so every layer of the workspace can use it.
+
+pub mod flight;
+pub mod logging;
+pub mod prom;
+pub mod slowlog;
+pub mod workstats;
+
+pub use flight::{
+    current_trace, render_spans, set_trace, FlightRecorder, SpanGuard, SpanRecord, SpanStage,
+    TraceCtx, TraceId, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use slowlog::{SlowQuery, SlowQueryLog, DEFAULT_SLOW_THRESHOLD_NS};
+pub use workstats::{WorkStat, WorkStatRow, WorkloadStats};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -1411,6 +1431,39 @@ mod tests {
         assert_eq!(snap.requests, 0);
         // The live connection level survives a counter reset.
         assert_eq!(snap.active_connections, 1);
+    }
+
+    #[test]
+    fn delta_saturates_when_reset_races_baseline() {
+        // Regression: `.stats reset` between a baseline snapshot and the
+        // delta must not wrap counters to ~u64::MAX — every delta path
+        // (histogram counts included) saturates at zero instead.
+        let tel = EngineTelemetry::default();
+        tel.txn.begun.add(10);
+        tel.txn.commit_latency.record_ns(1_000);
+        tel.query.objects_scanned.add(100);
+        let baseline = tel.snapshot(StorageSnapshot {
+            pager_hits: 50,
+            ..StorageSnapshot::default()
+        });
+        tel.reset(); // the race: counters go back to zero
+        tel.txn.begun.add(2);
+        let after = tel.snapshot(StorageSnapshot::default());
+        let d = after.delta(&baseline);
+        assert_eq!(d.txn.begun, 0, "2 - 10 saturates");
+        assert_eq!(d.query.objects_scanned, 0);
+        assert_eq!(d.storage.pager_hits, 0);
+        assert_eq!(d.txn.commit_latency.count, 0);
+        assert_eq!(d.txn.commit_latency.sum_ns, 0);
+
+        let srv = ServerTelemetry::default();
+        srv.requests.add(5);
+        srv.request_latency.record_ns(10);
+        let sbase = srv.snapshot();
+        srv.reset();
+        let sd = srv.snapshot().delta(&sbase);
+        assert_eq!(sd.requests, 0);
+        assert_eq!(sd.request_latency.count, 0);
     }
 
     #[test]

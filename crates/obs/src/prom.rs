@@ -1,0 +1,693 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! Renders every engine/server counter into metric families a standard
+//! scraper can ingest: counters as `*_total`, levels as gauges, and the
+//! log₂ latency histograms as summaries (count, sum, and the approximate
+//! p50/p99 the snapshot already carries). [`validate`] is a conservative
+//! self-check of the grammar — metric-name/label syntax, one `TYPE` line
+//! per family, numeric sample values — used by the CI smoke job and the
+//! integration tests.
+
+use crate::workstats::WorkStatRow;
+use crate::{HistoSnapshot, ServerSnapshot, TelemetrySnapshot};
+
+/// Incrementally built exposition text with per-family bookkeeping.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    families: Vec<String>,
+}
+
+impl PromText {
+    /// A fresh empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Open a family: emits `# HELP` and `# TYPE`. Panics (in tests) on
+    /// a duplicate family — the exposition format forbids them.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(
+            !self.families.iter().any(|f| f == name),
+            "duplicate family {name}"
+        );
+        self.families.push(name.to_string());
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emit one sample for the most recent family.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(&format!(" {value}\n"));
+    }
+
+    /// Shorthand: a single unlabeled counter/gauge sample.
+    fn single(&mut self, name: &str, kind: &str, help: &str, value: u64) {
+        self.family(name, kind, help);
+        self.sample(name, &[], value as f64);
+    }
+
+    /// A latency histogram as a Prometheus summary, in seconds.
+    fn summary(&mut self, name: &str, help: &str, h: &HistoSnapshot) {
+        self.family(name, "summary", help);
+        self.sample(name, &[("quantile", "0.5")], h.p50_ns as f64 / 1e9);
+        self.sample(name, &[("quantile", "0.99")], h.p99_ns as f64 / 1e9);
+        self.sample(&format!("{name}_sum"), &[], h.sum_ns as f64 / 1e9);
+        self.sample(&format!("{name}_count"), &[], h.count as f64);
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render the full exposition: engine telemetry, optional serving-layer
+/// telemetry, workload statistics, and flight-recorder volume.
+pub fn render(
+    engine: &TelemetrySnapshot,
+    server: Option<&ServerSnapshot>,
+    workload: &[WorkStatRow],
+    spans_recorded: u64,
+) -> String {
+    let mut p = PromText::new();
+
+    let s = &engine.storage;
+    for (name, help, v) in [
+        (
+            "ode_storage_pager_hits_total",
+            "Buffer-pool page requests served from the pool",
+            s.pager_hits,
+        ),
+        (
+            "ode_storage_pager_misses_total",
+            "Page requests that read the data file",
+            s.pager_misses,
+        ),
+        (
+            "ode_storage_pager_evictions_total",
+            "Frames evicted to make room",
+            s.pager_evictions,
+        ),
+        (
+            "ode_storage_pager_writebacks_total",
+            "Dirty frames written back",
+            s.pager_writebacks,
+        ),
+        (
+            "ode_storage_record_reads_total",
+            "Record reads served by the store",
+            s.record_reads,
+        ),
+        (
+            "ode_storage_record_writes_total",
+            "Records written by commit batches",
+            s.record_writes,
+        ),
+        (
+            "ode_storage_wal_appends_total",
+            "WAL commit groups appended",
+            s.wal_appends,
+        ),
+        (
+            "ode_storage_wal_fsyncs_total",
+            "WAL fsyncs issued",
+            s.wal_fsyncs,
+        ),
+        (
+            "ode_storage_commits_total",
+            "Committed store batches",
+            s.commits,
+        ),
+        (
+            "ode_storage_faults_injected_total",
+            "Faults injected by a fault-injection wrapper",
+            s.faults_injected,
+        ),
+        (
+            "ode_storage_checkpoint_failures_total",
+            "Checkpoint attempts that failed",
+            s.checkpoint_failures,
+        ),
+    ] {
+        p.single(name, "counter", help, v);
+    }
+    p.single(
+        "ode_storage_wal_bytes",
+        "gauge",
+        "Bytes in the WAL since the last checkpoint",
+        s.wal_bytes,
+    );
+    p.single(
+        "ode_storage_replayed_groups",
+        "gauge",
+        "WAL commit groups replayed at the last open",
+        s.replayed_groups,
+    );
+
+    let t = &engine.txn;
+    for (name, help, v) in [
+        ("ode_txn_begun_total", "Transactions begun", t.begun),
+        (
+            "ode_txn_committed_total",
+            "Transactions committed",
+            t.committed,
+        ),
+        (
+            "ode_txn_read_txns_total",
+            "Snapshot read transactions begun",
+            t.read_txns,
+        ),
+        (
+            "ode_txn_write_txns_total",
+            "Write transactions begun",
+            t.write_txns,
+        ),
+        (
+            "ode_txn_release_errors_total",
+            "Reservation releases that failed during rollback",
+            t.release_errors,
+        ),
+        (
+            "ode_txn_commit_retries_total",
+            "Store-commit attempts retried after transient failures",
+            t.commit_retries,
+        ),
+    ] {
+        p.single(name, "counter", help, v);
+    }
+    p.family(
+        "ode_txn_aborted_total",
+        "counter",
+        "Transactions rolled back, by cause",
+    );
+    p.sample(
+        "ode_txn_aborted_total",
+        &[("cause", "constraint")],
+        t.aborted_constraint as f64,
+    );
+    p.sample(
+        "ode_txn_aborted_total",
+        &[("cause", "other")],
+        t.aborted_other as f64,
+    );
+    p.summary(
+        "ode_txn_commit_latency_seconds",
+        "Wall-clock commit latency",
+        &t.commit_latency,
+    );
+    p.summary(
+        "ode_txn_gate_wait_seconds",
+        "Write-gate acquisition wait",
+        &t.gate_wait,
+    );
+
+    let q = &engine.query;
+    for (name, help, v) in [
+        (
+            "ode_query_foralls_total",
+            "forall iterations started",
+            q.foralls,
+        ),
+        ("ode_query_joins_total", "Join queries started", q.joins),
+        (
+            "ode_query_clusters_visited_total",
+            "Cluster heaps enumerated by extent scans",
+            q.clusters_visited,
+        ),
+        (
+            "ode_query_objects_scanned_total",
+            "Objects materialized as candidates",
+            q.objects_scanned,
+        ),
+        (
+            "ode_query_predicate_evals_total",
+            "suchthat predicate evaluations",
+            q.predicate_evals,
+        ),
+        (
+            "ode_query_index_probes_total",
+            "Index lookups/ranges that answered a conjunct",
+            q.index_probes,
+        ),
+        (
+            "ode_query_deep_extent_scans_total",
+            "Passes that enumerated a deep extent",
+            q.deep_extent_scans,
+        ),
+        (
+            "ode_query_fixpoint_rounds_total",
+            "Fixpoint re-evaluation rounds",
+            q.fixpoint_rounds,
+        ),
+        (
+            "ode_query_fixpoint_new_objects_total",
+            "Newly visited objects across fixpoint rounds",
+            q.fixpoint_new_objects,
+        ),
+    ] {
+        p.single(name, "counter", help, v);
+    }
+
+    let v = &engine.versions;
+    p.single(
+        "ode_version_newversions_total",
+        "counter",
+        "newversion calls",
+        v.newversions,
+    );
+    p.single(
+        "ode_version_generic_derefs_total",
+        "counter",
+        "Generic references resolved through a version anchor",
+        v.generic_derefs,
+    );
+    p.single(
+        "ode_version_specific_derefs_total",
+        "counter",
+        "Pinned-version dereferences",
+        v.specific_derefs,
+    );
+
+    let g = &engine.triggers;
+    for (name, help, val) in [
+        (
+            "ode_trigger_activations_total",
+            "Trigger activations requested",
+            g.activations,
+        ),
+        (
+            "ode_trigger_condition_evals_total",
+            "Trigger-condition evaluations at commit",
+            g.condition_evals,
+        ),
+        ("ode_trigger_firings_total", "Triggers fired", g.firings),
+        (
+            "ode_trigger_action_failures_total",
+            "Fired actions whose own transaction failed",
+            g.action_failures,
+        ),
+        (
+            "ode_trigger_deferred_actions_total",
+            "Firings deferred past the commit point",
+            g.deferred_actions,
+        ),
+    ] {
+        p.single(name, "counter", help, val);
+    }
+    p.single(
+        "ode_trigger_max_cascade_depth",
+        "gauge",
+        "Deepest trigger cascade observed",
+        g.max_cascade_depth,
+    );
+
+    let a = &engine.analyze;
+    p.single(
+        "ode_analyze_passes_total",
+        "counter",
+        "Statements analyzed",
+        a.passes,
+    );
+    p.single(
+        "ode_analyze_errors_total",
+        "counter",
+        "Statements rejected by the analyzer",
+        a.errors,
+    );
+    p.single(
+        "ode_analyze_warnings_total",
+        "counter",
+        "Analyzer warnings",
+        a.warnings,
+    );
+    p.summary(
+        "ode_analyze_latency_seconds",
+        "Static-analysis pass latency",
+        &a.latency,
+    );
+
+    if let Some(sv) = server {
+        for (name, help, val) in [
+            (
+                "ode_server_accepted_total",
+                "Connections admitted",
+                sv.accepted,
+            ),
+            (
+                "ode_server_handshake_failures_total",
+                "Connections dropped during the handshake",
+                sv.handshake_failures,
+            ),
+            (
+                "ode_server_requests_total",
+                "Requests executed",
+                sv.requests,
+            ),
+            (
+                "ode_server_engine_errors_total",
+                "Requests answered with an engine error",
+                sv.engine_errors,
+            ),
+            (
+                "ode_server_timed_out_total",
+                "Requests that exceeded the per-request budget",
+                sv.timed_out,
+            ),
+            (
+                "ode_server_socket_errors_total",
+                "Socket-configuration failures survived",
+                sv.socket_errors,
+            ),
+        ] {
+            p.single(name, "counter", help, val);
+        }
+        p.family(
+            "ode_server_rejected_total",
+            "counter",
+            "Connections refused, by reason",
+        );
+        p.sample(
+            "ode_server_rejected_total",
+            &[("reason", "admission")],
+            sv.rejected_admission as f64,
+        );
+        p.sample(
+            "ode_server_rejected_total",
+            &[("reason", "shutdown")],
+            sv.rejected_shutdown as f64,
+        );
+        p.family(
+            "ode_server_bytes_total",
+            "counter",
+            "Wire bytes, by direction",
+        );
+        p.sample(
+            "ode_server_bytes_total",
+            &[("direction", "in")],
+            sv.bytes_in as f64,
+        );
+        p.sample(
+            "ode_server_bytes_total",
+            &[("direction", "out")],
+            sv.bytes_out as f64,
+        );
+        p.single(
+            "ode_server_active_connections",
+            "gauge",
+            "Connections currently open",
+            sv.active_connections,
+        );
+        p.single(
+            "ode_server_max_concurrent",
+            "gauge",
+            "Most connections ever open at once",
+            sv.max_concurrent,
+        );
+        p.summary(
+            "ode_server_request_latency_seconds",
+            "Request execution latency",
+            &sv.request_latency,
+        );
+    }
+
+    // Workload statistics: one labeled family per counter kind. Keys are
+    // `cluster:<class>` or `index:<class>.<field>`.
+    let clusters: Vec<&WorkStatRow> = workload
+        .iter()
+        .filter(|r| r.key.starts_with("cluster:"))
+        .collect();
+    let indexes: Vec<&WorkStatRow> = workload
+        .iter()
+        .filter(|r| r.key.starts_with("index:"))
+        .collect();
+    if !clusters.is_empty() {
+        p.family(
+            "ode_cluster_reads_total",
+            "counter",
+            "Objects read per cluster",
+        );
+        for r in &clusters {
+            p.sample(
+                "ode_cluster_reads_total",
+                &[("cluster", &r.key[8..])],
+                r.reads as f64,
+            );
+        }
+        p.family(
+            "ode_cluster_writes_total",
+            "counter",
+            "Records written per cluster",
+        );
+        for r in &clusters {
+            p.sample(
+                "ode_cluster_writes_total",
+                &[("cluster", &r.key[8..])],
+                r.writes as f64,
+            );
+        }
+        p.family(
+            "ode_cluster_scans_total",
+            "counter",
+            "Extent scans per cluster",
+        );
+        for r in &clusters {
+            p.sample(
+                "ode_cluster_scans_total",
+                &[("cluster", &r.key[8..])],
+                r.scans as f64,
+            );
+        }
+    }
+    if !indexes.is_empty() {
+        p.family(
+            "ode_index_reads_total",
+            "counter",
+            "Probes answered per index",
+        );
+        for r in &indexes {
+            p.sample(
+                "ode_index_reads_total",
+                &[("index", &r.key[6..])],
+                r.reads as f64,
+            );
+        }
+    }
+
+    p.single(
+        "ode_trace_spans_recorded_total",
+        "counter",
+        "Spans written into the flight recorder",
+        spans_recorded,
+    );
+
+    p.finish()
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Conservative validation of exposition text: every sample line parses
+/// (name, optional label set, float value), names and labels are
+/// syntactically legal, and no family has two `TYPE` lines.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return err("bad family name");
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return err("bad family kind");
+            }
+            if families.iter().any(|f| f == name) {
+                return err("duplicate TYPE for family");
+            }
+            families.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample: name[{k="v",…}] value
+        let (name_part, value_part) = match line.split_once(' ') {
+            Some(pair) => pair,
+            None => return err("sample missing value"),
+        };
+        let name = match name_part.split_once('{') {
+            Some((n, labels)) => {
+                let labels = match labels.strip_suffix('}') {
+                    Some(l) => l,
+                    None => return err("unterminated label set"),
+                };
+                for pair in split_labels(labels) {
+                    let (k, v) = match pair.split_once('=') {
+                        Some(kv) => kv,
+                        None => return err("label without ="),
+                    };
+                    if !valid_label_name(k) {
+                        return err("bad label name");
+                    }
+                    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                        return err("unquoted label value");
+                    }
+                }
+                n
+            }
+            None => name_part,
+        };
+        if !valid_metric_name(name) {
+            return err("bad metric name");
+        }
+        if value_part.trim().parse::<f64>().is_err() {
+            return err("non-numeric sample value");
+        }
+        samples += 1;
+    }
+    if families.is_empty() || samples == 0 {
+        return Err("no metric families found".to_string());
+    }
+    Ok(())
+}
+
+// Split a label body on commas outside quotes.
+fn split_labels(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineTelemetry, ServerTelemetry, StorageSnapshot};
+
+    fn sample_workload() -> Vec<WorkStatRow> {
+        vec![
+            WorkStatRow {
+                key: "cluster:stockitem".into(),
+                reads: 10,
+                writes: 3,
+                scans: 2,
+            },
+            WorkStatRow {
+                key: "index:stockitem.quantity".into(),
+                reads: 4,
+                ..WorkStatRow::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn render_validates_and_covers_families() {
+        let tel = EngineTelemetry::default();
+        tel.txn.begun.add(2);
+        tel.txn.commit_latency.record_ns(12_000);
+        let engine = tel.snapshot(StorageSnapshot::default());
+        let server = ServerTelemetry::default().snapshot();
+        let text = render(&engine, Some(&server), &sample_workload(), 7);
+        validate(&text).unwrap();
+        for family in [
+            "ode_txn_begun_total 2",
+            "# TYPE ode_txn_commit_latency_seconds summary",
+            "ode_txn_commit_latency_seconds{quantile=\"0.99\"}",
+            "ode_server_requests_total",
+            "ode_cluster_reads_total{cluster=\"stockitem\"} 10",
+            "ode_index_reads_total{index=\"stockitem.quantity\"} 4",
+            "ode_trace_spans_recorded_total 7",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_without_server_still_validates() {
+        let engine = EngineTelemetry::default().snapshot(StorageSnapshot::default());
+        let text = render(&engine, None, &[], 0);
+        validate(&text).unwrap();
+        assert!(!text.contains("ode_server_"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_expositions() {
+        assert!(validate("").is_err());
+        assert!(validate("# TYPE ode_x counter\n# TYPE ode_x counter\node_x 1\n").is_err());
+        assert!(validate("# TYPE ode_x counter\n1ode_x 1\n").is_err());
+        assert!(validate("# TYPE ode_x counter\node_x notanumber\n").is_err());
+        assert!(validate("# TYPE ode_x counter\node_x{bad-label=\"v\"} 1\n").is_err());
+        assert!(validate("# TYPE ode_x counter\node_x{l=unquoted} 1\n").is_err());
+        assert!(validate("# TYPE ode_x wrongkind\node_x 1\n").is_err());
+        // A good one passes.
+        validate("# HELP ode_x help\n# TYPE ode_x counter\node_x{l=\"a,b\"} 1\n").unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.family("ode_t", "counter", "h");
+        p.sample("ode_t", &[("k", "a\"b\\c")], 1.0);
+        let text = p.finish();
+        validate(&text).unwrap();
+        assert!(text.contains("a\\\"b\\\\c"), "{text}");
+    }
+}

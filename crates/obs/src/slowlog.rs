@@ -1,0 +1,202 @@
+//! The slow-query log: a bounded, in-memory ring of statements that
+//! exceeded a configurable latency threshold, each captured with its
+//! `explain` plan and per-stage span timings.
+//!
+//! The shell session (local or server-side) measures every statement it
+//! runs and offers the entry to the database's log; [`SlowQueryLog`]
+//! keeps it only when the latency crosses the threshold. `.slow` lists
+//! the entries; `.slow <ms>` moves the threshold at runtime (the CI
+//! smoke job sets it to 0 to force an entry).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::flight::TraceId;
+
+/// Default threshold: 100 ms.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 100_000_000;
+
+/// Entries retained (oldest evicted first).
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// One logged slow statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The request's trace id (zero when untraced).
+    pub trace: TraceId,
+    /// The statement text as the session received it.
+    pub statement: String,
+    /// End-to-end statement latency.
+    pub total_ns: u64,
+    /// The captured `explain` rows (target, strategy, objects scanned…);
+    /// empty for statements without a query pass.
+    pub plan: Vec<(String, String)>,
+    /// Per-stage span timings `(stage, ns)` from the flight recorder.
+    pub stages: Vec<(String, u64)>,
+    /// Wall-clock capture time (unix milliseconds).
+    pub at_ms: u64,
+}
+
+/// The bounded log plus its runtime-adjustable threshold.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold_ns: AtomicU64,
+    entries: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        SlowQueryLog::with_threshold_ns(DEFAULT_SLOW_THRESHOLD_NS)
+    }
+}
+
+impl SlowQueryLog {
+    /// A fresh empty log with the given threshold.
+    pub fn with_threshold_ns(threshold_ns: u64) -> SlowQueryLog {
+        SlowQueryLog {
+            threshold_ns: AtomicU64::new(threshold_ns),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The current threshold in nanoseconds.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Move the threshold (0 logs everything).
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Offer a measured statement; it is kept only when `total_ns`
+    /// reaches the threshold. Returns whether it was logged.
+    pub fn offer(&self, mut entry: SlowQuery) -> bool {
+        if entry.total_ns < self.threshold_ns() {
+            return false;
+        }
+        entry.at_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if entries.len() == SLOW_LOG_CAPACITY {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+
+    /// Logged entries, newest first.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        let entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        entries.iter().rev().cloned().collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        match self.entries.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (the threshold is unchanged).
+    pub fn clear(&self) {
+        match self.entries.lock() {
+            Ok(mut g) => g.clear(),
+            Err(p) => p.into_inner().clear(),
+        }
+    }
+
+    /// Human-oriented rendering for `.slow`.
+    pub fn render(&self) -> String {
+        let entries = self.snapshot();
+        let mut out = format!(
+            "slow-query log: {} entr{} (threshold {:.1} ms)\n",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+            self.threshold_ns() as f64 / 1e6
+        );
+        for e in entries {
+            out.push_str(&format!(
+                "  [{:.2} ms] trace {} `{}`\n",
+                e.total_ns as f64 / 1e6,
+                e.trace,
+                e.statement
+            ));
+            for (k, v) in &e.plan {
+                out.push_str(&format!("      plan.{k}: {v}\n"));
+            }
+            for (stage, ns) in &e.stages {
+                out.push_str(&format!(
+                    "      stage.{stage}: {:.2} ms\n",
+                    *ns as f64 / 1e6
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: u64, stmt: &str) -> SlowQuery {
+        SlowQuery {
+            trace: TraceId(7),
+            statement: stmt.to_string(),
+            total_ns: ns,
+            plan: vec![("strategy".into(), "deep extent scan".into())],
+            stages: vec![("analyze".into(), 1_000), ("commit".into(), 2_000)],
+            at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn threshold_gates_entries() {
+        let log = SlowQueryLog::with_threshold_ns(1_000_000);
+        assert!(!log.offer(entry(999_999, "fast")));
+        assert!(log.offer(entry(1_000_000, "slow")));
+        assert_eq!(log.len(), 1);
+        log.set_threshold_ns(0);
+        assert!(log.offer(entry(1, "all")));
+        let snap = log.snapshot();
+        assert_eq!(snap[0].statement, "all"); // newest first
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let log = SlowQueryLog::with_threshold_ns(0);
+        for i in 0..(SLOW_LOG_CAPACITY + 10) {
+            log.offer(entry(10, &format!("q{i}")));
+        }
+        assert_eq!(log.len(), SLOW_LOG_CAPACITY);
+        // Oldest were evicted.
+        assert!(log.snapshot().iter().all(|e| e.statement != "q0"));
+    }
+
+    #[test]
+    fn render_shows_plan_and_stages() {
+        let log = SlowQueryLog::with_threshold_ns(0);
+        log.offer(entry(5_000_000, "forall s in stockitem"));
+        let text = log.render();
+        assert!(text.contains("forall s in stockitem"), "{text}");
+        assert!(text.contains("plan.strategy: deep extent scan"), "{text}");
+        assert!(text.contains("stage.commit"), "{text}");
+    }
+}

@@ -16,7 +16,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ode_core::Database;
+use ode_core::obs::logging::{self, LogLevel};
+use ode_core::{Database, FlightRecorder};
 use ode_server::{Server, ServerConfig};
 
 static TERMINATE: AtomicBool = AtomicBool::new(false);
@@ -44,7 +45,8 @@ fn install_signal_handlers() {}
 
 const USAGE: &str = "usage: ode-server [--memory | <directory>] [--listen HOST:PORT]
                   [--max-connections N] [--request-timeout-ms MS]
-                  [--max-request-bytes N] [--drain-timeout-ms MS]";
+                  [--max-request-bytes N] [--drain-timeout-ms MS]
+                  [--metrics-addr HOST:PORT] [--log-level error|warn|info|debug]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("ode-server: {msg}");
@@ -93,6 +95,19 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--max-request-bytes must be a number"))
             }
+            "--metrics-addr" => {
+                let addr = value("--metrics-addr");
+                cfg.metrics_addr = Some(
+                    addr.parse()
+                        .unwrap_or_else(|_| fail("--metrics-addr must be HOST:PORT")),
+                );
+            }
+            "--log-level" => {
+                let name = value("--log-level");
+                let level = LogLevel::parse(&name)
+                    .unwrap_or_else(|| fail("--log-level must be error|warn|info|debug"));
+                logging::set_level(level);
+            }
             other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
             other => {
                 if dir.is_some() {
@@ -107,25 +122,41 @@ fn main() {
         (Some(_), true) => fail("--memory conflicts with a database directory"),
         (Some(d), false) => match Database::open(Path::new(d)) {
             Ok(db) => {
-                eprintln!("ode-server: database at {d}");
+                logging::info("ode-server", &format!("database at {d}"), &[("dir", d)]);
                 db
             }
             Err(e) => {
-                eprintln!("ode-server: cannot open {d}: {e}");
+                logging::error(
+                    "ode-server",
+                    &format!("cannot open {d}: {e}"),
+                    &[("dir", d)],
+                );
                 std::process::exit(1);
             }
         },
         (None, _) => {
-            eprintln!("ode-server: in-memory database (pass a directory to persist)");
+            logging::info(
+                "ode-server",
+                "in-memory database (pass a directory to persist)",
+                &[],
+            );
             Database::in_memory()
         }
     };
+
+    // Dump the flight recorder's recent spans to stderr if the server
+    // ever panics: the crash report carries its own black box.
+    FlightRecorder::install_panic_dump(db.flight());
 
     install_signal_handlers();
     let handle = match Server::bind(Arc::new(db), cfg.clone(), listen.as_str()) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("ode-server: cannot bind {listen}: {e}");
+            logging::error(
+                "ode-server",
+                &format!("cannot bind {listen}: {e}"),
+                &[("listen", &listen)],
+            );
             std::process::exit(1);
         }
     };
@@ -136,20 +167,38 @@ fn main() {
         cfg.max_connections
     );
     let _ = std::io::stdout().flush();
+    let addr = handle.addr().to_string();
+    logging::info(
+        "ode-server",
+        &format!("listening on {addr}"),
+        &[("addr", &addr)],
+    );
+    if let Some(maddr) = handle.metrics_addr() {
+        let maddr = maddr.to_string();
+        logging::info(
+            "ode-server",
+            &format!("metrics on http://{maddr}/metrics"),
+            &[("metrics_addr", &maddr)],
+        );
+    }
 
     while !TERMINATE.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
     }
 
-    eprintln!("ode-server: draining…");
+    logging::info("ode-server", "draining…", &[]);
     let report = handle.shutdown();
     if report.drained {
-        eprintln!("ode-server: drained cleanly");
+        logging::info("ode-server", "drained cleanly", &[]);
         std::process::exit(0);
     }
-    eprintln!(
-        "ode-server: drain budget expired with {} connection(s) open",
-        report.connections_remaining
+    logging::warn(
+        "ode-server",
+        &format!(
+            "drain budget expired with {} connection(s) open",
+            report.connections_remaining
+        ),
+        &[],
     );
     std::process::exit(1);
 }

@@ -13,9 +13,12 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ode_core::obs::flight::set_trace;
+use ode_core::obs::{render_spans, TraceId};
 use ode_shell::{EvalResult, Session};
 use ode_wire::protocol::{
-    write_frame, ControlOp, ErrorKind, FrameReader, Request, Response, PROTOCOL_VERSION,
+    negotiate, write_frame, ControlOp, ErrorKind, FrameReader, Request, Response,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 use crate::ServerState;
@@ -92,18 +95,22 @@ impl Conn {
                 return;
             }
         };
-        match Request::decode(&first) {
-            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {}
-            Ok(Request::Hello { version }) => {
-                tel.handshake_failures.inc();
-                self.send_best_effort(&Response::Error {
-                    kind: ErrorKind::Protocol,
-                    message: format!(
-                        "server speaks protocol v{PROTOCOL_VERSION}, client sent v{version}"
-                    ),
-                });
-                return;
-            }
+        let negotiated = match Request::decode(&first) {
+            Ok(Request::Hello { version }) => match negotiate(version) {
+                Some(v) => v,
+                None => {
+                    tel.handshake_failures.inc();
+                    self.send_best_effort(&Response::Error {
+                        kind: ErrorKind::Protocol,
+                        message: format!(
+                            "server speaks protocol \
+                             v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}, \
+                             client sent v{version}"
+                        ),
+                    });
+                    return;
+                }
+            },
             _ => {
                 tel.handshake_failures.inc();
                 self.send_best_effort(&Response::Error {
@@ -112,10 +119,10 @@ impl Conn {
                 });
                 return;
             }
-        }
+        };
         if self
             .send(&Response::Welcome {
-                version: PROTOCOL_VERSION,
+                version: negotiated,
             })
             .is_err()
         {
@@ -169,40 +176,19 @@ impl Conn {
                     return;
                 }
                 Request::Control(op) => Response::Output(self.control(op)),
-                Request::Line(text) => {
-                    let started = Instant::now();
-                    let outcome = session.eval_line(&text);
-                    let elapsed = started.elapsed();
-                    tel.request_latency.record_ns(elapsed.as_nanos() as u64);
-                    if elapsed > self.state.cfg.request_timeout {
-                        tel.timed_out.inc();
-                        Response::Error {
-                            kind: ErrorKind::Timeout,
-                            message: format!(
-                                "request took {elapsed:.1?}, budget is {:.1?}",
-                                self.state.cfg.request_timeout
-                            ),
-                        }
-                    } else {
-                        match outcome {
-                            EvalResult::Output(out) => Response::Output(out),
-                            EvalResult::Continue => Response::Continue,
-                            EvalResult::Error(e) => {
-                                tel.engine_errors.inc();
-                                let kind = match &e {
-                                    ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
-                                    e if e.is_unavailable() => ErrorKind::Unavailable,
-                                    _ => ErrorKind::Engine,
-                                };
-                                Response::Error {
-                                    kind,
-                                    message: e.to_string(),
-                                }
-                            }
-                            EvalResult::Exit => {
-                                self.send_best_effort(&Response::Goodbye);
-                                return;
-                            }
+                Request::Line(text) => match self.eval_line(&mut session, TraceId::NONE, &text) {
+                    Some(resp) => resp,
+                    None => {
+                        self.send_best_effort(&Response::Goodbye);
+                        return;
+                    }
+                },
+                Request::TracedLine { trace, text } => {
+                    match self.eval_line(&mut session, TraceId(trace), &text) {
+                        Some(resp) => resp,
+                        None => {
+                            self.send_best_effort(&Response::Goodbye);
+                            return;
                         }
                     }
                 }
@@ -210,6 +196,47 @@ impl Conn {
             if self.send(&resp).is_err() {
                 return;
             }
+        }
+    }
+
+    /// Evaluate one statement line under the given trace context (NONE
+    /// for a v1 `Line`). `None` means the session asked to exit.
+    fn eval_line(&mut self, session: &mut Session, trace: TraceId, text: &str) -> Option<Response> {
+        let tel = &self.state.tel;
+        // Install the client-minted trace id for this thread so every
+        // span the engine records below lands in the client's trace; the
+        // guard restores the previous (untraced) context on return.
+        let _ctx = trace.is_traced().then(|| set_trace(trace));
+        let started = Instant::now();
+        let outcome = session.eval_line(text);
+        let elapsed = started.elapsed();
+        tel.request_latency.record_ns(elapsed.as_nanos() as u64);
+        if elapsed > self.state.cfg.request_timeout {
+            tel.timed_out.inc();
+            return Some(Response::Error {
+                kind: ErrorKind::Timeout,
+                message: format!(
+                    "request took {elapsed:.1?}, budget is {:.1?}",
+                    self.state.cfg.request_timeout
+                ),
+            });
+        }
+        match outcome {
+            EvalResult::Output(out) => Some(Response::Output(out)),
+            EvalResult::Continue => Some(Response::Continue),
+            EvalResult::Error(e) => {
+                tel.engine_errors.inc();
+                let kind = match &e {
+                    ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
+                    e if e.is_unavailable() => ErrorKind::Unavailable,
+                    _ => ErrorKind::Engine,
+                };
+                Some(Response::Error {
+                    kind,
+                    message: e.to_string(),
+                })
+            }
+            EvalResult::Exit => None,
         }
     }
 
@@ -224,6 +251,30 @@ impl Conn {
                 out.trim_end().to_string()
             }
             ControlOp::TelemetryJson => self.state.db.telemetry().to_json(),
+            ControlOp::Metrics => {
+                let db = &self.state.db;
+                ode_core::obs::prom::render(
+                    &db.telemetry(),
+                    Some(&self.state.tel.snapshot()),
+                    &db.workload_stats(),
+                    db.flight().recorded(),
+                )
+            }
+            ControlOp::Trace(id) => {
+                let trace = TraceId(id);
+                let spans = self.state.db.flight().for_trace(trace);
+                if spans.is_empty() {
+                    let flight = self.state.db.flight();
+                    format!(
+                        "no spans for trace {trace} (ring holds {} of {} recorded)",
+                        flight.capacity(),
+                        flight.recorded()
+                    )
+                } else {
+                    render_spans(&spans)
+                }
+            }
+            ControlOp::SlowLog => self.state.db.slow_log().render(),
         }
     }
 

@@ -45,6 +45,7 @@ use ode_obs::{ServerSnapshot, ServerTelemetry};
 use ode_wire::protocol::{write_frame, ErrorKind, Response};
 
 mod conn;
+mod metrics;
 
 /// The client half of the wire (re-export of `ode-wire`'s client, so
 /// hosts can write `ode_server::client::Client`).
@@ -76,6 +77,11 @@ pub struct ServerConfig {
     /// Internal tick: how often blocked reads/accepts re-check the
     /// shutdown flag. Smaller is more responsive, larger is cheaper.
     pub poll_interval: Duration,
+    /// When set, bind a plain-HTTP listener here that answers
+    /// `GET /metrics` with the Prometheus exposition (text format
+    /// 0.0.4). `None` (the default) serves metrics only over the wire
+    /// protocol's `Metrics` control op.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +93,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             drain_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(20),
+            metrics_addr: None,
         }
     }
 }
@@ -164,12 +171,26 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
         });
+        let metrics_addr = match state.cfg.metrics_addr {
+            Some(maddr) => {
+                let mlistener = TcpListener::bind(maddr)?;
+                mlistener.set_nonblocking(true)?;
+                let bound = mlistener.local_addr()?;
+                let metrics_state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name("ode-server-metrics".into())
+                    .spawn(move || metrics::metrics_loop(mlistener, metrics_state))?;
+                Some(bound)
+            }
+            None => None,
+        };
         let accept_state = Arc::clone(&state);
         let accept = thread::Builder::new()
             .name("ode-server-accept".into())
             .spawn(move || accept_loop(listener, accept_state))?;
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             state,
             accept: Some(accept),
         })
@@ -259,6 +280,7 @@ pub struct DrainReport {
 /// deliberately.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
 }
@@ -267,6 +289,12 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP `/metrics` address, when
+    /// [`ServerConfig::metrics_addr`] was set (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The shared engine behind the server.

@@ -21,6 +21,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
+use ode_core::obs::flight::{current_trace, set_trace};
+use ode_core::obs::{prom, render_spans, SlowQuery, SpanStage, TraceId};
 use ode_core::oql::{ExecResult, QueryRows};
 use ode_core::prelude::*;
 use ode_core::TriggerId;
@@ -36,6 +38,10 @@ pub struct Session {
     pending: String,
     /// Set by `.exit`.
     done: bool,
+    /// Trace id of the most recent statement (what a bare `.trace`
+    /// shows). Inherited from the wire frame when the server set a trace
+    /// context, minted locally otherwise.
+    last_trace: TraceId,
 }
 
 /// Outcome of feeding one line to the session.
@@ -87,7 +93,13 @@ impl Session {
             db,
             pending: String::new(),
             done: false,
+            last_trace: TraceId::NONE,
         }
+    }
+
+    /// Trace id of the most recent statement this session executed.
+    pub fn last_trace(&self) -> TraceId {
+        self.last_trace
     }
 
     /// Access the underlying database (tests, host integration).
@@ -168,21 +180,71 @@ impl Session {
         if let Some(meta) = trimmed.strip_prefix('.') {
             return self.meta(meta);
         }
-        // Static analysis first (DESIGN.md §9): error-severity findings
-        // reject the statement *before* any transaction is opened or
-        // snapshot taken; warnings ride along and are printed above the
-        // statement's normal output.
-        let warnings = self.preflight(trimmed)?;
-        let out = self.run_statement(trimmed)?;
-        if warnings.is_empty() {
-            return Ok(out);
+        // Trace context: adopt the caller's trace (the server sets one
+        // from the wire frame before dispatching) or mint a fresh one, so
+        // every statement's spans are retrievable by id afterwards.
+        let flight = Arc::clone(self.db.flight());
+        let inherited = current_trace();
+        let _ctx = if inherited.is_traced() {
+            None
+        } else {
+            Some(set_trace(flight.mint_trace()))
+        };
+        let trace = current_trace();
+        self.last_trace = trace;
+        let started = std::time::Instant::now();
+
+        let result = {
+            let mut span = flight.span(SpanStage::Request, stmt_head(trimmed));
+            // Static analysis first (DESIGN.md §9): error-severity
+            // findings reject the statement *before* any transaction is
+            // opened or snapshot taken; warnings ride along and are
+            // printed above the statement's normal output.
+            let r = self.preflight(trimmed).and_then(|warnings| {
+                let out = self.run_statement(trimmed)?;
+                if warnings.is_empty() {
+                    return Ok(out);
+                }
+                let mut with_warnings = String::new();
+                for w in &warnings {
+                    let _ = writeln!(with_warnings, "{w}");
+                }
+                with_warnings.push_str(&out);
+                Ok(with_warnings)
+            });
+            if r.is_err() {
+                span.set_detail(format!("{} (error)", stmt_head(trimmed)));
+            }
+            r
+        };
+
+        // Slow-query log: over-threshold statements are captured with
+        // their plan (execute-span details) and per-stage timings.
+        let total_ns = started.elapsed().as_nanos() as u64;
+        if total_ns >= self.db.slow_log().threshold_ns() {
+            let spans = flight.for_trace(trace);
+            let mut stages: Vec<(String, u64)> = Vec::new();
+            let mut plan: Vec<(String, String)> = Vec::new();
+            for s in &spans {
+                let name = s.stage.name().to_string();
+                match stages.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, ns)) => *ns += s.duration_ns(),
+                    None => stages.push((name, s.duration_ns())),
+                }
+                if s.stage == SpanStage::Execute && !s.detail.is_empty() {
+                    plan.push(("strategy".to_string(), s.detail.clone()));
+                }
+            }
+            self.db.slow_log().offer(SlowQuery {
+                trace,
+                statement: trimmed.to_string(),
+                total_ns,
+                plan,
+                stages,
+                at_ms: 0,
+            });
         }
-        let mut with_warnings = String::new();
-        for w in &warnings {
-            let _ = writeln!(with_warnings, "{w}");
-        }
-        with_warnings.push_str(&out);
-        Ok(with_warnings)
+        result
     }
 
     /// Run the analyzer on a statement about to execute. Errors become
@@ -526,6 +588,70 @@ impl Session {
                     Ok(out.trim_end().to_string())
                 }
             },
+            "trace" => match parts.next() {
+                None => {
+                    if !self.last_trace.is_traced() {
+                        return Ok("no statement traced yet".to_string());
+                    }
+                    let spans = self.db.flight().for_trace(self.last_trace);
+                    Ok(render_spans(&spans))
+                }
+                Some("on") => {
+                    self.db.flight().set_enabled(true);
+                    Ok("flight recorder enabled".to_string())
+                }
+                Some("off") => {
+                    self.db.flight().set_enabled(false);
+                    Ok("flight recorder disabled".to_string())
+                }
+                Some("recent") => {
+                    let ids = self.db.flight().recent_traces(16);
+                    if ids.is_empty() {
+                        return Ok("no traces recorded".to_string());
+                    }
+                    let mut out = String::new();
+                    for id in ids {
+                        let _ = writeln!(out, "{id}");
+                    }
+                    Ok(out.trim_end().to_string())
+                }
+                Some(spec) => {
+                    let id = parse_trace_id(spec)?;
+                    let spans = self.db.flight().for_trace(id);
+                    if spans.is_empty() {
+                        return Ok(format!(
+                            "no spans for trace {id} (ring holds {} of {} recorded)",
+                            self.db.flight().capacity(),
+                            self.db.flight().recorded()
+                        ));
+                    }
+                    Ok(render_spans(&spans))
+                }
+            },
+            "slow" => match parts.next() {
+                None => Ok(self.db.slow_log().render()),
+                Some("clear") => {
+                    self.db.slow_log().clear();
+                    Ok("slow-query log cleared".to_string())
+                }
+                Some(ms) => {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        OdeError::Usage(format!("usage: .slow [<threshold-ms>|clear] (got `{ms}`)"))
+                    })?;
+                    self.db.slow_log().set_threshold_ns(ms * 1_000_000);
+                    Ok(format!("slow-query threshold set to {ms} ms"))
+                }
+            },
+            "metrics" => {
+                let engine = self.db.telemetry();
+                let workload = self.db.workload_stats();
+                Ok(prom::render(
+                    &engine,
+                    None,
+                    &workload,
+                    self.db.flight().recorded(),
+                ))
+            }
             "check" => {
                 let mut json = false;
                 let mut files = Vec::new();
@@ -826,6 +952,36 @@ fn format_explain(prof: &QueryProfile) -> String {
     out.trim_end().to_string()
 }
 
+/// First ≤48 chars of a statement, for flight-recorder span details.
+fn stmt_head(stmt: &str) -> String {
+    let mut head: String = stmt.chars().take(48).collect();
+    if head.len() < stmt.len() {
+        head.push('…');
+    }
+    head
+}
+
+/// Parse a trace id as the shell prints it (`0x`-prefixed hex) or as
+/// plain hex/decimal digits.
+pub fn parse_trace_id(spec: &str) -> Result<TraceId> {
+    let bad = || {
+        OdeError::Usage(format!(
+            "`{spec}` is not a trace id (hex, e.g. 0x68958f2a00001)"
+        ))
+    };
+    let raw = spec.trim();
+    let id = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| bad())?
+    } else {
+        // Bare ids are hex too (that is how they print); fall back to
+        // decimal for hand-typed small numbers.
+        u64::from_str_radix(raw, 16)
+            .or_else(|_| raw.parse())
+            .map_err(|_| bad())?
+    };
+    Ok(TraceId(id))
+}
+
 /// Parse `cluster:page.slot` — the textual oid form the shell prints.
 pub fn parse_oid(spec: &str) -> Result<Oid> {
     let bad = || OdeError::Usage(format!("`{spec}` is not an oid (cluster:page.slot)"));
@@ -892,6 +1048,10 @@ meta:
   .check [--json] <file> ...           batch-lint O++ files (no execution)
   .stats [reset]                       engine telemetry counters
   .stats profiles                      accumulated per-query profiles
+  .trace [<id>|recent|on|off]          flight-recorder spans (last statement,
+                                       a specific trace, or toggle recording)
+  .slow [<threshold-ms>|clear]         slow-query log / set threshold
+  .metrics                             Prometheus text exposition of all counters
   .export <file>   .import <file>      whole-database dump / restore
   .help   .exit
 
@@ -1105,6 +1265,60 @@ mod tests {
         assert!(out.contains("query profiles reset"), "{out}");
         assert_eq!(feed(&mut s, ".stats profiles"), "no query profiles");
         assert!(s.database().query_profiles().is_empty());
+    }
+
+    #[test]
+    fn trace_slow_and_metrics_commands() {
+        let mut s = Session::in_memory();
+        feed(&mut s, "class item { int qty = 0; }");
+        feed(&mut s, "create cluster item");
+        feed(&mut s, "pnew item (qty = 1)");
+        feed(&mut s, "forall i in item");
+        // Bare `.trace` shows the last statement's span tree; the
+        // read-only forall ran inside a snapshot txn with an execute
+        // child.
+        let out = feed(&mut s, ".trace");
+        assert!(out.contains("trace 0x"), "{out}");
+        assert!(out.contains("txn"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+        // `.trace <id>` retrieves the same spans by id.
+        let id = format!("{}", s.last_trace());
+        let out2 = feed(&mut s, &format!(".trace {id}"));
+        assert_eq!(out, out2);
+        // Unknown trace ids are reported, not fatal.
+        let out = feed(&mut s, ".trace 0xdeadbeef");
+        assert!(out.contains("no spans"), "{out}");
+        let out = feed(&mut s, ".trace bogus!");
+        assert!(out.starts_with("error:"), "{out}");
+
+        // Slow log: threshold 0 captures everything.
+        feed(&mut s, ".slow 0");
+        feed(&mut s, "forall i in item suchthat (qty == 1)");
+        let out = feed(&mut s, ".slow");
+        assert!(out.contains("slow-query log"), "{out}");
+        assert!(out.contains("forall i in item"), "{out}");
+        assert!(out.contains("stage."), "{out}");
+        feed(&mut s, ".slow clear");
+        let out = feed(&mut s, ".slow");
+        assert!(out.contains("0 entr"), "{out}");
+        let out = feed(&mut s, ".slow 250");
+        assert!(out.contains("250 ms"), "{out}");
+        assert_eq!(s.database().slow_log().threshold_ns(), 250_000_000);
+
+        // `.metrics` renders valid Prometheus exposition text.
+        let out = feed(&mut s, ".metrics");
+        assert!(out.contains("ode_txn_committed_total"), "{out}");
+        assert!(out.contains("ode_cluster_reads_total"), "{out}");
+        prom::validate(&out).unwrap();
+
+        // The recorder can be toggled off (and back on).
+        feed(&mut s, ".trace off");
+        let before = s.database().flight().recorded();
+        feed(&mut s, "forall i in item");
+        assert_eq!(s.database().flight().recorded(), before);
+        feed(&mut s, ".trace on");
+        feed(&mut s, "forall i in item");
+        assert!(s.database().flight().recorded() > before);
     }
 
     #[test]

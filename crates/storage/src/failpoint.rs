@@ -256,6 +256,10 @@ impl Store for FailpointStore {
         }
     }
 
+    fn pager_shard_stats(&self) -> Vec<crate::pager::PagerStats> {
+        self.inner.pager_shard_stats()
+    }
+
     fn reset_stats(&self) {
         self.faults.store(0, Ordering::Relaxed);
         self.inner.reset_stats();

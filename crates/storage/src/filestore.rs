@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 use crate::error::{Result, StorageError};
 use crate::heap::{HeapManager, RecordId};
 use crate::page::{Page, PageType};
-use crate::pager::Pager;
+use crate::pager::{Pager, PagerStats};
 use crate::store::{HeapId, Store, StoreOp, StoreStats};
 use crate::wal::{Wal, WalOp};
 
@@ -447,6 +447,10 @@ impl Store for FileStore {
             faults_injected: 0,
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
         }
+    }
+
+    fn pager_shard_stats(&self) -> Vec<PagerStats> {
+        self.pager.stats_per_shard()
     }
 
     fn reset_stats(&self) {

@@ -107,6 +107,13 @@ pub trait Store: Send + Sync {
     /// Substrate counters.
     fn stats(&self) -> StoreStats;
 
+    /// Per-shard buffer-pool counters (index = shard number); empty for
+    /// stores without a buffer pool. Skewed shards reveal striping hot
+    /// spots that the pool-wide totals in [`Store::stats`] hide.
+    fn pager_shard_stats(&self) -> Vec<PagerStats> {
+        Vec::new()
+    }
+
     /// Reset counters (benches measure deltas).
     fn reset_stats(&self);
 

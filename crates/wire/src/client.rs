@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use crate::protocol::{
     read_frame, write_frame, ControlOp, ErrorKind, Request, Response, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Typed client-side failure.
@@ -131,29 +131,65 @@ impl RetryPolicy {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The version negotiated at the handshake (≤ [`PROTOCOL_VERSION`]).
+    version: u16,
+    /// Trace-id minting state (v2 sessions trace every line).
+    next_trace: u64,
+    /// The trace id attached to the most recent [`Client::line`].
+    last_trace: u64,
 }
 
 impl Client {
     /// Connect and perform the protocol handshake. An admission-control
     /// rejection surfaces as [`ClientError::Rejected`], a draining server
-    /// as [`ClientError::ShuttingDown`].
+    /// as [`ClientError::ShuttingDown`]. The server answers with the
+    /// negotiated version — the lower of the two — which governs whether
+    /// lines carry trace ids and which control ops are available.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ClientError::from_io)?;
         stream.set_nodelay(true).ok();
-        let mut client = Client { stream };
+        // Seed trace minting so ids from concurrent clients rarely
+        // collide; uniqueness is a convenience, not a requirement.
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            ^ ((std::process::id() as u64) << 32);
+        let mut client = Client {
+            stream,
+            version: PROTOCOL_VERSION,
+            next_trace: seed | 1,
+            last_trace: 0,
+        };
         client.send(&Request::Hello {
             version: PROTOCOL_VERSION,
         })?;
         match client.recv()? {
-            Response::Welcome { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Welcome { version }
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+            {
+                client.version = version;
+                Ok(client)
+            }
             Response::Welcome { version } => Err(ClientError::Protocol(format!(
-                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+                "server negotiated unsupported protocol v{version}, client v{PROTOCOL_VERSION}"
             ))),
             Response::Error { kind, message } => Err(typed(kind, message)),
             other => Err(ClientError::Protocol(format!(
                 "unexpected handshake response: {other:?}"
             ))),
         }
+    }
+
+    /// The protocol version negotiated at connect.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The trace id the most recent [`Client::line`] carried (0 on a v1
+    /// session, where lines travel untraced).
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
     }
 
     /// Bound every subsequent socket read/write (`None` removes the
@@ -165,9 +201,23 @@ impl Client {
             .map_err(ClientError::from_io)
     }
 
-    /// Send one shell input line and read its response.
+    /// Send one shell input line and read its response. On a v2 session
+    /// the line carries a freshly minted trace id (readable afterwards
+    /// via [`Client::last_trace`]) so the server records its spans under
+    /// it; a v1 session sends the plain untraced frame.
     pub fn line(&mut self, text: &str) -> Result<RemoteLine, ClientError> {
-        self.send(&Request::Line(text.to_string()))?;
+        let req = if self.version >= 2 {
+            self.last_trace = self.next_trace;
+            self.next_trace = self.next_trace.wrapping_add(2); // stays odd, never 0
+            Request::TracedLine {
+                trace: self.last_trace,
+                text: text.to_string(),
+            }
+        } else {
+            self.last_trace = 0;
+            Request::Line(text.to_string())
+        };
+        self.send(&req)?;
         match self.recv()? {
             Response::Output(out) => Ok(RemoteLine::Output(out)),
             Response::Continue => Ok(RemoteLine::Continue),
@@ -217,6 +267,36 @@ impl Client {
     /// The engine telemetry snapshot as JSON.
     pub fn telemetry_json(&mut self) -> Result<String, ClientError> {
         self.control(ControlOp::TelemetryJson)
+    }
+
+    /// Prometheus text-format metrics (v2 sessions only).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.require_v2("metrics")?;
+        self.control(ControlOp::Metrics)
+    }
+
+    /// The rendered span tree of `trace` from the server's flight
+    /// recorder (v2 sessions only).
+    pub fn trace(&mut self, trace: u64) -> Result<String, ClientError> {
+        self.require_v2("trace retrieval")?;
+        self.control(ControlOp::Trace(trace))
+    }
+
+    /// The server's slow-query log, rendered (v2 sessions only).
+    pub fn slow_log(&mut self) -> Result<String, ClientError> {
+        self.require_v2("slow-query log")?;
+        self.control(ControlOp::SlowLog)
+    }
+
+    fn require_v2(&self, what: &str) -> Result<(), ClientError> {
+        if self.version >= 2 {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "{what} requires protocol v2; this session negotiated v{}",
+                self.version
+            )))
+        }
     }
 
     /// Orderly goodbye; consumes the client.

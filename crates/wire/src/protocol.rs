@@ -7,16 +7,40 @@
 //!
 //! A session opens with a handshake: the client's first frame must be
 //! [`Request::Hello`] carrying its protocol version, answered by
-//! [`Response::Welcome`] (or a typed [`Response::Error`] — admission
-//! rejection, draining shutdown, version mismatch). After the handshake
-//! the client sends one request per frame and reads exactly one response
-//! per request, in order.
+//! [`Response::Welcome`] carrying the *negotiated* version (or a typed
+//! [`Response::Error`] — admission rejection, draining shutdown, version
+//! mismatch). The server accepts any client version in
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and answers with the
+//! lower of the two, so an older client keeps speaking its own revision
+//! and never sees frames it cannot decode; a client from the future is
+//! refused with a well-framed error rather than a desync. After the
+//! handshake the client sends one request per frame and reads exactly
+//! one response per request, in order.
+//!
+//! v2 adds [`Request::TracedLine`] (a line carrying the client-minted
+//! trace id for the flight recorder) and the `Metrics` / `Trace` /
+//! `SlowLog` control ops.
 
 use std::io::{self, Read, Write};
 
-/// Protocol revision. Bumped on any incompatible frame change; the
-/// server refuses clients whose version differs.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Current protocol revision. Bumped on any frame change; see the module
+/// docs for the negotiation rule.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest revision this build still serves (v1: untraced lines, the
+/// original three control ops).
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// The version a server answering `Hello { version: client }` should
+/// speak for the rest of the session, or `None` when the client is
+/// outside the supported window and must be refused.
+pub fn negotiate(client: u16) -> Option<u16> {
+    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&client) {
+        Some(client.min(PROTOCOL_VERSION))
+    } else {
+        None
+    }
+}
 
 /// Hard ceiling on any frame this crate will read (64 MiB) — a defense
 /// against garbage length prefixes, independent of the server's own
@@ -111,6 +135,12 @@ pub enum ControlOp {
     ServerStats,
     /// The full engine telemetry snapshot as JSON.
     TelemetryJson,
+    /// Prometheus text-format exposition of every metric (v2).
+    Metrics,
+    /// The span tree of one trace from the flight recorder (v2).
+    Trace(u64),
+    /// The slow-query log, rendered (v2).
+    SlowLog,
 }
 
 /// Client → server messages.
@@ -124,6 +154,14 @@ pub enum Request {
     /// One shell input line (statement, meta-command, or a continuation
     /// line of a multi-line class declaration).
     Line(String),
+    /// A shell input line plus the client-minted trace id that the server
+    /// installs around its execution (v2; v1 peers never see this tag).
+    TracedLine {
+        /// The client-minted trace id (nonzero).
+        trace: u64,
+        /// The input line.
+        text: String,
+    },
     /// A control operation.
     Control(ControlOp),
     /// Orderly goodbye; the server answers [`Response::Goodbye`] and
@@ -234,6 +272,7 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_LINE: u8 = 0x02;
 const TAG_CONTROL: u8 = 0x03;
 const TAG_BYE: u8 = 0x04;
+const TAG_TRACED_LINE: u8 = 0x05;
 const TAG_WELCOME: u8 = 0x81;
 const TAG_OUTPUT: u8 = 0x82;
 const TAG_CONTINUE: u8 = 0x83;
@@ -259,14 +298,25 @@ impl Request {
                 out.extend_from_slice(text.as_bytes());
                 out
             }
-            Request::Control(op) => {
-                let code = match op {
-                    ControlOp::Ping => 1u8,
-                    ControlOp::ServerStats => 2,
-                    ControlOp::TelemetryJson => 3,
-                };
-                vec![TAG_CONTROL, code]
+            Request::TracedLine { trace, text } => {
+                let mut out = Vec::with_capacity(9 + text.len());
+                out.push(TAG_TRACED_LINE);
+                out.extend_from_slice(&trace.to_be_bytes());
+                out.extend_from_slice(text.as_bytes());
+                out
             }
+            Request::Control(op) => match op {
+                ControlOp::Ping => vec![TAG_CONTROL, 1],
+                ControlOp::ServerStats => vec![TAG_CONTROL, 2],
+                ControlOp::TelemetryJson => vec![TAG_CONTROL, 3],
+                ControlOp::Metrics => vec![TAG_CONTROL, 4],
+                ControlOp::Trace(id) => {
+                    let mut out = vec![TAG_CONTROL, 5];
+                    out.extend_from_slice(&id.to_be_bytes());
+                    out
+                }
+                ControlOp::SlowLog => vec![TAG_CONTROL, 6],
+            },
             Request::Bye => vec![TAG_BYE],
         }
     }
@@ -287,10 +337,26 @@ impl Request {
                 let text = std::str::from_utf8(rest).map_err(|_| bad("line is not UTF-8"))?;
                 Ok(Request::Line(text.to_string()))
             }
+            TAG_TRACED_LINE => {
+                if rest.len() < 8 {
+                    return Err(bad("traced line missing trace id"));
+                }
+                let trace = u64::from_be_bytes(rest[..8].try_into().unwrap());
+                let text = std::str::from_utf8(&rest[8..]).map_err(|_| bad("line is not UTF-8"))?;
+                Ok(Request::TracedLine {
+                    trace,
+                    text: text.to_string(),
+                })
+            }
             TAG_CONTROL => match rest {
                 [1] => Ok(Request::Control(ControlOp::Ping)),
                 [2] => Ok(Request::Control(ControlOp::ServerStats)),
                 [3] => Ok(Request::Control(ControlOp::TelemetryJson)),
+                [4] => Ok(Request::Control(ControlOp::Metrics)),
+                [5, id @ ..] if id.len() == 8 => Ok(Request::Control(ControlOp::Trace(
+                    u64::from_be_bytes(id.try_into().unwrap()),
+                ))),
+                [6] => Ok(Request::Control(ControlOp::SlowLog)),
                 _ => Err(bad("unknown control op")),
             },
             TAG_BYE => Ok(Request::Bye),
@@ -381,10 +447,31 @@ mod tests {
         });
         roundtrip_req(Request::Line("forall s in stockitem".into()));
         roundtrip_req(Request::Line(String::new()));
+        roundtrip_req(Request::TracedLine {
+            trace: 0xdead_beef_cafe,
+            text: "update …".into(),
+        });
+        roundtrip_req(Request::TracedLine {
+            trace: 1,
+            text: String::new(),
+        });
         roundtrip_req(Request::Control(ControlOp::Ping));
         roundtrip_req(Request::Control(ControlOp::ServerStats));
         roundtrip_req(Request::Control(ControlOp::TelemetryJson));
+        roundtrip_req(Request::Control(ControlOp::Metrics));
+        roundtrip_req(Request::Control(ControlOp::Trace(42)));
+        roundtrip_req(Request::Control(ControlOp::SlowLog));
         roundtrip_req(Request::Bye);
+    }
+
+    #[test]
+    fn negotiation_window() {
+        // A v1 client keeps speaking v1; a current client gets v2.
+        assert_eq!(negotiate(1), Some(1));
+        assert_eq!(negotiate(PROTOCOL_VERSION), Some(PROTOCOL_VERSION));
+        // A future client is refused, not silently downgraded.
+        assert_eq!(negotiate(PROTOCOL_VERSION + 1), None);
+        assert_eq!(negotiate(0), None);
     }
 
     #[test]
@@ -416,6 +503,8 @@ mod tests {
         assert!(Request::decode(&[0xff]).is_err());
         assert!(Request::decode(&[TAG_HELLO, 1]).is_err()); // truncated version
         assert!(Request::decode(&[TAG_CONTROL, 99]).is_err());
+        assert!(Request::decode(&[TAG_TRACED_LINE, 1, 2]).is_err()); // short id
+        assert!(Request::decode(&[TAG_CONTROL, 5, 1]).is_err()); // short trace op
         assert!(Response::decode(&[TAG_ERROR]).is_err());
         assert!(Response::decode(&[TAG_ERROR, 99]).is_err());
         assert!(Request::decode(&[TAG_LINE, 0xc3]).is_err()); // invalid UTF-8
