@@ -9,7 +9,7 @@ use std::collections::{HashMap, HashSet};
 use ode_model::{ClassId, Schema, TriggerAction};
 
 use crate::infer::{self, Scope};
-use crate::{dedup, sat, Diagnostic, Severity, StmtKind, A002, A003, A005, A007, A009, A010};
+use crate::{dedup, sat, Diagnostic, Severity, StmtKind, A002, A003, A005, A007, A009, A010, A201};
 
 /// Analyze a just-defined class (and everything it inherits). Called by
 /// the engine after the definition has been applied to a scratch copy of
@@ -112,15 +112,21 @@ pub fn analyze_class(schema: &Schema, class: ClassId) -> Vec<Diagnostic> {
     dedup(diags)
 }
 
-/// A009: perpetual triggers whose actions can re-arm each other.
+/// A201 and A009: perpetual triggers that can re-arm themselves or each
+/// other.
 ///
 /// Edge `T → U` when an action of `T` assigns a member that `U`'s
 /// condition reads: firing `T` re-evaluates `U`'s condition with a value
-/// `T` just changed. A cycle among *perpetual* triggers (including a
-/// self-loop) may never quiesce — once-only triggers fire at most once,
-/// so they break any cycle they are on and are excluded from the graph.
+/// `T` just changed. Once-only triggers fire at most once, so they break
+/// any cycle they are on and are excluded from the graph.
 ///
-/// This is a warning, not an error: the read/write graph cannot see
+/// A *self-loop* — a perpetual trigger whose own action can re-satisfy
+/// its condition — gets the dedicated A201 lint naming the overlapping
+/// member, because the fix is local to one trigger; self-edges are then
+/// excluded from the A009 cycle search, which reports only genuine
+/// multi-trigger cycles.
+///
+/// Both are warnings, not errors: the read/write graph cannot see
 /// whether the condition eventually goes false (`n < 5` with `n = n + 1`
 /// is a self-loop that terminates), and the engine bounds runaway
 /// cascades at runtime anyway (the trigger cascade depth limit).
@@ -150,10 +156,32 @@ fn check_trigger_cycles(
         })
         .collect();
     let n = perpetual.len();
+    for i in 0..n {
+        let mut overlap: Vec<&str> = writes[i]
+            .iter()
+            .filter(|f| reads[i].contains(*f))
+            .copied()
+            .collect();
+        if !overlap.is_empty() {
+            overlap.sort_unstable();
+            diags.push(Diagnostic::new(
+                A201,
+                Severity::Warning,
+                format!(
+                    "perpetual trigger `{}` on class `{class}` assigns `{}`, \
+                     which its own condition reads — each firing can \
+                     re-satisfy the condition and fire again (bounded only \
+                     by the runtime cascade limit)",
+                    perpetual[i].1.name,
+                    overlap.join("`, `"),
+                ),
+            ));
+        }
+    }
     let edges: Vec<Vec<usize>> = (0..n)
         .map(|i| {
             (0..n)
-                .filter(|&j| writes[i].iter().any(|f| reads[j].contains(f)))
+                .filter(|&j| j != i && writes[i].iter().any(|f| reads[j].contains(f)))
                 .collect()
         })
         .collect();

@@ -174,6 +174,10 @@ pub(crate) const A101: &str = "A101"; // suchthat provably unsatisfiable
 pub(crate) const A102: &str = "A102"; // unindexed equality predicate
 pub(crate) const A103: &str = "A103"; // is-test outside the hierarchy
 
+// `A2xx` are active-database lints (warnings): trigger/scheduler shapes
+// that run, but probably not the way the author meant.
+pub(crate) const A201: &str = "A201"; // perpetual trigger re-satisfies itself
+
 // ------------------------------------------------------------ inputs
 
 /// Catalog facts the analyzer cannot learn from the [`Schema`] alone.

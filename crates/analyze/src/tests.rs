@@ -395,6 +395,38 @@ fn once_triggers_do_not_cycle() {
 }
 
 #[test]
+fn self_resatisfying_perpetual_trigger_is_a201() {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("counter")
+                .field_default("n", Type::Int, 0i64)
+                // Writes `n`, which its own condition reads: every firing
+                // can re-satisfy the condition. A201, not a cycle.
+                .trigger("tick", &[], true, "n >= 0")
+                .action_assign("n", "n + 1"),
+        )
+        .unwrap();
+    let diags = analyze_class(&s, id);
+    assert_eq!(codes(&diags), vec![A201]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("tick"), "{diags:?}");
+    assert!(diags[0].message.contains("`n`"), "{diags:?}");
+
+    // The same shape once-only is harmless: it fires at most once.
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("counter")
+                .field_default("n", Type::Int, 0i64)
+                .trigger("tick", &[], false, "n >= 0")
+                .action_assign("n", "n + 1"),
+        )
+        .unwrap();
+    assert!(analyze_class(&s, id).is_empty());
+}
+
+#[test]
 fn reorder_style_trigger_is_not_a_cycle() {
     let mut s = Schema::new();
     let id = s

@@ -14,6 +14,7 @@ use ode_storage::RecordId;
 use std::collections::HashMap;
 
 use crate::error::Result;
+use crate::trigger::PendingEvent;
 
 /// Heap id of the catalog: the first heap a fresh store creates.
 pub const CATALOG_HEAP: u32 = 1;
@@ -23,6 +24,7 @@ const K_CLUSTER: u8 = 2;
 const K_INDEX: u8 = 3;
 const K_ACTIVATION: u8 = 4;
 const K_STATS: u8 = 5;
+const K_PENDING: u8 = 6;
 
 /// One catalog entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +61,13 @@ pub enum CatalogRecord {
     /// counters survive restarts. At most one lives in the catalog; it is
     /// updated in place (same rid) on every checkpoint.
     Stats(Vec<WorkStatRow>),
+    /// One fired-trigger event awaiting the decoupled scheduler. Each
+    /// event is its own record (a 100k-trigger storm must not be bounded
+    /// by the max record size): enqueueing puts the record and
+    /// acknowledging deletes it, both in the same store batch as the
+    /// commit that fires or runs the action, so the pending set is exactly
+    /// as durable as the commits that produced it.
+    Pending(PendingEvent),
 }
 
 impl CatalogRecord {
@@ -108,6 +117,17 @@ impl CatalogRecord {
                     write_value(&mut w, &Value::Int(row.writes as i64));
                     write_value(&mut w, &Value::Int(row.scans as i64));
                 }
+                out.extend_from_slice(&w.finish());
+                out
+            }
+            CatalogRecord::Pending(e) => {
+                let mut out = vec![K_PENDING];
+                write_value(&mut w, &Value::Int(e.id as i64));
+                write_value(&mut w, &Value::Int(e.activation as i64));
+                write_value(&mut w, &Value::Ref(e.oid));
+                write_value(&mut w, &Value::Str(e.trigger.clone()));
+                write_value(&mut w, &Value::Array(e.args.clone()));
+                write_value(&mut w, &Value::Int(e.depth as i64));
                 out.extend_from_slice(&w.finish());
                 out
             }
@@ -170,6 +190,27 @@ impl CatalogRecord {
                 }
                 CatalogRecord::Stats(rows)
             }
+            K_PENDING => {
+                let id = read_value(&mut r)?.as_int()? as u64;
+                let activation = read_value(&mut r)?.as_int()? as u64;
+                let oid = read_value(&mut r)?.as_ref_oid()?;
+                let trigger = read_value(&mut r)?.as_str()?.to_string();
+                let args = match read_value(&mut r)? {
+                    Value::Array(a) => a,
+                    _ => {
+                        return Err(ModelError::Decode("pending-event args not array".into()).into())
+                    }
+                };
+                let depth = read_value(&mut r)?.as_int()? as u64;
+                CatalogRecord::Pending(PendingEvent {
+                    id,
+                    activation,
+                    oid,
+                    trigger,
+                    args,
+                    depth,
+                })
+            }
             other => return Err(ModelError::Decode(format!("unknown catalog kind {other}")).into()),
         };
         Ok(rec)
@@ -191,6 +232,8 @@ pub struct CatalogState {
     /// rid of the (single) workload-statistics record, if one has been
     /// checkpointed.
     pub stats_rid: Option<RecordId>,
+    /// pending-event id → rid of its event record.
+    pub pending_rids: HashMap<u64, RecordId>,
 }
 
 #[cfg(test)]
@@ -238,6 +281,22 @@ mod tests {
                 },
             ]),
             CatalogRecord::Stats(Vec::new()),
+            CatalogRecord::Pending(PendingEvent {
+                id: 12,
+                activation: 99,
+                oid: oid(),
+                trigger: "reorder".into(),
+                args: vec![Value::Int(10)],
+                depth: 2,
+            }),
+            CatalogRecord::Pending(PendingEvent {
+                id: 13,
+                activation: 1,
+                oid: oid(),
+                trigger: "low_stock".into(),
+                args: Vec::new(),
+                depth: 0,
+            }),
         ];
         for rec in records {
             let bytes = rec.encode();

@@ -38,11 +38,26 @@ use crate::error::{OdeError, Result};
 use crate::index::BTreeIndex;
 use crate::object::{decode_record, is_anchor, ObjRecord};
 use crate::read::ReadTransaction;
-use crate::trigger::Activation;
+use crate::trigger::{Activation, CommitNote, PendingEvent};
 use crate::txn::Transaction;
 
 /// Signature of a host callback invocable from trigger actions.
 pub type CallbackFn = Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
+
+/// Sink receiving fired-trigger events from committing transactions when
+/// the database runs in decoupled-firing mode (a scheduler is attached).
+/// Invoked after the triggering commit has published, outside every engine
+/// lock; the events are already durable in the catalog's pending record.
+pub type FiringSink = Arc<dyn Fn(Vec<PendingEvent>) + Send + Sync>;
+
+/// Observer notified after each published write commit with the objects it
+/// wrote (live subscriptions). Invoked outside every engine lock; must be
+/// cheap and must not commit a write transaction synchronously.
+pub type CommitObserver = Arc<dyn Fn(&CommitNote) + Send + Sync>;
+
+/// Hook supplying scheduler status rows to the shell's `.triggers` command
+/// (queue depth, dead letters, …). Registered by an attached scheduler.
+pub type SchedStatusFn = Arc<dyn Fn() -> Vec<(String, String)> + Send + Sync>;
 
 /// Upper bound on distinct accumulated query-profile buckets. Long-lived
 /// servers execute unbounded query streams; past this many distinct
@@ -102,6 +117,9 @@ pub(crate) struct DbInner {
     pub activations: HashMap<u64, Activation>,
     /// Subject → activation ids.
     pub activations_by_oid: HashMap<Oid, Vec<u64>>,
+    /// Fired-trigger events enqueued but not yet acknowledged by their
+    /// action transactions (decoupled mode only; always empty inline).
+    pub pending: HashMap<u64, PendingEvent>,
 }
 
 impl DbInner {
@@ -138,6 +156,16 @@ pub struct Database {
     pub(crate) commit_epoch: AtomicU64,
     pub(crate) callbacks: RwLock<HashMap<String, CallbackFn>>,
     pub(crate) next_activation_id: AtomicU64,
+    /// Ids for durable pending-trigger events (decoupled firing).
+    pub(crate) next_event_id: AtomicU64,
+    /// When installed, commits enqueue fired-trigger events here instead of
+    /// running actions inline (weak coupling moves off the commit path).
+    pub(crate) firing_sink: RwLock<Option<FiringSink>>,
+    /// When installed, notified with each published commit's write set
+    /// (live subscriptions).
+    pub(crate) commit_observer: RwLock<Option<CommitObserver>>,
+    /// Scheduler status hook for `.triggers` (queue depth, dead letters…).
+    pub(crate) sched_hook: RwLock<Option<SchedStatusFn>>,
     pub(crate) config: DbConfig,
     /// Engine-wide counters; every layer increments through relaxed atomics.
     pub(crate) tel: EngineTelemetry,
@@ -204,6 +232,7 @@ impl Database {
             indexes: HashMap::new(),
             activations: HashMap::new(),
             activations_by_oid: HashMap::new(),
+            pending: HashMap::new(),
         };
 
         // Replay the catalog in record-id order: classes are re-defined in
@@ -214,6 +243,7 @@ impl Database {
             Ok(true)
         })?;
         let mut max_activation = 0u64;
+        let mut max_event = 0u64;
         let mut index_decls = Vec::new();
         let mut replayed = 0usize;
         for (rid, bytes) in records {
@@ -261,6 +291,11 @@ impl Database {
                     }
                     inner.catalog.stats_rid = Some(rid);
                 }
+                CatalogRecord::Pending(e) => {
+                    max_event = max_event.max(e.id);
+                    inner.catalog.pending_rids.insert(e.id, rid);
+                    inner.pending.insert(e.id, e);
+                }
             }
         }
 
@@ -280,6 +315,10 @@ impl Database {
             commit_epoch: AtomicU64::new(0),
             callbacks: RwLock::new(HashMap::new()),
             next_activation_id: AtomicU64::new(max_activation + 1),
+            next_event_id: AtomicU64::new(max_event + 1),
+            firing_sink: RwLock::new(None),
+            commit_observer: RwLock::new(None),
+            sched_hook: RwLock::new(None),
             slowlog: SlowQueryLog::with_threshold_ns(config.slow_query_threshold_ns),
             config,
             tel: EngineTelemetry::default(),
@@ -806,6 +845,148 @@ impl Database {
 
     pub(crate) fn alloc_activation_id(&self) -> u64 {
         self.next_activation_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------- decoupled firing
+
+    /// Install (or with `None`, remove) a fired-trigger event sink. While
+    /// a sink is installed the database runs in *decoupled* firing mode:
+    /// commits durably enqueue [`PendingEvent`]s (reported in
+    /// [`crate::CommitInfo::enqueued`]) and hand them to the sink instead
+    /// of running trigger actions inline, so commit latency no longer
+    /// includes action time. Without a sink, firing is inline exactly as
+    /// before.
+    pub fn set_firing_sink(&self, sink: Option<FiringSink>) {
+        *self.firing_sink.write() = sink;
+    }
+
+    /// Is a firing sink installed (decoupled mode)?
+    pub fn firing_decoupled(&self) -> bool {
+        self.firing_sink.read().is_some()
+    }
+
+    /// Install (or remove) the commit observer notified with each
+    /// published write commit's write set (live subscriptions).
+    pub fn set_commit_observer(&self, obs: Option<CommitObserver>) {
+        *self.commit_observer.write() = obs;
+    }
+
+    /// Install (or remove) the scheduler status hook behind `.triggers`.
+    pub fn set_sched_status_hook(&self, hook: Option<SchedStatusFn>) {
+        *self.sched_hook.write() = hook;
+    }
+
+    /// Scheduler status rows, if a scheduler registered a hook.
+    pub fn sched_status(&self) -> Option<Vec<(String, String)>> {
+        self.sched_hook.read().as_ref().map(|f| f())
+    }
+
+    /// Fired-trigger events enqueued but not yet acknowledged, in event-id
+    /// order. After a reopen this is the recovered backlog an attaching
+    /// scheduler must drain.
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let inner = self.inner.read();
+        let mut out: Vec<PendingEvent> = inner.pending.values().cloned().collect();
+        out.sort_by_key(|e| e.id);
+        out
+    }
+
+    /// Armed trigger activations, summarized as (trigger name, count),
+    /// sorted by name — the `.triggers` inspection surface.
+    pub fn activation_summary(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.read();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for a in inner.activations.values() {
+            *counts.entry(a.trigger.as_str()).or_default() += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Durably remove pending events without running them (dead-letter
+    /// path: the scheduler gave up on the action). Deletes the per-event
+    /// catalog records in one store batch — no `txn_gate`, so it is safe
+    /// from a scheduler worker even while a write transaction is open
+    /// elsewhere.
+    pub fn ack_pending(&self, ids: &[u64]) -> Result<()> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let _apply = self.apply_gate.write();
+        let mut inner = self.inner.write();
+        let mut ops = Vec::new();
+        for id in ids {
+            if let Some(&rid) = inner.catalog.pending_rids.get(id) {
+                ops.push(StoreOp::Delete {
+                    heap: CATALOG_HEAP,
+                    rid,
+                });
+            }
+        }
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.store.commit(ops)?;
+        for id in ids {
+            inner.catalog.pending_rids.remove(id);
+            inner.pending.remove(id);
+        }
+        drop(inner);
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Run one pending event's action in its own write transaction (the
+    /// scheduler's dispatch entry). Acknowledges the event durably in the
+    /// action's commit batch; returns the next-round events the action
+    /// enqueued (cascade). A cascade past the configured limit is refused
+    /// with a typed [`OdeError::TriggerCascade`] and the event is
+    /// acknowledged so it cannot replay forever.
+    pub fn dispatch_firing(&self, event: &PendingEvent) -> Result<Vec<PendingEvent>> {
+        if event.depth as usize > self.config.trigger_cascade_limit {
+            self.tel.triggers.action_failures.inc();
+            self.tel.triggers.cascade_exhausted.inc();
+            self.ack_pending(&[event.id])?;
+            return Err(OdeError::TriggerCascade {
+                limit: self.config.trigger_cascade_limit,
+            });
+        }
+        crate::txn::run_one_event(self, event)
+    }
+
+    /// Live scheduler counters (queue depth, drain lag, dead letters).
+    /// The attached scheduler increments these; snapshots flow out through
+    /// [`Database::telemetry`] like every other counter group.
+    pub fn sched_telemetry(&self) -> &ode_obs::SchedTelemetry {
+        &self.tel.sched
+    }
+
+    pub(crate) fn alloc_event_id(&self) -> u64 {
+        self.next_event_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Clone the installed firing sink, if any (commit path).
+    pub(crate) fn firing_sink(&self) -> Option<FiringSink> {
+        self.firing_sink.read().clone()
+    }
+
+    /// Notify the commit observer, if installed (commit path; called
+    /// outside every engine lock).
+    pub(crate) fn notify_commit(&self, note: &CommitNote) {
+        let guard = self.commit_observer.read();
+        if let Some(obs) = guard.as_ref() {
+            obs(note);
+        }
+    }
+
+    /// Is a commit observer installed? (Lets the commit path skip
+    /// collecting the write list entirely in the common case.)
+    pub(crate) fn has_commit_observer(&self) -> bool {
+        self.commit_observer.read().is_some()
     }
 }
 

@@ -43,7 +43,10 @@ pub use ode_obs as obs;
 pub use ode_analyze::{Diagnostic, Severity};
 
 pub use backup::DumpStats;
-pub use database::{CallbackFn, Database, DbConfig, ProfileBucket, MAX_PROFILE_BUCKETS};
+pub use database::{
+    CallbackFn, CommitObserver, Database, DbConfig, FiringSink, ProfileBucket, SchedStatusFn,
+    MAX_PROFILE_BUCKETS,
+};
 pub use error::{OdeError, Result};
 pub use obs::{
     render_spans, FlightRecorder, PlanStrategy, QueryProfile, SlowQuery, SlowQueryLog, SpanRecord,
@@ -53,7 +56,7 @@ pub use obs::{
 pub use oql::{parse_query, ExecResult, QueryRows, QueryStmt};
 pub use query::{Forall, ForallJoin};
 pub use read::{ReadContext, ReadTransaction};
-pub use trigger::{CommitInfo, FiredTrigger, TriggerFailure, TriggerId};
+pub use trigger::{CommitInfo, CommitNote, FiredTrigger, PendingEvent, TriggerFailure, TriggerId};
 pub use txn::{ObjWriter, Transaction};
 pub use typed::{OdeInstance, Persistent};
 

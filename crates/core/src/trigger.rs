@@ -21,7 +21,7 @@
 //!   contact with a perpetual trigger whose action re-satisfies its own
 //!   condition).
 
-use ode_model::{Oid, TriggerDecl, Value};
+use ode_model::{ClassId, Oid, TriggerDecl, Value};
 
 /// Handle returned by trigger activation; used for explicit deactivation
 /// (`trigger-id` in the paper).
@@ -81,6 +81,40 @@ pub struct TriggerFailure {
     pub error: crate::error::OdeError,
 }
 
+/// A fired-trigger event handed to a decoupled scheduler instead of being
+/// run inline. Durable: the committing transaction writes the full pending
+/// set into the catalog in the *same* store batch that (for once-only
+/// triggers) deletes the activation, so a crash between commit and drain
+/// neither loses nor double-arms the firing. The event carries everything
+/// needed to run the action after reopen — the activation record may no
+/// longer exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEvent {
+    /// Event id, unique database-wide (distinct from the activation id).
+    pub id: u64,
+    /// Activation that fired.
+    pub activation: u64,
+    /// Subject object.
+    pub oid: Oid,
+    /// Trigger name (resolved on the subject's class at dispatch).
+    pub trigger: String,
+    /// Arguments bound to the declaration's parameters.
+    pub args: Vec<Value>,
+    /// Cascade depth the action transaction runs at (triggering depth + 1).
+    pub depth: u64,
+}
+
+/// What a committed transaction wrote, delivered to an installed commit
+/// observer (live subscriptions). Deletes are not reported: a subscription
+/// predicate cannot match an object that no longer exists.
+#[derive(Debug, Clone)]
+pub struct CommitNote {
+    /// Commit epoch the writes were published at.
+    pub epoch: u64,
+    /// Objects created or modified, with their dynamic classes.
+    pub writes: Vec<(Oid, ClassId)>,
+}
+
 /// Summary returned by [`crate::Transaction::commit`].
 #[derive(Debug, Default)]
 pub struct CommitInfo {
@@ -88,6 +122,10 @@ pub struct CommitInfo {
     pub fired: Vec<FiredTrigger>,
     /// Action transactions that failed (weak coupling: reported only).
     pub failures: Vec<TriggerFailure>,
+    /// Firings handed to the decoupled scheduler instead of run inline
+    /// (empty unless a firing sink is installed). Their actions run
+    /// asynchronously, after this commit returns.
+    pub enqueued: Vec<FiredTrigger>,
 }
 
 impl CommitInfo {

@@ -37,7 +37,20 @@ use crate::error::{OdeError, Result};
 use crate::object::{
     decode_record, encode_anchor, encode_plain, encode_vrec, ObjRecord, VersionEntry, VersionTable,
 };
-use crate::trigger::{Activation, CommitInfo, FiredTrigger, Firing, TriggerFailure, TriggerId};
+use crate::trigger::{
+    Activation, CommitInfo, CommitNote, FiredTrigger, Firing, PendingEvent, TriggerFailure,
+    TriggerId,
+};
+
+/// What `do_commit` hands back to the caller once the batch is published:
+/// firings to run inline (empty in decoupled mode), events already durably
+/// enqueued for the scheduler (empty inline), and the write note for an
+/// installed commit observer.
+pub(crate) struct CommitOutcome {
+    pub firings: Vec<Firing>,
+    pub events: Vec<PendingEvent>,
+    pub note: Option<CommitNote>,
+}
 
 /// One version row in a transaction's working table.
 #[derive(Debug, Clone)]
@@ -190,6 +203,11 @@ pub struct Transaction<'db> {
     pub(crate) deleted: HashMap<Oid, DeletedObj>,
     pending_activations: Vec<Activation>,
     pending_deactivations: Vec<u64>,
+    /// Pending-event ids this transaction acknowledges at commit (set by
+    /// the scheduler's dispatch: the action's own commit batch removes the
+    /// event from the durable pending record — exactly-once across
+    /// crashes).
+    ack_events: Vec<u64>,
     pub(crate) reserved: Vec<(u32, RecordId)>,
     aborted: bool,
     committed: bool,
@@ -230,6 +248,7 @@ impl<'db> Transaction<'db> {
             deleted: HashMap::new(),
             pending_activations: Vec::new(),
             pending_deactivations: Vec::new(),
+            ack_events: Vec::new(),
             reserved: Vec::new(),
             aborted: false,
             committed: false,
@@ -675,12 +694,15 @@ impl<'db> Transaction<'db> {
 
     // ----------------------------------------------------------- commit
 
-    /// Commit. Returns what fired (weak-coupled trigger actions have
-    /// already run by the time this returns).
+    /// Commit. Inline mode: returns what fired (weak-coupled trigger
+    /// actions have already run by the time this returns). Decoupled mode
+    /// (a firing sink is installed): fired triggers are durably enqueued,
+    /// reported in [`CommitInfo::enqueued`], and their actions run
+    /// asynchronously — commit latency excludes action time.
     pub fn commit(mut self) -> Result<CommitInfo> {
         let started = std::time::Instant::now();
-        let firings = match self.do_commit() {
-            Ok(f) => f,
+        let outcome = match self.do_commit() {
+            Ok(o) => o,
             Err(e) => {
                 if matches!(e, OdeError::ConstraintViolation { .. }) {
                     self.mark_aborted_constraint();
@@ -694,14 +716,33 @@ impl<'db> Transaction<'db> {
         let depth = self.depth;
         let serial = self.serial;
         db.tel.txn.committed.inc();
-        db.tel.triggers.deferred_actions.add(firings.len() as u64);
+        db.tel
+            .triggers
+            .deferred_actions
+            .add((outcome.firings.len() + outcome.events.len()) as u64);
         self.flight_span.set_detail(format!("txn#{serial} commit"));
         drop(self); // release the transaction gate before running actions
         db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
             "commit".to_string()
         });
+        if let Some(note) = &outcome.note {
+            db.notify_commit(note);
+        }
         let mut info = CommitInfo::default();
-        run_firings(db, firings, depth, &mut info);
+        if !outcome.events.is_empty() {
+            for e in &outcome.events {
+                info.enqueued.push(FiredTrigger {
+                    id: TriggerId(e.activation),
+                    oid: e.oid,
+                    trigger: e.trigger.clone(),
+                });
+            }
+            db.tel.sched.enqueued.add(outcome.events.len() as u64);
+            if let Some(sink) = db.firing_sink() {
+                sink(outcome.events);
+            }
+        }
+        run_firings(db, outcome.firings, depth, &mut info);
         db.tel
             .txn
             .commit_latency
@@ -714,8 +755,9 @@ impl<'db> Transaction<'db> {
         self.mark_aborted();
     }
 
-    /// Steps 1–4 of the commit pipeline. Returns the firings to run.
-    fn do_commit(&mut self) -> Result<Vec<Firing>> {
+    /// Steps 1–4 of the commit pipeline. Returns the firings to run (or,
+    /// in decoupled mode, the events durably enqueued in the batch).
+    fn do_commit(&mut self) -> Result<CommitOutcome> {
         self.ensure_live()?;
 
         // 1. Deferred constraint check over every written object.
@@ -727,7 +769,7 @@ impl<'db> Transaction<'db> {
         }
 
         // 2. Trigger-condition evaluation on touched objects.
-        let firings = self.evaluate_triggers()?;
+        let mut firings = self.evaluate_triggers()?;
 
         // Which activations stop existing: explicit deactivations, fired
         // once-only ones, and activations on deleted objects.
@@ -756,7 +798,30 @@ impl<'db> Transaction<'db> {
         kill_committed.sort_unstable();
         kill_committed.dedup();
 
+        // Decoupled mode: convert the firings into durable pending events.
+        // The once-only kill logic above already ran off `firings`, so a
+        // once-only activation dies in the very batch that persists its
+        // event — a crash between commit and drain can neither lose the
+        // firing nor re-arm it.
+        let events: Vec<PendingEvent> = if self.db.firing_decoupled() {
+            firings
+                .drain(..)
+                .map(|f| PendingEvent {
+                    id: self.db.alloc_event_id(),
+                    activation: f.activation.id,
+                    oid: f.activation.oid,
+                    trigger: f.activation.trigger,
+                    args: f.activation.args,
+                    depth: self.depth as u64 + 1,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // 3. Materialize the batch.
+        let collect_writes = self.db.has_commit_observer();
+        let mut obs_writes: Vec<(Oid, ode_model::ClassId)> = Vec::new();
         let mut ops: Vec<StoreOp> = Vec::new();
         let mut index_updates: Vec<(Oid, Option<ObjState>, Option<ObjState>)> = Vec::new();
         for &oid in &self.write_order.clone() {
@@ -764,6 +829,9 @@ impl<'db> Transaction<'db> {
             let obj = obj.clone();
             self.materialize_object(oid, &obj, &mut ops)?;
             if obj.dirty || obj.new {
+                if collect_writes {
+                    obs_writes.push((oid, obj.state.class));
+                }
                 index_updates.push((oid, obj.pre_state.clone(), Some(obj.state.clone())));
             }
         }
@@ -837,6 +905,39 @@ impl<'db> Transaction<'db> {
             .flight
             .span(SpanStage::Commit, format!("{} ops", ops.len()));
         let publish = self.db.apply_gate.write();
+        // Decoupled firing: put one catalog record per event this commit
+        // enqueues and delete the records of events this (action)
+        // transaction acknowledges — all in this same batch, so the
+        // pending set moves atomically with the commit. Per-event records
+        // keep a trigger storm unbounded by the max record size. Built
+        // inside the publish window so it cannot race
+        // `Database::ack_pending`.
+        let mut event_rids: Vec<(u64, RecordId)> = Vec::new();
+        let mut acked_ids: Vec<u64> = Vec::new();
+        if !events.is_empty() || !self.ack_events.is_empty() {
+            let inner = self.db.inner.read();
+            for id in &self.ack_events {
+                if let Some(&rid) = inner.catalog.pending_rids.get(id) {
+                    ops.push(StoreOp::Delete {
+                        heap: CATALOG_HEAP,
+                        rid,
+                    });
+                    acked_ids.push(*id);
+                }
+            }
+            drop(inner);
+            for e in &events {
+                let rec = CatalogRecord::Pending(e.clone()).encode();
+                let rid = self.db.store.reserve(CATALOG_HEAP, rec.len())?;
+                self.reserved.push((CATALOG_HEAP, rid));
+                ops.push(StoreOp::Put {
+                    heap: CATALOG_HEAP,
+                    rid,
+                    data: rec,
+                });
+                event_rids.push((e.id, rid));
+            }
+        }
         // Transient store failures (ENOSPC, a flaky disk) are retried a
         // bounded number of times: a failed WAL group append rolls the log
         // back to a clean tail, so re-issuing the identical batch is safe
@@ -922,15 +1023,31 @@ impl<'db> Transaction<'db> {
                 }
             }
         }
+        for id in &acked_ids {
+            inner.catalog.pending_rids.remove(id);
+            inner.pending.remove(id);
+        }
+        for ((id, rid), e) in event_rids.iter().zip(events.iter()) {
+            inner.catalog.pending_rids.insert(*id, *rid);
+            inner.pending.insert(e.id, e.clone());
+        }
         drop(inner);
         // Advance the epoch before readers can re-enter: the bump must be
         // ordered inside the publish window so a snapshot's epoch always
         // names exactly the commits it can see.
         self.db.bump_epoch();
+        let note = collect_writes.then(|| CommitNote {
+            epoch: self.db.commit_epoch(),
+            writes: obs_writes,
+        });
         drop(publish);
         commit_span.set_detail(format!("published epoch {}", self.db.commit_epoch()));
 
-        Ok(firings)
+        Ok(CommitOutcome {
+            firings,
+            events,
+            note,
+        })
     }
 
     /// Turn one write-set entry into store operations.
@@ -1122,6 +1239,7 @@ pub(crate) fn run_firings(
     if depth >= db.config.trigger_cascade_limit {
         for f in firings {
             db.tel.triggers.action_failures.inc();
+            db.tel.triggers.cascade_exhausted.inc();
             info.failures.push(TriggerFailure {
                 id: TriggerId(f.activation.id),
                 oid: f.activation.oid,
@@ -1150,15 +1268,21 @@ pub(crate) fn run_firings(
         let result: Result<Vec<Firing>> = (|| {
             let mut tx = Transaction::new(db, depth + 1);
             apply_actions(&mut tx, &firing)?;
-            let next = tx.do_commit()?;
+            let outcome = tx.do_commit()?;
             let serial = tx.serial;
             drop(tx);
             db.tel.txn.committed.inc();
-            db.tel.triggers.deferred_actions.add(next.len() as u64);
+            db.tel
+                .triggers
+                .deferred_actions
+                .add(outcome.firings.len() as u64);
             db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
                 "commit".to_string()
             });
-            Ok(next)
+            if let Some(note) = &outcome.note {
+                db.notify_commit(note);
+            }
+            Ok(outcome.firings)
         })();
         let ok = result.is_ok();
         match result {
@@ -1186,6 +1310,81 @@ pub(crate) fn run_firings(
             }
         });
     }
+}
+
+/// Run one durably enqueued event's action in its own write transaction —
+/// the decoupled scheduler's dispatch path ([`Database::dispatch_firing`]).
+/// The action's commit batch acknowledges the event (removes it from the
+/// catalog's pending record), so a crash at any point either replays the
+/// whole action or none of it — never half, never twice. Returns the
+/// next-round events the action itself enqueued (cascade).
+pub(crate) fn run_one_event(db: &Database, event: &PendingEvent) -> Result<Vec<PendingEvent>> {
+    db.tel.triggers.firings.inc();
+    db.tel.triggers.max_cascade_depth.observe(event.depth);
+    db.trace_event(
+        TraceScope::Trigger,
+        TracePhase::Begin,
+        event.activation,
+        || event.trigger.clone(),
+    );
+    let mut trigger_span = db.flight.span(SpanStage::Trigger, event.trigger.as_str());
+    let result: Result<Vec<PendingEvent>> = (|| {
+        let mut tx = Transaction::new(db, event.depth as usize);
+        tx.ack_events.push(event.id);
+        let class = tx.read(event.oid)?.class;
+        let decl = {
+            let inner = db.inner.read();
+            inner.schema.find_trigger(class, &event.trigger)?.1.clone()
+        };
+        let firing = Firing {
+            activation: Activation {
+                id: event.activation,
+                oid: event.oid,
+                trigger: event.trigger.clone(),
+                args: event.args.clone(),
+            },
+            decl,
+        };
+        apply_actions(&mut tx, &firing)?;
+        let outcome = tx.do_commit()?;
+        let serial = tx.serial;
+        drop(tx);
+        db.tel.txn.committed.inc();
+        db.tel
+            .triggers
+            .deferred_actions
+            .add(outcome.events.len() as u64);
+        db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
+            "commit".to_string()
+        });
+        if let Some(note) = &outcome.note {
+            db.notify_commit(note);
+        }
+        Ok(outcome.events)
+    })();
+    let ok = result.is_ok();
+    if !ok {
+        db.tel.triggers.action_failures.inc();
+    }
+    trigger_span.set_detail(format!(
+        "{} {}",
+        event.trigger,
+        if ok { "ok" } else { "failed" }
+    ));
+    drop(trigger_span);
+    db.trace_event(
+        TraceScope::Trigger,
+        TracePhase::End,
+        event.activation,
+        || {
+            if ok {
+                "ok".to_string()
+            } else {
+                "failed".to_string()
+            }
+        },
+    );
+    result
 }
 
 /// Execute one firing's actions inside `tx`.

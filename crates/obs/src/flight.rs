@@ -58,6 +58,9 @@ pub enum SpanStage {
     Commit,
     /// One trigger firing (weak-coupled action transaction).
     Trigger,
+    /// Decoupled-scheduler work: draining one queued event or evaluating
+    /// a subscription predicate on a worker thread.
+    Sched,
     /// WAL replay / catalog rebuild at open.
     Recovery,
 }
@@ -72,6 +75,7 @@ impl SpanStage {
             SpanStage::Txn => "txn",
             SpanStage::Commit => "commit",
             SpanStage::Trigger => "trigger",
+            SpanStage::Sched => "sched",
             SpanStage::Recovery => "recovery",
         }
     }

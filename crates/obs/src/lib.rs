@@ -107,6 +107,13 @@ impl Gauge {
         self.0.load(Ordering::Relaxed)
     }
 
+    /// Set the level directly (for gauges mirrored from an external
+    /// source of truth, e.g. a queue whose depth is recomputed on every
+    /// transition).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Reset to zero.
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
@@ -349,8 +356,40 @@ pub struct TriggerTelemetry {
     pub action_failures: Counter,
     /// Firings deferred past the commit point (weak coupling, §6).
     pub deferred_actions: Counter,
+    /// Firings refused because the cascade reached the configured depth
+    /// limit (each also counts as an `action_failures`).
+    pub cascade_exhausted: Counter,
     /// Deepest trigger cascade observed.
     pub max_cascade_depth: MaxGauge,
+}
+
+/// Decoupled-trigger-scheduler counters. Zero everywhere unless a
+/// scheduler is attached; then commits enqueue events and the worker pool
+/// drains them off the commit path.
+#[derive(Debug, Default)]
+pub struct SchedTelemetry {
+    /// Events durably enqueued by committing transactions.
+    pub enqueued: Counter,
+    /// Events whose action transaction ran to completion.
+    pub drained: Counter,
+    /// Action attempts re-queued after a transient failure.
+    pub retries: Counter,
+    /// Events abandoned to the dead-letter list after exhausting retries
+    /// (or failing permanently).
+    pub dead_letters: Counter,
+    /// Subscription-check jobs dropped because the queue was at capacity
+    /// (trigger events are never dropped — they are durable and bounded by
+    /// the backlog on disk, not the in-memory queue).
+    pub overflow_dropped: Counter,
+    /// Jobs currently sitting in the scheduler queue.
+    pub queue_depth: Gauge,
+    /// Trigger names currently suspended (manual or auto after repeated
+    /// failure).
+    pub suspended: Gauge,
+    /// Most jobs ever queued at once.
+    pub queue_high_water: MaxGauge,
+    /// Enqueue-to-dispatch latency: how far the drain lags the commits.
+    pub drain_lag: LatencyHisto,
 }
 
 /// Static-analyzer counters (the `ode-analyze` front-end pass that runs
@@ -403,6 +442,15 @@ pub struct ServerTelemetry {
     pub active_connections: Gauge,
     /// Most connections ever open at once.
     pub max_concurrent: MaxGauge,
+    /// Live subscriptions currently registered across all connections.
+    pub subscriptions: Gauge,
+    /// Push frames written to subscriber connections.
+    pub pushes_sent: Counter,
+    /// Push frames dropped because a subscriber's outbox was full (slow
+    /// consumer) or its connection closed before the drain.
+    pub push_dropped: Counter,
+    /// Push frames currently buffered in per-connection outboxes.
+    pub push_outbox_depth: Gauge,
 }
 
 impl ServerTelemetry {
@@ -422,6 +470,10 @@ impl ServerTelemetry {
             request_latency: self.request_latency.snapshot(),
             active_connections: self.active_connections.get(),
             max_concurrent: self.max_concurrent.get(),
+            subscriptions: self.subscriptions.get(),
+            pushes_sent: self.pushes_sent.get(),
+            push_dropped: self.push_dropped.get(),
+            push_outbox_depth: self.push_outbox_depth.get(),
         }
     }
 
@@ -438,13 +490,16 @@ impl ServerTelemetry {
             &self.bytes_in,
             &self.bytes_out,
             &self.socket_errors,
+            &self.pushes_sent,
+            &self.push_dropped,
         ] {
             c.reset();
         }
         self.request_latency.reset();
         self.max_concurrent.reset();
-        // `active_connections` is a live level, not a statistic: resetting
-        // it would desynchronize the open-connection count.
+        // `active_connections`, `subscriptions`, and `push_outbox_depth`
+        // are live levels, not statistics: resetting them would
+        // desynchronize the counts they mirror.
     }
 }
 
@@ -477,6 +532,14 @@ pub struct ServerSnapshot {
     pub active_connections: u64,
     /// See [`ServerTelemetry::max_concurrent`].
     pub max_concurrent: u64,
+    /// See [`ServerTelemetry::subscriptions`].
+    pub subscriptions: u64,
+    /// See [`ServerTelemetry::pushes_sent`].
+    pub pushes_sent: u64,
+    /// See [`ServerTelemetry::push_dropped`].
+    pub push_dropped: u64,
+    /// See [`ServerTelemetry::push_outbox_depth`].
+    pub push_outbox_depth: u64,
 }
 
 impl ServerSnapshot {
@@ -502,6 +565,8 @@ impl ServerSnapshot {
             bytes_out: self.bytes_out.saturating_sub(baseline.bytes_out),
             socket_errors: self.socket_errors.saturating_sub(baseline.socket_errors),
             request_latency: self.request_latency.delta(&baseline.request_latency),
+            pushes_sent: self.pushes_sent.saturating_sub(baseline.pushes_sent),
+            push_dropped: self.push_dropped.saturating_sub(baseline.push_dropped),
             ..*self
         }
     }
@@ -523,6 +588,10 @@ impl ServerSnapshot {
         push("server.socket_errors", self.socket_errors);
         push("server.active_connections", self.active_connections);
         push("server.max_concurrent", self.max_concurrent);
+        push("server.subscriptions", self.subscriptions);
+        push("server.pushes_sent", self.pushes_sent);
+        push("server.push_dropped", self.push_dropped);
+        push("server.push_outbox_depth", self.push_outbox_depth);
         push("server.request_latency.count", self.request_latency.count);
         out.push((
             "server.request_latency.mean_us".to_string(),
@@ -545,7 +614,9 @@ impl ServerSnapshot {
              \"requests\":{},\"engine_errors\":{},\"timed_out\":{},\
              \"bytes_in\":{},\"bytes_out\":{},\"socket_errors\":{},\
              \"active_connections\":{},\
-             \"max_concurrent\":{},\"request_latency\":",
+             \"max_concurrent\":{},\"subscriptions\":{},\
+             \"pushes_sent\":{},\"push_dropped\":{},\
+             \"push_outbox_depth\":{},\"request_latency\":",
             self.accepted,
             self.rejected_admission,
             self.rejected_shutdown,
@@ -557,7 +628,11 @@ impl ServerSnapshot {
             self.bytes_out,
             self.socket_errors,
             self.active_connections,
-            self.max_concurrent
+            self.max_concurrent,
+            self.subscriptions,
+            self.pushes_sent,
+            self.push_dropped,
+            self.push_outbox_depth
         ));
         self.request_latency.json(&mut out);
         out.push('}');
@@ -577,6 +652,8 @@ pub struct EngineTelemetry {
     pub versions: VersionTelemetry,
     /// Trigger counters.
     pub triggers: TriggerTelemetry,
+    /// Decoupled-scheduler counters.
+    pub sched: SchedTelemetry,
     /// Static-analyzer counters.
     pub analyze: AnalyzeTelemetry,
 }
@@ -624,10 +701,25 @@ impl EngineTelemetry {
             &g.firings,
             &g.action_failures,
             &g.deferred_actions,
+            &g.cascade_exhausted,
         ] {
             c.reset();
         }
         g.max_cascade_depth.reset();
+        let sc = &self.sched;
+        for c in [
+            &sc.enqueued,
+            &sc.drained,
+            &sc.retries,
+            &sc.dead_letters,
+            &sc.overflow_dropped,
+        ] {
+            c.reset();
+        }
+        // Queue depth and suspensions are live levels that mirror
+        // scheduler state; zeroing them would desynchronize the mirror.
+        sc.queue_high_water.reset();
+        sc.drain_lag.reset();
         let a = &self.analyze;
         for c in [&a.passes, &a.errors, &a.warnings] {
             c.reset();
@@ -674,7 +766,19 @@ impl EngineTelemetry {
                 firings: self.triggers.firings.get(),
                 action_failures: self.triggers.action_failures.get(),
                 deferred_actions: self.triggers.deferred_actions.get(),
+                cascade_exhausted: self.triggers.cascade_exhausted.get(),
                 max_cascade_depth: self.triggers.max_cascade_depth.get(),
+            },
+            sched: SchedSnapshot {
+                enqueued: self.sched.enqueued.get(),
+                drained: self.sched.drained.get(),
+                retries: self.sched.retries.get(),
+                dead_letters: self.sched.dead_letters.get(),
+                overflow_dropped: self.sched.overflow_dropped.get(),
+                queue_depth: self.sched.queue_depth.get(),
+                suspended: self.sched.suspended.get(),
+                queue_high_water: self.sched.queue_high_water.get(),
+                drain_lag: self.sched.drain_lag.snapshot(),
             },
             analyze: AnalyzeSnapshot {
                 passes: self.analyze.passes.get(),
@@ -793,8 +897,33 @@ pub struct TriggerSnapshot {
     pub action_failures: u64,
     /// See [`TriggerTelemetry::deferred_actions`].
     pub deferred_actions: u64,
+    /// See [`TriggerTelemetry::cascade_exhausted`].
+    pub cascade_exhausted: u64,
     /// See [`TriggerTelemetry::max_cascade_depth`].
     pub max_cascade_depth: u64,
+}
+
+/// Scheduler counters, frozen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// See [`SchedTelemetry::enqueued`].
+    pub enqueued: u64,
+    /// See [`SchedTelemetry::drained`].
+    pub drained: u64,
+    /// See [`SchedTelemetry::retries`].
+    pub retries: u64,
+    /// See [`SchedTelemetry::dead_letters`].
+    pub dead_letters: u64,
+    /// See [`SchedTelemetry::overflow_dropped`].
+    pub overflow_dropped: u64,
+    /// See [`SchedTelemetry::queue_depth`].
+    pub queue_depth: u64,
+    /// See [`SchedTelemetry::suspended`].
+    pub suspended: u64,
+    /// See [`SchedTelemetry::queue_high_water`].
+    pub queue_high_water: u64,
+    /// See [`SchedTelemetry::drain_lag`].
+    pub drain_lag: HistoSnapshot,
 }
 
 /// Static-analyzer counters, frozen.
@@ -824,6 +953,8 @@ pub struct TelemetrySnapshot {
     pub versions: VersionSnapshot,
     /// Trigger counters.
     pub triggers: TriggerSnapshot,
+    /// Decoupled-scheduler counters.
+    pub sched: SchedSnapshot,
     /// Static-analyzer counters.
     pub analyze: AnalyzeSnapshot,
 }
@@ -934,15 +1065,39 @@ impl TelemetrySnapshot {
         };
         let g = &self.triggers;
         let bg = &baseline.triggers;
-        let (activations, condition_evals, firings, action_failures, deferred_actions) = sub_fields!(g, bg; activations, condition_evals, firings,
-                action_failures, deferred_actions);
+        let (
+            activations,
+            condition_evals,
+            firings,
+            action_failures,
+            deferred_actions,
+            cascade_exhausted,
+        ) = sub_fields!(g, bg; activations, condition_evals, firings,
+                action_failures, deferred_actions, cascade_exhausted);
         let triggers = TriggerSnapshot {
             activations,
             condition_evals,
             firings,
             action_failures,
             deferred_actions,
+            cascade_exhausted,
             max_cascade_depth: g.max_cascade_depth,
+        };
+        let sc = &self.sched;
+        let bsc = &baseline.sched;
+        let (enqueued, drained, retries, dead_letters, overflow_dropped) =
+            sub_fields!(sc, bsc; enqueued, drained, retries, dead_letters, overflow_dropped);
+        let sched = SchedSnapshot {
+            enqueued,
+            drained,
+            retries,
+            dead_letters,
+            overflow_dropped,
+            // Levels, not counts.
+            queue_depth: sc.queue_depth,
+            suspended: sc.suspended,
+            queue_high_water: sc.queue_high_water,
+            drain_lag: sc.drain_lag.delta(&bsc.drain_lag),
         };
         let a = &self.analyze;
         let ba = &baseline.analyze;
@@ -959,6 +1114,7 @@ impl TelemetrySnapshot {
             query,
             versions,
             triggers,
+            sched,
             analyze,
         }
     }
@@ -1032,7 +1188,27 @@ impl TelemetrySnapshot {
         push("triggers.firings", g.firings);
         push("triggers.action_failures", g.action_failures);
         push("triggers.deferred_actions", g.deferred_actions);
+        push("triggers.cascade_exhausted", g.cascade_exhausted);
         push("triggers.max_cascade_depth", g.max_cascade_depth);
+        let sc = &self.sched;
+        push("sched.enqueued", sc.enqueued);
+        push("sched.drained", sc.drained);
+        push("sched.retries", sc.retries);
+        push("sched.dead_letters", sc.dead_letters);
+        push("sched.overflow_dropped", sc.overflow_dropped);
+        push("sched.queue_depth", sc.queue_depth);
+        push("sched.suspended", sc.suspended);
+        push("sched.queue_high_water", sc.queue_high_water);
+        push("sched.drain_lag.count", sc.drain_lag.count);
+        out.push((
+            "sched.drain_lag.mean_us".to_string(),
+            format!("{:.1}", sc.drain_lag.mean_ns() as f64 / 1e3),
+        ));
+        out.push((
+            "sched.drain_lag.p99_us".to_string(),
+            format!("{:.1}", sc.drain_lag.p99_ns as f64 / 1e3),
+        ));
+        let mut push = |name: &str, v: u64| out.push((name.to_string(), v.to_string()));
         let a = &self.analyze;
         push("analyze.passes", a.passes);
         push("analyze.errors", a.errors);
@@ -1122,14 +1298,32 @@ impl TelemetrySnapshot {
         out.push_str(&format!(
             "\"triggers\":{{\"activations\":{},\"condition_evals\":{},\
              \"firings\":{},\"action_failures\":{},\"deferred_actions\":{},\
-             \"max_cascade_depth\":{}}}",
+             \"cascade_exhausted\":{},\"max_cascade_depth\":{}}}",
             g.activations,
             g.condition_evals,
             g.firings,
             g.action_failures,
             g.deferred_actions,
+            g.cascade_exhausted,
             g.max_cascade_depth
         ));
+        let sc = &self.sched;
+        out.push_str(&format!(
+            ",\"sched\":{{\"enqueued\":{},\"drained\":{},\"retries\":{},\
+             \"dead_letters\":{},\"overflow_dropped\":{},\
+             \"queue_depth\":{},\"suspended\":{},\
+             \"queue_high_water\":{},\"drain_lag\":",
+            sc.enqueued,
+            sc.drained,
+            sc.retries,
+            sc.dead_letters,
+            sc.overflow_dropped,
+            sc.queue_depth,
+            sc.suspended,
+            sc.queue_high_water
+        ));
+        sc.drain_lag.json(&mut out);
+        out.push('}');
         let a = &self.analyze;
         out.push_str(&format!(
             ",\"analyze\":{{\"passes\":{},\"errors\":{},\"warnings\":{},\
@@ -1355,6 +1549,7 @@ mod tests {
             "\"query\":",
             "\"versions\":",
             "\"triggers\":",
+            "\"sched\":",
             "\"analyze\":",
         ] {
             assert!(json.contains(key), "{json}");
@@ -1471,12 +1666,32 @@ mod tests {
         let tel = EngineTelemetry::default();
         tel.txn.begun.inc();
         tel.triggers.max_cascade_depth.observe(4);
+        tel.triggers.cascade_exhausted.inc();
         tel.txn.commit_latency.record_ns(10);
+        tel.sched.enqueued.add(5);
+        tel.sched.dead_letters.inc();
+        tel.sched.queue_high_water.observe(9);
+        tel.sched.drain_lag.record_ns(10);
         tel.analyze.passes.inc();
         tel.analyze.errors.inc();
         tel.analyze.latency.record_ns(10);
         tel.reset();
         let s = tel.snapshot(StorageSnapshot::default());
         assert_eq!(s, TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn sched_snapshot_delta_keeps_levels() {
+        let tel = EngineTelemetry::default();
+        tel.sched.enqueued.add(10);
+        tel.sched.queue_depth.inc();
+        let before = tel.snapshot(StorageSnapshot::default());
+        tel.sched.enqueued.add(3);
+        tel.sched.drained.add(12);
+        tel.sched.queue_depth.inc();
+        let d = tel.snapshot(StorageSnapshot::default()).delta(&before);
+        assert_eq!(d.sched.enqueued, 3);
+        assert_eq!(d.sched.drained, 12);
+        assert_eq!(d.sched.queue_depth, 2, "gauge keeps its level");
     }
 }

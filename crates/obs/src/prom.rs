@@ -309,6 +309,11 @@ pub fn render(
             "Firings deferred past the commit point",
             g.deferred_actions,
         ),
+        (
+            "ode_trigger_cascade_exhausted_total",
+            "Firings refused at the cascade depth limit",
+            g.cascade_exhausted,
+        ),
     ] {
         p.single(name, "counter", help, val);
     }
@@ -317,6 +322,60 @@ pub fn render(
         "gauge",
         "Deepest trigger cascade observed",
         g.max_cascade_depth,
+    );
+
+    let sc = &engine.sched;
+    for (name, help, val) in [
+        (
+            "ode_sched_enqueued_total",
+            "Trigger events durably enqueued by commits",
+            sc.enqueued,
+        ),
+        (
+            "ode_sched_drained_total",
+            "Events whose action transaction completed",
+            sc.drained,
+        ),
+        (
+            "ode_sched_retries_total",
+            "Action attempts re-queued after transient failures",
+            sc.retries,
+        ),
+        (
+            "ode_sched_dead_letters_total",
+            "Events abandoned after exhausting retries",
+            sc.dead_letters,
+        ),
+        (
+            "ode_sched_overflow_dropped_total",
+            "Subscription checks dropped at queue capacity",
+            sc.overflow_dropped,
+        ),
+    ] {
+        p.single(name, "counter", help, val);
+    }
+    p.single(
+        "ode_sched_queue_depth",
+        "gauge",
+        "Jobs currently queued in the scheduler",
+        sc.queue_depth,
+    );
+    p.single(
+        "ode_sched_suspended",
+        "gauge",
+        "Trigger names currently suspended",
+        sc.suspended,
+    );
+    p.single(
+        "ode_sched_queue_high_water",
+        "gauge",
+        "Most jobs ever queued at once",
+        sc.queue_high_water,
+    );
+    p.summary(
+        "ode_sched_drain_lag_seconds",
+        "Enqueue-to-dispatch latency of scheduled events",
+        &sc.drain_lag,
     );
 
     let a = &engine.analyze;
@@ -376,6 +435,16 @@ pub fn render(
                 "Socket-configuration failures survived",
                 sv.socket_errors,
             ),
+            (
+                "ode_server_pushes_sent_total",
+                "Push frames written to subscriber connections",
+                sv.pushes_sent,
+            ),
+            (
+                "ode_server_push_dropped_total",
+                "Push frames dropped at a full outbox or closed connection",
+                sv.push_dropped,
+            ),
         ] {
             p.single(name, "counter", help, val);
         }
@@ -420,6 +489,18 @@ pub fn render(
             "gauge",
             "Most connections ever open at once",
             sv.max_concurrent,
+        );
+        p.single(
+            "ode_server_subscriptions",
+            "gauge",
+            "Live subscriptions currently registered",
+            sv.subscriptions,
+        );
+        p.single(
+            "ode_server_push_outbox_depth",
+            "gauge",
+            "Push frames buffered in per-connection outboxes",
+            sv.push_outbox_depth,
         );
         p.summary(
             "ode_server_request_latency_seconds",
@@ -652,6 +733,11 @@ mod tests {
             "# TYPE ode_txn_commit_latency_seconds summary",
             "ode_txn_commit_latency_seconds{quantile=\"0.99\"}",
             "ode_server_requests_total",
+            "ode_sched_queue_depth",
+            "ode_sched_dead_letters_total",
+            "ode_trigger_cascade_exhausted_total",
+            "ode_server_subscriptions",
+            "ode_server_pushes_sent_total",
             "ode_cluster_reads_total{cluster=\"stockitem\"} 10",
             "ode_index_reads_total{index=\"stockitem.quantity\"} 4",
             "ode_trace_spans_recorded_total 7",

@@ -2,13 +2,14 @@
 //! `std::sync`. The build environment has no registry access, so the
 //! workspace routes the `parking_lot` dependency here (see the root
 //! `Cargo.toml`). Only the API surface Ode actually uses is provided:
-//! `Mutex`/`MutexGuard` and `RwLock` with its two guards, all with
-//! parking_lot's non-poisoning semantics (a panicked holder does not make
-//! the lock unusable).
+//! `Mutex`/`MutexGuard`, `RwLock` with its two guards, and `Condvar`, all
+//! with parking_lot's non-poisoning semantics (a panicked holder does not
+//! make the lock unusable).
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::time::Duration;
 
 /// A mutual-exclusion lock. Unlike `std::sync::Mutex`, `lock()` returns the
 /// guard directly and ignores poisoning, matching parking_lot.
@@ -70,6 +71,75 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait ended by timeout.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed rather
+    /// than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's API: waits re-lock the guard
+/// *in place* (`&mut MutexGuard`) instead of consuming and returning it,
+/// and poisoning is ignored.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically release the guard's mutex and block until notified,
+    /// re-acquiring it before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard and returns a fresh one; move the
+        // inner guard out and back without running its destructor. Safe
+        // because `Condvar::wait` does not unwind for a matched mutex and
+        // the poisoned case is converted, so `guard.0` is always
+        // re-initialized before anyone can observe it.
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.0, inner);
+        }
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                }
+            };
+            std::ptr::write(&mut guard.0, inner);
+            WaitTimeoutResult(result.timed_out())
+        }
     }
 }
 
@@ -164,6 +234,34 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_for_and_notify() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_all();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let r = cv.wait_for(&mut ready, Duration::from_secs(5));
+            assert!(!r.timed_out(), "notification should arrive well within 5s");
+        }
+        drop(ready);
+        t.join().unwrap();
+        // And a pure timeout path.
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Integration tests for the decoupled trigger scheduler: decoupled
+//! firing, exactly-once delivery across a simulated crash, trigger storms,
+//! suspend/resume, dead-lettering with auto-suspension, timed (delayed)
+//! firing, cascades through the queue, and live subscriptions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ode_core::prelude::*;
+use ode_sched::{SchedConfig, Scheduler, SubMatch};
+
+/// The paper's active-inventory schema (§6), same shape as the core
+/// trigger tests: a once-only reorder trigger and a perpetual callback
+/// trigger.
+fn inventory(db: &Database) {
+    db.define_class(
+        ClassBuilder::new("stockitem")
+            .field("name", Type::Str)
+            .field_default("quantity", Type::Int, 100)
+            .field_default("reorder_level", Type::Int, 20)
+            .field_default("on_order", Type::Int, 0)
+            .trigger("reorder", &[], false, "quantity <= reorder_level")
+            .action_assign("on_order", "on_order + 100")
+            .trigger("low_stock", &["threshold"], true, "quantity < $threshold")
+            .action_callback("notify"),
+    )
+    .unwrap();
+    db.create_cluster("stockitem").unwrap();
+}
+
+fn new_item(db: &Database, name: &str) -> Oid {
+    db.transaction(|tx| {
+        let oid = tx.pnew("stockitem", &[("name", Value::from(name))])?;
+        tx.activate_trigger(oid, "reorder", vec![])?;
+        Ok(oid)
+    })
+    .unwrap()
+}
+
+fn manual_sched(db: &Arc<Database>) -> Arc<Scheduler> {
+    Scheduler::attach(
+        Arc::clone(db),
+        SchedConfig {
+            workers: 0,
+            ..SchedConfig::default()
+        },
+    )
+}
+
+#[test]
+fn commit_enqueues_instead_of_running_inline() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = new_item(&db, "dram");
+    let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    let info = tx.commit().unwrap();
+    // Decoupled: nothing ran inline, the firing was handed to the queue.
+    assert!(info.fired.is_empty());
+    assert_eq!(info.enqueued.len(), 1);
+    assert_eq!(info.enqueued[0].trigger, "reorder");
+
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+    drop(tx);
+    // The durable event was acknowledged by the action's own commit.
+    assert!(db.pending_events().is_empty());
+    assert_eq!(db.sched_telemetry().drained.get(), 1);
+}
+
+#[test]
+fn detach_restores_inline_firing() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = new_item(&db, "dram");
+    let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    drop(sched);
+
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    let info = tx.commit().unwrap();
+    assert_eq!(info.fired.len(), 1, "inline again after detach");
+    assert!(info.enqueued.is_empty());
+}
+
+#[test]
+fn crash_between_commit_and_drain_is_exactly_once() {
+    // Satellite 3: a commit enqueues durably; the process dies before the
+    // scheduler drains; on reopen the action runs exactly once — neither
+    // lost nor doubled.
+    let dir = std::env::temp_dir().join(format!("ode-sched-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oid;
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        inventory(&db);
+        oid = new_item(&db, "dram");
+        // workers: 0 — the queue exists but nothing drains it, so dropping
+        // everything here is exactly a crash between commit and drain.
+        let sched = manual_sched(&db);
+        let mut tx = db.begin();
+        tx.set(oid, "quantity", 5i64).unwrap();
+        let info = tx.commit().unwrap();
+        assert_eq!(info.enqueued.len(), 1);
+        assert_eq!(db.pending_events().len(), 1);
+        drop(sched);
+        // "Crash": db dropped with the event still pending.
+    }
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        // Not lost: recovery resurrected the pending event, action not run.
+        assert_eq!(db.pending_events().len(), 1);
+        let tx = db.begin();
+        assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(0));
+        drop(tx);
+        let sched = manual_sched(&db);
+        sched.drain_now();
+        let tx = db.begin();
+        assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+        drop(tx);
+        assert!(db.pending_events().is_empty());
+        // Not doubled: draining again is a no-op.
+        sched.drain_now();
+        let tx = db.begin();
+        assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+    }
+    {
+        // And a third open finds a clean queue: the ack was durable too.
+        let db = Arc::new(Database::open(&dir).unwrap());
+        assert!(db.pending_events().is_empty());
+        let sched = manual_sched(&db);
+        sched.drain_now();
+        let tx = db.begin();
+        assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+        // The once-only activation was consumed by the original commit.
+        assert!(tx.active_triggers(oid).is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trigger_storm_runs_every_action() {
+    // A batch commit arming many triggers at once: the commit returns
+    // promptly (everything queued) and every action eventually runs.
+    let n: usize = std::env::var("ODE_STORM_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oids: Vec<Oid> = db
+        .transaction(|tx| {
+            (0..n)
+                .map(|i| {
+                    let oid = tx.pnew("stockitem", &[("name", Value::from(format!("it{i}")))])?;
+                    tx.activate_trigger(oid, "reorder", vec![])?;
+                    Ok(oid)
+                })
+                .collect()
+        })
+        .unwrap();
+    let sched = Scheduler::attach(
+        Arc::clone(&db),
+        SchedConfig {
+            workers: 4,
+            ..SchedConfig::default()
+        },
+    );
+    let mut tx = db.begin();
+    for &oid in &oids {
+        tx.set(oid, "quantity", 1i64).unwrap();
+    }
+    let info = tx.commit().unwrap();
+    assert_eq!(info.enqueued.len(), n);
+
+    assert!(sched.wait_idle(Duration::from_secs(120)), "storm drained");
+    assert_eq!(db.sched_telemetry().drained.get() as usize, n);
+    assert!(db.pending_events().is_empty());
+    let tx = db.begin();
+    for &oid in oids.iter().step_by((n / 50).max(1)) {
+        assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+    }
+    drop(tx);
+    assert!(sched.dead_letters().is_empty());
+}
+
+#[test]
+fn suspend_parks_and_resume_replays() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = new_item(&db, "dram");
+    let sched = manual_sched(&db);
+    sched.suspend("reorder");
+
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    tx.commit().unwrap();
+    sched.drain_now();
+    // Parked, not run, not acknowledged.
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(0));
+    drop(tx);
+    assert_eq!(db.pending_events().len(), 1);
+    let rows = sched.status_rows();
+    let parked = rows.iter().find(|(k, _)| k == "sched.parked").unwrap();
+    assert_eq!(parked.1, "1");
+    let susp = rows.iter().find(|(k, _)| k == "sched.suspended").unwrap();
+    assert_eq!(susp.1, "reorder");
+
+    sched.resume("reorder");
+    sched.drain_now();
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+    drop(tx);
+    assert!(db.pending_events().is_empty());
+}
+
+#[test]
+fn permanent_failures_dead_letter_and_auto_suspend() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    // "notify" is never registered: every low_stock action fails
+    // permanently (not a transient Unavailable), so each event is
+    // dead-lettered, and after the threshold the trigger is suspended.
+    let oid = db
+        .transaction(|tx| {
+            let oid = tx.pnew("stockitem", &[("name", Value::from("dram"))])?;
+            tx.activate_trigger(oid, "low_stock", vec![Value::Int(50)])?;
+            Ok(oid)
+        })
+        .unwrap();
+    let sched = Scheduler::attach(
+        Arc::clone(&db),
+        SchedConfig {
+            workers: 0,
+            fail_suspend_threshold: 2,
+            ..SchedConfig::default()
+        },
+    );
+    for qty in [10i64, 9] {
+        let mut tx = db.begin();
+        tx.set(oid, "quantity", qty).unwrap();
+        tx.commit().unwrap();
+        sched.drain_now();
+    }
+    let letters = sched.dead_letters();
+    assert_eq!(letters.len(), 2);
+    assert!(letters[0].error.contains("notify"), "{}", letters[0].error);
+    assert_eq!(db.sched_telemetry().dead_letters.get(), 2);
+    // Threshold reached: now suspended, the next event parks instead.
+    assert_eq!(db.sched_telemetry().suspended.get(), 1);
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 8i64).unwrap();
+    tx.commit().unwrap();
+    sched.drain_now();
+    assert_eq!(sched.dead_letters().len(), 2, "parked, not dead-lettered");
+    assert_eq!(db.pending_events().len(), 1);
+    // Dead-lettered events were acknowledged: only the parked one is
+    // pending, so a reopen would retry exactly that one.
+}
+
+#[test]
+fn delayed_trigger_fires_after_its_delay() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = new_item(&db, "dram");
+    let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    sched.delay_trigger("reorder", Duration::from_millis(200));
+
+    let start = Instant::now();
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    tx.commit().unwrap();
+    // Well before the delay elapses the action must not have run.
+    std::thread::sleep(Duration::from_millis(40));
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(0));
+    drop(tx);
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    assert!(
+        start.elapsed() >= Duration::from_millis(200),
+        "fired early: {:?}",
+        start.elapsed()
+    );
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+}
+
+#[test]
+fn bounded_cascade_drains_through_the_queue() {
+    let db = Arc::new(Database::in_memory());
+    db.define_class(
+        ClassBuilder::new("counter")
+            .field_default("n", Type::Int, 0)
+            .trigger("bump", &[], true, "n < 5")
+            .action_assign("n", "n + 1"),
+    )
+    .unwrap();
+    db.create_cluster("counter").unwrap();
+    let sched = manual_sched(&db);
+    let mut tx = db.begin();
+    let oid = tx.pnew("counter", &[]).unwrap();
+    tx.activate_trigger(oid, "bump", vec![]).unwrap();
+    tx.set(oid, "n", 1i64).unwrap();
+    let info = tx.commit().unwrap();
+    assert_eq!(info.enqueued.len(), 1);
+    sched.drain_now();
+    // Each action re-fired the perpetual trigger until the condition went
+    // false; every link in the chain went through the queue.
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "n").unwrap(), Value::Int(5));
+    drop(tx);
+    assert_eq!(db.sched_telemetry().drained.get(), 4);
+    assert!(db.pending_events().is_empty());
+    assert!(sched.dead_letters().is_empty());
+}
+
+#[test]
+fn runaway_cascade_hits_the_limit_and_dead_letters() {
+    let db = Arc::new(Database::in_memory());
+    db.define_class(
+        ClassBuilder::new("counter")
+            .field_default("n", Type::Int, 0)
+            .trigger("bump", &[], true, "n >= 0") // never goes false
+            .action_assign("n", "n + 1"),
+    )
+    .unwrap();
+    db.create_cluster("counter").unwrap();
+    let sched = manual_sched(&db);
+    let mut tx = db.begin();
+    let oid = tx.pnew("counter", &[]).unwrap();
+    tx.activate_trigger(oid, "bump", vec![]).unwrap();
+    tx.commit().unwrap();
+    sched.drain_now();
+    // The chain was cut at the cascade limit: the over-limit event is
+    // dead-lettered with the typed error and the counter recorded it.
+    let letters = sched.dead_letters();
+    assert_eq!(letters.len(), 1);
+    assert!(
+        letters[0].error.contains("cascade"),
+        "typed cascade error expected, got: {}",
+        letters[0].error
+    );
+    assert!(db.sched_telemetry().dead_letters.get() >= 1);
+    assert_eq!(db.telemetry().triggers.cascade_exhausted, 1);
+    // Progress was real up to the limit, and the queue is clean.
+    let tx = db.begin();
+    assert!(tx.get(oid, "n").unwrap().as_int().unwrap() > 0);
+    drop(tx);
+    assert!(db.pending_events().is_empty());
+}
+
+#[test]
+fn subscription_pushes_matching_commits() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = db
+        .transaction(|tx| tx.pnew("stockitem", &[("name", Value::from("dram"))]))
+        .unwrap();
+    let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    let matches: Arc<Mutex<Vec<SubMatch>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_matches = Arc::clone(&matches);
+    let sub_id = sched
+        .subscribe(
+            "stockitem",
+            "quantity < 20",
+            Arc::new(move |m| sink_matches.lock().unwrap().push(m.clone())),
+        )
+        .unwrap();
+
+    // Non-matching write: checked, no push.
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 50i64).unwrap();
+    tx.commit().unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    assert!(matches.lock().unwrap().is_empty());
+
+    // Matching write: exactly one push, carrying the object and epoch.
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 10i64).unwrap();
+    tx.commit().unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    let got = matches.lock().unwrap().clone();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].sub_id, sub_id);
+    assert_eq!(got[0].oid, oid);
+    assert!(got[0].epoch > 0);
+
+    // After unsubscribe, matching writes push nothing.
+    assert!(sched.unsubscribe(sub_id));
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    tx.commit().unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    assert_eq!(matches.lock().unwrap().len(), 1);
+}
+
+#[test]
+fn subscription_respects_subclass_extent() {
+    let db = Arc::new(Database::in_memory());
+    db.define_class(ClassBuilder::new("item").field_default("qty", Type::Int, 100))
+        .unwrap();
+    db.define_class(
+        ClassBuilder::new("special")
+            .base("item")
+            .field("tag", Type::Str),
+    )
+    .unwrap();
+    db.define_class(ClassBuilder::new("other").field_default("qty", Type::Int, 100))
+        .unwrap();
+    db.create_cluster("item").unwrap();
+    db.create_cluster("special").unwrap();
+    db.create_cluster("other").unwrap();
+    let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    let hits = Arc::new(AtomicUsize::new(0));
+    let sink_hits = Arc::clone(&hits);
+    sched
+        .subscribe(
+            "item",
+            "qty < 10",
+            Arc::new(move |_m| {
+                sink_hits.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+    db.transaction(|tx| {
+        // A subclass instance matches (deep extent)…
+        tx.pnew(
+            "special",
+            &[("tag", Value::from("s")), ("qty", Value::Int(5))],
+        )?;
+        // …an unrelated class does not, even with a satisfying field.
+        tx.pnew("other", &[("qty", Value::Int(5))])?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(sched.wait_idle(Duration::from_secs(10)));
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn reattach_after_detach_keeps_working() {
+    let db = Arc::new(Database::in_memory());
+    inventory(&db);
+    let oid = new_item(&db, "dram");
+    let first = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    first.detach();
+    let second = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
+    let mut tx = db.begin();
+    tx.set(oid, "quantity", 5i64).unwrap();
+    let info = tx.commit().unwrap();
+    assert_eq!(info.enqueued.len(), 1);
+    assert!(second.wait_idle(Duration::from_secs(10)));
+    let tx = db.begin();
+    assert_eq!(tx.get(oid, "on_order").unwrap(), Value::Int(100));
+}

@@ -6,15 +6,27 @@
 //! loop can poll the server's shutdown flag: on drain, a connection
 //! finishes the request it is executing (and flushes the response), then
 //! sends `Goodbye` and closes — no in-flight request is ever dropped.
+//!
+//! Subscriptions ride the same loop: a v3 client's `Subscribe` control
+//! op registers a predicate with the server's scheduler, whose sink
+//! encodes `Push` frames into this connection's bounded outbox. The
+//! outbox is flushed inside the poll loop *between* requests, so an
+//! unsolicited push can never split a request's response frame. A full
+//! outbox drops the oldest-pending push for that tick (slow consumer);
+//! drops are counted, framing is never at risk.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Read;
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ode_core::obs::flight::set_trace;
 use ode_core::obs::{render_spans, TraceId};
+use ode_core::prelude::Oid;
+use ode_core::Database;
+use ode_sched::PushSink;
 use ode_shell::{EvalResult, Session};
 use ode_wire::protocol::{
     negotiate, write_frame, ControlOp, ErrorKind, FrameReader, Request, Response,
@@ -22,6 +34,10 @@ use ode_wire::protocol::{
 };
 
 use crate::ServerState;
+
+/// Most push frames buffered per connection before a slow consumer
+/// starts losing them (each loss increments `push_dropped`).
+const PUSH_OUTBOX_CAP: usize = 256;
 
 /// Why the request-wait loop stopped.
 enum Wait {
@@ -42,6 +58,9 @@ pub(crate) fn serve(stream: TcpStream, state: &Arc<ServerState>) {
         stream,
         reader: FrameReader::new(),
         state: Arc::clone(state),
+        version: 0,
+        outbox: Arc::new(Mutex::new(VecDeque::new())),
+        subs: Vec::new(),
     };
     // Socket tuning failures are survivable (the connection still works,
     // just slower or without a write bound) but must not be silent.
@@ -66,12 +85,22 @@ pub(crate) fn serve(stream: TcpStream, state: &Arc<ServerState>) {
         state.tel.socket_errors.inc();
     }
     conn.run();
+    conn.teardown();
 }
 
 struct Conn {
     stream: TcpStream,
     reader: FrameReader,
     state: Arc<ServerState>,
+    /// Negotiated protocol version (0 until the handshake completes).
+    version: u16,
+    /// Encoded `Push` frames awaiting a flush slot between requests.
+    /// Shared with the scheduler sinks of this connection's
+    /// subscriptions, which run on scheduler worker threads.
+    outbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    /// Subscription ids registered by this connection, retracted on
+    /// teardown so a closed socket stops costing sub-check work.
+    subs: Vec<u64>,
 }
 
 impl Conn {
@@ -120,6 +149,7 @@ impl Conn {
                 return;
             }
         };
+        self.version = negotiated;
         if self
             .send(&Response::Welcome {
                 version: negotiated,
@@ -175,7 +205,7 @@ impl Conn {
                     self.send_best_effort(&Response::Goodbye);
                     return;
                 }
-                Request::Control(op) => Response::Output(self.control(op)),
+                Request::Control(op) => self.control(op),
                 Request::Line(text) => match self.eval_line(&mut session, TraceId::NONE, &text) {
                     Some(resp) => resp,
                     None => {
@@ -226,13 +256,8 @@ impl Conn {
             EvalResult::Continue => Some(Response::Continue),
             EvalResult::Error(e) => {
                 tel.engine_errors.inc();
-                let kind = match &e {
-                    ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
-                    e if e.is_unavailable() => ErrorKind::Unavailable,
-                    _ => ErrorKind::Engine,
-                };
                 Some(Response::Error {
-                    kind,
+                    kind: error_kind(&e),
                     message: e.to_string(),
                 })
             }
@@ -240,8 +265,8 @@ impl Conn {
         }
     }
 
-    fn control(&self, op: ControlOp) -> String {
-        match op {
+    fn control(&mut self, op: ControlOp) -> Response {
+        let out = match op {
             ControlOp::Ping => "pong".to_string(),
             ControlOp::ServerStats => {
                 let mut out = String::new();
@@ -275,6 +300,110 @@ impl Conn {
                 }
             }
             ControlOp::SlowLog => self.state.db.slow_log().render(),
+            ControlOp::Subscribe { cluster, predicate } => {
+                return self.subscribe(&cluster, &predicate)
+            }
+            ControlOp::Unsubscribe(id) => return self.unsubscribe(id),
+        };
+        Response::Output(out)
+    }
+
+    /// Register a live subscription: matching commits will arrive as
+    /// unsolicited `Push` frames. The sink runs on scheduler worker
+    /// threads and only encodes + enqueues — socket writes stay on this
+    /// connection's own thread.
+    fn subscribe(&mut self, cluster: &str, predicate: &str) -> Response {
+        if self.version < 3 {
+            return Response::Error {
+                kind: ErrorKind::Protocol,
+                message: format!(
+                    "subscriptions require protocol v3 (session negotiated v{})",
+                    self.version
+                ),
+            };
+        }
+        let state = Arc::clone(&self.state);
+        let outbox = Arc::clone(&self.outbox);
+        let sink: PushSink = Arc::new(move |m| {
+            let object = render_object(&state.db, m.oid);
+            let payload = Response::Push {
+                sub_id: m.sub_id,
+                epoch: m.epoch,
+                object,
+            }
+            .encode();
+            let mut q = outbox.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= PUSH_OUTBOX_CAP {
+                state.tel.push_dropped.inc();
+            } else {
+                q.push_back(payload);
+                state.tel.push_outbox_depth.inc();
+            }
+        });
+        match self.state.sched.subscribe(cluster, predicate, sink) {
+            Ok(id) => {
+                self.subs.push(id);
+                self.state.tel.subscriptions.inc();
+                Response::Output(id.to_string())
+            }
+            Err(e) => Response::Error {
+                kind: error_kind(&e),
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Retract a subscription. Only ids this connection registered are
+    /// honored — one client cannot silence another's stream.
+    fn unsubscribe(&mut self, id: u64) -> Response {
+        match self.subs.iter().position(|&s| s == id) {
+            Some(i) if self.state.sched.unsubscribe(id) => {
+                self.subs.remove(i);
+                self.state.tel.subscriptions.dec();
+                Response::Output(format!("unsubscribed {id}"))
+            }
+            _ => Response::Error {
+                kind: ErrorKind::Engine,
+                message: format!("no subscription {id} on this connection"),
+            },
+        }
+    }
+
+    /// Connection teardown: retract this connection's subscriptions so a
+    /// closed socket stops costing sub-check work, and account pushes
+    /// still buffered (they will never be written) as dropped.
+    fn teardown(&mut self) {
+        let tel = &self.state.tel;
+        for id in self.subs.drain(..) {
+            if self.state.sched.unsubscribe(id) {
+                tel.subscriptions.dec();
+            }
+        }
+        let mut q = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
+        while q.pop_front().is_some() {
+            tel.push_outbox_depth.dec();
+            tel.push_dropped.inc();
+        }
+    }
+
+    /// Write buffered push frames to the peer. Called only from the
+    /// request-wait loop, between requests, so a push can never
+    /// interleave with a response frame.
+    fn flush_pushes(&mut self) -> std::io::Result<()> {
+        loop {
+            let payload = {
+                let mut q = self.outbox.lock().unwrap_or_else(|e| e.into_inner());
+                match q.pop_front() {
+                    Some(p) => {
+                        self.state.tel.push_outbox_depth.dec();
+                        p
+                    }
+                    None => return Ok(()),
+                }
+            };
+            self.state.tel.bytes_out.add(payload.len() as u64 + 4);
+            write_frame(&mut self.stream, &payload)?;
+            self.state.tel.pushes_sent.inc();
         }
     }
 
@@ -289,6 +418,11 @@ impl Conn {
                 Ok(Some(frame)) => return Wait::Frame(frame),
                 Ok(None) => {}
                 Err(_) => return Wait::TooLarge,
+            }
+            // Between requests is the safe window for unsolicited
+            // frames; a failed push write means the peer is gone.
+            if self.flush_pushes().is_err() {
+                return Wait::Closed;
             }
             if self.state.draining() {
                 return Wait::Draining;
@@ -320,4 +454,41 @@ impl Conn {
     fn send_best_effort(&mut self, resp: &Response) {
         let _ = self.send(resp);
     }
+}
+
+/// Map an engine error to its wire kind. `Cascade` tells the client the
+/// triggering commit itself succeeded (weak coupling) — only the
+/// decoupled action chain was cut off — so retrying the statement won't
+/// help and would double-apply it.
+fn error_kind(e: &ode_core::OdeError) -> ErrorKind {
+    match e {
+        ode_core::OdeError::Analysis(_) => ErrorKind::Analysis,
+        ode_core::OdeError::TriggerCascade { .. } => ErrorKind::Cascade,
+        e if e.is_unavailable() => ErrorKind::Unavailable,
+        _ => ErrorKind::Engine,
+    }
+}
+
+/// Render a pushed object the way the shell prints one, so a remote
+/// subscriber sees the familiar `oid (Class) { field: value, … }`
+/// surface. Falls back to the bare oid when the object vanished between
+/// the match and this snapshot read.
+fn render_object(db: &Database, oid: Oid) -> String {
+    let rendered = db.read(|rtx| {
+        let state = rtx.read(oid)?;
+        rtx.database().with_schema(|schema| {
+            let def = schema.class(state.class)?;
+            let mut s = format!("{oid} ({})", def.name);
+            s.push_str(" { ");
+            for (i, f) in def.layout.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{}: {}", f.name, state.fields[i]);
+            }
+            s.push_str(" }");
+            Ok(s)
+        })
+    });
+    rendered.unwrap_or_else(|_| oid.to_string())
 }

@@ -18,6 +18,14 @@
 //!   transactions ([`Database::begin_read`]) that never touch the gate,
 //!   so query-heavy connections scale across threads (DESIGN.md §8);
 //!   the serving layer's job is fairness and protection.
+//! * **Decoupled triggers & live subscriptions** — the server attaches
+//!   an [`ode_sched::Scheduler`] to the engine, so trigger actions fired
+//!   by client commits run asynchronously on a worker pool instead of
+//!   inline in the committing request. A v3 client can register a
+//!   predicate over a cluster (`ControlOp::Subscribe`) and receive
+//!   unsolicited `Push` frames for matching commits, delivered through a
+//!   per-connection bounded outbox drained between requests (slow
+//!   consumers lose pushes, never corrupt framing; drops are counted).
 //! * **Admission control** — a connection-count semaphore: past
 //!   [`ServerConfig::max_connections`], new connections are refused with
 //!   a typed `Admission` error before any engine work happens. Oversized
@@ -42,6 +50,7 @@ use std::time::{Duration, Instant};
 
 use ode_core::Database;
 use ode_obs::{ServerSnapshot, ServerTelemetry};
+use ode_sched::{SchedConfig, Scheduler};
 use ode_wire::protocol::{write_frame, ErrorKind, Response};
 
 mod conn;
@@ -50,7 +59,7 @@ mod metrics;
 /// The client half of the wire (re-export of `ode-wire`'s client, so
 /// hosts can write `ode_server::client::Client`).
 pub mod client {
-    pub use ode_wire::client::{Client, ClientError, RemoteLine};
+    pub use ode_wire::client::{Client, ClientError, PushEvent, RemoteLine};
 }
 
 /// The wire protocol (re-export of `ode-wire`).
@@ -102,6 +111,7 @@ impl Default for ServerConfig {
 /// shutdown coordination points.
 pub(crate) struct ServerState {
     pub db: Arc<Database>,
+    pub sched: Arc<Scheduler>,
     pub cfg: ServerConfig,
     pub tel: ServerTelemetry,
     pub shutdown: AtomicBool,
@@ -164,8 +174,15 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // Decouple trigger actions from client commits: with the
+        // scheduler attached, a mutating request returns as soon as its
+        // own transaction is durable, and fired actions drain on the
+        // scheduler's worker pool. The same scheduler carries live
+        // subscriptions registered over the wire.
+        let sched = Scheduler::attach(Arc::clone(&db), SchedConfig::default());
         let state = Arc::new(ServerState {
             db,
+            sched,
             cfg,
             tel: ServerTelemetry::default(),
             shutdown: AtomicBool::new(false),
@@ -302,6 +319,12 @@ impl ServerHandle {
         Arc::clone(&self.state.db)
     }
 
+    /// The trigger scheduler attached to the engine for the server's
+    /// lifetime (queue inspection, suspend/resume, dead letters).
+    pub fn scheduler(&self) -> Arc<Scheduler> {
+        Arc::clone(&self.state.sched)
+    }
+
     /// Connections currently admitted.
     pub fn active_connections(&self) -> usize {
         self.state.active.load(Ordering::Relaxed)
@@ -325,6 +348,11 @@ impl ServerHandle {
             thread::sleep(self.state.cfg.poll_interval);
         }
         let remaining = self.state.active.load(Ordering::Acquire);
+        // Let queued trigger actions finish, then restore inline firing
+        // so the database keeps its paper semantics after the server is
+        // gone. A bounded wait: dead-lettered work is already accounted.
+        self.state.sched.wait_idle(self.state.cfg.drain_timeout);
+        self.state.sched.detach();
         DrainReport {
             drained: remaining == 0,
             connections_remaining: remaining,

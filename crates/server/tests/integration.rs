@@ -445,3 +445,88 @@ fn connect_after_shutdown_fails_fast() {
     }
     assert!(started.elapsed() < Duration::from_secs(5));
 }
+
+/// The live-subscription acceptance scenario: a remote client registers
+/// a predicate over a cluster and receives a `Push` frame for a matching
+/// commit made by *another* connection, with one blocking wait and no
+/// request polling. Non-matching commits stay silent, unsubscribe stops
+/// the stream, and the serving-layer gauges account for all of it.
+#[test]
+fn subscriber_receives_push_without_polling() {
+    let db = seeded_db();
+    let handle = Server::bind(db, quick_cfg(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    let sub_id = sub.subscribe("stockitem", "quantity < 5").unwrap();
+
+    let mut writer = Client::connect(addr).unwrap();
+    // A non-matching commit first: it must never produce a push.
+    output(
+        writer
+            .line(r#"pnew stockitem (name = "bulk", quantity = 900)"#)
+            .unwrap(),
+    );
+    // Then the matching one.
+    output(
+        writer
+            .line(r#"pnew stockitem (name = "scarce", quantity = 2)"#)
+            .unwrap(),
+    );
+
+    // One blocking wait on the subscriber — no polling request loop —
+    // must deliver the push for the matching commit.
+    let push = sub
+        .next_push(Duration::from_secs(10))
+        .unwrap()
+        .expect("no push arrived within 10s of the matching commit");
+    assert_eq!(push.sub_id, sub_id);
+    assert!(push.epoch > 0);
+    assert!(push.object.contains("scarce"), "{}", push.object);
+    assert!(push.object.contains("stockitem"), "{}", push.object);
+
+    // No second push is owed: the quantity-900 row never matched.
+    assert!(sub.next_push(Duration::from_millis(200)).unwrap().is_none());
+
+    // After unsubscribing, further matching commits stay silent.
+    sub.unsubscribe(sub_id).unwrap();
+    output(
+        writer
+            .line(r#"pnew stockitem (name = "late", quantity = 1)"#)
+            .unwrap(),
+    );
+    assert!(sub.next_push(Duration::from_millis(300)).unwrap().is_none());
+
+    let stats = handle.server_stats();
+    assert_eq!(stats.pushes_sent, 1, "exactly one push crossed the wire");
+    assert_eq!(stats.push_dropped, 0);
+    assert_eq!(
+        stats.subscriptions, 0,
+        "unsubscribe must release the subscription gauge"
+    );
+    assert_eq!(stats.push_outbox_depth, 0);
+
+    writer.bye().unwrap();
+    sub.bye().unwrap();
+    handle.shutdown();
+}
+
+/// A subscription against an unknown cluster or an unparsable predicate
+/// is refused with a typed error, not a dead subscription.
+#[test]
+fn bad_subscriptions_are_refused_typed() {
+    let db = seeded_db();
+    let handle = Server::bind(db, quick_cfg(), "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    match c.subscribe("nosuchclass", "quantity < 5") {
+        Err(ClientError::Engine(msg)) => assert!(msg.contains("nosuchclass"), "{msg}"),
+        other => panic!("expected engine error, got {other:?}"),
+    }
+    match c.subscribe("stockitem", "quantity <") {
+        Err(ClientError::Engine(_)) | Err(ClientError::Analysis(_)) => {}
+        other => panic!("expected parse refusal, got {other:?}"),
+    }
+    assert_eq!(handle.server_stats().subscriptions, 0);
+    c.bye().unwrap();
+    handle.shutdown();
+}

@@ -1,7 +1,7 @@
 //! End-to-end observability over the wire: client-minted trace ids
 //! landing in the server's flight recorder, metrics exposition and
 //! slow-query retrieval via control ops, the HTTP `/metrics` listener,
-//! and version negotiation between v1 and v2 endpoints.
+//! and version negotiation between v1-era and current endpoints.
 
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -12,7 +12,7 @@ use ode_core::obs::{prom, SpanStage, TraceId};
 use ode_core::Database;
 use ode_server::client::{Client, ClientError, RemoteLine};
 use ode_server::{Server, ServerConfig};
-use ode_wire::protocol::{read_frame, write_frame, Request, Response};
+use ode_wire::protocol::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
 
 fn quick_cfg() -> ServerConfig {
     ServerConfig {
@@ -45,7 +45,11 @@ fn traced_request_spans_reach_the_server_flight_recorder() {
     let db = seeded_db();
     let handle = Server::bind(Arc::clone(&db), quick_cfg(), "127.0.0.1:0").unwrap();
     let mut c = Client::connect(handle.addr()).unwrap();
-    assert_eq!(c.version(), 2, "fresh client+server should speak v2");
+    assert_eq!(
+        c.version(),
+        PROTOCOL_VERSION,
+        "fresh client+server should speak the current protocol"
+    );
 
     output(
         c.line(r#"pnew stockitem (name = "gear", quantity = 1)"#)
@@ -263,7 +267,7 @@ fn v2_client_degrades_against_v1_server() {
     let server = std::thread::spawn(move || {
         let (mut s, _) = listener.accept().unwrap();
         match Request::decode(&read_frame(&mut s, 1 << 20).unwrap()).unwrap() {
-            Request::Hello { version } => assert_eq!(version, 2),
+            Request::Hello { version } => assert_eq!(version, PROTOCOL_VERSION),
             other => panic!("expected Hello, got {other:?}"),
         }
         write_frame(&mut s, &Response::Welcome { version: 1 }.encode()).unwrap();

@@ -374,6 +374,12 @@ impl Session {
             let _ = writeln!(out);
             let _ = write!(out, "trigger `{}` fired on {}", f.trigger, f.oid);
         }
+        // Decoupled mode (a scheduler is attached): the commit returned
+        // before the actions ran, so report what was handed off.
+        for f in &info.enqueued {
+            let _ = writeln!(out);
+            let _ = write!(out, "trigger `{}` enqueued on {}", f.trigger, f.oid);
+        }
         for fail in &info.failures {
             let _ = writeln!(out);
             let _ = write!(out, "trigger action failed on {}: {}", fail.oid, fail.error);
@@ -518,6 +524,34 @@ impl Session {
                 }
                 if out.is_empty() {
                     out.push_str("no indexes");
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "triggers" => {
+                let mut out = String::new();
+                let armed = self.db.activation_summary();
+                if armed.is_empty() {
+                    let _ = writeln!(out, "no armed activations");
+                } else {
+                    let _ = writeln!(out, "armed activations:");
+                    for (trigger, count) in armed {
+                        let _ = writeln!(out, "  {trigger:<24} {count}");
+                    }
+                }
+                let pending = self.db.pending_events().len();
+                let _ = writeln!(
+                    out,
+                    "firing: {} ({pending} pending event(s))",
+                    if self.db.firing_decoupled() {
+                        "decoupled (scheduler attached)"
+                    } else {
+                        "inline"
+                    }
+                );
+                if let Some(rows) = self.db.sched_status() {
+                    for (k, v) in rows {
+                        let _ = writeln!(out, "  {k:<24} {v}");
+                    }
                 }
                 Ok(out.trim_end().to_string())
             }
@@ -1045,6 +1079,8 @@ triggers:
 meta:
   .classes   .describe <class>   .clusters   .indexes
   .show <oid>   .versions <oid>
+  .triggers                            armed activations, firing mode
+                                       (inline/decoupled), scheduler status
   .check [--json] <file> ...           batch-lint O++ files (no execution)
   .stats [reset]                       engine telemetry counters
   .stats profiles                      accumulated per-query profiles
@@ -1054,6 +1090,12 @@ meta:
   .metrics                             Prometheus text exposition of all counters
   .export <file>   .import <file>      whole-database dump / restore
   .help   .exit
+
+remote sessions (ode-shell --connect) additionally understand:
+  .server                              serving-layer stats
+  .subscribe <class> <predicate>       live-stream commits matching the
+                                       predicate (printed as `push ...`)
+  .unsubscribe <id>   .watch [secs]    stop a stream / wait for pushes
 
 Every statement is statically analyzed before it runs: errors (unknown
 members, type mismatches, contradictory constraints) reject the
@@ -1404,6 +1446,26 @@ mod tests {
     }
 
     #[test]
+    fn triggers_meta_command() {
+        let mut s = Session::in_memory();
+        feed(
+            &mut s,
+            "class item { int qty = 100; int on_order = 0; \
+             trigger low(n) : qty < $n { on_order = $n; } }",
+        );
+        feed(&mut s, "create cluster item");
+        let out = feed(&mut s, ".triggers");
+        assert!(out.contains("no armed activations"), "{out}");
+        assert!(out.contains("firing: inline"), "{out}");
+        let out = feed(&mut s, "pnew item");
+        let oid = out.trim_start_matches("created ").to_string();
+        feed(&mut s, &format!("activate low on {oid} (30)"));
+        let out = feed(&mut s, ".triggers");
+        assert!(out.contains("armed activations:"), "{out}");
+        assert!(out.contains("low"), "{out}");
+    }
+
+    #[test]
     fn oid_parsing() {
         let oid = parse_oid("3:7.2").unwrap();
         assert_eq!(oid.cluster, 3);
@@ -1515,14 +1577,15 @@ mod tests {
             (35, "A008"), // contradictory constraints in one class
             (36, "A008"), // contradiction with inherited constraint
             (37, "A009"), // perpetual trigger cycle (warning)
-            (40, "A101"), // unsatisfiable suchthat (warning)
-            (41, "A102"), // unindexed equality (warning)
-            (42, "A103"), // is-test outside hierarchy (warning)
-            (45, "A000"), // statement does not parse
+            (38, "A201"), // trigger re-satisfies its own condition (warning)
+            (41, "A101"), // unsatisfiable suchthat (warning)
+            (42, "A102"), // unindexed equality (warning)
+            (43, "A103"), // is-test outside hierarchy (warning)
+            (46, "A000"), // statement does not parse
         ];
         assert_eq!(got, expected, "{}", report.render_text());
         assert_eq!(report.errors(), 19);
-        assert_eq!(report.warnings(), 4);
+        assert_eq!(report.warnings(), 5);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   (more) reached the engine.
 
 use std::io::{BufRead, IsTerminal, Write};
+use std::time::Duration;
 
 use ode_shell::{check_files, EvalResult, Session};
 use ode_wire::client::{Client, ClientError, RemoteLine};
@@ -200,11 +201,59 @@ fn remote_repl(addr: &str) -> i32 {
     let mut out = std::io::stdout();
     let mut engine_errors = 0usize;
     let mut continuing = false;
+    let mut live_subs = 0usize;
     while let Some(line) = read_line(continuing, interactive) {
-        // `.server` is a shell-side alias for the serving-layer stats
-        // control op (the engine's `.stats` still works over the wire).
-        let result = if line.trim() == ".server" {
+        let trimmed = line.trim();
+        // Client-side commands: `.server` aliases the serving-layer
+        // stats control op, and the subscription commands manage live
+        // push streams (the engine's `.stats` still works over the
+        // wire).
+        let result = if trimmed == ".server" {
             client.server_stats().map(RemoteLine::Output)
+        } else if let Some(rest) = trimmed.strip_prefix(".subscribe ") {
+            let mut it = rest.trim().splitn(2, char::is_whitespace);
+            match (it.next(), it.next()) {
+                (Some(cluster), Some(pred)) => client.subscribe(cluster, pred.trim()).map(|id| {
+                    live_subs += 1;
+                    RemoteLine::Output(format!(
+                        "subscription {id} — matching commits print as \
+                             `push ...`; `.watch [secs]` waits for them"
+                    ))
+                }),
+                _ => {
+                    let _ = writeln!(out, "usage: .subscribe <class> <predicate>");
+                    continue;
+                }
+            }
+        } else if let Some(rest) = trimmed.strip_prefix(".unsubscribe ") {
+            match rest.trim().parse::<u64>() {
+                Ok(id) => client.unsubscribe(id).map(|()| {
+                    live_subs = live_subs.saturating_sub(1);
+                    RemoteLine::Output(format!("unsubscribed {id}"))
+                }),
+                Err(_) => {
+                    let _ = writeln!(out, "usage: .unsubscribe <id>");
+                    continue;
+                }
+            }
+        } else if trimmed == ".watch" || trimmed.starts_with(".watch ") {
+            let secs: u64 = trimmed
+                .strip_prefix(".watch")
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or(10);
+            match watch_pushes(&mut client, &mut out, Duration::from_secs(secs)) {
+                Ok(n) => {
+                    continuing = false;
+                    let _ = writeln!(out, "{n} push(es) in {secs}s");
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("ode-shell: {e}");
+                    return EXIT_TRANSPORT;
+                }
+            }
         } else {
             client.line(&line)
         };
@@ -234,11 +283,50 @@ fn remote_repl(addr: &str) -> i32 {
                 return EXIT_TRANSPORT;
             }
         }
+        // With a live subscription, pushes for commits made by this (or
+        // any other) connection may already be waiting — deliver them
+        // before the next prompt. The short wait covers the server's
+        // outbox-flush tick; without subscriptions it costs nothing.
+        if live_subs > 0 {
+            match watch_pushes(&mut client, &mut out, Duration::from_millis(100)) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("ode-shell: {e}");
+                    return EXIT_TRANSPORT;
+                }
+            }
+        }
     }
     let _ = client.bye();
     if engine_errors > 0 && !interactive {
         EXIT_ENGINE
     } else {
         0
+    }
+}
+
+/// Print pushes as they arrive until `budget` elapses with none
+/// pending. Returns how many were delivered.
+fn watch_pushes(
+    client: &mut Client,
+    out: &mut impl Write,
+    budget: Duration,
+) -> Result<usize, ClientError> {
+    let mut n = 0usize;
+    let mut wait = budget;
+    loop {
+        match client.next_push(wait)? {
+            Some(p) => {
+                n += 1;
+                let _ = writeln!(
+                    out,
+                    "push [sub {} @ epoch {}] {}",
+                    p.sub_id, p.epoch, p.object
+                );
+                // Drain whatever else is already queued promptly.
+                wait = Duration::from_millis(50);
+            }
+            None => return Ok(n),
+        }
     }
 }

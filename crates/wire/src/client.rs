@@ -6,6 +6,7 @@
 //! parse error, constraint violation). Callers like `ode-shell
 //! --connect` map the two classes to different exit codes.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -39,6 +40,10 @@ pub enum ClientError {
     /// A transient storage failure on the server; the session survives
     /// and the request is safe to retry after a backoff (DESIGN.md §10).
     Unavailable(String),
+    /// A trigger cascade hit the server's depth limit; the triggering
+    /// commit itself succeeded (weak coupling) but the cascade tail was
+    /// cut. The session remains usable; retrying will not help.
+    Cascade(String),
 }
 
 impl ClientError {
@@ -74,6 +79,7 @@ impl std::fmt::Display for ClientError {
             ClientError::TooLarge(m) => write!(f, "request too large: {m}"),
             ClientError::Analysis(m) => write!(f, "{m}"),
             ClientError::Unavailable(m) => write!(f, "server unavailable (retryable): {m}"),
+            ClientError::Cascade(m) => write!(f, "trigger cascade limit exhausted: {m}"),
         }
     }
 }
@@ -127,6 +133,17 @@ impl RetryPolicy {
     }
 }
 
+/// An asynchronous subscription match delivered by the server (v3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushEvent {
+    /// The subscription that matched.
+    pub sub_id: u64,
+    /// Commit epoch of the matching write.
+    pub epoch: u64,
+    /// Rendered identity of the matching object.
+    pub object: String,
+}
+
 /// A connected, handshaken session with an `ode-server`.
 #[derive(Debug)]
 pub struct Client {
@@ -137,6 +154,12 @@ pub struct Client {
     next_trace: u64,
     /// The trace id attached to the most recent [`Client::line`].
     last_trace: u64,
+    /// Pushes that arrived interleaved with request/response traffic,
+    /// buffered for [`Client::next_push`].
+    pending_pushes: VecDeque<PushEvent>,
+    /// The caller-requested I/O timeout, restored after the temporary
+    /// read timeout [`Client::next_push`] installs.
+    io_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -160,6 +183,8 @@ impl Client {
             version: PROTOCOL_VERSION,
             next_trace: seed | 1,
             last_trace: 0,
+            pending_pushes: VecDeque::new(),
+            io_timeout: None,
         };
         client.send(&Request::Hello {
             version: PROTOCOL_VERSION,
@@ -194,7 +219,8 @@ impl Client {
 
     /// Bound every subsequent socket read/write (`None` removes the
     /// bound). Expired bounds surface as [`ClientError::Transport`].
-    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.io_timeout = timeout;
         self.stream
             .set_read_timeout(timeout)
             .and_then(|()| self.stream.set_write_timeout(timeout))
@@ -299,6 +325,86 @@ impl Client {
         }
     }
 
+    fn require_v3(&self, what: &str) -> Result<(), ClientError> {
+        if self.version >= 3 {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "{what} requires protocol v3; this session negotiated v{}",
+                self.version
+            )))
+        }
+    }
+
+    /// Register a live subscription (v3 sessions only): `predicate` is
+    /// evaluated server-side against every object of `cluster` written by
+    /// any commit; matches arrive asynchronously and are read with
+    /// [`Client::next_push`]. Returns the subscription id.
+    pub fn subscribe(&mut self, cluster: &str, predicate: &str) -> Result<u64, ClientError> {
+        self.require_v3("live subscriptions")?;
+        let out = self.control(ControlOp::Subscribe {
+            cluster: cluster.to_string(),
+            predicate: predicate.to_string(),
+        })?;
+        out.trim().parse().map_err(|_| {
+            ClientError::Protocol(format!("subscribe answered non-numeric id `{out}`"))
+        })
+    }
+
+    /// Cancel a subscription (v3 sessions only). Pushes already in flight
+    /// may still be delivered afterwards.
+    pub fn unsubscribe(&mut self, sub_id: u64) -> Result<(), ClientError> {
+        self.require_v3("live subscriptions")?;
+        self.control(ControlOp::Unsubscribe(sub_id))?;
+        Ok(())
+    }
+
+    /// The next subscription push: a buffered one if any arrived
+    /// interleaved with request/response traffic, otherwise block up to
+    /// `wait` for the server to send one. `Ok(None)` means the wait
+    /// elapsed without a push — no polling request is ever sent.
+    pub fn next_push(&mut self, wait: Duration) -> Result<Option<PushEvent>, ClientError> {
+        if let Some(p) = self.pending_pushes.pop_front() {
+            return Ok(Some(p));
+        }
+        self.require_v3("live subscriptions")?;
+        // Temporarily bound the read; the socket carries no other traffic
+        // between requests, so anything that arrives is a push.
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+            .map_err(ClientError::from_io)?;
+        let result = read_frame(&mut self.stream, MAX_FRAME_BYTES);
+        self.stream
+            .set_read_timeout(self.io_timeout)
+            .map_err(ClientError::from_io)?;
+        let payload = match result {
+            Ok(p) => p,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(ClientError::Protocol(e.to_string()))
+            }
+            Err(e) => return Err(ClientError::from_io(e)),
+        };
+        match Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))? {
+            Response::Push {
+                sub_id,
+                epoch,
+                object,
+            } => Ok(Some(PushEvent {
+                sub_id,
+                epoch,
+                object,
+            })),
+            other => Err(ClientError::Protocol(format!(
+                "unsolicited non-push frame: {other:?}"
+            ))),
+        }
+    }
+
     /// Orderly goodbye; consumes the client.
     pub fn bye(mut self) -> Result<(), ClientError> {
         self.send(&Request::Bye)?;
@@ -326,14 +432,29 @@ impl Client {
     }
 
     fn recv(&mut self) -> Result<Response, ClientError> {
-        let payload = read_frame(&mut self.stream, MAX_FRAME_BYTES).map_err(|e| {
-            if e.kind() == io::ErrorKind::InvalidData {
-                ClientError::Protocol(e.to_string())
-            } else {
-                ClientError::from_io(e)
+        // Pushes are the one unsolicited frame (v3): buffer any that
+        // arrive ahead of the response we are actually waiting for.
+        loop {
+            let payload = read_frame(&mut self.stream, MAX_FRAME_BYTES).map_err(|e| {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    ClientError::Protocol(e.to_string())
+                } else {
+                    ClientError::from_io(e)
+                }
+            })?;
+            match Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))? {
+                Response::Push {
+                    sub_id,
+                    epoch,
+                    object,
+                } => self.pending_pushes.push_back(PushEvent {
+                    sub_id,
+                    epoch,
+                    object,
+                }),
+                other => return Ok(other),
             }
-        })?;
-        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+        }
     }
 }
 
@@ -347,6 +468,7 @@ fn typed(kind: ErrorKind, message: String) -> ClientError {
         ErrorKind::TooLarge => ClientError::TooLarge(message),
         ErrorKind::Analysis => ClientError::Analysis(message),
         ErrorKind::Unavailable => ClientError::Unavailable(message),
+        ErrorKind::Cascade => ClientError::Cascade(message),
     }
 }
 

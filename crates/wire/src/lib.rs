@@ -16,5 +16,5 @@
 pub mod client;
 pub mod protocol;
 
-pub use client::{Client, ClientError, RemoteLine};
+pub use client::{Client, ClientError, PushEvent, RemoteLine};
 pub use protocol::{ControlOp, ErrorKind, Request, Response, PROTOCOL_VERSION};

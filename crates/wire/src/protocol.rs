@@ -20,12 +20,19 @@
 //! v2 adds [`Request::TracedLine`] (a line carrying the client-minted
 //! trace id for the flight recorder) and the `Metrics` / `Trace` /
 //! `SlowLog` control ops.
+//!
+//! v3 adds live subscriptions: the `Subscribe` / `Unsubscribe` control
+//! ops and the asynchronous [`Response::Push`] frame. A push is the one
+//! frame a server may send *unsolicited*; it only ever appears on a
+//! session that negotiated v3 **and** subscribed, so the strict
+//! one-response-per-request reading of older clients is never violated.
+//! A v3 client must tolerate pushes interleaved before any response.
 
 use std::io::{self, Read, Write};
 
 /// Current protocol revision. Bumped on any frame change; see the module
 /// docs for the negotiation rule.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest revision this build still serves (v1: untraced lines, the
 /// original three control ops).
@@ -126,7 +133,7 @@ impl FrameReader {
 // ------------------------------------------------------------- messages
 
 /// Control operations — requests that bypass statement dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlOp {
     /// Liveness probe; answered with [`Response::Output`] (`"pong"`).
     Ping,
@@ -141,6 +148,20 @@ pub enum ControlOp {
     Trace(u64),
     /// The slow-query log, rendered (v2).
     SlowLog,
+    /// Register a live subscription (v3): `predicate` is evaluated over
+    /// every object of `cluster` (deep extent) written by any commit, and
+    /// matches arrive asynchronously as [`Response::Push`] frames.
+    /// Answered with [`Response::Output`] carrying the subscription id as
+    /// a decimal string.
+    Subscribe {
+        /// Cluster (class) name whose writes are watched.
+        cluster: String,
+        /// O++ boolean expression over the object's fields.
+        predicate: String,
+    },
+    /// Cancel a subscription by id (v3). Pushes already in flight may
+    /// still arrive after the acknowledgement.
+    Unsubscribe(u64),
 }
 
 /// Client → server messages.
@@ -195,6 +216,12 @@ pub enum ErrorKind {
     /// survives and the request is safe to retry after a backoff
     /// (DESIGN.md §10).
     Unavailable,
+    /// A trigger cascade hit the engine's depth limit (v3). The
+    /// triggering commit itself succeeded — weak coupling — but the
+    /// over-limit tail of the cascade was cut and dead-lettered. The
+    /// session continues; retrying will not help until the trigger graph
+    /// is fixed.
+    Cascade,
 }
 
 impl ErrorKind {
@@ -208,6 +235,7 @@ impl ErrorKind {
             ErrorKind::TooLarge => 6,
             ErrorKind::Analysis => 7,
             ErrorKind::Unavailable => 8,
+            ErrorKind::Cascade => 9,
         }
     }
 
@@ -221,6 +249,7 @@ impl ErrorKind {
             6 => ErrorKind::TooLarge,
             7 => ErrorKind::Analysis,
             8 => ErrorKind::Unavailable,
+            9 => ErrorKind::Cascade,
             _ => return None,
         })
     }
@@ -237,6 +266,7 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::TooLarge => "too-large",
             ErrorKind::Analysis => "analysis",
             ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Cascade => "cascade",
         };
         f.write_str(s)
     }
@@ -266,6 +296,18 @@ pub enum Response {
     /// The session is over (after [`Request::Bye`], a `.exit`, or a
     /// server drain); the server closes the connection after sending it.
     Goodbye,
+    /// An asynchronous subscription match (v3): a commit wrote an object
+    /// of the subscribed cluster that satisfies the predicate. The only
+    /// unsolicited frame in the protocol — it may arrive between a
+    /// request and its response, and clients must buffer it.
+    Push {
+        /// The subscription that matched.
+        sub_id: u64,
+        /// Commit epoch of the matching write.
+        epoch: u64,
+        /// Rendered identity of the matching object.
+        object: String,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -278,6 +320,7 @@ const TAG_OUTPUT: u8 = 0x82;
 const TAG_CONTINUE: u8 = 0x83;
 const TAG_ERROR: u8 = 0x84;
 const TAG_GOODBYE: u8 = 0x85;
+const TAG_PUSH: u8 = 0x86;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -316,6 +359,18 @@ impl Request {
                     out
                 }
                 ControlOp::SlowLog => vec![TAG_CONTROL, 6],
+                ControlOp::Subscribe { cluster, predicate } => {
+                    let mut out = vec![TAG_CONTROL, 7];
+                    out.extend_from_slice(&(cluster.len() as u16).to_be_bytes());
+                    out.extend_from_slice(cluster.as_bytes());
+                    out.extend_from_slice(predicate.as_bytes());
+                    out
+                }
+                ControlOp::Unsubscribe(id) => {
+                    let mut out = vec![TAG_CONTROL, 8];
+                    out.extend_from_slice(&id.to_be_bytes());
+                    out
+                }
             },
             Request::Bye => vec![TAG_BYE],
         }
@@ -357,6 +412,28 @@ impl Request {
                     u64::from_be_bytes(id.try_into().unwrap()),
                 ))),
                 [6] => Ok(Request::Control(ControlOp::SlowLog)),
+                [7, body @ ..] => {
+                    if body.len() < 2 {
+                        return Err(bad("subscribe op missing cluster length"));
+                    }
+                    let n = u16::from_be_bytes([body[0], body[1]]) as usize;
+                    if body.len() < 2 + n {
+                        return Err(bad("subscribe op truncated cluster name"));
+                    }
+                    let cluster = std::str::from_utf8(&body[2..2 + n])
+                        .map_err(|_| bad("cluster name is not UTF-8"))?
+                        .to_string();
+                    let predicate = std::str::from_utf8(&body[2 + n..])
+                        .map_err(|_| bad("predicate is not UTF-8"))?
+                        .to_string();
+                    Ok(Request::Control(ControlOp::Subscribe {
+                        cluster,
+                        predicate,
+                    }))
+                }
+                [8, id @ ..] if id.len() == 8 => Ok(Request::Control(ControlOp::Unsubscribe(
+                    u64::from_be_bytes(id.try_into().unwrap()),
+                ))),
                 _ => Err(bad("unknown control op")),
             },
             TAG_BYE => Ok(Request::Bye),
@@ -389,6 +466,18 @@ impl Response {
                 out
             }
             Response::Goodbye => vec![TAG_GOODBYE],
+            Response::Push {
+                sub_id,
+                epoch,
+                object,
+            } => {
+                let mut out = Vec::with_capacity(17 + object.len());
+                out.push(TAG_PUSH);
+                out.extend_from_slice(&sub_id.to_be_bytes());
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(object.as_bytes());
+                out
+            }
         }
     }
 
@@ -421,6 +510,21 @@ impl Response {
                 Ok(Response::Error { kind, message })
             }
             TAG_GOODBYE => Ok(Response::Goodbye),
+            TAG_PUSH => {
+                if rest.len() < 16 {
+                    return Err(bad("push frame missing ids"));
+                }
+                let sub_id = u64::from_be_bytes(rest[..8].try_into().unwrap());
+                let epoch = u64::from_be_bytes(rest[8..16].try_into().unwrap());
+                let object = std::str::from_utf8(&rest[16..])
+                    .map_err(|_| bad("push object is not UTF-8"))?
+                    .to_string();
+                Ok(Response::Push {
+                    sub_id,
+                    epoch,
+                    object,
+                })
+            }
             other => Err(bad(format!("unknown response tag {other:#04x}"))),
         }
     }
@@ -461,13 +565,23 @@ mod tests {
         roundtrip_req(Request::Control(ControlOp::Metrics));
         roundtrip_req(Request::Control(ControlOp::Trace(42)));
         roundtrip_req(Request::Control(ControlOp::SlowLog));
+        roundtrip_req(Request::Control(ControlOp::Subscribe {
+            cluster: "stockitem".into(),
+            predicate: "quantity < 20 && name != \"x\"".into(),
+        }));
+        roundtrip_req(Request::Control(ControlOp::Subscribe {
+            cluster: String::new(),
+            predicate: String::new(),
+        }));
+        roundtrip_req(Request::Control(ControlOp::Unsubscribe(7)));
         roundtrip_req(Request::Bye);
     }
 
     #[test]
     fn negotiation_window() {
-        // A v1 client keeps speaking v1; a current client gets v2.
+        // A v1 client keeps speaking v1; a current client gets v3.
         assert_eq!(negotiate(1), Some(1));
+        assert_eq!(negotiate(2), Some(2));
         assert_eq!(negotiate(PROTOCOL_VERSION), Some(PROTOCOL_VERSION));
         // A future client is refused, not silently downgraded.
         assert_eq!(negotiate(PROTOCOL_VERSION + 1), None);
@@ -488,6 +602,7 @@ mod tests {
             ErrorKind::TooLarge,
             ErrorKind::Analysis,
             ErrorKind::Unavailable,
+            ErrorKind::Cascade,
         ] {
             roundtrip_resp(Response::Error {
                 kind,
@@ -495,6 +610,16 @@ mod tests {
             });
         }
         roundtrip_resp(Response::Goodbye);
+        roundtrip_resp(Response::Push {
+            sub_id: 3,
+            epoch: 99,
+            object: "stockitem:4:2.1".into(),
+        });
+        roundtrip_resp(Response::Push {
+            sub_id: u64::MAX,
+            epoch: 0,
+            object: String::new(),
+        });
     }
 
     #[test]
@@ -505,8 +630,12 @@ mod tests {
         assert!(Request::decode(&[TAG_CONTROL, 99]).is_err());
         assert!(Request::decode(&[TAG_TRACED_LINE, 1, 2]).is_err()); // short id
         assert!(Request::decode(&[TAG_CONTROL, 5, 1]).is_err()); // short trace op
+        assert!(Request::decode(&[TAG_CONTROL, 7, 0]).is_err()); // short sub header
+        assert!(Request::decode(&[TAG_CONTROL, 7, 0, 9, b'x']).is_err()); // truncated cluster
+        assert!(Request::decode(&[TAG_CONTROL, 8, 1]).is_err()); // short unsubscribe id
         assert!(Response::decode(&[TAG_ERROR]).is_err());
         assert!(Response::decode(&[TAG_ERROR, 99]).is_err());
+        assert!(Response::decode(&[TAG_PUSH, 1, 2, 3]).is_err()); // short push
         assert!(Request::decode(&[TAG_LINE, 0xc3]).is_err()); // invalid UTF-8
     }
 
