@@ -16,6 +16,17 @@
 //! Output: a table on stderr and `BENCH_f11.json` at the repo root
 //! (override with `ODE_BENCH_OUT`). Set `ODE_BENCH_QUICK=1` for a
 //! seconds-long smoke run (CI).
+//!
+//! Known finding (PR 8 investigation of the 8-thread `scan_speedup`
+//! regression): full scans degrade superlinearly with thread count at
+//! 100k objects but not at 10k, because `extent_of` materializes the
+//! whole extent as a `Vec<(Oid, ObjState)>` — N concurrent scans hold
+//! N full decoded copies, and once the combined working set outgrows
+//! the cache/allocator budget, aggregate throughput collapses (0.17x
+//! at 8 threads on a 1-core host vs 1.08x with the 10k dataset). Lock
+//! contention was ruled out (point lookups, which share every lock on
+//! the same path, hold flat). Fix tracked in ROADMAP: stream extent
+//! scans instead of materializing.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;

@@ -132,10 +132,20 @@ fn main() {
                 Err(e) if e.is_unavailable() => {
                     aborted += 1;
                     match fp.take_last_fault() {
-                        // Not durable: the WAL tail was rolled back.
-                        Some(FaultKind::CommitPre) | Some(FaultKind::Release) | None => {}
-                        // Durable but unacknowledged: the next reopen must
-                        // see it either fully present or fully absent.
+                        // Not durable: the WAL tail was rolled back. A failed
+                        // group-commit fsync lands here too — the abandoned
+                        // batch was never applied, so its heap slot may be
+                        // reused by a later acked commit (whose replay wins by
+                        // WAL order); no presence/value claim survives the
+                        // abandonment, only "the acked reuser is intact",
+                        // which invariant 1 already checks.
+                        Some(FaultKind::CommitPre)
+                        | Some(FaultKind::Release)
+                        | Some(FaultKind::GroupSync)
+                        | None => {}
+                        // Durable-side ack loss (fault fires after the batch
+                        // fully applied): the next reopen must see it either
+                        // fully present with our value or fully absent.
                         Some(FaultKind::CommitAckLoss) => {
                             let oid = created.expect("ack loss happens after pnew");
                             in_doubt.push((oid, n));

@@ -150,7 +150,10 @@ impl Database {
     /// with version histories, trigger activations) into a self-contained
     /// dump.
     pub fn export(&self) -> Result<Vec<u8>> {
-        let _gate = self.txn_gate.lock();
+        // Shared apply gate: commits and DDL cannot publish while the
+        // dump walks the store, but concurrent readers (and running write
+        // transactions short of their publish window) proceed freely.
+        let _apply = self.apply_gate.read();
         let inner = self.inner.read();
         let mut w = Writer::new();
         w_str(&mut w, MAGIC);

@@ -6,23 +6,25 @@
 //! existing store replays that catalog, then rebuilds the in-memory
 //! indexes by scanning.
 //!
-//! Concurrency model (DESIGN.md §8): the paper explicitly leaves
-//! concurrency out of scope (§1), so *writers* serialize behind a single
-//! gate — but reads need no such protection. [`Database::begin_read`]
-//! hands out snapshot [`ReadTransaction`]s that share the `apply_gate`
-//! reader-writer lock: any number run concurrently, and a committing
-//! writer takes the gate exclusively only for the short window in which
-//! it publishes its batch (store commit + index update), never for the
-//! whole transaction. A monotonic commit epoch lets readers detect
-//! staleness. DDL operations auto-commit individually and take both the
-//! writer gate and the apply gate.
+//! Concurrency model (DESIGN.md §8, §13): the paper explicitly leaves
+//! concurrency out of scope (§1); we use optimistic multi-writer
+//! concurrency. Write transactions run fully in parallel, buffering
+//! writes locally and recording the epoch at which each read was served;
+//! commit validates the read set against the [`CommitTable`] inside a
+//! short critical section, claims the next epoch, and publishes in epoch
+//! order. Readers are unchanged from §8: [`Database::begin_read`] hands
+//! out snapshot [`ReadTransaction`]s sharing the `apply_gate`
+//! reader-writer lock, and a committing writer takes it exclusively only
+//! around its publish window. DDL operations claim an epoch through the
+//! same table and stamp `schema_stamp`, so every in-flight writer that
+//! began earlier conflicts and retries against the new schema.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use ode_model::encode::{decode_class, encode_class};
 use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
@@ -31,7 +33,7 @@ use ode_obs::{
     TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink, WorkStatRow, WorkloadStats,
     DEFAULT_FLIGHT_CAPACITY, DEFAULT_SLOW_THRESHOLD_NS,
 };
-use ode_storage::{FileStore, MemStore, Store, StoreOp, StoreStats};
+use ode_storage::{CommitTicket, FileStore, MemStore, Store, StoreOp, StoreStats};
 
 use crate::catalog::{CatalogRecord, CatalogState, CATALOG_HEAP};
 use crate::error::{OdeError, Result};
@@ -87,6 +89,13 @@ pub struct DbConfig {
     /// the transaction aborts. Safe because the WAL rolls a failed group
     /// append back to a clean tail (DESIGN.md §10); 0 disables retries.
     pub commit_retries: usize,
+    /// How many times [`Database::transaction`] re-runs a closure whose
+    /// commit lost optimistic validation ([`OdeError::WriteConflict`],
+    /// DESIGN.md §13) before surfacing the conflict. Retries back off
+    /// exponentially (capped in the low milliseconds), so extent-scanning
+    /// transactions make progress against streams of small writers.
+    /// 0 disables conflict retries.
+    pub conflict_retries: usize,
     /// Capacity (in spans) of the always-on flight recorder ring.
     pub flight_capacity: usize,
     /// Statements slower than this land in the slow-query log.
@@ -98,6 +107,7 @@ impl Default for DbConfig {
         DbConfig {
             trigger_cascade_limit: 64,
             commit_retries: 2,
+            conflict_retries: 32,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             slow_query_threshold_ns: DEFAULT_SLOW_THRESHOLD_NS,
         }
@@ -137,14 +147,70 @@ impl DbInner {
     }
 }
 
+/// Commit-time validation state for optimistic multi-writer concurrency
+/// (DESIGN.md §13). Guarded by `Database::commit_gate`; every committing
+/// writer holds the gate for the short validate→log→claim section only.
+///
+/// Stamps record "this thing last changed at epoch E". A committing
+/// transaction conflicts when anything it read carries a stamp newer than
+/// the epoch at which it observed it. Absent entries pass — which is why
+/// pruning may only drop stamps no live (or future) transaction could
+/// conflict on.
+pub(crate) struct CommitTable {
+    /// Highest epoch handed out. Epochs are claimed here (in WAL order)
+    /// and published later, in order, through `Database::publish_epoch`.
+    last_claimed: u64,
+    /// Epoch of the last DDL (schema/cluster/index change). Every write
+    /// transaction validates against it, so DDL conflicts all in-flight
+    /// writers that began earlier.
+    schema_stamp: u64,
+    /// Object → epoch of its last committed write.
+    write_stamps: HashMap<Oid, u64>,
+    /// Heap → epoch of the last commit that inserted into / deleted from
+    /// or updated it (phantom protection for extent scans).
+    heap_stamps: HashMap<u32, u64>,
+    /// Activation id → epoch of the commit that consumed (killed) it.
+    /// Prevents two committers from both deleting a once-only activation.
+    killed_activations: HashMap<u64, u64>,
+}
+
+/// Soft cap on stamp-map size before a claim prunes entries no live or
+/// future transaction could conflict on.
+const STAMP_PRUNE_THRESHOLD: usize = 8192;
+
+/// The read/write footprint a committing transaction presents for
+/// validation (see [`CommitTable`]). Epoch values are the publish epoch
+/// observed when that item was *first* read.
+pub(crate) struct WriteSummary<'a> {
+    /// Publish epoch when the transaction began.
+    pub begin_epoch: u64,
+    /// Object → epoch at first read.
+    pub read_set: &'a HashMap<Oid, u64>,
+    /// Heap → epoch at first extent scan (phantom protection).
+    pub scan_set: &'a HashMap<u32, u64>,
+    /// Objects this commit writes or deletes (logical anchor oids).
+    pub write_oids: &'a [Oid],
+    /// Activation ids this commit kills (once-only firings, deactivations).
+    pub kills: &'a [u64],
+}
+
 /// An Ode database: "a collection of persistent objects" (§2) plus the
 /// schema, clusters, indexes, and active triggers that govern them.
 pub struct Database {
     pub(crate) store: Arc<dyn Store>,
     pub(crate) inner: RwLock<DbInner>,
-    /// Writer gate: held for the whole lifetime of a write transaction, so
-    /// writers are fully serialized. Readers never touch it.
-    pub(crate) txn_gate: Mutex<()>,
+    /// Commit gate: the short critical section in which a committing
+    /// writer validates its read set, appends its WAL group, and claims
+    /// the next epoch. Never held across fsync or page apply.
+    pub(crate) commit_gate: Mutex<CommitTable>,
+    /// Begin-epoch → count of live write transactions that began there.
+    /// Bounds stamp-map pruning in [`CommitTable`].
+    pub(crate) active_txns: Mutex<BTreeMap<u64, usize>>,
+    /// Serializes epoch publication: committers wait here until every
+    /// earlier-claimed epoch has published, so `commit_epoch` only ever
+    /// moves through the claimed sequence in order.
+    pub(crate) publish_lock: Mutex<()>,
+    pub(crate) publish_cv: Condvar,
     /// Apply gate: snapshot readers hold the shared side for their whole
     /// lifetime; a committing writer (or DDL) takes the exclusive side only
     /// around the publish window (store commit + in-memory index update).
@@ -310,7 +376,16 @@ impl Database {
         Ok(Database {
             store,
             inner: RwLock::new(inner),
-            txn_gate: Mutex::new(()),
+            commit_gate: Mutex::new(CommitTable {
+                last_claimed: 0,
+                schema_stamp: 0,
+                write_stamps: HashMap::new(),
+                heap_stamps: HashMap::new(),
+                killed_activations: HashMap::new(),
+            }),
+            active_txns: Mutex::new(BTreeMap::new()),
+            publish_lock: Mutex::new(()),
+            publish_cv: Condvar::new(),
             apply_gate: RwLock::new(()),
             commit_epoch: AtomicU64::new(0),
             callbacks: RwLock::new(HashMap::new()),
@@ -382,56 +457,78 @@ impl Database {
                 return Err(OdeError::Analysis(diags));
             }
         }
-        let _gate = self.txn_gate.lock();
+        // DDL claims an epoch and stamps the schema (conflicting every
+        // in-flight writer that began earlier), waits its publish turn,
+        // and applies under the exclusive apply gate. The claimed epoch
+        // is published even when the body fails — an unpublished epoch
+        // would stall every later committer (DESIGN.md §13).
+        let epoch = self.claim_schema_epoch();
+        self.wait_turn(epoch);
         let _apply = self.apply_gate.write();
-        let mut inner = self.inner.write();
-        let name = builder_name(&builder);
-        let id = inner.schema.define(builder)?;
-        let def = inner.schema.class(id)?;
-        let bytes = encode_class(&inner.schema, def)?;
-        let rec = CatalogRecord::Class(bytes).encode();
-        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
-        self.store.commit(vec![StoreOp::Put {
-            heap: CATALOG_HEAP,
-            rid,
-            data: rec,
-        }])?;
-        inner.catalog.class_rids.insert(name, rid);
-        self.bump_epoch();
-        Ok(id)
+        let result = (|| {
+            let mut inner = self.inner.write();
+            let name = builder_name(&builder);
+            let id = inner.schema.define(builder)?;
+            let def = inner.schema.class(id)?;
+            let bytes = encode_class(&inner.schema, def)?;
+            let rec = CatalogRecord::Class(bytes).encode();
+            let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+            self.store.commit(vec![StoreOp::Put {
+                heap: CATALOG_HEAP,
+                rid,
+                data: rec,
+            }])?;
+            inner.catalog.class_rids.insert(name, rid);
+            Ok(id)
+        })();
+        self.publish_epoch(epoch);
+        result
     }
 
     /// Create the cluster (type extent) for `class_name` — the paper's
     /// `create` macro (§2.5). Idempotent: re-creating returns the existing
     /// cluster.
     pub fn create_cluster(&self, class_name: &str) -> Result<u32> {
-        let _gate = self.txn_gate.lock();
+        // Cheap pre-check keeps the idempotent re-create from claiming an
+        // epoch (the body re-checks under the exclusive gate).
+        {
+            let inner = self.inner.read();
+            let class = inner.schema.id_of(class_name)?;
+            if let Some(&heap) = inner.clusters.get(&class) {
+                return Ok(heap);
+            }
+        }
+        let epoch = self.claim_schema_epoch();
+        self.wait_turn(epoch);
         let _apply = self.apply_gate.write();
-        let mut inner = self.inner.write();
-        let class = inner.schema.id_of(class_name)?;
-        if let Some(&heap) = inner.clusters.get(&class) {
-            return Ok(heap);
-        }
-        let heap = self.store.create_heap()?;
-        let rec = CatalogRecord::Cluster {
-            class_name: class_name.to_string(),
-            heap,
-        }
-        .encode();
-        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
-        self.store.commit(vec![StoreOp::Put {
-            heap: CATALOG_HEAP,
-            rid,
-            data: rec,
-        }])?;
-        inner.clusters.insert(class, heap);
-        inner.class_of_cluster.insert(heap, class);
-        inner
-            .catalog
-            .cluster_rids
-            .insert(class_name.to_string(), rid);
-        self.bump_epoch();
-        Ok(heap)
+        let result = (|| {
+            let mut inner = self.inner.write();
+            let class = inner.schema.id_of(class_name)?;
+            if let Some(&heap) = inner.clusters.get(&class) {
+                return Ok(heap);
+            }
+            let heap = self.store.create_heap()?;
+            let rec = CatalogRecord::Cluster {
+                class_name: class_name.to_string(),
+                heap,
+            }
+            .encode();
+            let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+            self.store.commit(vec![StoreOp::Put {
+                heap: CATALOG_HEAP,
+                rid,
+                data: rec,
+            }])?;
+            inner.clusters.insert(class, heap);
+            inner.class_of_cluster.insert(heap, class);
+            inner
+                .catalog
+                .cluster_rids
+                .insert(class_name.to_string(), rid);
+            Ok(heap)
+        })();
+        self.publish_epoch(epoch);
+        result
     }
 
     /// Does `class_name` have a cluster?
@@ -449,8 +546,15 @@ impl Database {
     /// are left with dangling refs (dereferencing reports "no such
     /// object"), exactly like `pdelete` of an individual object.
     pub fn destroy_cluster(&self, class_name: &str) -> Result<()> {
-        let _gate = self.txn_gate.lock();
+        let epoch = self.claim_schema_epoch();
+        self.wait_turn(epoch);
         let _apply = self.apply_gate.write();
+        let result = self.destroy_cluster_body(class_name);
+        self.publish_epoch(epoch);
+        result
+    }
+
+    fn destroy_cluster_body(&self, class_name: &str) -> Result<()> {
         let mut inner = self.inner.write();
         let class = inner.schema.id_of(class_name)?;
         let Some(&heap) = inner.clusters.get(&class) else {
@@ -501,42 +605,54 @@ impl Database {
             let ix = build_index(self.store.as_ref(), &inner, key.0, &key.1)?;
             inner.indexes.insert(key, ix);
         }
-        self.bump_epoch();
         Ok(())
     }
 
     /// Declare (and build) a secondary index on `class_name.field`,
     /// covering the class's deep extent.
     pub fn create_index(&self, class_name: &str, field: &str) -> Result<()> {
-        let _gate = self.txn_gate.lock();
+        // Pre-check outside the epoch claim: bad names fail cheaply and
+        // idempotent re-creates return without claiming.
+        {
+            let inner = self.inner.read();
+            let class = inner.schema.id_of(class_name)?;
+            inner.schema.class(class)?.field_index(field)?;
+            if inner.indexes.contains_key(&(class, field.to_string())) {
+                return Ok(());
+            }
+        }
+        let epoch = self.claim_schema_epoch();
+        self.wait_turn(epoch);
         let _apply = self.apply_gate.write();
-        let mut inner = self.inner.write();
-        let class = inner.schema.id_of(class_name)?;
-        // Validate the field exists on the class.
-        inner.schema.class(class)?.field_index(field)?;
-        let key = (class, field.to_string());
-        if inner.indexes.contains_key(&key) {
-            return Ok(());
-        }
-        let rec = CatalogRecord::Index {
-            class_name: class_name.to_string(),
-            field: field.to_string(),
-        }
-        .encode();
-        let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
-        self.store.commit(vec![StoreOp::Put {
-            heap: CATALOG_HEAP,
-            rid,
-            data: rec,
-        }])?;
-        inner
-            .catalog
-            .index_rids
-            .insert((class_name.to_string(), field.to_string()), rid);
-        let ix = build_index(self.store.as_ref(), &inner, class, field)?;
-        inner.indexes.insert(key, ix);
-        self.bump_epoch();
-        Ok(())
+        let result = (|| {
+            let mut inner = self.inner.write();
+            let class = inner.schema.id_of(class_name)?;
+            inner.schema.class(class)?.field_index(field)?;
+            let key = (class, field.to_string());
+            if inner.indexes.contains_key(&key) {
+                return Ok(());
+            }
+            let rec = CatalogRecord::Index {
+                class_name: class_name.to_string(),
+                field: field.to_string(),
+            }
+            .encode();
+            let rid = self.store.reserve(CATALOG_HEAP, rec.len())?;
+            self.store.commit(vec![StoreOp::Put {
+                heap: CATALOG_HEAP,
+                rid,
+                data: rec,
+            }])?;
+            inner
+                .catalog
+                .index_rids
+                .insert((class_name.to_string(), field.to_string()), rid);
+            let ix = build_index(self.store.as_ref(), &inner, class, field)?;
+            inner.indexes.insert(key, ix);
+            Ok(())
+        })();
+        self.publish_epoch(epoch);
+        result
     }
 
     /// Register an O++ member function as a Rust closure. Methods are code:
@@ -565,8 +681,10 @@ impl Database {
 
     // ----------------------------------------------------------- access
 
-    /// Begin a (write) transaction. Write transactions are serialized
-    /// (single writer) behind the transaction gate.
+    /// Begin a (write) transaction. Any number run concurrently: each
+    /// buffers its writes locally and validates its reads at commit time,
+    /// aborting with [`OdeError::WriteConflict`] (transient — retry) when
+    /// a concurrent commit overlapped them (DESIGN.md §13).
     pub fn begin(&self) -> Transaction<'_> {
         Transaction::new(self, 0)
     }
@@ -598,21 +716,210 @@ impl Database {
         self.commit_epoch.load(Ordering::Acquire)
     }
 
-    pub(crate) fn bump_epoch(&self) {
-        self.commit_epoch.fetch_add(1, Ordering::Release);
+    // -------------------------------------------- multi-writer commit
+
+    /// Register a beginning write transaction and return its begin epoch.
+    /// Holding the `active_txns` lock across the epoch load closes the
+    /// race with stamp pruning: a pruner cannot compute its floor between
+    /// our epoch capture and our registration.
+    pub(crate) fn register_txn(&self) -> u64 {
+        let mut g = self.active_txns.lock();
+        let epoch = self.commit_epoch.load(Ordering::Acquire);
+        *g.entry(epoch).or_insert(0) += 1;
+        epoch
     }
 
-    /// Run `f` in a transaction: commit on `Ok`, abort on `Err`.
-    pub fn transaction<R>(&self, f: impl FnOnce(&mut Transaction<'_>) -> Result<R>) -> Result<R> {
-        let mut tx = self.begin();
-        match f(&mut tx) {
-            Ok(r) => {
-                tx.commit()?;
-                Ok(r)
+    /// Deregister a write transaction (commit, abort, or drop).
+    pub(crate) fn deregister_txn(&self, begin_epoch: u64) {
+        let mut g = self.active_txns.lock();
+        if let Some(n) = g.get_mut(&begin_epoch) {
+            *n -= 1;
+            if *n == 0 {
+                g.remove(&begin_epoch);
             }
-            Err(e) => {
-                tx.abort();
-                Err(e)
+        }
+    }
+
+    /// The commit gate's critical section: validate `w` against the
+    /// [`CommitTable`], append the batch to the WAL (no fsync — that is
+    /// the cohort's shared phase 2), claim the next epoch, and stamp the
+    /// write set. Returns the claimed epoch and the prepared ticket; on
+    /// [`OdeError::WriteConflict`] or storage failure nothing was claimed
+    /// or stamped, so the caller may rebuild and retry.
+    pub(crate) fn claim_commit(
+        &self,
+        w: &WriteSummary<'_>,
+        ops: Vec<StoreOp>,
+    ) -> Result<(u64, CommitTicket)> {
+        let wait_start = std::time::Instant::now();
+        let mut table = self.commit_gate.lock();
+        self.tel
+            .txn
+            .gate_wait
+            .record_ns(wait_start.elapsed().as_nanos() as u64);
+
+        let conflict = |what: String| {
+            self.tel.txn.conflicts.inc();
+            Err(OdeError::WriteConflict { what })
+        };
+        if table.schema_stamp > w.begin_epoch {
+            return conflict("schema change".into());
+        }
+        for (oid, &observed) in w.read_set {
+            if table.write_stamps.get(oid).is_some_and(|&s| s > observed) {
+                return conflict(format!("object {oid}"));
+            }
+        }
+        for (heap, &observed) in w.scan_set {
+            if table.heap_stamps.get(heap).is_some_and(|&s| s > observed) {
+                return conflict(format!("extent of cluster {heap}"));
+            }
+        }
+        for id in w.kills {
+            if table
+                .killed_activations
+                .get(id)
+                .is_some_and(|&s| s > w.begin_epoch)
+            {
+                return conflict(format!("trigger activation {id}"));
+            }
+        }
+        // Blind writes (not read first) validate against the begin epoch.
+        for oid in w.write_oids {
+            if !w.read_set.contains_key(oid)
+                && table
+                    .write_stamps
+                    .get(oid)
+                    .is_some_and(|&s| s > w.begin_epoch)
+            {
+                return conflict(format!("object {oid}"));
+            }
+        }
+
+        // Append inside the gate so WAL order equals epoch order: crash
+        // recovery then replays a consistent epoch-order prefix. Transient
+        // append failures retry here (the WAL rolled its tail back);
+        // nothing is claimed until the append lands.
+        let max_retries = self.config.commit_retries;
+        let mut attempt = 0;
+        let mut ops = Some(ops);
+        let ticket = loop {
+            // Clone only while a retry remains; the last attempt moves.
+            let batch = if attempt < max_retries {
+                ops.as_ref().expect("ops kept while retries remain").clone()
+            } else {
+                ops.take().expect("ops moved only on the final attempt")
+            };
+            match self.store.commit_prepare(batch) {
+                Ok(t) => break t,
+                Err(e) if e.is_transient() && attempt < max_retries => {
+                    attempt += 1;
+                    self.tel.txn.commit_retries.inc();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        table.last_claimed += 1;
+        let epoch = table.last_claimed;
+        for oid in w.write_oids {
+            table.write_stamps.insert(*oid, epoch);
+        }
+        for op in &ticket.ops {
+            let (heap, rid) = match op {
+                StoreOp::Put { heap, rid, .. } | StoreOp::Delete { heap, rid } => (*heap, *rid),
+            };
+            table.write_stamps.insert(Oid { cluster: heap, rid }, epoch);
+            table.heap_stamps.insert(heap, epoch);
+        }
+        for id in w.kills {
+            table.killed_activations.insert(*id, epoch);
+        }
+        if table.write_stamps.len() > STAMP_PRUNE_THRESHOLD {
+            self.prune_stamps(&mut table);
+        }
+        Ok((epoch, ticket))
+    }
+
+    /// Drop stamps no live or future transaction could conflict on: a
+    /// stamp at or below every active begin epoch *and* the current
+    /// published epoch always validates as "pass", so absence is
+    /// equivalent. (Future transactions begin at or above the published
+    /// epoch, which is why it joins the floor.)
+    fn prune_stamps(&self, table: &mut CommitTable) {
+        let active = self.active_txns.lock();
+        let floor = active
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(u64::MAX)
+            .min(self.commit_epoch.load(Ordering::Acquire));
+        drop(active);
+        table.write_stamps.retain(|_, &mut s| s > floor);
+        table.heap_stamps.retain(|_, &mut s| s > floor);
+        table.killed_activations.retain(|_, &mut s| s > floor);
+    }
+
+    /// Claim an epoch for a DDL operation and stamp the schema: every
+    /// write transaction that began earlier will conflict at validation
+    /// and retry against the new catalog.
+    pub(crate) fn claim_schema_epoch(&self) -> u64 {
+        let mut table = self.commit_gate.lock();
+        table.last_claimed += 1;
+        table.schema_stamp = table.last_claimed;
+        table.last_claimed
+    }
+
+    /// Block until every epoch before `epoch` has published. Claims are
+    /// totally ordered, so exactly one thread waits for each value.
+    pub(crate) fn wait_turn(&self, epoch: u64) {
+        let mut g = self.publish_lock.lock();
+        while self.commit_epoch.load(Ordering::Acquire) != epoch - 1 {
+            self.publish_cv.wait(&mut g);
+        }
+    }
+
+    /// Publish `epoch` and wake waiting committers. Every claimed epoch
+    /// MUST eventually be published (even as a no-op after a failure), or
+    /// the publish sequence stalls behind the gap.
+    pub(crate) fn publish_epoch(&self, epoch: u64) {
+        let _g = self.publish_lock.lock();
+        self.commit_epoch.store(epoch, Ordering::Release);
+        self.publish_cv.notify_all();
+    }
+
+    /// Run `f` in a transaction: commit on `Ok`, abort on `Err`. A commit
+    /// that loses optimistic validation ([`OdeError::WriteConflict`]) is
+    /// retried from scratch up to `DbConfig::conflict_retries` times with
+    /// exponential backoff — `f` must therefore be safe to re-run (it sees
+    /// a fresh transaction each attempt).
+    pub fn transaction<R>(
+        &self,
+        mut f: impl FnMut(&mut Transaction<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let mut attempt: u32 = 0;
+        loop {
+            let mut tx = self.begin();
+            match f(&mut tx) {
+                Ok(r) => match tx.commit() {
+                    Ok(_) => return Ok(r),
+                    Err(OdeError::WriteConflict { .. })
+                        if (attempt as usize) < self.config.conflict_retries =>
+                    {
+                        attempt += 1;
+                        self.tel.txn.commit_retries.inc();
+                        // Exponential backoff, capped low: losers yield so
+                        // a winner publishes, preventing validation
+                        // livelock between extent-scanning writers.
+                        let us = 50u64.saturating_mul(1 << attempt.min(6));
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) => {
+                    tx.abort();
+                    return Err(e);
+                }
             }
         }
     }
@@ -687,6 +994,8 @@ impl Database {
             replayed_groups: s.replayed_groups,
             faults_injected: s.faults_injected,
             checkpoint_failures: s.checkpoint_failures,
+            commit_groups: s.commit_groups,
+            commit_group_members: s.commit_group_members,
         })
     }
 
@@ -799,6 +1108,20 @@ impl Database {
 
     /// Flush everything and truncate the WAL. Also persists the workload
     /// statistics counters into the catalog so they survive restarts.
+    ///
+    /// Safe to call concurrently with committing writers: the single-writer
+    /// era skipped the transaction gate here, and the multi-writer pipeline
+    /// needs no gate either. The invariant that replaces it lives in the
+    /// store — a checkpoint must never truncate WAL groups that are
+    /// prepared (logged, possibly durable) but not yet applied to the
+    /// pages, or a crash right after the truncate would lose them. The
+    /// [`FileStore`] enforces this with a prepared-commit barrier
+    /// (`pending_applies`): checkpoints wait until every claimed commit
+    /// has applied, and opportunistic checkpoints skip while one is in
+    /// flight (DESIGN.md §13; tested in
+    /// `crates/storage/tests/group_commit.rs`).
+    ///
+    /// [`FileStore`]: ode_storage::FileStore
     pub fn checkpoint(&self) -> Result<()> {
         self.persist_workload_stats()?;
         Ok(self.store.checkpoint()?)
@@ -812,11 +1135,12 @@ impl Database {
         if rows.is_empty() {
             return Ok(());
         }
-        // Deliberately no `txn_gate` here: checkpoint() may be called
-        // while a write transaction is open (it holds the gate until
-        // commit). The apply-gate write lock alone excludes the commit
-        // publish window and DDL, which is all this single-record store
-        // commit needs.
+        // The apply-gate write lock alone excludes commit publish windows
+        // and DDL, which is all this single-record store commit needs. No
+        // epoch is claimed or bumped: epochs move only through the ordered
+        // claim/publish sequence (DESIGN.md §13), and a snapshot reader
+        // cannot observe this write mid-flight because it holds the apply
+        // gate shared for its whole lifetime.
         let _apply = self.apply_gate.write();
         let mut inner = self.inner.write();
         let rec = CatalogRecord::Stats(rows).encode();
@@ -830,8 +1154,6 @@ impl Database {
             data: rec,
         }])?;
         inner.catalog.stats_rid = Some(rid);
-        drop(inner);
-        self.bump_epoch();
         Ok(())
     }
 
@@ -909,9 +1231,9 @@ impl Database {
 
     /// Durably remove pending events without running them (dead-letter
     /// path: the scheduler gave up on the action). Deletes the per-event
-    /// catalog records in one store batch — no `txn_gate`, so it is safe
-    /// from a scheduler worker even while a write transaction is open
-    /// elsewhere.
+    /// catalog records in one store batch under the apply gate alone, so
+    /// it is safe from a scheduler worker even while write transactions
+    /// run elsewhere (the scheduler owns each pending event exclusively).
     pub fn ack_pending(&self, ids: &[u64]) -> Result<()> {
         if ids.is_empty() {
             return Ok(());
@@ -935,8 +1257,6 @@ impl Database {
             inner.catalog.pending_rids.remove(id);
             inner.pending.remove(id);
         }
-        drop(inner);
-        self.bump_epoch();
         Ok(())
     }
 

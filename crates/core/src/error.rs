@@ -41,6 +41,15 @@ pub enum OdeError {
         /// The configured limit that was hit.
         limit: usize,
     },
+    /// Commit-time validation found that another transaction committed a
+    /// conflicting change after this one began (optimistic concurrency,
+    /// DESIGN.md §13). Transient: the work is rolled back and a retry
+    /// against the new state will usually succeed.
+    WriteConflict {
+        /// What collided, for diagnostics ("object 3:1.0", "extent of
+        /// cluster 5", "schema change").
+        what: String,
+    },
     /// The transaction was already aborted and cannot be used further.
     TransactionAborted,
     /// The static analyzer rejected the statement before any transaction
@@ -82,6 +91,9 @@ impl fmt::Display for OdeError {
             OdeError::TriggerCascade { limit } => {
                 write!(f, "trigger cascade exceeded {limit} rounds")
             }
+            OdeError::WriteConflict { what } => {
+                write!(f, "write conflict on {what} (concurrent commit; retry)")
+            }
             OdeError::TransactionAborted => write!(f, "transaction already aborted"),
             OdeError::Analysis(diags) => {
                 let errors = diags
@@ -114,13 +126,15 @@ impl std::error::Error for OdeError {
 }
 
 impl OdeError {
-    /// Is this a *transient* storage failure — worth retrying after a
-    /// backoff? True exactly when the root cause is a retryable
-    /// [`StorageError`] (see [`StorageError::is_transient`]); the server
-    /// maps these to the wire protocol's retryable `Unavailable` kind.
+    /// Is this *transient* — worth retrying after a backoff? True when
+    /// the root cause is a retryable [`StorageError`] (see
+    /// [`StorageError::is_transient`]) or a commit-time
+    /// [`OdeError::WriteConflict`]; the server maps these to the wire
+    /// protocol's retryable `Unavailable` kind.
     pub fn is_unavailable(&self) -> bool {
         match self {
             OdeError::Storage(e) => e.is_transient(),
+            OdeError::WriteConflict { .. } => true,
             OdeError::InStatement { source, .. } => source.is_unavailable(),
             _ => false,
         }

@@ -189,6 +189,9 @@ impl<'db> Transaction<'db> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for (_, heap) in &heaps {
+            // Phantom protection: validation compares this heap's last
+            // write stamp against the epoch observed here (DESIGN.md §13).
+            self.note_extent_scan(*heap);
             // Collect raw records first: the store's scan callback must not
             // re-enter the store (single-lock policy).
             let mut raw = Vec::new();
@@ -693,6 +696,15 @@ fn candidates<C: ReadContext>(
             // Objects written in this txn are missing from the committed
             // index — fold in any written object of the right classes.
             let inner = db.inner.read();
+            // The probe answered from the committed deep extent: record the
+            // backing heaps so commit-time validation catches phantoms the
+            // same as an extent scan would.
+            let probe_heaps: Vec<u32> = inner
+                .extent_heaps(class, true)
+                .iter()
+                .map(|&(_, h)| h)
+                .collect();
+            tx.note_scan(&probe_heaps);
             let seen: HashSet<Oid> = pairs.iter().map(|p| p.0).collect();
             for (oid, state) in tx.overlay() {
                 if seen.contains(&oid) || !inner.schema.is_subclass(state.class, class) {

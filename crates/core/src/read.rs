@@ -61,6 +61,12 @@ pub trait ReadContext: Resolver + Sized {
     /// Enumerate the (deep or shallow) extent of a class as seen by this
     /// view: committed members plus, for write transactions, the overlay.
     fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>>;
+
+    /// Record that a predicate was evaluated over the whole extent held in
+    /// `heaps` (phantom protection for write transactions, DESIGN.md §13).
+    /// Index probes call this too: the probe's answer depends on the same
+    /// committed extent the index summarizes. No-op for snapshots.
+    fn note_scan(&self, _heaps: &[u32]) {}
 }
 
 impl ReadContext for Transaction<'_> {
@@ -89,6 +95,12 @@ impl ReadContext for Transaction<'_> {
 
     fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
         self.extent(class_name, deep)
+    }
+
+    fn note_scan(&self, heaps: &[u32]) {
+        for &heap in heaps {
+            self.note_extent_scan(heap);
+        }
     }
 }
 

@@ -32,7 +32,7 @@ use ode_obs::{SpanGuard, SpanStage, TracePhase, TraceScope};
 use ode_storage::{RecordId, StoreOp};
 
 use crate::catalog::{CatalogRecord, CATALOG_HEAP};
-use crate::database::Database;
+use crate::database::{Database, WriteSummary};
 use crate::error::{OdeError, Result};
 use crate::object::{
     decode_record, encode_anchor, encode_plain, encode_vrec, ObjRecord, VersionEntry, VersionTable,
@@ -192,12 +192,30 @@ impl ObjWriter<'_> {
     }
 }
 
+/// Why a transaction rolled back, for the telemetry taxonomy: constraint
+/// rejections and optimistic-validation conflicts are tracked apart from
+/// explicit/other aborts.
+#[derive(Clone, Copy)]
+enum AbortCause {
+    Constraint,
+    Conflict,
+    Other,
+}
+
 /// An Ode transaction. Obtain with [`Database::begin`] or
 /// [`Database::transaction`]; finish with [`Transaction::commit`] or
 /// [`Transaction::abort`] (dropping an unfinished transaction aborts it).
 pub struct Transaction<'db> {
     pub(crate) db: &'db Database,
-    _gate: parking_lot::MutexGuard<'db, ()>,
+    /// Publish epoch when this transaction began. Reads observed at later
+    /// epochs record their own; validation compares each against the
+    /// commit table (DESIGN.md §13).
+    pub(crate) begin_epoch: u64,
+    /// Object → publish epoch at *first* read of its committed image.
+    /// Interior mutability: reads take `&self` but must record themselves.
+    read_set: parking_lot::Mutex<HashMap<Oid, u64>>,
+    /// Heap → publish epoch at first extent scan (phantom protection).
+    scan_set: parking_lot::Mutex<HashMap<u32, u64>>,
     pub(crate) writes: HashMap<Oid, TxnObj>,
     pub(crate) write_order: Vec<Oid>,
     pub(crate) deleted: HashMap<Oid, DeletedObj>,
@@ -232,17 +250,14 @@ impl<'db> Transaction<'db> {
         db.tel.txn.begun.inc();
         db.tel.txn.write_txns.inc();
         let flight_span = db.flight.span(SpanStage::Txn, format!("txn#{serial}"));
-        // Writers serialize here; the wait histogram makes gate contention
-        // observable (and lets tests assert the read path never queues).
-        let gate_started = std::time::Instant::now();
-        let gate = db.txn_gate.lock();
-        db.tel
-            .txn
-            .gate_wait
-            .record_ns(gate_started.elapsed().as_nanos() as u64);
+        // No gate: writers run concurrently, validating at commit. The
+        // registration pins this begin epoch for stamp pruning.
+        let begin_epoch = db.register_txn();
         let tx = Transaction {
             db,
-            _gate: gate,
+            begin_epoch,
+            read_set: parking_lot::Mutex::new(HashMap::new()),
+            scan_set: parking_lot::Mutex::new(HashMap::new()),
             writes: HashMap::new(),
             write_order: Vec::new(),
             deleted: HashMap::new(),
@@ -281,38 +296,47 @@ impl<'db> Transaction<'db> {
     }
 
     pub(crate) fn mark_aborted(&mut self) {
-        self.mark_aborted_cause(false);
+        self.mark_aborted_cause(AbortCause::Other);
     }
 
     /// Abort because a constraint rejected the transaction's state (the
     /// rollback cause the paper's §5 semantics single out).
     pub(crate) fn mark_aborted_constraint(&mut self) {
-        self.mark_aborted_cause(true);
+        self.mark_aborted_cause(AbortCause::Constraint);
     }
 
-    fn mark_aborted_cause(&mut self, constraint: bool) {
+    /// Abort because optimistic commit validation lost the race to a
+    /// concurrent writer (DESIGN.md §13). Shows up under `txn.conflicts`
+    /// (incremented at the validation site), not `aborted_other`: a
+    /// conflict abort is transient by contract and usually retried away
+    /// by [`Database::transaction`].
+    pub(crate) fn mark_aborted_conflict(&mut self) {
+        self.mark_aborted_cause(AbortCause::Conflict);
+    }
+
+    fn mark_aborted_cause(&mut self, cause: AbortCause) {
         if !self.aborted {
             self.aborted = true;
-            self.flight_span.set_detail(if constraint {
-                "abort:constraint"
-            } else {
-                "abort"
-            });
+            let detail = match cause {
+                AbortCause::Constraint => "abort:constraint",
+                AbortCause::Conflict => "abort:conflict",
+                AbortCause::Other => "abort",
+            };
+            self.flight_span.set_detail(detail);
             self.release_reservations();
             let tel = &self.db.tel.txn;
-            if constraint {
-                tel.aborted_constraint.inc();
-            } else {
-                tel.aborted_other.inc();
+            match cause {
+                AbortCause::Constraint => tel.aborted_constraint.inc(),
+                // Already counted in `txn.conflicts` at the validation
+                // site (`claim_commit`); a conflict abort is transient
+                // by contract and stays out of the abort taxonomy.
+                AbortCause::Conflict => {}
+                AbortCause::Other => tel.aborted_other.inc(),
             }
             let serial = self.serial;
             self.db
                 .trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
-                    if constraint {
-                        "abort:constraint".to_string()
-                    } else {
-                        "abort".to_string()
-                    }
+                    detail.to_string()
                 });
         }
     }
@@ -330,7 +354,18 @@ impl<'db> Transaction<'db> {
     // ------------------------------------------------------------ reads
 
     /// Load the committed image of an object (ignoring the write-set).
+    ///
+    /// Records the read in this transaction's read-set at the epoch
+    /// *observed before* the store read — if a concurrent commit publishes
+    /// between the epoch capture and the read, the stamp is conservative
+    /// (older), which can only produce a false conflict, never a missed
+    /// one. The store reads themselves run under a shared apply-gate hold
+    /// so a versioned object's anchor and current-version records are
+    /// never torn across a concurrent batch apply.
     pub(crate) fn load_committed(&self, oid: Oid) -> Result<(ObjState, Option<VersionTable>)> {
+        let observed = self.db.commit_epoch();
+        self.read_set.lock().entry(oid).or_insert(observed);
+        let _apply = self.db.apply_gate.read();
         let bytes = self
             .db
             .store
@@ -352,6 +387,14 @@ impl<'db> Transaction<'db> {
                 "{oid} is a version record, not an object"
             ))),
         }
+    }
+
+    /// Record an extent scan over `heap` at the current publish epoch
+    /// (first observation wins). Phantom protection: commit-time
+    /// validation compares this against the heap's last write stamp.
+    pub(crate) fn note_extent_scan(&self, heap: u32) {
+        let observed = self.db.commit_epoch();
+        self.scan_set.lock().entry(heap).or_insert(observed);
     }
 
     /// Does the object exist (in this transaction's view)?
@@ -706,6 +749,8 @@ impl<'db> Transaction<'db> {
             Err(e) => {
                 if matches!(e, OdeError::ConstraintViolation { .. }) {
                     self.mark_aborted_constraint();
+                } else if matches!(e, OdeError::WriteConflict { .. }) {
+                    self.mark_aborted_conflict();
                 } else {
                     self.mark_aborted();
                 }
@@ -721,7 +766,7 @@ impl<'db> Transaction<'db> {
             .deferred_actions
             .add((outcome.firings.len() + outcome.events.len()) as u64);
         self.flight_span.set_detail(format!("txn#{serial} commit"));
-        drop(self); // release the transaction gate before running actions
+        drop(self); // deregister before running actions (they begin anew)
         db.trace_event(TraceScope::Transaction, TracePhase::End, serial, || {
             "commit".to_string()
         });
@@ -895,23 +940,14 @@ impl<'db> Transaction<'db> {
             }
         }
 
-        // 4. Atomic store commit, then in-memory catalog/index updates —
-        // both inside the publish window. Holding `apply_gate` exclusively
-        // here (lock order: apply_gate before inner) keeps the whole commit
-        // invisible to snapshot readers until every update has landed, so a
-        // ReadTransaction can never observe a torn commit (DESIGN.md §8).
-        let mut commit_span = self
-            .db
-            .flight
-            .span(SpanStage::Commit, format!("{} ops", ops.len()));
-        let publish = self.db.apply_gate.write();
-        // Decoupled firing: put one catalog record per event this commit
+        // 4. Decoupled firing: put one catalog record per event this commit
         // enqueues and delete the records of events this (action)
         // transaction acknowledges — all in this same batch, so the
         // pending set moves atomically with the commit. Per-event records
-        // keep a trigger storm unbounded by the max record size. Built
-        // inside the publish window so it cannot race
-        // `Database::ack_pending`.
+        // keep a trigger storm unbounded by the max record size. Safe to
+        // build outside the publish window: the scheduler owns each
+        // pending event exclusively while dispatching it, so no concurrent
+        // commit acknowledges the same ids.
         let mut event_rids: Vec<(u64, RecordId)> = Vec::new();
         let mut acked_ids: Vec<u64> = Vec::new();
         if !events.is_empty() || !self.ack_events.is_empty() {
@@ -938,30 +974,115 @@ impl<'db> Transaction<'db> {
                 event_rids.push((e.id, rid));
             }
         }
-        // Transient store failures (ENOSPC, a flaky disk) are retried a
-        // bounded number of times: a failed WAL group append rolls the log
-        // back to a clean tail, so re-issuing the identical batch is safe
-        // (DESIGN.md §10). Permanent errors abort immediately.
-        let max_retries = self.db.config.commit_retries;
-        let mut ops = Some(ops);
+
+        // Read-only short-circuit: nothing to publish and nothing that can
+        // conflict (each read was individually consistent) — claim no
+        // epoch, touch no gate, skip validation. This gives a pure-read
+        // `Database::transaction` call read-committed semantics; use
+        // [`Database::begin_read`] for a full snapshot.
+        if ops.is_empty() && kill_committed.is_empty() && firings.is_empty() && events.is_empty() {
+            self.committed = true;
+            let mut span = self.db.flight.span(SpanStage::Commit, "read-only");
+            span.set_detail("read-only: no epoch claimed");
+            return Ok(CommitOutcome {
+                firings,
+                events,
+                note: None,
+            });
+        }
+
+        // 5. The optimistic commit pipeline (DESIGN.md §13): validate +
+        // claim an epoch + WAL-append in the short commit-gate critical
+        // section; share the fsync with the cohort outside every lock;
+        // then apply in epoch order under the publish window. Holding
+        // `apply_gate` exclusively during the apply (lock order:
+        // apply_gate before inner) keeps the whole commit invisible to
+        // snapshot readers until every update has landed, so a
+        // ReadTransaction can never observe a torn commit (DESIGN.md §8).
+        let mut commit_span = self
+            .db
+            .flight
+            .span(SpanStage::Commit, format!("{} ops", ops.len()));
+        let mut write_oids: Vec<Oid> = self
+            .write_order
+            .iter()
+            .filter(|oid| {
+                self.writes
+                    .get(oid)
+                    .is_some_and(|o| o.dirty || o.new || o.vt_dirty)
+            })
+            .copied()
+            .collect();
+        write_oids.extend(self.deleted.keys().copied());
+        let (epoch, ticket) = {
+            let read_set = self.read_set.lock();
+            let scan_set = self.scan_set.lock();
+            let summary = WriteSummary {
+                begin_epoch: self.begin_epoch,
+                read_set: &read_set,
+                scan_set: &scan_set,
+                write_oids: &write_oids,
+                kills: &kill_committed,
+            };
+            self.db.claim_commit(&summary, ops)?
+        };
+
+        // Phase 2: durability, outside every lock — concurrent committers
+        // share one fsync (group commit). A failure here is *in-doubt*:
+        // the batch is in the WAL and may survive a crash even though this
+        // process cannot confirm it. Abandon the ticket, publish the
+        // claimed epoch as a no-op so the sequence cannot stall, and
+        // surface the storage error (transient → wire `Unavailable`).
+        if let Err(e) = self.db.store.commit_durable(&ticket) {
+            self.db.store.commit_abandon(ticket);
+            self.db.wait_turn(epoch);
+            self.db.publish_epoch(epoch);
+            return Err(e.into());
+        }
+
+        // Phase 3: apply in epoch order under the publish window. The
+        // validation/turn wait is surfaced in the commit span so the
+        // slow-query log attributes contended commits correctly.
+        let turn_started = std::time::Instant::now();
+        self.db.wait_turn(epoch);
+        let publish = self.db.apply_gate.write();
+        // Stores whose apply is the whole (idempotent) commit absorb
+        // transient failures (ENOSPC, a flaky disk) through a bounded
+        // retry, exactly like the pre-group-commit pipeline did. FileStore
+        // opts out: its batch is already durable, so recovery replays it.
+        let max_retries = if self.db.store.commit_apply_retryable() {
+            self.db.config.commit_retries
+        } else {
+            0
+        };
+        let mut ticket = Some(ticket);
         let mut attempt = 0usize;
         loop {
-            // The last attempt consumes the batch; earlier ones clone it
-            // so it is still around to retry.
-            let batch = if attempt < max_retries {
-                ops.as_ref()
-                    .expect("batch retained until last attempt")
+            // Clone only while a retry remains; the last attempt moves.
+            let t = if attempt < max_retries {
+                ticket
+                    .as_ref()
+                    .expect("ticket kept while retries remain")
                     .clone()
             } else {
-                ops.take().expect("batch consumed only once")
+                ticket
+                    .take()
+                    .expect("ticket moved only on the final attempt")
             };
-            match self.db.store.commit(batch) {
+            match self.db.store.commit_apply(t) {
                 Ok(()) => break,
                 Err(e) if e.is_transient() && attempt < max_retries => {
                     attempt += 1;
                     self.db.tel.txn.commit_retries.inc();
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    // Durable but not applied in this process: recovery
+                    // replays it. Publish so the epoch sequence moves on;
+                    // surface the failure as in-doubt.
+                    self.db.publish_epoch(epoch);
+                    drop(publish);
+                    return Err(e.into());
+                }
             }
         }
         self.committed = true;
@@ -1032,16 +1153,19 @@ impl<'db> Transaction<'db> {
             inner.pending.insert(e.id, e.clone());
         }
         drop(inner);
-        // Advance the epoch before readers can re-enter: the bump must be
-        // ordered inside the publish window so a snapshot's epoch always
-        // names exactly the commits it can see.
-        self.db.bump_epoch();
-        let note = collect_writes.then(|| CommitNote {
-            epoch: self.db.commit_epoch(),
+        let note = collect_writes.then_some(CommitNote {
+            epoch,
             writes: obs_writes,
         });
+        // Publish while still holding the apply gate: the epoch advance is
+        // ordered inside the publish window, so a snapshot's epoch always
+        // names exactly the commits it can see.
+        self.db.publish_epoch(epoch);
         drop(publish);
-        commit_span.set_detail(format!("published epoch {}", self.db.commit_epoch()));
+        commit_span.set_detail(format!(
+            "published epoch {epoch} (turn wait {}us)",
+            turn_started.elapsed().as_micros()
+        ));
 
         Ok(CommitOutcome {
             firings,
@@ -1209,6 +1333,9 @@ impl Drop for Transaction<'_> {
         if !self.committed && !self.aborted {
             self.mark_aborted();
         }
+        // Runs exactly once per transaction (commit consumes self and ends
+        // here too): un-pin this begin epoch from the stamp pruner's floor.
+        self.db.deregister_txn(self.begin_epoch);
     }
 }
 

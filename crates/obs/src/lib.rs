@@ -305,6 +305,10 @@ pub struct TxnTelemetry {
     /// failure. The WAL rolls a failed group append back to a clean tail,
     /// so the engine can re-issue the identical batch (DESIGN.md §10).
     pub commit_retries: Counter,
+    /// Commits rejected by optimistic validation: another transaction
+    /// published a conflicting change after this one began (DESIGN.md
+    /// §13). These surface as retryable `WriteConflict` errors.
+    pub conflicts: Counter,
 }
 
 /// Query-execution counters.
@@ -671,6 +675,7 @@ impl EngineTelemetry {
             &t.write_txns,
             &t.release_errors,
             &t.commit_retries,
+            &t.conflicts,
         ] {
             c.reset();
         }
@@ -743,6 +748,7 @@ impl EngineTelemetry {
                 gate_wait: self.txn.gate_wait.snapshot(),
                 release_errors: self.txn.release_errors.get(),
                 commit_retries: self.txn.commit_retries.get(),
+                conflicts: self.txn.conflicts.get(),
             },
             query: QuerySnapshot {
                 foralls: self.query.foralls.get(),
@@ -823,6 +829,12 @@ pub struct StorageSnapshot {
     /// Checkpoint attempts that failed (including the best-effort one in
     /// `Drop`); each leaves the WAL intact, so durability is unharmed.
     pub checkpoint_failures: u64,
+    /// Group-commit fsync cohorts: shared durability phases led by one
+    /// committer on behalf of everyone queued behind it (DESIGN.md §13).
+    pub commit_groups: u64,
+    /// Total commits that rode those cohorts; `commit_group_members /
+    /// commit_groups` is the mean cohort size (1.0 = no sharing).
+    pub commit_group_members: u64,
 }
 
 /// Transaction counters, frozen.
@@ -848,6 +860,8 @@ pub struct TxnSnapshot {
     pub release_errors: u64,
     /// See [`TxnTelemetry::commit_retries`].
     pub commit_retries: u64,
+    /// See [`TxnTelemetry::conflicts`].
+    pub conflicts: u64,
 }
 
 /// Query counters, frozen.
@@ -984,9 +998,12 @@ impl TelemetrySnapshot {
             commits,
             faults_injected,
             checkpoint_failures,
+            commit_groups,
+            commit_group_members,
         ) = sub_fields!(s, b; pager_hits, pager_misses, pager_evictions,
             pager_writebacks, record_reads, record_writes, wal_appends,
-            wal_fsyncs, commits, faults_injected, checkpoint_failures);
+            wal_fsyncs, commits, faults_injected, checkpoint_failures,
+            commit_groups, commit_group_members);
         let storage = StorageSnapshot {
             pager_hits,
             pager_misses,
@@ -1002,6 +1019,8 @@ impl TelemetrySnapshot {
             replayed_groups: s.replayed_groups,
             faults_injected,
             checkpoint_failures,
+            commit_groups,
+            commit_group_members,
         };
         let t = &self.txn;
         let bt = &baseline.txn;
@@ -1014,8 +1033,9 @@ impl TelemetrySnapshot {
             write_txns,
             release_errors,
             commit_retries,
+            conflicts,
         ) = sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other,
-                read_txns, write_txns, release_errors, commit_retries);
+                read_txns, write_txns, release_errors, commit_retries, conflicts);
         let txn = TxnSnapshot {
             begun,
             committed,
@@ -1027,6 +1047,7 @@ impl TelemetrySnapshot {
             gate_wait: t.gate_wait.delta(&bt.gate_wait),
             release_errors,
             commit_retries,
+            conflicts,
         };
         let q = &self.query;
         let bq = &baseline.query;
@@ -1137,6 +1158,8 @@ impl TelemetrySnapshot {
         push("storage.commits", s.commits);
         push("storage.faults_injected", s.faults_injected);
         push("storage.checkpoint_failures", s.checkpoint_failures);
+        push("storage.commit_groups", s.commit_groups);
+        push("storage.commit_group_members", s.commit_group_members);
         push("recovery.replayed_groups", s.replayed_groups);
         let t = &self.txn;
         push("txn.begun", t.begun);
@@ -1147,6 +1170,7 @@ impl TelemetrySnapshot {
         push("txn.write_txns", t.write_txns);
         push("txn.release_errors", t.release_errors);
         push("commit.retries", t.commit_retries);
+        push("txn.conflicts", t.conflicts);
         push("txn.commit_latency.count", t.commit_latency.count);
         let q = &self.query;
         let lat = &self.txn.commit_latency;
@@ -1237,7 +1261,8 @@ impl TelemetrySnapshot {
              \"record_reads\":{},\"record_writes\":{},\"wal_appends\":{},\
              \"wal_fsyncs\":{},\"wal_bytes\":{},\"commits\":{},\
              \"replayed_groups\":{},\"faults_injected\":{},\
-             \"checkpoint_failures\":{}}},",
+             \"checkpoint_failures\":{},\"commit_groups\":{},\
+             \"commit_group_members\":{}}},",
             s.pager_hits,
             s.pager_misses,
             s.pager_evictions,
@@ -1250,7 +1275,9 @@ impl TelemetrySnapshot {
             s.commits,
             s.replayed_groups,
             s.faults_injected,
-            s.checkpoint_failures
+            s.checkpoint_failures,
+            s.commit_groups,
+            s.commit_group_members
         ));
         let t = &self.txn;
         out.push_str(&format!(
@@ -1258,7 +1285,7 @@ impl TelemetrySnapshot {
              \"aborted_constraint\":{},\"aborted_other\":{},\
              \"read_txns\":{},\"write_txns\":{},\
              \"release_errors\":{},\"commit_retries\":{},\
-             \"commit_latency\":",
+             \"conflicts\":{},\"commit_latency\":",
             t.begun,
             t.committed,
             t.aborted_constraint,
@@ -1266,7 +1293,8 @@ impl TelemetrySnapshot {
             t.read_txns,
             t.write_txns,
             t.release_errors,
-            t.commit_retries
+            t.commit_retries,
+            t.conflicts
         ));
         t.commit_latency.json(&mut out);
         out.push_str(",\"gate_wait\":");

@@ -146,6 +146,16 @@ pub fn render(
             "Checkpoint attempts that failed",
             s.checkpoint_failures,
         ),
+        (
+            "ode_storage_commit_groups_total",
+            "Group-commit fsync cohorts (one shared durability phase each)",
+            s.commit_groups,
+        ),
+        (
+            "ode_storage_commit_group_members_total",
+            "Commits that rode a group-commit cohort",
+            s.commit_group_members,
+        ),
     ] {
         p.single(name, "counter", help, v);
     }
@@ -189,6 +199,11 @@ pub fn render(
             "ode_txn_commit_retries_total",
             "Store-commit attempts retried after transient failures",
             t.commit_retries,
+        ),
+        (
+            "ode_txn_conflicts_total",
+            "Commits rejected by optimistic validation (write conflicts)",
+            t.conflicts,
         ),
     ] {
         p.single(name, "counter", help, v);

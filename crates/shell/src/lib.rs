@@ -234,6 +234,12 @@ impl Session {
                 if s.stage == SpanStage::Execute && !s.detail.is_empty() {
                     plan.push(("strategy".to_string(), s.detail.clone()));
                 }
+                // The commit span's detail carries the published epoch and
+                // the validation/turn wait (DESIGN.md §13) — keep it so a
+                // slow commit shows *where* the time went.
+                if s.stage == SpanStage::Commit && !s.detail.is_empty() {
+                    plan.push(("commit".to_string(), s.detail.clone()));
+                }
             }
             self.db.slow_log().offer(SlowQuery {
                 trace,
@@ -618,6 +624,13 @@ impl Session {
                     let mut out = String::new();
                     for (k, v) in snap.rows() {
                         let _ = writeln!(out, "{k:<32} {v}");
+                    }
+                    // Derived: how many commits each cohort fsync covered
+                    // (1.00 = no group-commit sharing).
+                    if snap.storage.commit_groups > 0 {
+                        let mean = snap.storage.commit_group_members as f64
+                            / snap.storage.commit_groups as f64;
+                        let _ = writeln!(out, "{:<32} {mean:.2}", "storage.mean_cohort");
                     }
                     Ok(out.trim_end().to_string())
                 }
@@ -1254,6 +1267,11 @@ mod tests {
         assert!(counter("txn.committed") >= 2, "{out}");
         assert!(counter("txn.read_txns") >= 1, "{out}");
         assert_eq!(counter("txn.write_txns"), counter("txn.committed"), "{out}");
+        // The multi-writer counters are reported (zero on this serial
+        // workload, but the operator must be able to see them).
+        assert_eq!(counter("txn.conflicts"), 0, "{out}");
+        assert_eq!(counter("commit.retries"), 0, "{out}");
+        assert!(out.contains("storage.commit_groups"), "{out}");
 
         // `explain` returns a plan + profile instead of rows.
         let out = feed(&mut s, "explain forall p in part suchthat (weight == 3)");

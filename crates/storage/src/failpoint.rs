@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::heap::RecordId;
-use crate::store::{HeapId, Store, StoreOp, StoreStats};
+use crate::store::{CommitTicket, HeapId, Store, StoreOp, StoreStats};
 
 /// Which failpoint fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,10 @@ pub enum FaultKind {
     /// acknowledgement was "lost" and an error returned instead. The
     /// batch is in doubt from the caller's point of view.
     CommitAckLoss,
+    /// The group-commit fsync window failed (`commit_durable`): the batch
+    /// is appended to the WAL but its durability was never confirmed, and
+    /// the whole cohort sharing the fsync fails with it. In doubt.
+    GroupSync,
     /// `checkpoint` failed. The WAL is left intact, so no data is lost.
     Checkpoint,
     /// `release` failed on the abort path (the reservation leaks until
@@ -45,6 +49,7 @@ impl FaultKind {
         match self {
             FaultKind::CommitPre => "append wal group (injected: no space left on device)",
             FaultKind::CommitAckLoss => "acknowledge commit (injected: ack lost after append)",
+            FaultKind::GroupSync => "group-commit fsync (injected: cohort sync failed)",
             FaultKind::Checkpoint => "checkpoint (injected)",
             FaultKind::Release => "release reservation (injected)",
             FaultKind::Read => "read record (injected)",
@@ -68,6 +73,8 @@ pub struct FailpointConfig {
     pub commit_pre: u32,
     /// 1-in-N chance a `commit` succeeds durably but reports an error.
     pub commit_ack_loss: u32,
+    /// 1-in-N chance a `commit_durable` (group-commit fsync) fails.
+    pub group_sync: u32,
     /// 1-in-N chance a `checkpoint` fails.
     pub checkpoint: u32,
     /// 1-in-N chance a `release` fails.
@@ -83,6 +90,7 @@ impl FailpointConfig {
             seed,
             commit_pre: 0,
             commit_ack_loss: 0,
+            group_sync: 0,
             checkpoint: 0,
             release: 0,
             read: 0,
@@ -96,6 +104,7 @@ impl FailpointConfig {
             seed,
             commit_pre: 6,
             commit_ack_loss: 10,
+            group_sync: 10,
             checkpoint: 8,
             release: 4,
             read: 0,
@@ -232,6 +241,43 @@ impl Store for FailpointStore {
             return Err(self.inject(FaultKind::CommitAckLoss));
         }
         Ok(())
+    }
+
+    fn commit_prepare(&self, ops: Vec<StoreOp>) -> Result<CommitTicket> {
+        // Same fault as the legacy path's pre-append failure: nothing was
+        // logged, the batch is definitely absent, the caller may retry.
+        if self.fires(FaultKind::CommitPre, self.cfg.commit_pre) {
+            return Err(self.inject(FaultKind::CommitPre));
+        }
+        self.inner.commit_prepare(ops)
+    }
+
+    fn commit_durable(&self, ticket: &CommitTicket) -> Result<()> {
+        // The cohort fsync "fails": the group sits in the WAL unsynced, so
+        // recovery may or may not replay it — the in-doubt window.
+        if self.fires(FaultKind::GroupSync, self.cfg.group_sync) {
+            return Err(self.inject(FaultKind::GroupSync));
+        }
+        self.inner.commit_durable(ticket)
+    }
+
+    fn commit_apply(&self, ticket: CommitTicket) -> Result<()> {
+        // Ack loss after the batch is durable and applied, mirroring the
+        // legacy commit path (decided first for schedule purity).
+        let ack_loss = self.fires(FaultKind::CommitAckLoss, self.cfg.commit_ack_loss);
+        self.inner.commit_apply(ticket)?;
+        if ack_loss {
+            return Err(self.inject(FaultKind::CommitAckLoss));
+        }
+        Ok(())
+    }
+
+    fn commit_abandon(&self, ticket: CommitTicket) {
+        self.inner.commit_abandon(ticket);
+    }
+
+    fn commit_apply_retryable(&self) -> bool {
+        self.inner.commit_apply_retryable()
     }
 
     fn scan(

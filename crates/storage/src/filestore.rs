@@ -14,13 +14,13 @@ use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::error::{Result, StorageError};
 use crate::heap::{HeapManager, RecordId};
 use crate::page::{Page, PageType};
 use crate::pager::{Pager, PagerStats};
-use crate::store::{HeapId, Store, StoreOp, StoreStats};
+use crate::store::{CommitTicket, HeapId, Store, StoreOp, StoreStats};
 use crate::wal::{Wal, WalOp};
 
 /// Store-level magic in the meta record.
@@ -87,6 +87,11 @@ struct StoreState {
     meta: Meta,
     sync: bool,
     checkpoint_bytes: u64,
+    /// Commits prepared ([`Store::commit_prepare`]) but not yet applied or
+    /// abandoned. While nonzero the WAL holds groups whose effects are not
+    /// in the pages yet, so checkpoints must not truncate it (DESIGN.md
+    /// §13 — the invariant replacing the old single-writer `txn_gate`).
+    pending_applies: u64,
 }
 
 impl StoreState {
@@ -105,6 +110,13 @@ impl StoreState {
             ));
         }
         Ok(())
+    }
+
+    fn apply_store_op(&mut self, pager: &Pager, op: &StoreOp) -> Result<()> {
+        match op {
+            StoreOp::Put { heap, rid, data } => self.heaps.put_at(pager, *heap, *rid, data),
+            StoreOp::Delete { heap, rid } => self.heaps.delete(pager, *heap, *rid),
+        }
     }
 
     fn apply_op(&mut self, pager: &Pager, op: &WalOp) -> Result<()> {
@@ -138,11 +150,34 @@ impl StoreState {
     }
 
     fn maybe_checkpoint(&mut self, pager: &Pager) -> Result<()> {
-        if self.wal.len() > self.checkpoint_bytes {
+        // Never truncate while prepared-but-unapplied groups exist: their
+        // effects are only in the WAL, and a crash after truncation would
+        // lose fsynced commits. The next commit to bring `pending_applies`
+        // to zero picks the checkpoint up.
+        if self.pending_applies == 0 && self.wal.len() > self.checkpoint_bytes {
             self.checkpoint(pager)?;
         }
         Ok(())
     }
+}
+
+/// Leader/follower fsync handoff for WAL group commit (DESIGN.md §13).
+/// One committer at a time becomes the *leader*, snapshots the highest
+/// appended group sequence, and issues a single `sync_data` that covers
+/// every group appended so far; the others wait on the condvar and find
+/// their sequence already durable when they wake.
+struct SyncShared {
+    /// Highest WAL group sequence appended by `commit_prepare`.
+    appended_seq: u64,
+    /// Highest sequence known durable (covered by a successful fsync).
+    synced_seq: u64,
+    /// Sequences at or below this failed their cohort fsync and must not
+    /// be reported durable, even if a later fsync succeeds — after a
+    /// failed fsync the kernel may have dropped the dirty pages, so a
+    /// later success proves nothing about the earlier bytes.
+    failed_upto: u64,
+    /// A leader is currently in the fsync window.
+    flushing: bool,
 }
 
 /// Durable, WAL-protected store rooted at a directory.
@@ -157,6 +192,16 @@ impl StoreState {
 pub struct FileStore {
     pager: Pager,
     state: Mutex<StoreState>,
+    /// Signalled when `pending_applies` drops to zero (checkpoint barrier).
+    apply_cv: Condvar,
+    /// Group-commit fsync coordination; a WAL file handle cloned at open
+    /// lets the leader fsync without holding the structural lock.
+    sync_shared: Mutex<SyncShared>,
+    sync_cv: Condvar,
+    wal_sync_handle: std::fs::File,
+    /// Successful cohort fsyncs / commits covered by one.
+    commit_groups: AtomicU64,
+    commit_group_members: AtomicU64,
     commits: AtomicU64,
     record_reads: AtomicU64,
     record_writes: AtomicU64,
@@ -227,6 +272,7 @@ impl FileStore {
                 meta,
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
+                pending_applies: 0,
             }
         } else {
             let meta_bytes = pager.with_page(0, |p| p.record(0).map(|r| r.to_vec()))?;
@@ -255,6 +301,7 @@ impl FileStore {
                 meta,
                 sync: opts.sync_commits,
                 checkpoint_bytes: opts.checkpoint_bytes,
+                pending_applies: 0,
             };
             // Pin every home rid the replay stream will address, so that
             // forward-target placement during replay cannot allocate a slot
@@ -281,9 +328,21 @@ impl FileStore {
             state
         };
         state.write_meta(&pager)?;
+        let wal_sync_handle = state.wal.try_clone_file()?;
         Ok(FileStore {
             pager,
             state: Mutex::new(state),
+            apply_cv: Condvar::new(),
+            sync_shared: Mutex::new(SyncShared {
+                appended_seq: 0,
+                synced_seq: 0,
+                failed_upto: 0,
+                flushing: false,
+            }),
+            sync_cv: Condvar::new(),
+            wal_sync_handle,
+            commit_groups: AtomicU64::new(0),
+            commit_group_members: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             record_reads: AtomicU64::new(0),
             record_writes: AtomicU64::new(0),
@@ -309,11 +368,40 @@ impl FileStore {
     }
 
     fn run_checkpoint(&self) -> Result<()> {
-        let r = self.state.lock().checkpoint(&self.pager);
+        // Barrier: wait until every prepared commit has been applied (or
+        // abandoned) before truncating the WAL — a group whose effects are
+        // only in the log must survive the checkpoint. The wait releases
+        // the structural lock, so appliers can drain. Bounded so a leaked
+        // ticket (crash-torture's `mem::forget`) degrades to a checkpoint
+        // failure instead of a hang; the WAL stays intact either way.
+        let r = {
+            let mut g = self.state.lock();
+            let mut timed_out = false;
+            while g.pending_applies > 0 && !timed_out {
+                timed_out = self
+                    .apply_cv
+                    .wait_for(&mut g, std::time::Duration::from_secs(5))
+                    .timed_out();
+            }
+            if g.pending_applies > 0 {
+                Err(StorageError::Internal(
+                    "checkpoint barrier: prepared commits never applied".into(),
+                ))
+            } else {
+                g.checkpoint(&self.pager)
+            }
+        };
         if r.is_err() {
             self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
         }
         r
+    }
+
+    fn finish_apply(&self, g: &mut StoreState) {
+        g.pending_applies -= 1;
+        if g.pending_applies == 0 {
+            self.apply_cv.notify_all();
+        }
     }
 }
 
@@ -415,6 +503,115 @@ impl Store for FileStore {
         Ok(())
     }
 
+    fn commit_prepare(&self, ops: Vec<StoreOp>) -> Result<CommitTicket> {
+        let mut g = self.state.lock();
+        let wal_ops: Vec<WalOp> = ops
+            .iter()
+            .map(|op| match op {
+                StoreOp::Put { heap, rid, data } => WalOp::Put {
+                    heap: *heap,
+                    rid: *rid,
+                    data: data.clone(),
+                },
+                StoreOp::Delete { heap, rid } => WalOp::Delete {
+                    heap: *heap,
+                    rid: *rid,
+                },
+            })
+            .collect();
+        // Append without syncing: durability is phase 2's job, shared
+        // across the cohort. On error nothing was logged (append_commit
+        // rolls the tail back), so the caller may retry.
+        let seq = g.wal.append_commit(&wal_ops, false)?;
+        let sync = g.sync;
+        g.pending_applies += 1;
+        drop(g);
+        if sync {
+            let mut s = self.sync_shared.lock();
+            s.appended_seq = s.appended_seq.max(seq);
+        }
+        Ok(CommitTicket {
+            // seq 0 means "no durability wait" (WAL sequences start at 1).
+            seq: if sync { seq } else { 0 },
+            ops,
+        })
+    }
+
+    fn commit_durable(&self, ticket: &CommitTicket) -> Result<()> {
+        if ticket.seq == 0 {
+            return Ok(()); // sync disabled when this commit was prepared
+        }
+        let seq = ticket.seq;
+        let mut s = self.sync_shared.lock();
+        loop {
+            if s.failed_upto >= seq {
+                return Err(StorageError::io(
+                    "group-commit fsync",
+                    std::io::Error::other("cohort leader fsync failed"),
+                ));
+            }
+            if s.synced_seq >= seq {
+                // A leader's fsync covered us: one cohort member, no fsync
+                // of our own.
+                self.commit_group_members.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if !s.flushing {
+                // Become the leader: fsync everything appended so far.
+                s.flushing = true;
+                let target = s.appended_seq;
+                drop(s);
+                let res = self.wal_sync_handle.sync_data();
+                s = self.sync_shared.lock();
+                s.flushing = false;
+                match res {
+                    Ok(()) => {
+                        s.synced_seq = s.synced_seq.max(target);
+                        self.commit_groups.fetch_add(1, Ordering::Relaxed);
+                        self.commit_group_members.fetch_add(1, Ordering::Relaxed);
+                        self.sync_cv.notify_all();
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        s.failed_upto = s.failed_upto.max(target);
+                        self.sync_cv.notify_all();
+                        return Err(StorageError::io("group-commit fsync", e));
+                    }
+                }
+            }
+            self.sync_cv.wait(&mut s);
+        }
+    }
+
+    fn commit_apply(&self, ticket: CommitTicket) -> Result<()> {
+        let mut g = self.state.lock();
+        let mut result = Ok(());
+        for op in &ticket.ops {
+            if matches!(op, StoreOp::Put { .. }) {
+                self.record_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Err(e) = g.apply_store_op(&self.pager, op) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.finish_apply(&mut g);
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        if result.is_ok() && g.maybe_checkpoint(&self.pager).is_err() {
+            self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn commit_abandon(&self, _ticket: CommitTicket) {
+        let mut g = self.state.lock();
+        self.finish_apply(&mut g);
+    }
+
+    fn commit_apply_retryable(&self) -> bool {
+        false // apply bookkeeping is once-only; recovery replays instead
+    }
+
     fn scan(
         &self,
         heap: HeapId,
@@ -442,10 +639,14 @@ impl Store for FileStore {
             record_reads: self.record_reads.load(Ordering::Relaxed),
             record_writes: self.record_writes.load(Ordering::Relaxed),
             wal_appends: g.wal.appends(),
-            wal_fsyncs: g.wal.fsyncs(),
+            // Cohort fsyncs happen on a cloned handle outside the Wal's
+            // own counter; fold them in so fsyncs-per-commit is honest.
+            wal_fsyncs: g.wal.fsyncs() + self.commit_groups.load(Ordering::Relaxed),
             replayed_groups: self.replayed_groups,
             faults_injected: 0,
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            commit_groups: self.commit_groups.load(Ordering::Relaxed),
+            commit_group_members: self.commit_group_members.load(Ordering::Relaxed),
         }
     }
 
@@ -458,6 +659,8 @@ impl Store for FileStore {
         self.pager.reset_stats();
         self.record_reads.store(0, Ordering::Relaxed);
         self.record_writes.store(0, Ordering::Relaxed);
+        self.commit_groups.store(0, Ordering::Relaxed);
+        self.commit_group_members.store(0, Ordering::Relaxed);
         g.wal.reset_counters();
     }
 

@@ -51,4 +51,4 @@ pub use failpoint::{FailpointConfig, FailpointStore, FaultKind};
 pub use filestore::FileStore;
 pub use heap::RecordId;
 pub use memstore::MemStore;
-pub use store::{HeapId, Store, StoreOp, StoreStats};
+pub use store::{CommitTicket, HeapId, Store, StoreOp, StoreStats};

@@ -57,6 +57,27 @@ pub struct StoreStats {
     /// Checkpoint attempts that failed; each leaves the WAL intact, so
     /// durability is unharmed (DESIGN.md §10).
     pub checkpoint_failures: u64,
+    /// Group-commit fsync cohorts: each counts one `sync_data` that made
+    /// one *or more* prepared commits durable (DESIGN.md §13).
+    pub commit_groups: u64,
+    /// Commits whose durability rode a cohort fsync. `commit_group_members
+    /// / commit_groups` is the mean cohort size; under contention it
+    /// exceeds 1 and fsyncs-per-commit drops below 1.
+    pub commit_group_members: u64,
+}
+
+/// A prepared-but-not-yet-applied commit, returned by
+/// [`Store::commit_prepare`] and consumed by [`Store::commit_apply`] (or
+/// [`Store::commit_abandon`] on failure). For stores without a WAL the
+/// ticket just carries the ops; [`crate::FileStore`] stamps `seq` with the
+/// WAL group sequence so followers can wait for a leader's fsync to cover
+/// them.
+#[derive(Debug, Clone)]
+pub struct CommitTicket {
+    /// WAL group sequence (0 for stores without a WAL).
+    pub seq: u64,
+    /// The batch, carried from prepare to apply.
+    pub ops: Vec<StoreOp>,
 }
 
 /// Abstract persistent store. Implementations: [`crate::FileStore`]
@@ -92,6 +113,47 @@ pub trait Store: Send + Sync {
 
     /// Atomically apply a batch: either every op becomes durable or none.
     fn commit(&self, ops: Vec<StoreOp>) -> Result<()>;
+
+    /// Phase 1 of the three-phase commit used by the multi-writer engine
+    /// (DESIGN.md §13): append the batch to the log *without* waiting for
+    /// durability. Called inside the engine's commit gate, so WAL order
+    /// matches epoch order. On error nothing was logged and the commit may
+    /// be retried.
+    ///
+    /// The default (for stores without a WAL) just wraps the ops in a
+    /// ticket; [`Store::commit_apply`] does all the work.
+    fn commit_prepare(&self, ops: Vec<StoreOp>) -> Result<CommitTicket> {
+        Ok(CommitTicket { seq: 0, ops })
+    }
+
+    /// Phase 2: make the prepared batch durable. Runs *outside* the
+    /// engine's locks; concurrent callers share one fsync via leader/
+    /// follower handoff in [`crate::FileStore`]. On error the batch is not
+    /// durable and must be abandoned ([`Store::commit_abandon`]).
+    fn commit_durable(&self, _ticket: &CommitTicket) -> Result<()> {
+        Ok(())
+    }
+
+    /// Phase 3: apply the batch to the live pages/heaps. Called under the
+    /// engine's apply gate so snapshot readers never observe a torn batch.
+    fn commit_apply(&self, ticket: CommitTicket) -> Result<()> {
+        self.commit(ticket.ops)
+    }
+
+    /// May the engine re-issue [`Store::commit_apply`] with a clone of the
+    /// same ticket after a transient failure? True for stores whose apply
+    /// *is* the whole (idempotent) commit — the default path. `false` for
+    /// [`crate::FileStore`], whose apply bookkeeping is once-only: a
+    /// durable-but-unapplied batch there is replayed by recovery instead.
+    fn commit_apply_retryable(&self) -> bool {
+        true
+    }
+
+    /// Abandon a prepared batch whose durability failed: releases any
+    /// bookkeeping (e.g. the checkpoint barrier) without applying. The
+    /// logged group stays in the WAL; recovery may still replay it, which
+    /// is the same in-doubt window as a lost commit ack (DESIGN.md §10).
+    fn commit_abandon(&self, _ticket: CommitTicket) {}
 
     /// Visit every record of `heap` in stable (record-id) order; the
     /// callback returns `false` to stop early.

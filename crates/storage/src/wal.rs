@@ -329,6 +329,19 @@ impl Wal {
         Ok(tx)
     }
 
+    /// Clone the underlying file handle so a group-commit leader can fsync
+    /// from outside the lock protecting the `Wal` itself. Safe because
+    /// `append_commit` writes through the raw fd (the `BufWriter` is
+    /// flushed first), so every appended group is visible to the kernel —
+    /// and hence covered by a `sync_data` on the clone — by the time
+    /// `append_commit` returns.
+    pub fn try_clone_file(&self) -> Result<std::fs::File> {
+        self.writer
+            .get_ref()
+            .try_clone()
+            .map_err(|e| StorageError::io("clone wal handle", e))
+    }
+
     /// Commit groups appended since open.
     pub fn appends(&self) -> u64 {
         self.appends

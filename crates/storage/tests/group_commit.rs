@@ -1,0 +1,274 @@
+//! WAL group commit and the checkpoint/commit interaction (DESIGN.md
+//! §13): one leader fsync covers a whole cohort of prepared commits;
+//! checkpoints wait for prepared-but-unapplied groups instead of
+//! truncating them away (the invariant that replaced the old
+//! single-writer `txn_gate` skip); an abandoned group is resolved as
+//! *lost* by the next checkpoint; and a crash mid-group-commit leaves
+//! every cohort member all-or-nothing on disk.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ode_storage::failpoint::{FailpointConfig, FailpointStore, FaultKind};
+use ode_storage::filestore::{FileStore, FileStoreOptions};
+use ode_storage::{RecordId, Store, StoreOp};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ode-group-commit-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_sync(dir: &Path) -> FileStore {
+    FileStore::open_with(
+        dir,
+        FileStoreOptions {
+            sync_commits: true,
+            ..FileStoreOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn put(heap: u32, rid: RecordId, data: &[u8]) -> StoreOp {
+    StoreOp::Put {
+        heap,
+        rid,
+        data: data.to_vec(),
+    }
+}
+
+fn wal_len(dir: &Path) -> u64 {
+    std::fs::metadata(dir.join("wal.odb")).unwrap().len()
+}
+
+/// One fsync, issued by whichever committer leads, covers every group
+/// appended before it. Deterministic version of the race: prepare three
+/// groups, then confirm durability newest-first — the first
+/// `commit_durable` becomes the leader and its single sync makes the
+/// other two instant followers.
+#[test]
+fn leader_fsync_covers_the_whole_cohort() {
+    let dir = temp_dir("cohort");
+    let store = open_sync(&dir);
+    let heap = store.create_heap().unwrap();
+    store.reset_stats(); // ignore the heap-creation group's fsync
+
+    let rids: Vec<RecordId> = (0..3).map(|_| store.reserve(heap, 16).unwrap()).collect();
+    let tickets: Vec<_> = rids
+        .iter()
+        .enumerate()
+        .map(|(i, &rid)| {
+            store
+                .commit_prepare(vec![put(heap, rid, format!("member {i}").as_bytes())])
+                .unwrap()
+        })
+        .collect();
+
+    // Newest first: the leader's fsync target is the highest appended
+    // sequence, so the two older groups are already covered.
+    for t in tickets.iter().rev() {
+        store.commit_durable(t).unwrap();
+    }
+    for t in tickets {
+        store.commit_apply(t).unwrap();
+    }
+
+    let stats = store.stats();
+    assert_eq!(stats.commit_groups, 1, "one fsync for the whole cohort");
+    assert_eq!(stats.commit_group_members, 3, "all three commits covered");
+    assert_eq!(stats.wal_fsyncs, 1, "fsyncs-per-commit is 1/3 here");
+    for (i, rid) in rids.iter().enumerate() {
+        assert_eq!(
+            store.read(heap, *rid).unwrap(),
+            format!("member {i}").as_bytes()
+        );
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The checkpoint barrier: while a prepared commit has not been applied
+/// (or abandoned), its effects exist only in the WAL, so `checkpoint`
+/// must wait rather than truncate. This is the invariant that replaced
+/// the old single-writer gate's "no checkpoint while a txn holds the
+/// gate" rule — see `Database::checkpoint`.
+#[test]
+fn checkpoint_waits_for_prepared_commits() {
+    let dir = temp_dir("barrier");
+    let store = Arc::new(open_sync(&dir));
+    let heap = store.create_heap().unwrap();
+    let rid = store.reserve(heap, 16).unwrap();
+    let ticket = store
+        .commit_prepare(vec![put(heap, rid, b"only in the WAL so far")])
+        .unwrap();
+    store.commit_durable(&ticket).unwrap();
+
+    let finished = Arc::new(AtomicBool::new(false));
+    let ckpt = {
+        let store = Arc::clone(&store);
+        let finished = Arc::clone(&finished);
+        std::thread::spawn(move || {
+            let r = store.checkpoint();
+            finished.store(true, Ordering::Release);
+            r
+        })
+    };
+    // The checkpoint must still be parked behind the barrier.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    assert!(
+        !finished.load(Ordering::Acquire),
+        "checkpoint truncated the WAL under a prepared-but-unapplied commit"
+    );
+    assert!(wal_len(&dir) > 0, "the prepared group is still logged");
+
+    store.commit_apply(ticket).unwrap();
+    ckpt.join().unwrap().unwrap();
+    assert!(finished.load(Ordering::Acquire));
+    assert_eq!(wal_len(&dir), 0, "apply released the barrier");
+    assert_eq!(store.read(heap, rid).unwrap(), b"only in the WAL so far");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cohort whose fsync fails is in doubt: the group sits in the WAL
+/// unsynced. The engine abandons the ticket; the next checkpoint then
+/// resolves the in-doubt group as *lost* (pages without the group are
+/// flushed, the WAL is truncated) — the same contract as ack-loss on
+/// the legacy path, and the store stays healthy across reopen.
+#[test]
+fn failed_group_sync_is_resolved_as_lost_by_checkpoint() {
+    let dir = temp_dir("group-sync-fault");
+    let inner: Arc<dyn Store> = Arc::new(open_sync(&dir));
+    let fp = FailpointStore::new(Arc::clone(&inner), FailpointConfig::disabled(1));
+    let heap = fp.create_heap().unwrap();
+    let rid = fp.reserve(heap, 16).unwrap();
+
+    let ticket = fp
+        .commit_prepare(vec![put(heap, rid, b"never confirmed durable")])
+        .unwrap();
+    fp.force(FaultKind::GroupSync);
+    let err = fp.commit_durable(&ticket).unwrap_err();
+    assert!(err.is_transient(), "{err}");
+    assert_eq!(fp.take_last_fault(), Some(FaultKind::GroupSync));
+    fp.commit_abandon(ticket);
+
+    // The abandon released the barrier, so the checkpoint may truncate
+    // the unconfirmed group: in-doubt resolves to lost.
+    fp.checkpoint().unwrap();
+    assert_eq!(wal_len(&dir), 0);
+    drop(fp);
+    drop(inner);
+
+    let store = open_sync(&dir);
+    assert_eq!(store.replayed_groups(), 0);
+    assert!(
+        store.read(heap, rid).is_err(),
+        "an unacknowledged commit must not resurrect"
+    );
+    // The slot is reusable and the store fully functional.
+    let rid2 = store.reserve(heap, 16).unwrap();
+    store
+        .commit(vec![put(heap, rid2, b"life goes on")])
+        .unwrap();
+    assert_eq!(store.read(heap, rid2).unwrap(), b"life goes on");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash ("kill") in the middle of a group commit: three cohort members
+/// are appended, none applied, and the process dies mid-write of the
+/// last group. Recovery must replay each complete group atomically —
+/// both records of a two-op member or neither — and drop the torn tail
+/// group entirely. No half-applied member, ever.
+#[test]
+fn kill_during_group_commit_keeps_members_all_or_nothing() {
+    let dir = temp_dir("kill-mid-group");
+    let heap;
+    let mut rids: Vec<(RecordId, RecordId)> = Vec::new();
+    let mut offsets = Vec::new(); // WAL end offset after each member
+    {
+        let store = open_sync(&dir);
+        heap = store.create_heap().unwrap();
+        for i in 0..3 {
+            let a = store.reserve(heap, 16).unwrap();
+            let b = store.reserve(heap, 16).unwrap();
+            let ticket = store
+                .commit_prepare(vec![
+                    put(heap, a, format!("m{i} first half").as_bytes()),
+                    put(heap, b, format!("m{i} second half").as_bytes()),
+                ])
+                .unwrap();
+            rids.push((a, b));
+            offsets.push(wal_len(&dir));
+            // Leak the ticket: the crash happens before durable/apply.
+            std::mem::forget(ticket);
+        }
+        // Kill: no fsync confirmed, nothing applied, Drop never runs.
+        std::mem::forget(store);
+    }
+    // The "kill" tears the last member's WAL group in half.
+    let start2 = offsets[1];
+    let end2 = offsets[2];
+    let f = OpenOptions::new()
+        .write(true)
+        .open(dir.join("wal.odb"))
+        .unwrap();
+    f.set_len(start2 + (end2 - start2) / 2).unwrap();
+    drop(f);
+
+    let store = open_sync(&dir);
+    assert_eq!(
+        store.replayed_groups(),
+        3,
+        "heap creation + members 0 and 1; the torn member 2 must not replay"
+    );
+    for (i, (a, b)) in rids.iter().take(2).enumerate() {
+        assert_eq!(
+            store.read(heap, *a).unwrap(),
+            format!("m{i} first half").as_bytes(),
+            "member {i} replayed whole"
+        );
+        assert_eq!(
+            store.read(heap, *b).unwrap(),
+            format!("m{i} second half").as_bytes()
+        );
+    }
+    let (a2, b2) = rids[2];
+    assert!(store.read(heap, a2).is_err(), "torn member: no first half");
+    assert!(store.read(heap, b2).is_err(), "torn member: no second half");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A leaked ticket (a committer that died between prepare and apply
+/// without even abandoning) must degrade the checkpoint to a bounded
+/// failure — WAL intact — never a hang or a silent truncation.
+#[test]
+fn leaked_ticket_fails_the_checkpoint_but_keeps_the_wal() {
+    let dir = temp_dir("leaked-ticket");
+    let store = open_sync(&dir);
+    let heap = store.create_heap().unwrap();
+    let rid = store.reserve(heap, 16).unwrap();
+    let ticket = store
+        .commit_prepare(vec![put(heap, rid, b"prepared, never finished")])
+        .unwrap();
+    std::mem::forget(ticket);
+
+    let err = store.checkpoint().unwrap_err();
+    assert!(
+        err.to_string().contains("checkpoint barrier"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        wal_len(&dir) > 0,
+        "the WAL must survive the failed checkpoint"
+    );
+    assert!(store.stats().checkpoint_failures >= 1);
+    // Leak the store too: its Drop would retry the checkpoint (another
+    // bounded wait) before giving up.
+    std::mem::forget(store);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -314,7 +314,12 @@ fn snapshot_delta_reset_and_json() {
     assert_eq!(d.txn.committed, 3);
     assert_eq!(d.versions.newversions, 1);
     assert!(d.versions.specific_derefs >= 1);
-    assert!(d.storage.wal_appends >= 3, "durable commits hit the WAL");
+    // Two of the three commits wrote; the read-only one claims no epoch
+    // and appends nothing (the multi-writer read-only short-circuit).
+    assert!(
+        d.storage.wal_appends >= 2,
+        "durable write commits hit the WAL"
+    );
     assert!(d.storage.record_writes >= 2);
     assert!(d.txn.commit_latency.count >= 3);
 
