@@ -4,12 +4,14 @@
 //! checks over constraint and trigger expressions, and the §3.2
 //! fixpoint-safety check.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use ode_model::{ClassId, Schema, TriggerAction};
 
 use crate::infer::{self, Scope};
-use crate::{dedup, sat, Diagnostic, Severity, StmtKind, A002, A003, A005, A007, A009, A010, A201};
+use crate::{
+    dedup, interfere, sat, Diagnostic, Severity, StmtKind, A002, A003, A005, A007, A009, A010, A201,
+};
 
 /// Analyze a just-defined class (and everything it inherits). Called by
 /// the engine after the definition has been applied to a scratch copy of
@@ -103,6 +105,32 @@ pub fn analyze_class(schema: &Schema, class: ClassId) -> Vec<Diagnostic> {
         }
     }
     check_trigger_cycles(&name, &triggers, &mut diags);
+    // A302 — write-skew-prone pairs: unlike the cycle check, this covers
+    // *all* triggers (a once-only trigger still races a concurrent one
+    // under decoupled firing). Footprints here are member sets: the
+    // condition's free identifiers are its read set, `Assign` targets
+    // the write set.
+    let trigger_footprints: Vec<(String, bool, BTreeSet<String>, BTreeSet<String>)> = triggers
+        .iter()
+        .map(|(_, t)| {
+            let reads = t
+                .condition
+                .free_idents()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            let writes = t
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    TriggerAction::Assign { field, .. } => Some(field.clone()),
+                    TriggerAction::Callback { .. } => None,
+                })
+                .collect();
+            (t.name.clone(), t.perpetual, reads, writes)
+        })
+        .collect();
+    diags.extend(interfere::trigger_write_skew(&trigger_footprints));
     // Methods are registered at runtime *after* the class is defined
     // (registration needs the class to exist), so an unknown method in a
     // constraint or trigger at DDL time is not evidence of an error —

@@ -1,0 +1,246 @@
+//! The footprint pass: infer, per statement, a sound over-approximation
+//! of the clusters it reads and writes — which classes, deep or shallow,
+//! which index could answer it, which key ranges the predicate pins, and
+//! which fields an update assigns.
+//!
+//! A footprint is a *proof obligation carrier*: everything a statement
+//! can read is inside `reads`, everything it can write inside `writes`.
+//! The interference analyzer ([`crate::interfere`]) intersects footprints
+//! to find statically-guaranteed conflicts, and the engine narrows its
+//! commit-time validation to the proven key ranges (DESIGN.md §14).
+
+use ode_model::range::{extract_field_ranges, extract_qualified_ranges, FieldRange, ValueRange};
+use ode_model::{Expr, Schema, Value};
+
+use crate::{CatalogView, StmtKind};
+
+/// One cluster touched by a statement: the class (hence its extent
+/// heaps), how much of the hierarchy, the index that could answer it,
+/// the key ranges the predicate pins, and — for writes — the assigned
+/// fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterAccess {
+    /// Class whose extent is touched.
+    pub class: String,
+    /// Deep (hierarchy) access, or shallow (`only`).
+    pub deep: bool,
+    /// Indexed field an index probe could answer this access from.
+    pub index: Option<String>,
+    /// Per-field intervals the predicate implies for every touched
+    /// object (empty = whole extent).
+    pub ranges: Vec<FieldRange>,
+    /// Fields written (`update … set`, `pnew` initializers). Empty for
+    /// reads and for whole-object writes (`delete`).
+    pub fields: Vec<String>,
+}
+
+impl ClusterAccess {
+    fn read(class: &str, deep: bool) -> ClusterAccess {
+        ClusterAccess {
+            class: class.to_string(),
+            deep,
+            index: None,
+            ranges: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.deep {
+            write!(f, "only ")?;
+        }
+        write!(f, "{}", self.class)?;
+        if !self.ranges.is_empty() {
+            let parts: Vec<String> = self.ranges.iter().map(|r| r.to_string()).collect();
+            write!(f, "[{}]", parts.join(", "))?;
+        }
+        if let Some(field) = &self.index {
+            write!(f, " via index({field})")?;
+        }
+        if !self.fields.is_empty() {
+            write!(f, " set {}", self.fields.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A statement's inferred read/write footprint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Footprint {
+    /// Clusters (and ranges) the statement may read.
+    pub reads: Vec<ClusterAccess>,
+    /// Clusters (and ranges/fields) the statement may write.
+    pub writes: Vec<ClusterAccess>,
+}
+
+impl Footprint {
+    /// Is the statement proven to write nothing? A read-only statement
+    /// needs no epoch claim, no commit validation, and can run on the
+    /// snapshot read path.
+    pub fn read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+impl std::fmt::Display for Footprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let join = |accs: &[ClusterAccess]| -> String {
+            if accs.is_empty() {
+                "-".to_string()
+            } else {
+                accs.iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            }
+        };
+        write!(
+            f,
+            "reads {}; writes {}{}",
+            join(&self.reads),
+            join(&self.writes),
+            if self.read_only() { " (read-only)" } else { "" }
+        )
+    }
+}
+
+/// Infer the footprint of one statement. Sound by construction: ranges
+/// come from [`extract_field_ranges`], which only narrows on conjuncts
+/// the predicate implies; anything unanalyzable widens to whole-extent.
+pub fn footprint_of(
+    schema: &Schema,
+    catalog: Option<&CatalogView>,
+    stmt: &StmtKind<'_>,
+) -> Footprint {
+    match stmt {
+        StmtKind::Query {
+            bindings, suchthat, ..
+        } => Footprint {
+            reads: read_accesses(schema, catalog, bindings, *suchthat),
+            writes: Vec::new(),
+        },
+        StmtKind::Update {
+            bindings,
+            suchthat,
+            assigns,
+        } => {
+            let reads = read_accesses(schema, catalog, bindings, *suchthat);
+            let mut write = reads.first().cloned().unwrap_or_default_access(bindings);
+            write.fields = assigns.iter().map(|(f, _)| f.clone()).collect();
+            write.fields.sort();
+            write.fields.dedup();
+            // An assigned field's range only holds for the *pre-write*
+            // state (`suchthat k == 1 set k = 5` writes objects whose
+            // post-state escapes [1,1]); drop those ranges so no
+            // disjointness proof leans on them.
+            write.ranges.retain(|r| !write.fields.contains(&r.field));
+            Footprint {
+                reads,
+                writes: vec![write],
+            }
+        }
+        StmtKind::Delete {
+            bindings, suchthat, ..
+        } => {
+            let reads = read_accesses(schema, catalog, bindings, *suchthat);
+            let write = reads.first().cloned().unwrap_or_default_access(bindings);
+            Footprint {
+                reads,
+                writes: vec![write],
+            }
+        }
+        StmtKind::Pnew { class, inits } => {
+            let mut ranges = Vec::new();
+            let mut fields = Vec::new();
+            for (field, expr) in inits.iter() {
+                fields.push(field.clone());
+                if let Some(v) = literal_value(expr) {
+                    ranges.push(FieldRange {
+                        field: field.clone(),
+                        range: ValueRange::point(v),
+                    });
+                }
+            }
+            fields.sort();
+            fields.dedup();
+            Footprint {
+                reads: Vec::new(),
+                writes: vec![ClusterAccess {
+                    class: class.to_string(),
+                    deep: false,
+                    index: None,
+                    ranges,
+                    fields,
+                }],
+            }
+        }
+    }
+}
+
+/// Per-binding read accesses for the query-shaped statements.
+fn read_accesses(
+    schema: &Schema,
+    catalog: Option<&CatalogView>,
+    bindings: &[(String, String, bool)],
+    suchthat: Option<&Expr>,
+) -> Vec<ClusterAccess> {
+    let single = bindings.len() == 1;
+    bindings
+        .iter()
+        .map(|(var, class, deep)| {
+            let mut acc = ClusterAccess::read(class, *deep);
+            if let Some(pred) = suchthat {
+                // In a join, a bare identifier could resolve against any
+                // binding — only `var.field` references are attributable.
+                acc.ranges = if single {
+                    extract_field_ranges(pred, Some(var))
+                } else {
+                    extract_qualified_ranges(pred, var)
+                };
+                // The engine probes an index only over the deep extent
+                // (committed index entries summarize the hierarchy).
+                if *deep {
+                    if let (Some(cat), Ok(def)) = (catalog, schema.class_by_name(class)) {
+                        acc.index = acc
+                            .ranges
+                            .iter()
+                            .map(|r| r.field.as_str())
+                            .find(|f| cat.is_indexed(def.id, f))
+                            .map(str::to_string);
+                    }
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A literal initializer value, for `pnew` point ranges.
+fn literal_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Lit(v) => Some(v.clone()),
+        Expr::Unary(ode_model::UnOp::Neg, inner) => match inner.as_ref() {
+            Expr::Lit(Value::Int(i)) => Some(Value::Int(-i)),
+            Expr::Lit(Value::Float(x)) => Some(Value::Float(-x)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Fallback write access when the read side produced nothing (unknown
+/// class): still name the class so interference stays conservative.
+trait OrDefaultAccess {
+    fn unwrap_or_default_access(self, bindings: &[(String, String, bool)]) -> ClusterAccess;
+}
+
+impl OrDefaultAccess for Option<ClusterAccess> {
+    fn unwrap_or_default_access(self, bindings: &[(String, String, bool)]) -> ClusterAccess {
+        self.unwrap_or_else(|| {
+            let (_, class, deep) = &bindings[0];
+            ClusterAccess::read(class, *deep)
+        })
+    }
+}

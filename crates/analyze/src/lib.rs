@@ -33,7 +33,9 @@
 //!   deletes from it is rejected.
 
 mod ddl;
+pub mod footprint;
 mod infer;
+pub mod interfere;
 mod sat;
 
 use std::collections::HashSet;
@@ -42,6 +44,8 @@ use std::fmt;
 use ode_model::{ClassId, Expr, Schema};
 
 pub use ddl::{analyze_class, check_fixpoint_body};
+pub use footprint::{footprint_of, ClusterAccess, Footprint};
+pub use interfere::batch_interference;
 
 // ------------------------------------------------------------ diagnostics
 
@@ -177,6 +181,12 @@ pub(crate) const A103: &str = "A103"; // is-test outside the hierarchy
 // `A2xx` are active-database lints (warnings): trigger/scheduler shapes
 // that run, but probably not the way the author meant.
 pub(crate) const A201: &str = "A201"; // perpetual trigger re-satisfies itself
+
+// `A3xx` are interference lints (warnings): footprints that cannot be
+// proven disjoint, so the statements or triggers are going to serialize
+// — or abort each other — at run time.
+pub(crate) const A301: &str = "A301"; // interfering statement pair in a batch
+pub(crate) const A302: &str = "A302"; // write-skew-prone trigger pair
 
 // ------------------------------------------------------------ inputs
 
@@ -439,10 +449,13 @@ fn check_assignment(
     }
 }
 
-/// A102: an equality conjunct on a member of a single-binding query
-/// where no mentioned member is indexed — the query will scan the
-/// extent. Cross-referenced with `explain`'s plan strategy, which would
-/// show `deep extent scan` for the same statement.
+/// A102: an equality conjunct on a member where no mentioned member of
+/// that binding is indexed — the binding will scan its extent. For a
+/// single binding any equality against a literal counts; in a join,
+/// each binding is checked separately and `a.k == b.owner`-style
+/// equalities count too (that is exactly the probe key an index join
+/// would want). Cross-referenced with `explain`'s plan strategy, which
+/// would show `deep extent scan` for the same statement.
 fn lint_unindexed(
     schema: &Schema,
     catalog: &CatalogView,
@@ -451,36 +464,44 @@ fn lint_unindexed(
     pred: &Expr,
     diags: &mut Vec<Diagnostic>,
 ) {
-    if bindings.len() != 1 {
-        return; // join planning has its own cost model
+    let single = bindings.len() == 1;
+    for (var, class, _) in bindings {
+        let Ok(def) = schema.class_by_name(class) else {
+            continue;
+        };
+        let eq_members = if single {
+            sat::equality_members(pred, var, def)
+        } else {
+            sat::join_equality_members(pred, var, def)
+        };
+        if eq_members.is_empty() {
+            continue;
+        }
+        if eq_members
+            .iter()
+            .any(|f| catalog.is_indexed(def.id, f.as_str()))
+        {
+            continue;
+        }
+        let field = &eq_members[0];
+        let detail = if single {
+            "the query will scan the extent".to_string()
+        } else {
+            format!("the join will scan `{var}`'s extent per outer row")
+        };
+        diags.push(
+            Diagnostic::new(
+                A102,
+                Severity::Warning,
+                format!(
+                    "equality on `{class}.{field}` has no index; {detail} \
+                     (`explain` shows the plan, `create index {class} {field}` \
+                     would probe)"
+                ),
+            )
+            .locate(src, field),
+        );
     }
-    let (var, class, _) = &bindings[0];
-    let Ok(def) = schema.class_by_name(class) else {
-        return;
-    };
-    let eq_members = sat::equality_members(pred, var, def);
-    if eq_members.is_empty() {
-        return;
-    }
-    if eq_members
-        .iter()
-        .any(|f| catalog.is_indexed(def.id, f.as_str()))
-    {
-        return;
-    }
-    let field = &eq_members[0];
-    diags.push(
-        Diagnostic::new(
-            A102,
-            Severity::Warning,
-            format!(
-                "equality on `{class}.{field}` has no index; the query will \
-                 scan the extent (`explain` shows the plan, `create index \
-                 {class} {field}` would probe)"
-            ),
-        )
-        .locate(src, field),
-    );
 }
 
 /// Drop exact-duplicate diagnostics (the same unresolved name reported

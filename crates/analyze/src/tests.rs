@@ -384,14 +384,21 @@ fn once_triggers_do_not_cycle() {
                 .field_default("a", Type::Int, 0i64)
                 .field_default("b", Type::Int, 0i64)
                 // Same dependency shape as above, but once-only triggers
-                // fire at most once each: no unbounded cascade.
+                // fire at most once each: no unbounded cascade, so no
+                // A009. The pair is still write-skew-prone — each one's
+                // condition reads what the other writes, so decoupled
+                // firing order decides the outcome — which is A302.
                 .trigger("ping", &[], false, "a > 0")
                 .action_assign("b", "b + 1")
                 .trigger("pong", &[], false, "b > 0")
                 .action_assign("a", "a + 1"),
         )
         .unwrap();
-    assert!(analyze_class(&s, id).is_empty());
+    let diags = analyze_class(&s, id);
+    assert_eq!(codes(&diags), vec![A302]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("ping"), "{diags:?}");
+    assert!(diags[0].message.contains("pong"), "{diags:?}");
 }
 
 #[test]
@@ -501,4 +508,228 @@ fn diagnostics_render_with_code_and_severity() {
         Severity::Warning,
         String::new()
     )]));
+}
+
+// ------------------------------------------------------------ footprints
+
+fn update_footprint(schema: &Schema, binds: &[(&str, &str)], pred: &str, set: &str) -> Footprint {
+    let b = bindings(binds);
+    let p = parse_expr(pred).unwrap();
+    let assigns: Vec<(String, Expr)> = set
+        .split(',')
+        .map(|a| {
+            let (f, e) = a.split_once('=').unwrap();
+            (f.trim().to_string(), parse_expr(e.trim()).unwrap())
+        })
+        .collect();
+    footprint_of(
+        schema,
+        None,
+        &StmtKind::Update {
+            bindings: &b,
+            suchthat: Some(&p),
+            assigns: &assigns,
+        },
+    )
+}
+
+#[test]
+fn query_footprint_is_read_only_with_predicate_ranges() {
+    let s = fixture();
+    let b = bindings(&[("s", "stockitem")]);
+    let pred = parse_expr("quantity > 10 && quantity < 20 && name == \"dram\"").unwrap();
+    let fp = footprint_of(
+        &s,
+        None,
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: Some(&pred),
+            by: None,
+        },
+    );
+    assert!(fp.read_only());
+    assert_eq!(fp.reads.len(), 1);
+    let acc = &fp.reads[0];
+    assert_eq!(acc.class, "stockitem");
+    assert!(!acc.deep);
+    let fields: Vec<&str> = acc.ranges.iter().map(|r| r.field.as_str()).collect();
+    assert_eq!(fields, vec!["name", "quantity"]);
+    let rendered = fp.to_string();
+    assert!(rendered.contains("read-only"), "{rendered}");
+    assert!(rendered.contains("quantity"), "{rendered}");
+}
+
+#[test]
+fn update_footprint_drops_ranges_on_assigned_fields() {
+    let s = fixture();
+    let fp = update_footprint(
+        &s,
+        &[("s", "stockitem")],
+        "quantity == 5 && on_order == 0",
+        "quantity = 9",
+    );
+    assert!(!fp.read_only());
+    // The read side keeps both ranges; the write side must drop the
+    // range on `quantity`, whose post-state escapes [5,5].
+    let read_fields: Vec<&str> = fp.reads[0]
+        .ranges
+        .iter()
+        .map(|r| r.field.as_str())
+        .collect();
+    assert_eq!(read_fields, vec!["on_order", "quantity"]);
+    let write = &fp.writes[0];
+    assert_eq!(write.fields, vec!["quantity"]);
+    let write_fields: Vec<&str> = write.ranges.iter().map(|r| r.field.as_str()).collect();
+    assert_eq!(write_fields, vec!["on_order"]);
+}
+
+#[test]
+fn deep_binding_with_catalog_reports_the_probing_index() {
+    let s = fixture();
+    let mut cat = CatalogView::default();
+    cat.indexed
+        .insert((s.id_of("stockitem").unwrap(), "quantity".to_string()));
+    let b = vec![("s".to_string(), "stockitem".to_string(), true)];
+    let pred = parse_expr("quantity == 7").unwrap();
+    let fp = footprint_of(
+        &s,
+        Some(&cat),
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: Some(&pred),
+            by: None,
+        },
+    );
+    assert_eq!(fp.reads[0].index.as_deref(), Some("quantity"));
+}
+
+#[test]
+fn pnew_footprint_is_a_point_write() {
+    let s = fixture();
+    let inits = vec![
+        ("name".to_string(), parse_expr("\"dram\"").unwrap()),
+        ("quantity".to_string(), parse_expr("5").unwrap()),
+    ];
+    let fp = footprint_of(
+        &s,
+        None,
+        &StmtKind::Pnew {
+            class: "stockitem",
+            inits: &inits,
+        },
+    );
+    assert!(!fp.read_only());
+    assert!(fp.reads.is_empty());
+    let w = &fp.writes[0];
+    assert_eq!(w.class, "stockitem");
+    assert_eq!(w.fields, vec!["name", "quantity"]);
+    assert_eq!(w.ranges.len(), 2);
+}
+
+#[test]
+fn batch_interference_proves_disjoint_ranges_apart() {
+    let s = fixture();
+    let lo = update_footprint(&s, &[("s", "stockitem")], "quantity < 10", "price = 1.0");
+    let hi = update_footprint(&s, &[("s", "stockitem")], "quantity > 20", "price = 2.0");
+    assert!(batch_interference(&[(1, lo.clone()), (2, hi)]).is_empty());
+
+    // Overlapping ranges on the same cluster interfere: A301.
+    let mid = update_footprint(&s, &[("s", "stockitem")], "quantity < 15", "price = 3.0");
+    let diags = batch_interference(&[(1, lo.clone()), (2, mid)]);
+    assert_eq!(codes(&diags), vec![A301]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(diags[0].message.contains("lines 1 and 2"), "{diags:?}");
+
+    // A read overlapping a write interferes too.
+    let b = bindings(&[("s", "stockitem")]);
+    let pred = parse_expr("quantity == 5").unwrap();
+    let reader = footprint_of(
+        &s,
+        None,
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: Some(&pred),
+            by: None,
+        },
+    );
+    assert_eq!(
+        codes(&batch_interference(&[(1, lo), (2, reader.clone())])),
+        vec![A301]
+    );
+
+    // Two readers never interfere; different clusters never interfere.
+    assert!(batch_interference(&[(1, reader.clone()), (2, reader.clone())]).is_empty());
+    let other = update_footprint(&s, &[("p", "person")], "age > 0", "age = 1");
+    assert!(batch_interference(&[(1, reader), (2, other)]).is_empty());
+}
+
+#[test]
+fn interference_never_trusts_ranges_on_assigned_fields() {
+    let s = fixture();
+    // Writer moves rows INTO the reader's range: suchthat quantity == 1
+    // set quantity = 5 vs a reader of quantity == 5. The pre-state
+    // ranges are disjoint, but the post-state lands on the reader.
+    let mover = update_footprint(&s, &[("s", "stockitem")], "quantity == 1", "quantity = 5");
+    let b = bindings(&[("s", "stockitem")]);
+    let pred = parse_expr("quantity == 5").unwrap();
+    let reader = footprint_of(
+        &s,
+        None,
+        &StmtKind::Query {
+            bindings: &b,
+            suchthat: Some(&pred),
+            by: None,
+        },
+    );
+    assert_eq!(
+        codes(&batch_interference(&[(1, mover), (2, reader)])),
+        vec![A301]
+    );
+}
+
+#[test]
+fn join_equality_without_an_index_is_a102_per_binding() {
+    let s = fixture();
+    let b = bindings(&[("s", "stockitem"), ("p", "person")]);
+    let pred = parse_expr("s.name == p.name").unwrap();
+    let stmt = StmtKind::Query {
+        bindings: &b,
+        suchthat: Some(&pred),
+        by: None,
+    };
+    let src = "s.name == p.name";
+    let empty = CatalogView::default();
+    let diags = analyze_stmt(&s, Some(&empty), src, &stmt);
+    assert_eq!(codes(&diags), vec![A102, A102], "{diags:?}");
+    assert!(diags[0].message.contains("stockitem.name"), "{diags:?}");
+    assert!(diags[1].message.contains("person.name"), "{diags:?}");
+
+    // Indexing one side silences that side only.
+    let mut cat = CatalogView::default();
+    cat.indexed
+        .insert((s.id_of("person").unwrap(), "name".to_string()));
+    let diags = analyze_stmt(&s, Some(&cat), src, &stmt);
+    assert_eq!(codes(&diags), vec![A102]);
+    assert!(diags[0].message.contains("stockitem.name"), "{diags:?}");
+}
+
+#[test]
+fn mixed_perpetual_and_once_trigger_pair_is_a302() {
+    let mut s = Schema::new();
+    let id = s
+        .define(
+            ClassBuilder::new("acct")
+                .field_default("a", Type::Int, 0i64)
+                .field_default("b", Type::Int, 0i64)
+                // One perpetual, one once-only: the cycle check skips the
+                // pair (once-only triggers break cycles), but the mutual
+                // read/write crossing is still order-dependent.
+                .trigger("ping", &[], true, "a > 0")
+                .action_assign("b", "b + 1")
+                .trigger("pong", &[], false, "b > 0")
+                .action_assign("a", "a + 1"),
+        )
+        .unwrap();
+    let diags = analyze_class(&s, id);
+    assert_eq!(codes(&diags), vec![A302], "{diags:?}");
 }

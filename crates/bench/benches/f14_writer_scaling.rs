@@ -14,12 +14,20 @@
 //!   `Database::transaction` retry loop re-runs them. Throughput here
 //!   bounds the validation + retry overhead, and the final counter
 //!   value proves no update was lost.
+//! * **disjoint-range**: every thread updates its own *predicate
+//!   range* of one shared, unindexed cluster via OQL — the shape
+//!   DESIGN.md §14's footprint-driven validation exists for. Before
+//!   ranged scan entries, every overlapping pair conflicted on the
+//!   whole-heap scan promise; now validation intersects the proven
+//!   key ranges and admits them (`narrowed` counts those admissions).
 //!
 //! Per cell we report aggregate committed txns/sec, conflicts, retry
-//! count, fsyncs-per-commit (group-commit effectiveness), and the mean
-//! cohort size. Output: a table on stderr and `BENCH_f14.json` at the
-//! repo root (override with `ODE_BENCH_OUT`). `ODE_BENCH_QUICK=1`
-//! shrinks the windows for CI.
+//! count, narrowed validations, fsyncs-per-commit (group-commit
+//! effectiveness), and the mean cohort size. Output: a table on stderr
+//! and `BENCH_f14.json` at the repo root (override with
+//! `ODE_BENCH_OUT`); when a previous `BENCH_f14.json` exists, each row
+//! also records `prev_txn_per_sec`/`delta_pct` against it.
+//! `ODE_BENCH_QUICK=1` shrinks the windows for CI.
 //!
 //! Credibility: writer *scaling* measured on one hardware thread is a
 //! time-slicing artifact, so such runs are flagged `credible: false`
@@ -63,6 +71,7 @@ struct Row {
     ops_s: f64,
     conflicts: u64,
     retries: u64,
+    narrowed: u64,
     fsyncs_per_commit: f64,
     mean_cohort: f64,
 }
@@ -137,6 +146,85 @@ fn run(db: &Database, oids: &[Oid], threads: usize, window: Duration) -> (u64, D
     (total.load(Ordering::Relaxed), elapsed)
 }
 
+/// Width of each thread's private key band in `disjoint_range` mode,
+/// and rows seeded per band. No index on `k`: predicates take the
+/// extent-scan path, so only the analyzer-proven ranges keep the
+/// writers from promising the whole heap to the validator.
+const RANGE_SPAN: i64 = 100;
+const ROWS_PER_RANGE: i64 = 4;
+
+/// Fresh durable database with one shared `item` cluster holding
+/// `ROWS_PER_RANGE` rows per thread band, fsync on commit.
+fn range_db(tag: &str, threads: usize) -> Database {
+    let dir = workload::temp_dir(tag);
+    let db = Database::open_with(
+        &dir,
+        FileStoreOptions {
+            sync_commits: true,
+            ..FileStoreOptions::default()
+        },
+        DbConfig::default(),
+    )
+    .expect("open");
+    db.define_class(
+        ClassBuilder::new("item")
+            .field_default("k", Type::Int, 0)
+            .field_default("n", Type::Int, 0),
+    )
+    .expect("schema");
+    db.create_cluster("item").expect("cluster");
+    db.transaction(|tx| {
+        for t in 0..threads as i64 {
+            for i in 0..ROWS_PER_RANGE {
+                tx.execute(&format!("pnew item (k = {})", t * RANGE_SPAN + i))?;
+            }
+        }
+        Ok(())
+    })
+    .expect("seed items");
+    db.checkpoint().expect("checkpoint");
+    db
+}
+
+/// Run `threads` writers for the window; thread `t` repeatedly bumps
+/// every row in its own key band through the OQL scan path. Returns
+/// (committed updates, elapsed).
+fn run_range(db: &Database, threads: usize, window: Duration) -> (u64, Duration) {
+    let start = Arc::new(Barrier::new(threads + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut elapsed = Duration::ZERO;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = Arc::clone(&start);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            let (lo, hi) = (t as i64 * RANGE_SPAN, (t as i64 + 1) * RANGE_SPAN);
+            let stmt = format!("update s in item suchthat (k >= {lo} && k < {hi}) set n = n + 1");
+            scope.spawn(move || {
+                start.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match db.transaction(|tx| tx.execute(&stmt).map(|_| ())) {
+                        Ok(()) => ops += 1,
+                        Err(e) if e.is_unavailable() => {
+                            std::thread::sleep(Duration::from_micros(500));
+                        }
+                        Err(e) => panic!("range update: {e}"),
+                    }
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        elapsed = t0.elapsed();
+    });
+    (total.load(Ordering::Relaxed), elapsed)
+}
+
 fn counter_value(db: &Database, oid: Oid) -> i64 {
     db.read(|rtx| match rtx.get(oid, "n")? {
         Value::Int(n) => Ok(n),
@@ -146,6 +234,9 @@ fn counter_value(db: &Database, oid: Oid) -> i64 {
 }
 
 fn cell(mode: &'static str, threads: usize, window: Duration) -> Row {
+    if mode == "disjoint_range" {
+        return range_cell(threads, window);
+    }
     let counters = if mode == "hot_key" { 1 } else { threads };
     let (db, oids) = writer_db(&format!("f14-{mode}-{threads}"), counters);
     let before = db.telemetry();
@@ -167,6 +258,54 @@ fn cell(mode: &'static str, threads: usize, window: Duration) -> Row {
         ops_s: ops as f64 / elapsed.as_secs_f64(),
         conflicts: d.txn.conflicts,
         retries: d.txn.commit_retries,
+        narrowed: d.txn.narrowed_validations,
+        fsyncs_per_commit: d.storage.wal_fsyncs as f64 / commits as f64,
+        mean_cohort: if d.storage.commit_groups == 0 {
+            1.0
+        } else {
+            d.storage.commit_group_members as f64 / d.storage.commit_groups as f64
+        },
+    }
+}
+
+fn range_cell(threads: usize, window: Duration) -> Row {
+    let db = range_db(&format!("f14-disjoint_range-{threads}"), threads);
+    let before = db.telemetry();
+    let (ops, elapsed) = run_range(&db, threads, window);
+    let d = db.telemetry().delta(&before);
+
+    // Every committed update bumped each row in its band exactly once:
+    // the `n` values must sum to committed-updates × rows-per-band.
+    let sum: i64 = db
+        .transaction(|tx| {
+            let rows = match tx.execute("forall s in item")? {
+                ode_core::oql::ExecResult::Rows(rows) => rows.rows,
+                other => panic!("unexpected result: {other:?}"),
+            };
+            let mut sum = 0i64;
+            for row in rows {
+                match tx.get(row[0], "n")? {
+                    Value::Int(n) => sum += n,
+                    other => panic!("expected int, got {other:?}"),
+                }
+            }
+            Ok(sum)
+        })
+        .expect("sum items");
+    assert_eq!(
+        sum as u64,
+        ops * ROWS_PER_RANGE as u64,
+        "disjoint_range@{threads}: lost updates (sum {sum}, committed {ops})"
+    );
+
+    let commits = d.storage.commits.max(1);
+    Row {
+        mode: "disjoint_range",
+        threads,
+        ops_s: ops as f64 / elapsed.as_secs_f64(),
+        conflicts: d.txn.conflicts,
+        retries: d.txn.commit_retries,
+        narrowed: d.txn.narrowed_validations,
         fsyncs_per_commit: d.storage.wal_fsyncs as f64 / commits as f64,
         mean_cohort: if d.storage.commit_groups == 0 {
             1.0
@@ -185,12 +324,12 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for &mode in &["disjoint_key", "hot_key"] {
+    for &mode in &["disjoint_key", "hot_key", "disjoint_range"] {
         for &threads in THREAD_COUNTS {
             let r = cell(mode, threads, cfg.window);
             eprintln!(
-                "f14: {:<12} threads={:<2} {:>8.0} txn/s  conflicts={:<6} retries={:<6} fsync/commit={:.2} cohort={:.2}",
-                r.mode, r.threads, r.ops_s, r.conflicts, r.retries, r.fsyncs_per_commit, r.mean_cohort
+                "f14: {:<14} threads={:<2} {:>8.0} txn/s  conflicts={:<6} retries={:<6} narrowed={:<6} fsync/commit={:.2} cohort={:.2}",
+                r.mode, r.threads, r.ops_s, r.conflicts, r.retries, r.narrowed, r.fsyncs_per_commit, r.mean_cohort
             );
             rows.push(r);
         }
@@ -202,6 +341,18 @@ fn main() {
             .expect("1-thread row")
             .ops_s
     };
+    let out = std::env::var("ODE_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_f14.json")
+        },
+        PathBuf::from,
+    );
+    // Rates from the last committed run, so each row can record its
+    // delta — the regression ledger the figure exists for.
+    let prev = prev_rates(&out);
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"figure\": \"f14_writer_scaling\",");
@@ -212,29 +363,31 @@ fn main() {
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let delta = prev
+            .iter()
+            .find(|(m, t, _)| m == r.mode && *t == r.threads)
+            .map_or(String::new(), |(_, _, old)| {
+                format!(
+                    ", \"prev_txn_per_sec\": {old:.1}, \"delta_pct\": {:.1}",
+                    (r.ops_s - old) / old * 100.0
+                )
+            });
         let _ = writeln!(
             json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"txn_per_sec\": {:.1}, \"speedup\": {:.2}, \"conflicts\": {}, \"retries\": {}, \"fsyncs_per_commit\": {:.3}, \"mean_cohort\": {:.2}}}{comma}",
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"txn_per_sec\": {:.1}, \"speedup\": {:.2}, \"conflicts\": {}, \"retries\": {}, \"narrowed\": {}, \"fsyncs_per_commit\": {:.3}, \"mean_cohort\": {:.2}{delta}}}{comma}",
             r.mode,
             r.threads,
             r.ops_s,
             r.ops_s / base(r.mode),
             r.conflicts,
             r.retries,
+            r.narrowed,
             r.fsyncs_per_commit,
             r.mean_cohort,
         );
     }
     json.push_str("  ]\n}\n");
 
-    let out = std::env::var("ODE_BENCH_OUT").map_or_else(
-        |_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_f14.json")
-        },
-        PathBuf::from,
-    );
     std::fs::write(&out, &json).expect("write BENCH_f14.json");
     eprintln!("f14: wrote {}", out.display());
 
@@ -270,4 +423,56 @@ fn main() {
     if hot8.conflicts == 0 {
         eprintln!("f14: note: hot_key@8 saw no conflicts (scheduler never overlapped validations)");
     }
+
+    // Disjoint-range writers are the narrowed-validation headline: with
+    // real parallelism, validations overlap and the range intersection
+    // must be doing the admitting (narrowed > 0) while keeping the
+    // conflict rate far below hot-key levels.
+    let range8 = rows
+        .iter()
+        .find(|r| r.mode == "disjoint_range" && r.threads == 8)
+        .expect("disjoint_range@8");
+    if parallelism >= 2 {
+        assert!(
+            range8.narrowed > 0,
+            "disjoint_range@8 never exercised narrowed validation"
+        );
+        eprintln!(
+            "f14: disjoint_range@8 narrowed {} validations with {} conflicts — PASS",
+            range8.narrowed, range8.conflicts
+        );
+    } else {
+        eprintln!(
+            "f14: disjoint_range@8 narrowed={} conflicts={} (assertion skipped on 1 core)",
+            range8.narrowed, range8.conflicts
+        );
+    }
+}
+
+/// `(mode, threads, txn_per_sec)` triples from a previous run's JSON.
+/// The file is our own line-per-row output, so a plain string scan is
+/// enough — no JSON parser in the bench crate's dependency set.
+fn prev_rates(path: &std::path::Path) -> Vec<(String, usize, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(mode), Some(threads), Some(rate)) = (
+            field(line, "\"mode\": \""),
+            field(line, "\"threads\": "),
+            field(line, "\"txn_per_sec\": "),
+        ) else {
+            continue;
+        };
+        if let (Ok(threads), Ok(rate)) = (threads.parse(), rate.parse()) {
+            out.push((mode, threads, rate));
+        }
+    }
+    out
 }

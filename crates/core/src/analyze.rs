@@ -13,7 +13,10 @@
 
 use std::time::Instant;
 
-use ode_analyze::{analyze_class, analyze_stmt, has_errors, CatalogView, Diagnostic, StmtKind};
+use ode_analyze::{
+    analyze_class, analyze_stmt, footprint_of, has_errors, CatalogView, Diagnostic, Footprint,
+    StmtKind,
+};
 
 use crate::database::Database;
 use crate::error::{OdeError, Result};
@@ -65,6 +68,76 @@ impl Database {
             Ok(diags) if has_errors(&diags) => Err(OdeError::Analysis(diags)),
             _ => Ok(()),
         }
+    }
+
+    /// Compute the static access footprint of one statement (DESIGN.md
+    /// §14): the clusters it reads and writes, with the key-predicate
+    /// ranges and index the analyzer can prove. `None` for statements
+    /// without an analyzable shape (DDL, version ops, …). Parse errors
+    /// propagate so callers can distinguish "no footprint" from "not a
+    /// statement".
+    ///
+    /// A footprint with no writes is a *read-only proof*: the statement
+    /// cannot touch the write-txn machinery, so executors may run it on
+    /// the snapshot path.
+    pub fn statement_footprint(&self, src: &str) -> Result<Option<Footprint>> {
+        let trimmed = src.trim();
+        let stripped = match trimmed.strip_prefix("explain") {
+            Some(rest) if rest.starts_with(char::is_whitespace) => rest.trim_start(),
+            _ => trimmed,
+        };
+        let kind_of = |src: &str| -> Result<Option<(crate::oql::QueryStmt, OwnedStmt)>> {
+            if starts_with_kw(src, "pnew") {
+                let (class, inits) = parse_pnew(src)?;
+                return Ok(Some((
+                    crate::oql::QueryStmt {
+                        bindings: Vec::new(),
+                        suchthat: None,
+                        by: None,
+                    },
+                    OwnedStmt::Pnew { class, inits },
+                )));
+            }
+            if starts_with_kw(src, "update") {
+                let (query, assigns) = parse_update(src)?;
+                return Ok(Some((query, OwnedStmt::Update { assigns })));
+            }
+            if starts_with_kw(src, "delete") {
+                return Ok(Some((parse_delete(src)?, OwnedStmt::Delete)));
+            }
+            if starts_with_kw(src, "forall") || starts_with_kw(src, "for") {
+                return Ok(Some((parse_query(src)?, OwnedStmt::Query)));
+            }
+            Ok(None)
+        };
+        let Some((query, owned)) = kind_of(stripped)? else {
+            return Ok(None);
+        };
+        let inner = self.inner.read();
+        let cat = catalog_view(&inner);
+        let kind = match &owned {
+            OwnedStmt::Pnew { class, inits } => StmtKind::Pnew { class, inits },
+            OwnedStmt::Update { assigns } => StmtKind::Update {
+                bindings: &query.bindings,
+                suchthat: query.suchthat.as_ref(),
+                assigns,
+            },
+            OwnedStmt::Delete => StmtKind::Delete {
+                bindings: &query.bindings,
+                suchthat: query.suchthat.as_ref(),
+            },
+            OwnedStmt::Query => StmtKind::Query {
+                bindings: &query.bindings,
+                suchthat: query.suchthat.as_ref(),
+                by: query.by.as_ref().map(|(e, desc)| (e, *desc)),
+            },
+        };
+        let fp = footprint_of(&inner.schema, Some(&cat), &kind);
+        self.tel.analyze.footprints.inc();
+        if fp.read_only() {
+            self.tel.analyze.read_only_proofs.inc();
+        }
+        Ok(Some(fp))
     }
 
     fn analyze_inner(&self, src: &str) -> Result<Vec<Diagnostic>> {
@@ -186,6 +259,20 @@ impl Database {
         }
         Vec::new()
     }
+}
+
+/// Owned statement pieces backing the borrowed [`StmtKind`] that
+/// [`Database::statement_footprint`] hands the analyzer.
+enum OwnedStmt {
+    Pnew {
+        class: String,
+        inits: Vec<(String, ode_model::Expr)>,
+    },
+    Update {
+        assigns: Vec<(String, ode_model::Expr)>,
+    },
+    Delete,
+    Query,
 }
 
 fn unknown_class(class: &str, src: &str) -> Diagnostic {

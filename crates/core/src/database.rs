@@ -27,7 +27,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use ode_model::encode::{decode_class, encode_class};
-use ode_model::{ClassBuilder, ClassId, ObjState, Oid, Schema, Value};
+use ode_model::{ClassBuilder, ClassId, FieldRange, ObjState, Oid, Schema, Value};
 use ode_obs::{
     EngineTelemetry, FlightRecorder, QueryProfile, SlowQueryLog, SpanStage, StorageSnapshot,
     TelemetrySnapshot, TraceEvent, TracePhase, TraceScope, TraceSink, WorkStatRow, WorkloadStats,
@@ -41,7 +41,7 @@ use crate::index::BTreeIndex;
 use crate::object::{decode_record, is_anchor, ObjRecord};
 use crate::read::ReadTransaction;
 use crate::trigger::{Activation, CommitNote, PendingEvent};
-use crate::txn::Transaction;
+use crate::txn::{ScanEntry, Transaction};
 
 /// Signature of a host callback invocable from trigger actions.
 pub type CallbackFn = Arc<dyn Fn(&mut Transaction<'_>, Oid, &[Value]) -> Result<()> + Send + Sync>;
@@ -166,9 +166,11 @@ pub(crate) struct CommitTable {
     schema_stamp: u64,
     /// Object → epoch of its last committed write.
     write_stamps: HashMap<Oid, u64>,
-    /// Heap → epoch of the last commit that inserted into / deleted from
-    /// or updated it (phantom protection for extent scans).
-    heap_stamps: HashMap<u32, u64>,
+    /// Heap → write stamps of the commits that inserted into / deleted
+    /// from or updated it (phantom protection for extent scans). Commits
+    /// whose ranged-write notes verified stamp key *ranges* instead of
+    /// the whole heap, so disjoint-range scanners keep passing.
+    heap_stamps: HashMap<u32, HeapStamp>,
     /// Activation id → epoch of the commit that consumed (killed) it.
     /// Prevents two committers from both deleting a once-only activation.
     killed_activations: HashMap<u64, u64>,
@@ -178,6 +180,41 @@ pub(crate) struct CommitTable {
 /// future transaction could conflict on.
 const STAMP_PRUNE_THRESHOLD: usize = 8192;
 
+/// Cap on per-heap ranged stamps. Past it the heap collapses to one
+/// whole-heap stamp at the newest epoch — strictly more conservative, so
+/// always sound — keeping validation cost and memory bounded under a
+/// storm of ranged writers.
+const RANGED_STAMPS_PER_HEAP: usize = 32;
+
+/// One commit's verified ranged write into a heap, as presented to the
+/// validator: every object it wrote had (pre-state) each `ranges` field
+/// inside its interval, and only the `assigned` fields changed.
+#[derive(Debug, Clone)]
+pub(crate) struct RangedWrite {
+    /// Pre-state intervals proven for every written object.
+    pub ranges: Vec<FieldRange>,
+    /// Fields the commit actually changed on those objects (empty for
+    /// pure deletes).
+    pub assigned: Vec<String>,
+}
+
+/// A [`RangedWrite`] remembered in the commit table at its claim epoch.
+struct RangedStamp {
+    epoch: u64,
+    ranges: Vec<FieldRange>,
+    assigned: Vec<String>,
+}
+
+/// Per-heap phantom-protection stamps: one whole-heap epoch (writes that
+/// proved nothing) plus a bounded list of ranged stamps.
+#[derive(Default)]
+struct HeapStamp {
+    /// Epoch of the last unranged write (0 = none since the last prune).
+    full: u64,
+    /// Ranged writes newer than `full`.
+    ranged: Vec<RangedStamp>,
+}
+
 /// The read/write footprint a committing transaction presents for
 /// validation (see [`CommitTable`]). Epoch values are the publish epoch
 /// observed when that item was *first* read.
@@ -186,12 +223,17 @@ pub(crate) struct WriteSummary<'a> {
     pub begin_epoch: u64,
     /// Object → epoch at first read.
     pub read_set: &'a HashMap<Oid, u64>,
-    /// Heap → epoch at first extent scan (phantom protection).
-    pub scan_set: &'a HashMap<u32, u64>,
+    /// Heap → scan entry at first extent scan (phantom protection;
+    /// ranged entries carry the predicate-proven intervals).
+    pub scan_set: &'a HashMap<u32, ScanEntry>,
     /// Objects this commit writes or deletes (logical anchor oids).
     pub write_oids: &'a [Oid],
     /// Activation ids this commit kills (once-only firings, deactivations).
     pub kills: &'a [u64],
+    /// Heap → verified ranged writes (see
+    /// `Transaction::verify_ranged_writes`). Heaps absent here stamp the
+    /// whole heap, as before.
+    pub heap_ranges: &'a HashMap<u32, Vec<RangedWrite>>,
 }
 
 /// An Ode database: "a collection of persistent objects" (§2) plus the
@@ -770,9 +812,50 @@ impl Database {
                 return conflict(format!("object {oid}"));
             }
         }
-        for (heap, &observed) in w.scan_set {
-            if table.heap_stamps.get(heap).is_some_and(|&s| s > observed) {
+        for (heap, entry) in w.scan_set {
+            let Some(stamp) = table.heap_stamps.get(heap) else {
+                continue;
+            };
+            if stamp.full > entry.epoch {
+                self.bump_pressure();
                 return conflict(format!("extent of cluster {heap}"));
+            }
+            match &entry.ranges {
+                // An unranged (whole-extent) scan conflicts with any newer
+                // write to the heap, ranged or not.
+                None => {
+                    if stamp.ranged.iter().any(|rs| rs.epoch > entry.epoch) {
+                        self.bump_pressure();
+                        return conflict(format!("extent of cluster {heap}"));
+                    }
+                }
+                // A ranged scan may skip a newer ranged write if some field
+                // is constrained on both sides to provably disjoint
+                // intervals — and the writer did not assign that field (a
+                // reassigned field's post-state escapes its pre-range).
+                Some(ranges) => {
+                    let mut narrowed = false;
+                    for rs in &stamp.ranged {
+                        if rs.epoch <= entry.epoch {
+                            continue;
+                        }
+                        let invisible = ranges.iter().any(|fr| {
+                            !rs.assigned.contains(&fr.field)
+                                && rs
+                                    .ranges
+                                    .iter()
+                                    .any(|wr| wr.field == fr.field && wr.range.disjoint(&fr.range))
+                        });
+                        if !invisible {
+                            self.bump_pressure();
+                            return conflict(format!("extent of cluster {heap}"));
+                        }
+                        narrowed = true;
+                    }
+                    if narrowed {
+                        self.tel.txn.narrowed_validations.inc();
+                    }
+                }
             }
         }
         for id in w.kills {
@@ -822,15 +905,47 @@ impl Database {
 
         table.last_claimed += 1;
         let epoch = table.last_claimed;
+        // A successful claim drains contention pressure (see
+        // `bump_pressure`); both run under the commit gate.
+        self.tel.txn.conflict_pressure.dec();
         for oid in w.write_oids {
             table.write_stamps.insert(*oid, epoch);
         }
+        let mut ranged_stamped: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for op in &ticket.ops {
             let (heap, rid) = match op {
                 StoreOp::Put { heap, rid, .. } | StoreOp::Delete { heap, rid } => (*heap, *rid),
             };
             table.write_stamps.insert(Oid { cluster: heap, rid }, epoch);
-            table.heap_stamps.insert(heap, epoch);
+            let hs = table.heap_stamps.entry(heap).or_default();
+            match w.heap_ranges.get(&heap) {
+                // Every write this commit made to the heap fits inside the
+                // verified ranges: stamp them individually so disjoint-key
+                // readers can validate past this epoch. Once per heap.
+                Some(writes) if !writes.is_empty() => {
+                    if ranged_stamped.insert(heap) {
+                        for rw in writes {
+                            hs.ranged.push(RangedStamp {
+                                epoch,
+                                ranges: rw.ranges.clone(),
+                                assigned: rw.assigned.clone(),
+                            });
+                        }
+                        if hs.ranged.len() > RANGED_STAMPS_PER_HEAP {
+                            // Collapse rather than grow without bound; the
+                            // full stamp at this epoch subsumes every entry.
+                            hs.full = epoch;
+                            hs.ranged.clear();
+                        }
+                    }
+                }
+                // Unranged write: the full stamp at this (newest) epoch
+                // subsumes every older ranged stamp.
+                _ => {
+                    hs.full = epoch;
+                    hs.ranged.clear();
+                }
+            }
         }
         for id in w.kills {
             table.killed_activations.insert(*id, epoch);
@@ -839,6 +954,19 @@ impl Database {
             self.prune_stamps(&mut table);
         }
         Ok((epoch, ticket))
+    }
+
+    /// Raise the footprint-overlap pressure gauge. Called (under the
+    /// commit gate) on each extent/scan validation failure — the
+    /// conflicts that signal writers piling onto one heap. Successful
+    /// claims decay it, and `transaction` stretches its retry backoff
+    /// while it is high, so contention drains instead of thrashing.
+    /// Capped so the extra backoff shift stays bounded.
+    fn bump_pressure(&self) {
+        let g = &self.tel.txn.conflict_pressure;
+        if g.get() < 16 {
+            g.inc();
+        }
     }
 
     /// Drop stamps no live or future transaction could conflict on: a
@@ -856,7 +984,10 @@ impl Database {
             .min(self.commit_epoch.load(Ordering::Acquire));
         drop(active);
         table.write_stamps.retain(|_, &mut s| s > floor);
-        table.heap_stamps.retain(|_, &mut s| s > floor);
+        table.heap_stamps.retain(|_, hs| {
+            hs.ranged.retain(|r| r.epoch > floor);
+            hs.full > floor || !hs.ranged.is_empty()
+        });
         table.killed_activations.retain(|_, &mut s| s > floor);
     }
 
@@ -910,8 +1041,13 @@ impl Database {
                         self.tel.txn.commit_retries.inc();
                         // Exponential backoff, capped low: losers yield so
                         // a winner publishes, preventing validation
-                        // livelock between extent-scanning writers.
-                        let us = 50u64.saturating_mul(1 << attempt.min(6));
+                        // livelock between extent-scanning writers. The
+                        // conflict-pressure gauge adds up to two extra
+                        // doublings when many writers are piling onto the
+                        // same heaps (each scan conflict raises it, each
+                        // successful claim drains it).
+                        let pressure = (self.tel.txn.conflict_pressure.get() / 8).min(2) as u32;
+                        let us = 50u64.saturating_mul(1 << (attempt + pressure).min(8));
                         std::thread::sleep(std::time::Duration::from_micros(us));
                     }
                     Err(e) => return Err(e),
@@ -945,6 +1081,20 @@ impl Database {
     /// Schema snapshot accessor (read-only closure to avoid guard leaks).
     pub fn with_schema<R>(&self, f: impl FnOnce(&Schema) -> R) -> R {
         f(&self.inner.read().schema)
+    }
+
+    /// Test-only: the heap ids backing `class_name`'s (deep or shallow)
+    /// extent — the footprint soundness oracle maps observed scan-set
+    /// entries back to the clusters the analyzer predicted.
+    #[doc(hidden)]
+    pub fn extent_heap_ids(&self, class_name: &str, deep: bool) -> Result<Vec<u32>> {
+        let inner = self.inner.read();
+        let class = inner.schema.id_of(class_name)?;
+        Ok(inner
+            .extent_heaps(class, deep)
+            .iter()
+            .map(|&(_, h)| h)
+            .collect())
     }
 
     /// Number of objects in the (deep) extent of `class_name`.

@@ -39,8 +39,9 @@ pub mod version;
 /// Telemetry primitives and snapshot types (re-export of `ode-obs`).
 pub use ode_obs as obs;
 
-/// Static-analysis diagnostics (re-export of `ode-analyze`).
-pub use ode_analyze::{Diagnostic, Severity};
+/// Static-analysis diagnostics and footprints (re-export of
+/// `ode-analyze`).
+pub use ode_analyze::{batch_interference, Diagnostic, Footprint, Severity};
 
 pub use backup::DumpStats;
 pub use database::{

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use ode_model::{parse_expr, Expr, ModelError, Oid};
+use ode_model::{extract_field_ranges, parse_expr, Expr, FieldRange, ModelError, Oid};
 use ode_obs::QueryProfile;
 
 use crate::error::{OdeError, Result};
@@ -46,6 +46,17 @@ pub struct QueryStmt {
     pub suchthat: Option<Expr>,
     /// The `by` key and descending flag (single-variable queries only).
     pub by: Option<(Expr, bool)>,
+}
+
+/// The key ranges a DML statement's `suchthat` provably pins on its
+/// (single) loop variable — the write half of the footprint the analyzer
+/// computes statically (DESIGN.md §14). Joins get no ranges: their write
+/// sets depend on the other bindings.
+fn suchthat_ranges(stmt: &QueryStmt) -> Vec<FieldRange> {
+    match (&stmt.bindings[..], &stmt.suchthat) {
+        ([(var, _, _)], Some(pred)) => extract_field_ranges(pred, Some(var.as_str())),
+        _ => Vec::new(),
+    }
 }
 
 /// Materialized query result: variable names plus one row per binding
@@ -374,9 +385,15 @@ impl<'db> Transaction<'db> {
         }
         if trimmed.starts_with("update") {
             let (query, assigns) = parse_update(src)?;
+            let ranges = suchthat_ranges(&query);
             let rows = self.run_stmt(query)?;
             let oids = rows.oids()?;
             let n = oids.len();
+            // Self-verifying note: commit re-checks that every written
+            // object really sat inside `ranges` and only the assigned
+            // fields moved, then stamps the heap with the ranges instead
+            // of a whole-heap stamp (narrowed validation, DESIGN.md §14).
+            self.note_ranged_write(oids.clone(), ranges);
             for oid in oids {
                 self.update(oid, |w| {
                     for (field, expr) in &assigns {
@@ -394,9 +411,11 @@ impl<'db> Transaction<'db> {
         }
         if trimmed.starts_with("delete") {
             let query = parse_delete(src)?;
+            let ranges = suchthat_ranges(&query);
             let rows = self.run_stmt(query)?;
             let oids = rows.oids()?;
             let n = oids.len();
+            self.note_ranged_write(oids.clone(), ranges);
             for oid in oids {
                 self.pdelete(oid)?;
             }

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 
 use ode_model::eval::EvalCtx;
-use ode_model::{parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
+use ode_model::{extract_field_ranges, parse_expr, BinOp, ClassId, Expr, ObjState, Oid, Value};
 use ode_obs::{PlanStrategy, QueryProfile, SpanStage, TracePhase, TraceScope};
 
 use crate::database::DbInner;
@@ -677,6 +677,20 @@ fn candidates<C: ReadContext>(
     };
     drop(inner);
 
+    // Key ranges the predicate provably pins, announced before
+    // enumeration: a write transaction then records predicate-level scan
+    // entries instead of whole-heap ones, making it eligible for narrowed
+    // validation at commit (DESIGN.md §14). The hint MUST be retired on
+    // every exit path — a stale hint would mislabel the next scan.
+    let pred_ranges = suchthat
+        .as_ref()
+        .map(|p| extract_field_ranges(p, var))
+        .unwrap_or_default();
+    if !pred_ranges.is_empty() {
+        tx.scan_hint(pred_ranges);
+    }
+    let scanned_heaps: Vec<u32>;
+
     let mut pairs: Vec<(Oid, ObjState)> = match indexed {
         Some((field, oids)) => {
             pass.strategy = PlanStrategy::IndexProbe { field };
@@ -705,6 +719,7 @@ fn candidates<C: ReadContext>(
                 .map(|&(_, h)| h)
                 .collect();
             tx.note_scan(&probe_heaps);
+            scanned_heaps = probe_heaps;
             let seen: HashSet<Oid> = pairs.iter().map(|p| p.0).collect();
             for (oid, state) in tx.overlay() {
                 if seen.contains(&oid) || !inner.schema.is_subclass(state.class, class) {
@@ -722,11 +737,20 @@ fn candidates<C: ReadContext>(
             };
             pass.clusters_visited = {
                 let inner = db.inner.read();
-                inner.extent_heaps(class, deep).len() as u64
+                let heaps = inner.extent_heaps(class, deep);
+                scanned_heaps = heaps.iter().map(|&(_, h)| h).collect();
+                heaps.len() as u64
             };
-            tx.extent_of(class_name, deep)?
+            match tx.extent_of(class_name, deep) {
+                Ok(pairs) => pairs,
+                Err(e) => {
+                    tx.scan_hint_clear();
+                    return Err(e);
+                }
+            }
         }
     };
+    tx.scan_hint_clear();
     pass.objects_scanned = pairs.len() as u64;
 
     // Shallow iteration must drop subclass members (relevant only for the
@@ -748,7 +772,13 @@ fn candidates<C: ReadContext>(
                 .with_this(&state)
                 .with_vars(&env)
                 .with_resolver(tx)
-                .eval_bool(pred)?;
+                .eval_bool(pred)
+                .inspect_err(|_| {
+                    // Short-circuit evaluation means the error itself can
+                    // depend on rows outside the hinted ranges; which rows
+                    // mattered is unknowable, so widen to whole heaps.
+                    tx.scan_widen(&scanned_heaps);
+                })?;
             if ok {
                 kept.push((oid, state));
             }
@@ -769,7 +799,13 @@ fn candidates<C: ReadContext>(
                 .with_this(state)
                 .with_vars(&env)
                 .with_resolver(tx)
-                .eval(key_expr)?;
+                .eval(key_expr)
+                .inspect_err(|_| {
+                    // Same widening as the predicate loop: a failed `by`
+                    // key still aborts an enumeration whose result the
+                    // transaction may already have acted on.
+                    tx.scan_widen(&scanned_heaps);
+                })?;
             keyed.push((k, *oid));
         }
         keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));

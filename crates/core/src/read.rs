@@ -67,6 +67,22 @@ pub trait ReadContext: Resolver + Sized {
     /// Index probes call this too: the probe's answer depends on the same
     /// committed extent the index summarizes. No-op for snapshots.
     fn note_scan(&self, _heaps: &[u32]) {}
+
+    /// Announce the key ranges the upcoming scan's predicate pins, so a
+    /// write transaction can record predicate-level scan entries instead
+    /// of whole-heap ones (narrowed validation, DESIGN.md §14). No-op for
+    /// snapshots.
+    fn scan_hint(&self, _ranges: Vec<ode_model::FieldRange>) {}
+
+    /// Retire the hint installed by [`ReadContext::scan_hint`]. Must run
+    /// once the enumeration is over — a stale hint would mislabel the
+    /// next scan. No-op for snapshots.
+    fn scan_hint_clear(&self) {}
+
+    /// The scan over `heaps` depended on more than its recorded ranges
+    /// (a predicate evaluation errored part-way, so which rows mattered
+    /// is unknowable): widen to whole-heap entries. No-op for snapshots.
+    fn scan_widen(&self, _heaps: &[u32]) {}
 }
 
 impl ReadContext for Transaction<'_> {
@@ -101,6 +117,18 @@ impl ReadContext for Transaction<'_> {
         for &heap in heaps {
             self.note_extent_scan(heap);
         }
+    }
+
+    fn scan_hint(&self, ranges: Vec<ode_model::FieldRange>) {
+        self.set_scan_ranges(ranges);
+    }
+
+    fn scan_hint_clear(&self) {
+        self.clear_scan_ranges();
+    }
+
+    fn scan_widen(&self, heaps: &[u32]) {
+        self.note_scan_unbounded(heaps);
     }
 }
 

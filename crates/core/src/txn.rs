@@ -26,7 +26,8 @@ use std::collections::{HashMap, HashSet};
 
 use ode_model::eval::EvalCtx;
 use ode_model::{
-    ClassId, ModelError, ObjState, Oid, Resolver, TriggerAction, Value, VersionNo, VersionRef,
+    ClassId, FieldRange, ModelError, ObjState, Oid, Resolver, TriggerAction, Value, VersionNo,
+    VersionRef,
 };
 use ode_obs::{SpanGuard, SpanStage, TracePhase, TraceScope};
 use ode_storage::{RecordId, StoreOp};
@@ -123,6 +124,31 @@ pub(crate) struct DeletedObj {
     pub(crate) version_rids: Vec<RecordId>,
 }
 
+/// One scan-set entry: the publish epoch at first observation plus, when
+/// the statement's predicate proved key ranges, the ranges every object
+/// the scan *used* was inside. `ranges: None` is the classic whole-heap
+/// entry; a ranged entry lets commit validation ignore writers whose
+/// footprint is provably disjoint (DESIGN.md §14).
+#[derive(Debug, Clone)]
+pub(crate) struct ScanEntry {
+    /// Publish epoch at first observation (older on merge — conservative).
+    pub epoch: u64,
+    /// Proven per-field intervals, or `None` for the whole heap.
+    pub ranges: Option<Vec<FieldRange>>,
+}
+
+/// A self-verifying note for one ranged DML statement's writes: the oids
+/// it wrote and the pre-state ranges its predicate proved. At commit the
+/// transaction re-checks each note against the final write-set (pre-state
+/// inside the range, range fields unchanged, no version machinery) and
+/// only then presents the ranges to the validator — analysis can narrow
+/// validation, never weaken it.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteNote {
+    pub oids: Vec<Oid>,
+    pub ranges: Vec<FieldRange>,
+}
+
 /// Field-level writer handed to [`Transaction::update`] closures. Performs
 /// type checking against the declared member types.
 pub struct ObjWriter<'a> {
@@ -214,8 +240,18 @@ pub struct Transaction<'db> {
     /// Object → publish epoch at *first* read of its committed image.
     /// Interior mutability: reads take `&self` but must record themselves.
     read_set: parking_lot::Mutex<HashMap<Oid, u64>>,
-    /// Heap → publish epoch at first extent scan (phantom protection).
-    scan_set: parking_lot::Mutex<HashMap<u32, u64>>,
+    /// Heap → scan entry at first extent scan (phantom protection; ranged
+    /// entries narrow commit validation to the proven key intervals).
+    scan_set: parking_lot::Mutex<HashMap<u32, ScanEntry>>,
+    /// Statement-scoped hint: predicate ranges proven for the scan the
+    /// query layer is about to run. Consulted by [`note_extent_scan`];
+    /// interior mutability because scans take `&self`.
+    ///
+    /// [`note_extent_scan`]: Transaction::note_extent_scan
+    scan_ranges: parking_lot::Mutex<Option<Vec<FieldRange>>>,
+    /// Ranged-write notes from `update`/`delete` statements, verified
+    /// against the final write-set at commit (see [`WriteNote`]).
+    ranged_writes: Vec<WriteNote>,
     pub(crate) writes: HashMap<Oid, TxnObj>,
     pub(crate) write_order: Vec<Oid>,
     pub(crate) deleted: HashMap<Oid, DeletedObj>,
@@ -258,6 +294,8 @@ impl<'db> Transaction<'db> {
             begin_epoch,
             read_set: parking_lot::Mutex::new(HashMap::new()),
             scan_set: parking_lot::Mutex::new(HashMap::new()),
+            scan_ranges: parking_lot::Mutex::new(None),
+            ranged_writes: Vec::new(),
             writes: HashMap::new(),
             write_order: Vec::new(),
             deleted: HashMap::new(),
@@ -389,12 +427,99 @@ impl<'db> Transaction<'db> {
         }
     }
 
-    /// Record an extent scan over `heap` at the current publish epoch
-    /// (first observation wins). Phantom protection: commit-time
-    /// validation compares this against the heap's last write stamp.
+    /// Record an extent scan over `heap` at the current publish epoch.
+    /// Phantom protection: commit-time validation compares this against
+    /// the heap's write stamps.
+    ///
+    /// When the statement-scoped range hint is set (the query layer
+    /// proved the predicate pins key intervals), the entry records those
+    /// ranges so validation can ignore provably disjoint writers. Merging
+    /// is monotone toward the conservative pole: the epoch only ever gets
+    /// *older* (first observation wins) and the ranges only ever get
+    /// *wider* — two different range sets, or ranged plus whole-heap,
+    /// collapse to whole-heap.
     pub(crate) fn note_extent_scan(&self, heap: u32) {
         let observed = self.db.commit_epoch();
-        self.scan_set.lock().entry(heap).or_insert(observed);
+        let hint = self.scan_ranges.lock().clone();
+        let hint = hint.filter(|r| !r.is_empty());
+        let mut set = self.scan_set.lock();
+        match set.entry(heap) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if hint.is_some() {
+                    self.db.tel.txn.ranged_scans.inc();
+                }
+                v.insert(ScanEntry {
+                    epoch: observed,
+                    ranges: hint,
+                });
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                if e.ranges.is_some() && e.ranges != hint {
+                    // Widen; the first-observed (older) epoch stays, which
+                    // can only produce a false conflict, never a missed one.
+                    e.ranges = None;
+                }
+            }
+        }
+    }
+
+    /// Force whole-heap scan entries for `heaps`, widening any ranged
+    /// entry already present, and drop the range hint. Called when a
+    /// statement errors mid-evaluation: with short-circuit `&&`, whether
+    /// the error fires can depend on rows *outside* the extracted ranges,
+    /// so only a whole-heap entry is sound.
+    pub(crate) fn note_scan_unbounded(&self, heaps: &[u32]) {
+        *self.scan_ranges.lock() = None;
+        let observed = self.db.commit_epoch();
+        let mut set = self.scan_set.lock();
+        for &heap in heaps {
+            set.entry(heap)
+                .and_modify(|e| e.ranges = None)
+                .or_insert(ScanEntry {
+                    epoch: observed,
+                    ranges: None,
+                });
+        }
+    }
+
+    /// Install the statement-scoped range hint for the scans the query
+    /// layer is about to run. The caller clears it (or widens via
+    /// [`note_scan_unbounded`]) when the enumeration ends.
+    ///
+    /// [`note_scan_unbounded`]: Transaction::note_scan_unbounded
+    pub(crate) fn set_scan_ranges(&self, ranges: Vec<FieldRange>) {
+        *self.scan_ranges.lock() = Some(ranges);
+    }
+
+    /// Drop the statement-scoped range hint.
+    pub(crate) fn clear_scan_ranges(&self) {
+        *self.scan_ranges.lock() = None;
+    }
+
+    /// Note that a ranged DML statement wrote `oids` with predicate-proven
+    /// pre-state `ranges`. Verified against the final write-set at commit.
+    pub(crate) fn note_ranged_write(&mut self, oids: Vec<Oid>, ranges: Vec<FieldRange>) {
+        if !ranges.is_empty() {
+            self.ranged_writes.push(WriteNote { oids, ranges });
+        }
+    }
+
+    /// Test-only: the oids in this transaction's read-set (the footprint
+    /// soundness oracle compares them against the analyzer's prediction).
+    #[doc(hidden)]
+    pub fn observed_read_oids(&self) -> Vec<Oid> {
+        self.read_set.lock().keys().copied().collect()
+    }
+
+    /// Test-only: `(heap, ranged)` per scan-set entry.
+    #[doc(hidden)]
+    pub fn observed_scans(&self) -> Vec<(u32, bool)> {
+        self.scan_set
+            .lock()
+            .iter()
+            .map(|(&h, e)| (h, e.ranges.is_some()))
+            .collect()
     }
 
     /// Does the object exist (in this transaction's view)?
@@ -800,6 +925,124 @@ impl<'db> Transaction<'db> {
         self.mark_aborted();
     }
 
+    /// Re-check every ranged-write note against the final write-set and
+    /// return, per heap, the ranges this commit can present to the
+    /// validator. A heap qualifies only when **every** batch op on it is
+    /// an anchor of a note-covered, note-verified object:
+    ///
+    /// * written (not new, not versioned) with its committed pre-state
+    ///   inside each noted range and every noted field *unchanged* by the
+    ///   transaction, or
+    /// * deleted (no version records) with its pre-state inside each
+    ///   noted range.
+    ///
+    /// Anything else — a `pnew`, a version record, a note range on a
+    /// changed field, an uncovered op — silently demotes the heap to the
+    /// classic whole-heap stamp. Verification failure can therefore never
+    /// weaken validation, only decline to narrow it.
+    fn verify_ranged_writes(
+        &self,
+        write_oids: &[Oid],
+        ops: &[StoreOp],
+    ) -> HashMap<u32, Vec<crate::database::RangedWrite>> {
+        use std::collections::BTreeSet;
+        if self.ranged_writes.is_empty() {
+            return HashMap::new();
+        }
+        let inner = self.db.inner.read();
+        let mut per_heap: HashMap<u32, Vec<crate::database::RangedWrite>> = HashMap::new();
+        let mut failed_heaps: HashSet<u32> = HashSet::new();
+        let mut covered: HashSet<Oid> = HashSet::new();
+        for note in &self.ranged_writes {
+            let mut assigned: BTreeSet<String> = BTreeSet::new();
+            let mut heaps: HashSet<u32> = HashSet::new();
+            let mut ok = true;
+            for &oid in &note.oids {
+                heaps.insert(oid.cluster);
+                covered.insert(oid);
+                let verified = (|| {
+                    if let Some(obj) = self.writes.get(&oid) {
+                        if obj.new || obj.vt.is_some() || obj.vt_dirty {
+                            return false;
+                        }
+                        let Some(pre) = obj.pre_state.as_ref() else {
+                            return false;
+                        };
+                        if obj.state.class != pre.class {
+                            return false;
+                        }
+                        let Ok(def) = inner.schema.class(pre.class) else {
+                            return false;
+                        };
+                        for fr in &note.ranges {
+                            let Ok(slot) = def.field_index(&fr.field) else {
+                                return false;
+                            };
+                            if !fr.range.contains(&pre.fields[slot])
+                                || obj.state.fields[slot] != pre.fields[slot]
+                            {
+                                return false;
+                            }
+                        }
+                        for (i, f) in def.layout.iter().enumerate() {
+                            if pre.fields[i] != obj.state.fields[i] {
+                                assigned.insert(f.name.clone());
+                            }
+                        }
+                        true
+                    } else if let Some(dead) = self.deleted.get(&oid) {
+                        if !dead.version_rids.is_empty() {
+                            return false;
+                        }
+                        let Ok(def) = inner.schema.class(dead.pre_state.class) else {
+                            return false;
+                        };
+                        note.ranges.iter().all(|fr| {
+                            def.field_index(&fr.field)
+                                .is_ok_and(|slot| fr.range.contains(&dead.pre_state.fields[slot]))
+                        })
+                    } else {
+                        false
+                    }
+                })();
+                if !verified {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let assigned: Vec<String> = assigned.into_iter().collect();
+                for h in heaps {
+                    per_heap
+                        .entry(h)
+                        .or_default()
+                        .push(crate::database::RangedWrite {
+                            ranges: note.ranges.clone(),
+                            assigned: assigned.clone(),
+                        });
+                }
+            } else {
+                failed_heaps.extend(heaps);
+            }
+        }
+        per_heap.retain(|h, _| {
+            !failed_heaps.contains(h)
+                && write_oids
+                    .iter()
+                    .filter(|o| o.cluster == *h)
+                    .all(|o| covered.contains(o))
+                && ops.iter().all(|op| {
+                    let (heap, rid) = match op {
+                        StoreOp::Put { heap, rid, .. } | StoreOp::Delete { heap, rid } => {
+                            (*heap, *rid)
+                        }
+                    };
+                    heap != *h || covered.contains(&Oid { cluster: heap, rid })
+                })
+        });
+        per_heap
+    }
+
     /// Steps 1–4 of the commit pipeline. Returns the firings to run (or,
     /// in decoupled mode, the events durably enqueued in the batch).
     fn do_commit(&mut self) -> Result<CommitOutcome> {
@@ -1014,6 +1257,7 @@ impl<'db> Transaction<'db> {
             .copied()
             .collect();
         write_oids.extend(self.deleted.keys().copied());
+        let heap_ranges = self.verify_ranged_writes(&write_oids, &ops);
         let (epoch, ticket) = {
             let read_set = self.read_set.lock();
             let scan_set = self.scan_set.lock();
@@ -1023,6 +1267,7 @@ impl<'db> Transaction<'db> {
                 scan_set: &scan_set,
                 write_oids: &write_oids,
                 kills: &kill_committed,
+                heap_ranges: &heap_ranges,
             };
             self.db.claim_commit(&summary, ops)?
         };

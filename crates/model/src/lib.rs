@@ -28,6 +28,7 @@ pub mod eval;
 pub mod expr;
 pub mod oid;
 pub mod parser;
+pub mod range;
 pub mod schema;
 pub mod value;
 
@@ -38,5 +39,6 @@ pub use eval::{EvalCtx, Resolver};
 pub use expr::{BinOp, Expr, UnOp};
 pub use oid::{Oid, VersionNo, VersionRef};
 pub use parser::parse_expr;
+pub use range::{extract_field_ranges, extract_qualified_ranges, FieldRange, ValueRange};
 pub use schema::Schema;
 pub use value::{ObjState, SetValue, Type, Value};

@@ -309,6 +309,19 @@ pub struct TxnTelemetry {
     /// published a conflicting change after this one began (DESIGN.md
     /// §13). These surface as retryable `WriteConflict` errors.
     pub conflicts: Counter,
+    /// Extent scans recorded with an analyzer-proven predicate range
+    /// instead of a whole-heap entry (DESIGN.md §14). Ranged scans are
+    /// eligible for narrowed validation at commit.
+    pub ranged_scans: Counter,
+    /// Commit validations that passed only because every newer write to a
+    /// scanned heap was provably outside the scan's key range — each one
+    /// is a false conflict the footprint machinery eliminated.
+    pub narrowed_validations: Counter,
+    /// Footprint-overlap pressure: raised on each scan/extent conflict,
+    /// decayed on each successful claim. The retry loop shifts its
+    /// backoff further while this is high, so hot-heap contention drains
+    /// instead of thrashing.
+    pub conflict_pressure: Gauge,
 }
 
 /// Query-execution counters.
@@ -409,6 +422,12 @@ pub struct AnalyzeTelemetry {
     /// Wall-clock latency of one analysis pass — the overhead the
     /// front-end adds to each statement, visible in `.stats`.
     pub latency: LatencyHisto,
+    /// Statement footprints computed (the abstract-interpretation pass of
+    /// DESIGN.md §14).
+    pub footprints: Counter,
+    /// Statements proven read-only by their footprint: the engine runs
+    /// them on the snapshot path, skipping the write-txn machinery.
+    pub read_only_proofs: Counter,
 }
 
 /// Serving-layer counters (the `ode-server` network front-end). One
@@ -676,9 +695,13 @@ impl EngineTelemetry {
             &t.release_errors,
             &t.commit_retries,
             &t.conflicts,
+            &t.ranged_scans,
+            &t.narrowed_validations,
         ] {
             c.reset();
         }
+        // `conflict_pressure` is a live level fed back into retry backoff;
+        // zeroing it would erase real contention state.
         t.commit_latency.reset();
         t.gate_wait.reset();
         let q = &self.query;
@@ -726,7 +749,13 @@ impl EngineTelemetry {
         sc.queue_high_water.reset();
         sc.drain_lag.reset();
         let a = &self.analyze;
-        for c in [&a.passes, &a.errors, &a.warnings] {
+        for c in [
+            &a.passes,
+            &a.errors,
+            &a.warnings,
+            &a.footprints,
+            &a.read_only_proofs,
+        ] {
             c.reset();
         }
         a.latency.reset();
@@ -749,6 +778,9 @@ impl EngineTelemetry {
                 release_errors: self.txn.release_errors.get(),
                 commit_retries: self.txn.commit_retries.get(),
                 conflicts: self.txn.conflicts.get(),
+                ranged_scans: self.txn.ranged_scans.get(),
+                narrowed_validations: self.txn.narrowed_validations.get(),
+                conflict_pressure: self.txn.conflict_pressure.get(),
             },
             query: QuerySnapshot {
                 foralls: self.query.foralls.get(),
@@ -791,6 +823,8 @@ impl EngineTelemetry {
                 errors: self.analyze.errors.get(),
                 warnings: self.analyze.warnings.get(),
                 latency: self.analyze.latency.snapshot(),
+                footprints: self.analyze.footprints.get(),
+                read_only_proofs: self.analyze.read_only_proofs.get(),
             },
         }
     }
@@ -862,6 +896,12 @@ pub struct TxnSnapshot {
     pub commit_retries: u64,
     /// See [`TxnTelemetry::conflicts`].
     pub conflicts: u64,
+    /// See [`TxnTelemetry::ranged_scans`].
+    pub ranged_scans: u64,
+    /// See [`TxnTelemetry::narrowed_validations`].
+    pub narrowed_validations: u64,
+    /// See [`TxnTelemetry::conflict_pressure`].
+    pub conflict_pressure: u64,
 }
 
 /// Query counters, frozen.
@@ -951,6 +991,10 @@ pub struct AnalyzeSnapshot {
     pub warnings: u64,
     /// See [`AnalyzeTelemetry::latency`].
     pub latency: HistoSnapshot,
+    /// See [`AnalyzeTelemetry::footprints`].
+    pub footprints: u64,
+    /// See [`AnalyzeTelemetry::read_only_proofs`].
+    pub read_only_proofs: u64,
 }
 
 /// A full engine + substrate telemetry snapshot: plain data, comparable,
@@ -1034,8 +1078,11 @@ impl TelemetrySnapshot {
             release_errors,
             commit_retries,
             conflicts,
+            ranged_scans,
+            narrowed_validations,
         ) = sub_fields!(t, bt; begun, committed, aborted_constraint, aborted_other,
-                read_txns, write_txns, release_errors, commit_retries, conflicts);
+                read_txns, write_txns, release_errors, commit_retries, conflicts,
+                ranged_scans, narrowed_validations);
         let txn = TxnSnapshot {
             begun,
             committed,
@@ -1048,6 +1095,10 @@ impl TelemetrySnapshot {
             release_errors,
             commit_retries,
             conflicts,
+            ranged_scans,
+            narrowed_validations,
+            // A level fed into backoff, not a count.
+            conflict_pressure: t.conflict_pressure,
         };
         let q = &self.query;
         let bq = &baseline.query;
@@ -1122,12 +1173,15 @@ impl TelemetrySnapshot {
         };
         let a = &self.analyze;
         let ba = &baseline.analyze;
-        let (passes, errors, warnings) = sub_fields!(a, ba; passes, errors, warnings);
+        let (passes, errors, warnings, footprints, read_only_proofs) =
+            sub_fields!(a, ba; passes, errors, warnings, footprints, read_only_proofs);
         let analyze = AnalyzeSnapshot {
             passes,
             errors,
             warnings,
             latency: a.latency.delta(&ba.latency),
+            footprints,
+            read_only_proofs,
         };
         TelemetrySnapshot {
             storage,
@@ -1171,6 +1225,9 @@ impl TelemetrySnapshot {
         push("txn.release_errors", t.release_errors);
         push("commit.retries", t.commit_retries);
         push("txn.conflicts", t.conflicts);
+        push("txn.ranged_scans", t.ranged_scans);
+        push("txn.narrowed_validations", t.narrowed_validations);
+        push("txn.conflict_pressure", t.conflict_pressure);
         push("txn.commit_latency.count", t.commit_latency.count);
         let q = &self.query;
         let lat = &self.txn.commit_latency;
@@ -1237,6 +1294,8 @@ impl TelemetrySnapshot {
         push("analyze.passes", a.passes);
         push("analyze.errors", a.errors);
         push("analyze.warnings", a.warnings);
+        push("analyze.footprints", a.footprints);
+        push("analyze.read_only_proofs", a.read_only_proofs);
         push("analyze.latency.count", a.latency.count);
         out.push((
             "analyze.latency.mean_us".to_string(),
@@ -1285,7 +1344,9 @@ impl TelemetrySnapshot {
              \"aborted_constraint\":{},\"aborted_other\":{},\
              \"read_txns\":{},\"write_txns\":{},\
              \"release_errors\":{},\"commit_retries\":{},\
-             \"conflicts\":{},\"commit_latency\":",
+             \"conflicts\":{},\"ranged_scans\":{},\
+             \"narrowed_validations\":{},\"conflict_pressure\":{},\
+             \"commit_latency\":",
             t.begun,
             t.committed,
             t.aborted_constraint,
@@ -1294,7 +1355,10 @@ impl TelemetrySnapshot {
             t.write_txns,
             t.release_errors,
             t.commit_retries,
-            t.conflicts
+            t.conflicts,
+            t.ranged_scans,
+            t.narrowed_validations,
+            t.conflict_pressure
         ));
         t.commit_latency.json(&mut out);
         out.push_str(",\"gate_wait\":");
@@ -1355,8 +1419,8 @@ impl TelemetrySnapshot {
         let a = &self.analyze;
         out.push_str(&format!(
             ",\"analyze\":{{\"passes\":{},\"errors\":{},\"warnings\":{},\
-             \"latency\":",
-            a.passes, a.errors, a.warnings
+             \"footprints\":{},\"read_only_proofs\":{},\"latency\":",
+            a.passes, a.errors, a.warnings, a.footprints, a.read_only_proofs
         ));
         a.latency.json(&mut out);
         out.push('}');

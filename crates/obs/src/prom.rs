@@ -205,9 +205,25 @@ pub fn render(
             "Commits rejected by optimistic validation (write conflicts)",
             t.conflicts,
         ),
+        (
+            "ode_txn_ranged_scans_total",
+            "Extent scans recorded with analyzer-proven key ranges",
+            t.ranged_scans,
+        ),
+        (
+            "ode_txn_narrowed_validations_total",
+            "Commit validations that passed via range-disjointness proofs",
+            t.narrowed_validations,
+        ),
     ] {
         p.single(name, "counter", help, v);
     }
+    p.single(
+        "ode_txn_conflict_pressure",
+        "gauge",
+        "Footprint-overlap pressure feeding adaptive retry backoff",
+        t.conflict_pressure,
+    );
     p.family(
         "ode_txn_aborted_total",
         "counter",
@@ -411,6 +427,18 @@ pub fn render(
         "counter",
         "Analyzer warnings",
         a.warnings,
+    );
+    p.single(
+        "ode_analyze_footprints_total",
+        "counter",
+        "Statement footprints computed",
+        a.footprints,
+    );
+    p.single(
+        "ode_analyze_read_only_proofs_total",
+        "counter",
+        "Statements proven read-only by their footprint",
+        a.read_only_proofs,
     );
     p.summary(
         "ode_analyze_latency_seconds",

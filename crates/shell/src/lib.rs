@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
+use ode_core::batch_interference;
 use ode_core::obs::flight::{current_trace, set_trace};
 use ode_core::obs::{prom, render_spans, SlowQuery, SpanStage, TraceId};
 use ode_core::oql::{ExecResult, QueryRows};
@@ -349,16 +350,16 @@ impl Session {
             tx.commit()?;
             return Ok(format!("deactivated trigger#{id}"));
         }
-        // Queries and `explain` never mutate: run them on the shared
-        // snapshot path, which skips the writer gate entirely so any
-        // number of shell/server sessions can read concurrently
-        // (DESIGN.md §8).
-        if is_read_only(trimmed) {
+        // Statements the footprint pass proves read-only run on the
+        // shared snapshot path, which skips the writer gate entirely so
+        // any number of shell/server sessions can read concurrently
+        // (DESIGN.md §8, §14).
+        if is_read_only(&self.db, trimmed) {
             let mut rtx = self.db.begin_read();
             let result = rtx.execute(trimmed)?;
             return match result {
                 ExecResult::Rows(rows) => self.format_rows(&rtx, &rows),
-                ExecResult::Explain(prof) => Ok(format_explain(&prof)),
+                ExecResult::Explain(prof) => Ok(format_explain_in(&self.db, trimmed, &prof)),
                 _ => Err(OdeError::Usage(
                     "read-only statement produced a write result".into(),
                 )),
@@ -779,11 +780,34 @@ pub struct CheckFinding {
     pub diag: Diagnostic,
 }
 
+/// The static footprint of one checked statement (DML and queries;
+/// DDL has no statement footprint).
+#[derive(Debug, Clone)]
+pub struct CheckFootprint {
+    /// The file (or label) the statement came from.
+    pub file: String,
+    /// 1-based line where the statement starts.
+    pub line: usize,
+    /// Rendered `reads …; writes …` form (see
+    /// [`ode_core::Footprint`]'s `Display`).
+    pub footprint: String,
+    /// Proven to touch no write machinery.
+    pub read_only: bool,
+}
+
 /// Accumulated results of batch-linting one or more O++ source files.
 #[derive(Debug, Default)]
 pub struct CheckReport {
     /// Every finding, in file/statement order.
     pub findings: Vec<CheckFinding>,
+    /// Per-statement footprints, in file/statement order.
+    pub footprints: Vec<CheckFootprint>,
+    /// A301 batch-interference findings: statement pairs in one file
+    /// whose footprints cannot be proven disjoint. Advisory, kept apart
+    /// from `findings` — a script's statements run sequentially, where
+    /// interference is normal; the pairs matter when the statements are
+    /// dispatched as concurrent transactions.
+    pub interference: Vec<CheckFinding>,
     /// Files checked.
     pub files: usize,
     /// Statements checked (across all files).
@@ -830,7 +854,31 @@ impl CheckReport {
         out
     }
 
-    /// Machine-readable report (one JSON object, findings as an array).
+    /// Machine-readable report: one JSON object with the schema
+    ///
+    /// ```json
+    /// {
+    ///   "files": <int>, "statements": <int>,
+    ///   "errors": <int>, "warnings": <int>,
+    ///   "findings": [
+    ///     {"file": <string>, "line": <int>, "code": "A301",
+    ///      "severity": "error" | "warning", "message": <string>}, …
+    ///   ],
+    ///   "footprints": [
+    ///     {"file": <string>, "line": <int>,
+    ///      "footprint": "reads stockitem[quantity in [5, 5]]; …",
+    ///      "read_only": <bool>}, …
+    ///   ],
+    ///   "interference": [ <same object shape as findings> ]
+    /// }
+    /// ```
+    ///
+    /// Keys appear in exactly this order; `findings` follow
+    /// file/statement order, `footprints` cover each analyzable DML or
+    /// query statement (DDL contributes none), and `interference` holds
+    /// the advisory A301 pairs (excluded from the `warnings` count — see
+    /// [`CheckReport::interference`]). The schema only grows — consumers
+    /// should ignore unknown keys.
     pub fn render_json(&self) -> String {
         let mut out = format!(
             "{{\"files\":{},\"statements\":{},\"errors\":{},\"warnings\":{},\"findings\":[",
@@ -840,6 +888,35 @@ impl CheckReport {
             self.warnings()
         );
         for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"line\":{},\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.diag.code,
+                f.diag.severity,
+                json_escape(&f.diag.message)
+            );
+        }
+        out.push_str("],\"footprints\":[");
+        for (i, fp) in self.footprints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"line\":{},\"footprint\":\"{}\",\"read_only\":{}}}",
+                json_escape(&fp.file),
+                fp.line,
+                json_escape(&fp.footprint),
+                fp.read_only
+            );
+        }
+        out.push_str("],\"interference\":[");
+        for (i, f) in self.interference.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -901,6 +978,7 @@ pub fn check_source(file: &str, source: &str, report: &mut CheckReport) {
     report.files += 1;
     let mut pending = String::new();
     let mut start_line = 0usize;
+    let mut batch: Vec<(usize, ode_core::Footprint)> = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
         if !pending.is_empty() {
@@ -908,7 +986,7 @@ pub fn check_source(file: &str, source: &str, report: &mut CheckReport) {
             pending.push_str(raw);
             if balanced(&pending) {
                 let stmt = std::mem::take(&mut pending);
-                check_statement(&db, file, start_line, &stmt, report);
+                check_statement(&db, file, start_line, &stmt, report, &mut batch);
             }
             continue;
         }
@@ -921,7 +999,21 @@ pub fn check_source(file: &str, source: &str, report: &mut CheckReport) {
             start_line = lineno;
             continue;
         }
-        check_statement(&db, file, lineno, raw, report);
+        check_statement(&db, file, lineno, raw, report, &mut batch);
+    }
+    // A301 — the file's statements treated as a batch: every pair whose
+    // footprints the interference pass cannot prove disjoint. Pairwise
+    // so each finding anchors on the earlier statement's line.
+    for i in 0..batch.len() {
+        for j in i + 1..batch.len() {
+            for diag in batch_interference(&[batch[i].clone(), batch[j].clone()]) {
+                report.interference.push(CheckFinding {
+                    file: file.to_string(),
+                    line: batch[i].0,
+                    diag,
+                });
+            }
+        }
     }
     if !pending.is_empty() {
         report.statements += 1;
@@ -935,7 +1027,14 @@ pub fn check_source(file: &str, source: &str, report: &mut CheckReport) {
     }
 }
 
-fn check_statement(db: &Database, file: &str, line: usize, stmt: &str, report: &mut CheckReport) {
+fn check_statement(
+    db: &Database,
+    file: &str,
+    line: usize,
+    stmt: &str,
+    report: &mut CheckReport,
+    batch: &mut Vec<(usize, ode_core::Footprint)>,
+) {
     report.statements += 1;
     let trimmed = stmt.trim();
     let diags = match db.analyze_statement(trimmed) {
@@ -952,6 +1051,15 @@ fn check_statement(db: &Database, file: &str, line: usize, stmt: &str, report: &
     }
     if had_errors {
         return;
+    }
+    if let Ok(Some(fp)) = db.statement_footprint(trimmed) {
+        report.footprints.push(CheckFootprint {
+            file: file.to_string(),
+            line,
+            footprint: fp.to_string(),
+            read_only: fp.read_only(),
+        });
+        batch.push((line, fp));
     }
     // Apply schema-shaping statements so the rest of the file resolves.
     let applied: Result<()> = if trimmed.starts_with("class") {
@@ -978,10 +1086,17 @@ fn check_statement(db: &Database, file: &str, line: usize, stmt: &str, report: &
     }
 }
 
-/// Would this statement leave the database unchanged? Such statements
-/// are routed through [`Database::begin_read`] so they never queue
-/// behind the writer gate.
-fn is_read_only(stmt: &str) -> bool {
+/// Would this statement leave the database unchanged? Decided by the
+/// analyzer's footprint when it can compute one — a footprint with no
+/// write accesses is a *proof* the statement cannot reach the write-txn
+/// machinery (DESIGN.md §14) — with the keyword head as the fallback for
+/// statements the pass cannot shape (so a parse error still surfaces
+/// from the path the user asked for). Proven statements route through
+/// [`Database::begin_read`] and never queue behind the writer gate.
+fn is_read_only(db: &Database, stmt: &str) -> bool {
+    if let Ok(Some(fp)) = db.statement_footprint(stmt) {
+        return fp.read_only();
+    }
     let head = stmt
         .split_whitespace()
         .next()
@@ -997,6 +1112,17 @@ fn format_explain(prof: &QueryProfile) -> String {
         let _ = writeln!(out, "{k:<24} {v}");
     }
     out.trim_end().to_string()
+}
+
+/// `explain` output with the statement's static footprint appended: what
+/// the analyzer proved about the clusters, index, and key ranges the
+/// statement can touch, next to what the executor actually did.
+fn format_explain_in(db: &Database, stmt: &str, prof: &QueryProfile) -> String {
+    let mut out = format_explain(prof);
+    if let Ok(Some(fp)) = db.statement_footprint(stmt) {
+        let _ = write!(out, "\n{:<24} {}", "footprint", fp);
+    }
+    out
 }
 
 /// First ≤48 chars of a statement, for flight-recorder span details.

@@ -1,0 +1,44 @@
+//! Golden-file pin of the `.check --json` output (the schema documented
+//! on [`CheckReport::render_json`]): external consumers parse this, so
+//! any change to key order, escaping, footprint rendering, or the
+//! advisory-interference split must show up as a reviewed diff here.
+//!
+//! Regenerate after an intentional change with
+//! `ODE_UPDATE_GOLDEN=1 cargo test -p ode-shell --test check_json`.
+
+use ode_shell::{check_source, CheckReport};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/check_json.golden"
+);
+
+#[test]
+fn check_json_matches_golden() {
+    let corpus = include_str!("corpus/golden.ode");
+    let mut report = CheckReport::default();
+    check_source("corpus/golden.ode", corpus, &mut report);
+    let got = report.render_json();
+
+    if std::env::var("ODE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, format!("{got}\n")).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing; regenerate with ODE_UPDATE_GOLDEN=1");
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "\n.check --json output drifted from tests/golden/check_json.golden;\n\
+         if the change is intentional, regenerate with ODE_UPDATE_GOLDEN=1"
+    );
+
+    // Structural smoke on top of the byte-for-byte pin: the corpus is
+    // findings-clean, produces a footprint per DML/query statement, and
+    // surfaces at least one advisory interference pair.
+    assert_eq!(report.errors(), 0);
+    assert_eq!(report.warnings(), 0);
+    assert_eq!(report.footprints.len(), 4);
+    assert!(report.footprints.iter().any(|f| f.read_only));
+    assert!(!report.interference.is_empty());
+}
