@@ -17,16 +17,17 @@
 //! (override with `ODE_BENCH_OUT`). Set `ODE_BENCH_QUICK=1` for a
 //! seconds-long smoke run (CI).
 //!
-//! Known finding (PR 8 investigation of the 8-thread `scan_speedup`
-//! regression): full scans degrade superlinearly with thread count at
-//! 100k objects but not at 10k, because `extent_of` materializes the
-//! whole extent as a `Vec<(Oid, ObjState)>` — N concurrent scans hold
-//! N full decoded copies, and once the combined working set outgrows
-//! the cache/allocator budget, aggregate throughput collapses (0.17x
-//! at 8 threads on a 1-core host vs 1.08x with the 10k dataset). Lock
-//! contention was ruled out (point lookups, which share every lock on
-//! the same path, hold flat). Fix tracked in ROADMAP: stream extent
-//! scans instead of materializing.
+//! History: PR 8 found the 8-thread `scan_speedup` collapsing to 0.17x
+//! at 100k objects (fine at 10k) because `extent_of` materialized the
+//! whole extent as a `Vec<(Oid, ObjState)>` — N concurrent scans held N
+//! full decoded copies and blew the cache/allocator budget. The extent
+//! path now streams page-at-a-time (`for_each_extent`), so a scan's
+//! residency is O(pages + results) regardless of extent size; the full
+//! run asserts the collapse stays gone (8-thread aggregate scan
+//! throughput must stay near the 1-thread rate even when time-sliced on
+//! one core). Each JSON row also records the previous committed run's
+//! rates and the delta, so regressions are visible in the artifact
+//! itself.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -181,6 +182,18 @@ fn main() {
         });
     }
 
+    let out = std::env::var("ODE_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_f11.json")
+        },
+        PathBuf::from,
+    );
+    // Rates from the last committed run, so each row can record its
+    // delta — the regression ledger the figure exists for.
+    let prev = prev_rates(&out);
+
     let base_point = rows[0].point_ops_s;
     let base_scan = rows[0].scan_ops_s;
     let mut json = String::new();
@@ -197,9 +210,19 @@ fn main() {
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let delta = prev
+            .iter()
+            .find(|(t, _, _)| *t == r.threads)
+            .map_or(String::new(), |(_, old_point, old_scan)| {
+                format!(
+                    ", \"prev_point_ops_per_sec\": {old_point:.1}, \"prev_scan_ops_per_sec\": {old_scan:.1}, \"point_delta_pct\": {:.1}, \"scan_delta_pct\": {:.1}",
+                    (r.point_ops_s - old_point) / old_point * 100.0,
+                    (r.scan_ops_s - old_scan) / old_scan * 100.0,
+                )
+            });
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"point_ops_per_sec\": {:.1}, \"scan_ops_per_sec\": {:.1}, \"point_speedup\": {:.2}, \"scan_speedup\": {:.2}}}{comma}",
+            "    {{\"threads\": {}, \"point_ops_per_sec\": {:.1}, \"scan_ops_per_sec\": {:.1}, \"point_speedup\": {:.2}, \"scan_speedup\": {:.2}{delta}}}{comma}",
             r.threads,
             r.point_ops_s,
             r.scan_ops_s,
@@ -209,16 +232,25 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let out = std::env::var("ODE_BENCH_OUT").map_or_else(
-        |_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_f11.json")
-        },
-        PathBuf::from,
-    );
     std::fs::write(&out, &json).expect("write BENCH_f11.json");
     eprintln!("f11: wrote {}", out.display());
+
+    // The bug this figure caught: materialized extents collapsed the
+    // 8-thread aggregate scan rate to 0.17x of 1-thread at 100k objects.
+    // Streaming scans time-slice fairly, so even a 1-core host must hold
+    // near the 1-thread rate; 0.7x leaves room for scheduler noise while
+    // still failing loudly if scans ever materialize again. Quick mode
+    // (10k objects) never collapsed, so the gate is full-run-only.
+    if !cfg.quick {
+        let at8 = rows.iter().find(|r| r.threads == 8).expect("8-thread row");
+        let scan_speedup = at8.scan_ops_s / base_scan;
+        assert!(
+            scan_speedup >= 0.7,
+            "scan collapse is back: 8-thread aggregate scan throughput is \
+             {scan_speedup:.2}x of 1-thread (bar 0.7x) — extents are materializing again"
+        );
+        eprintln!("f11: 8-thread scan speedup {scan_speedup:.2}x (>= 0.7x no-collapse bar) — PASS");
+    }
 
     let at4 = rows.iter().find(|r| r.threads == 4).expect("4-thread row");
     let speedup = at4.point_ops_s / base_point;
@@ -234,4 +266,33 @@ fn main() {
         );
         eprintln!("f11: NOT CREDIBLE — single-core scaling numbers are time-slicing artifacts");
     }
+}
+
+/// `(threads, point_ops_per_sec, scan_ops_per_sec)` triples from a
+/// previous run's JSON. The file is our own line-per-row output, so a
+/// plain string scan is enough — no JSON parser in the bench crate's
+/// dependency set.
+fn prev_rates(path: &std::path::Path) -> Vec<(usize, f64, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = &line[line.find(key)? + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(threads), Some(point), Some(scan)) = (
+            field(line, "\"threads\": "),
+            field(line, "\"point_ops_per_sec\": "),
+            field(line, "\"scan_ops_per_sec\": "),
+        ) else {
+            continue;
+        };
+        if let (Ok(threads), Ok(point), Ok(scan)) = (threads.parse(), point.parse(), scan.parse()) {
+            out.push((threads, point, scan));
+        }
+    }
+    out
 }

@@ -40,7 +40,6 @@ use crate::read::{ReadContext, ReadTransaction};
 
 /// A native predicate over object state (host-language filter).
 pub type FilterFn<'t> = Box<dyn FnMut(&ObjState) -> bool + 't>;
-use crate::object::{decode_record, is_anchor, ObjRecord};
 use crate::txn::Transaction;
 
 /// Sort direction for `by` clauses.
@@ -179,72 +178,82 @@ impl<'db> Transaction<'db> {
         }
     }
 
-    /// Enumerate the (deep or shallow) committed extent of a class together
-    /// with this transaction's overlay. Returns oids with their states.
-    pub(crate) fn extent(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
-        let inner = self.db.inner.read();
-        let class = inner.schema.id_of(class_name)?;
-        let heaps = inner.extent_heaps(class, deep);
-        drop(inner);
-        let mut out = Vec::new();
-        let mut seen = HashSet::new();
-        for (_, heap) in &heaps {
-            // Phantom protection: validation compares this heap's last
-            // write stamp against the epoch observed here (DESIGN.md §13).
-            self.note_extent_scan(*heap);
-            // Collect raw records first: the store's scan callback must not
-            // re-enter the store (single-lock policy).
-            let mut raw = Vec::new();
-            self.db.store.scan(*heap, &mut |rid, bytes| {
-                if is_anchor(bytes) {
-                    raw.push((rid, bytes.to_vec()));
-                }
-                Ok(true)
-            })?;
-            for (rid, bytes) in raw {
-                let oid = Oid {
-                    cluster: *heap,
-                    rid,
-                };
-                if self.deleted.contains_key(&oid) {
-                    continue;
-                }
-                seen.insert(oid);
-                if let Some(obj) = self.writes.get(&oid) {
-                    out.push((oid, obj.state.clone()));
-                    continue;
-                }
-                let state = match decode_record(&bytes)? {
-                    ObjRecord::Plain(s) => s,
-                    ObjRecord::Anchor(table) => {
-                        let vrid = table.current_rid()?;
-                        match decode_record(&self.db.store.read(*heap, vrid)?)? {
-                            ObjRecord::VersionRec { state, .. } => state,
-                            _ => {
-                                return Err(OdeError::Version(format!(
-                                    "anchor {oid} points at a non-version record"
-                                )))
-                            }
+    /// Stream the (deep or shallow) extent of a class as this transaction
+    /// sees it: the committed extent with the write-set overlaid in place
+    /// (overlay states are *borrowed*, never cloned), followed by objects
+    /// created by this transaction, in creation order. Nothing is
+    /// materialized — see [`ReadContext::for_each_extent`].
+    ///
+    /// Phantom-protection bookkeeping brackets the iteration: each heap's
+    /// scan entry is recorded (epoch observed) *before* that heap streams,
+    /// so a commit publishing mid-scan stamps a newer epoch and fails this
+    /// transaction's validation. If the visitor stops early or errors, the
+    /// recorded entries for every heap touched so far are widened to
+    /// whole-heap (`note_scan_unbounded`): a partial iteration's outcome
+    /// depends on enumeration order, not just the hinted key ranges, so a
+    /// narrowed entry would be unsound (DESIGN.md §14).
+    pub(crate) fn stream_extent(
+        &self,
+        class_name: &str,
+        deep: bool,
+        visit: &mut dyn FnMut(Oid, &ObjState) -> Result<bool>,
+    ) -> Result<()> {
+        let heaps = {
+            let inner = self.db.inner.read();
+            let class = inner.schema.id_of(class_name)?;
+            inner.extent_heaps(class, deep)
+        };
+        let heap_ids = crate::read::dedup_heaps(&heaps);
+        let mut noted: Vec<u32> = Vec::new();
+        let outcome = (|| -> Result<bool> {
+            for &heap in &heap_ids {
+                // Phantom protection: validation compares this heap's last
+                // write stamp against the epoch observed here, before any
+                // of the heap's pages are read (DESIGN.md §13).
+                self.note_extent_scan(heap);
+                noted.push(heap);
+                let complete =
+                    crate::read::stream_committed_heap(self.db, heap, &mut |oid, state| {
+                        if self.deleted.contains_key(&oid) {
+                            return Ok(true);
                         }
-                    }
-                    ObjRecord::VersionRec { .. } => continue,
-                };
-                out.push((oid, state));
-            }
-        }
-        // Overlay: objects created in this transaction.
-        let heap_set: HashSet<u32> = heaps.iter().map(|&(_, h)| h).collect();
-        for &oid in &self.write_order {
-            if seen.contains(&oid) || !heap_set.contains(&oid.cluster) {
-                continue;
-            }
-            if let Some(obj) = self.writes.get(&oid) {
-                if obj.new {
-                    out.push((oid, obj.state.clone()));
+                        match self.writes.get(&oid) {
+                            // Overlay replaces the committed state in place.
+                            Some(obj) => visit(oid, &obj.state),
+                            None => visit(oid, state),
+                        }
+                    })?;
+                if !complete {
+                    return Ok(false);
                 }
             }
+            // Overlay tail: objects created by this transaction. Their
+            // slots are reserved (invisible to committed scans) until
+            // commit, so this is disjoint from the committed pass.
+            let heap_set: HashSet<u32> = heap_ids.iter().copied().collect();
+            for &oid in &self.write_order {
+                if !heap_set.contains(&oid.cluster) {
+                    continue;
+                }
+                if let Some(obj) = self.writes.get(&oid) {
+                    if obj.new && !visit(oid, &obj.state)? {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
+        })();
+        match outcome {
+            Ok(true) => Ok(()),
+            Ok(false) => {
+                self.note_scan_unbounded(&noted);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_scan_unbounded(&noted);
+                Err(e)
+            }
         }
-        Ok(out)
     }
 }
 
@@ -636,6 +645,39 @@ fn publish_pass(db: &crate::database::Database, pass: &QueryProfile) {
     db.record_query_pass(pass);
 }
 
+/// RAII bracket around a statement-scoped scan-range hint
+/// ([`ReadContext::scan_hint`]): installs the hint if the predicate pinned
+/// any ranges, and retires it on drop — which covers *every* exit path out
+/// of an enumeration, including `?` returns from mid-stream predicate or
+/// sort-key evaluation errors. Before this guard the set/clear pairing was
+/// manual, and an error between the two leaked a stale hint that would
+/// mislabel the next scan's entries with the previous predicate's ranges.
+///
+/// Dropping after a widen (`note_scan_unbounded`) is harmless: widening
+/// already cleared the hint, and clearing twice is idempotent.
+struct ScanHintGuard<'a, C: ReadContext> {
+    tx: &'a C,
+    armed: bool,
+}
+
+impl<'a, C: ReadContext> ScanHintGuard<'a, C> {
+    fn install(tx: &'a C, ranges: Vec<ode_model::FieldRange>) -> Self {
+        let armed = !ranges.is_empty();
+        if armed {
+            tx.scan_hint(ranges);
+        }
+        ScanHintGuard { tx, armed }
+    }
+}
+
+impl<C: ReadContext> Drop for ScanHintGuard<'_, C> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.tx.scan_hint_clear();
+        }
+    }
+}
+
 /// Enumerate + filter + order the qualifying oids. One call is one *pass*:
 /// its work is accumulated into `prof` and the global query counters, and
 /// bracketed by a Query trace span. Generic over the transaction kind.
@@ -680,18 +722,22 @@ fn candidates<C: ReadContext>(
     // Key ranges the predicate provably pins, announced before
     // enumeration: a write transaction then records predicate-level scan
     // entries instead of whole-heap ones, making it eligible for narrowed
-    // validation at commit (DESIGN.md §14). The hint MUST be retired on
-    // every exit path — a stale hint would mislabel the next scan.
+    // validation at commit (DESIGN.md §14). The guard retires the hint on
+    // every exit path, including `?` early returns — a stale hint would
+    // mislabel the next scan.
     let pred_ranges = suchthat
         .as_ref()
         .map(|p| extract_field_ranges(p, var))
         .unwrap_or_default();
-    if !pred_ranges.is_empty() {
-        tx.scan_hint(pred_ranges);
-    }
-    let scanned_heaps: Vec<u32>;
+    let _hint = ScanHintGuard::install(tx, pred_ranges);
 
-    let mut pairs: Vec<(Oid, ObjState)> = match indexed {
+    // Result accumulators — O(qualifying rows), never O(extent). With a
+    // `by` clause the sort key is evaluated as each object streams past
+    // and only (key, oid) is retained for the final sort.
+    let mut plain: Vec<Oid> = Vec::new();
+    let mut keyed: Vec<(Value, Oid)> = Vec::new();
+
+    match indexed {
         Some((field, oids)) => {
             pass.strategy = PlanStrategy::IndexProbe { field };
             pass.index_probes += 1;
@@ -719,15 +765,72 @@ fn candidates<C: ReadContext>(
                 .map(|&(_, h)| h)
                 .collect();
             tx.note_scan(&probe_heaps);
-            scanned_heaps = probe_heaps;
+            let scanned_heaps = probe_heaps;
             let seen: HashSet<Oid> = pairs.iter().map(|p| p.0).collect();
-            for (oid, state) in tx.overlay() {
+            tx.for_each_overlay(&mut |oid, state| {
                 if seen.contains(&oid) || !inner.schema.is_subclass(state.class, class) {
+                    return Ok(());
+                }
+                // The one place overlay states are cloned at all: the probe
+                // result is O(selectivity), and only class-matching writes
+                // join it. Extent scans borrow overlay states in place.
+                db.tel.query.overlay_clones.inc();
+                pairs.push((oid, state.clone()));
+                Ok(())
+            })?;
+            pass.objects_scanned = pairs.len() as u64;
+            let mut env: HashMap<String, Value> = HashMap::new();
+            for (oid, state) in pairs {
+                if !deep && state.class != class {
                     continue;
                 }
-                pairs.push((oid, state));
+                if let Some(pred) = suchthat {
+                    if let Some(v) = var {
+                        env.insert(v.to_string(), Value::Ref(oid));
+                    }
+                    pass.predicate_evals += 1;
+                    let ok = EvalCtx::new(&inner.schema)
+                        .with_this(&state)
+                        .with_vars(&env)
+                        .with_resolver(tx)
+                        .eval_bool(pred)
+                        .inspect_err(|_| {
+                            // Short-circuit evaluation means the error
+                            // itself can depend on rows outside the hinted
+                            // ranges; which rows mattered is unknowable, so
+                            // widen to whole heaps.
+                            tx.scan_widen(&scanned_heaps);
+                        })?;
+                    if !ok {
+                        continue;
+                    }
+                }
+                if let Some(f) = filter.as_mut() {
+                    if !f(&state) {
+                        continue;
+                    }
+                }
+                match by {
+                    Some((key_expr, _)) => {
+                        if let Some(v) = var {
+                            env.insert(v.to_string(), Value::Ref(oid));
+                        }
+                        let k = EvalCtx::new(&inner.schema)
+                            .with_this(&state)
+                            .with_vars(&env)
+                            .with_resolver(tx)
+                            .eval(key_expr)
+                            .inspect_err(|_| {
+                                // A failed `by` key still aborts an
+                                // enumeration whose result the transaction
+                                // may already have acted on.
+                                tx.scan_widen(&scanned_heaps);
+                            })?;
+                        keyed.push((k, oid));
+                    }
+                    None => plain.push(oid),
+                }
             }
-            pairs
         }
         None => {
             pass.strategy = if deep {
@@ -737,86 +840,70 @@ fn candidates<C: ReadContext>(
             };
             pass.clusters_visited = {
                 let inner = db.inner.read();
-                let heaps = inner.extent_heaps(class, deep);
-                scanned_heaps = heaps.iter().map(|&(_, h)| h).collect();
-                heaps.len() as u64
+                inner.extent_heaps(class, deep).len() as u64
             };
-            match tx.extent_of(class_name, deep) {
-                Ok(pairs) => pairs,
-                Err(e) => {
-                    tx.scan_hint_clear();
-                    return Err(e);
+            // Predicate, filter and sort key all run *inside* the stream:
+            // each decoded state lives only for its visit, so N concurrent
+            // scans hold N pages, not N extents. Eval errors propagate out
+            // of the visitor and the streaming layer widens every heap
+            // noted so far to a whole-heap scan entry (DESIGN.md §14) —
+            // heaps not yet reached recorded no entry and promised
+            // nothing.
+            let inner = db.inner.read();
+            let mut env: HashMap<String, Value> = HashMap::new();
+            tx.for_each_extent(class_name, deep, &mut |oid, state| {
+                pass.objects_scanned += 1;
+                // Shallow iteration drops subclass members.
+                if !deep && state.class != class {
+                    return Ok(true);
                 }
-            }
+                if let Some(pred) = suchthat {
+                    if let Some(v) = var {
+                        env.insert(v.to_string(), Value::Ref(oid));
+                    }
+                    pass.predicate_evals += 1;
+                    let ok = EvalCtx::new(&inner.schema)
+                        .with_this(state)
+                        .with_vars(&env)
+                        .with_resolver(tx)
+                        .eval_bool(pred)?;
+                    if !ok {
+                        return Ok(true);
+                    }
+                }
+                if let Some(f) = filter.as_mut() {
+                    if !f(state) {
+                        return Ok(true);
+                    }
+                }
+                match by {
+                    Some((key_expr, _)) => {
+                        if let Some(v) = var {
+                            env.insert(v.to_string(), Value::Ref(oid));
+                        }
+                        let k = EvalCtx::new(&inner.schema)
+                            .with_this(state)
+                            .with_vars(&env)
+                            .with_resolver(tx)
+                            .eval(key_expr)?;
+                        keyed.push((k, oid));
+                    }
+                    None => plain.push(oid),
+                }
+                Ok(true)
+            })?;
         }
-    };
-    tx.scan_hint_clear();
-    pass.objects_scanned = pairs.len() as u64;
-
-    // Shallow iteration must drop subclass members (relevant only for the
-    // index path, which covers the deep extent).
-    if !deep {
-        pairs.retain(|(_, s)| s.class == class);
     }
 
-    let inner = db.inner.read();
-    let mut env: HashMap<String, Value> = HashMap::new();
-    if let Some(pred) = suchthat {
-        let mut kept = Vec::with_capacity(pairs.len());
-        for (oid, state) in pairs {
-            if let Some(v) = var {
-                env.insert(v.to_string(), Value::Ref(oid));
-            }
-            pass.predicate_evals += 1;
-            let ok = EvalCtx::new(&inner.schema)
-                .with_this(&state)
-                .with_vars(&env)
-                .with_resolver(tx)
-                .eval_bool(pred)
-                .inspect_err(|_| {
-                    // Short-circuit evaluation means the error itself can
-                    // depend on rows outside the hinted ranges; which rows
-                    // mattered is unknowable, so widen to whole heaps.
-                    tx.scan_widen(&scanned_heaps);
-                })?;
-            if ok {
-                kept.push((oid, state));
-            }
-        }
-        pairs = kept;
-    }
-    if let Some(f) = filter.as_mut() {
-        pairs.retain(|(_, state)| f(state));
-    }
-
-    let result: Vec<Oid> = if let Some((key_expr, dir)) = by {
-        let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(pairs.len());
-        for (oid, state) in &pairs {
-            if let Some(v) = var {
-                env.insert(v.to_string(), Value::Ref(*oid));
-            }
-            let k = EvalCtx::new(&inner.schema)
-                .with_this(state)
-                .with_vars(&env)
-                .with_resolver(tx)
-                .eval(key_expr)
-                .inspect_err(|_| {
-                    // Same widening as the predicate loop: a failed `by`
-                    // key still aborts an enumeration whose result the
-                    // transaction may already have acted on.
-                    tx.scan_widen(&scanned_heaps);
-                })?;
-            keyed.push((k, *oid));
-        }
+    let result: Vec<Oid> = if let Some((_, dir)) = by {
         keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         if *dir == Dir::Desc {
             keyed.reverse();
         }
         keyed.into_iter().map(|(_, oid)| oid).collect()
     } else {
-        pairs.into_iter().map(|(oid, _)| oid).collect()
+        plain
     };
-    drop(inner);
 
     pass.rows = result.len() as u64;
     publish_pass(db, &pass);
@@ -992,29 +1079,31 @@ fn collect_join<C: ReadContext>(
     let plans = build_probe_plans(&inner, vars, suchthat)?;
     drop(inner);
 
-    // Enumerate extents only for non-probed variables; for probed ones,
-    // precompute the (small) overlay of transaction-written objects whose
-    // class fits — committed index entries cannot see those.
-    let mut extents: Vec<Vec<(Oid, ObjState)>> = Vec::with_capacity(vars.len());
+    // Enumerate extents only for non-probed variables — as *oid lists*
+    // (the nested loop re-visits them once per outer binding, but decoded
+    // states are never retained; the leaf re-reads through the resolver).
+    // For probed variables, precompute the (small) overlay of
+    // transaction-written objects whose class fits — committed index
+    // entries cannot see those. Overlay states are borrowed during the
+    // filter, never cloned.
+    let mut extents: Vec<Vec<Oid>> = Vec::with_capacity(vars.len());
     let mut overlays: Vec<Vec<Oid>> = Vec::with_capacity(vars.len());
     {
         let inner = db.inner.read();
         for (d, (_, class_name)) in vars.iter().enumerate() {
+            extents.push(Vec::new()); // probed: stays empty; else filled below
             if plans[d].is_some() {
-                extents.push(Vec::new());
                 let class = inner.schema.id_of(class_name)?;
-                let overlay: Vec<Oid> = tx
-                    .overlay()
-                    .into_iter()
-                    .filter(|(oid, state)| {
-                        !tx.is_deleted(*oid) && inner.schema.is_subclass(state.class, class)
-                    })
-                    .map(|(oid, _)| oid)
-                    .collect();
+                let mut overlay: Vec<Oid> = Vec::new();
+                tx.for_each_overlay(&mut |oid, state| {
+                    if !tx.is_deleted(oid) && inner.schema.is_subclass(state.class, class) {
+                        overlay.push(oid);
+                    }
+                    Ok(())
+                })?;
                 overlays.push(overlay);
             } else {
                 overlays.push(Vec::new());
-                extents.push(Vec::new()); // filled below without the lock
             }
         }
     }
@@ -1026,7 +1115,12 @@ fn collect_join<C: ReadContext>(
                 let class = inner.schema.id_of(class_name)?;
                 pass.clusters_visited += inner.extent_heaps(class, true).len() as u64;
             }
-            extents[d] = tx.extent_of(class_name, true)?;
+            let mut oids = Vec::new();
+            tx.for_each_extent(class_name, true, &mut |oid, _| {
+                oids.push(oid);
+                Ok(true)
+            })?;
+            extents[d] = oids;
             enumerated_vars += 1;
         }
     }
@@ -1040,7 +1134,7 @@ fn collect_join<C: ReadContext>(
         tx: &C,
         inner: &DbInner,
         vars: &[(String, String)],
-        extents: &[Vec<(Oid, ObjState)>],
+        extents: &[Vec<Oid>],
         overlays: &[Vec<Oid>],
         plans: &[Option<ProbePlan>],
         suchthat: &Option<Expr>,
@@ -1071,12 +1165,14 @@ fn collect_join<C: ReadContext>(
                     .with_resolver(tx)
                     .eval(&plan.key_expr)?;
                 if key.is_null() {
-                    // Null keys are not indexed; fall back to enumerating
+                    // Null keys are not indexed; fall back to streaming
                     // this variable's extent for this outer binding.
-                    tx.extent_of(&vars[depth].1, true)?
-                        .into_iter()
-                        .map(|(oid, _)| oid)
-                        .collect()
+                    let mut oids = Vec::new();
+                    tx.for_each_extent(&vars[depth].1, true, &mut |oid, _| {
+                        oids.push(oid);
+                        Ok(true)
+                    })?;
+                    oids
                 } else {
                     let ix = inner
                         .indexes
@@ -1090,7 +1186,7 @@ fn collect_join<C: ReadContext>(
                     oids
                 }
             }
-            None => extents[depth].iter().map(|(oid, _)| *oid).collect(),
+            None => extents[depth].clone(),
         };
         pass.objects_scanned += oids.len() as u64;
         for oid in oids {

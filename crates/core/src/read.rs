@@ -51,16 +51,34 @@ pub trait ReadContext: Resolver + Sized {
     /// Read an object's current state through this view.
     fn read_obj(&self, oid: Oid) -> Result<ObjState>;
 
-    /// Write-set overlay: objects created or loaded-for-write by this
-    /// transaction, with their in-transaction states. Empty for snapshots.
-    fn overlay(&self) -> Vec<(Oid, ObjState)>;
+    /// Visit the write-set overlay: objects created or loaded-for-write by
+    /// this transaction, with their in-transaction states borrowed in
+    /// place (no clones — the visitor copies only what it keeps). Empty
+    /// for snapshots. Visit order is unspecified.
+    fn for_each_overlay(&self, visit: &mut dyn FnMut(Oid, &ObjState) -> Result<()>) -> Result<()>;
 
     /// Is the object in this transaction's write-set?
     fn overlay_contains(&self, oid: Oid) -> bool;
 
-    /// Enumerate the (deep or shallow) extent of a class as seen by this
+    /// Stream the (deep or shallow) extent of a class as seen by this
     /// view: committed members plus, for write transactions, the overlay.
-    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>>;
+    ///
+    /// The extent is *never* materialized: records are decoded one store
+    /// page at a time and handed to `visit` as they stream past, so N
+    /// concurrent scans cost O(N pages) resident memory, not N decoded
+    /// copies of the extent. Each member is visited exactly once — the
+    /// write-set overlay replaces committed states in place and
+    /// new-in-transaction objects are appended after the committed pass.
+    /// Returning `Ok(false)` from `visit` stops the stream early (not an
+    /// error); for write transactions an early stop or a visitor error
+    /// widens every heap touched so far to a whole-heap scan entry, since
+    /// which rows mattered is then unknowable (DESIGN.md §14).
+    fn for_each_extent(
+        &self,
+        class_name: &str,
+        deep: bool,
+        visit: &mut dyn FnMut(Oid, &ObjState) -> Result<bool>,
+    ) -> Result<()>;
 
     /// Record that a predicate was evaluated over the whole extent held in
     /// `heaps` (phantom protection for write transactions, DESIGN.md §13).
@@ -98,19 +116,24 @@ impl ReadContext for Transaction<'_> {
         self.read(oid)
     }
 
-    fn overlay(&self) -> Vec<(Oid, ObjState)> {
-        self.writes
-            .iter()
-            .map(|(&oid, obj)| (oid, obj.state.clone()))
-            .collect()
+    fn for_each_overlay(&self, visit: &mut dyn FnMut(Oid, &ObjState) -> Result<()>) -> Result<()> {
+        for (&oid, obj) in &self.writes {
+            visit(oid, &obj.state)?;
+        }
+        Ok(())
     }
 
     fn overlay_contains(&self, oid: Oid) -> bool {
         self.writes.contains_key(&oid)
     }
 
-    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
-        self.extent(class_name, deep)
+    fn for_each_extent(
+        &self,
+        class_name: &str,
+        deep: bool,
+        visit: &mut dyn FnMut(Oid, &ObjState) -> Result<bool>,
+    ) -> Result<()> {
+        self.stream_extent(class_name, deep, visit)
     }
 
     fn note_scan(&self, heaps: &[u32]) {
@@ -406,57 +429,110 @@ impl ReadContext for ReadTransaction<'_> {
         self.read(oid)
     }
 
-    fn overlay(&self) -> Vec<(Oid, ObjState)> {
-        Vec::new()
+    fn for_each_overlay(&self, _visit: &mut dyn FnMut(Oid, &ObjState) -> Result<()>) -> Result<()> {
+        Ok(())
     }
 
     fn overlay_contains(&self, _oid: Oid) -> bool {
         false
     }
 
-    fn extent_of(&self, class_name: &str, deep: bool) -> Result<Vec<(Oid, ObjState)>> {
+    fn for_each_extent(
+        &self,
+        class_name: &str,
+        deep: bool,
+        visit: &mut dyn FnMut(Oid, &ObjState) -> Result<bool>,
+    ) -> Result<()> {
         let inner = self.db.inner.read();
         let class = inner.schema.id_of(class_name)?;
         let heaps = inner.extent_heaps(class, deep);
         drop(inner);
-        let mut out = Vec::new();
-        let mut seen = HashSet::new();
-        for (_, heap) in &heaps {
-            // Collect raw records first: the store's scan callback must not
-            // re-enter the store (single-lock policy on some stores).
-            let mut raw = Vec::new();
-            self.db.store.scan(*heap, &mut |rid, bytes| {
-                if is_anchor(bytes) {
-                    raw.push((rid, bytes.to_vec()));
-                }
-                Ok(true)
-            })?;
-            for (rid, bytes) in raw {
-                let oid = Oid {
-                    cluster: *heap,
-                    rid,
-                };
-                if !seen.insert(oid) {
-                    continue;
-                }
-                let state = match decode_record(&bytes)? {
-                    ObjRecord::Plain(s) => s,
-                    ObjRecord::Anchor(table) => {
-                        let vrid = table.current_rid()?;
-                        match decode_record(&self.db.store.read(*heap, vrid)?)? {
-                            ObjRecord::VersionRec { state, .. } => state,
-                            _ => {
-                                return Err(OdeError::Version(format!(
-                                    "anchor {oid} points at a non-version record"
-                                )))
-                            }
-                        }
-                    }
-                    ObjRecord::VersionRec { .. } => continue,
-                };
-                out.push((oid, state));
+        for heap in dedup_heaps(&heaps) {
+            if !stream_committed_heap(self.db, heap, &mut |oid, state| visit(oid, state))? {
+                return Ok(());
             }
         }
-        Ok(out)
+        Ok(())
     }
+}
+
+/// Heap ids to scan for an extent, first-occurrence order, each once.
+/// A heap shared between two classes in the hierarchy (possible with
+/// explicit cluster reuse) must not contribute its members twice — this
+/// replaces the per-oid `seen` set the old materializing path kept:
+/// within one heap every object surfaces exactly once (one anchor record
+/// per object, reserved slots invisible to scans), so deduplicating the
+/// heap list deduplicates the extent.
+pub(crate) fn dedup_heaps(heaps: &[(ClassId, u32)]) -> Vec<u32> {
+    let mut seen = HashSet::new();
+    heaps
+        .iter()
+        .map(|&(_, h)| h)
+        .filter(|h| seen.insert(*h))
+        .collect()
+}
+
+/// Stream one heap's committed objects in decoded form, page-at-a-time.
+///
+/// This is the shared engine under both [`ReadContext::for_each_extent`]
+/// impls: the store's scan surfaces one page's records at a time (the
+/// page-residency bound), version-record bodies are skipped, and anchor
+/// records of versioned objects chase their current version via a store
+/// read *from inside the scan callback* — safe on every store since the
+/// buffer-pool split (PR 3): `FileStore` visits with no locks held,
+/// `MemStore` copies out bounded chunks first, `FailpointStore` delegates.
+///
+/// Returns `Ok(false)` iff `visit` stopped the stream early. A `visit`
+/// error aborts the scan and is returned verbatim (it is stashed across
+/// the storage-error boundary, not wrapped).
+pub(crate) fn stream_committed_heap(
+    db: &Database,
+    heap: u32,
+    visit: &mut dyn FnMut(Oid, &ObjState) -> Result<bool>,
+) -> Result<bool> {
+    let mut stashed: Option<OdeError> = None;
+    let mut stopped = false;
+    db.store.scan(heap, &mut |rid, bytes| {
+        if !is_anchor(bytes) {
+            return Ok(true); // version record body — not an extent member
+        }
+        let oid = Oid { cluster: heap, rid };
+        let decoded = (|| -> Result<Option<ObjState>> {
+            match decode_record(bytes)? {
+                ObjRecord::Plain(s) => Ok(Some(s)),
+                ObjRecord::Anchor(table) => {
+                    let vrid = table.current_rid()?;
+                    match decode_record(&db.store.read(heap, vrid)?)? {
+                        ObjRecord::VersionRec { state, .. } => Ok(Some(state)),
+                        _ => Err(OdeError::Version(format!(
+                            "anchor {oid} points at a non-version record"
+                        ))),
+                    }
+                }
+                ObjRecord::VersionRec { .. } => Ok(None),
+            }
+        })();
+        match decoded {
+            Ok(Some(state)) => match visit(oid, &state) {
+                Ok(true) => Ok(true),
+                Ok(false) => {
+                    stopped = true;
+                    Ok(false)
+                }
+                Err(e) => {
+                    stashed = Some(e);
+                    Ok(false)
+                }
+            },
+            Ok(None) => Ok(true),
+            Err(e) => {
+                stashed = Some(e);
+                Ok(false)
+            }
+        }
+    })?;
+    if let Some(e) = stashed {
+        return Err(e);
+    }
+    Ok(!stopped)
 }

@@ -279,3 +279,145 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scan-entry bracketing around streaming extents: hints and widening must
+// track the *iteration*, not a pre-collected vec (DESIGN.md §14).
+
+use ode_core::prelude::ReadContext;
+
+/// A complete hinted stream records a narrowed (ranged) entry; an early
+/// `break` from the consumer must widen it to a whole-heap entry — a
+/// partial iteration's outcome depends on enumeration order, so the
+/// ranges no longer bound what was observed.
+#[test]
+fn early_break_widens_scan_entries_to_whole_heap() {
+    let db = stock_db();
+    seed(&db, &[("a", 1), ("b", 2), ("c", 3)]);
+
+    let ranges =
+        ode_model::extract_field_ranges(&ode_model::parse_expr("quantity < 2").unwrap(), None);
+    assert!(!ranges.is_empty(), "predicate must pin a range");
+
+    // Full iteration under a hint → the entry stays narrowed.
+    {
+        let tx = db.begin();
+        tx.scan_hint(ranges.clone());
+        tx.for_each_extent("stockitem", true, &mut |_, _| Ok(true))
+            .unwrap();
+        tx.scan_hint_clear();
+        let scans = tx.observed_scans();
+        assert_eq!(scans.len(), 1);
+        assert!(scans[0].1, "complete hinted scan should record ranges");
+    }
+
+    // Early break under the same hint → whole-heap (unranged) entry.
+    {
+        let tx = db.begin();
+        tx.scan_hint(ranges);
+        tx.for_each_extent("stockitem", true, &mut |_, _| Ok(false))
+            .unwrap();
+        tx.scan_hint_clear();
+        let scans = tx.observed_scans();
+        assert_eq!(scans.len(), 1);
+        assert!(
+            !scans[0].1,
+            "an early-stopped scan must widen to a whole-heap entry"
+        );
+    }
+}
+
+/// A predicate that errors mid-stream aborts the enumeration; the heaps
+/// streamed so far must be widened, and the statement-scoped range hint
+/// must not leak into the *next* scan (the RAII guard regression).
+#[test]
+fn mid_stream_eval_error_widens_and_clears_the_hint() {
+    let db = stock_db();
+    db.define_from_source("class audit { string note; }")
+        .unwrap();
+    db.create_cluster("audit").unwrap();
+    seed(&db, &[("a", 1), ("b", 2)]);
+    db.transaction(|tx| {
+        tx.execute(r#"pnew audit (note = "x")"#)?;
+        Ok(())
+    })
+    .unwrap();
+
+    let mut tx = db.begin();
+    // `quantity < 2` proves a range; the arithmetic on `name` (a string)
+    // errors once a row survives the first conjunct.
+    let err = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity < 2 && name + 1 == 2")
+        .unwrap()
+        .count();
+    assert!(err.is_err(), "string arithmetic must fail evaluation");
+    let scans = tx.observed_scans();
+    assert_eq!(scans.len(), 1);
+    assert!(
+        !scans[0].1,
+        "an errored scan must be widened to a whole-heap entry"
+    );
+
+    // The failed statement's hint must not mislabel this unrelated,
+    // unhinted scan as ranged.
+    tx.forall("audit").unwrap().count().unwrap();
+    let audit_heap = db.extent_heap_ids("audit", false).unwrap()[0];
+    let scans = tx.observed_scans();
+    let audit_entry = scans.iter().find(|&&(h, _)| h == audit_heap).unwrap();
+    assert!(
+        !audit_entry.1,
+        "stale range hint leaked into the next statement's scan entry"
+    );
+    tx.abort();
+}
+
+/// Extent scans borrow write-set states in place; only the index-probe
+/// path clones overlay entries (into its selectivity-sized result). The
+/// `query.overlay_clones` counter proves scans stopped copying the write
+/// set on every pass.
+#[test]
+fn extent_scans_do_not_clone_the_write_set() {
+    let db = stock_db();
+    seed(&db, &[("a", 1), ("b", 2)]);
+
+    let mut tx = db.begin();
+    for i in 0..50 {
+        tx.execute(&format!(
+            r#"pnew stockitem (name = "w{i}", quantity = {i})"#
+        ))
+        .unwrap();
+    }
+    let before = db.telemetry().query.overlay_clones;
+    // Ten full scans over a 50-object write set: the old overlay() path
+    // would have cloned 500+ states; the streaming path clones none.
+    for _ in 0..10 {
+        assert_eq!(tx.forall("stockitem").unwrap().count().unwrap(), 52);
+    }
+    assert_eq!(
+        db.telemetry().query.overlay_clones,
+        before,
+        "extent scans must not clone overlay states"
+    );
+    tx.abort();
+
+    // The index-probe fold-in is the one remaining clone site.
+    db.create_index("stockitem", "quantity").unwrap();
+    let mut tx = db.begin();
+    tx.execute(r#"pnew stockitem (name = "probe-me", quantity = 1)"#)
+        .unwrap();
+    let n = tx
+        .forall("stockitem")
+        .unwrap()
+        .suchthat("quantity == 1")
+        .unwrap()
+        .count()
+        .unwrap();
+    assert_eq!(n, 2); // committed "a" + overlay "probe-me"
+    assert!(
+        db.telemetry().query.overlay_clones > before,
+        "index probes still fold (and clone) matching overlay entries"
+    );
+    tx.abort();
+}

@@ -234,3 +234,143 @@ fn extent_of_class_without_cluster_is_empty_but_iterable() {
     assert_eq!(tx.forall("person").unwrap().count().unwrap(), 4);
     tx.commit().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Streaming extent scans (DESIGN.md §8): `for_each_extent` replaced the
+// materializing `extent_of`. These tests pin the equivalence between what
+// the stream yields and what the query layer collects, plus the
+// overlay-merge and dedup semantics the old `seen`-set path guaranteed.
+
+#[test]
+fn streaming_extent_matches_collected_oids() {
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let mut tx = db.begin();
+    for (class, deep) in [
+        ("person", true),
+        ("person", false),
+        ("student", true),
+        ("student", false),
+        ("faculty", true),
+        ("teaching_assistant", true),
+    ] {
+        let mut streamed: Vec<Oid> = Vec::new();
+        tx.for_each_extent(class, deep, &mut |oid, state| {
+            assert!(!state.fields.is_empty(), "states stream fully decoded");
+            streamed.push(oid);
+            Ok(true)
+        })
+        .unwrap();
+        let forall = tx.forall(class).unwrap();
+        let forall = if deep { forall } else { forall.shallow() };
+        let collected = forall.collect_oids().unwrap();
+        assert_eq!(streamed, collected, "class={class} deep={deep}");
+    }
+    tx.commit().unwrap();
+}
+
+#[test]
+fn snapshot_stream_matches_write_txn_stream_without_writes() {
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let mut via_write: Vec<(Oid, String)> = Vec::new();
+    {
+        let tx = db.begin();
+        tx.for_each_extent("person", true, &mut |oid, state| {
+            via_write.push((oid, format!("{:?}", state.fields)));
+            Ok(true)
+        })
+        .unwrap();
+    }
+    let via_snapshot: Vec<(Oid, String)> = db
+        .read(|rtx| {
+            let mut out = Vec::new();
+            rtx.for_each_extent("person", true, &mut |oid, state| {
+                out.push((oid, format!("{:?}", state.fields)));
+                Ok(true)
+            })?;
+            Ok(out)
+        })
+        .unwrap();
+    assert_eq!(via_write, via_snapshot);
+    assert_eq!(via_write.len(), 4);
+}
+
+#[test]
+fn streaming_extent_merges_same_txn_updates_deletes_and_inserts() {
+    let db = Database::in_memory();
+    university(&db);
+    let (p, s, f, ta) = populate(&db);
+    let mut tx = db.begin();
+    // Mutations before the scan, all from this (uncommitted) transaction:
+    // an update must surface its overlay state in place, a delete must
+    // vanish, and inserts must arrive after the committed members in
+    // creation order.
+    tx.set(s, "name", "sam the elder").unwrap();
+    tx.pdelete(f).unwrap();
+    let n1 = tx
+        .pnew("person", &[("name", Value::from("new-pat"))])
+        .unwrap();
+    let n2 = tx
+        .pnew("student", &[("name", Value::from("new-sam"))])
+        .unwrap();
+
+    let mut visited: Vec<(Oid, Value)> = Vec::new();
+    tx.for_each_extent("person", true, &mut |oid, state| {
+        visited.push((oid, state.fields[0].clone()));
+        Ok(true)
+    })
+    .unwrap();
+
+    let oids: Vec<Oid> = visited.iter().map(|&(oid, _)| oid).collect();
+    assert!(!oids.contains(&f), "deleted object must not stream");
+    assert!(oids.contains(&p) && oids.contains(&ta));
+    // Inserts stream after every committed member, in creation order.
+    assert_eq!(&oids[oids.len() - 2..], &[n1, n2]);
+    let by_oid = |o: Oid| {
+        visited
+            .iter()
+            .find(|&&(oid, _)| oid == o)
+            .map(|(_, name)| name.clone())
+            .unwrap()
+    };
+    assert_eq!(by_oid(s), Value::from("sam the elder"));
+    assert_eq!(by_oid(n2), Value::from("new-sam"));
+    tx.abort();
+}
+
+#[test]
+fn diamond_hierarchy_streams_each_object_exactly_once() {
+    // The diamond (teaching_assistant under both student and faculty)
+    // is the shape the old cross-heap `seen` set guarded; streaming must
+    // keep each member unique without it.
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let tx = db.begin();
+    for class in ["person", "student", "faculty"] {
+        let mut seen = std::collections::HashSet::new();
+        tx.for_each_extent(class, true, &mut |oid, _| {
+            assert!(seen.insert(oid), "{class}: {oid} streamed twice");
+            Ok(true)
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn early_break_consumer_stops_the_stream() {
+    let db = Database::in_memory();
+    university(&db);
+    populate(&db);
+    let tx = db.begin();
+    let mut visited = 0usize;
+    tx.for_each_extent("person", true, &mut |_, _| {
+        visited += 1;
+        Ok(visited < 2) // stop after the second object
+    })
+    .unwrap();
+    assert_eq!(visited, 2, "the stream must stop when the visitor says so");
+}

@@ -345,6 +345,12 @@ pub struct QueryTelemetry {
     pub fixpoint_rounds: Counter,
     /// Newly visited objects across all fixpoint rounds.
     pub fixpoint_new_objects: Counter,
+    /// Write-set object states cloned while merging a transaction's
+    /// overlay into query results. Extent scans borrow overlay states in
+    /// place, so only index probes folding class-matching writes into
+    /// their (selectivity-sized) result contribute — this stays near zero
+    /// under scan-heavy load, proving scans no longer copy the write set.
+    pub overlay_clones: Counter,
 }
 
 /// Version-subsystem counters (§4).
@@ -715,6 +721,7 @@ impl EngineTelemetry {
             &q.deep_extent_scans,
             &q.fixpoint_rounds,
             &q.fixpoint_new_objects,
+            &q.overlay_clones,
         ] {
             c.reset();
         }
@@ -792,6 +799,7 @@ impl EngineTelemetry {
                 deep_extent_scans: self.query.deep_extent_scans.get(),
                 fixpoint_rounds: self.query.fixpoint_rounds.get(),
                 fixpoint_new_objects: self.query.fixpoint_new_objects.get(),
+                overlay_clones: self.query.overlay_clones.get(),
             },
             versions: VersionSnapshot {
                 newversions: self.versions.newversions.get(),
@@ -925,6 +933,8 @@ pub struct QuerySnapshot {
     pub fixpoint_rounds: u64,
     /// See [`QueryTelemetry::fixpoint_new_objects`].
     pub fixpoint_new_objects: u64,
+    /// See [`QueryTelemetry::overlay_clones`].
+    pub overlay_clones: u64,
 }
 
 /// Version counters, frozen.
@@ -1112,9 +1122,11 @@ impl TelemetrySnapshot {
             deep_extent_scans,
             fixpoint_rounds,
             fixpoint_new_objects,
+            overlay_clones,
         ) = sub_fields!(q, bq; foralls, joins, clusters_visited,
             objects_scanned, predicate_evals, index_probes,
-            deep_extent_scans, fixpoint_rounds, fixpoint_new_objects);
+            deep_extent_scans, fixpoint_rounds, fixpoint_new_objects,
+            overlay_clones);
         let query = QuerySnapshot {
             foralls,
             joins,
@@ -1125,6 +1137,7 @@ impl TelemetrySnapshot {
             deep_extent_scans,
             fixpoint_rounds,
             fixpoint_new_objects,
+            overlay_clones,
         };
         let v = &self.versions;
         let bv = &baseline.versions;
@@ -1259,6 +1272,7 @@ impl TelemetrySnapshot {
         push("query.deep_extent_scans", q.deep_extent_scans);
         push("query.fixpoint_rounds", q.fixpoint_rounds);
         push("query.fixpoint_new_objects", q.fixpoint_new_objects);
+        push("query.overlay_clones", q.overlay_clones);
         let v = &self.versions;
         push("versions.newversions", v.newversions);
         push("versions.generic_derefs", v.generic_derefs);
@@ -1369,7 +1383,8 @@ impl TelemetrySnapshot {
             "\"query\":{{\"foralls\":{},\"joins\":{},\"clusters_visited\":{},\
              \"objects_scanned\":{},\"predicate_evals\":{},\
              \"index_probes\":{},\"deep_extent_scans\":{},\
-             \"fixpoint_rounds\":{},\"fixpoint_new_objects\":{}}},",
+             \"fixpoint_rounds\":{},\"fixpoint_new_objects\":{},\
+             \"overlay_clones\":{}}},",
             q.foralls,
             q.joins,
             q.clusters_visited,
@@ -1378,7 +1393,8 @@ impl TelemetrySnapshot {
             q.index_probes,
             q.deep_extent_scans,
             q.fixpoint_rounds,
-            q.fixpoint_new_objects
+            q.fixpoint_new_objects,
+            q.overlay_clones
         ));
         let v = &self.versions;
         out.push_str(&format!(

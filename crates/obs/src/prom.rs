@@ -293,6 +293,11 @@ pub fn render(
             "Newly visited objects across fixpoint rounds",
             q.fixpoint_new_objects,
         ),
+        (
+            "ode_query_overlay_clones_total",
+            "Write-set states cloned into query results (index-probe fold-in only)",
+            q.overlay_clones,
+        ),
     ] {
         p.single(name, "counter", help, v);
     }

@@ -183,24 +183,41 @@ impl Store for MemStore {
         heap: HeapId,
         visit: &mut dyn FnMut(RecordId, &[u8]) -> Result<bool>,
     ) -> Result<()> {
-        // Clone the record list so the callback may re-enter the store.
-        let records: Vec<(RecordId, Vec<u8>)> = {
-            let g = self.inner.read();
-            let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
-            h.records
-                .iter()
-                .filter_map(|(rid, rec)| match rec {
-                    Rec::Data(d) => Some((*rid, d.clone())),
-                    Rec::Reserved => None,
-                })
-                .collect()
-        };
-        for (rid, data) in records {
-            if !visit(rid, &data)? {
-                break;
+        // Copy out one bounded chunk at a time (a B-tree range cursor
+        // resumes after the last-visited rid), so scan residency is
+        // O(chunk) rather than O(heap) — mirroring FileStore's
+        // page-at-a-time bound — and the callback may still re-enter the
+        // store: no lock is held while it runs.
+        const SCAN_CHUNK: usize = 128;
+        let mut resume_after: Option<RecordId> = None;
+        loop {
+            let chunk: Vec<(RecordId, Vec<u8>)> = {
+                let g = self.inner.read();
+                let h = g.heaps.get(&heap).ok_or(StorageError::NoSuchHeap(heap))?;
+                let range = match resume_after {
+                    None => h.records.range(..),
+                    Some(last) => h
+                        .records
+                        .range((std::ops::Bound::Excluded(last), std::ops::Bound::Unbounded)),
+                };
+                range
+                    .filter_map(|(rid, rec)| match rec {
+                        Rec::Data(d) => Some((*rid, d.clone())),
+                        Rec::Reserved => None,
+                    })
+                    .take(SCAN_CHUNK)
+                    .collect()
+            };
+            let Some(&(last, _)) = chunk.last() else {
+                return Ok(());
+            };
+            resume_after = Some(last);
+            for (rid, data) in chunk {
+                if !visit(rid, &data)? {
+                    return Ok(());
+                }
             }
         }
-        Ok(())
     }
 
     fn checkpoint(&self) -> Result<()> {
